@@ -1,0 +1,209 @@
+//! Unary-vs-binary comparisons: iso-throughput PE arrays (paper
+//! Fig. 14b) and the Fig. 20 gain-region maps.
+
+use usfq_core::model::{area, latency};
+
+use crate::models;
+
+/// Iso-throughput PE comparison at `bits`: the number of U-SFQ PEs
+/// needed to match one binary wave-pipelined MAC unit's throughput,
+/// their total area, the binary unit's area, and the area savings.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IsoThroughputPoint {
+    /// Bit resolution.
+    pub bits: u32,
+    /// Fractional number of unary PEs matching the binary throughput.
+    pub unary_pes: f64,
+    /// Unary array area in JJs.
+    pub unary_jj: f64,
+    /// Binary MAC unit area in JJs.
+    pub binary_jj: f64,
+    /// `1 − unary/binary`, negative when the unary array is larger.
+    pub savings: f64,
+}
+
+/// Computes the Fig. 14b point at `bits` against the wave-pipelined
+/// binary baseline.
+pub fn iso_throughput_pe(bits: u32) -> IsoThroughputPoint {
+    let thr_binary = models::pe_throughput_ops(bits);
+    let thr_unary_pe = 1.0 / latency::pe_issue_interval(bits).as_secs();
+    let unary_pes = thr_binary / thr_unary_pe;
+    let unary_jj = unary_pes * area::pe_jj() as f64;
+    let binary_jj = models::mac_jj(bits) as f64;
+    IsoThroughputPoint {
+        bits,
+        unary_pes,
+        unary_jj,
+        binary_jj,
+        savings: 1.0 - unary_jj / binary_jj,
+    }
+}
+
+/// Computes the Fig. 14b point against the 48 GHz bit-parallel 8-bit
+/// PE of [37, 38].
+pub fn iso_throughput_pe_vs_bit_parallel() -> IsoThroughputPoint {
+    let (thr_binary, mult_jj) = models::bit_parallel_pe();
+    // A bit-parallel PE is the 48 GOPs multiplier plus a binary adder
+    // (paper [37, 38] provide the multiplier; the MAC needs both).
+    let binary_jj = mult_jj as f64 + crate::table2::adder_jj(8);
+    let thr_unary_pe = 1.0 / latency::pe_issue_interval(8).as_secs();
+    let unary_pes = thr_binary / thr_unary_pe;
+    let unary_jj = unary_pes * area::pe_jj() as f64;
+    IsoThroughputPoint {
+        bits: 8,
+        unary_pes,
+        unary_jj,
+        binary_jj,
+        savings: 1.0 - unary_jj / binary_jj,
+    }
+}
+
+/// Which side wins a Fig. 20 cell, and by how much.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GainCell {
+    /// Tap count (x axis).
+    pub taps: usize,
+    /// Bit resolution (y axis).
+    pub bits: u32,
+    /// Unary gain in percent; positive = unary better, the paper's
+    /// coloured region. Negative = binary better (white region).
+    pub gain_percent: f64,
+}
+
+/// The three Fig. 20 metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GainMetric {
+    /// Latency savings (Fig. 20a).
+    Latency,
+    /// Area (JJ) savings (Fig. 20b).
+    Area,
+    /// Efficiency (throughput/JJ) gain (Fig. 20c).
+    Efficiency,
+}
+
+/// Computes one Fig. 20 cell.
+pub fn fir_gain(metric: GainMetric, taps: usize, bits: u32) -> GainCell {
+    let unary_latency = latency::fir_latency(bits).as_secs();
+    let binary_latency = models::fir_latency(bits, taps).as_secs();
+    let unary_jj = area::fir_jj(taps, bits) as f64;
+    let binary_jj = models::fir_jj(bits, taps) as f64;
+    let gain = match metric {
+        GainMetric::Latency => 1.0 - unary_latency / binary_latency,
+        GainMetric::Area => 1.0 - unary_jj / binary_jj,
+        GainMetric::Efficiency => {
+            let unary_eff = (1.0 / unary_latency) / unary_jj;
+            let binary_eff = (1.0 / binary_latency) / binary_jj;
+            1.0 - binary_eff / unary_eff
+        }
+    };
+    GainCell {
+        taps,
+        bits,
+        gain_percent: gain * 100.0,
+    }
+}
+
+/// Sweeps a Fig. 20 map over `taps × bits`.
+pub fn fir_gain_map(
+    metric: GainMetric,
+    taps: &[usize],
+    bits: &[u32],
+) -> Vec<GainCell> {
+    let mut cells = Vec::with_capacity(taps.len() * bits.len());
+    for &b in bits {
+        for &t in taps {
+            cells.push(fir_gain(metric, t, b));
+        }
+    }
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Paper §5.2: ~98–99 % savings against an 8-bit binary PE without
+    /// throughput equalization (one unary PE vs one binary MAC).
+    #[test]
+    fn single_pe_savings_anchor() {
+        let binary = models::mac_jj(8) as f64;
+        let savings = 1.0 - area::pe_jj() as f64 / binary;
+        assert!(savings > 0.97, "savings {savings}");
+    }
+
+    /// Paper Fig. 14b: iso-throughput savings ≈ 93–99 % below 12 bits,
+    /// shrinking to tens of percent at 16 bits.
+    #[test]
+    fn iso_throughput_trend_matches_paper() {
+        let p8 = iso_throughput_pe(8);
+        assert!(p8.savings > 0.93, "8-bit savings {}", p8.savings);
+        let p11 = iso_throughput_pe(11);
+        assert!(
+            (0.90..=0.99).contains(&p11.savings),
+            "11-bit savings {}",
+            p11.savings
+        );
+        let p16 = iso_throughput_pe(16);
+        assert!(
+            (0.0..=0.6).contains(&p16.savings),
+            "16-bit savings {}",
+            p16.savings
+        );
+        // Monotone decline.
+        assert!(p8.savings > p11.savings && p11.savings > p16.savings);
+    }
+
+    /// Paper §5.2: ~28 % savings against the 8-bit bit-parallel PE.
+    #[test]
+    fn bit_parallel_comparison_positive() {
+        let p = iso_throughput_pe_vs_bit_parallel();
+        assert!(
+            (0.05..=0.6).contains(&p.savings),
+            "BP savings {}",
+            p.savings
+        );
+    }
+
+    /// Paper Fig. 20a boundaries: latency gain positive below ~9 bits
+    /// at 32 taps and ~12 bits at 256 taps.
+    #[test]
+    fn latency_region_boundaries() {
+        assert!(fir_gain(GainMetric::Latency, 32, 8).gain_percent > 0.0);
+        assert!(fir_gain(GainMetric::Latency, 32, 10).gain_percent < 0.0);
+        assert!(fir_gain(GainMetric::Latency, 256, 11).gain_percent > 0.0);
+        assert!(fir_gain(GainMetric::Latency, 256, 13).gain_percent < 0.0);
+    }
+
+    /// Paper Fig. 20b: at 256 taps the unary FIR never saves area; at
+    /// 32 taps it saves only at high resolution.
+    #[test]
+    fn area_region_boundaries() {
+        for bits in [6, 8, 10, 12, 14, 16] {
+            assert!(
+                fir_gain(GainMetric::Area, 256, bits).gain_percent < 0.0,
+                "256 taps {bits} bits should favour binary"
+            );
+        }
+        assert!(fir_gain(GainMetric::Area, 32, 16).gain_percent > 0.0);
+        assert!(fir_gain(GainMetric::Area, 32, 4).gain_percent < 0.0);
+    }
+
+    /// Paper Fig. 20c / §5.4.4: the unary FIR is more efficient below
+    /// ~12 bits, and the advantage grows with tap count.
+    #[test]
+    fn efficiency_region_boundaries() {
+        assert!(fir_gain(GainMetric::Efficiency, 32, 8).gain_percent > 0.0);
+        assert!(fir_gain(GainMetric::Efficiency, 256, 8).gain_percent > 0.0);
+        assert!(fir_gain(GainMetric::Efficiency, 32, 16).gain_percent < 0.0);
+        let g32 = fir_gain(GainMetric::Efficiency, 32, 8).gain_percent;
+        let g256 = fir_gain(GainMetric::Efficiency, 256, 8).gain_percent;
+        assert!(g256 > g32, "efficiency gain should grow with taps");
+    }
+
+    #[test]
+    fn gain_map_covers_grid() {
+        let map = fir_gain_map(GainMetric::Area, &[32, 64], &[8, 12, 16]);
+        assert_eq!(map.len(), 6);
+        assert!(map.iter().any(|c| c.taps == 64 && c.bits == 12));
+    }
+}

@@ -1,0 +1,323 @@
+//! A bit-exact fixed-point binary FIR with the paper's §5.4.1 bit-flip
+//! fault model — the binary side of the Fig. 19 accuracy experiment.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A signed fixed-point binary FIR filter of `bits` resolution.
+///
+/// Coefficients and samples are quantized to `bits`-bit two's-complement
+/// words (one sign bit); products accumulate in `i64` and the output is
+/// re-quantized to `bits` bits, which is where the paper's bit-flip
+/// errors strike.
+#[derive(Debug, Clone)]
+pub struct BinaryFir {
+    coeff_q: Vec<i64>,
+    bits: u32,
+    scale: f64,
+    gain: f64,
+    /// Power-of-two output headroom covering `Σ|h|`, so the re-quantized
+    /// output word cannot overflow (the paper scales inputs "to avoid
+    /// overflow errors").
+    headroom: i64,
+    history: Vec<i64>,
+    error_rate: f64,
+    rng: StdRng,
+}
+
+impl BinaryFir {
+    /// Builds a filter from real coefficients at `bits` resolution
+    /// (2..=31). Coefficients are normalised to `[−1, 1]` and the gain
+    /// re-applied on output, mirroring the unary filter's convention.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs` is empty or `bits` is outside `2..=31`.
+    pub fn new(coeffs: &[f64], bits: u32) -> Self {
+        assert!(!coeffs.is_empty(), "FIR needs at least one coefficient");
+        assert!((2..=31).contains(&bits), "bits must be in 2..=31");
+        let scale = f64::from(1u32 << (bits - 1));
+        let max_abs = coeffs
+            .iter()
+            .fold(0.0f64, |m, &c| m.max(c.abs()))
+            .max(f64::MIN_POSITIVE);
+        let coeff_q: Vec<i64> = coeffs
+            .iter()
+            .map(|&c| quantize(c / max_abs, scale))
+            .collect();
+        let sum_abs: f64 = coeffs.iter().map(|c| (c / max_abs).abs()).sum();
+        let headroom = (sum_abs.max(1.0).ceil() as u64).next_power_of_two() as i64;
+        BinaryFir {
+            coeff_q,
+            bits,
+            scale,
+            gain: max_abs,
+            headroom,
+            history: vec![0; coeffs.len()],
+            error_rate: 0.0,
+            rng: StdRng::seed_from_u64(0),
+        }
+    }
+
+    /// Enables the paper's fault model: with probability `rate` per
+    /// output sample, one uniformly random bit of the `bits`-wide
+    /// output word flips.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is outside `[0, 1]`.
+    pub fn with_bit_flips(mut self, rate: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
+        self.error_rate = rate;
+        self.rng = StdRng::seed_from_u64(seed);
+        self
+    }
+
+    /// Number of taps.
+    pub fn taps(&self) -> usize {
+        self.coeff_q.len()
+    }
+
+    /// Resolution in bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Resets the delay line.
+    pub fn reset(&mut self) {
+        self.history.iter_mut().for_each(|h| *h = 0);
+    }
+
+    /// Filters one sample in `[−1, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is outside `[−1, 1]` or not finite.
+    pub fn push(&mut self, x: f64) -> f64 {
+        assert!(x.is_finite() && (-1.0..=1.0).contains(&x), "sample {x} out of range");
+        self.history.rotate_right(1);
+        self.history[0] = quantize(x, self.scale);
+        let acc: i64 = self
+            .coeff_q
+            .iter()
+            .zip(&self.history)
+            .map(|(&h, &s)| h * s)
+            .sum();
+        // Re-quantize the accumulator to a bits-wide word whose full
+        // scale covers the coefficient sum (headroom).
+        let mut word = (acc as f64 / (self.scale * self.headroom as f64)).round() as i64;
+        let limit = self.scale as i64;
+        word = word.clamp(-limit, limit - 1);
+        if self.error_rate > 0.0 && self.rng.gen_bool(self.error_rate) {
+            let bit = self.rng.gen_range(0..self.bits);
+            word ^= 1i64 << bit;
+            // A flip of the sign bit region can push past full scale;
+            // wrap like hardware two's complement would.
+            let modulus = 2 * limit;
+            word = ((word + limit).rem_euclid(modulus)) - limit;
+        }
+        word as f64 / self.scale * self.headroom as f64 * self.gain
+    }
+
+    /// Filters a whole signal, resetting the delay line first.
+    pub fn filter(&mut self, input: &[f64]) -> Vec<f64> {
+        self.reset();
+        input.iter().map(|&x| self.push(x)).collect()
+    }
+}
+
+fn quantize(x: f64, scale: f64) -> i64 {
+    ((x * scale).round() as i64).clamp(-(scale as i64), scale as i64 - 1)
+}
+
+/// A fixed-point binary dot-product unit with the same bit-flip fault
+/// model — the binary counterpart of the U-SFQ DPU for accuracy
+/// comparisons.
+#[derive(Debug, Clone)]
+pub struct BinaryDpu {
+    bits: u32,
+    scale: f64,
+    error_rate: f64,
+    rng: StdRng,
+}
+
+impl BinaryDpu {
+    /// Creates a DPU at `bits` resolution (2..=31).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is outside `2..=31`.
+    pub fn new(bits: u32) -> Self {
+        assert!((2..=31).contains(&bits), "bits must be in 2..=31");
+        BinaryDpu {
+            bits,
+            scale: f64::from(1u32 << (bits - 1)),
+            error_rate: 0.0,
+            rng: StdRng::seed_from_u64(0),
+        }
+    }
+
+    /// Enables bit flips: with probability `rate` per dot product, one
+    /// random bit of the output word flips.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is outside `[0, 1]`.
+    pub fn with_bit_flips(mut self, rate: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
+        self.error_rate = rate;
+        self.rng = StdRng::seed_from_u64(seed);
+        self
+    }
+
+    /// Computes `a · b` in fixed point. Operands must be in `[−1, 1]`;
+    /// the output word carries power-of-two headroom for the vector
+    /// length, like the FIR's accumulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a length mismatch or out-of-range elements.
+    pub fn dot(&mut self, a: &[f64], b: &[f64]) -> f64 {
+        assert_eq!(a.len(), b.len(), "length mismatch");
+        for &v in a.iter().chain(b) {
+            assert!(v.is_finite() && (-1.0..=1.0).contains(&v), "element {v} out of range");
+        }
+        let acc: i64 = a
+            .iter()
+            .zip(b)
+            .map(|(&x, &y)| quantize(x, self.scale) * quantize(y, self.scale))
+            .sum();
+        let headroom = (a.len() as u64).next_power_of_two() as i64;
+        let mut word = (acc as f64 / (self.scale * headroom as f64)).round() as i64;
+        let limit = self.scale as i64;
+        word = word.clamp(-limit, limit - 1);
+        if self.error_rate > 0.0 && self.rng.gen_bool(self.error_rate) {
+            let bit = self.rng.gen_range(0..self.bits);
+            word ^= 1i64 << bit;
+            let modulus = 2 * limit;
+            word = ((word + limit).rem_euclid(modulus)) - limit;
+        }
+        word as f64 / self.scale * headroom as f64
+    }
+}
+
+/// Reference double-precision FIR (identical convention to
+/// [`usfq_core::accel::fir_reference`], re-exported here for
+/// convenience in baseline-only contexts).
+pub fn fir_reference(coeffs: &[f64], input: &[f64]) -> Vec<f64> {
+    usfq_core::accel::fir_reference(coeffs, input)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_at_high_bits() {
+        let coeffs = [0.25, 0.5, 0.25];
+        let input: Vec<f64> = (0..64).map(|i| (i as f64 * 0.2).sin() * 0.9).collect();
+        let mut fir = BinaryFir::new(&coeffs, 16);
+        let got = fir.filter(&input);
+        let want = fir_reference(&coeffs, &input);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-3, "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn quantization_error_shrinks_with_bits() {
+        let coeffs = [0.1, 0.2, 0.4, 0.2, 0.1];
+        let input: Vec<f64> = (0..128).map(|i| (i as f64 * 0.17).sin()).collect();
+        let want = fir_reference(&coeffs, &input);
+        let rmse = |bits: u32| {
+            let mut fir = BinaryFir::new(&coeffs, bits);
+            let got = fir.filter(&input);
+            (got.iter()
+                .zip(&want)
+                .map(|(g, w)| (g - w) * (g - w))
+                .sum::<f64>()
+                / got.len() as f64)
+                .sqrt()
+        };
+        assert!(rmse(12) < rmse(6) * 0.5);
+    }
+
+    #[test]
+    fn bit_flips_can_be_catastrophic() {
+        let coeffs = [1.0];
+        let input = vec![0.0; 512];
+        let want = fir_reference(&coeffs, &input);
+        let mut fir = BinaryFir::new(&coeffs, 12).with_bit_flips(0.3, 9);
+        let got = fir.filter(&input);
+        // At 30 % error rate some outputs carry near-full-scale error:
+        // high-order bit flips (the paper's Fig. 19b distribution).
+        let max_err = got
+            .iter()
+            .zip(&want)
+            .map(|(g, w)| (g - w).abs())
+            .fold(0.0f64, f64::max);
+        assert!(max_err > 0.4, "max error {max_err}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let coeffs = [0.5, 0.5];
+        let input: Vec<f64> = (0..64).map(|i| (i as f64 * 0.3).cos() * 0.7).collect();
+        let run = || {
+            BinaryFir::new(&coeffs, 10)
+                .with_bit_flips(0.2, 77)
+                .filter(&input)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn binary_dpu_matches_reference() {
+        let mut dpu = BinaryDpu::new(16);
+        let a = [0.5, -0.25, 0.75, -1.0];
+        let b = [0.25, 0.5, -0.5, 0.125];
+        let got = dpu.dot(&a, &b);
+        let want: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        assert!((got - want).abs() < 1e-3, "{got} vs {want}");
+    }
+
+    #[test]
+    fn binary_dpu_bit_flips_can_hit_hard() {
+        let a = [0.0; 8];
+        let mut clean = BinaryDpu::new(12);
+        assert_eq!(clean.dot(&a, &a), 0.0);
+        let mut noisy = BinaryDpu::new(12).with_bit_flips(1.0, 5);
+        let mut worst = 0.0f64;
+        for _ in 0..64 {
+            worst = worst.max(noisy.dot(&a, &a).abs());
+        }
+        assert!(worst > 0.5, "worst flip {worst}");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn binary_dpu_length_mismatch_panics() {
+        let mut dpu = BinaryDpu::new(8);
+        let _ = dpu.dot(&[0.0], &[0.0, 0.1]);
+    }
+
+    #[test]
+    fn accessors() {
+        let fir = BinaryFir::new(&[0.3, 0.7], 8);
+        assert_eq!(fir.taps(), 2);
+        assert_eq!(fir.bits(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one coefficient")]
+    fn empty_coeffs_panic() {
+        let _ = BinaryFir::new(&[], 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_sample_panics() {
+        let mut fir = BinaryFir::new(&[1.0], 8);
+        let _ = fir.push(1.5);
+    }
+}

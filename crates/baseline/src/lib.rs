@@ -1,0 +1,23 @@
+//! # usfq-baseline — binary RSFQ baselines
+//!
+//! Everything the U-SFQ paper compares *against*:
+//!
+//! * [`table2`] — the paper's Table 2: published RSFQ adders and
+//!   multipliers with their JJ counts and latencies, plus the
+//!   least-squares fits the paper draws as dashed lines.
+//! * [`models`] — closed-form binary accelerator models (PE, FIR)
+//!   derived from those fits, with the paper's single-MAC-unit
+//!   assumption (§5.1: "the binary architecture uses a single
+//!   multiplier and adder unit given the area limitations of RSFQ").
+//! * [`datapath`] — a bit-exact fixed-point binary FIR with the paper's
+//!   §5.4.1 bit-flip fault injection, for the accuracy comparison.
+//! * [`comparison`] — unary-vs-binary combinations: iso-throughput PE
+//!   arrays (Fig. 14b) and the Fig. 20 gain-region maps.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod comparison;
+pub mod datapath;
+pub mod models;
+pub mod table2;

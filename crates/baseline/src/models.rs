@@ -1,0 +1,113 @@
+//! Closed-form binary RSFQ accelerator models, built on the Table 2
+//! fits under the paper's §5.1 assumption of a single multiply-
+//! accumulate unit.
+
+use usfq_cells::catalog;
+use usfq_sim::Time;
+
+use crate::table2;
+
+/// Latency of one binary MAC: the fitted multiplier plus adder
+/// latencies in sequence (one unit each, no overlap).
+pub fn mac_latency(bits: u32) -> Time {
+    Time::from_ps(table2::multiplier_latency_ps(bits) + table2::adder_latency_ps(bits))
+}
+
+/// Area of the binary MAC unit (one multiplier + one adder).
+pub fn mac_jj(bits: u32) -> u64 {
+    (table2::multiplier_jj(bits) + table2::adder_jj(bits)).round() as u64
+}
+
+/// Binary PE throughput: one MAC per MAC latency (the single shared
+/// unit is the bottleneck).
+pub fn pe_throughput_ops(bits: u32) -> f64 {
+    1.0 / mac_latency(bits).as_secs()
+}
+
+/// The bit-parallel PE reference point (paper refs 37 and 38): a 48 GHz
+/// pipelined 8-bit multiplier of 17 kJJ. Returns `(throughput ops/s,
+/// JJ)`.
+pub fn bit_parallel_pe() -> (f64, u64) {
+    let bp = table2::bit_parallel_multiplier();
+    // 48 GHz issue rate (the paper quotes 48 GOPs).
+    (48.0e9, bp.jj)
+}
+
+/// Binary FIR latency for one output: `taps` sequential MACs through
+/// the single unit.
+pub fn fir_latency(bits: u32, taps: usize) -> Time {
+    Time::from_ps(
+        (table2::multiplier_latency_ps(bits) + table2::adder_latency_ps(bits))
+            * taps as f64,
+    )
+}
+
+/// Binary FIR throughput in complete filter computations per second.
+pub fn fir_throughput_ops(bits: u32, taps: usize) -> f64 {
+    1.0 / fir_latency(bits, taps).as_secs()
+}
+
+/// Binary FIR area: the MAC unit, a `taps`-word × `bits` DFF shift
+/// register, and a `taps`-word × `bits` NDRO coefficient memory.
+pub fn fir_jj(bits: u32, taps: usize) -> u64 {
+    let storage_per_tap =
+        u64::from(bits) * u64::from(catalog::JJ_DFF + catalog::JJ_NDRO);
+    mac_jj(bits) + taps as u64 * storage_per_tap
+}
+
+/// Binary FIR efficiency: throughput per JJ.
+pub fn fir_efficiency_ops_per_jj(bits: u32, taps: usize) -> f64 {
+    fir_throughput_ops(bits, taps) / fir_jj(bits, taps) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mac_latency_reasonable_at_8_bits() {
+        // Fits: ≈ 2.2 ns multiply + 0.2 ns add.
+        let t = mac_latency(8);
+        assert!(t > Time::from_ns(1.5) && t < Time::from_ns(3.5), "{t}");
+    }
+
+    #[test]
+    fn fir_latency_linear_in_taps() {
+        let l32 = fir_latency(8, 32);
+        let l256 = fir_latency(8, 256);
+        assert_eq!(l256.as_fs(), 8 * l32.as_fs());
+    }
+
+    #[test]
+    fn fir_area_grows_with_bits_and_taps() {
+        assert!(fir_jj(16, 32) > fir_jj(8, 32));
+        assert!(fir_jj(8, 256) > fir_jj(8, 32));
+    }
+
+    /// The paper's §5.4.2 crossover: the unary FIR is faster below
+    /// ~9 bits at 32 taps and ~12 bits at 256 taps.
+    #[test]
+    fn unary_latency_crossovers_match_paper() {
+        use usfq_core::model::latency::fir_latency as unary;
+        // 32 taps: unary wins at 8 bits, loses at 10.
+        assert!(unary(8) < fir_latency(8, 32));
+        assert!(unary(10) > fir_latency(10, 32));
+        // 256 taps: unary wins at 11 bits, loses at 13.
+        assert!(unary(11) < fir_latency(11, 256));
+        assert!(unary(13) > fir_latency(13, 256));
+    }
+
+    #[test]
+    fn bp_pe_reference() {
+        let (thr, jj) = bit_parallel_pe();
+        assert_eq!(thr, 48.0e9);
+        assert_eq!(jj, 17_000);
+    }
+
+    #[test]
+    fn efficiency_is_consistent() {
+        let eff = fir_efficiency_ops_per_jj(8, 32);
+        let manual = fir_throughput_ops(8, 32) / fir_jj(8, 32) as f64;
+        assert!((eff - manual).abs() < 1e-12);
+    }
+}

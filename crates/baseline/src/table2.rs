@@ -1,0 +1,252 @@
+//! The paper's Table 2: state-of-the-art RSFQ multipliers and adders,
+//! and the least-squares fits used as the binary baseline curves.
+
+/// Unit kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnitKind {
+    /// A binary adder.
+    Adder,
+    /// A binary multiplier.
+    Multiplier,
+}
+
+/// Microarchitecture style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArchStyle {
+    /// Bit-parallel / bit-pipelined (every cell clocked).
+    BitParallel,
+    /// Wave-pipelined (clock-free dataflow).
+    WavePipelined,
+    /// Systolic array.
+    SystolicArray,
+}
+
+/// One published design from the paper's Table 2.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table2Entry {
+    /// Citation key as printed in the paper.
+    pub reference: &'static str,
+    /// Unit kind.
+    pub kind: UnitKind,
+    /// Operand width in bits.
+    pub bits: u32,
+    /// Area in Josephson junctions.
+    pub jj: u64,
+    /// Latency in picoseconds.
+    pub latency_ps: f64,
+    /// Microarchitecture.
+    pub arch: ArchStyle,
+    /// Fabrication technology as printed.
+    pub technology: &'static str,
+}
+
+/// The table, row for row.
+pub const TABLE2: &[Table2Entry] = &[
+    Table2Entry {
+        reference: "[23]",
+        kind: UnitKind::Adder,
+        bits: 4,
+        jj: 931,
+        latency_ps: 50.0,
+        arch: ArchStyle::BitParallel,
+        technology: "KOPTI 1.0 kA/cm2 Nb",
+    },
+    Table2Entry {
+        reference: "[41]",
+        kind: UnitKind::Adder,
+        bits: 8,
+        jj: 6581,
+        latency_ps: 588.0,
+        arch: ArchStyle::WavePipelined,
+        technology: "AIST-STP2",
+    },
+    Table2Entry {
+        reference: "[8]*",
+        kind: UnitKind::Adder,
+        bits: 8,
+        jj: 4351,
+        latency_ps: 222.0,
+        arch: ArchStyle::WavePipelined,
+        technology: "NG",
+    },
+    Table2Entry {
+        reference: "[8]",
+        kind: UnitKind::Adder,
+        bits: 16,
+        jj: 16683,
+        latency_ps: 255.0,
+        arch: ArchStyle::WavePipelined,
+        technology: "NG",
+    },
+    Table2Entry {
+        reference: "[9]",
+        kind: UnitKind::Adder,
+        bits: 16,
+        jj: 9941,
+        latency_ps: 352.0,
+        arch: ArchStyle::WavePipelined,
+        technology: "ISTEC 1.0um 10 kA/cm2",
+    },
+    Table2Entry {
+        reference: "[40]",
+        kind: UnitKind::Multiplier,
+        bits: 4,
+        jj: 2308,
+        latency_ps: 1250.0,
+        arch: ArchStyle::SystolicArray,
+        technology: "NEC 2.5 kA/cm2",
+    },
+    Table2Entry {
+        reference: "[40]",
+        kind: UnitKind::Multiplier,
+        bits: 8,
+        jj: 4616,
+        latency_ps: 2540.0,
+        arch: ArchStyle::SystolicArray,
+        technology: "**",
+    },
+    Table2Entry {
+        reference: "[37]",
+        kind: UnitKind::Multiplier,
+        bits: 8,
+        jj: 17000,
+        latency_ps: 333.0,
+        arch: ArchStyle::BitParallel,
+        technology: "1um Nb/AlOx/Nb",
+    },
+    Table2Entry {
+        reference: "[10]",
+        kind: UnitKind::Multiplier,
+        bits: 8,
+        jj: 5948,
+        latency_ps: 447.0,
+        arch: ArchStyle::WavePipelined,
+        technology: "ISTEC 1.0um 10 kA/cm2",
+    },
+    Table2Entry {
+        reference: "[40]",
+        kind: UnitKind::Multiplier,
+        bits: 16,
+        jj: 9232,
+        latency_ps: 5120.0,
+        arch: ArchStyle::SystolicArray,
+        technology: "**",
+    },
+];
+
+/// Least-squares proportional fit `y = slope · bits` over `(bits, y)`
+/// points: `slope = Σxy / Σx²` — the paper's dashed lines.
+fn proportional_fit(points: impl Iterator<Item = (u32, f64)>) -> f64 {
+    let (mut sxy, mut sxx) = (0.0, 0.0);
+    for (x, y) in points {
+        let x = f64::from(x);
+        sxy += x * y;
+        sxx += x * x;
+    }
+    sxy / sxx.max(f64::MIN_POSITIVE)
+}
+
+/// Fitted binary adder area in JJs at `bits` (all non-BP Table 2 adders).
+pub fn adder_jj(bits: u32) -> f64 {
+    let slope = proportional_fit(
+        TABLE2
+            .iter()
+            .filter(|e| e.kind == UnitKind::Adder)
+            .map(|e| (e.bits, e.jj as f64)),
+    );
+    slope * f64::from(bits)
+}
+
+/// Fitted binary adder latency in picoseconds at `bits`.
+pub fn adder_latency_ps(bits: u32) -> f64 {
+    let slope = proportional_fit(
+        TABLE2
+            .iter()
+            .filter(|e| e.kind == UnitKind::Adder)
+            .map(|e| (e.bits, e.latency_ps)),
+    );
+    slope * f64::from(bits)
+}
+
+/// Fitted binary (non-bit-parallel) multiplier area in JJs at `bits`.
+pub fn multiplier_jj(bits: u32) -> f64 {
+    let slope = proportional_fit(
+        TABLE2
+            .iter()
+            .filter(|e| e.kind == UnitKind::Multiplier && e.arch != ArchStyle::BitParallel)
+            .map(|e| (e.bits, e.jj as f64)),
+    );
+    slope * f64::from(bits)
+}
+
+/// Fitted binary (non-bit-parallel) multiplier latency in ps at `bits`.
+pub fn multiplier_latency_ps(bits: u32) -> f64 {
+    let slope = proportional_fit(
+        TABLE2
+            .iter()
+            .filter(|e| e.kind == UnitKind::Multiplier && e.arch != ArchStyle::BitParallel)
+            .map(|e| (e.bits, e.latency_ps)),
+    );
+    slope * f64::from(bits)
+}
+
+/// The bit-parallel reference point: Nagaoka et al.'s 48 GHz 8-bit
+/// multiplier — 17 kJJ, 333 ps latency (paper ref 37).
+pub fn bit_parallel_multiplier() -> Table2Entry {
+    *TABLE2
+        .iter()
+        .find(|e| e.kind == UnitKind::Multiplier && e.arch == ArchStyle::BitParallel)
+        .expect("table contains the BP multiplier")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_all_ten_rows() {
+        assert_eq!(TABLE2.len(), 10);
+        assert_eq!(
+            TABLE2.iter().filter(|e| e.kind == UnitKind::Adder).count(),
+            5
+        );
+    }
+
+    #[test]
+    fn fits_pass_near_the_data() {
+        // Slopes derived above: adders ≈ 788 JJ/bit, multipliers
+        // (non-BP) ≈ 604 JJ/bit.
+        let a8 = adder_jj(8);
+        assert!((5500.0..=7500.0).contains(&a8), "adder_jj(8) = {a8}");
+        let m8 = multiplier_jj(8);
+        assert!((4000.0..=6000.0).contains(&m8), "multiplier_jj(8) = {m8}");
+    }
+
+    #[test]
+    fn latency_fits_are_positive_and_linear() {
+        assert!(adder_latency_ps(8) > 100.0);
+        assert!(multiplier_latency_ps(8) > 1000.0);
+        let r = multiplier_latency_ps(16) / multiplier_latency_ps(8);
+        assert!((r - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bp_reference_point() {
+        let bp = bit_parallel_multiplier();
+        assert_eq!(bp.jj, 17_000);
+        assert_eq!(bp.latency_ps, 333.0);
+        assert_eq!(bp.bits, 8);
+    }
+
+    /// The paper's savings anchors recomputed from the table.
+    #[test]
+    fn paper_savings_anchors() {
+        // Bipolar U-SFQ multiplier (46 JJ) vs BP: ≈ 370×.
+        let savings = bit_parallel_multiplier().jj as f64 / 46.0;
+        assert!((350.0..=390.0).contains(&savings));
+        // Balancer (84 JJ) vs adders: 11×–200×.
+        let low = 931.0 / 84.0;
+        let high = 16683.0 / 84.0;
+        assert!(low > 10.0 && high < 210.0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Benchmarks of the three accelerators: PE MACs, DPU dot products,
+//! and FIR sample throughput (the machinery behind Figs. 14, 16, 18).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use usfq_core::accel::{DotProductUnit, ProcessingElement, UsfqFir};
+use usfq_encoding::Epoch;
+
+fn bench_pe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("accel/pe_mac");
+    let epoch = Epoch::with_slot(6, usfq_cells::catalog::t_bff()).unwrap();
+    let pe = ProcessingElement::new(epoch);
+    group.bench_function("structural", |b| {
+        b.iter(|| pe.mac(0.5, 0.75, 0.25).unwrap())
+    });
+    group.bench_function("functional", |b| {
+        b.iter(|| pe.mac_functional(0.5, 0.75, 0.25).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_dpu(c: &mut Criterion) {
+    let mut group = c.benchmark_group("accel/dpu_dot");
+    for &lanes in &[8usize, 32] {
+        let epoch = Epoch::with_slot(8, usfq_cells::catalog::t_bff()).unwrap();
+        let dpu = DotProductUnit::new(epoch, lanes).unwrap();
+        let a: Vec<f64> = (0..lanes).map(|i| ((i * 7 % 13) as f64 - 6.0) / 6.0).collect();
+        let b: Vec<f64> = (0..lanes).map(|i| ((i * 5 % 11) as f64 - 5.0) / 5.0).collect();
+        group.bench_with_input(BenchmarkId::new("functional", lanes), &lanes, |bench, _| {
+            bench.iter(|| dpu.dot_functional(&a, &b).unwrap())
+        });
+        if lanes <= 8 {
+            group.bench_with_input(
+                BenchmarkId::new("structural", lanes),
+                &lanes,
+                |bench, _| bench.iter(|| dpu.dot(&a, &b).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_monolithic_dpu(c: &mut Criterion) {
+    let mut group = c.benchmark_group("accel/dpu_monolithic");
+    let epoch = Epoch::with_slot(5, usfq_cells::catalog::t_bff()).unwrap();
+    let dpu = DotProductUnit::new(epoch, 4).unwrap();
+    let a = [0.5, -0.25, 0.75, -1.0];
+    let b = [0.25, 0.5, -0.5, 0.125];
+    group.bench_function("one_circuit_4x5b", |bench| {
+        bench.iter(|| dpu.dot_monolithic(&a, &b).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_structural_fir(c: &mut Criterion) {
+    use usfq_core::accel::StructuralFir;
+    let mut group = c.benchmark_group("accel/fir_structural");
+    group.sample_size(10);
+    let coeffs = [0.5, 0.3, 0.2];
+    let input: Vec<f64> = (0..8).map(|i| (i as f64 * 0.4).sin() * 0.8).collect();
+    group.bench_function("3taps_5b_8samples", |bench| {
+        bench.iter(|| {
+            let mut fir = StructuralFir::new(&coeffs, 5).unwrap();
+            fir.filter(&input).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_fir(c: &mut Criterion) {
+    let mut group = c.benchmark_group("accel/fir_sample");
+    let input: Vec<f64> = (0..256).map(|i| (i as f64 * 0.13).sin() * 0.8).collect();
+    for &(taps, bits) in &[(16usize, 8u32), (16, 12), (32, 8)] {
+        let coeffs: Vec<f64> = (0..taps).map(|k| 1.0 / (k as f64 + 2.0)).collect();
+        group.bench_with_input(
+            BenchmarkId::new("unary", format!("{taps}taps_{bits}b")),
+            &bits,
+            |bench, _| {
+                bench.iter(|| {
+                    let mut fir = UsfqFir::new(&coeffs, bits).unwrap();
+                    fir.filter(&input).unwrap()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("binary", format!("{taps}taps_{bits}b")),
+            &bits,
+            |bench, _| {
+                bench.iter(|| {
+                    let mut fir = usfq_baseline::datapath::BinaryFir::new(&coeffs, bits);
+                    fir.filter(&input)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pe,
+    bench_dpu,
+    bench_monolithic_dpu,
+    bench_structural_fir,
+    bench_fir
+);
+criterion_main!(benches);

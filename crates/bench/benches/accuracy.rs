@@ -1,0 +1,52 @@
+//! Benchmarks of the Fig. 19 accuracy experiment: full SNR evaluation
+//! under fault injection for the unary and binary filters.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use usfq_baseline::datapath::BinaryFir;
+use usfq_core::accel::{FaultModel, UsfqFir};
+use usfq_dsp::{design, metrics, signal};
+
+fn bench_snr_experiment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("accuracy/snr_sweep");
+    let fs = 32_000.0;
+    let x = signal::paper_test_signal(fs, 512);
+    let h = design::paper_filter(fs);
+    for &rate in &[0.0f64, 0.3] {
+        group.bench_with_input(
+            BenchmarkId::new("unary", format!("{}pct", (rate * 100.0) as u32)),
+            &rate,
+            |b, &rate| {
+                b.iter(|| {
+                    let mut fir = UsfqFir::new(&h, 12)
+                        .unwrap()
+                        .with_faults(
+                            FaultModel {
+                                stream_loss: rate,
+                                rl_loss: 0.0,
+                                rl_delay: rate,
+                            },
+                            1,
+                        )
+                        .unwrap();
+                    let y = fir.filter(&x).unwrap();
+                    metrics::tone_snr(&y, 1_000.0, fs)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("binary", format!("{}pct", (rate * 100.0) as u32)),
+            &rate,
+            |b, &rate| {
+                b.iter(|| {
+                    let mut fir = BinaryFir::new(&h, 12).with_bit_flips(rate, 1);
+                    let y = fir.filter(&x);
+                    metrics::tone_snr(&y, 1_000.0, fs)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_snr_experiment);
+criterion_main!(benches);

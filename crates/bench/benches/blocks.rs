@@ -1,0 +1,65 @@
+//! Benchmarks of the U-SFQ building blocks — pulse-level simulation vs
+//! the functional mirrors (the machinery behind Figs. 4 and 8).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use usfq_core::blocks::{BalancerAdder, BipolarMultiplier, CountingNetwork, UnipolarMultiplier};
+use usfq_encoding::{Epoch, PulseStream};
+
+fn bench_multiplier(c: &mut Criterion) {
+    let mut group = c.benchmark_group("blocks/unipolar_multiplier");
+    for &bits in &[4u32, 6, 8] {
+        let epoch = Epoch::from_bits(bits).unwrap();
+        let mult = UnipolarMultiplier::new(epoch);
+        group.bench_with_input(BenchmarkId::new("structural", bits), &bits, |b, _| {
+            b.iter(|| mult.multiply(0.75, 0.5).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("functional", bits), &bits, |b, _| {
+            b.iter(|| mult.multiply_functional(0.75, 0.5).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_bipolar(c: &mut Criterion) {
+    let mut group = c.benchmark_group("blocks/bipolar_multiplier");
+    for &bits in &[4u32, 6, 8] {
+        let epoch = Epoch::from_bits(bits).unwrap();
+        let mult = BipolarMultiplier::new(epoch);
+        group.bench_with_input(BenchmarkId::new("structural", bits), &bits, |b, _| {
+            b.iter(|| mult.multiply(-0.5, 0.75).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("functional", bits), &bits, |b, _| {
+            b.iter(|| mult.multiply_functional(-0.5, 0.75).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_adders(c: &mut Criterion) {
+    let mut group = c.benchmark_group("blocks/adders");
+    let epoch = Epoch::with_slot(6, usfq_cells::catalog::t_bff()).unwrap();
+    let a = PulseStream::from_unipolar(0.75, epoch).unwrap();
+    let b = PulseStream::from_unipolar(0.5, epoch).unwrap();
+    let adder = BalancerAdder::new(epoch);
+    group.bench_function("balancer_structural", |bench| {
+        bench.iter(|| adder.add(a, b).unwrap())
+    });
+    group.bench_function("balancer_functional", |bench| {
+        bench.iter(|| adder.add_functional(a, b).unwrap())
+    });
+    for &width in &[8usize, 32] {
+        let net = CountingNetwork::new(epoch, width).unwrap();
+        let streams: Vec<_> = (0..width)
+            .map(|i| PulseStream::from_count((i % 8) as u64, epoch).unwrap())
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("counting_network", width),
+            &width,
+            |bench, _| bench.iter(|| net.accumulate(&streams).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_multiplier, bench_bipolar, bench_adders);
+criterion_main!(benches);

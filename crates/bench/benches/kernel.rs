@@ -1,0 +1,90 @@
+//! Microbenchmarks of the discrete-event kernel itself: event
+//! throughput through delay chains and balancer trees.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use usfq_cells::balancer::Balancer;
+use usfq_sim::component::Buffer;
+use usfq_sim::{Circuit, Simulator, Time};
+
+/// Pulses through a chain of N buffers: N events per pulse.
+fn bench_delay_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel/delay_chain");
+    for &stages in &[16usize, 128, 1024] {
+        group.bench_with_input(BenchmarkId::from_parameter(stages), &stages, |b, &stages| {
+            b.iter(|| {
+                let mut circuit = Circuit::new();
+                let input = circuit.input("in");
+                let mut prev = None;
+                for i in 0..stages {
+                    let buf = circuit.add(Buffer::new(format!("b{i}"), Time::from_ps(3.0)));
+                    match prev {
+                        None => circuit
+                            .connect_input(input, buf.input(0), Time::ZERO)
+                            .unwrap(),
+                        Some(p) => circuit.connect(p, buf.input(0), Time::ZERO).unwrap(),
+                    }
+                    prev = Some(buf.output(0));
+                }
+                let probe = circuit.probe(prev.unwrap(), "out");
+                let mut sim = Simulator::new(circuit);
+                for k in 0..32u64 {
+                    sim.schedule_input(input, Time::from_ps(20.0 * k as f64)).unwrap();
+                }
+                sim.run().unwrap();
+                assert_eq!(sim.probe_count(probe), 32);
+            });
+        });
+    }
+    group.finish();
+}
+
+/// A wide balancer tree under full load.
+fn bench_balancer_tree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel/balancer_tree");
+    for &width in &[8usize, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(width), &width, |b, &width| {
+            b.iter(|| {
+                let mut circuit = Circuit::new();
+                let inputs: Vec<_> = (0..width).map(|i| circuit.input(format!("a{i}"))).collect();
+                let mut lanes: Vec<_> = inputs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &input)| {
+                        let buf = circuit.add(Buffer::new(format!("in{i}"), Time::ZERO));
+                        circuit.connect_input(input, buf.input(0), Time::ZERO).unwrap();
+                        buf.output(0)
+                    })
+                    .collect();
+                let mut id = 0;
+                while lanes.len() > 1 {
+                    let mut next = Vec::new();
+                    for pair in lanes.chunks(2) {
+                        let bal = circuit.add(Balancer::new(format!("b{id}")));
+                        id += 1;
+                        circuit.connect(pair[0], bal.input(0), Time::ZERO).unwrap();
+                        circuit.connect(pair[1], bal.input(1), Time::ZERO).unwrap();
+                        next.push(bal.output(0));
+                    }
+                    lanes = next;
+                }
+                let probe = circuit.probe(lanes[0], "top");
+                let mut sim = Simulator::new(circuit);
+                for (i, &input) in inputs.iter().enumerate() {
+                    for k in 0..16u64 {
+                        sim.schedule_input(
+                            input,
+                            Time::from_ps(24.0 * k as f64 + i as f64),
+                        )
+                        .unwrap();
+                    }
+                }
+                sim.run().unwrap();
+                assert!(sim.probe_count(probe) > 0);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_delay_chain, bench_balancer_tree);
+criterion_main!(benches);

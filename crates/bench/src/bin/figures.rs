@@ -1,0 +1,92 @@
+//! Regenerates the paper's tables and figures as text (and optionally
+//! JSON series for external plotting).
+//!
+//! ```text
+//! figures                # run everything
+//! figures fig18 fig19    # run selected artefacts
+//! figures --list         # list artefact ids
+//! figures --json out/    # also dump JSON series where available
+//! ```
+
+use std::env;
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let mut json_dir: Option<PathBuf> = None;
+    let mut selected: Vec<String> = Vec::new();
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--list" => {
+                for (id, title, _) in usfq_bench::all_experiments() {
+                    println!("{id:<8} {title}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--json" => match iter.next() {
+                Some(dir) => json_dir = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--json requires a directory argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => selected.push(other.to_string()),
+        }
+    }
+
+    let experiments = usfq_bench::all_experiments();
+    let to_run: Vec<_> = if selected.is_empty() {
+        experiments
+    } else {
+        let known: Vec<&str> = experiments.iter().map(|(id, _, _)| *id).collect();
+        for want in &selected {
+            if !known.contains(&want.as_str()) {
+                eprintln!("unknown artefact `{want}`; try --list");
+                return ExitCode::FAILURE;
+            }
+        }
+        experiments
+            .into_iter()
+            .filter(|(id, _, _)| selected.iter().any(|s| s == id))
+            .collect()
+    };
+
+    for (id, title, run) in to_run {
+        println!("==============================================================");
+        println!("{id}: {title}");
+        println!("==============================================================");
+        println!("{}", run());
+        if let Some(dir) = &json_dir {
+            if let Some(json) = json_series(id) {
+                if let Err(e) = fs::create_dir_all(dir)
+                    .and_then(|_| fs::write(dir.join(format!("{id}.json")), json))
+                {
+                    eprintln!("failed to write {id}.json: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// JSON dumps for the numeric sweeps (the waveform figures have no
+/// natural series).
+fn json_series(id: &str) -> Option<String> {
+    use usfq_bench::experiments::*;
+    let value = match id {
+        "fig4" => serde_json::to_string_pretty(&fig4::series()),
+        "fig8" => serde_json::to_string_pretty(&fig8::series()),
+        "fig12" => serde_json::to_string_pretty(&fig12::series()),
+        "fig14" => serde_json::to_string_pretty(&fig14::series()),
+        "fig16" => serde_json::to_string_pretty(&fig16::series()),
+        "fig18" => serde_json::to_string_pretty(&fig18::series()),
+        "fig19" => serde_json::to_string_pretty(&fig19::snr_sweep()),
+        "fig21" => serde_json::to_string_pretty(&fig21::series()),
+        _ => return None,
+    };
+    value.ok()
+}

@@ -1,0 +1,285 @@
+//! Ablation studies of the U-SFQ design choices — not paper figures,
+//! but quantified versions of the design arguments the paper makes in
+//! prose:
+//!
+//! 1. **Merger vs balancer adder** under load: how much accuracy the
+//!    Fig. 5 collision loss actually costs, and what the balancer buys.
+//! 2. **Wire-delay jitter tolerance**: the structural multiplier's
+//!    product error as Gaussian delay variation grows (§5.4.1's error
+//!    source iii at circuit level).
+//! 3. **Counting-tree rounding bias** vs tree width: the accumulated
+//!    ±0.5-pulse per-stage effect (§5.4.1).
+
+use serde::Serialize;
+use usfq_core::blocks::{CountingNetwork, MergerAdder, UnipolarMultiplier};
+use usfq_encoding::{Epoch, PulseStream, RlValue};
+use usfq_sim::{Circuit, Simulator, Time};
+
+use crate::render;
+
+/// Ablation 1: adding `lanes` streams of combined load `load` (fraction
+/// of each lane's full rate) through a merger tree vs a balancer tree.
+/// Returns rows of `(lanes, load, merger relative error, balancer
+/// relative error)`.
+#[derive(Debug, Clone, Serialize)]
+pub struct AdderAblationPoint {
+    /// Number of input streams.
+    pub lanes: usize,
+    /// Per-lane activity (fraction of full rate).
+    pub load: f64,
+    /// Merger-tree result error relative to the true sum.
+    pub merger_rel_error: f64,
+    /// Balancer-tree result error relative to the true sum.
+    pub balancer_rel_error: f64,
+}
+
+/// Runs ablation 1.
+pub fn adder_ablation() -> Vec<AdderAblationPoint> {
+    let epoch = Epoch::with_slot(6, usfq_cells::catalog::t_bff()).unwrap();
+    let mut out = Vec::new();
+    for &lanes in &[4usize, 8] {
+        for &load in &[0.25, 0.5, 1.0] {
+            let streams: Vec<PulseStream> = (0..lanes)
+                .map(|_| PulseStream::from_unipolar(load, epoch).unwrap())
+                .collect();
+            let true_sum: u64 = streams.iter().map(PulseStream::count).sum();
+
+            let merger = MergerAdder::new(epoch, lanes).unwrap();
+            let m = merger.add(&streams).unwrap();
+            let merger_rel_error =
+                (true_sum - m.raw_count) as f64 / true_sum as f64;
+
+            let net = CountingNetwork::new(epoch, lanes).unwrap();
+            let top = net.accumulate(&streams).unwrap();
+            let balancer_rel_error = (top.count() as f64 * lanes as f64 - true_sum as f64)
+                .abs()
+                / true_sum as f64;
+
+            out.push(AdderAblationPoint {
+                lanes,
+                load,
+                merger_rel_error,
+                balancer_rel_error,
+            });
+        }
+    }
+    out
+}
+
+/// Ablation 2: structural unipolar-multiplier product error (in pulses)
+/// as wire jitter grows. Returns `(sigma_ps, mean absolute pulse
+/// error over an operand grid)`.
+pub fn jitter_ablation() -> Vec<(f64, f64)> {
+    [0.0, 1.0, 2.0, 4.0, 8.0]
+        .iter()
+        .map(|&sigma_ps| {
+            let epoch = Epoch::from_bits(6).unwrap();
+            let mut total_err = 0.0;
+            let mut cases = 0.0;
+            for a_i in 1..=4u64 {
+                for b_i in 1..=4u64 {
+                    let a = a_i as f64 / 4.0;
+                    let b = b_i as f64 / 4.0;
+                    let got = multiply_with_jitter(epoch, a, b, sigma_ps);
+                    let want = UnipolarMultiplier::new(epoch)
+                        .multiply_functional(a, b)
+                        .unwrap()
+                        .count() as f64;
+                    total_err += (got as f64 - want).abs();
+                    cases += 1.0;
+                }
+            }
+            (sigma_ps, total_err / cases)
+        })
+        .collect()
+}
+
+/// One jittered structural multiplication, returning the output count.
+fn multiply_with_jitter(epoch: Epoch, a: f64, b: f64, sigma_ps: f64) -> u64 {
+    use usfq_cells::storage::Ndro;
+    let mut c = Circuit::new();
+    let in_e = c.input("E");
+    let in_b = c.input("B");
+    let in_a = c.input("A");
+    let ndro = c.add(Ndro::new("ndro"));
+    c.connect_input(in_e, ndro.input(Ndro::IN_S), Time::ZERO).unwrap();
+    // A real layout has a JTL run on each operand; jitter acts there.
+    c.connect_input(in_b, ndro.input(Ndro::IN_R), Time::from_ps(30.0)).unwrap();
+    c.connect_input(in_a, ndro.input(Ndro::IN_CLK), Time::from_ps(30.0)).unwrap();
+    let q = c.probe(ndro.output(Ndro::OUT_Q), "q");
+    let mut sim = Simulator::new(c);
+    if sigma_ps > 0.0 {
+        sim.enable_wire_jitter(Time::from_ps(sigma_ps), 11);
+    }
+    let stream = PulseStream::from_unipolar(a, epoch).unwrap();
+    let gate = RlValue::from_unipolar(b, epoch).unwrap();
+    sim.schedule_input(in_e, Time::ZERO).unwrap();
+    sim.schedule_input(in_b, gate.pulse_time_from(Time::ZERO)).unwrap();
+    sim.schedule_pulses(in_a, stream.schedule_from(Time::ZERO)).unwrap();
+    sim.run().unwrap();
+    sim.probe_count(q) as u64
+}
+
+/// Ablation 3: counting-tree rounding bias vs width — the root count
+/// against the exact average, for a worst-case all-odd load.
+pub fn tree_bias_ablation() -> Vec<(usize, f64)> {
+    let epoch = Epoch::with_slot(6, usfq_cells::catalog::t_bff()).unwrap();
+    [2usize, 4, 8, 16]
+        .iter()
+        .map(|&width| {
+            // Odd counts at every leaf maximise per-stage rounding.
+            let streams: Vec<PulseStream> = (0..width)
+                .map(|i| PulseStream::from_count(2 * (i as u64 % 8) + 1, epoch).unwrap())
+                .collect();
+            let net = CountingNetwork::new(epoch, width).unwrap();
+            let top = net.accumulate_functional(&streams).unwrap();
+            let true_sum: u64 = streams.iter().map(PulseStream::count).sum();
+            let exact = true_sum as f64 / width as f64;
+            (width, top.count() as f64 - exact)
+        })
+        .collect()
+}
+
+/// Ablation 4: PNM uniformity, Fig. 9a (TFF) vs Fig. 9b (TFF2) — the
+/// worst prefix-count discrepancy from an ideal uniform stream, in
+/// pulses, for each variant.
+pub fn pnm_uniformity_ablation() -> Vec<(String, u64, f64)> {
+    use usfq_core::blocks::{PnmVariant, PulseNumberMultiplier};
+    let epoch = Epoch::with_slot(6, usfq_cells::catalog::t_tff2()).unwrap();
+    let mut out = Vec::new();
+    for (label, variant) in [
+        ("TFF (Fig. 9a)", PnmVariant::Legacy),
+        ("TFF2 (Fig. 9b)", PnmVariant::Uniform),
+    ] {
+        for &word in &[21u64, 43, 63] {
+            let pnm = PulseNumberMultiplier::with_variant(epoch, variant);
+            let (stream, times) = pnm.generate_with_times(word).unwrap();
+            assert_eq!(stream.count(), word);
+            let span = pnm.latency().as_fs() as f64;
+            let mut worst = 0.0f64;
+            for (i, &t) in times.iter().enumerate() {
+                let ideal = t.as_fs() as f64 / span * word as f64;
+                worst = worst.max((i as f64 - ideal).abs());
+            }
+            out.push((label.to_string(), word, worst));
+        }
+    }
+    out
+}
+
+/// Renders all three ablations.
+pub fn render() -> String {
+    let mut out = String::from("(1) merger vs balancer adder accuracy under load\n");
+    let rows: Vec<Vec<String>> = adder_ablation()
+        .iter()
+        .map(|p| {
+            vec![
+                p.lanes.to_string(),
+                format!("{:.2}", p.load),
+                format!("{:.1}%", p.merger_rel_error * 100.0),
+                format!("{:.1}%", p.balancer_rel_error * 100.0),
+            ]
+        })
+        .collect();
+    out.push_str(&render::table(
+        &["lanes", "load", "merger loss", "balancer error"],
+        &rows,
+    ));
+
+    out.push_str("\n(2) structural multiplier error vs wire jitter\n");
+    for (sigma, err) in jitter_ablation() {
+        out.push_str(&format!("  sigma {sigma:>4.1} ps: mean |error| {err:.2} pulses\n"));
+    }
+
+    out.push_str("\n(3) counting-tree rounding bias vs width (all-odd load)\n");
+    for (width, bias) in tree_bias_ablation() {
+        out.push_str(&format!("  width {width:>3}: root - exact = {bias:+.2} pulses\n"));
+    }
+
+    out.push_str("\n(4) PNM uniformity: worst prefix discrepancy [pulses]\n");
+    for (label, word, worst) in pnm_uniformity_ablation() {
+        out.push_str(&format!("  {label:<15} word {word:>3}: {worst:.2}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The balancer's raison d'être: under full load the merger tree
+    /// loses a large fraction of pulses, the balancer tree almost none.
+    #[test]
+    fn balancer_beats_merger_under_load() {
+        let pts = adder_ablation();
+        let heavy = pts
+            .iter()
+            .find(|p| p.lanes == 8 && p.load == 1.0)
+            .unwrap();
+        assert!(heavy.merger_rel_error > 0.2, "merger {}", heavy.merger_rel_error);
+        assert!(
+            heavy.balancer_rel_error < 0.1,
+            "balancer {}",
+            heavy.balancer_rel_error
+        );
+        // At light load both are accurate.
+        let light = pts
+            .iter()
+            .find(|p| p.lanes == 4 && p.load == 0.25)
+            .unwrap();
+        assert!(light.merger_rel_error < 0.15);
+    }
+
+    /// Product error grows monotonically-ish with jitter and is zero
+    /// without it.
+    #[test]
+    fn jitter_degrades_gracefully() {
+        let curve = jitter_ablation();
+        assert_eq!(curve[0].1, 0.0, "no jitter, no error");
+        let last = curve.last().unwrap();
+        assert!(last.1 > 0.0, "heavy jitter must perturb");
+        assert!(last.1 < 8.0, "but only by a few pulses of 64");
+    }
+
+    /// Tree bias stays within one pulse per stage.
+    #[test]
+    fn tree_bias_bounded_by_depth() {
+        for (width, bias) in tree_bias_ablation() {
+            let depth = width.trailing_zeros() as f64;
+            assert!(bias.abs() <= depth, "width {width}: bias {bias}");
+            assert!(bias >= 0.0, "ceil rounding biases upward");
+        }
+    }
+
+    #[test]
+    fn renders() {
+        let s = super::render();
+        assert!(s.contains("merger loss"));
+        assert!(s.contains("wire jitter"));
+        assert!(s.contains("rounding bias"));
+        assert!(s.contains("PNM uniformity"));
+    }
+
+    /// The paper's Fig. 9 claim, quantified: the TFF2 chain is strictly
+    /// more uniform than the plain TFF chain for every word.
+    #[test]
+    fn tff2_is_more_uniform_than_tff() {
+        let rows = pnm_uniformity_ablation();
+        for word in [21u64, 43, 63] {
+            let legacy = rows
+                .iter()
+                .find(|(l, w, _)| l.starts_with("TFF ") && *w == word)
+                .unwrap()
+                .2;
+            let uniform = rows
+                .iter()
+                .find(|(l, w, _)| l.starts_with("TFF2") && *w == word)
+                .unwrap()
+                .2;
+            assert!(
+                uniform < legacy,
+                "word {word}: TFF2 {uniform} not below TFF {legacy}"
+            );
+        }
+    }
+}

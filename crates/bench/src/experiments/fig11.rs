@@ -1,0 +1,104 @@
+//! Fig. 11: simulated waveforms of the integrator-based RL buffer —
+//! the input pulse re-appears with its slot offset intact one epoch
+//! later, while the inductor current ramps up and back down.
+
+use usfq_core::blocks::IntegratorBuffer;
+use usfq_sim::trace::{Waveform, WaveformSet};
+use usfq_sim::{Circuit, Simulator, Time};
+
+/// Epoch geometry used for the figure (4 bits × 10 ps slots = 160 ps).
+fn epoch() -> usfq_encoding::Epoch {
+    usfq_encoding::Epoch::with_slot(4, Time::from_ps(10.0)).unwrap()
+}
+
+/// Runs the buffer with an RL input in slot 5 and returns
+/// `(waveforms, inductor current samples)` — the current is the
+/// piecewise-linear charge/discharge ramp of the paper's Fig. 11,
+/// sampled per slot in arbitrary units.
+pub fn waveforms() -> (WaveformSet, Vec<(f64, f64)>) {
+    let e = epoch();
+    let mut c = Circuit::new();
+    let input = c.input("IN");
+    let buf = c.add(IntegratorBuffer::new("buf", e));
+    c.connect_input(input, buf.input(IntegratorBuffer::IN), Time::ZERO).unwrap();
+    let out = c.probe(buf.output(IntegratorBuffer::OUT), "OUT");
+    let p_in = c.probe_input(input, "IN");
+
+    let mut sim = Simulator::new(c);
+    let rl = usfq_encoding::RlValue::from_slot(5, e).unwrap();
+    let t_in = rl.pulse_time_from(Time::ZERO);
+    sim.schedule_input(input, t_in).unwrap();
+    sim.run().unwrap();
+
+    let epoch_marks = Waveform::new("E", vec![Time::ZERO, e.duration(), e.duration().scale(2)]);
+    let set: WaveformSet = [
+        epoch_marks,
+        Waveform::new("IN", sim.probe_times(p_in).to_vec()),
+        Waveform::new("OUT", sim.probe_times(out).to_vec()),
+    ]
+    .into_iter()
+    .collect();
+
+    // Inductor current: ramps from 0 at t_in to peak at t_in + T/2
+    // (J1 kickback), back to 0 at t_in + T (J2 kickback → output).
+    let t0 = t_in.as_ps();
+    let half = e.duration().as_ps() / 2.0;
+    let samples: Vec<(f64, f64)> = (0..=32)
+        .map(|i| {
+            let t = i as f64 * e.duration().as_ps() * 2.0 / 32.0;
+            let i_l = if t < t0 {
+                0.0
+            } else if t < t0 + half {
+                (t - t0) / half
+            } else if t < t0 + 2.0 * half {
+                1.0 - (t - t0 - half) / half
+            } else {
+                0.0
+            };
+            (t, i_l)
+        })
+        .collect();
+    (set, samples)
+}
+
+/// Renders the timing diagram and the inductor-current ramp.
+pub fn render() -> String {
+    let (set, current) = waveforms();
+    let mut out = set.render_ascii(96);
+    out.push_str("\nI_L (normalised inductor current):\n");
+    for (t, i) in &current {
+        let bar = "#".repeat((i * 40.0).round() as usize);
+        out.push_str(&format!("{t:>7.1} ps |{bar}\n"));
+    }
+    let e = epoch();
+    let in_t = set.waves()[1].pulses()[0];
+    let out_t = set.waves()[2].pulses()[0];
+    out.push_str(&format!(
+        "\ninput at {in_t}, output at {out_t}: delayed by exactly one epoch ({})\n",
+        e.duration()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn output_delayed_one_epoch_same_slot() {
+        let (set, current) = super::waveforms();
+        let e = super::epoch();
+        let t_in = set.waves()[1].pulses()[0];
+        let t_out = set.waves()[2].pulses()[0];
+        assert_eq!(t_out, t_in + e.duration());
+        // Ramp peaks mid-way and returns to zero.
+        let peak = current.iter().map(|&(_, i)| i).fold(0.0f64, f64::max);
+        assert!(peak > 0.9);
+        assert_eq!(current.last().unwrap().1, 0.0);
+    }
+
+    #[test]
+    fn renders() {
+        let s = super::render();
+        assert!(s.contains("I_L"));
+        assert!(s.contains("one epoch"));
+    }
+}

@@ -1,0 +1,86 @@
+//! Fig. 12: area of the four RL shift-register constructions over
+//! 8–16 bits, for a 32-word register.
+
+use serde::Serialize;
+use usfq_core::blocks::ShiftRegisterKind;
+
+use crate::render;
+
+/// Register depth used by the figure.
+pub const WORDS: u64 = 32;
+
+/// One sweep point: JJ counts per construction.
+#[derive(Debug, Clone, Serialize)]
+pub struct Point {
+    /// Bit resolution.
+    pub bits: u32,
+    /// Plain binary DFF bank.
+    pub binary_jj: u64,
+    /// Binary bank + binary-to-RL converters.
+    pub b2rc_jj: u64,
+    /// One DFF per time slot.
+    pub dff_rl_jj: u64,
+    /// Integrator-buffer memory cells (the paper's proposal).
+    pub buffer_jj: u64,
+}
+
+/// The data series.
+pub fn series() -> Vec<Point> {
+    (8..=16)
+        .map(|bits| Point {
+            bits,
+            binary_jj: ShiftRegisterKind::Binary.area_jj(bits, WORDS),
+            b2rc_jj: ShiftRegisterKind::B2rc.area_jj(bits, WORDS),
+            dff_rl_jj: ShiftRegisterKind::DffRl.area_jj(bits, WORDS),
+            buffer_jj: ShiftRegisterKind::IntegratorBuffer.area_jj(bits, WORDS),
+        })
+        .collect()
+}
+
+/// Renders the figure's rows.
+pub fn render() -> String {
+    let rows: Vec<Vec<String>> = series()
+        .iter()
+        .map(|p| {
+            vec![
+                p.bits.to_string(),
+                p.binary_jj.to_string(),
+                p.b2rc_jj.to_string(),
+                p.dff_rl_jj.to_string(),
+                p.buffer_jj.to_string(),
+                format!("{:.2}x", p.buffer_jj as f64 / p.binary_jj as f64),
+            ]
+        })
+        .collect();
+    render::table(
+        &[
+            "bits",
+            "binary JJ",
+            "B2RC JJ",
+            "DFF-RL JJ",
+            "buffer JJ",
+            "buffer/binary",
+        ],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    /// Paper §4.4: B2RC ≈ 3.2× binary; DFF-RL exponential; the buffer
+    /// constant, 2.5× binary at 8 bits shrinking to 1.3× at 16.
+    #[test]
+    fn figure_shape() {
+        let pts = super::series();
+        let p8 = &pts[0];
+        let p16 = pts.last().unwrap();
+        assert!((p8.b2rc_jj as f64 / p8.binary_jj as f64 - 3.2).abs() < 0.05);
+        assert!(p16.dff_rl_jj > 100 * p16.b2rc_jj);
+        assert_eq!(p8.buffer_jj, p16.buffer_jj, "buffer area constant in bits");
+        let r8 = p8.buffer_jj as f64 / p8.binary_jj as f64;
+        let r16 = p16.buffer_jj as f64 / p16.binary_jj as f64;
+        assert!((2.2..=2.8).contains(&r8), "{r8}");
+        assert!((1.1..=1.5).contains(&r16), "{r16}");
+        assert!(super::render().contains("buffer/binary"));
+    }
+}

@@ -1,0 +1,109 @@
+//! Fig. 14: (a) PE latency vs bits, unary against the binary MAC;
+//! (b) area at equal throughput — the number of 126-JJ U-SFQ PEs that
+//! match one binary MAC unit, against that unit's area.
+
+use serde::Serialize;
+use usfq_baseline::{comparison, models};
+use usfq_core::model::latency;
+
+use crate::render;
+
+/// One sweep point.
+#[derive(Debug, Clone, Serialize)]
+pub struct Point {
+    /// Bit resolution.
+    pub bits: u32,
+    /// Unary PE MAC latency, ns.
+    pub unary_latency_ns: f64,
+    /// Binary MAC latency (fit), ns.
+    pub binary_latency_ns: f64,
+    /// U-SFQ PEs needed at iso-throughput.
+    pub unary_pes: f64,
+    /// Iso-throughput unary area, JJs.
+    pub unary_jj: f64,
+    /// Binary MAC area (fit), JJs.
+    pub binary_jj: f64,
+    /// Area savings `1 − unary/binary`.
+    pub savings: f64,
+}
+
+/// The data series.
+pub fn series() -> Vec<Point> {
+    (4..=16)
+        .map(|bits| {
+            let iso = comparison::iso_throughput_pe(bits);
+            Point {
+                bits,
+                unary_latency_ns: latency::pe_latency(bits).as_ns(),
+                binary_latency_ns: models::mac_latency(bits).as_ns(),
+                unary_pes: iso.unary_pes,
+                unary_jj: iso.unary_jj,
+                binary_jj: iso.binary_jj,
+                savings: iso.savings,
+            }
+        })
+        .collect()
+}
+
+/// Renders the figure's rows plus the bit-parallel comparison point.
+pub fn render() -> String {
+    let rows: Vec<Vec<String>> = series()
+        .iter()
+        .map(|p| {
+            vec![
+                p.bits.to_string(),
+                format!("{:.3}", p.unary_latency_ns),
+                format!("{:.3}", p.binary_latency_ns),
+                format!("{:.2}", p.unary_pes),
+                format!("{:.0}", p.unary_jj),
+                format!("{:.0}", p.binary_jj),
+                format!("{:.1}%", p.savings * 100.0),
+            ]
+        })
+        .collect();
+    let mut out = render::table(
+        &[
+            "bits",
+            "unary PE lat/ns",
+            "binary MAC lat/ns",
+            "iso-thr PEs",
+            "unary JJ",
+            "binary JJ",
+            "savings",
+        ],
+        &rows,
+    );
+    let bp = comparison::iso_throughput_pe_vs_bit_parallel();
+    out.push_str(&format!(
+        "\nvs 48 GOPs bit-parallel 8-bit PE [37,38]: {:.0} unary PEs, {:.0} vs {:.0} JJ → {:.0}% savings\n",
+        bp.unary_pes,
+        bp.unary_jj,
+        bp.binary_jj,
+        bp.savings * 100.0
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    /// Paper §5.2: individual binary PEs are faster; iso-throughput
+    /// savings are 93–99 % below 12 bits, shrinking at 16.
+    #[test]
+    fn figure_shape() {
+        let pts = super::series();
+        for p in &pts {
+            if p.bits >= 8 {
+                assert!(
+                    p.unary_latency_ns > p.binary_latency_ns,
+                    "binary faster at {} bits",
+                    p.bits
+                );
+            }
+        }
+        let p8 = pts.iter().find(|p| p.bits == 8).unwrap();
+        assert!(p8.savings > 0.93);
+        let p16 = pts.iter().find(|p| p.bits == 16).unwrap();
+        assert!(p16.savings < 0.5 && p16.savings > -0.1, "{}", p16.savings);
+        assert!(super::render().contains("bit-parallel"));
+    }
+}

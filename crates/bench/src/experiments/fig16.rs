@@ -1,0 +1,103 @@
+//! Fig. 16: dot-product-unit area vs bits for 32–256 taps, unary
+//! against the fitted binary MAC unit.
+
+use serde::Serialize;
+use usfq_baseline::models;
+use usfq_core::model::area;
+
+use crate::render;
+
+/// Tap counts swept by the figure.
+pub const TAPS: [usize; 4] = [32, 64, 128, 256];
+
+/// One sweep point.
+#[derive(Debug, Clone, Serialize)]
+pub struct Point {
+    /// Bit resolution.
+    pub bits: u32,
+    /// Vector length / lanes.
+    pub taps: usize,
+    /// Unary DPU area, JJs (independent of bits).
+    pub unary_jj: u64,
+    /// Binary single-MAC area (fit), JJs.
+    pub binary_jj: u64,
+}
+
+/// The data series over `bits ∈ 6..=16` × `TAPS`.
+pub fn series() -> Vec<Point> {
+    let mut pts = Vec::new();
+    for &taps in &TAPS {
+        for bits in 6..=16 {
+            pts.push(Point {
+                bits,
+                taps,
+                unary_jj: area::dpu_jj(taps),
+                binary_jj: models::mac_jj(bits),
+            });
+        }
+    }
+    pts
+}
+
+/// Renders one row per (taps, bits) with the winner.
+pub fn render() -> String {
+    let rows: Vec<Vec<String>> = series()
+        .iter()
+        .filter(|p| p.bits % 2 == 0)
+        .map(|p| {
+            vec![
+                p.taps.to_string(),
+                p.bits.to_string(),
+                p.unary_jj.to_string(),
+                p.binary_jj.to_string(),
+                if p.unary_jj < p.binary_jj {
+                    "unary".into()
+                } else {
+                    "binary".into()
+                },
+            ]
+        })
+        .collect();
+    render::table(&["taps", "bits", "unary JJ", "binary JJ", "smaller"], &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Paper §5.3: unary saves area for L < 64; at L = 128 the two are
+    /// comparable (unary wins only at high bits); beyond 256 the binary
+    /// MAC is smaller.
+    #[test]
+    fn figure_shape() {
+        let find = |taps: usize, bits: u32| {
+            series()
+                .into_iter()
+                .find(|p| p.taps == taps && p.bits == bits)
+                .unwrap()
+        };
+        // L = 32: unary smaller across most of the range.
+        let p = find(32, 8);
+        assert!(p.unary_jj < p.binary_jj);
+        // L = 128: binary smaller at low bits, unary at high bits.
+        let lo = find(128, 8);
+        let hi = find(128, 16);
+        assert!(lo.unary_jj > lo.binary_jj);
+        assert!(hi.unary_jj < hi.binary_jj);
+        // L = 256: binary smaller even at 16 bits.
+        let p = find(256, 16);
+        assert!(p.unary_jj > p.binary_jj);
+        assert!(render().contains("smaller"));
+    }
+
+    /// Unary DPU area does not depend on bit resolution.
+    #[test]
+    fn unary_independent_of_bits() {
+        let a = series()
+            .into_iter()
+            .filter(|p| p.taps == 64)
+            .map(|p| p.unary_jj)
+            .collect::<std::collections::BTreeSet<_>>();
+        assert_eq!(a.len(), 1);
+    }
+}

@@ -1,0 +1,148 @@
+//! Fig. 18: FIR latency, throughput, area, and efficiency for 32 and
+//! 256 taps over 4–16 bits, unary vs binary.
+
+use serde::Serialize;
+use usfq_baseline::models;
+use usfq_core::model::{area, latency};
+
+use crate::render;
+
+/// One sweep point (per taps × bits).
+#[derive(Debug, Clone, Serialize)]
+pub struct Point {
+    /// Bit resolution.
+    pub bits: u32,
+    /// Tap count.
+    pub taps: usize,
+    /// Unary FIR latency, µs.
+    pub unary_latency_us: f64,
+    /// Binary FIR latency, µs.
+    pub binary_latency_us: f64,
+    /// Unary throughput, GOPs (complete FIR computations).
+    pub unary_gops: f64,
+    /// Binary throughput, GOPs.
+    pub binary_gops: f64,
+    /// Unary area, JJs.
+    pub unary_jj: u64,
+    /// Binary area, JJs.
+    pub binary_jj: u64,
+    /// Unary efficiency, kOPs/JJ.
+    pub unary_kops_per_jj: f64,
+    /// Binary efficiency, kOPs/JJ.
+    pub binary_kops_per_jj: f64,
+}
+
+/// The data series for the figure's two tap counts.
+pub fn series() -> Vec<Point> {
+    let mut pts = Vec::new();
+    for &taps in &[32usize, 256] {
+        for bits in 4..=16 {
+            let ul = latency::fir_latency(bits).as_secs();
+            let bl = models::fir_latency(bits, taps).as_secs();
+            let ujj = area::fir_jj(taps, bits);
+            let bjj = models::fir_jj(bits, taps);
+            pts.push(Point {
+                bits,
+                taps,
+                unary_latency_us: ul * 1e6,
+                binary_latency_us: bl * 1e6,
+                unary_gops: 1e-9 / ul,
+                binary_gops: 1e-9 / bl,
+                unary_jj: ujj,
+                binary_jj: bjj,
+                unary_kops_per_jj: 1e-3 / ul / ujj as f64,
+                binary_kops_per_jj: 1e-3 / bl / bjj as f64,
+            });
+        }
+    }
+    pts
+}
+
+/// Renders the four panels' rows.
+pub fn render() -> String {
+    let rows: Vec<Vec<String>> = series()
+        .iter()
+        .map(|p| {
+            vec![
+                p.taps.to_string(),
+                p.bits.to_string(),
+                format!("{:.4}", p.unary_latency_us),
+                format!("{:.4}", p.binary_latency_us),
+                format!("{:.3}", p.unary_gops),
+                format!("{:.3}", p.binary_gops),
+                p.unary_jj.to_string(),
+                p.binary_jj.to_string(),
+                format!("{:.3}", p.unary_kops_per_jj),
+                format!("{:.3}", p.binary_kops_per_jj),
+            ]
+        })
+        .collect();
+    render::table(
+        &[
+            "taps",
+            "bits",
+            "U lat/us",
+            "B lat/us",
+            "U GOPs",
+            "B GOPs",
+            "U JJ",
+            "B JJ",
+            "U kOPs/JJ",
+            "B kOPs/JJ",
+        ],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(taps: usize, bits: u32) -> Point {
+        series()
+            .into_iter()
+            .find(|p| p.taps == taps && p.bits == bits)
+            .unwrap()
+    }
+
+    /// Paper §5.4.2: latency/throughput advantages below 9 bits at 32
+    /// taps and below 12 bits at 256 taps; unary latency independent of
+    /// taps.
+    #[test]
+    fn latency_crossovers() {
+        assert!(point(32, 8).unary_latency_us < point(32, 8).binary_latency_us);
+        assert!(point(32, 10).unary_latency_us > point(32, 10).binary_latency_us);
+        assert!(point(256, 11).unary_latency_us < point(256, 11).binary_latency_us);
+        assert!(point(256, 13).unary_latency_us > point(256, 13).binary_latency_us);
+        assert_eq!(
+            point(32, 8).unary_latency_us,
+            point(256, 8).unary_latency_us
+        );
+    }
+
+    /// Paper §5.4.3: at 32 taps unary needs high resolution to save
+    /// area; at 256 taps it never does.
+    #[test]
+    fn area_crossovers() {
+        assert!(point(32, 16).unary_jj < point(32, 16).binary_jj);
+        assert!(point(32, 4).unary_jj > point(32, 4).binary_jj);
+        for bits in [4, 8, 12, 16] {
+            let p = point(256, bits);
+            assert!(p.unary_jj > p.binary_jj, "256 taps {bits} bits");
+        }
+    }
+
+    /// Paper §5.4.4: the unary FIR is more efficient below ~12 bits and
+    /// the advantage grows with taps.
+    #[test]
+    fn efficiency_shape() {
+        let p = point(32, 8);
+        assert!(p.unary_kops_per_jj > p.binary_kops_per_jj);
+        let p16 = point(32, 16);
+        assert!(p16.unary_kops_per_jj < p16.binary_kops_per_jj);
+        let gain32 = point(32, 8).unary_kops_per_jj / point(32, 8).binary_kops_per_jj;
+        let gain256 = point(256, 8).unary_kops_per_jj / point(256, 8).binary_kops_per_jj;
+        assert!(gain256 > gain32);
+        assert!(render().contains("kOPs/JJ"));
+    }
+}

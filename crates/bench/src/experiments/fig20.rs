@@ -1,0 +1,155 @@
+//! Fig. 20: unary-vs-binary FIR gain regions over taps × bits for
+//! latency, area, and efficiency, with the paper's application markers
+//! (IR sensors, software-defined radio, and the RTL-2832U / RSP
+//! reference cards).
+
+use usfq_baseline::comparison::{fir_gain_map, GainCell, GainMetric};
+
+/// The tap axis of the figure.
+pub const TAPS: [usize; 9] = [4, 8, 16, 32, 64, 128, 256, 512, 1024];
+/// The bit axis of the figure.
+pub const BITS: [u32; 7] = [4, 6, 8, 10, 12, 14, 16];
+
+/// The paper's application regions, as inclusive (taps, bits) boxes.
+pub struct AppRegion {
+    /// Label used in the figure.
+    pub name: &'static str,
+    /// Tap range.
+    pub taps: (usize, usize),
+    /// Bit range.
+    pub bits: (u32, u32),
+}
+
+/// IR sensors: ~30 taps at 6–8 bits (paper §5.4 and Fig. 20).
+pub const IR: AppRegion = AppRegion {
+    name: "IR",
+    taps: (16, 32),
+    bits: (6, 8),
+};
+/// Software-defined radio: 200–900 taps, 7–14 bits.
+pub const SDR: AppRegion = AppRegion {
+    name: "SDR",
+    taps: (256, 1024),
+    bits: (7, 14),
+};
+
+/// Computes one metric's map.
+pub fn map(metric: GainMetric) -> Vec<GainCell> {
+    fir_gain_map(metric, &TAPS, &BITS)
+}
+
+fn render_map(title: &str, metric: GainMetric) -> String {
+    let cells = map(metric);
+    let mut out = format!("{title}\nbits\\taps");
+    for t in TAPS {
+        out.push_str(&format!("{t:>7}"));
+    }
+    out.push('\n');
+    for &b in BITS.iter().rev() {
+        out.push_str(&format!("{b:>9}"));
+        for &t in &TAPS {
+            let cell = cells
+                .iter()
+                .find(|c| c.taps == t && c.bits == b)
+                .expect("cell exists");
+            if cell.gain_percent > 0.0 {
+                out.push_str(&format!("{:>6.0}%", cell.gain_percent.min(99.0)));
+            } else {
+                out.push_str("      ."); // binary wins (white region)
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders all three maps plus the application-region summaries.
+pub fn render() -> String {
+    let mut out = String::new();
+    out.push_str(&render_map(
+        "(a) latency gain % (., binary wins)",
+        GainMetric::Latency,
+    ));
+    out.push('\n');
+    out.push_str(&render_map("(b) area (JJ) gain %", GainMetric::Area));
+    out.push('\n');
+    out.push_str(&render_map(
+        "(c) efficiency (throughput/JJ) gain %",
+        GainMetric::Efficiency,
+    ));
+    out.push('\n');
+    for region in [&IR, &SDR] {
+        let eff =
+            usfq_baseline::comparison::fir_gain(GainMetric::Efficiency, region.taps.0, region.bits.0);
+        out.push_str(&format!(
+            "{}: taps {}..{}, bits {}..{} — efficiency gain at corner: {:.0}%\n",
+            region.name,
+            region.taps.0,
+            region.taps.1,
+            region.bits.0,
+            region.bits.1,
+            eff.gain_percent
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Coloured (positive) regions exist and sit at low bits for
+    /// latency, high bits for area — the paper's qualitative shape.
+    #[test]
+    fn region_shapes() {
+        let lat = map(GainMetric::Latency);
+        assert!(lat
+            .iter()
+            .any(|c| c.taps == 32 && c.bits == 6 && c.gain_percent > 0.0));
+        assert!(lat
+            .iter()
+            .any(|c| c.taps == 32 && c.bits == 16 && c.gain_percent < 0.0));
+        let area = map(GainMetric::Area);
+        // Area gains concentrate at high resolution (binary storage and
+        // MAC grow with bits, the unary datapath does not) and vanish at
+        // large tap counts.
+        for &t in &TAPS {
+            let g4 = area.iter().find(|c| c.taps == t && c.bits == 4).unwrap();
+            let g16 = area.iter().find(|c| c.taps == t && c.bits == 16).unwrap();
+            assert!(g16.gain_percent > g4.gain_percent, "taps {t}");
+        }
+        assert!(area
+            .iter()
+            .filter(|c| c.taps >= 256)
+            .all(|c| c.gain_percent < 0.0));
+        let eff = map(GainMetric::Efficiency);
+        // Efficiency: unary wins the low-bit half broadly.
+        let wins = eff
+            .iter()
+            .filter(|c| c.bits <= 8 && c.gain_percent > 0.0)
+            .count();
+        assert!(wins >= 15, "only {wins} efficiency wins below 9 bits");
+    }
+
+    /// IR sensors sit inside the unary-favourable efficiency region
+    /// (the paper reports 62–89 % better efficiency there).
+    #[test]
+    fn ir_region_favours_unary() {
+        use usfq_baseline::comparison::{fir_gain, GainMetric};
+        let g = fir_gain(GainMetric::Efficiency, 32, 8);
+        assert!(
+            (30.0..=99.0).contains(&g.gain_percent),
+            "IR corner gain {}",
+            g.gain_percent
+        );
+    }
+
+    #[test]
+    fn renders_three_panels() {
+        let s = super::render();
+        assert!(s.contains("(a) latency"));
+        assert!(s.contains("(b) area"));
+        assert!(s.contains("(c) efficiency"));
+        assert!(s.contains("SDR"));
+    }
+}

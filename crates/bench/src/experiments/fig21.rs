@@ -1,0 +1,153 @@
+//! Fig. 21: active power of the bipolar multiplier as the RL input
+//! sweeps −1..1, for pulse streams encoding −1, 0, and 1 — computed
+//! from the closed-form model *and* cross-checked by event-counted
+//! simulation.
+
+use serde::Serialize;
+use usfq_core::blocks::BipolarMultiplier;
+use usfq_core::model::power;
+use usfq_encoding::{Epoch, PulseStream, RlValue};
+use usfq_sim::power::PowerModel;
+
+use crate::render;
+
+/// Resolution used by the figure.
+pub const BITS: u32 = 8;
+
+/// One sweep point.
+#[derive(Debug, Clone, Serialize)]
+pub struct Point {
+    /// Stream operand (bipolar).
+    pub stream: f64,
+    /// RL operand (bipolar).
+    pub rl: f64,
+    /// Closed-form active power, nW.
+    pub model_nw: f64,
+}
+
+/// The three curves of the figure.
+pub fn series() -> Vec<Point> {
+    let mut pts = Vec::new();
+    for &stream in &[-1.0, 0.0, 1.0] {
+        for i in 0..=20 {
+            let rl = -1.0 + i as f64 * 0.1;
+            pts.push(Point {
+                stream,
+                rl,
+                model_nw: power::bipolar_multiplier_active_w(BITS, stream, rl) * 1e9,
+            });
+        }
+    }
+    pts
+}
+
+/// Event-counted simulation cross-check: runs the structural bipolar
+/// multiplier circuit, counts every pulse each cell handles, and
+/// converts that switching activity into average power over the epoch.
+/// Returns `(rl, simulated nW)` for the given stream value.
+pub fn simulated_curve(stream: f64) -> Vec<(f64, f64)> {
+    let epoch = Epoch::from_bits(BITS).unwrap();
+    let mult = BipolarMultiplier::new(epoch);
+    let model = PowerModel::rsfq();
+    (0..=10)
+        .map(|i| {
+            let rl = -1.0 + i as f64 * 0.2;
+            let a = PulseStream::from_bipolar(stream, epoch).unwrap();
+            let b = RlValue::from_bipolar(rl, epoch).unwrap();
+            let (_, watts) = mult.multiply_with_power(a, b, &model).unwrap();
+            (rl, watts * 1e9)
+        })
+        .collect()
+}
+
+/// Renders the three curves and the simulation cross-check at stream 1.
+pub fn render() -> String {
+    let pts = series();
+    let rls: Vec<f64> = (0..=20).map(|i| -1.0 + i as f64 * 0.1).collect();
+    let rows: Vec<Vec<String>> = rls
+        .iter()
+        .map(|&rl| {
+            let at = |s: f64| {
+                pts.iter()
+                    .find(|p| p.stream == s && (p.rl - rl).abs() < 1e-9)
+                    .unwrap()
+                    .model_nw
+            };
+            vec![
+                format!("{rl:+.1}"),
+                format!("{:.1}", at(-1.0)),
+                format!("{:.1}", at(0.0)),
+                format!("{:.1}", at(1.0)),
+            ]
+        })
+        .collect();
+    let mut out = render::table(
+        &["RL input", "stream -1 [nW]", "stream 0 [nW]", "stream 1 [nW]"],
+        &rows,
+    );
+    out.push_str("\nsimulation cross-check (stream = 1):\n");
+    for (rl, nw) in simulated_curve(1.0) {
+        out.push_str(&format!("  RL {rl:+.1}: {nw:.1} nW\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's band: 68–135 nW, rising/falling/flat for streams
+    /// 1 / −1 / 0.
+    #[test]
+    fn band_and_trends() {
+        let pts = series();
+        let min = pts.iter().map(|p| p.model_nw).fold(f64::MAX, f64::min);
+        let max = pts.iter().map(|p| p.model_nw).fold(0.0, f64::max);
+        assert!((50.0..=90.0).contains(&min), "min {min}");
+        assert!((110.0..=160.0).contains(&max), "max {max}");
+        let curve: Vec<f64> = pts
+            .iter()
+            .filter(|p| p.stream == 0.0)
+            .map(|p| p.model_nw)
+            .collect();
+        let spread = curve.iter().fold(f64::MIN, |m, &v| m.max(v))
+            - curve.iter().fold(f64::MAX, |m, &v| m.min(v));
+        assert!(spread < 1.0, "stream-0 curve should be flat, spread {spread}");
+    }
+
+    /// The event-counted simulation lands in the same power band as the
+    /// closed form (within 2×) and shows the same trends: rising with
+    /// the RL input at stream 1, falling at −1, flat at 0.
+    #[test]
+    fn simulation_matches_model() {
+        for &stream in &[-1.0, 0.0, 1.0] {
+            let curve = simulated_curve(stream);
+            for &(rl, sim_nw) in &curve {
+                let model_nw =
+                    power::bipolar_multiplier_active_w(BITS, stream, rl) * 1e9;
+                let ratio = sim_nw / model_nw;
+                assert!(
+                    (0.5..=2.0).contains(&ratio),
+                    "stream {stream} rl {rl}: sim {sim_nw} model {model_nw}"
+                );
+            }
+            let first = curve.first().unwrap().1;
+            let last = curve.last().unwrap().1;
+            match stream as i32 {
+                1 => assert!(last > first, "stream 1 should rise"),
+                -1 => assert!(last < first, "stream -1 should fall"),
+                _ => assert!(
+                    (last - first).abs() / first < 0.1,
+                    "stream 0 should be flat: {first} vs {last}"
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn renders() {
+        let s = super::render();
+        assert!(s.contains("stream 1 [nW]"));
+        assert!(s.contains("cross-check"));
+    }
+}

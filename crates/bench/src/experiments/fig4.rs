@@ -1,0 +1,98 @@
+//! Fig. 4: latency and area of the U-SFQ multiplier vs binary
+//! multipliers, over 2–16 bits.
+
+use serde::Serialize;
+use usfq_baseline::table2;
+use usfq_core::model::{area, latency};
+
+use crate::render;
+
+/// One sweep point.
+#[derive(Debug, Clone, Serialize)]
+pub struct Point {
+    /// Bit resolution.
+    pub bits: u32,
+    /// Unary multiplier latency, ns.
+    pub unary_latency_ns: f64,
+    /// Binary (fitted, wave-pipelined) multiplier latency, ns.
+    pub binary_latency_ns: f64,
+    /// Unary multiplier area, JJs.
+    pub unary_jj: u64,
+    /// Binary (fitted) multiplier area, JJs.
+    pub binary_jj: f64,
+}
+
+/// The data series.
+pub fn series() -> Vec<Point> {
+    (2..=16)
+        .map(|bits| Point {
+            bits,
+            unary_latency_ns: latency::multiplier_latency(bits).as_ns(),
+            binary_latency_ns: table2::multiplier_latency_ps(bits) / 1e3,
+            unary_jj: area::bipolar_multiplier_jj(),
+            binary_jj: table2::multiplier_jj(bits),
+        })
+        .collect()
+}
+
+/// Renders the figure's rows and the headline ratios.
+pub fn render() -> String {
+    let pts = series();
+    let rows: Vec<Vec<String>> = pts
+        .iter()
+        .map(|p| {
+            vec![
+                p.bits.to_string(),
+                format!("{:.4}", p.unary_latency_ns),
+                format!("{:.3}", p.binary_latency_ns),
+                p.unary_jj.to_string(),
+                format!("{:.0}", p.binary_jj),
+                format!("{:.0}x", p.binary_jj / p.unary_jj as f64),
+            ]
+        })
+        .collect();
+    let mut out = render::table(
+        &[
+            "bits",
+            "unary lat/ns",
+            "binary WP lat/ns",
+            "unary JJ",
+            "binary JJ",
+            "area savings",
+        ],
+        &rows,
+    );
+    let bp = table2::bit_parallel_multiplier();
+    out.push_str(&format!(
+        "\nvs bit-parallel [37] (8-bit, {} JJ, {} ps): {:.0}x area savings, {:.1}x slower\n",
+        bp.jj,
+        bp.latency_ps,
+        bp.jj as f64 / area::bipolar_multiplier_jj() as f64,
+        latency::multiplier_latency(8).as_ps() / bp.latency_ps,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Paper §4.1: 25×–200× savings vs WP; 370× vs BP; BP ≈ 6–7× faster
+    /// at 8 bits; unary faster than WP below 8 bits.
+    #[test]
+    fn headline_claims() {
+        let pts = series();
+        let savings: Vec<f64> = pts
+            .iter()
+            .map(|p| p.binary_jj / p.unary_jj as f64)
+            .collect();
+        assert!(savings.iter().copied().fold(f64::MAX, f64::min) >= 15.0);
+        assert!(savings.iter().copied().fold(0.0, f64::max) >= 180.0);
+        let p4 = &pts[2]; // 4 bits
+        assert!(p4.unary_latency_ns < p4.binary_latency_ns, "unary faster at 4 bits");
+        let p12 = pts.iter().find(|p| p.bits == 12).unwrap();
+        assert!(p12.unary_latency_ns > p12.binary_latency_ns, "binary faster at 12 bits");
+        let s = render();
+        assert!(s.contains("vs bit-parallel"));
+    }
+}

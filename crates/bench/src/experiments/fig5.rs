@@ -1,0 +1,85 @@
+//! Fig. 5: pulse collisions in a 4:1 merger cell, simulated — four
+//! coincident pulses in, fewer out (b); spaced pulses all survive at
+//! the cost of latency (c).
+
+use usfq_cells::interconnect::Merger;
+use usfq_sim::stats::StatKind;
+use usfq_sim::{Circuit, Simulator, Time};
+
+use crate::render;
+
+/// Builds a 4:1 merger tree and fires one pulse per input at the given
+/// offsets; returns `(pulses_out, collisions)`.
+fn run_tree(offsets_ps: [f64; 4]) -> (u64, u64) {
+    let mut c = Circuit::new();
+    let inputs: Vec<_> = (0..4).map(|i| c.input(format!("a{i}"))).collect();
+    let m0 = c.add(Merger::new("m0"));
+    let m1 = c.add(Merger::new("m1"));
+    let root = c.add(Merger::new("root"));
+    c.connect_input(inputs[0], m0.input(Merger::IN_A), Time::ZERO).unwrap();
+    c.connect_input(inputs[1], m0.input(Merger::IN_B), Time::ZERO).unwrap();
+    c.connect_input(inputs[2], m1.input(Merger::IN_A), Time::ZERO).unwrap();
+    c.connect_input(inputs[3], m1.input(Merger::IN_B), Time::ZERO).unwrap();
+    c.connect(m0.output(Merger::OUT), root.input(Merger::IN_A), Time::ZERO).unwrap();
+    c.connect(m1.output(Merger::OUT), root.input(Merger::IN_B), Time::ZERO).unwrap();
+    let y = c.probe(root.output(Merger::OUT), "y");
+    let mut sim = Simulator::new(c);
+    for (input, &t) in inputs.iter().zip(&offsets_ps) {
+        sim.schedule_input(*input, Time::from_ps(t)).unwrap();
+    }
+    sim.run().unwrap();
+    (
+        sim.probe_count(y) as u64,
+        sim.activity().anomaly_count(StatKind::MergerCollision),
+    )
+}
+
+/// The two Fig. 5 scenarios: `(pulses_in, pulses_out, collisions)` for
+/// coincident and for spaced inputs.
+pub fn scenarios() -> ((u64, u64, u64), (u64, u64, u64)) {
+    let (out_c, coll_c) = run_tree([0.0, 0.0, 0.0, 0.0]);
+    // Fig. 5c: spacing each input by more than the merger window.
+    let (out_s, coll_s) = run_tree([0.0, 12.0, 24.0, 36.0]);
+    ((4, out_c, coll_c), (4, out_s, coll_s))
+}
+
+/// Renders both scenarios.
+pub fn render() -> String {
+    let (colliding, spaced) = scenarios();
+    let mut out = render::table(
+        &["scenario", "pulses in", "pulses out", "collisions"],
+        &[
+            vec![
+                "coincident (Fig. 5b)".into(),
+                colliding.0.to_string(),
+                colliding.1.to_string(),
+                colliding.2.to_string(),
+            ],
+            vec![
+                "spaced by 12 ps (Fig. 5c)".into(),
+                spaced.0.to_string(),
+                spaced.1.to_string(),
+                spaced.2.to_string(),
+            ],
+        ],
+    );
+    out.push_str(
+        "\nAvoiding collisions requires spacing input pulses by the merger delay,\n\
+         stretching the computation epoch (paper Fig. 5c).\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    /// The paper's figure: coincident pulses are lost, spaced pulses
+    /// all arrive.
+    #[test]
+    fn collision_vs_spaced() {
+        let (colliding, spaced) = super::scenarios();
+        assert!(colliding.1 < 4, "coincident case must lose pulses");
+        assert_eq!(colliding.1 + colliding.2, 4);
+        assert_eq!(spaced.1, 4, "spaced case must deliver all pulses");
+        assert_eq!(spaced.2, 0);
+    }
+}

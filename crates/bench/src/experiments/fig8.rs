@@ -1,0 +1,100 @@
+//! Fig. 8: latency and area of the U-SFQ adders (2:1 merger and
+//! balancer) vs binary adders, over 4–16 bits.
+
+use serde::Serialize;
+use usfq_baseline::table2;
+use usfq_core::model::{area, latency};
+
+use crate::render;
+
+/// One sweep point.
+#[derive(Debug, Clone, Serialize)]
+pub struct Point {
+    /// Bit resolution.
+    pub bits: u32,
+    /// 2:1 merger adder latency, ns.
+    pub merger_latency_ns: f64,
+    /// Balancer adder latency, ns.
+    pub balancer_latency_ns: f64,
+    /// Binary (fitted) adder latency, ns.
+    pub binary_latency_ns: f64,
+    /// Merger adder area, JJs.
+    pub merger_jj: u64,
+    /// Balancer adder area, JJs.
+    pub balancer_jj: u64,
+    /// Binary (fitted) adder area, JJs.
+    pub binary_jj: f64,
+}
+
+/// The data series.
+pub fn series() -> Vec<Point> {
+    (4..=16)
+        .map(|bits| Point {
+            bits,
+            merger_latency_ns: latency::merger_adder_latency(bits, 2).as_ns(),
+            balancer_latency_ns: latency::balancer_adder_latency(bits).as_ns(),
+            binary_latency_ns: table2::adder_latency_ps(bits) / 1e3,
+            merger_jj: area::merger_adder_jj(2),
+            balancer_jj: area::balancer_adder_jj(),
+            binary_jj: table2::adder_jj(bits),
+        })
+        .collect()
+}
+
+/// Renders the figure's rows.
+pub fn render() -> String {
+    let pts = series();
+    let rows: Vec<Vec<String>> = pts
+        .iter()
+        .map(|p| {
+            vec![
+                p.bits.to_string(),
+                format!("{:.3}", p.merger_latency_ns),
+                format!("{:.3}", p.balancer_latency_ns),
+                format!("{:.3}", p.binary_latency_ns),
+                p.merger_jj.to_string(),
+                p.balancer_jj.to_string(),
+                format!("{:.0}", p.binary_jj),
+                format!("{:.0}x", p.binary_jj / p.balancer_jj as f64),
+            ]
+        })
+        .collect();
+    render::table(
+        &[
+            "bits",
+            "merger lat/ns",
+            "balancer lat/ns",
+            "binary lat/ns",
+            "merger JJ",
+            "balancer JJ",
+            "binary JJ",
+            "balancer savings",
+        ],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    /// Paper §4.2: the balancer yields 11×–200× area savings over the
+    /// 4–16-bit binary adders, with a latency penalty.
+    #[test]
+    fn headline_claims() {
+        let pts = super::series();
+        let first = &pts[0];
+        let last = pts.last().unwrap();
+        // Against the raw Table 2 end points (the paper's 11×–200×).
+        let s4_raw = 931.0 / first.balancer_jj as f64;
+        let s16_raw = 16_683.0 / last.balancer_jj as f64;
+        assert!((10.0..=13.0).contains(&s4_raw), "4-bit savings {s4_raw}");
+        assert!((180.0..=210.0).contains(&s16_raw), "16-bit savings {s16_raw}");
+        // Against the fitted dashed line the figure draws.
+        let s4 = first.binary_jj / first.balancer_jj as f64;
+        let s16 = last.binary_jj / last.balancer_jj as f64;
+        assert!((20.0..=60.0).contains(&s4), "4-bit fit savings {s4}");
+        assert!((120.0..=220.0).contains(&s16), "16-bit fit savings {s16}");
+        // Latency penalty everywhere above a few bits.
+        assert!(last.balancer_latency_ns > last.binary_latency_ns);
+        assert!(super::render().contains("balancer savings"));
+    }
+}

@@ -1,0 +1,18 @@
+//! One module per table/figure of the paper's evaluation.
+
+pub mod ablations;
+pub mod fig11;
+pub mod fig12;
+pub mod fig14;
+pub mod fig16;
+pub mod fig18;
+pub mod fig19;
+pub mod fig20;
+pub mod fig21;
+pub mod fig4;
+pub mod fig5;
+pub mod fig7;
+pub mod fig8;
+pub mod netlist;
+pub mod table2;
+pub mod table3;

@@ -1,0 +1,66 @@
+//! Table 2: the published binary RSFQ adders and multipliers, plus the
+//! least-squares fits the other figures use as baselines.
+
+use usfq_baseline::table2::{self, UnitKind, TABLE2};
+
+use crate::render;
+
+/// Renders the table and the fitted baselines.
+pub fn render() -> String {
+    let rows: Vec<Vec<String>> = TABLE2
+        .iter()
+        .map(|e| {
+            vec![
+                e.reference.to_string(),
+                match e.kind {
+                    UnitKind::Adder => "adder".into(),
+                    UnitKind::Multiplier => "multiplier".into(),
+                },
+                e.bits.to_string(),
+                e.jj.to_string(),
+                format!("{:.0}", e.latency_ps),
+                format!("{:?}", e.arch),
+                e.technology.to_string(),
+            ]
+        })
+        .collect();
+    let mut out = render::table(
+        &["ref", "kind", "bits", "JJ", "latency/ps", "arch", "technology"],
+        &rows,
+    );
+    out.push('\n');
+    let fit_rows: Vec<Vec<String>> = [4u32, 8, 16]
+        .iter()
+        .map(|&b| {
+            vec![
+                b.to_string(),
+                format!("{:.0}", table2::adder_jj(b)),
+                format!("{:.0}", table2::adder_latency_ps(b)),
+                format!("{:.0}", table2::multiplier_jj(b)),
+                format!("{:.0}", table2::multiplier_latency_ps(b)),
+            ]
+        })
+        .collect();
+    out.push_str(&render::table(
+        &[
+            "bits",
+            "adder JJ (fit)",
+            "adder ps (fit)",
+            "mult JJ (fit)",
+            "mult ps (fit)",
+        ],
+        &fit_rows,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn renders_all_rows() {
+        let s = super::render();
+        assert!(s.contains("17000"));
+        assert!(s.contains("16683"));
+        assert!(s.contains("adder JJ (fit)"));
+    }
+}

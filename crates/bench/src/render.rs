@@ -1,0 +1,80 @@
+//! Small text-table rendering helpers shared by the experiments.
+
+use std::fmt::Write as _;
+
+/// Renders a table: header row plus data rows, columns padded to the
+/// widest cell.
+pub fn table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let line = |out: &mut String, cells: &[String]| {
+        for (i, cell) in cells.iter().enumerate().take(cols) {
+            let _ = write!(out, "{:>width$}  ", cell, width = widths[i]);
+        }
+        let _ = writeln!(out);
+    };
+    line(
+        &mut out,
+        &header.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+    );
+    let total: usize = widths.iter().sum::<usize>() + 2 * cols;
+    let _ = writeln!(out, "{}", "-".repeat(total));
+    for row in rows {
+        line(&mut out, row);
+    }
+    out
+}
+
+/// Formats a quantity with engineering-style SI prefixes.
+pub fn si(value: f64, unit: &str) -> String {
+    let (scaled, prefix) = if value == 0.0 {
+        (0.0, "")
+    } else {
+        let exp = value.abs().log10().floor() as i32;
+        match exp {
+            e if e >= 9 => (value / 1e9, "G"),
+            e if e >= 6 => (value / 1e6, "M"),
+            e if e >= 3 => (value / 1e3, "k"),
+            e if e >= 0 => (value, ""),
+            e if e >= -3 => (value * 1e3, "m"),
+            e if e >= -6 => (value * 1e6, "u"),
+            e if e >= -9 => (value * 1e9, "n"),
+            _ => (value * 1e12, "p"),
+        }
+    };
+    format!("{scaled:.3} {prefix}{unit}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_layout() {
+        let t = table(
+            &["bits", "jj"],
+            &[
+                vec!["4".into(), "931".into()],
+                vec!["16".into(), "16683".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("bits"));
+        assert!(lines[3].contains("16683"));
+    }
+
+    #[test]
+    fn si_prefixes() {
+        assert_eq!(si(48.0e9, "OPS"), "48.000 GOPS");
+        assert_eq!(si(2.5e-6, "W"), "2.500 uW");
+        assert_eq!(si(0.0, "W"), "0.000 W");
+        assert_eq!(si(333e-12, "s"), "333.000 ps");
+    }
+}

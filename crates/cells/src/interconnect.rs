@@ -1,0 +1,297 @@
+//! Stateless interconnect cells: JTL, splitter, and merger.
+
+use usfq_sim::component::{Component, Ctx};
+use usfq_sim::stats::StatKind;
+use usfq_sim::Time;
+
+use crate::catalog;
+
+/// A Josephson transmission line stage: a 1-in/1-out repeater that
+/// sharpens and retimes pulses (paper Table 1).
+#[derive(Debug, Clone)]
+pub struct Jtl {
+    name: String,
+    delay: Time,
+}
+
+impl Jtl {
+    /// Input port.
+    pub const IN: usize = 0;
+    /// Output port.
+    pub const OUT: usize = 0;
+
+    /// Creates a JTL with the catalog delay.
+    pub fn new(name: impl Into<String>) -> Self {
+        Jtl {
+            name: name.into(),
+            delay: catalog::t_jtl(),
+        }
+    }
+
+    /// Creates a JTL with an explicit delay (e.g. a tuned delay line).
+    pub fn with_delay(name: impl Into<String>, delay: Time) -> Self {
+        Jtl {
+            name: name.into(),
+            delay,
+        }
+    }
+}
+
+impl Component for Jtl {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn num_inputs(&self) -> usize {
+        1
+    }
+    fn num_outputs(&self) -> usize {
+        1
+    }
+    fn jj_count(&self) -> u32 {
+        catalog::JJ_JTL
+    }
+    fn switching_jjs(&self) -> f64 {
+        f64::from(catalog::JJ_JTL)
+    }
+    fn on_pulse(&mut self, _port: usize, _now: Time, ctx: &mut Ctx) {
+        ctx.emit(Self::OUT, self.delay);
+    }
+}
+
+/// A splitter: every input pulse is reproduced on both outputs
+/// (paper Table 1). Physical RSFQ requires one of these for every
+/// fan-out point.
+#[derive(Debug, Clone)]
+pub struct Splitter {
+    name: String,
+    delay: Time,
+}
+
+impl Splitter {
+    /// Input port.
+    pub const IN: usize = 0;
+    /// First output port.
+    pub const OUT_A: usize = 0;
+    /// Second output port.
+    pub const OUT_B: usize = 1;
+
+    /// Creates a splitter with the catalog delay.
+    pub fn new(name: impl Into<String>) -> Self {
+        Splitter {
+            name: name.into(),
+            delay: catalog::t_splitter(),
+        }
+    }
+}
+
+impl Component for Splitter {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn num_inputs(&self) -> usize {
+        1
+    }
+    fn num_outputs(&self) -> usize {
+        2
+    }
+    fn jj_count(&self) -> u32 {
+        catalog::JJ_SPLITTER
+    }
+    /// Calibrated against the paper's Fig. 21 power band.
+    fn switching_jjs(&self) -> f64 {
+        1.0
+    }
+    fn on_pulse(&mut self, _port: usize, _now: Time, ctx: &mut Ctx) {
+        ctx.emit(Self::OUT_A, self.delay);
+        ctx.emit(Self::OUT_B, self.delay);
+    }
+}
+
+/// A 2:1 merger (confluence buffer): a pulse on either input produces an
+/// output pulse — the OR of two pulse trains.
+///
+/// Two pulses arriving within the cell's collision window produce only
+/// **one** output pulse; the loss is recorded as
+/// [`StatKind::MergerCollision`]. This is the paper's Fig. 5 failure mode
+/// that motivates the balancer-based adder.
+#[derive(Debug, Clone)]
+pub struct Merger {
+    name: String,
+    delay: Time,
+    window: Time,
+    last_accepted: Option<Time>,
+}
+
+impl Merger {
+    /// First input port.
+    pub const IN_A: usize = 0;
+    /// Second input port.
+    pub const IN_B: usize = 1;
+    /// Output port.
+    pub const OUT: usize = 0;
+
+    /// Creates a merger whose collision window equals its propagation
+    /// delay (the paper: input pulse spacing "is dictated by the
+    /// intrinsic delay of the merger cell").
+    pub fn new(name: impl Into<String>) -> Self {
+        Self::with_window(name, catalog::t_merger())
+    }
+
+    /// Creates a merger with an explicit collision window.
+    pub fn with_window(name: impl Into<String>, window: Time) -> Self {
+        Merger {
+            name: name.into(),
+            delay: catalog::t_merger(),
+            window,
+            last_accepted: None,
+        }
+    }
+}
+
+impl Component for Merger {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn num_inputs(&self) -> usize {
+        2
+    }
+    fn num_outputs(&self) -> usize {
+        1
+    }
+    fn jj_count(&self) -> u32 {
+        catalog::JJ_MERGER
+    }
+    fn switching_jjs(&self) -> f64 {
+        f64::from(catalog::JJ_MERGER) / 2.0
+    }
+    fn on_pulse(&mut self, _port: usize, now: Time, ctx: &mut Ctx) {
+        if let Some(last) = self.last_accepted {
+            if now.saturating_sub(last) < self.window {
+                ctx.record(StatKind::MergerCollision);
+                return;
+            }
+        }
+        self.last_accepted = Some(now);
+        ctx.emit(Self::OUT, self.delay);
+    }
+    fn reset(&mut self) {
+        self.last_accepted = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usfq_sim::{Circuit, Simulator};
+
+    fn pulse_times(ps: &[f64]) -> Vec<Time> {
+        ps.iter().map(|&p| Time::from_ps(p)).collect()
+    }
+
+    #[test]
+    fn jtl_delays() {
+        let mut c = Circuit::new();
+        let input = c.input("in");
+        let j = c.add(Jtl::with_delay("j", Time::from_ps(7.0)));
+        c.connect_input(input, j.input(Jtl::IN), Time::ZERO).unwrap();
+        let p = c.probe(j.output(Jtl::OUT), "out");
+        let mut sim = Simulator::new(c);
+        sim.schedule_input(input, Time::from_ps(2.0)).unwrap();
+        sim.run().unwrap();
+        assert_eq!(sim.probe_times(p), &[Time::from_ps(9.0)]);
+    }
+
+    #[test]
+    fn splitter_duplicates() {
+        let mut c = Circuit::new();
+        let input = c.input("in");
+        let s = c.add(Splitter::new("s"));
+        c.connect_input(input, s.input(Splitter::IN), Time::ZERO).unwrap();
+        let pa = c.probe(s.output(Splitter::OUT_A), "a");
+        let pb = c.probe(s.output(Splitter::OUT_B), "b");
+        let mut sim = Simulator::new(c);
+        sim.schedule_pulses(input, pulse_times(&[0.0, 10.0])).unwrap();
+        sim.run().unwrap();
+        assert_eq!(sim.probe_count(pa), 2);
+        assert_eq!(sim.probe_count(pb), 2);
+    }
+
+    fn merger_fixture() -> (Circuit, usfq_sim::InputId, usfq_sim::InputId, usfq_sim::ProbeId) {
+        let mut c = Circuit::new();
+        let a = c.input("a");
+        let b = c.input("b");
+        let m = c.add(Merger::new("m"));
+        c.connect_input(a, m.input(Merger::IN_A), Time::ZERO).unwrap();
+        c.connect_input(b, m.input(Merger::IN_B), Time::ZERO).unwrap();
+        let y = c.probe(m.output(Merger::OUT), "y");
+        (c, a, b, y)
+    }
+
+    #[test]
+    fn merger_passes_spaced_pulses() {
+        let (c, a, b, y) = merger_fixture();
+        let mut sim = Simulator::new(c);
+        sim.schedule_pulses(a, pulse_times(&[0.0, 20.0])).unwrap();
+        sim.schedule_pulses(b, pulse_times(&[10.0, 30.0])).unwrap();
+        sim.run().unwrap();
+        assert_eq!(sim.probe_count(y), 4);
+        assert_eq!(
+            sim.activity().anomaly_count(StatKind::MergerCollision),
+            0
+        );
+    }
+
+    #[test]
+    fn merger_loses_coincident_pulse() {
+        let (c, a, b, y) = merger_fixture();
+        let mut sim = Simulator::new(c);
+        sim.schedule_input(a, Time::from_ps(10.0)).unwrap();
+        sim.schedule_input(b, Time::from_ps(12.0)).unwrap(); // within 5 ps window
+        sim.run().unwrap();
+        assert_eq!(sim.probe_count(y), 1);
+        assert_eq!(
+            sim.activity().anomaly_count(StatKind::MergerCollision),
+            1
+        );
+    }
+
+    /// The paper's Fig. 5b: four pulses into a merger tree, three out.
+    #[test]
+    fn four_to_one_merger_tree_collision() {
+        let mut c = Circuit::new();
+        let inputs: Vec<_> = (0..4).map(|i| c.input(format!("a{i}"))).collect();
+        let m0 = c.add(Merger::new("m0"));
+        let m1 = c.add(Merger::new("m1"));
+        let m2 = c.add(Merger::new("m2"));
+        c.connect_input(inputs[0], m0.input(Merger::IN_A), Time::ZERO).unwrap();
+        c.connect_input(inputs[1], m0.input(Merger::IN_B), Time::ZERO).unwrap();
+        c.connect_input(inputs[2], m1.input(Merger::IN_A), Time::ZERO).unwrap();
+        c.connect_input(inputs[3], m1.input(Merger::IN_B), Time::ZERO).unwrap();
+        c.connect(m0.output(Merger::OUT), m2.input(Merger::IN_A), Time::ZERO).unwrap();
+        c.connect(m1.output(Merger::OUT), m2.input(Merger::IN_B), Time::ZERO).unwrap();
+        let y = c.probe(m2.output(Merger::OUT), "y");
+        let mut sim = Simulator::new(c);
+        // Two pairs, spaced so first-level mergers pass them but the
+        // second level sees two coincident arrivals.
+        sim.schedule_input(inputs[0], Time::from_ps(0.0)).unwrap();
+        sim.schedule_input(inputs[2], Time::from_ps(0.0)).unwrap();
+        sim.schedule_input(inputs[1], Time::from_ps(30.0)).unwrap();
+        sim.schedule_input(inputs[3], Time::from_ps(45.0)).unwrap();
+        sim.run().unwrap();
+        // 4 pulses in, 3 out: the coincident pair at the root merged.
+        assert_eq!(sim.probe_count(y), 3);
+        assert!(sim.activity().anomaly_count(StatKind::MergerCollision) >= 1);
+    }
+
+    #[test]
+    fn merger_reset_clears_window() {
+        let mut m = Merger::new("m");
+        let mut ctx = Ctx::default();
+        m.on_pulse(Merger::IN_A, Time::from_ps(100.0), &mut ctx);
+        m.reset();
+        let mut ctx2 = Ctx::default();
+        // Would collide without the reset.
+        m.on_pulse(Merger::IN_B, Time::from_ps(101.0), &mut ctx2);
+        assert_eq!(ctx2.emissions().len(), 1);
+    }
+}

@@ -1,0 +1,139 @@
+//! The clocked inverter, which complements a pulse stream.
+
+use usfq_sim::component::{Component, Ctx};
+use usfq_sim::Time;
+
+use crate::catalog;
+
+/// A clocked RSFQ inverter.
+///
+/// RSFQ logic cannot express "absence of a pulse" combinationally, so the
+/// inverter is clocked: at each `CLK` pulse it emits an output *only if no
+/// input pulse arrived since the previous clock*. Driven by the slot
+/// clock, it turns a pulse stream for `p` into a stream for `1 − p` —
+/// exactly the ¬A the paper's bipolar multiplier needs, with the paper's
+/// measured t_INV = 9 ps setting the unary multiplier's maximum slot
+/// frequency (§4.1: "maximum frequency of ≈ 111 GHz").
+#[derive(Debug, Clone)]
+pub struct ClockedInverter {
+    name: String,
+    saw_input: bool,
+    delay: Time,
+}
+
+impl ClockedInverter {
+    /// Data input port.
+    pub const IN: usize = 0;
+    /// Clock port.
+    pub const IN_CLK: usize = 1;
+    /// Output port (complement of the input stream).
+    pub const OUT: usize = 0;
+
+    /// Creates an inverter with the paper's 9 ps clock-to-output delay.
+    pub fn new(name: impl Into<String>) -> Self {
+        ClockedInverter {
+            name: name.into(),
+            saw_input: false,
+            delay: catalog::t_inverter(),
+        }
+    }
+}
+
+impl Component for ClockedInverter {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn num_inputs(&self) -> usize {
+        2
+    }
+    fn num_outputs(&self) -> usize {
+        1
+    }
+    fn jj_count(&self) -> u32 {
+        catalog::JJ_INVERTER
+    }
+    /// Calibrated against the paper's Fig. 21 power band.
+    fn switching_jjs(&self) -> f64 {
+        1.0
+    }
+    fn on_pulse(&mut self, port: usize, _now: Time, ctx: &mut Ctx) {
+        match port {
+            Self::IN => self.saw_input = true,
+            Self::IN_CLK => {
+                if !self.saw_input {
+                    ctx.emit(Self::OUT, self.delay);
+                }
+                self.saw_input = false;
+            }
+            _ => unreachable!("inverter has two inputs"),
+        }
+    }
+    fn reset(&mut self) {
+        self.saw_input = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usfq_sim::{Circuit, Simulator};
+
+    /// Stream with pulses in slots {0, 2} of 4 → inverse has slots {1, 3}.
+    #[test]
+    fn complements_a_stream() {
+        let mut c = Circuit::new();
+        let din = c.input("in");
+        let clk = c.input("clk");
+        let inv = c.add(ClockedInverter::new("inv"));
+        c.connect_input(din, inv.input(ClockedInverter::IN), Time::ZERO).unwrap();
+        c.connect_input(clk, inv.input(ClockedInverter::IN_CLK), Time::ZERO).unwrap();
+        let q = c.probe(inv.output(ClockedInverter::OUT), "q");
+
+        let mut sim = Simulator::new(c);
+        let slot = 20.0;
+        // Input pulses early in slots 0 and 2; clock at each slot's end.
+        sim.schedule_input(din, Time::from_ps(2.0)).unwrap();
+        sim.schedule_input(din, Time::from_ps(2.0 + 2.0 * slot)).unwrap();
+        for s in 0..4u32 {
+            sim.schedule_input(clk, Time::from_ps(slot * (s as f64 + 1.0) - 1.0)).unwrap();
+        }
+        sim.run().unwrap();
+        let out = sim.probe_times(q).to_vec();
+        assert_eq!(out.len(), 2);
+        // Outputs correspond to the clocks closing slots 1 and 3.
+        assert_eq!(out[0], Time::from_ps(2.0 * slot - 1.0 + 9.0));
+        assert_eq!(out[1], Time::from_ps(4.0 * slot - 1.0 + 9.0));
+    }
+
+    #[test]
+    fn all_ones_stream_inverts_to_silence() {
+        let mut inv = ClockedInverter::new("i");
+        let mut ctx = Ctx::default();
+        for s in 0..8u32 {
+            inv.on_pulse(ClockedInverter::IN, Time::from_ps(10.0 * s as f64), &mut ctx);
+            inv.on_pulse(ClockedInverter::IN_CLK, Time::from_ps(10.0 * s as f64 + 5.0), &mut ctx);
+        }
+        assert!(ctx.emissions().is_empty());
+    }
+
+    #[test]
+    fn silence_inverts_to_full_rate() {
+        let mut inv = ClockedInverter::new("i");
+        let mut ctx = Ctx::default();
+        for s in 0..8u32 {
+            inv.on_pulse(ClockedInverter::IN_CLK, Time::from_ps(10.0 * s as f64), &mut ctx);
+        }
+        assert_eq!(ctx.emissions().len(), 8);
+    }
+
+    #[test]
+    fn reset_clears_pending_input() {
+        let mut inv = ClockedInverter::new("i");
+        let mut ctx = Ctx::default();
+        inv.on_pulse(ClockedInverter::IN, Time::ZERO, &mut ctx);
+        inv.reset();
+        inv.on_pulse(ClockedInverter::IN_CLK, Time::from_ps(1.0), &mut ctx);
+        // After reset the pending input is forgotten, so the clock emits.
+        assert_eq!(ctx.emissions().len(), 1);
+    }
+}

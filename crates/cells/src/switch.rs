@@ -1,0 +1,165 @@
+//! Interleaving switches: 1:2 demultiplexer and 2:1 multiplexer
+//! [Zheng '99], used by the RL memory cell (paper Fig. 10d) to ping-pong
+//! between its two integrator buffers on alternating epochs.
+
+use usfq_sim::component::{Component, Ctx};
+use usfq_sim::Time;
+
+use crate::catalog;
+
+/// A 1:2 demultiplexer: routes `IN` pulses to the currently selected
+/// output; each `SEL` pulse toggles the selection.
+#[derive(Debug, Clone)]
+pub struct Demux {
+    name: String,
+    selected: usize,
+    delay: Time,
+}
+
+impl Demux {
+    /// Data input port.
+    pub const IN: usize = 0;
+    /// Selection-toggle port.
+    pub const IN_SEL: usize = 1;
+    /// First output (selected at power-on).
+    pub const OUT_A: usize = 0;
+    /// Second output.
+    pub const OUT_B: usize = 1;
+
+    /// Creates a demux selecting [`Demux::OUT_A`].
+    pub fn new(name: impl Into<String>) -> Self {
+        Demux {
+            name: name.into(),
+            selected: Self::OUT_A,
+            delay: catalog::t_ff(),
+        }
+    }
+
+    /// The currently selected output port.
+    pub fn selected(&self) -> usize {
+        self.selected
+    }
+}
+
+impl Component for Demux {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn num_inputs(&self) -> usize {
+        2
+    }
+    fn num_outputs(&self) -> usize {
+        2
+    }
+    fn jj_count(&self) -> u32 {
+        catalog::JJ_DEMUX
+    }
+    fn on_pulse(&mut self, port: usize, _now: Time, ctx: &mut Ctx) {
+        match port {
+            Self::IN => ctx.emit(self.selected, self.delay),
+            Self::IN_SEL => self.selected ^= 1,
+            _ => unreachable!("demux has two inputs"),
+        }
+    }
+    fn reset(&mut self) {
+        self.selected = Self::OUT_A;
+    }
+}
+
+/// A 2:1 multiplexer. In the memory cell the two sources are active on
+/// disjoint epochs, so the cell is simply a loss-free confluence of its
+/// inputs.
+#[derive(Debug, Clone)]
+pub struct Mux {
+    name: String,
+    delay: Time,
+}
+
+impl Mux {
+    /// First data input.
+    pub const IN_A: usize = 0;
+    /// Second data input.
+    pub const IN_B: usize = 1;
+    /// Output port.
+    pub const OUT: usize = 0;
+
+    /// Creates a mux.
+    pub fn new(name: impl Into<String>) -> Self {
+        Mux {
+            name: name.into(),
+            delay: catalog::t_ff(),
+        }
+    }
+}
+
+impl Component for Mux {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn num_inputs(&self) -> usize {
+        2
+    }
+    fn num_outputs(&self) -> usize {
+        1
+    }
+    fn jj_count(&self) -> u32 {
+        catalog::JJ_MUX
+    }
+    fn on_pulse(&mut self, _port: usize, _now: Time, ctx: &mut Ctx) {
+        ctx.emit(Self::OUT, self.delay);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usfq_sim::{Circuit, Simulator};
+
+    #[test]
+    fn demux_routes_and_toggles() {
+        let mut c = Circuit::new();
+        let din = c.input("in");
+        let sel = c.input("sel");
+        let d = c.add(Demux::new("d"));
+        c.connect_input(din, d.input(Demux::IN), Time::ZERO).unwrap();
+        c.connect_input(sel, d.input(Demux::IN_SEL), Time::ZERO).unwrap();
+        let pa = c.probe(d.output(Demux::OUT_A), "a");
+        let pb = c.probe(d.output(Demux::OUT_B), "b");
+        let mut sim = Simulator::new(c);
+        sim.schedule_input(din, Time::from_ps(0.0)).unwrap(); // → A
+        sim.schedule_input(sel, Time::from_ps(10.0)).unwrap();
+        sim.schedule_input(din, Time::from_ps(20.0)).unwrap(); // → B
+        sim.schedule_input(din, Time::from_ps(30.0)).unwrap(); // → B
+        sim.schedule_input(sel, Time::from_ps(40.0)).unwrap();
+        sim.schedule_input(din, Time::from_ps(50.0)).unwrap(); // → A
+        sim.run().unwrap();
+        assert_eq!(sim.probe_count(pa), 2);
+        assert_eq!(sim.probe_count(pb), 2);
+    }
+
+    #[test]
+    fn demux_reset_selects_a() {
+        let mut d = Demux::new("d");
+        let mut ctx = Ctx::default();
+        d.on_pulse(Demux::IN_SEL, Time::ZERO, &mut ctx);
+        assert_eq!(d.selected(), Demux::OUT_B);
+        d.reset();
+        assert_eq!(d.selected(), Demux::OUT_A);
+    }
+
+    #[test]
+    fn mux_merges_disjoint_sources() {
+        let mut c = Circuit::new();
+        let a = c.input("a");
+        let b = c.input("b");
+        let m = c.add(Mux::new("m"));
+        c.connect_input(a, m.input(Mux::IN_A), Time::ZERO).unwrap();
+        c.connect_input(b, m.input(Mux::IN_B), Time::ZERO).unwrap();
+        let y = c.probe(m.output(Mux::OUT), "y");
+        let mut sim = Simulator::new(c);
+        sim.schedule_input(a, Time::from_ps(0.0)).unwrap();
+        sim.schedule_input(b, Time::from_ps(100.0)).unwrap();
+        sim.run().unwrap();
+        assert_eq!(sim.probe_count(y), 2);
+    }
+}

@@ -1,0 +1,489 @@
+//! The U-SFQ finite-impulse-response filter (paper §5.4).
+//!
+//! One tap = one bipolar multiplier fed by the coefficient memory bank
+//! (pulse streams) and the RL shift register (delayed samples); an
+//! `L:1` counting network accumulates the tap products. The whole
+//! datapath is the paper's Fig. 17 with the DPU of §5.3 as its core.
+//!
+//! [`FaultModel`] reproduces the paper's §5.4.1 error taxonomy:
+//! (i) lost pulses in pulse streams, (ii) lost RL pulses, and
+//! (iii) delayed RL pulses.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use usfq_encoding::{Epoch, PulseStream, RlValue};
+use usfq_sim::Time;
+
+use crate::blocks::{BipolarMultiplier, MemoryBank, RlShiftRegister};
+use crate::error::CoreError;
+
+/// The paper's three U-SFQ error mechanisms, each expressed as a rate
+/// in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultModel {
+    /// (i) Each pulse of the accumulated result stream is lost with
+    /// this probability (flux trapping in parasitics, collisions in the
+    /// adder — the paper's §5.4.1 mechanism (i)).
+    pub stream_loss: f64,
+    /// (ii) Each tap's RL sample pulse is lost entirely with this
+    /// probability; the multiplier's gate never closes and the tap
+    /// passes its full coefficient stream.
+    pub rl_loss: f64,
+    /// (iii) Each tap's RL sample pulse is displaced with this
+    /// probability — delay variation pushes the pulse "outside the
+    /// expected time-slot" by up to ±[`FaultModel::DELAY_JITTER_SLOTS`]
+    /// slots (uniform sign and magnitude).
+    pub rl_delay: f64,
+}
+
+impl FaultModel {
+    /// Magnitude bound, in slots, of a delayed RL pulse (case iii).
+    pub const DELAY_JITTER_SLOTS: i64 = 3;
+
+    /// A fault-free model.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Validates all rates are probabilities / fractions in `[0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] naming the offending field.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        for (name, v) in [
+            ("stream_loss", self.stream_loss),
+            ("rl_loss", self.rl_loss),
+            ("rl_delay", self.rl_delay),
+        ] {
+            if !(0.0..=1.0).contains(&v) || v.is_nan() {
+                return Err(CoreError::InvalidConfig(format!(
+                    "fault rate {name} = {v} outside [0, 1]"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A programmable U-SFQ FIR filter (functional model with exact unary
+/// semantics and fault injection).
+#[derive(Debug, Clone)]
+pub struct UsfqFir {
+    epoch: Epoch,
+    bank: MemoryBank,
+    shift: RlShiftRegister,
+    lanes: usize,
+    gain: f64,
+    faults: FaultModel,
+    rng: StdRng,
+}
+
+impl UsfqFir {
+    /// Builds a filter from real-valued coefficients at `bits`
+    /// resolution. Coefficients are normalised to `[−1, 1]` (the unary
+    /// range); the normalisation gain is re-applied on output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for an empty coefficient
+    /// set, or an encoding error for an unsupported bit width.
+    pub fn new(coeffs: &[f64], bits: u32) -> Result<Self, CoreError> {
+        if coeffs.is_empty() {
+            return Err(CoreError::InvalidConfig(
+                "FIR needs at least one coefficient".into(),
+            ));
+        }
+        // The FIR epoch is paced by the PNM clock: slot = B · t_TFF2
+        // (paper §5.4.2).
+        let slot = usfq_cells::catalog::t_tff2().scale(u64::from(bits));
+        let epoch = Epoch::with_slot(bits, slot)?;
+        let max_abs = coeffs
+            .iter()
+            .fold(0.0f64, |m, &c| m.max(c.abs()))
+            .max(f64::MIN_POSITIVE);
+        let normalised: Vec<f64> = coeffs.iter().map(|&c| c / max_abs).collect();
+        let bank = MemoryBank::from_bipolar(&normalised, epoch)?;
+        let taps = coeffs.len();
+        let lanes = taps.next_power_of_two().max(2);
+        Ok(UsfqFir {
+            epoch,
+            bank,
+            shift: RlShiftRegister::new(epoch, taps),
+            lanes,
+            gain: max_abs,
+            faults: FaultModel::none(),
+            rng: StdRng::seed_from_u64(0),
+        })
+    }
+
+    /// Enables fault injection with a deterministic seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for rates outside `[0, 1]`.
+    pub fn with_faults(mut self, faults: FaultModel, seed: u64) -> Result<Self, CoreError> {
+        faults.validate()?;
+        self.faults = faults;
+        self.rng = StdRng::seed_from_u64(seed);
+        Ok(self)
+    }
+
+    /// The filter's epoch.
+    pub fn epoch(&self) -> Epoch {
+        self.epoch
+    }
+
+    /// Number of taps.
+    pub fn taps(&self) -> usize {
+        self.bank.len()
+    }
+
+    /// Computation latency per output: `2^B · T_CLK` with
+    /// `T_CLK = B · t_TFF2` — the PNM bound of §5.4.2.
+    pub fn latency(&self) -> Time {
+        self.epoch.duration()
+    }
+
+    /// Throughput in complete FIR computations per second (the filter
+    /// is wave-pipelined: one output per epoch).
+    pub fn throughput_ops(&self) -> f64 {
+        1.0 / self.latency().as_secs()
+    }
+
+    /// Resets the delay line (and nothing else).
+    pub fn reset(&mut self) {
+        self.shift.clear();
+    }
+
+    /// Filters one sample (bipolar range `[−1, 1]`), returning the new
+    /// output `y[n] = Σ h(k) · x(n−k)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an encoding error if `x` is outside `[−1, 1]`.
+    pub fn push(&mut self, x: f64) -> Result<f64, CoreError> {
+        let rl = RlValue::from_bipolar(x, self.epoch)?;
+        self.shift.shift(Some(rl));
+        let n_max = self.epoch.n_max();
+        let mult = BipolarMultiplier::new(self.epoch);
+
+        let mut total: u64 = 0;
+        for k in 0..self.taps() {
+            let h_stream = self.bank.stream(k);
+            let count = match self.shift.tap(k) {
+                None => {
+                    // Cold pipeline: treat the missing sample as exactly
+                    // bipolar zero (gate mid-epoch).
+                    let zero = RlValue::from_slot(n_max / 2, self.epoch)?;
+                    mult.multiply_counts(h_stream, zero)?.count()
+                }
+                Some(sample) => self.tap_product(&mult, h_stream, sample)?,
+            };
+            total += count;
+        }
+        // Pad lanes carry bipolar zero (N_max / 2 pulses each).
+        let pads = self.lanes - self.taps();
+        total += pads as u64 * (n_max / 2);
+
+        // Counting network top output: ⌈total / L⌉ — the odd-count
+        // ±0.5-pulse effect included (paper §5.4.1). Mechanism (i)
+        // strikes this accumulated stream.
+        let top = self
+            .inject_stream_loss(total.div_ceil(self.lanes as u64))
+            .min(n_max);
+        let value = (2.0 * top as f64 / n_max as f64 - 1.0) * self.lanes as f64;
+        Ok(value * self.gain)
+    }
+
+    /// Filters a whole signal, resetting the delay line first.
+    ///
+    /// # Errors
+    ///
+    /// Returns an encoding error if any sample is outside `[−1, 1]`.
+    pub fn filter(&mut self, input: &[f64]) -> Result<Vec<f64>, CoreError> {
+        self.reset();
+        input.iter().map(|&x| self.push(x)).collect()
+    }
+
+    fn tap_product(
+        &mut self,
+        mult: &BipolarMultiplier,
+        h: PulseStream,
+        sample: RlValue,
+    ) -> Result<u64, CoreError> {
+        let n_max = self.epoch.n_max();
+        // (ii) Lost RL pulse: the gate never arrives; the top NDRO stays
+        // open and passes the entire coefficient stream.
+        if self.faults.rl_loss > 0.0 && self.rng.gen_bool(self.faults.rl_loss) {
+            return Ok(h.count());
+        }
+        // (iii) Delayed RL pulse: with probability rl_delay, the pulse
+        // lands a few slots away from where it should.
+        let sample = if self.faults.rl_delay > 0.0 && self.rng.gen_bool(self.faults.rl_delay) {
+            let j = FaultModel::DELAY_JITTER_SLOTS;
+            let shift = self.rng.gen_range(-j..=j);
+            let slot = (sample.slot() as i64 + shift).clamp(0, n_max as i64) as u64;
+            RlValue::from_slot(slot, self.epoch)?
+        } else {
+            sample
+        };
+        Ok(mult.multiply_counts(h, sample)?.count())
+    }
+
+    /// (i) Lost stream pulses: binomial thinning of the result stream.
+    /// Exact Bernoulli draws for small counts; the standard normal
+    /// approximation (valid here: n·p·(1−p) ≫ 9) for large ones.
+    fn inject_stream_loss(&mut self, count: u64) -> u64 {
+        let p_keep = 1.0 - self.faults.stream_loss;
+        if self.faults.stream_loss <= 0.0 || count == 0 {
+            return count;
+        }
+        if p_keep <= 0.0 {
+            return 0;
+        }
+        let n = count as f64;
+        if n * p_keep * (1.0 - p_keep) < 25.0 {
+            let mut kept = 0;
+            for _ in 0..count {
+                if self.rng.gen_bool(p_keep) {
+                    kept += 1;
+                }
+            }
+            return kept;
+        }
+        // Box–Muller standard normal.
+        let u1: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = self.rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        let mean = n * p_keep;
+        let sd = (n * p_keep * (1.0 - p_keep)).sqrt();
+        (mean + sd * z).round().clamp(0.0, n) as u64
+    }
+}
+
+/// A direct-form reference FIR in `f64`, the golden model the paper's
+/// Octave scripts provide.
+///
+/// # Examples
+///
+/// ```
+/// use usfq_core::accel::UsfqFir;
+/// let y = usfq_core::accel::fir_reference(&[0.5, 0.5], &[1.0, 0.0, 1.0]);
+/// assert_eq!(y, vec![0.5, 0.5, 0.5]);
+/// # let _ = UsfqFir::new(&[0.5, 0.5], 8).unwrap();
+/// ```
+pub fn fir_reference(coeffs: &[f64], input: &[f64]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(input.len());
+    for n in 0..input.len() {
+        let mut acc = 0.0;
+        for (k, &h) in coeffs.iter().enumerate() {
+            if n >= k {
+                acc += h * input[n - k];
+            }
+        }
+        out.push(acc);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn construction_and_geometry() {
+        let fir = UsfqFir::new(&[0.25, 0.5, 0.25], 8).unwrap();
+        assert_eq!(fir.taps(), 3);
+        // Latency: 2^8 × (8 × 20 ps) = 40.96 ns (paper §5.4.2).
+        assert_eq!(fir.latency(), Time::from_ns(40.96));
+        assert!((fir.throughput_ops() - 1.0 / 40.96e-9).abs() < 1.0);
+        assert!(UsfqFir::new(&[], 8).is_err());
+    }
+
+    #[test]
+    fn fault_model_validation() {
+        let fir = UsfqFir::new(&[0.5], 6).unwrap();
+        let bad = FaultModel {
+            stream_loss: 1.5,
+            ..FaultModel::none()
+        };
+        assert!(fir.clone().with_faults(bad, 0).is_err());
+        let ok = FaultModel {
+            stream_loss: 0.1,
+            rl_loss: 0.0,
+            rl_delay: 0.05,
+        };
+        assert!(fir.with_faults(ok, 0).is_ok());
+    }
+
+    #[test]
+    fn identity_filter_passes_signal() {
+        let mut fir = UsfqFir::new(&[1.0], 10).unwrap();
+        let input = [0.5, -0.25, 0.75, 0.0, -1.0];
+        let out = fir.filter(&input).unwrap();
+        for (y, x) in out.iter().zip(&input) {
+            assert!((y - x).abs() <= 0.01, "{y} vs {x}");
+        }
+    }
+
+    #[test]
+    fn matches_reference_moving_average() {
+        let coeffs = [0.25, 0.25, 0.25, 0.25];
+        let input: Vec<f64> = (0..64)
+            .map(|i| (i as f64 * 0.35).sin() * 0.8)
+            .collect();
+        let mut fir = UsfqFir::new(&coeffs, 10).unwrap();
+        let got = fir.filter(&input).unwrap();
+        let want = fir_reference(&coeffs, &input);
+        // Tolerance: L lanes × quantization, dominated by the network's
+        // single-pulse step = L · 2/N_max · gain.
+        let tol = 4.0 * 2.0 / 1024.0 * 0.25 * 6.0;
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() <= tol, "{g} vs {w} (tol {tol})");
+        }
+    }
+
+    #[test]
+    fn quantization_noise_shrinks_with_bits() {
+        let coeffs = [0.1, 0.2, 0.4, 0.2, 0.1];
+        let input: Vec<f64> = (0..128).map(|i| (i as f64 * 0.2).sin()).collect();
+        let want = fir_reference(&coeffs, &input);
+        let mut rms = Vec::new();
+        for bits in [6, 10] {
+            let mut fir = UsfqFir::new(&coeffs, bits).unwrap();
+            let got = fir.filter(&input).unwrap();
+            let e: f64 = got
+                .iter()
+                .zip(&want)
+                .map(|(g, w)| (g - w).powi(2))
+                .sum::<f64>()
+                / got.len() as f64;
+            rms.push(e.sqrt());
+        }
+        assert!(
+            rms[1] < rms[0] * 0.5,
+            "10-bit error {} not much below 6-bit {}",
+            rms[1],
+            rms[0]
+        );
+    }
+
+    #[test]
+    fn stream_loss_degrades_gracefully() {
+        let coeffs = [0.25, 0.25, 0.25, 0.25];
+        let input: Vec<f64> = (0..256).map(|i| (i as f64 * 0.1).sin() * 0.9).collect();
+        let want = fir_reference(&coeffs, &input);
+        let rmse = |out: &[f64]| {
+            (out.iter()
+                .zip(&want)
+                .map(|(g, w)| (g - w) * (g - w))
+                .sum::<f64>()
+                / out.len() as f64)
+                .sqrt()
+        };
+        let clean = {
+            let mut fir = UsfqFir::new(&coeffs, 12).unwrap();
+            rmse(&fir.filter(&input).unwrap())
+        };
+        let lossy = {
+            let faults = FaultModel {
+                stream_loss: 0.3,
+                ..FaultModel::none()
+            };
+            let mut fir = UsfqFir::new(&coeffs, 12)
+                .unwrap()
+                .with_faults(faults, 7)
+                .unwrap();
+            rmse(&fir.filter(&input).unwrap())
+        };
+        assert!(lossy > clean);
+        // Graceful: 30 % pulse loss stays within a bounded error — each
+        // pulse carries 1/2^B weight (the paper's §5.4.1 argument).
+        assert!(lossy < 0.5, "lossy rmse {lossy}");
+    }
+
+    #[test]
+    fn rl_loss_is_catastrophic_per_tap() {
+        let coeffs = [0.5, 0.5];
+        let input = vec![0.0; 64];
+        let faults = FaultModel {
+            rl_loss: 1.0,
+            ..FaultModel::none()
+        };
+        let mut fir = UsfqFir::new(&coeffs, 10)
+            .unwrap()
+            .with_faults(faults, 3)
+            .unwrap();
+        let out = fir.filter(&input).unwrap();
+        // Gates always lost → taps pass the full coefficient streams:
+        // output pinned near Σ h(k)·1 instead of 0.
+        let tail = out.last().copied().unwrap();
+        assert!((tail - 1.0).abs() < 0.05, "tail {tail}");
+    }
+
+    #[test]
+    fn rl_delay_perturbs_output() {
+        let coeffs = [1.0];
+        let input: Vec<f64> = (0..64).map(|i| (i as f64 * 0.3).sin()).collect();
+        let faults = FaultModel {
+            rl_delay: 0.5,
+            ..FaultModel::none()
+        };
+        let mut clean = UsfqFir::new(&coeffs, 8).unwrap();
+        let mut noisy = UsfqFir::new(&coeffs, 8)
+            .unwrap()
+            .with_faults(faults, 11)
+            .unwrap();
+        let a = clean.filter(&input).unwrap();
+        let b = noisy.filter(&input).unwrap();
+        assert!(a.iter().zip(&b).any(|(x, y)| (x - y).abs() > 0.01));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let coeffs = [0.3, 0.4, 0.3];
+        let input: Vec<f64> = (0..32).map(|i| (i as f64 * 0.25).cos()).collect();
+        let faults = FaultModel {
+            stream_loss: 0.2,
+            rl_loss: 0.01,
+            rl_delay: 0.1,
+        };
+        let run = || {
+            let mut fir = UsfqFir::new(&coeffs, 8)
+                .unwrap()
+                .with_faults(faults, 42)
+                .unwrap();
+            fir.filter(&input).unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn reference_fir_convolution() {
+        let y = fir_reference(&[1.0, -1.0], &[1.0, 1.0, 1.0]);
+        assert_eq!(y, vec![1.0, 0.0, 0.0]);
+    }
+
+    proptest! {
+        /// The clean unary filter tracks the reference within the lane
+        /// quantization bound for random small filters.
+        #[test]
+        fn tracks_reference(
+            coeffs in proptest::collection::vec(-1.0f64..=1.0, 1..=6),
+            input in proptest::collection::vec(-1.0f64..=1.0, 1..=32),
+        ) {
+            let mut fir = UsfqFir::new(&coeffs, 12).unwrap();
+            let got = fir.filter(&input).unwrap();
+            let want = fir_reference(&coeffs, &input);
+            let gain = coeffs.iter().fold(0.0f64, |m, &c| m.max(c.abs())).max(1e-300);
+            let lanes = coeffs.len().next_power_of_two().max(2) as f64;
+            let tol = lanes * 2.0 / 4096.0 * gain * 4.0 + coeffs.len() as f64 * 2.0 / 4096.0 * gain + 1e-9;
+            for (g, w) in got.iter().zip(&want) {
+                prop_assert!((g - w).abs() <= tol, "got {g}, want {w}, tol {tol}");
+            }
+        }
+    }
+}

@@ -1,0 +1,398 @@
+//! The U-SFQ adders (paper §4.2): merger-based (lossy under collisions)
+//! and balancer-based (loss-free).
+
+use usfq_cells::balancer::Balancer;
+use usfq_cells::interconnect::Merger;
+use usfq_encoding::{Epoch, PulseStream};
+use usfq_sim::stats::StatKind;
+use usfq_sim::{Circuit, Simulator, Time};
+
+use crate::error::CoreError;
+
+/// Outcome of a merger-tree addition, exposing the collision loss the
+/// paper's Fig. 5 illustrates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MergerSum {
+    /// The output stream (`Σ inputs − collisions` pulses, clamped to the
+    /// epoch's `N_max`).
+    pub sum: PulseStream,
+    /// Pulses lost to collisions.
+    pub collisions: u64,
+    /// Unclamped pulse count observed at the tree root.
+    pub raw_count: u64,
+}
+
+/// Addition by merging pulse streams into one (paper §4.2-A).
+///
+/// A tree of 2:1 mergers ORs the input streams; the output count is the
+/// sum *provided pulses never coincide*. Coincident pulses merge and the
+/// result under-counts — quantified by [`MergerSum::collisions`]. Safe
+/// operation requires interleaving the inputs, which costs latency
+/// (`MergerAdder::latency` grows with the number of inputs).
+#[derive(Debug, Clone, Copy)]
+pub struct MergerAdder {
+    epoch: Epoch,
+    inputs: usize,
+}
+
+impl MergerAdder {
+    /// Creates an `inputs`:1 merger adder.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] unless `inputs >= 2`.
+    pub fn new(epoch: Epoch, inputs: usize) -> Result<Self, CoreError> {
+        if inputs < 2 {
+            return Err(CoreError::InvalidConfig(format!(
+                "merger adder needs at least 2 inputs, got {inputs}"
+            )));
+        }
+        Ok(MergerAdder { epoch, inputs })
+    }
+
+    /// The adder's epoch.
+    pub fn epoch(&self) -> Epoch {
+        self.epoch
+    }
+
+    /// Number of inputs.
+    pub fn inputs(&self) -> usize {
+        self.inputs
+    }
+
+    /// Collision-free latency: pulses must be spaced by the merger's
+    /// intrinsic delay per input, so the epoch stretches by the input
+    /// count (paper Fig. 5c).
+    pub fn latency(&self) -> Time {
+        self.epoch
+            .duration()
+            .scale(self.inputs as u64)
+    }
+
+    /// Sums streams through a simulated merger tree with the inputs
+    /// deliberately *interleaved* (each input offset by one tree slot),
+    /// the paper's Fig. 5c discipline. Collisions only occur when the
+    /// combined rate locally exceeds the merger bandwidth.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if the stream count differs
+    /// from the configured input count, or a simulation error.
+    pub fn add(&self, streams: &[PulseStream]) -> Result<MergerSum, CoreError> {
+        if streams.len() != self.inputs {
+            return Err(CoreError::InvalidConfig(format!(
+                "expected {} streams, got {}",
+                self.inputs,
+                streams.len()
+            )));
+        }
+        let mut c = Circuit::new();
+        let inputs: Vec<_> = (0..self.inputs)
+            .map(|i| c.input(format!("a{i}")))
+            .collect();
+
+        // Build a balanced merger tree.
+        let mut layer: Vec<usfq_sim::NodeRef> = Vec::new();
+        let mut first_layer = Vec::new();
+        let mut idx = 0usize;
+        while idx + 1 < self.inputs {
+            let m = c.add(Merger::new(format!("m0_{idx}")));
+            c.connect_input(inputs[idx], m.input(Merger::IN_A), Time::ZERO)?;
+            c.connect_input(inputs[idx + 1], m.input(Merger::IN_B), Time::ZERO)?;
+            first_layer.push(m.output(Merger::OUT));
+            idx += 2;
+        }
+        let leftover = if idx < self.inputs {
+            Some(inputs[idx])
+        } else {
+            None
+        };
+        layer.extend(first_layer);
+        let mut depth = 1;
+        while layer.len() > 1 {
+            let mut next = Vec::new();
+            for (j, pair) in layer.chunks(2).enumerate() {
+                if pair.len() == 2 {
+                    let m = c.add(Merger::new(format!("m{depth}_{j}")));
+                    c.connect(pair[0], m.input(Merger::IN_A), Time::ZERO)?;
+                    c.connect(pair[1], m.input(Merger::IN_B), Time::ZERO)?;
+                    next.push(m.output(Merger::OUT));
+                } else {
+                    next.push(pair[0]);
+                }
+            }
+            layer = next;
+            depth += 1;
+        }
+        let root = layer[0];
+        let out = if let Some(extra) = leftover {
+            let m = c.add(Merger::new("m_extra"));
+            c.connect(root, m.input(Merger::IN_A), Time::ZERO)?;
+            c.connect_input(extra, m.input(Merger::IN_B), Time::ZERO)?;
+            m.output(Merger::OUT)
+        } else {
+            root
+        };
+        let probe = c.probe(out, "sum");
+
+        let mut sim = Simulator::new(c);
+        // Interleave inputs: input i is offset by i × merger delay so
+        // well-spaced streams do not collide.
+        let stagger = usfq_cells::catalog::t_merger();
+        for (i, (input, stream)) in inputs.iter().zip(streams).enumerate() {
+            let offset = stagger.scale(i as u64);
+            let times: Vec<Time> = stream
+                .schedule_from(Time::ZERO)
+                .into_iter()
+                .map(|t| t + offset)
+                .collect();
+            sim.schedule_pulses(*input, times)?;
+        }
+        sim.run()?;
+        let collisions = sim.activity().anomaly_count(StatKind::MergerCollision);
+        let raw_count = sim.probe_count(probe) as u64;
+        Ok(MergerSum {
+            sum: PulseStream::from_count(raw_count.min(self.epoch.n_max()), self.epoch)?,
+            collisions,
+            raw_count,
+        })
+    }
+
+    /// Ideal (collision-free) merger addition: the clamped pulse-count
+    /// sum. This is the result the latency-stretched discipline of
+    /// Fig. 5c achieves.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] on an input-count mismatch.
+    pub fn add_functional(&self, streams: &[PulseStream]) -> Result<PulseStream, CoreError> {
+        if streams.len() != self.inputs {
+            return Err(CoreError::InvalidConfig(format!(
+                "expected {} streams, got {}",
+                self.inputs,
+                streams.len()
+            )));
+        }
+        let total: u64 = streams.iter().map(PulseStream::count).sum();
+        Ok(PulseStream::from_count(
+            total.min(self.epoch.n_max()),
+            self.epoch,
+        )?)
+    }
+}
+
+/// Addition by a single 2:2 balancer (paper §4.2-B): each output carries
+/// `(N_A + N_B) / 2` pulses, so reading one output computes the
+/// *average* — collision-free.
+#[derive(Debug, Clone, Copy)]
+pub struct BalancerAdder {
+    epoch: Epoch,
+}
+
+impl BalancerAdder {
+    /// Creates a balancer adder.
+    pub fn new(epoch: Epoch) -> Self {
+        BalancerAdder { epoch }
+    }
+
+    /// The adder's epoch.
+    pub fn epoch(&self) -> Epoch {
+        self.epoch
+    }
+
+    /// Latency: pulses must be spaced by t_BFF, so the adder epoch is
+    /// `2^B · t_BFF` (paper §4.2).
+    pub fn latency(&self) -> Time {
+        usfq_cells::catalog::t_bff().scale(self.epoch.n_max())
+    }
+
+    /// Adds two streams through a simulated balancer; returns the stream
+    /// observed on output Y1, which encodes `(p_A + p_B) / 2`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a simulation error if the circuit fails to settle.
+    pub fn add(&self, a: PulseStream, b: PulseStream) -> Result<PulseStream, CoreError> {
+        let mut c = Circuit::new();
+        let in_a = c.input("a");
+        let in_b = c.input("b");
+        let bal = c.add(Balancer::new("bal"));
+        c.connect_input(in_a, bal.input(Balancer::IN_A), Time::ZERO)?;
+        c.connect_input(in_b, bal.input(Balancer::IN_B), Time::ZERO)?;
+        let y1 = c.probe(bal.output(Balancer::OUT_Y1), "y1");
+        let y2 = c.probe(bal.output(Balancer::OUT_Y2), "y2");
+
+        let mut sim = Simulator::new(c);
+        sim.schedule_pulses(in_a, a.schedule_from(Time::ZERO))?;
+        // Offset B by half a pulse spacing so interleaving respects t_BFF.
+        let half = self.epoch.slot_width() / 2;
+        let times: Vec<Time> = b
+            .schedule_from(Time::ZERO)
+            .into_iter()
+            .map(|t| t + half)
+            .collect();
+        sim.schedule_pulses(in_b, times)?;
+        sim.run()?;
+        // Conservation check is structural: Y1 + Y2 == inputs.
+        debug_assert_eq!(
+            sim.probe_count(y1) as u64 + sim.probe_count(y2) as u64,
+            a.count() + b.count()
+        );
+        let count = (sim.probe_count(y1) as u64).min(self.epoch.n_max());
+        Ok(PulseStream::from_count(count, self.epoch)?)
+    }
+
+    /// Functional mirror: `⌈(N_A + N_B) / 2⌉` on output Y1 (the first of
+    /// an odd number of pulses lands on Y1) — the paper's ±0.5-pulse
+    /// odd-count error appears here.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for same-epoch operands; `Result` mirrors encoding.
+    pub fn add_functional(&self, a: PulseStream, b: PulseStream) -> Result<PulseStream, CoreError> {
+        let count = (a.count() + b.count()).div_ceil(2);
+        Ok(PulseStream::from_count(
+            count.min(self.epoch.n_max()),
+            self.epoch,
+        )?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn epoch(bits: u32) -> Epoch {
+        // Balancer-adder epochs use the t_BFF slot (paper §4.2).
+        Epoch::with_slot(bits, usfq_cells::catalog::t_bff()).unwrap()
+    }
+
+    #[test]
+    fn merger_adds_sparse_streams_exactly() {
+        let e = epoch(4);
+        let adder = MergerAdder::new(e, 2).unwrap();
+        let a = PulseStream::from_unipolar(0.25, e).unwrap();
+        let b = PulseStream::from_unipolar(0.125, e).unwrap();
+        let out = adder.add(&[a, b]).unwrap();
+        assert_eq!(out.collisions, 0);
+        assert_eq!(out.sum.count(), 6);
+        assert_eq!(out.sum.value(), 0.375);
+    }
+
+    #[test]
+    fn merger_loses_pulses_at_high_rates() {
+        let e = epoch(4);
+        let adder = MergerAdder::new(e, 4).unwrap();
+        let full = PulseStream::from_unipolar(1.0, e).unwrap();
+        let out = adder.add(&[full, full, full, full]).unwrap();
+        // 64 pulses into a 16-slot epoch cannot all survive.
+        assert!(out.collisions > 0);
+        // Every input pulse either exits the root or was counted lost.
+        assert_eq!(out.raw_count + out.collisions, 64);
+        // The decoded stream clamps at N_max.
+        assert_eq!(out.sum.count(), out.raw_count.min(16));
+    }
+
+    #[test]
+    fn merger_functional_clamps() {
+        let e = epoch(3);
+        let adder = MergerAdder::new(e, 2).unwrap();
+        let a = PulseStream::from_unipolar(1.0, e).unwrap();
+        let out = adder.add_functional(&[a, a]).unwrap();
+        assert_eq!(out.count(), 8); // clamped at N_max
+    }
+
+    #[test]
+    fn merger_rejects_bad_config() {
+        let e = epoch(3);
+        assert!(MergerAdder::new(e, 1).is_err());
+        let adder = MergerAdder::new(e, 3).unwrap();
+        assert_eq!(adder.inputs(), 3);
+        let a = PulseStream::from_unipolar(0.5, e).unwrap();
+        assert!(adder.add(&[a, a]).is_err());
+        assert!(adder.add_functional(&[a]).is_err());
+    }
+
+    #[test]
+    fn merger_odd_input_count_conserves() {
+        let e = epoch(4);
+        let adder = MergerAdder::new(e, 3).unwrap();
+        let a = PulseStream::from_unipolar(0.125, e).unwrap();
+        let out = adder.add(&[a, a, a]).unwrap();
+        // Tree retiming can push identical streams into coincidence —
+        // exactly the paper's Fig. 5 hazard — but pulses are either
+        // delivered or accounted as collisions.
+        assert_eq!(out.raw_count + out.collisions, 6);
+    }
+
+    #[test]
+    fn merger_latency_grows_with_inputs() {
+        let e = epoch(4);
+        let a2 = MergerAdder::new(e, 2).unwrap();
+        let a8 = MergerAdder::new(e, 8).unwrap();
+        assert!(a8.latency() > a2.latency());
+        assert_eq!(a2.epoch(), e);
+    }
+
+    #[test]
+    fn balancer_averages() {
+        let e = epoch(4);
+        let adder = BalancerAdder::new(e);
+        let a = PulseStream::from_unipolar(0.5, e).unwrap();
+        let b = PulseStream::from_unipolar(0.25, e).unwrap();
+        let out = adder.add(a, b).unwrap();
+        // (0.5 + 0.25) / 2 = 0.375 = 6 pulses of 16.
+        assert_eq!(out.count(), 6);
+    }
+
+    #[test]
+    fn balancer_odd_total_rounds_up_on_y1() {
+        let e = epoch(4);
+        let adder = BalancerAdder::new(e);
+        let a = PulseStream::from_count(3, e).unwrap();
+        let b = PulseStream::from_count(2, e).unwrap();
+        let out = adder.add(a, b).unwrap();
+        assert_eq!(out.count(), 3); // ⌈5/2⌉: the paper's ±0.5 effect
+        let f = adder.add_functional(a, b).unwrap();
+        assert_eq!(f.count(), 3);
+    }
+
+    #[test]
+    fn balancer_latency_uses_tbff() {
+        let e = epoch(8);
+        let adder = BalancerAdder::new(e);
+        // 2^8 × 12 ps = 3.072 ns.
+        assert_eq!(adder.latency(), Time::from_ns(3.072));
+        assert_eq!(adder.epoch(), e);
+    }
+
+    proptest! {
+        /// Structural balancer addition equals the functional mirror for
+        /// arbitrary operands.
+        #[test]
+        fn balancer_structural_matches_functional(a in 0.0f64..=1.0, b in 0.0f64..=1.0) {
+            let e = epoch(5);
+            let adder = BalancerAdder::new(e);
+            let sa = PulseStream::from_unipolar(a, e).unwrap();
+            let sb = PulseStream::from_unipolar(b, e).unwrap();
+            let s = adder.add(sa, sb).unwrap();
+            let f = adder.add_functional(sa, sb).unwrap();
+            prop_assert!((s.count() as i64 - f.count() as i64).abs() <= 1,
+                "a={a} b={b}: structural {} functional {}", s.count(), f.count());
+        }
+
+        /// Balancer addition approximates (a+b)/2 within 1.5 LSB.
+        #[test]
+        fn balancer_accuracy(a in 0.0f64..=1.0, b in 0.0f64..=1.0) {
+            let e = epoch(6);
+            let adder = BalancerAdder::new(e);
+            let sa = PulseStream::from_unipolar(a, e).unwrap();
+            let sb = PulseStream::from_unipolar(b, e).unwrap();
+            let out = adder.add(sa, sb).unwrap();
+            let want = (sa.value() + sb.value()) / 2.0;
+            prop_assert!((out.value() - want).abs() <= 1.5 * e.lsb(),
+                "a={a} b={b}: got {}, want {want}", out.value());
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! The coefficient memory bank (paper §4.3, Fig. 9b).
+//!
+//! DSP coefficients are written once and read every epoch, so the bank
+//! stores each `B`-bit word in NDROs (non-destructive) and uses a shared
+//! [`PulseNumberMultiplier`](crate::blocks::PulseNumberMultiplier)-style
+//! clock chain to regenerate each word's pulse stream on demand. The
+//! paper prices the mergers and clock distribution at a 10 % area
+//! overhead over a plain binary NDRO bank.
+
+use usfq_encoding::{Epoch, PulseStream};
+use usfq_sim::Time;
+
+use crate::blocks::PulseNumberMultiplier;
+use crate::error::CoreError;
+
+/// A bank of unipolar coefficients stored as `B`-bit words, read out as
+/// pulse streams.
+#[derive(Debug, Clone)]
+pub struct MemoryBank {
+    epoch: Epoch,
+    words: Vec<u64>,
+}
+
+impl MemoryBank {
+    /// Quantizes and stores unipolar coefficients.
+    ///
+    /// # Errors
+    ///
+    /// Returns an encoding error if any coefficient is outside `[0, 1]`.
+    pub fn from_unipolar(coeffs: &[f64], epoch: Epoch) -> Result<Self, CoreError> {
+        let words = coeffs
+            .iter()
+            .map(|&x| {
+                // A stored word has B bits, so the all-ones word encodes
+                // N_max − 1 (the PNM cannot emit the 2^B-th pulse).
+                epoch
+                    .quantize_unipolar(x)
+                    .map(|w| w.min(epoch.n_max() - 1))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(MemoryBank { epoch, words })
+    }
+
+    /// Quantizes and stores bipolar coefficients through the paper's
+    /// `(x + 1) / 2` mapping.
+    ///
+    /// # Errors
+    ///
+    /// Returns an encoding error if any coefficient is outside `[−1, 1]`.
+    pub fn from_bipolar(coeffs: &[f64], epoch: Epoch) -> Result<Self, CoreError> {
+        let words = coeffs
+            .iter()
+            .map(|&x| {
+                epoch
+                    .quantize_bipolar(x)
+                    .map(|w| w.min(epoch.n_max() - 1))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(MemoryBank { epoch, words })
+    }
+
+    /// The bank's epoch.
+    pub fn epoch(&self) -> Epoch {
+        self.epoch
+    }
+
+    /// Number of stored words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True if the bank holds no words.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// The raw stored word at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn word(&self, index: usize) -> u64 {
+        self.words[index]
+    }
+
+    /// The stream encoding word `index` (a count, ready to schedule).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn stream(&self, index: usize) -> PulseStream {
+        PulseStream::from_count(self.words[index], self.epoch)
+            .expect("stored words are always < N_max")
+    }
+
+    /// Regenerates word `index` through the simulated PNM chain (slow;
+    /// used to validate the fast [`MemoryBank::stream`] path).
+    ///
+    /// # Errors
+    ///
+    /// Returns a simulation error if the PNM circuit fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn stream_simulated(&self, index: usize) -> Result<PulseStream, CoreError> {
+        PulseNumberMultiplier::new(self.epoch).generate(self.words[index])
+    }
+
+    /// Readout latency per epoch — the PNM latency `2^B · B · t_TFF2`,
+    /// which bounds the FIR accelerator (paper §5.4.2).
+    pub fn readout_latency(&self) -> Time {
+        PulseNumberMultiplier::new(self.epoch).latency()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn epoch(bits: u32) -> Epoch {
+        Epoch::with_slot(bits, usfq_cells::catalog::t_tff2()).unwrap()
+    }
+
+    #[test]
+    fn stores_and_streams_unipolar() {
+        let e = epoch(4);
+        let bank = MemoryBank::from_unipolar(&[0.0, 0.25, 0.5, 0.9375], e).unwrap();
+        assert_eq!(bank.len(), 4);
+        assert!(!bank.is_empty());
+        assert_eq!(bank.word(1), 4);
+        assert_eq!(bank.stream(2).count(), 8);
+        assert_eq!(bank.stream(3).count(), 15);
+        assert_eq!(bank.epoch(), e);
+    }
+
+    #[test]
+    fn all_ones_saturates_to_nmax_minus_one() {
+        let e = epoch(4);
+        let bank = MemoryBank::from_unipolar(&[1.0], e).unwrap();
+        assert_eq!(bank.word(0), 15);
+    }
+
+    #[test]
+    fn bipolar_mapping() {
+        let e = epoch(4);
+        let bank = MemoryBank::from_bipolar(&[-1.0, 0.0, 1.0], e).unwrap();
+        assert_eq!(bank.word(0), 0);
+        assert_eq!(bank.word(1), 8);
+        assert_eq!(bank.word(2), 15);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let e = epoch(4);
+        assert!(MemoryBank::from_unipolar(&[1.5], e).is_err());
+        assert!(MemoryBank::from_bipolar(&[-1.5], e).is_err());
+    }
+
+    #[test]
+    fn simulated_readout_matches_stored_word() {
+        let e = epoch(5);
+        let bank = MemoryBank::from_unipolar(&[0.25, 0.6875], e).unwrap();
+        for i in 0..bank.len() {
+            let simulated = bank.stream_simulated(i).unwrap();
+            assert_eq!(simulated.count(), bank.word(i), "word {i}");
+        }
+    }
+
+    #[test]
+    fn readout_latency_formula() {
+        let e = epoch(8);
+        let bank = MemoryBank::from_unipolar(&[0.5], e).unwrap();
+        assert_eq!(bank.readout_latency(), Time::from_ns(40.96));
+    }
+
+    #[test]
+    fn empty_bank() {
+        let e = epoch(4);
+        let bank = MemoryBank::from_unipolar(&[], e).unwrap();
+        assert!(bank.is_empty());
+        assert_eq!(bank.len(), 0);
+    }
+}

@@ -1,0 +1,19 @@
+//! The unary SFQ building blocks (paper §4).
+
+mod adder;
+mod converters;
+mod counting;
+mod memory;
+mod multiplier;
+mod pnm;
+mod shift;
+
+pub use adder::{BalancerAdder, MergerAdder, MergerSum};
+pub use converters::{BinaryToRlConverter, StreamToBinaryCounter};
+pub use counting::CountingNetwork;
+pub use memory::MemoryBank;
+pub use multiplier::{
+    gated_count, BipolarMultiplier, BipolarMultiplierPorts, UnipolarMultiplier,
+};
+pub use pnm::{PnmVariant, PulseNumberMultiplier};
+pub use shift::{IntegratorBuffer, MemoryCell, RlShiftRegister, ShiftRegisterKind};

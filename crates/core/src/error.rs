@@ -1,0 +1,69 @@
+//! Error type for U-SFQ block and accelerator operations.
+
+use std::error::Error;
+use std::fmt;
+
+use usfq_encoding::EncodingError;
+use usfq_sim::SimError;
+
+/// Errors raised by U-SFQ blocks and accelerators.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// An underlying simulation failed.
+    Sim(SimError),
+    /// A value could not be encoded.
+    Encoding(EncodingError),
+    /// A configuration constraint was violated (message explains which).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Sim(e) => write!(f, "simulation error: {e}"),
+            CoreError::Encoding(e) => write!(f, "encoding error: {e}"),
+            CoreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Sim(e) => Some(e),
+            CoreError::Encoding(e) => Some(e),
+            CoreError::InvalidConfig(_) => None,
+        }
+    }
+}
+
+impl From<SimError> for CoreError {
+    fn from(e: SimError) -> Self {
+        CoreError::Sim(e)
+    }
+}
+
+impl From<EncodingError> for CoreError {
+    fn from(e: EncodingError) -> Self {
+        CoreError::Encoding(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CoreError::from(SimError::TimeOverflow);
+        assert!(e.to_string().contains("simulation error"));
+        assert!(e.source().is_some());
+        let e = CoreError::from(EncodingError::UnsupportedBits { bits: 0 });
+        assert!(e.to_string().contains("encoding error"));
+        assert!(e.source().is_some());
+        let e = CoreError::InvalidConfig("taps must be a power of two".into());
+        assert!(e.to_string().contains("taps must be"));
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,143 @@
+//! Latency and throughput models for U-SFQ blocks and accelerators.
+//!
+//! Unary latency is exponential in bit resolution — the defining
+//! trade-off of the architecture (paper §4.1: "the latency of the unary
+//! multiplier increases exponentially with B"). Each block's slot width
+//! is pinned by its slowest cell: t_INV for the multiplier, t_BFF for
+//! the balancer, and the PNM clock `B · t_TFF2` for the FIR.
+
+use usfq_cells::catalog;
+use usfq_sim::Time;
+
+/// Pulses per epoch at `bits` resolution.
+fn n_max(bits: u32) -> u64 {
+    1u64 << bits
+}
+
+/// Unary multiplier latency: `2^B · t_INV` (paper §4.1).
+pub fn multiplier_latency(bits: u32) -> Time {
+    catalog::t_inverter().scale(n_max(bits))
+}
+
+/// Merger-adder latency: the epoch stretched by the input count to keep
+/// pulses from colliding (paper §4.2-A, Fig. 5c).
+pub fn merger_adder_latency(bits: u32, inputs: usize) -> Time {
+    catalog::t_merger()
+        .scale(n_max(bits))
+        .scale(inputs as u64)
+}
+
+/// Balancer-adder latency: `2^B · t_BFF` (paper §4.2-B).
+pub fn balancer_adder_latency(bits: u32) -> Time {
+    catalog::t_bff().scale(n_max(bits))
+}
+
+/// PE issue interval: one epoch at the balancer slot — the slowest
+/// stage of multiplier (9 ps) vs balancer (12 ps).
+pub fn pe_issue_interval(bits: u32) -> Time {
+    balancer_adder_latency(bits)
+}
+
+/// PE MAC latency: the RL result lands in the following epoch.
+pub fn pe_latency(bits: u32) -> Time {
+    pe_issue_interval(bits).scale(2)
+}
+
+/// DPU latency: the lane epoch plus the counting tree's settle time
+/// (`log2 L` balancer flips — negligible next to the epoch).
+pub fn dpu_latency(bits: u32, lanes: usize) -> Time {
+    let depth = lanes.next_power_of_two().trailing_zeros() as u64;
+    balancer_adder_latency(bits) + catalog::t_bff().scale(depth)
+}
+
+/// FIR latency: `2^B · T_CLK` with `T_CLK = B · t_TFF2` — the PNM
+/// memory bound, independent of tap count (paper §5.4.2).
+pub fn fir_latency(bits: u32) -> Time {
+    catalog::t_tff2()
+        .scale(u64::from(bits))
+        .scale(n_max(bits))
+}
+
+/// FIR throughput in complete filter computations per second: the
+/// datapath is wave-pipelined, one output per epoch.
+pub fn fir_throughput_ops(bits: u32) -> f64 {
+    1.0 / fir_latency(bits).as_secs()
+}
+
+/// DPU throughput: one dot product per epoch.
+pub fn dpu_throughput_ops(bits: u32, lanes: usize) -> f64 {
+    let _ = lanes;
+    1.0 / balancer_adder_latency(bits).as_secs()
+}
+
+/// PE array throughput in MACs per second.
+pub fn pe_array_throughput_ops(bits: u32, pes: usize) -> f64 {
+    pes as f64 / pe_issue_interval(bits).as_secs()
+}
+
+/// Efficiency metric of the paper's Fig. 18d: throughput per JJ.
+pub fn efficiency_ops_per_jj(throughput_ops: f64, jj: u64) -> f64 {
+    throughput_ops / jj as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_stated_latencies() {
+        // 8-bit multiplier: 256 × 9 ps = 2.304 ns.
+        assert_eq!(multiplier_latency(8), Time::from_ns(2.304));
+        // 8-bit balancer adder: 256 × 12 ps = 3.072 ns.
+        assert_eq!(balancer_adder_latency(8), Time::from_ns(3.072));
+        // 8-bit FIR: 256 × 8 × 20 ps = 40.96 ns.
+        assert_eq!(fir_latency(8), Time::from_ns(40.96));
+    }
+
+    #[test]
+    fn latency_is_exponential_in_bits() {
+        assert_eq!(
+            multiplier_latency(10).as_fs(),
+            4 * multiplier_latency(8).as_fs()
+        );
+        assert!(fir_latency(16) > fir_latency(8).scale(256));
+    }
+
+    #[test]
+    fn fir_latency_independent_of_taps() {
+        // The formula takes no tap parameter — assert the throughput
+        // identity instead.
+        let t = fir_throughput_ops(8);
+        assert!((t - 1.0 / 40.96e-9).abs() < 1.0);
+    }
+
+    #[test]
+    fn merger_adder_latency_scales_with_inputs() {
+        assert_eq!(
+            merger_adder_latency(4, 4).as_fs(),
+            2 * merger_adder_latency(4, 2).as_fs()
+        );
+    }
+
+    #[test]
+    fn pe_and_dpu_latencies() {
+        assert_eq!(pe_latency(8), Time::from_ns(6.144));
+        let base = balancer_adder_latency(8);
+        let d = dpu_latency(8, 32);
+        assert!(d > base);
+        assert!(d < base + Time::from_ps(300.0));
+    }
+
+    #[test]
+    fn throughput_scales_with_pes() {
+        let one = pe_array_throughput_ops(8, 1);
+        let many = pe_array_throughput_ops(8, 64);
+        assert!((many / one - 64.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn efficiency_metric() {
+        let eff = efficiency_ops_per_jj(1e9, 1000);
+        assert!((eff - 1e6).abs() < 1e-3);
+    }
+}

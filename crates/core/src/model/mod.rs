@@ -1,0 +1,8 @@
+//! Closed-form models of the U-SFQ architecture, calibrated to the
+//! paper's stated anchors. These generate the unary-side curves of every
+//! figure; the binary-side curves come from `usfq-baseline`'s Table 2
+//! fits.
+
+pub mod area;
+pub mod latency;
+pub mod power;

@@ -1,0 +1,158 @@
+//! Closed-form power models (paper §5.4.5, Table 3, Fig. 21).
+//!
+//! Active power is pulse traffic × per-switch energy; passive power is
+//! the bias network, proportional to JJ count. Per-path switching
+//! weights are calibrated so the bipolar multiplier lands in the
+//! paper's measured 68–135 nW band and the balancer near its 0.17 µW
+//! Table 3 row; the figure harness cross-checks against event-counted
+//! simulation.
+
+use usfq_sim::power::{PowerModel, DEFAULT_IC_A, FLUX_QUANTUM_WB};
+use usfq_sim::Time;
+
+use super::area;
+
+/// Switching JJs charged per slot for the multiplier's always-on front
+/// end (splitters, slot clock, inverter). Calibrated to the paper's
+/// 68 nW Fig. 21 floor.
+const MULT_FRONT_JJ: f64 = 3.0;
+/// Switching JJs per *output* pulse of the multiplier (NDRO read path +
+/// merger). Calibrated to the paper's 135 nW Fig. 21 ceiling.
+const MULT_OUT_JJ: f64 = 2.9;
+/// Switching JJs per pulse through a balancer (routing loop + output
+/// stage). Calibrated to the paper's 0.17 µW Table 3 row.
+const BALANCER_JJ_PER_PULSE: f64 = 10.0;
+
+/// Energy per switching junction, joules.
+fn e_switch() -> f64 {
+    FLUX_QUANTUM_WB * DEFAULT_IC_A
+}
+
+/// Maximum pulse rate with slot width `slot` (one pulse per slot). The
+/// bit resolution fixes the epoch length but not the peak rate.
+fn max_rate(bits: u32, slot: Time) -> f64 {
+    let _ = bits;
+    1.0 / slot.as_secs()
+}
+
+/// Active power of the bipolar multiplier with stream operand `a` and
+/// RL operand `b`, both bipolar in `[−1, 1]` (paper Fig. 21's axes).
+///
+/// Output traffic is the unipolar product count
+/// `a_u·g + (1 − a_u)(1 − g)`; the front end switches every slot.
+pub fn bipolar_multiplier_active_w(bits: u32, a: f64, b: f64) -> f64 {
+    let slot = usfq_cells::catalog::t_inverter();
+    let a_u = (a + 1.0) / 2.0;
+    let g = (b + 1.0) / 2.0;
+    let out_u = a_u * g + (1.0 - a_u) * (1.0 - g);
+    let rate = max_rate(bits, slot);
+    (MULT_FRONT_JJ + MULT_OUT_JJ * out_u) * rate * e_switch()
+}
+
+/// Active power of one balancer at combined input activity `alpha`
+/// (fraction of two full-rate inputs).
+pub fn balancer_active_w(bits: u32, alpha: f64) -> f64 {
+    let slot = usfq_cells::catalog::t_bff();
+    let rate = 2.0 * alpha * max_rate(bits, slot);
+    rate * BALANCER_JJ_PER_PULSE * e_switch()
+}
+
+/// Active power of an `L`-lane DPU at the paper's Table 3 operating
+/// point (streams at half rate, RL mid-epoch). The tree's traffic
+/// halves per stage, so each of the `L − 1` balancers averages a
+/// quarter of full activity.
+pub fn dpu_active_w(bits: u32, lanes: usize) -> f64 {
+    let per_mult = bipolar_multiplier_active_w(bits, 0.0, 0.0);
+    let balancers = lanes as u64 - 1;
+    per_mult * lanes as f64 + balancer_active_w(bits, 0.25) * balancers as f64
+}
+
+/// Passive (bias) power of a block of `jj` junctions under plain RSFQ.
+pub fn passive_w(jj: u64) -> f64 {
+    PowerModel::rsfq().bias_w_per_jj * jj as f64
+}
+
+/// Table 3's rows, computed: (component, active W, passive W) for the
+/// multiplier, balancer, and a 32-lane DPU.
+pub fn table3(bits: u32) -> [(&'static str, f64, f64); 3] {
+    [
+        (
+            "Multiplier",
+            bipolar_multiplier_active_w(bits, 0.0, 0.0),
+            passive_w(area::bipolar_multiplier_jj()),
+        ),
+        (
+            "Balancer",
+            balancer_active_w(bits, 0.5),
+            passive_w(area::balancer_adder_jj()),
+        ),
+        (
+            "DPU w/o cooling",
+            dpu_active_w(bits, 32),
+            passive_w(area::dpu_jj(32)),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Fig. 21 band: multiplier active power between ~68 nW
+    /// and ~135 nW across the RL input range at streams −1, 0, 1.
+    #[test]
+    fn multiplier_band_matches_paper() {
+        let mut min = f64::MAX;
+        let mut max: f64 = 0.0;
+        for &a in &[-1.0, 0.0, 1.0] {
+            for i in 0..=20 {
+                let b = -1.0 + 0.1 * i as f64;
+                let p = bipolar_multiplier_active_w(8, a, b);
+                min = min.min(p);
+                max = max.max(p);
+            }
+        }
+        assert!((50e-9..=90e-9).contains(&min), "min {min}");
+        assert!((110e-9..=160e-9).contains(&max), "max {max}");
+    }
+
+    /// Fig. 21's shape: at stream +1 traffic (and power) grows with the
+    /// RL input; at stream −1 it falls; at 0 it is flat — the paper's
+    /// "increases and decreases respectively ... constant for 0".
+    #[test]
+    fn multiplier_trends_with_rl_input() {
+        let p = |a: f64, b: f64| bipolar_multiplier_active_w(8, a, b);
+        assert!(p(1.0, 0.9) > p(1.0, -0.9));
+        assert!(p(-1.0, 0.9) < p(-1.0, -0.9));
+        assert!((p(0.0, 0.9) - p(0.0, -0.9)).abs() < 1e-12);
+    }
+
+    /// Table 3 anchors: multiplier ≈ 9e-5 mW, balancer ≈ 17e-5 mW,
+    /// DPU ≈ 8.4e-3 mW active; DPU passive ≈ 4.8 mW (same order).
+    #[test]
+    fn table3_anchors() {
+        let rows = table3(8);
+        let (_, mult_a, mult_p) = rows[0];
+        let (_, bal_a, bal_p) = rows[1];
+        let (_, dpu_a, dpu_p) = rows[2];
+        assert!((60e-9..=150e-9).contains(&mult_a), "mult active {mult_a}");
+        assert!((100e-9..=300e-9).contains(&bal_a), "bal active {bal_a}");
+        assert!((2e-6..=20e-6).contains(&dpu_a), "dpu active {dpu_a}");
+        // Passive: multiplier 0.05 mW, balancer 0.1 mW, DPU 4.8 mW in
+        // the paper; ours use the calibrated 1.8 µW/JJ bias.
+        assert!((0.02e-3..=0.2e-3).contains(&mult_p), "mult passive {mult_p}");
+        assert!((0.05e-3..=0.3e-3).contains(&bal_p), "bal passive {bal_p}");
+        assert!((2e-3..=15e-3).contains(&dpu_p), "dpu passive {dpu_p}");
+    }
+
+    #[test]
+    fn ersfq_has_no_passive() {
+        assert_eq!(PowerModel::ersfq().bias_w_per_jj, 0.0);
+        assert!(passive_w(126) > 0.0);
+    }
+
+    #[test]
+    fn dpu_active_scales_with_lanes() {
+        assert!(dpu_active_w(8, 64) > dpu_active_w(8, 32) * 1.8);
+    }
+}

@@ -1,0 +1,247 @@
+//! FIR design by the windowed-sinc method: low-pass, high-pass, and
+//! band-pass prototypes with selectable windows.
+
+use std::f64::consts::{PI, TAU};
+
+/// Window function applied to the sinc prototype.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Window {
+    /// No windowing (boxcar) — narrowest main lobe, worst sidelobes.
+    Rectangular,
+    /// Hamming — the default, and what the paper's Octave `fir1` uses.
+    #[default]
+    Hamming,
+    /// Hann — faster sidelobe rolloff than Hamming.
+    Hann,
+    /// Blackman — deepest stopband, widest main lobe.
+    Blackman,
+}
+
+impl Window {
+    /// Window weight at tap `n` of `taps`.
+    pub fn weight(self, n: usize, taps: usize) -> f64 {
+        let m = (taps - 1) as f64;
+        let x = TAU * n as f64 / m;
+        match self {
+            Window::Rectangular => 1.0,
+            Window::Hamming => 0.54 - 0.46 * x.cos(),
+            Window::Hann => 0.5 - 0.5 * x.cos(),
+            Window::Blackman => 0.42 - 0.5 * x.cos() + 0.08 * (2.0 * x).cos(),
+        }
+    }
+}
+
+/// [`lowpass`] with an explicit window.
+///
+/// # Panics
+///
+/// Panics unless `0 < fc < fs/2` and `taps >= 2`.
+pub fn lowpass_with(window: Window, taps: usize, fc: f64, fs: f64) -> Vec<f64> {
+    assert!(taps >= 2, "need at least 2 taps");
+    assert!(fc > 0.0 && fc < fs / 2.0, "cutoff {fc} must be in (0, fs/2)");
+    let mut h = windowed_sinc_with(window, taps, fc, fs);
+    let sum: f64 = h.iter().sum();
+    for c in &mut h {
+        *c /= sum;
+    }
+    h
+}
+
+/// Designs a `taps`-coefficient low-pass FIR with cutoff `fc` Hz at
+/// sample rate `fs`, using a Hamming window — the standard recipe the
+/// paper's Octave `fir1` call implements.
+///
+/// The passband gain is normalised to exactly 1 (coefficients sum to 1).
+///
+/// # Panics
+///
+/// Panics unless `0 < fc < fs/2` and `taps >= 2`.
+pub fn lowpass(taps: usize, fc: f64, fs: f64) -> Vec<f64> {
+    lowpass_with(Window::Hamming, taps, fc, fs)
+}
+
+/// Designs a high-pass FIR by spectral inversion of the complementary
+/// low-pass: `h_hp = δ − h_lp`. Requires an odd tap count so the delta
+/// lands on the symmetric centre tap.
+///
+/// # Panics
+///
+/// Panics unless `taps` is odd and `>= 3`, and `0 < fc < fs/2`.
+pub fn highpass(taps: usize, fc: f64, fs: f64) -> Vec<f64> {
+    assert!(taps >= 3 && taps % 2 == 1, "high-pass needs an odd tap count");
+    let mut h = lowpass(taps, fc, fs);
+    for c in &mut h {
+        *c = -*c;
+    }
+    h[taps / 2] += 1.0;
+    h
+}
+
+/// Designs a band-pass FIR as the difference of two low-passes:
+/// `h_bp = lp(f_hi) − lp(f_lo)`.
+///
+/// # Panics
+///
+/// Panics unless `0 < f_lo < f_hi < fs/2` and `taps >= 2`.
+pub fn bandpass(taps: usize, f_lo: f64, f_hi: f64, fs: f64) -> Vec<f64> {
+    assert!(f_lo > 0.0 && f_lo < f_hi && f_hi < fs / 2.0, "need 0 < f_lo < f_hi < fs/2");
+    let lo = lowpass(taps, f_lo, fs);
+    let hi = lowpass(taps, f_hi, fs);
+    hi.iter().zip(&lo).map(|(h, l)| h - l).collect()
+}
+
+/// The raw windowed sinc prototype (unnormalised).
+fn windowed_sinc_with(window: Window, taps: usize, fc: f64, fs: f64) -> Vec<f64> {
+    let wc = TAU * fc / fs;
+    let m = (taps - 1) as f64;
+    (0..taps)
+        .map(|n| {
+            let k = n as f64 - m / 2.0;
+            let sinc = if k.abs() < 1e-12 {
+                wc / PI
+            } else {
+                (wc * k).sin() / (PI * k)
+            };
+            sinc * window.weight(n, taps)
+        })
+        .collect()
+}
+
+/// Magnitude of the filter's frequency response at `f` Hz.
+pub fn magnitude_at(coeffs: &[f64], f: f64, fs: f64) -> f64 {
+    let w = TAU * f / fs;
+    let (mut re, mut im) = (0.0, 0.0);
+    for (n, &c) in coeffs.iter().enumerate() {
+        re += c * (w * n as f64).cos();
+        im -= c * (w * n as f64).sin();
+    }
+    (re * re + im * im).sqrt()
+}
+
+/// The paper's §5.4.1 filter: 16 taps, designed to keep the 1 kHz tone
+/// and reject the 7–9 kHz band at a 32 kHz sample rate.
+pub fn paper_filter(fs: f64) -> Vec<f64> {
+    lowpass(16, 3_000.0, fs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn dc_gain_is_unity() {
+        let h = lowpass(16, 3_000.0, 32_000.0);
+        assert_eq!(h.len(), 16);
+        assert!((h.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((magnitude_at(&h, 0.0, 32_000.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coefficients_are_symmetric() {
+        let h = lowpass(17, 2_000.0, 32_000.0);
+        for i in 0..h.len() / 2 {
+            assert!((h[i] - h[h.len() - 1 - i]).abs() < 1e-12, "tap {i}");
+        }
+    }
+
+    /// The paper's filter passes 1 kHz and rejects 7–9 kHz.
+    #[test]
+    fn paper_filter_separates_bands() {
+        let fs = 32_000.0;
+        let h = paper_filter(fs);
+        let pass = magnitude_at(&h, 1_000.0, fs);
+        assert!(pass > 0.9, "1 kHz gain {pass}");
+        for f in [7_000.0, 8_000.0, 9_000.0] {
+            let stop = magnitude_at(&h, f, fs);
+            assert!(stop < 0.12, "{f} Hz gain {stop}");
+        }
+    }
+
+    #[test]
+    fn highpass_inverts_the_bands() {
+        let fs = 32_000.0;
+        let h = highpass(31, 4_000.0, fs);
+        assert!(magnitude_at(&h, 0.0, fs) < 0.05, "DC leaks");
+        assert!(magnitude_at(&h, 12_000.0, fs) > 0.9, "passband sags");
+    }
+
+    #[test]
+    fn bandpass_selects_the_middle() {
+        let fs = 32_000.0;
+        let h = bandpass(63, 3_000.0, 6_000.0, fs);
+        assert!(magnitude_at(&h, 4_500.0, fs) > 0.85, "centre sags");
+        assert!(magnitude_at(&h, 500.0, fs) < 0.15, "low side leaks");
+        assert!(magnitude_at(&h, 12_000.0, fs) < 0.15, "high side leaks");
+    }
+
+    /// Blackman buys a deeper stopband than the rectangular window at
+    /// the same length — the classic trade-off, verified.
+    #[test]
+    fn window_trade_off() {
+        let fs = 32_000.0;
+        let stop = |w: Window| {
+            let h = lowpass_with(w, 33, 3_000.0, fs);
+            // Worst stopband leakage well past the transition band.
+            (0..=8)
+                .map(|i| magnitude_at(&h, 8_000.0 + 1_000.0 * i as f64, fs))
+                .fold(0.0f64, f64::max)
+        };
+        let rect = stop(Window::Rectangular);
+        let blackman = stop(Window::Blackman);
+        assert!(blackman < rect / 5.0, "rect {rect}, blackman {blackman}");
+        // All windows normalise to unity DC gain.
+        for w in [Window::Rectangular, Window::Hamming, Window::Hann, Window::Blackman] {
+            let h = lowpass_with(w, 21, 3_000.0, fs);
+            assert!((h.iter().sum::<f64>() - 1.0).abs() < 1e-12, "{w:?}");
+        }
+    }
+
+    #[test]
+    fn default_window_is_hamming() {
+        assert_eq!(Window::default(), Window::Hamming);
+        let a = lowpass(16, 3_000.0, 32_000.0);
+        let b = lowpass_with(Window::Hamming, 16, 3_000.0, 32_000.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "cutoff")]
+    fn bad_cutoff_panics() {
+        let _ = lowpass(16, 20_000.0, 32_000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd tap count")]
+    fn even_highpass_panics() {
+        let _ = highpass(16, 4_000.0, 32_000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "f_lo < f_hi")]
+    fn inverted_band_panics() {
+        let _ = bandpass(31, 6_000.0, 3_000.0, 32_000.0);
+    }
+
+    proptest! {
+        /// Any designed low-pass passes DC more strongly than 0.45·fs.
+        #[test]
+        fn lowpass_orders_bands(taps in 4usize..=64, fc_frac in 0.05f64..=0.4) {
+            let fs = 48_000.0;
+            let h = lowpass(taps, fc_frac * fs, fs);
+            let dc = magnitude_at(&h, 0.0, fs);
+            let hi = magnitude_at(&h, 0.49 * fs, fs);
+            prop_assert!(dc > hi, "dc {dc} vs hi {hi}");
+        }
+
+        /// High-pass designs do the opposite.
+        #[test]
+        fn highpass_orders_bands(taps_half in 2usize..=32, fc_frac in 0.1f64..=0.35) {
+            let fs = 48_000.0;
+            let h = highpass(2 * taps_half + 1, fc_frac * fs, fs);
+            let dc = magnitude_at(&h, 0.0, fs);
+            let hi = magnitude_at(&h, 0.48 * fs, fs);
+            prop_assert!(hi > dc, "dc {dc} vs hi {hi}");
+        }
+    }
+}

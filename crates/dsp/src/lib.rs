@@ -1,0 +1,32 @@
+//! # usfq-dsp — DSP support for the U-SFQ accuracy experiments
+//!
+//! The paper's §5.4.1 experiment uses Octave to synthesise a multi-tone
+//! test signal, design a 16-tap low-pass FIR, and measure SNR under
+//! fault injection. This crate is that toolbox:
+//!
+//! * [`signal`] — sinusoid synthesis and superposition;
+//! * [`design`] — windowed-sinc low-pass FIR design (Hamming window);
+//! * [`spectrum`] — a naive DFT and a radix-2 FFT with amplitude
+//!   spectra;
+//! * [`metrics`] — tone-referenced SNR, the figure of merit of Fig. 19.
+//!
+//! ```
+//! use usfq_dsp::{design, metrics, signal};
+//!
+//! let fs = 32_000.0;
+//! let x = signal::multi_tone(&[(1_000.0, 1.0)], fs, 512);
+//! let h = design::lowpass(16, 3_000.0, fs);
+//! // Filtering a clean 1 kHz tone with a 3 kHz low-pass barely
+//! // changes it:
+//! let snr = metrics::tone_snr(&x, 1_000.0, fs);
+//! assert!(snr > 30.0);
+//! # let _ = h;
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod design;
+pub mod metrics;
+pub mod signal;
+pub mod spectrum;

@@ -1,0 +1,133 @@
+//! SNR metrics — the figure of merit of the paper's Fig. 19.
+
+use crate::spectrum::{amplitude_spectrum, bin_frequency};
+
+/// Signal-to-noise ratio, in dB, of a signal expected to be a pure
+/// tone at `f0`: power in the `f0` bin (±1 bin for leakage) over the
+/// power everywhere else (DC excluded).
+///
+/// This mirrors the paper's measurement: "the SNR of the sinusoidal
+/// obtained at the FIR filter output".
+///
+/// # Panics
+///
+/// Panics on an empty signal or non-positive `fs`.
+pub fn tone_snr(signal: &[f64], f0: f64, fs: f64) -> f64 {
+    assert!(!signal.is_empty(), "empty signal");
+    assert!(fs > 0.0, "sample rate must be positive");
+    let n = signal.len();
+    let spec = amplitude_spectrum(signal);
+    // Locate the closest bin to f0.
+    let target = (0..spec.len())
+        .min_by(|&a, &b| {
+            (bin_frequency(a, n, fs) - f0)
+                .abs()
+                .total_cmp(&(bin_frequency(b, n, fs) - f0).abs())
+        })
+        .expect("non-empty spectrum");
+    let mut signal_power = 0.0;
+    let mut noise_power = 0.0;
+    for (k, &a) in spec.iter().enumerate() {
+        if k == 0 {
+            continue; // DC excluded
+        }
+        let p = a * a;
+        if k.abs_diff(target) <= 1 {
+            signal_power += p;
+        } else {
+            noise_power += p;
+        }
+    }
+    10.0 * (signal_power / noise_power.max(f64::MIN_POSITIVE)).log10()
+}
+
+/// SNR, in dB, of `signal` against an explicit `reference`: reference
+/// power over error power. Used when a golden waveform is available.
+///
+/// # Panics
+///
+/// Panics if lengths differ or both are empty.
+pub fn reference_snr(signal: &[f64], reference: &[f64]) -> f64 {
+    assert_eq!(signal.len(), reference.len(), "length mismatch");
+    assert!(!signal.is_empty(), "empty signals");
+    let ref_power: f64 = reference.iter().map(|x| x * x).sum();
+    let err_power: f64 = signal
+        .iter()
+        .zip(reference)
+        .map(|(s, r)| (s - r) * (s - r))
+        .sum();
+    10.0 * (ref_power / err_power.max(f64::MIN_POSITIVE)).log10()
+}
+
+/// Converts a power ratio to dB.
+pub fn to_db(ratio: f64) -> f64 {
+    10.0 * ratio.log10()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::TAU;
+
+    fn tone(n: usize, cycles: f64, amp: f64) -> Vec<f64> {
+        (0..n)
+            .map(|i| amp * (TAU * cycles * i as f64 / n as f64).sin())
+            .collect()
+    }
+
+    #[test]
+    fn clean_tone_has_high_snr() {
+        let fs = 32_000.0;
+        let x = tone(512, 16.0, 1.0); // 1 kHz at 32 kHz/512 bins
+        let snr = tone_snr(&x, 1_000.0, fs);
+        assert!(snr > 60.0, "snr {snr}");
+    }
+
+    #[test]
+    fn added_noise_lowers_snr() {
+        let fs = 32_000.0;
+        let mut x = tone(512, 16.0, 1.0);
+        // Deterministic pseudo-noise.
+        for (i, v) in x.iter_mut().enumerate() {
+            *v += 0.1 * (((i * 2654435761) % 1000) as f64 / 1000.0 - 0.5);
+        }
+        let snr = tone_snr(&x, 1_000.0, fs);
+        assert!(snr < 40.0 && snr > 5.0, "snr {snr}");
+    }
+
+    #[test]
+    fn interferer_counts_as_noise() {
+        let fs = 32_000.0;
+        let mut x = tone(512, 16.0, 1.0);
+        let interferer = tone(512, 112.0, 0.5); // 7 kHz
+        for (a, b) in x.iter_mut().zip(&interferer) {
+            *a += b;
+        }
+        let snr = tone_snr(&x, 1_000.0, fs);
+        // Power ratio 1 / 0.25 = 6 dB.
+        assert!((snr - 6.0).abs() < 0.5, "snr {snr}");
+    }
+
+    #[test]
+    fn reference_snr_behaviour() {
+        let r = tone(256, 8.0, 1.0);
+        let clean = reference_snr(&r, &r);
+        assert!(clean > 100.0);
+        let half: Vec<f64> = r.iter().map(|x| 0.5 * x).collect();
+        // Error power = (0.5)² of reference → 6 dB.
+        let snr = reference_snr(&half, &r);
+        assert!((snr - 6.02).abs() < 0.1, "snr {snr}");
+    }
+
+    #[test]
+    fn to_db_is_log10() {
+        assert!((to_db(100.0) - 20.0).abs() < 1e-12);
+        assert!((to_db(1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn reference_snr_length_mismatch_panics() {
+        let _ = reference_snr(&[1.0], &[1.0, 2.0]);
+    }
+}

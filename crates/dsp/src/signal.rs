@@ -1,0 +1,85 @@
+//! Test-signal synthesis.
+
+use std::f64::consts::TAU;
+
+/// Samples a sum of sinusoids `Σ aᵢ·sin(2π fᵢ t)` at rate `fs` for `n`
+/// samples. `tones` is a list of `(frequency_hz, amplitude)` pairs.
+///
+/// # Panics
+///
+/// Panics if `fs` is not positive or any tone violates Nyquist.
+pub fn multi_tone(tones: &[(f64, f64)], fs: f64, n: usize) -> Vec<f64> {
+    assert!(fs > 0.0, "sample rate must be positive");
+    for &(f, _) in tones {
+        assert!(f >= 0.0 && f < fs / 2.0, "tone {f} Hz violates Nyquist at fs {fs}");
+    }
+    (0..n)
+        .map(|i| {
+            let t = i as f64 / fs;
+            tones.iter().map(|&(f, a)| a * (TAU * f * t).sin()).sum()
+        })
+        .collect()
+}
+
+/// The paper's §5.4.1 test input: sinusoids at 1, 7, 8, and 9 kHz with
+/// equal amplitudes, scaled so the sum stays within `[−1, 1]` ("inputs
+/// are scaled to avoid overflow errors").
+pub fn paper_test_signal(fs: f64, n: usize) -> Vec<f64> {
+    let amp = 1.0 / 4.0;
+    multi_tone(
+        &[
+            (1_000.0, amp),
+            (7_000.0, amp),
+            (8_000.0, amp),
+            (9_000.0, amp),
+        ],
+        fs,
+        n,
+    )
+}
+
+/// Peak absolute value of a signal.
+pub fn peak(signal: &[f64]) -> f64 {
+    signal.iter().fold(0.0f64, |m, &x| m.max(x.abs()))
+}
+
+/// Root-mean-square of a signal.
+pub fn rms(signal: &[f64]) -> f64 {
+    if signal.is_empty() {
+        return 0.0;
+    }
+    (signal.iter().map(|x| x * x).sum::<f64>() / signal.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_tone_rms() {
+        let x = multi_tone(&[(1000.0, 1.0)], 32_000.0, 3200);
+        // Sine RMS is 1/√2.
+        assert!((rms(&x) - 1.0 / 2.0f64.sqrt()).abs() < 1e-3);
+        assert!(peak(&x) <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn paper_signal_is_bounded() {
+        let x = paper_test_signal(32_000.0, 4096);
+        assert!(peak(&x) <= 1.0);
+        assert!(rms(&x) > 0.1);
+    }
+
+    #[test]
+    fn empty_and_zero() {
+        assert_eq!(rms(&[]), 0.0);
+        let x = multi_tone(&[], 1000.0, 8);
+        assert_eq!(x, vec![0.0; 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "Nyquist")]
+    fn nyquist_violation_panics() {
+        let _ = multi_tone(&[(20_000.0, 1.0)], 32_000.0, 8);
+    }
+}

@@ -1,0 +1,198 @@
+//! Frequency analysis: a naive DFT (reference), a radix-2 FFT, and
+//! amplitude spectra.
+
+use std::f64::consts::TAU;
+
+/// A complex number, minimal and local — the only consumer is this
+/// module's transforms.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Builds a complex number.
+    pub fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Magnitude.
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+
+    fn add(self, rhs: Complex) -> Complex {
+        Complex {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
+    }
+
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
+    }
+}
+
+/// Naive O(n²) DFT of a real signal — the reference implementation.
+pub fn dft(signal: &[f64]) -> Vec<Complex> {
+    let n = signal.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = Complex::default();
+            for (t, &x) in signal.iter().enumerate() {
+                let phi = -TAU * k as f64 * t as f64 / n as f64;
+                acc = acc.add(Complex::new(x * phi.cos(), x * phi.sin()));
+            }
+            acc
+        })
+        .collect()
+}
+
+/// Iterative radix-2 FFT of a real signal.
+///
+/// # Panics
+///
+/// Panics unless the length is a power of two.
+pub fn fft(signal: &[f64]) -> Vec<Complex> {
+    let n = signal.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+    let mut buf: Vec<Complex> = signal.iter().map(|&x| Complex::new(x, 0.0)).collect();
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if j > i {
+            buf.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let mut len = 2;
+    while len <= n {
+        let ang = -TAU / len as f64;
+        let wlen = Complex::new(ang.cos(), ang.sin());
+        for start in (0..n).step_by(len) {
+            let mut w = Complex::new(1.0, 0.0);
+            for k in 0..len / 2 {
+                let u = buf[start + k];
+                let v = buf[start + k + len / 2].mul(w);
+                buf[start + k] = u.add(v);
+                buf[start + k + len / 2] = u.sub(v);
+                w = w.mul(wlen);
+            }
+        }
+        len <<= 1;
+    }
+    buf
+}
+
+/// Single-sided amplitude spectrum: `2|X_k|/n` for bins `0..n/2`
+/// (bin 0 unscaled by the factor 2).
+pub fn amplitude_spectrum(signal: &[f64]) -> Vec<f64> {
+    let n = signal.len();
+    let transform = if n.is_power_of_two() {
+        fft(signal)
+    } else {
+        dft(signal)
+    };
+    transform
+        .iter()
+        .take(n / 2 + 1)
+        .enumerate()
+        .map(|(k, c)| {
+            let scale = if k == 0 { 1.0 } else { 2.0 };
+            scale * c.abs() / n as f64
+        })
+        .collect()
+}
+
+/// Frequency in Hz of spectrum bin `k` for an `n`-point transform at
+/// sample rate `fs`.
+pub fn bin_frequency(k: usize, n: usize, fs: f64) -> f64 {
+    k as f64 * fs / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::TAU;
+
+    fn tone(n: usize, cycles: f64, amp: f64) -> Vec<f64> {
+        (0..n)
+            .map(|i| amp * (TAU * cycles * i as f64 / n as f64).sin())
+            .collect()
+    }
+
+    #[test]
+    fn fft_matches_dft() {
+        let x: Vec<f64> = (0..64)
+            .map(|i| (i as f64 * 0.37).sin() + 0.3 * (i as f64 * 1.7).cos())
+            .collect();
+        let a = dft(&x);
+        let b = fft(&x);
+        for (u, v) in a.iter().zip(&b) {
+            assert!((u.re - v.re).abs() < 1e-9);
+            assert!((u.im - v.im).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn spectrum_finds_the_tone() {
+        let n = 256;
+        let x = tone(n, 16.0, 0.8);
+        let spec = amplitude_spectrum(&x);
+        let (peak_bin, peak) = spec
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap();
+        assert_eq!(peak_bin, 16);
+        assert!((peak - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_power_of_two_falls_back_to_dft() {
+        let x = tone(100, 10.0, 1.0);
+        let spec = amplitude_spectrum(&x);
+        let peak_bin = spec
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        assert_eq!(peak_bin, 10);
+    }
+
+    #[test]
+    fn bin_frequency_mapping() {
+        assert_eq!(bin_frequency(16, 512, 32_000.0), 1_000.0);
+        assert_eq!(bin_frequency(0, 512, 32_000.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn fft_rejects_odd_lengths() {
+        let _ = fft(&[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn parseval_energy_conservation() {
+        let x: Vec<f64> = (0..128).map(|i| ((i * 7 % 13) as f64 - 6.0) / 6.0).collect();
+        let time_energy: f64 = x.iter().map(|v| v * v).sum();
+        let freq_energy: f64 =
+            fft(&x).iter().map(|c| c.abs() * c.abs()).sum::<f64>() / x.len() as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-9 * time_energy.max(1.0));
+    }
+}

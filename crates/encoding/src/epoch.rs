@@ -1,0 +1,235 @@
+//! The computing epoch: resolution, slot width, and quantization.
+
+use usfq_sim::Time;
+
+use crate::error::EncodingError;
+
+/// Maximum supported resolution. 2^24 pulses per epoch keeps worst-case
+/// event counts tractable while covering the paper's 2–16 bit sweeps.
+pub const MAX_BITS: u32 = 24;
+
+/// Default slot width: the paper's measured t_INV = 9 ps, which limits
+/// the unary multiplier's pulse rate to ≈ 111 GHz (§4.1).
+pub const DEFAULT_SLOT: Time = Time::from_fs(9_000);
+
+/// A computing epoch: `N_max = 2^bits` time slots of fixed width.
+///
+/// Everything in U-SFQ is relative to an epoch — an RL value is a slot
+/// index, a pulse stream's value is a pulse count out of `N_max`, and a
+/// block's latency is the epoch duration for its slot width.
+///
+/// `Epoch` is `Copy` and cheap; it is carried inside every encoded value
+/// so mixed-epoch arithmetic can be rejected.
+///
+/// # Examples
+///
+/// ```
+/// use usfq_encoding::Epoch;
+///
+/// # fn main() -> Result<(), usfq_encoding::EncodingError> {
+/// let e = Epoch::from_bits(8)?;
+/// assert_eq!(e.n_max(), 256);
+/// assert_eq!(e.lsb(), 1.0 / 256.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Epoch {
+    bits: u32,
+    slot: Time,
+}
+
+impl Epoch {
+    /// Creates an epoch of `2^bits` slots with the default 9 ps slot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EncodingError::UnsupportedBits`] unless
+    /// `1 <= bits <= 24`.
+    pub fn from_bits(bits: u32) -> Result<Self, EncodingError> {
+        Self::with_slot(bits, DEFAULT_SLOT)
+    }
+
+    /// Creates an epoch with an explicit slot width (e.g. t_BFF = 12 ps
+    /// for balancer-based adders, or B·t_TFF2 for the FIR's PNM clock).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EncodingError::UnsupportedBits`] unless
+    /// `1 <= bits <= 24`, or if `slot` is zero.
+    pub fn with_slot(bits: u32, slot: Time) -> Result<Self, EncodingError> {
+        if bits == 0 || bits > MAX_BITS || slot == Time::ZERO {
+            return Err(EncodingError::UnsupportedBits { bits });
+        }
+        Ok(Epoch { bits, slot })
+    }
+
+    /// Resolution in bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Number of slots, `N_max = 2^bits`.
+    pub fn n_max(&self) -> u64 {
+        1u64 << self.bits
+    }
+
+    /// Weight of one pulse / one slot: `1 / N_max`.
+    pub fn lsb(&self) -> f64 {
+        1.0 / self.n_max() as f64
+    }
+
+    /// Width of one slot.
+    pub fn slot_width(&self) -> Time {
+        self.slot
+    }
+
+    /// Total epoch duration, `N_max · slot`.
+    pub fn duration(&self) -> Time {
+        self.slot.scale(self.n_max())
+    }
+
+    /// Start time of slot `id` relative to the epoch start.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EncodingError::SlotOutOfEpoch`] if `id > N_max` (the
+    /// value `N_max` itself is allowed — it is the epoch end, encoding
+    /// exactly 1.0).
+    pub fn slot_time(&self, id: u64) -> Result<Time, EncodingError> {
+        if id > self.n_max() {
+            return Err(EncodingError::SlotOutOfEpoch {
+                slot: id,
+                n_max: self.n_max(),
+            });
+        }
+        Ok(self.slot.scale(id))
+    }
+
+    /// Quantizes a unipolar value to the nearest slot count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EncodingError::OutOfRange`] unless `0 <= x <= 1`.
+    pub fn quantize_unipolar(&self, x: f64) -> Result<u64, EncodingError> {
+        if !(0.0..=1.0).contains(&x) || x.is_nan() {
+            return Err(EncodingError::OutOfRange {
+                value: x,
+                min: 0.0,
+                max: 1.0,
+            });
+        }
+        Ok((x * self.n_max() as f64).round() as u64)
+    }
+
+    /// Quantizes a bipolar value (`[−1, 1]`) to a slot count via the
+    /// paper's mapping `p_u = (p_b + 1) / 2`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EncodingError::OutOfRange`] unless `−1 <= x <= 1`.
+    pub fn quantize_bipolar(&self, x: f64) -> Result<u64, EncodingError> {
+        if !(-1.0..=1.0).contains(&x) || x.is_nan() {
+            return Err(EncodingError::OutOfRange {
+                value: x,
+                min: -1.0,
+                max: 1.0,
+            });
+        }
+        self.quantize_unipolar((x + 1.0) / 2.0)
+    }
+
+    /// The unipolar value a slot count represents.
+    pub fn dequantize_unipolar(&self, count: u64) -> f64 {
+        count as f64 / self.n_max() as f64
+    }
+
+    /// The bipolar value a slot count represents: `2·p_u − 1`.
+    pub fn dequantize_bipolar(&self, count: u64) -> f64 {
+        2.0 * self.dequantize_unipolar(count) - 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn construction_bounds() {
+        assert!(Epoch::from_bits(0).is_err());
+        assert!(Epoch::from_bits(25).is_err());
+        assert!(Epoch::with_slot(4, Time::ZERO).is_err());
+        let e = Epoch::from_bits(1).unwrap();
+        assert_eq!(e.n_max(), 2);
+        assert_eq!(Epoch::from_bits(24).unwrap().n_max(), 1 << 24);
+    }
+
+    #[test]
+    fn geometry() {
+        let e = Epoch::with_slot(3, Time::from_ps(10.0)).unwrap();
+        assert_eq!(e.bits(), 3);
+        assert_eq!(e.n_max(), 8);
+        assert_eq!(e.lsb(), 0.125);
+        assert_eq!(e.slot_width(), Time::from_ps(10.0));
+        assert_eq!(e.duration(), Time::from_ps(80.0));
+        assert_eq!(e.slot_time(3).unwrap(), Time::from_ps(30.0));
+        assert_eq!(e.slot_time(8).unwrap(), Time::from_ps(80.0));
+        assert!(e.slot_time(9).is_err());
+    }
+
+    #[test]
+    fn quantize_unipolar_endpoints() {
+        let e = Epoch::from_bits(4).unwrap();
+        assert_eq!(e.quantize_unipolar(0.0).unwrap(), 0);
+        assert_eq!(e.quantize_unipolar(1.0).unwrap(), 16);
+        assert_eq!(e.quantize_unipolar(0.5).unwrap(), 8);
+        assert!(e.quantize_unipolar(-0.1).is_err());
+        assert!(e.quantize_unipolar(1.1).is_err());
+        assert!(e.quantize_unipolar(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn quantize_bipolar_mapping() {
+        let e = Epoch::from_bits(4).unwrap();
+        assert_eq!(e.quantize_bipolar(-1.0).unwrap(), 0);
+        assert_eq!(e.quantize_bipolar(0.0).unwrap(), 8);
+        assert_eq!(e.quantize_bipolar(1.0).unwrap(), 16);
+        assert!(e.quantize_bipolar(-1.5).is_err());
+        assert_eq!(e.dequantize_bipolar(8), 0.0);
+        assert_eq!(e.dequantize_bipolar(0), -1.0);
+    }
+
+    #[test]
+    fn paper_example_3bit() {
+        // Paper Fig. 3a: number 3 in a 3-bit epoch is slot 3, value 3/8.
+        let e = Epoch::from_bits(3).unwrap();
+        assert_eq!(e.quantize_unipolar(0.375).unwrap(), 3);
+        assert_eq!(e.dequantize_unipolar(3), 0.375);
+    }
+
+    proptest! {
+        #[test]
+        fn quantize_roundtrip_within_lsb(bits in 1u32..=16, x in 0.0f64..=1.0) {
+            let e = Epoch::from_bits(bits).unwrap();
+            let q = e.quantize_unipolar(x).unwrap();
+            let back = e.dequantize_unipolar(q);
+            prop_assert!((back - x).abs() <= 0.5 * e.lsb() + 1e-12);
+        }
+
+        #[test]
+        fn bipolar_roundtrip_within_two_lsb(bits in 1u32..=16, x in -1.0f64..=1.0) {
+            let e = Epoch::from_bits(bits).unwrap();
+            let q = e.quantize_bipolar(x).unwrap();
+            let back = e.dequantize_bipolar(q);
+            prop_assert!((back - x).abs() <= e.lsb() + 1e-12);
+        }
+
+        #[test]
+        fn quantization_is_monotone(bits in 1u32..=12, a in 0.0f64..=1.0, b in 0.0f64..=1.0) {
+            let e = Epoch::from_bits(bits).unwrap();
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(e.quantize_unipolar(lo).unwrap() <= e.quantize_unipolar(hi).unwrap());
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Error type for encoding operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised when constructing epochs or encoding values.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum EncodingError {
+    /// A value fell outside the representable range of the encoding.
+    OutOfRange {
+        /// The offending value.
+        value: f64,
+        /// Inclusive lower bound.
+        min: f64,
+        /// Inclusive upper bound.
+        max: f64,
+    },
+    /// The requested resolution is outside the supported 1..=24 bits.
+    UnsupportedBits {
+        /// The requested bit count.
+        bits: u32,
+    },
+    /// A slot id exceeded the epoch's slot count.
+    SlotOutOfEpoch {
+        /// The offending slot.
+        slot: u64,
+        /// Number of slots in the epoch.
+        n_max: u64,
+    },
+}
+
+impl fmt::Display for EncodingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodingError::OutOfRange { value, min, max } => {
+                write!(f, "value {value} outside representable range [{min}, {max}]")
+            }
+            EncodingError::UnsupportedBits { bits } => {
+                write!(f, "resolution of {bits} bits outside supported 1..=24")
+            }
+            EncodingError::SlotOutOfEpoch { slot, n_max } => {
+                write!(f, "slot {slot} outside epoch of {n_max} slots")
+            }
+        }
+    }
+}
+
+impl Error for EncodingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            EncodingError::OutOfRange { value: 1.5, min: 0.0, max: 1.0 }.to_string(),
+            "value 1.5 outside representable range [0, 1]"
+        );
+        assert_eq!(
+            EncodingError::UnsupportedBits { bits: 40 }.to_string(),
+            "resolution of 40 bits outside supported 1..=24"
+        );
+        assert_eq!(
+            EncodingError::SlotOutOfEpoch { slot: 20, n_max: 16 }.to_string(),
+            "slot 20 outside epoch of 16 slots"
+        );
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<EncodingError>();
+    }
+}

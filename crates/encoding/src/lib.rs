@@ -1,0 +1,51 @@
+//! # usfq-encoding — the U-SFQ data representations
+//!
+//! The U-SFQ architecture (paper §3) computes on two *unary* encodings of
+//! numbers in `[0, 1]` (unipolar) or `[−1, 1]` (bipolar), both defined
+//! over a computing [`Epoch`] of `N_max = 2^B` time slots:
+//!
+//! * **Race logic** ([`RlValue`]): the value is *when* a single pulse
+//!   arrives — slot id divided by `N_max`. Cheap for min/max/offset,
+//!   expensive for arithmetic.
+//! * **Pulse streams** ([`PulseStream`]): the value is *how many* pulses
+//!   arrive — count divided by `N_max`, spread at a uniform rate. Cheap
+//!   for multiply/accumulate.
+//!
+//! Bipolar variants map `x ∈ [−1, 1]` through `(x + 1) / 2`, mirroring
+//! bipolar stochastic computing.
+//!
+//! The U-SFQ multiplier pairs one operand of each kind: the RL pulse
+//! gates the stream, so the surviving pulse count encodes the product.
+//!
+//! ```
+//! use usfq_encoding::{Epoch, PulseStream, RlValue};
+//!
+//! # fn main() -> Result<(), usfq_encoding::EncodingError> {
+//! let epoch = Epoch::from_bits(4)?;           // 16 slots
+//! let a = PulseStream::from_unipolar(0.75, epoch)?; // 12 pulses
+//! let b = RlValue::from_unipolar(0.5, epoch)?;      // pulse at slot 8
+//! assert_eq!(a.count(), 12);
+//! assert_eq!(b.slot(), 8);
+//! // Gating the stream by the RL time keeps ~half the pulses: 0.75·0.5.
+//! let passed = a
+//!     .schedule_from(usfq_sim::Time::ZERO)
+//!     .iter()
+//!     .filter(|&&t| t < b.pulse_time_from(usfq_sim::Time::ZERO))
+//!     .count();
+//! assert_eq!(passed, 6);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod epoch;
+mod error;
+mod rl;
+mod stream;
+
+pub use epoch::Epoch;
+pub use error::EncodingError;
+pub use rl::RlValue;
+pub use stream::PulseStream;

@@ -1,0 +1,263 @@
+//! Race-logic values: numbers encoded as pulse arrival times.
+
+use usfq_sim::Time;
+
+use crate::epoch::Epoch;
+use crate::error::EncodingError;
+
+/// A race-logic value: one pulse whose arrival slot encodes the number.
+///
+/// The paper's RL encoding (§3.1) divides the epoch into `N_max` slots
+/// and represents unipolar `x` as a pulse in slot `x · N_max`; bipolar
+/// values map through `p_u = (p_b + 1) / 2`. A slot of `N_max` (pulse at
+/// the epoch end) encodes exactly 1.0; the value 0 is a pulse at the
+/// epoch start.
+///
+/// RL arithmetic mirrors the temporal cells: [`RlValue::min`] is the
+/// first-arrival cell, [`RlValue::max`] the last-arrival cell, and
+/// [`RlValue::saturating_add_const`] a delay line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RlValue {
+    slot: u64,
+    epoch: Epoch,
+}
+
+impl RlValue {
+    /// Encodes a unipolar value, rounding to the nearest slot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EncodingError::OutOfRange`] unless `0 <= x <= 1`.
+    pub fn from_unipolar(x: f64, epoch: Epoch) -> Result<Self, EncodingError> {
+        Ok(RlValue {
+            slot: epoch.quantize_unipolar(x)?,
+            epoch,
+        })
+    }
+
+    /// Encodes a bipolar value through the paper's `(x + 1) / 2` mapping.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EncodingError::OutOfRange`] unless `−1 <= x <= 1`.
+    pub fn from_bipolar(x: f64, epoch: Epoch) -> Result<Self, EncodingError> {
+        Ok(RlValue {
+            slot: epoch.quantize_bipolar(x)?,
+            epoch,
+        })
+    }
+
+    /// Creates a value directly from a slot id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EncodingError::SlotOutOfEpoch`] if `slot > N_max`.
+    pub fn from_slot(slot: u64, epoch: Epoch) -> Result<Self, EncodingError> {
+        epoch.slot_time(slot)?;
+        Ok(RlValue { slot, epoch })
+    }
+
+    /// Decodes a pulse observed at `t`, relative to an epoch starting at
+    /// `epoch_start`, rounding to the nearest slot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EncodingError::SlotOutOfEpoch`] if `t` lies after the
+    /// epoch's end (tolerating half a slot of jitter).
+    pub fn from_pulse_time(
+        t: Time,
+        epoch_start: Time,
+        epoch: Epoch,
+    ) -> Result<Self, EncodingError> {
+        let offset = t.saturating_sub(epoch_start);
+        let slot_fs = epoch.slot_width().as_fs();
+        let slot = (offset.as_fs() + slot_fs / 2) / slot_fs;
+        Self::from_slot(slot, epoch)
+    }
+
+    /// The slot id.
+    pub fn slot(&self) -> u64 {
+        self.slot
+    }
+
+    /// The epoch this value lives in.
+    pub fn epoch(&self) -> Epoch {
+        self.epoch
+    }
+
+    /// Unipolar reading, `slot / N_max ∈ [0, 1]`.
+    pub fn value(&self) -> f64 {
+        self.epoch.dequantize_unipolar(self.slot)
+    }
+
+    /// Bipolar reading, `2·value − 1 ∈ [−1, 1]`.
+    pub fn value_bipolar(&self) -> f64 {
+        self.epoch.dequantize_bipolar(self.slot)
+    }
+
+    /// Absolute pulse time for an epoch starting at `epoch_start`.
+    pub fn pulse_time_from(&self, epoch_start: Time) -> Time {
+        epoch_start + self.epoch.slot_width().scale(self.slot)
+    }
+
+    /// Race-logic minimum — what a first-arrival cell computes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands live in different epochs.
+    pub fn min(self, other: RlValue) -> RlValue {
+        assert_eq!(self.epoch, other.epoch, "RL min across different epochs");
+        if self.slot <= other.slot {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Race-logic maximum — what a last-arrival cell computes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands live in different epochs.
+    pub fn max(self, other: RlValue) -> RlValue {
+        assert_eq!(self.epoch, other.epoch, "RL max across different epochs");
+        if self.slot >= other.slot {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Adds a constant number of slots (a delay line), saturating at the
+    /// epoch end — the RL "add constant" primitive.
+    pub fn saturating_add_const(self, slots: u64) -> RlValue {
+        RlValue {
+            slot: (self.slot + slots).min(self.epoch.n_max()),
+            epoch: self.epoch,
+        }
+    }
+
+    /// Temporal-logic *inhibit*: `Some(self)` if this pulse beats the
+    /// inhibitor (strictly earlier), `None` if it is suppressed — what
+    /// an [`Inhibit`]-style cell computes.
+    ///
+    /// [`Inhibit`]: https://doi.org/10.1145/3373376.3378517
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands live in different epochs.
+    pub fn inhibit(self, inhibitor: RlValue) -> Option<RlValue> {
+        assert_eq!(
+            self.epoch, inhibitor.epoch,
+            "RL inhibit across different epochs"
+        );
+        (self.slot < inhibitor.slot).then_some(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn epoch4() -> Epoch {
+        Epoch::from_bits(4).unwrap()
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let e = epoch4();
+        let v = RlValue::from_unipolar(0.5, e).unwrap();
+        assert_eq!(v.slot(), 8);
+        assert_eq!(v.value(), 0.5);
+        assert_eq!(v.value_bipolar(), 0.0);
+        assert_eq!(v.epoch(), e);
+    }
+
+    #[test]
+    fn pulse_time_roundtrip() {
+        let e = Epoch::with_slot(4, Time::from_ps(10.0)).unwrap();
+        let v = RlValue::from_unipolar(0.25, e).unwrap();
+        let start = Time::from_ns(1.0);
+        let t = v.pulse_time_from(start);
+        assert_eq!(t, Time::from_ps(1040.0));
+        let back = RlValue::from_pulse_time(t, start, e).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn pulse_time_tolerates_jitter() {
+        let e = Epoch::with_slot(4, Time::from_ps(10.0)).unwrap();
+        let start = Time::ZERO;
+        // 42 ps with 10 ps slots reads as slot 4.
+        let v = RlValue::from_pulse_time(Time::from_ps(42.0), start, e).unwrap();
+        assert_eq!(v.slot(), 4);
+        // Beyond epoch end + tolerance: error.
+        assert!(RlValue::from_pulse_time(Time::from_ps(166.0), start, e).is_err());
+    }
+
+    #[test]
+    fn min_max_match_fa_la() {
+        let e = epoch4();
+        let a = RlValue::from_slot(2, e).unwrap();
+        let b = RlValue::from_slot(3, e).unwrap();
+        assert_eq!(a.min(b), a); // paper Fig. 2a: min(2, 3) = 2
+        assert_eq!(a.max(b), b);
+    }
+
+    #[test]
+    fn add_const_saturates() {
+        let e = epoch4();
+        let a = RlValue::from_slot(14, e).unwrap();
+        assert_eq!(a.saturating_add_const(1).slot(), 15);
+        assert_eq!(a.saturating_add_const(100).slot(), 16);
+    }
+
+    #[test]
+    fn inhibit_semantics() {
+        let e = epoch4();
+        let early = RlValue::from_slot(3, e).unwrap();
+        let late = RlValue::from_slot(9, e).unwrap();
+        assert_eq!(early.inhibit(late), Some(early));
+        assert_eq!(late.inhibit(early), None);
+        // Ties suppress (the inhibitor wins simultaneous arrivals).
+        assert_eq!(early.inhibit(early), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "different epochs")]
+    fn cross_epoch_min_panics() {
+        let a = RlValue::from_slot(1, Epoch::from_bits(4).unwrap()).unwrap();
+        let b = RlValue::from_slot(1, Epoch::from_bits(8).unwrap()).unwrap();
+        let _ = a.min(b);
+    }
+
+    proptest! {
+        #[test]
+        fn rl_roundtrip(bits in 1u32..=16, x in 0.0f64..=1.0) {
+            let e = Epoch::from_bits(bits).unwrap();
+            let v = RlValue::from_unipolar(x, e).unwrap();
+            prop_assert!((v.value() - x).abs() <= 0.5 * e.lsb() + 1e-12);
+        }
+
+        #[test]
+        fn min_is_commutative_and_le(sa in 0u64..=16, sb in 0u64..=16) {
+            let e = epoch4();
+            let a = RlValue::from_slot(sa, e).unwrap();
+            let b = RlValue::from_slot(sb, e).unwrap();
+            prop_assert_eq!(a.min(b), b.min(a));
+            prop_assert!(a.min(b).slot() <= a.slot());
+            prop_assert!(a.max(b).slot() >= b.slot());
+        }
+
+        #[test]
+        fn pulse_time_roundtrips_any_slot(bits in 1u32..=12, frac in 0.0f64..=1.0) {
+            let e = Epoch::from_bits(bits).unwrap();
+            let slot = (frac * e.n_max() as f64) as u64;
+            let v = RlValue::from_slot(slot, e).unwrap();
+            let t = v.pulse_time_from(Time::ZERO);
+            let back = RlValue::from_pulse_time(t, Time::ZERO, e).unwrap();
+            prop_assert_eq!(back.slot(), slot);
+        }
+    }
+}

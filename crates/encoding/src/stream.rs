@@ -1,0 +1,264 @@
+//! Pulse streams: numbers encoded as uniform pulse rates.
+
+use usfq_sim::Time;
+
+use crate::epoch::Epoch;
+use crate::error::EncodingError;
+
+/// A pulse stream: `count` pulses at a uniform rate within an epoch.
+///
+/// The paper's stream encoding (§3.2) maps `p ∈ [0, 1]` to `p · N_max`
+/// pulses per epoch, each carrying weight `1 / N_max`; uniform spacing is
+/// what makes RL-gated multiplication exact (§4.1). Bipolar values map
+/// through `(x + 1) / 2` as in stochastic computing.
+///
+/// [`PulseStream::schedule_from`] materialises the pulse instants with
+/// centred uniform spacing — pulse `k` of `n` at `(k + ½) · T / n` — so a
+/// race-logic gate at fraction `f` of the epoch passes `⌊f·n + ½⌋`
+/// pulses, the correctly rounded product.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PulseStream {
+    count: u64,
+    epoch: Epoch,
+}
+
+impl PulseStream {
+    /// Encodes a unipolar value, rounding to the nearest pulse count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EncodingError::OutOfRange`] unless `0 <= x <= 1`.
+    pub fn from_unipolar(x: f64, epoch: Epoch) -> Result<Self, EncodingError> {
+        Ok(PulseStream {
+            count: epoch.quantize_unipolar(x)?,
+            epoch,
+        })
+    }
+
+    /// Encodes a bipolar value through the paper's `(x + 1) / 2` mapping.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EncodingError::OutOfRange`] unless `−1 <= x <= 1`.
+    pub fn from_bipolar(x: f64, epoch: Epoch) -> Result<Self, EncodingError> {
+        Ok(PulseStream {
+            count: epoch.quantize_bipolar(x)?,
+            epoch,
+        })
+    }
+
+    /// Creates a stream directly from a pulse count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EncodingError::SlotOutOfEpoch`] if `count > N_max`.
+    pub fn from_count(count: u64, epoch: Epoch) -> Result<Self, EncodingError> {
+        if count > epoch.n_max() {
+            return Err(EncodingError::SlotOutOfEpoch {
+                slot: count,
+                n_max: epoch.n_max(),
+            });
+        }
+        Ok(PulseStream { count, epoch })
+    }
+
+    /// Decodes a stream by counting observed pulses.
+    ///
+    /// This is how U-SFQ results are read out: count and divide by
+    /// `N_max`. Counts above `N_max` are clamped (they can only arise
+    /// from fault injection).
+    pub fn from_observed(pulses: &[Time], epoch: Epoch) -> Self {
+        PulseStream {
+            count: (pulses.len() as u64).min(epoch.n_max()),
+            epoch,
+        }
+    }
+
+    /// Number of pulses in the epoch.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The epoch this stream lives in.
+    pub fn epoch(&self) -> Epoch {
+        self.epoch
+    }
+
+    /// Unipolar reading, `count / N_max ∈ [0, 1]`.
+    pub fn value(&self) -> f64 {
+        self.epoch.dequantize_unipolar(self.count)
+    }
+
+    /// Bipolar reading, `2·value − 1 ∈ [−1, 1]`.
+    pub fn value_bipolar(&self) -> f64 {
+        self.epoch.dequantize_bipolar(self.count)
+    }
+
+    /// Pulse instants for an epoch starting at `epoch_start`, centred
+    /// uniform spacing.
+    pub fn schedule_from(&self, epoch_start: Time) -> Vec<Time> {
+        let n = self.count;
+        if n == 0 {
+            return Vec::new();
+        }
+        let duration_fs = self.epoch.duration().as_fs();
+        (0..n)
+            .map(|k| {
+                // (k + 1/2) · T / n without floating-point drift.
+                let offset = ((2 * k + 1) as u128 * duration_fs as u128 / (2 * n) as u128) as u64;
+                epoch_start + Time::from_fs(offset)
+            })
+            .collect()
+    }
+
+    /// Pulse instants on the epoch's slot grid (what a PNM generates):
+    /// the stream's pulses occupy `count` of the `N_max` slot boundaries,
+    /// chosen maximally spread.
+    pub fn schedule_on_grid(&self, epoch_start: Time) -> Vec<Time> {
+        let n = self.count;
+        if n == 0 {
+            return Vec::new();
+        }
+        let n_max = self.epoch.n_max();
+        let slot = self.epoch.slot_width();
+        (0..n)
+            .map(|k| {
+                let slot_id = ((2 * k + 1) as u128 * n_max as u128 / (2 * n) as u128) as u64;
+                epoch_start + slot.scale(slot_id)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn epoch(bits: u32) -> Epoch {
+        Epoch::with_slot(bits, Time::from_ps(10.0)).unwrap()
+    }
+
+    #[test]
+    fn encode_decode() {
+        let e = epoch(4);
+        let s = PulseStream::from_unipolar(0.75, e).unwrap();
+        assert_eq!(s.count(), 12);
+        assert_eq!(s.value(), 0.75);
+        assert_eq!(s.value_bipolar(), 0.5);
+        assert_eq!(s.epoch(), e);
+    }
+
+    #[test]
+    fn from_count_bounds() {
+        let e = epoch(4);
+        assert!(PulseStream::from_count(16, e).is_ok());
+        assert!(PulseStream::from_count(17, e).is_err());
+    }
+
+    #[test]
+    fn schedule_is_uniform_and_in_epoch() {
+        let e = epoch(4);
+        let s = PulseStream::from_count(8, e).unwrap();
+        let times = s.schedule_from(Time::ZERO);
+        assert_eq!(times.len(), 8);
+        // 16 slots × 10 ps = 160 ps epoch; 8 pulses at 10, 30, … 150 ps.
+        assert_eq!(times[0], Time::from_ps(10.0));
+        assert_eq!(times[7], Time::from_ps(150.0));
+        let spacing = times[1] - times[0];
+        for w in times.windows(2) {
+            assert_eq!(w[1] - w[0], spacing);
+        }
+        assert!(*times.last().unwrap() < e.duration());
+    }
+
+    #[test]
+    fn empty_stream_schedules_nothing() {
+        let e = epoch(4);
+        let s = PulseStream::from_unipolar(0.0, e).unwrap();
+        assert!(s.schedule_from(Time::ZERO).is_empty());
+        assert!(s.schedule_on_grid(Time::ZERO).is_empty());
+    }
+
+    #[test]
+    fn observed_roundtrip_and_clamp() {
+        let e = epoch(2);
+        let s = PulseStream::from_count(3, e).unwrap();
+        let times = s.schedule_from(Time::ZERO);
+        let back = PulseStream::from_observed(&times, e);
+        assert_eq!(back, s);
+        let too_many: Vec<Time> = (0..10).map(|i| Time::from_ps(i as f64)).collect();
+        assert_eq!(PulseStream::from_observed(&too_many, e).count(), 4);
+    }
+
+    #[test]
+    fn grid_schedule_lands_on_slots() {
+        let e = epoch(3);
+        let s = PulseStream::from_count(3, e).unwrap();
+        for t in s.schedule_on_grid(Time::ZERO) {
+            assert_eq!(t.as_fs() % e.slot_width().as_fs(), 0);
+        }
+    }
+
+    /// Gating a uniform stream at fraction `f` of the epoch passes the
+    /// correctly rounded product — the property the multiplier rests on.
+    #[test]
+    fn prefix_counts_track_product() {
+        let e = epoch(6); // 64 slots
+        for &p in &[0.25, 0.5, 0.75, 1.0] {
+            let s = PulseStream::from_unipolar(p, e).unwrap();
+            let times = s.schedule_from(Time::ZERO);
+            for &f in &[0.0, 0.25, 0.5, 0.75, 1.0] {
+                let gate = Time::from_fs((e.duration().as_fs() as f64 * f) as u64);
+                let passed = times.iter().filter(|&&t| t < gate).count() as f64;
+                let ideal = p * f * e.n_max() as f64;
+                assert!(
+                    (passed - ideal).abs() <= 1.0,
+                    "p={p} f={f}: passed {passed}, ideal {ideal}"
+                );
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn stream_roundtrip(bits in 1u32..=16, x in 0.0f64..=1.0) {
+            let e = Epoch::from_bits(bits).unwrap();
+            let s = PulseStream::from_unipolar(x, e).unwrap();
+            prop_assert!((s.value() - x).abs() <= 0.5 * e.lsb() + 1e-12);
+        }
+
+        #[test]
+        fn schedule_count_matches(bits in 1u32..=10, frac in 0.0f64..=1.0) {
+            let e = Epoch::from_bits(bits).unwrap();
+            let s = PulseStream::from_unipolar(frac, e).unwrap();
+            prop_assert_eq!(s.schedule_from(Time::ZERO).len() as u64, s.count());
+            prop_assert_eq!(s.schedule_on_grid(Time::ZERO).len() as u64, s.count());
+        }
+
+        #[test]
+        fn schedule_is_sorted_and_within_epoch(bits in 1u32..=10, frac in 0.0f64..=1.0) {
+            let e = Epoch::from_bits(bits).unwrap();
+            let s = PulseStream::from_unipolar(frac, e).unwrap();
+            let times = s.schedule_from(Time::from_ns(1.0));
+            for w in times.windows(2) {
+                prop_assert!(w[0] < w[1]);
+            }
+            if let Some(&last) = times.last() {
+                prop_assert!(last < Time::from_ns(1.0) + e.duration());
+            }
+        }
+
+        /// Prefix-count property over random gates: |passed − p·f·N| ≤ 1.
+        #[test]
+        fn gated_prefix_is_product(bits in 2u32..=10, p in 0.0f64..=1.0, f in 0.0f64..=1.0) {
+            let e = Epoch::from_bits(bits).unwrap();
+            let s = PulseStream::from_unipolar(p, e).unwrap();
+            let times = s.schedule_from(Time::ZERO);
+            let gate = Time::from_fs((e.duration().as_fs() as f64 * f) as u64);
+            let passed = times.iter().filter(|&&t| t < gate).count() as f64;
+            let ideal = s.value() * f * e.n_max() as f64;
+            prop_assert!((passed - ideal).abs() <= 1.0 + 1e-9);
+        }
+    }
+}

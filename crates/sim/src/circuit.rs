@@ -1,0 +1,575 @@
+//! Netlist construction: components, wires, external inputs, and probes.
+
+use crate::component::Component;
+use crate::error::SimError;
+use crate::time::Time;
+
+/// Identifier of a component inside a [`Circuit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CompId(pub(crate) usize);
+
+impl CompId {
+    /// Position of this component in the circuit's component list —
+    /// the index into [`crate::stats::ActivityReport`] vectors.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Identifier of an external input of a [`Circuit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct InputId(pub(crate) usize);
+
+/// Identifier of an output probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProbeId(pub(crate) usize);
+
+/// A component output port: the *source* end of a wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeRef {
+    pub(crate) comp: CompId,
+    pub(crate) port: usize,
+}
+
+/// A component input port: the *sink* end of a wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SinkRef {
+    pub(crate) comp: CompId,
+    pub(crate) port: usize,
+}
+
+/// Handle returned by [`Circuit::add`]; names the component's ports.
+///
+/// ```
+/// use usfq_sim::{Circuit, Time};
+/// use usfq_sim::component::Buffer;
+///
+/// let mut c = Circuit::new();
+/// let b = c.add(Buffer::new("b", Time::from_ps(1.0)));
+/// let _in = b.input(0);
+/// let _out = b.output(0);
+/// assert_eq!(b.id(), _in.comp());
+/// # let _ = _out;
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CompHandle {
+    id: CompId,
+}
+
+impl CompHandle {
+    /// The component id.
+    pub fn id(self) -> CompId {
+        self.id
+    }
+
+    /// Reference to input port `port`. Validity is checked on `connect`.
+    pub fn input(self, port: usize) -> SinkRef {
+        SinkRef {
+            comp: self.id,
+            port,
+        }
+    }
+
+    /// Reference to output port `port`. Validity is checked on `connect`.
+    pub fn output(self, port: usize) -> NodeRef {
+        NodeRef {
+            comp: self.id,
+            port,
+        }
+    }
+}
+
+impl SinkRef {
+    /// The component this sink belongs to.
+    pub fn comp(self) -> CompId {
+        self.comp
+    }
+}
+
+impl NodeRef {
+    /// The component this node belongs to.
+    pub fn comp(self) -> CompId {
+        self.comp
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Wire {
+    pub(crate) dest: CompId,
+    pub(crate) port: usize,
+    pub(crate) delay: Time,
+}
+
+#[derive(Debug, Clone, Default)]
+pub(crate) struct OutputNet {
+    pub(crate) wires: Vec<Wire>,
+    pub(crate) probes: Vec<ProbeId>,
+}
+
+pub(crate) struct CompSlot {
+    pub(crate) model: Box<dyn Component>,
+    /// One net per output port.
+    pub(crate) outputs: Vec<OutputNet>,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct InputSlot {
+    pub(crate) name: String,
+    pub(crate) net: OutputNet,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct ProbeSlot {
+    pub(crate) name: String,
+}
+
+/// A netlist of SFQ cells.
+///
+/// Components are added with [`Circuit::add`], wired with
+/// [`Circuit::connect`], driven from named external [inputs](Circuit::input)
+/// and observed through [probes](Circuit::probe). A finished circuit is
+/// handed to [`crate::Simulator::new`].
+///
+/// In real RSFQ an output can only drive one sink; fan-out needs an explicit
+/// splitter cell. The builder permits electrical fan-out for modelling
+/// convenience, but [`Circuit::assert_single_fanout`] lets structural
+/// netlists verify they are physically realisable.
+pub struct Circuit {
+    pub(crate) comps: Vec<CompSlot>,
+    pub(crate) inputs: Vec<InputSlot>,
+    pub(crate) probes: Vec<ProbeSlot>,
+}
+
+impl Default for Circuit {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Circuit {
+    /// Creates an empty circuit.
+    pub fn new() -> Self {
+        Circuit {
+            comps: Vec::new(),
+            inputs: Vec::new(),
+            probes: Vec::new(),
+        }
+    }
+
+    /// Adds a component and returns a handle naming its ports.
+    pub fn add(&mut self, component: impl Component + 'static) -> CompHandle {
+        self.add_boxed(Box::new(component))
+    }
+
+    /// Adds an already-boxed component (useful for heterogeneous builders).
+    pub fn add_boxed(&mut self, model: Box<dyn Component>) -> CompHandle {
+        let outputs = vec![OutputNet::default(); model.num_outputs()];
+        let id = CompId(self.comps.len());
+        self.comps.push(CompSlot { model, outputs });
+        CompHandle { id }
+    }
+
+    /// Declares a named external input.
+    pub fn input(&mut self, name: impl Into<String>) -> InputId {
+        let id = InputId(self.inputs.len());
+        self.inputs.push(InputSlot {
+            name: name.into(),
+            net: OutputNet::default(),
+        });
+        id
+    }
+
+    /// Connects a component output to a component input through a wire with
+    /// the given propagation delay.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidPort`] if either port index is out of
+    /// range for its component.
+    pub fn connect(&mut self, from: NodeRef, to: SinkRef, delay: Time) -> Result<(), SimError> {
+        self.check_output(from)?;
+        self.check_input(to)?;
+        self.comps[from.comp.0].outputs[from.port].wires.push(Wire {
+            dest: to.comp,
+            port: to.port,
+            delay,
+        });
+        Ok(())
+    }
+
+    /// Connects an external input to a component input port.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownId`] for a foreign `InputId`, or
+    /// [`SimError::InvalidPort`] for a bad sink port.
+    pub fn connect_input(
+        &mut self,
+        from: InputId,
+        to: SinkRef,
+        delay: Time,
+    ) -> Result<(), SimError> {
+        if from.0 >= self.inputs.len() {
+            return Err(SimError::UnknownId(format!("input {}", from.0)));
+        }
+        self.check_input(to)?;
+        self.inputs[from.0].net.wires.push(Wire {
+            dest: to.comp,
+            port: to.port,
+            delay,
+        });
+        Ok(())
+    }
+
+    /// Attaches a recording probe to a component output port.
+    ///
+    /// Pulse emission times (before wire delay) are recorded during
+    /// simulation and retrieved with [`crate::Simulator::probe_times`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` references an invalid port — probes are test
+    /// instrumentation, so failing fast is preferable to an error path.
+    pub fn probe(&mut self, at: NodeRef, name: impl Into<String>) -> ProbeId {
+        self.check_output(at).expect("probe attached to invalid port");
+        let id = ProbeId(self.probes.len());
+        self.probes.push(ProbeSlot { name: name.into() });
+        self.comps[at.comp.0].outputs[at.port].probes.push(id);
+        id
+    }
+
+    /// Attaches a recording probe directly to an external input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` belongs to a different circuit.
+    pub fn probe_input(&mut self, input: InputId, name: impl Into<String>) -> ProbeId {
+        assert!(input.0 < self.inputs.len(), "probe attached to unknown input");
+        let id = ProbeId(self.probes.len());
+        self.probes.push(ProbeSlot { name: name.into() });
+        self.inputs[input.0].net.probes.push(id);
+        id
+    }
+
+    /// Number of components in the circuit.
+    pub fn num_components(&self) -> usize {
+        self.comps.len()
+    }
+
+    /// Number of declared external inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Name of an external input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownId`] for a foreign id.
+    pub fn input_name(&self, id: InputId) -> Result<&str, SimError> {
+        self.inputs
+            .get(id.0)
+            .map(|s| s.name.as_str())
+            .ok_or_else(|| SimError::UnknownId(format!("input {}", id.0)))
+    }
+
+    /// Name of a probe.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownId`] for a foreign id.
+    pub fn probe_name(&self, id: ProbeId) -> Result<&str, SimError> {
+        self.probes
+            .get(id.0)
+            .map(|s| s.name.as_str())
+            .ok_or_else(|| SimError::UnknownId(format!("probe {}", id.0)))
+    }
+
+    /// Name of a component.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownId`] for a foreign id.
+    pub fn component_name(&self, id: CompId) -> Result<&str, SimError> {
+        self.comps
+            .get(id.0)
+            .map(|s| s.model.name())
+            .ok_or_else(|| SimError::UnknownId(format!("component {}", id.0)))
+    }
+
+    /// Total Josephson-junction count over all components — the paper's area
+    /// metric.
+    pub fn total_jj(&self) -> u64 {
+        self.comps.iter().map(|c| u64::from(c.model.jj_count())).sum()
+    }
+
+    /// Iterates over `(id, name, jj_count)` of every component — the
+    /// circuit's bill of materials.
+    pub fn components(&self) -> impl Iterator<Item = (CompId, &str, u32)> + '_ {
+        self.comps
+            .iter()
+            .enumerate()
+            .map(|(i, slot)| (CompId(i), slot.model.name(), slot.model.jj_count()))
+    }
+
+    /// Iterates over every wire as
+    /// `(source component, source port, dest component, dest port, delay)`.
+    pub fn wires(&self) -> impl Iterator<Item = (CompId, usize, CompId, usize, Time)> + '_ {
+        self.comps.iter().enumerate().flat_map(|(i, slot)| {
+            slot.outputs.iter().enumerate().flat_map(move |(port, net)| {
+                net.wires
+                    .iter()
+                    .map(move |w| (CompId(i), port, w.dest, w.port, w.delay))
+            })
+        })
+    }
+
+    /// Exports the netlist in Graphviz DOT format: one node per
+    /// component (labelled with its JJ cost), one edge per wire
+    /// (labelled with its delay when non-zero), plus the external
+    /// inputs.
+    pub fn to_dot(&self, graph_name: &str) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "digraph {} {{",
+            sanitize(graph_name).replace(' ', "_")
+        );
+        let _ = writeln!(out, "  rankdir=LR;");
+        let _ = writeln!(out, "  node [shape=box, fontsize=10];");
+        for (id, name, jj) in self.components() {
+            let _ = writeln!(
+                out,
+                "  c{} [label=\"{}\\n{} JJ\"];",
+                id.0,
+                sanitize(name),
+                jj
+            );
+        }
+        for (i, input) in self.inputs.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  in{i} [label=\"{}\", shape=plaintext];",
+                sanitize(&input.name)
+            );
+            for w in &input.net.wires {
+                let _ = writeln!(out, "  in{i} -> c{};", w.dest.0);
+            }
+        }
+        for (from, _port, to, _to_port, delay) in self.wires() {
+            if delay == Time::ZERO {
+                let _ = writeln!(out, "  c{} -> c{};", from.0, to.0);
+            } else {
+                let _ = writeln!(
+                    out,
+                    "  c{} -> c{} [label=\"{delay}\"];",
+                    from.0, to.0
+                );
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Verifies that every output (and external input) drives at most one
+    /// sink, i.e. that all fan-out is through explicit splitter cells, as
+    /// physical RSFQ requires.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownId`] naming the first offending net.
+    pub fn assert_single_fanout(&self) -> Result<(), SimError> {
+        for slot in &self.comps {
+            for (port, net) in slot.outputs.iter().enumerate() {
+                if net.wires.len() > 1 {
+                    return Err(SimError::UnknownId(format!(
+                        "output {port} of `{}` drives {} sinks; insert splitters",
+                        slot.model.name(),
+                        net.wires.len()
+                    )));
+                }
+            }
+        }
+        for input in &self.inputs {
+            if input.net.wires.len() > 1 {
+                return Err(SimError::UnknownId(format!(
+                    "input `{}` drives {} sinks; insert splitters",
+                    input.name,
+                    input.net.wires.len()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    fn check_output(&self, node: NodeRef) -> Result<(), SimError> {
+        let slot = self
+            .comps
+            .get(node.comp.0)
+            .ok_or_else(|| SimError::UnknownId(format!("component {}", node.comp.0)))?;
+        let available = slot.model.num_outputs();
+        if node.port >= available {
+            return Err(SimError::InvalidPort {
+                component: slot.model.name().to_owned(),
+                port: node.port,
+                available,
+                direction: "output",
+            });
+        }
+        Ok(())
+    }
+
+    fn check_input(&self, sink: SinkRef) -> Result<(), SimError> {
+        let slot = self
+            .comps
+            .get(sink.comp.0)
+            .ok_or_else(|| SimError::UnknownId(format!("component {}", sink.comp.0)))?;
+        let available = slot.model.num_inputs();
+        if sink.port >= available {
+            return Err(SimError::InvalidPort {
+                component: slot.model.name().to_owned(),
+                port: sink.port,
+                available,
+                direction: "input",
+            });
+        }
+        Ok(())
+    }
+}
+
+fn sanitize(name: &str) -> String {
+    name.replace(['"', '\n', '\\'], "_")
+}
+
+impl std::fmt::Debug for Circuit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Circuit")
+            .field("components", &self.comps.len())
+            .field("inputs", &self.inputs.len())
+            .field("probes", &self.probes.len())
+            .field("total_jj", &self.total_jj())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::Buffer;
+
+    fn buffer() -> Buffer {
+        Buffer::new("b", Time::from_ps(1.0))
+    }
+
+    #[test]
+    fn build_and_introspect() {
+        let mut c = Circuit::new();
+        let input = c.input("a");
+        let b1 = c.add(buffer());
+        let b2 = c.add(buffer());
+        c.connect_input(input, b1.input(0), Time::ZERO).unwrap();
+        c.connect(b1.output(0), b2.input(0), Time::from_ps(2.0))
+            .unwrap();
+        assert_eq!(c.num_components(), 2);
+        assert_eq!(c.num_inputs(), 1);
+        assert_eq!(c.input_name(input).unwrap(), "a");
+        let p = c.probe(b2.output(0), "watch");
+        assert_eq!(c.probe_name(p).unwrap(), "watch");
+        assert!(c.probe_name(ProbeId(7)).is_err());
+        assert_eq!(c.component_name(b1.id()).unwrap(), "b");
+        assert_eq!(c.total_jj(), 4);
+        assert!(format!("{c:?}").contains("total_jj"));
+    }
+
+    #[test]
+    fn invalid_ports_are_rejected() {
+        let mut c = Circuit::new();
+        let b1 = c.add(buffer());
+        let b2 = c.add(buffer());
+        let err = c
+            .connect(b1.output(1), b2.input(0), Time::ZERO)
+            .unwrap_err();
+        assert!(matches!(err, SimError::InvalidPort { direction: "output", .. }));
+        let err = c
+            .connect(b1.output(0), b2.input(3), Time::ZERO)
+            .unwrap_err();
+        assert!(matches!(err, SimError::InvalidPort { direction: "input", .. }));
+    }
+
+    #[test]
+    fn unknown_input_is_rejected() {
+        let mut c = Circuit::new();
+        let b1 = c.add(buffer());
+        let foreign = InputId(5);
+        let err = c.connect_input(foreign, b1.input(0), Time::ZERO).unwrap_err();
+        assert!(matches!(err, SimError::UnknownId(_)));
+        assert!(c.input_name(foreign).is_err());
+        assert!(c.component_name(CompId(9)).is_err());
+    }
+
+    #[test]
+    fn single_fanout_check() {
+        let mut c = Circuit::new();
+        let b1 = c.add(buffer());
+        let b2 = c.add(buffer());
+        let b3 = c.add(buffer());
+        c.connect(b1.output(0), b2.input(0), Time::ZERO).unwrap();
+        assert!(c.assert_single_fanout().is_ok());
+        c.connect(b1.output(0), b3.input(0), Time::ZERO).unwrap();
+        let err = c.assert_single_fanout().unwrap_err();
+        assert!(err.to_string().contains("splitters"));
+    }
+
+    #[test]
+    fn input_fanout_check() {
+        let mut c = Circuit::new();
+        let input = c.input("x");
+        let b1 = c.add(buffer());
+        let b2 = c.add(buffer());
+        c.connect_input(input, b1.input(0), Time::ZERO).unwrap();
+        c.connect_input(input, b2.input(0), Time::ZERO).unwrap();
+        assert!(c.assert_single_fanout().is_err());
+    }
+
+    #[test]
+    fn bill_of_materials_and_wires() {
+        let mut c = Circuit::new();
+        let input = c.input("x");
+        let b1 = c.add(buffer());
+        let b2 = c.add(Buffer::with_jj_count("big", Time::ZERO, 9));
+        c.connect_input(input, b1.input(0), Time::ZERO).unwrap();
+        c.connect(b1.output(0), b2.input(0), Time::from_ps(4.0)).unwrap();
+        let bom: Vec<_> = c.components().collect();
+        assert_eq!(bom.len(), 2);
+        assert_eq!(bom[1].1, "big");
+        assert_eq!(bom[1].2, 9);
+        let wires: Vec<_> = c.wires().collect();
+        assert_eq!(wires.len(), 1);
+        assert_eq!(wires[0].4, Time::from_ps(4.0));
+    }
+
+    #[test]
+    fn dot_export() {
+        let mut c = Circuit::new();
+        let input = c.input("clk");
+        let b1 = c.add(buffer());
+        let b2 = c.add(buffer());
+        c.connect_input(input, b1.input(0), Time::ZERO).unwrap();
+        c.connect(b1.output(0), b2.input(0), Time::from_ps(3.0)).unwrap();
+        let dot = c.to_dot("delay line");
+        assert!(dot.starts_with("digraph delay_line {"));
+        assert!(dot.contains("c0 [label=\"b\\n2 JJ\"];"));
+        assert!(dot.contains("in0 [label=\"clk\""));
+        assert!(dot.contains("c0 -> c1 [label=\"3.000 ps\"];"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid port")]
+    fn probe_on_bad_port_panics() {
+        let mut c = Circuit::new();
+        let b1 = c.add(buffer());
+        let _ = c.probe(b1.output(2), "bad");
+    }
+}

@@ -1,0 +1,222 @@
+//! The [`Component`] trait implemented by every cell model, and the
+//! context handed to a component while it processes a pulse.
+
+use crate::stats::StatKind;
+use crate::time::Time;
+
+/// Actions a component requests while handling a pulse or timer.
+///
+/// Components never touch the event queue directly; they describe what they
+/// want through `Ctx` and the engine applies it after the handler returns.
+/// This keeps components simple and the kernel free of re-entrancy.
+#[derive(Debug, Default)]
+pub struct Ctx {
+    pub(crate) emissions: Vec<(usize, Time)>,
+    pub(crate) timers: Vec<(u64, Time)>,
+    pub(crate) stats: Vec<StatKind>,
+}
+
+impl Ctx {
+    /// Emits a pulse on output port `port`, `delay` after the current time.
+    ///
+    /// The engine fans the pulse out to every connected sink (plus probes),
+    /// each with its own wire delay.
+    pub fn emit(&mut self, port: usize, delay: Time) {
+        self.emissions.push((port, delay));
+    }
+
+    /// Schedules a call to [`Component::on_timer`] with `tag`, `delay` after
+    /// the current time. Used by cells with internal timed behaviour (e.g.
+    /// the integrator buffer's charge/discharge phases).
+    pub fn schedule_timer(&mut self, tag: u64, delay: Time) {
+        self.timers.push((tag, delay));
+    }
+
+    /// Records a statistics event (collision, dropped pulse, …) attributed
+    /// to this component.
+    pub fn record(&mut self, stat: StatKind) {
+        self.stats.push(stat);
+    }
+
+    /// The emissions requested so far, as `(output port, delay)` pairs.
+    /// Mostly useful when unit-testing a component in isolation.
+    pub fn emissions(&self) -> &[(usize, Time)] {
+        &self.emissions
+    }
+
+    /// The timers requested so far, as `(tag, delay)` pairs.
+    pub fn timers(&self) -> &[(u64, Time)] {
+        &self.timers
+    }
+
+    /// The statistics events recorded so far.
+    pub fn stats(&self) -> &[StatKind] {
+        &self.stats
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.emissions.clear();
+        self.timers.clear();
+        self.stats.clear();
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.emissions.is_empty() && self.timers.is_empty() && self.stats.is_empty()
+    }
+}
+
+/// A behavioral model of an SFQ cell.
+///
+/// Implementations are deterministic state machines: the engine delivers
+/// pulses (and previously requested timers) in non-decreasing time order and
+/// the component reacts by updating internal state and requesting emissions.
+///
+/// # Examples
+///
+/// A pass-through buffer (see [`Buffer`]) is the minimal implementation:
+///
+/// ```
+/// use usfq_sim::component::{Component, Ctx};
+/// use usfq_sim::Time;
+///
+/// struct Echo;
+/// impl Component for Echo {
+///     fn name(&self) -> &str { "echo" }
+///     fn num_inputs(&self) -> usize { 1 }
+///     fn num_outputs(&self) -> usize { 1 }
+///     fn jj_count(&self) -> u32 { 2 }
+///     fn on_pulse(&mut self, _port: usize, _now: Time, ctx: &mut Ctx) {
+///         ctx.emit(0, Time::from_ps(3.0));
+///     }
+/// }
+/// ```
+pub trait Component {
+    /// Instance name, used in error messages and reports.
+    fn name(&self) -> &str;
+
+    /// Number of input ports.
+    fn num_inputs(&self) -> usize;
+
+    /// Number of output ports.
+    fn num_outputs(&self) -> usize;
+
+    /// Number of Josephson junctions this cell occupies. Feeds the area and
+    /// passive-power accounting (the paper measures area exclusively in JJs).
+    fn jj_count(&self) -> u32;
+
+    /// Average number of JJs that switch when this cell processes one pulse.
+    ///
+    /// Used by the active-power model. The default — a quarter of the cell's
+    /// junctions — matches the rule of thumb that a pulse traverses one of a
+    /// few internal paths; cells calibrated against the paper's WRspice
+    /// numbers override this.
+    fn switching_jjs(&self) -> f64 {
+        f64::from(self.jj_count()) / 4.0
+    }
+
+    /// Handles a pulse arriving on `port` at time `now`.
+    fn on_pulse(&mut self, port: usize, now: Time, ctx: &mut Ctx);
+
+    /// Handles a timer previously scheduled via [`Ctx::schedule_timer`].
+    ///
+    /// The default implementation ignores timers.
+    fn on_timer(&mut self, tag: u64, now: Time, ctx: &mut Ctx) {
+        let _ = (tag, now, ctx);
+    }
+
+    /// Resets internal state to power-on condition (between epochs or runs).
+    fn reset(&mut self) {}
+}
+
+/// A pure delay element: one input, one output, fixed latency.
+///
+/// Models a Josephson transmission line (JTL) segment or any other stateless
+/// repeater. Also handy as a named observation point in tests.
+#[derive(Debug, Clone)]
+pub struct Buffer {
+    name: String,
+    delay: Time,
+    jj: u32,
+}
+
+impl Buffer {
+    /// Creates a buffer with the given propagation delay and a default cost
+    /// of 2 JJs (a single JTL stage).
+    pub fn new(name: impl Into<String>, delay: Time) -> Self {
+        Buffer {
+            name: name.into(),
+            delay,
+            jj: 2,
+        }
+    }
+
+    /// Creates a buffer with an explicit JJ cost (e.g. a multi-stage JTL).
+    pub fn with_jj_count(name: impl Into<String>, delay: Time, jj: u32) -> Self {
+        Buffer {
+            name: name.into(),
+            delay,
+            jj,
+        }
+    }
+
+    /// The configured propagation delay.
+    pub fn delay(&self) -> Time {
+        self.delay
+    }
+}
+
+impl Component for Buffer {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn num_inputs(&self) -> usize {
+        1
+    }
+    fn num_outputs(&self) -> usize {
+        1
+    }
+    fn jj_count(&self) -> u32 {
+        self.jj
+    }
+    fn on_pulse(&mut self, _port: usize, _now: Time, ctx: &mut Ctx) {
+        ctx.emit(0, self.delay);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctx_collects_actions() {
+        let mut ctx = Ctx::default();
+        assert!(ctx.is_empty());
+        ctx.emit(0, Time::from_ps(1.0));
+        ctx.schedule_timer(7, Time::from_ps(2.0));
+        ctx.record(StatKind::MergerCollision);
+        assert!(!ctx.is_empty());
+        assert_eq!(ctx.emissions, vec![(0, Time::from_ps(1.0))]);
+        assert_eq!(ctx.timers, vec![(7, Time::from_ps(2.0))]);
+        ctx.clear();
+        assert!(ctx.is_empty());
+    }
+
+    #[test]
+    fn buffer_emits_after_delay() {
+        let mut b = Buffer::new("b", Time::from_ps(3.0));
+        let mut ctx = Ctx::default();
+        b.on_pulse(0, Time::ZERO, &mut ctx);
+        assert_eq!(ctx.emissions, vec![(0, Time::from_ps(3.0))]);
+        assert_eq!(b.delay(), Time::from_ps(3.0));
+        assert_eq!(b.jj_count(), 2);
+        assert_eq!(b.num_inputs(), 1);
+        assert_eq!(b.num_outputs(), 1);
+    }
+
+    #[test]
+    fn buffer_with_custom_jj() {
+        let b = Buffer::with_jj_count("jtl4", Time::from_ps(12.0), 8);
+        assert_eq!(b.jj_count(), 8);
+        assert_eq!(b.switching_jjs(), 2.0);
+    }
+}

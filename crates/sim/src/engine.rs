@@ -1,0 +1,601 @@
+//! The event-driven simulation engine.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::circuit::{Circuit, CompId, InputId, OutputNet, ProbeId};
+use crate::component::Ctx;
+use crate::error::SimError;
+use crate::stats::ActivityReport;
+use crate::time::Time;
+
+/// Default safety valve: a run aborts after this many events, which points
+/// at an oscillating circuit rather than a legitimate workload.
+pub const DEFAULT_EVENT_LIMIT: u64 = 200_000_000;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum EventKind {
+    Deliver { comp: CompId, port: usize },
+    Timer { comp: CompId, tag: u64 },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Event {
+    time: Time,
+    seq: u64,
+    kind: EventKind,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum NetSource {
+    /// External input slot index.
+    Input(usize),
+    /// (component index, output port).
+    Output(usize, usize),
+}
+
+/// Outcome of a [`Simulator::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunSummary {
+    /// Number of events processed.
+    pub events: u64,
+    /// Time of the final event, or [`Time::ZERO`] if nothing ran.
+    pub end_time: Time,
+}
+
+/// Deterministic wire-delay jitter: every wire traversal is perturbed
+/// by a zero-mean Gaussian of the given standard deviation, from a
+/// seeded xorshift generator. Models the delay variations the U-SFQ
+/// paper lists among its §5.4.1 error sources (pulses arriving
+/// "outside the expected time-slot").
+#[derive(Debug, Clone)]
+struct JitterModel {
+    sigma_fs: f64,
+    state: u64,
+}
+
+impl JitterModel {
+    fn new(sigma: Time, seed: u64) -> Self {
+        JitterModel {
+            sigma_fs: sigma.as_fs() as f64,
+            // xorshift must not start at zero.
+            state: seed | 1,
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // xorshift64* — deterministic, dependency-free.
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn uniform(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Signed jitter in femtoseconds (Box–Muller).
+    fn sample_fs(&mut self) -> f64 {
+        let u1 = self.uniform().max(f64::MIN_POSITIVE);
+        let u2 = self.uniform();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        z * self.sigma_fs
+    }
+}
+
+/// Executes a [`Circuit`].
+///
+/// The simulator is restartable: [`Simulator::reset`] returns every
+/// component to power-on state and clears probes, so one circuit can run
+/// many epochs or randomized trials.
+///
+/// Determinism: events at equal times are processed in scheduling order
+/// (a monotonically increasing sequence number breaks ties), so repeated
+/// runs of the same stimulus are identical.
+pub struct Simulator {
+    circuit: Circuit,
+    queue: BinaryHeap<Reverse<Event>>,
+    seq: u64,
+    now: Time,
+    probe_data: Vec<Vec<Time>>,
+    activity: ActivityReport,
+    event_limit: u64,
+    events_processed: u64,
+    ctx: Ctx,
+    jitter: Option<JitterModel>,
+}
+
+impl Simulator {
+    /// Wraps a finished circuit in a simulator.
+    pub fn new(circuit: Circuit) -> Self {
+        let probe_data = vec![Vec::new(); circuit.probes.len()];
+        let activity = ActivityReport::with_components(circuit.comps.len());
+        Simulator {
+            circuit,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            now: Time::ZERO,
+            probe_data,
+            activity,
+            event_limit: DEFAULT_EVENT_LIMIT,
+            events_processed: 0,
+            ctx: Ctx::default(),
+            jitter: None,
+        }
+    }
+
+    /// Enables deterministic Gaussian wire-delay jitter: every wire
+    /// traversal is perturbed by `N(0, sigma)`, clamped so pulses never
+    /// travel back in time. Same seed → same run.
+    ///
+    /// This is the fault model behind the paper's "delay variations
+    /// cause the RL pulses to arrive outside the expected time-slot"
+    /// (§5.4.1 error iii) at circuit level.
+    pub fn enable_wire_jitter(&mut self, sigma: Time, seed: u64) {
+        self.jitter = Some(JitterModel::new(sigma, seed));
+    }
+
+    /// Disables wire-delay jitter.
+    pub fn disable_wire_jitter(&mut self) {
+        self.jitter = None;
+    }
+
+    /// Overrides the event safety limit (default
+    /// [`DEFAULT_EVENT_LIMIT`]).
+    pub fn set_event_limit(&mut self, limit: u64) {
+        self.event_limit = limit;
+    }
+
+    /// Schedules a pulse on an external input at absolute time `t`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownId`] if `input` belongs to another
+    /// circuit.
+    pub fn schedule_input(&mut self, input: InputId, t: Time) -> Result<(), SimError> {
+        if input.0 >= self.circuit.inputs.len() {
+            return Err(SimError::UnknownId(format!("input {}", input.0)));
+        }
+        // Fan the stimulus out exactly like a component emission.
+        self.fan_out(NetSource::Input(input.0), t)?;
+        Ok(())
+    }
+
+    /// Schedules one pulse per time in `times` on `input`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownId`] if `input` is foreign.
+    pub fn schedule_pulses<I>(&mut self, input: InputId, times: I) -> Result<(), SimError>
+    where
+        I: IntoIterator<Item = Time>,
+    {
+        for t in times {
+            self.schedule_input(input, t)?;
+        }
+        Ok(())
+    }
+
+    /// Runs until the event queue is empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EventLimitExceeded`] if the safety valve trips.
+    pub fn run(&mut self) -> Result<RunSummary, SimError> {
+        self.run_until(Time::MAX)
+    }
+
+    /// Runs until the queue is empty or the next event is later than
+    /// `deadline` (events after the deadline stay queued).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EventLimitExceeded`] if the safety valve trips.
+    pub fn run_until(&mut self, deadline: Time) -> Result<RunSummary, SimError> {
+        let mut events = 0u64;
+        while let Some(Reverse(ev)) = self.queue.peek().copied() {
+            if ev.time > deadline {
+                break;
+            }
+            self.queue.pop();
+            self.now = ev.time;
+            events += 1;
+            self.events_processed += 1;
+            if self.events_processed > self.event_limit {
+                return Err(SimError::EventLimitExceeded {
+                    limit: self.event_limit,
+                });
+            }
+            self.dispatch(ev)?;
+        }
+        Ok(RunSummary {
+            events,
+            end_time: self.now,
+        })
+    }
+
+    fn dispatch(&mut self, ev: Event) -> Result<(), SimError> {
+        let comp_id = match ev.kind {
+            EventKind::Deliver { comp, .. } | EventKind::Timer { comp, .. } => comp,
+        };
+        let mut ctx = std::mem::take(&mut self.ctx);
+        ctx.clear();
+        {
+            let slot = &mut self.circuit.comps[comp_id.0];
+            match ev.kind {
+                EventKind::Deliver { port, .. } => {
+                    self.activity.handled[comp_id.0] += 1;
+                    slot.model.on_pulse(port, ev.time, &mut ctx);
+                }
+                EventKind::Timer { tag, .. } => {
+                    slot.model.on_timer(tag, ev.time, &mut ctx);
+                }
+            }
+        }
+        if !ctx.is_empty() {
+            for &(port, delay) in &ctx.emissions {
+                let t_emit = ev
+                    .time
+                    .checked_add(delay)
+                    .ok_or(SimError::TimeOverflow)?;
+                self.activity.emitted[comp_id.0] += 1;
+                self.fan_out(NetSource::Output(comp_id.0, port), t_emit)?;
+            }
+            for &(tag, delay) in &ctx.timers {
+                let t = ev.time.checked_add(delay).ok_or(SimError::TimeOverflow)?;
+                let seq = self.next_seq();
+                self.push(Event {
+                    time: t,
+                    seq,
+                    kind: EventKind::Timer { comp: comp_id, tag },
+                });
+            }
+            for &stat in &ctx.stats {
+                self.activity.record_anomaly(stat);
+            }
+        }
+        self.ctx = ctx;
+        Ok(())
+    }
+
+    fn fan_out(&mut self, source: NetSource, t: Time) -> Result<(), SimError> {
+        fn net(sim: &Simulator, source: NetSource) -> &OutputNet {
+            match source {
+                NetSource::Input(i) => &sim.circuit.inputs[i].net,
+                NetSource::Output(c, p) => &sim.circuit.comps[c].outputs[p],
+            }
+        }
+        for i in 0..net(self, source).probes.len() {
+            let probe = net(self, source).probes[i];
+            self.probe_data[probe.0].push(t);
+        }
+        for i in 0..net(self, source).wires.len() {
+            let wire = net(self, source).wires[i];
+            let mut arrival = t.checked_add(wire.delay).ok_or(SimError::TimeOverflow)?;
+            if let Some(jitter) = &mut self.jitter {
+                let j = jitter.sample_fs();
+                arrival = if j >= 0.0 {
+                    arrival
+                        .checked_add(Time::from_fs(j as u64))
+                        .ok_or(SimError::TimeOverflow)?
+                } else {
+                    // Never earlier than the emission instant.
+                    arrival.saturating_sub(Time::from_fs((-j) as u64)).max(t)
+                };
+            }
+            let seq = self.next_seq();
+            self.push(Event {
+                time: arrival,
+                seq,
+                kind: EventKind::Deliver {
+                    comp: wire.dest,
+                    port: wire.port,
+                },
+            });
+        }
+        Ok(())
+    }
+
+    fn push(&mut self, ev: Event) {
+        self.queue.push(Reverse(ev));
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        let s = self.seq;
+        self.seq += 1;
+        s
+    }
+
+    /// Pulse times recorded by a probe, in non-decreasing order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probe` belongs to a different circuit.
+    pub fn probe_times(&self, probe: ProbeId) -> &[Time] {
+        &self.probe_data[probe.0]
+    }
+
+    /// Number of pulses a probe recorded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probe` belongs to a different circuit.
+    pub fn probe_count(&self, probe: ProbeId) -> usize {
+        self.probe_data[probe.0].len()
+    }
+
+    /// The probe's recording as a named [`Waveform`], ready for a
+    /// [`WaveformSet`](crate::trace::WaveformSet), ASCII rendering, or
+    /// VCD export.
+    ///
+    /// [`Waveform`]: crate::trace::Waveform
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probe` belongs to a different circuit.
+    pub fn probe_waveform(&self, probe: ProbeId) -> crate::trace::Waveform {
+        let name = self
+            .circuit
+            .probe_name(probe)
+            .expect("probe belongs to this circuit")
+            .to_owned();
+        crate::trace::Waveform::new(name, self.probe_data[probe.0].clone())
+    }
+
+    /// The switching-activity report accumulated so far.
+    pub fn activity(&self) -> &ActivityReport {
+        &self.activity
+    }
+
+    /// Current simulation time (time of the last processed event).
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Shared access to the simulated circuit.
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// Returns all components to power-on state, clears probes, pending
+    /// events, and activity counters. Input wiring is preserved.
+    pub fn reset(&mut self) {
+        for slot in &mut self.circuit.comps {
+            slot.model.reset();
+        }
+        self.queue.clear();
+        self.seq = 0;
+        self.now = Time::ZERO;
+        for p in &mut self.probe_data {
+            p.clear();
+        }
+        self.activity = ActivityReport::with_components(self.circuit.comps.len());
+        self.events_processed = 0;
+    }
+}
+
+impl std::fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("circuit", &self.circuit)
+            .field("now", &self.now)
+            .field("pending_events", &self.queue.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::{Buffer, Component};
+
+    #[test]
+    fn delay_chain_propagates() {
+        let mut c = Circuit::new();
+        let input = c.input("in");
+        let b1 = c.add(Buffer::new("b1", Time::from_ps(3.0)));
+        let b2 = c.add(Buffer::new("b2", Time::from_ps(4.0)));
+        c.connect_input(input, b1.input(0), Time::from_ps(1.0)).unwrap();
+        c.connect(b1.output(0), b2.input(0), Time::from_ps(2.0)).unwrap();
+        let probe = c.probe(b2.output(0), "out");
+
+        let mut sim = Simulator::new(c);
+        sim.schedule_input(input, Time::ZERO).unwrap();
+        let summary = sim.run().unwrap();
+        assert_eq!(sim.probe_times(probe), &[Time::from_ps(10.0)]);
+        assert_eq!(summary.events, 2);
+        assert_eq!(summary.end_time, Time::from_ps(6.0));
+        assert_eq!(sim.activity().handled, vec![1, 1]);
+        assert_eq!(sim.activity().emitted, vec![1, 1]);
+    }
+
+    #[test]
+    fn fan_out_reaches_all_sinks() {
+        let mut c = Circuit::new();
+        let input = c.input("in");
+        let b1 = c.add(Buffer::new("b1", Time::ZERO));
+        let b2 = c.add(Buffer::new("b2", Time::ZERO));
+        c.connect_input(input, b1.input(0), Time::ZERO).unwrap();
+        c.connect_input(input, b2.input(0), Time::from_ps(5.0)).unwrap();
+        let p1 = c.probe(b1.output(0), "p1");
+        let p2 = c.probe(b2.output(0), "p2");
+
+        let mut sim = Simulator::new(c);
+        sim.schedule_pulses(input, [Time::ZERO, Time::from_ps(10.0)]).unwrap();
+        sim.run().unwrap();
+        assert_eq!(sim.probe_count(p1), 2);
+        assert_eq!(sim.probe_times(p2), &[Time::from_ps(5.0), Time::from_ps(15.0)]);
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let mut c = Circuit::new();
+        let input = c.input("in");
+        let b = c.add(Buffer::new("b", Time::ZERO));
+        c.connect_input(input, b.input(0), Time::ZERO).unwrap();
+        let p = c.probe(b.output(0), "p");
+        let mut sim = Simulator::new(c);
+        sim.schedule_pulses(input, [Time::from_ps(1.0), Time::from_ps(100.0)]).unwrap();
+        sim.run_until(Time::from_ps(50.0)).unwrap();
+        assert_eq!(sim.probe_count(p), 1);
+        sim.run().unwrap();
+        assert_eq!(sim.probe_count(p), 2);
+    }
+
+    /// A pathological cell that echoes with zero delay to itself.
+    struct Oscillator;
+    impl Component for Oscillator {
+        fn name(&self) -> &str {
+            "osc"
+        }
+        fn num_inputs(&self) -> usize {
+            1
+        }
+        fn num_outputs(&self) -> usize {
+            1
+        }
+        fn jj_count(&self) -> u32 {
+            2
+        }
+        fn on_pulse(&mut self, _port: usize, _now: Time, ctx: &mut Ctx) {
+            ctx.emit(0, Time::from_ps(1.0));
+        }
+    }
+
+    #[test]
+    fn event_limit_catches_oscillation() {
+        let mut c = Circuit::new();
+        let input = c.input("in");
+        let o = c.add(Oscillator);
+        c.connect_input(input, o.input(0), Time::ZERO).unwrap();
+        c.connect(o.output(0), o.input(0), Time::ZERO).unwrap();
+        let mut sim = Simulator::new(c);
+        sim.set_event_limit(1000);
+        sim.schedule_input(input, Time::ZERO).unwrap();
+        let err = sim.run().unwrap_err();
+        assert_eq!(err, SimError::EventLimitExceeded { limit: 1000 });
+    }
+
+    #[test]
+    fn timer_delivery() {
+        struct TimerCell {
+            fired_at: Option<Time>,
+        }
+        impl Component for TimerCell {
+            fn name(&self) -> &str {
+                "t"
+            }
+            fn num_inputs(&self) -> usize {
+                1
+            }
+            fn num_outputs(&self) -> usize {
+                1
+            }
+            fn jj_count(&self) -> u32 {
+                4
+            }
+            fn on_pulse(&mut self, _port: usize, _now: Time, ctx: &mut Ctx) {
+                ctx.schedule_timer(42, Time::from_ps(7.0));
+            }
+            fn on_timer(&mut self, tag: u64, now: Time, ctx: &mut Ctx) {
+                assert_eq!(tag, 42);
+                self.fired_at = Some(now);
+                ctx.emit(0, Time::ZERO);
+            }
+        }
+        let mut c = Circuit::new();
+        let input = c.input("in");
+        let t = c.add(TimerCell { fired_at: None });
+        c.connect_input(input, t.input(0), Time::ZERO).unwrap();
+        let p = c.probe(t.output(0), "out");
+        let mut sim = Simulator::new(c);
+        sim.schedule_input(input, Time::from_ps(1.0)).unwrap();
+        sim.run().unwrap();
+        assert_eq!(sim.probe_times(p), &[Time::from_ps(8.0)]);
+    }
+
+    #[test]
+    fn reset_restores_power_on_state() {
+        let mut c = Circuit::new();
+        let input = c.input("in");
+        let b = c.add(Buffer::new("b", Time::ZERO));
+        c.connect_input(input, b.input(0), Time::ZERO).unwrap();
+        let p = c.probe(b.output(0), "p");
+        let mut sim = Simulator::new(c);
+        sim.schedule_input(input, Time::from_ps(3.0)).unwrap();
+        sim.run().unwrap();
+        assert_eq!(sim.probe_count(p), 1);
+        sim.reset();
+        assert_eq!(sim.probe_count(p), 0);
+        assert_eq!(sim.now(), Time::ZERO);
+        assert_eq!(sim.activity().total_handled(), 0);
+        // And it runs again after reset.
+        sim.schedule_input(input, Time::from_ps(4.0)).unwrap();
+        sim.run().unwrap();
+        assert_eq!(sim.probe_count(p), 1);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let build = || {
+            let mut c = Circuit::new();
+            let input = c.input("in");
+            let b = c.add(Buffer::new("b", Time::from_ps(100.0)));
+            c.connect_input(input, b.input(0), Time::from_ps(50.0)).unwrap();
+            let p = c.probe(b.output(0), "p");
+            (Simulator::new(c), input, p)
+        };
+        let run = |seed: u64| {
+            let (mut sim, input, p) = build();
+            sim.enable_wire_jitter(Time::from_ps(2.0), seed);
+            for k in 0..64u64 {
+                sim.schedule_input(input, Time::from_ps(200.0 * k as f64)).unwrap();
+            }
+            sim.run().unwrap();
+            sim.probe_times(p).to_vec()
+        };
+        let a = run(7);
+        let b = run(7);
+        assert_eq!(a, b, "same seed, same run");
+        let c = run(8);
+        assert_ne!(a, c, "different seed perturbs differently");
+        // Jitter is small relative to the nominal 150 ps path.
+        for (k, &t) in a.iter().enumerate() {
+            let nominal = Time::from_ps(200.0 * k as f64 + 150.0);
+            assert!(
+                t.abs_diff(nominal) < Time::from_ps(20.0),
+                "pulse {k} at {t}, nominal {nominal}"
+            );
+        }
+    }
+
+    #[test]
+    fn jitter_never_time_travels() {
+        let mut c = Circuit::new();
+        let input = c.input("in");
+        // Zero-delay wire: negative jitter must clamp at emission time.
+        let b = c.add(Buffer::new("b", Time::ZERO));
+        c.connect_input(input, b.input(0), Time::ZERO).unwrap();
+        let p = c.probe(b.output(0), "p");
+        let mut sim = Simulator::new(c);
+        sim.enable_wire_jitter(Time::from_ps(5.0), 3);
+        for k in 0..32u64 {
+            sim.schedule_input(input, Time::from_ps(100.0 * k as f64)).unwrap();
+        }
+        sim.run().unwrap();
+        for (k, &t) in sim.probe_times(p).iter().enumerate() {
+            assert!(t >= Time::from_ps(100.0 * k as f64), "pulse {k} at {t}");
+        }
+        sim.disable_wire_jitter();
+    }
+
+    #[test]
+    fn foreign_input_rejected() {
+        let c = Circuit::new();
+        let mut sim = Simulator::new(c);
+        assert!(sim.schedule_input(InputId(0), Time::ZERO).is_err());
+    }
+}

@@ -1,0 +1,89 @@
+//! Error type for circuit construction and simulation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while building a [`crate::Circuit`] or running a
+/// [`crate::Simulator`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A port index was out of range for the referenced component.
+    InvalidPort {
+        /// Component the port was looked up on.
+        component: String,
+        /// The offending port index.
+        port: usize,
+        /// Number of ports of that direction the component actually has.
+        available: usize,
+        /// `"input"` or `"output"`.
+        direction: &'static str,
+    },
+    /// A component, input, or probe id referenced a different circuit or was
+    /// otherwise unknown.
+    UnknownId(String),
+    /// The event limit was exceeded; the circuit probably oscillates.
+    EventLimitExceeded {
+        /// The limit that was hit.
+        limit: u64,
+    },
+    /// The simulation clock overflowed.
+    TimeOverflow,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidPort {
+                component,
+                port,
+                available,
+                direction,
+            } => write!(
+                f,
+                "invalid {direction} port {port} on component `{component}` (has {available})"
+            ),
+            SimError::UnknownId(what) => write!(f, "unknown id: {what}"),
+            SimError::EventLimitExceeded { limit } => {
+                write!(f, "event limit of {limit} exceeded; circuit may oscillate")
+            }
+            SimError::TimeOverflow => write!(f, "simulation time overflowed"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = SimError::InvalidPort {
+            component: "m0".into(),
+            port: 3,
+            available: 2,
+            direction: "input",
+        };
+        assert_eq!(
+            e.to_string(),
+            "invalid input port 3 on component `m0` (has 2)"
+        );
+        assert_eq!(
+            SimError::EventLimitExceeded { limit: 10 }.to_string(),
+            "event limit of 10 exceeded; circuit may oscillate"
+        );
+        assert_eq!(
+            SimError::UnknownId("probe 9".into()).to_string(),
+            "unknown id: probe 9"
+        );
+        assert_eq!(SimError::TimeOverflow.to_string(), "simulation time overflowed");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<SimError>();
+    }
+}

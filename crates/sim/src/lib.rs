@@ -1,0 +1,67 @@
+//! # usfq-sim — discrete-event, pulse-level SFQ circuit simulator
+//!
+//! In rapid-single-flux-quantum (RSFQ) logic, information is carried by
+//! picosecond-wide voltage pulses rather than voltage levels. This crate
+//! provides a deterministic discrete-event kernel specialised for that
+//! regime: *events are pulses*, components are behavioral models of
+//! superconducting cells, and wires add fixed propagation delay.
+//!
+//! The kernel replaces the analog WRspice simulations used by the U-SFQ
+//! paper (ASPLOS '22). All architectural phenomena the paper evaluates —
+//! pulse ordering, collision windows, state-transition (setup/hold) windows,
+//! switching-activity-proportional power — are first-class citizens here.
+//!
+//! ## Model
+//!
+//! * [`Time`] is an absolute instant with femtosecond resolution (stored in
+//!   a `u64`), so picosecond-scale cell delays are exact.
+//! * A [`Circuit`] is a netlist of [`Component`]s connected by wires with
+//!   fixed delays, plus named external inputs and output probes.
+//! * A [`Simulator`] owns a circuit and an event queue. Ties in time are
+//!   broken by insertion order, making every run reproducible bit-for-bit.
+//! * [`stats::ActivityReport`] counts pulse arrivals and emissions per
+//!   component; [`power`] converts activity into active/passive power using
+//!   per-cell Josephson-junction accounting.
+//!
+//! ## Example
+//!
+//! Build a two-stage delay line and observe the pulse at the end:
+//!
+//! ```
+//! use usfq_sim::{Circuit, Simulator, Time};
+//! use usfq_sim::component::Buffer;
+//!
+//! # fn main() -> Result<(), usfq_sim::SimError> {
+//! let mut circuit = Circuit::new();
+//! let input = circuit.input("in");
+//! let b1 = circuit.add(Buffer::new("jtl1", Time::from_ps(3.0)));
+//! let b2 = circuit.add(Buffer::new("jtl2", Time::from_ps(3.0)));
+//! circuit.connect_input(input, b1.input(0), Time::ZERO)?;
+//! circuit.connect(b1.output(0), b2.input(0), Time::from_ps(1.0))?;
+//! let probe = circuit.probe(b2.output(0), "out");
+//!
+//! let mut sim = Simulator::new(circuit);
+//! sim.schedule_input(input, Time::ZERO)?;
+//! sim.run()?;
+//! assert_eq!(sim.probe_times(probe), &[Time::from_ps(7.0)]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod circuit;
+pub mod component;
+pub mod engine;
+pub mod error;
+pub mod power;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use circuit::{Circuit, CompId, InputId, NodeRef, ProbeId, SinkRef};
+pub use component::{Component, Ctx};
+pub use engine::{RunSummary, Simulator};
+pub use error::SimError;
+pub use time::Time;

@@ -1,0 +1,129 @@
+//! Switching-activity and anomaly statistics collected during a run.
+
+use std::collections::BTreeMap;
+
+/// Discrete anomaly events a component may report via
+/// [`crate::Ctx::record`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[non_exhaustive]
+pub enum StatKind {
+    /// Two pulses arrived at a merger closer than its collision window and
+    /// only one propagated (the paper's Fig. 5 loss mode).
+    MergerCollision,
+    /// A pulse arrived at a balancer while its routing flip-flop was still
+    /// transitioning; the pulse was routed by the stale state (paper §4.2
+    /// case iii — output count preserved, routing possibly biased).
+    BalancerTransitionHit,
+    /// A pulse was dropped by an injected fault.
+    InjectedLoss,
+    /// A state-holding cell received a pulse it had to ignore (e.g. a second
+    /// `set` while already set).
+    IgnoredPulse,
+}
+
+/// Per-component pulse counters plus global anomaly tallies.
+///
+/// Activity is the basis of the active-power model: active energy is
+/// proportional to the number of pulses each cell processes, weighted by the
+/// cell's switching-JJ estimate.
+#[derive(Debug, Clone, Default)]
+pub struct ActivityReport {
+    /// Pulses handled (arrived at) each component, indexed by component id.
+    pub handled: Vec<u64>,
+    /// Pulses emitted by each component, indexed by component id.
+    pub emitted: Vec<u64>,
+    /// Anomaly tallies across the whole circuit.
+    pub anomalies: BTreeMap<StatKind, u64>,
+}
+
+impl ActivityReport {
+    pub(crate) fn with_components(n: usize) -> Self {
+        ActivityReport {
+            handled: vec![0; n],
+            emitted: vec![0; n],
+            anomalies: BTreeMap::new(),
+        }
+    }
+
+    /// Total pulses handled across all components.
+    pub fn total_handled(&self) -> u64 {
+        self.handled.iter().sum()
+    }
+
+    /// Total pulses emitted across all components.
+    pub fn total_emitted(&self) -> u64 {
+        self.emitted.iter().sum()
+    }
+
+    /// Count of a particular anomaly, zero if never recorded.
+    pub fn anomaly_count(&self, kind: StatKind) -> u64 {
+        self.anomalies.get(&kind).copied().unwrap_or(0)
+    }
+
+    pub(crate) fn record_anomaly(&mut self, kind: StatKind) {
+        *self.anomalies.entry(kind).or_insert(0) += 1;
+    }
+
+    /// Renders a per-component activity summary against the circuit's
+    /// bill of materials, hottest components first — the raw material
+    /// of a power debug session.
+    pub fn render(&self, circuit: &crate::circuit::Circuit) -> String {
+        use std::fmt::Write as _;
+        let mut rows: Vec<(&str, u32, u64, u64)> = circuit
+            .components()
+            .map(|(id, name, jj)| {
+                let i = id.index();
+                (name, jj, self.handled[i], self.emitted[i])
+            })
+            .collect();
+        rows.sort_by_key(|&(_, _, handled, _)| std::cmp::Reverse(handled));
+        let mut out = String::new();
+        let _ = writeln!(out, "{:<24} {:>5} {:>10} {:>10}", "component", "JJ", "handled", "emitted");
+        for (name, jj, handled, emitted) in rows {
+            let _ = writeln!(out, "{name:<24} {jj:>5} {handled:>10} {emitted:>10}");
+        }
+        for (kind, count) in &self.anomalies {
+            let _ = writeln!(out, "anomaly {kind:?}: {count}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_sorts_by_activity() {
+        use crate::circuit::Circuit;
+        use crate::component::Buffer;
+        use crate::Time;
+        let mut c = Circuit::new();
+        c.add(Buffer::new("cold", Time::ZERO));
+        c.add(Buffer::new("hot", Time::ZERO));
+        let mut r = ActivityReport::with_components(2);
+        r.handled[0] = 1;
+        r.handled[1] = 100;
+        r.emitted[1] = 100;
+        r.record_anomaly(StatKind::IgnoredPulse);
+        let s = r.render(&c);
+        let hot_at = s.find("hot").unwrap();
+        let cold_at = s.find("cold").unwrap();
+        assert!(hot_at < cold_at, "hot component listed first:\n{s}");
+        assert!(s.contains("anomaly IgnoredPulse: 1"));
+    }
+
+    #[test]
+    fn totals_and_anomalies() {
+        let mut r = ActivityReport::with_components(3);
+        r.handled[0] = 2;
+        r.handled[2] = 5;
+        r.emitted[1] = 4;
+        r.record_anomaly(StatKind::MergerCollision);
+        r.record_anomaly(StatKind::MergerCollision);
+        assert_eq!(r.total_handled(), 7);
+        assert_eq!(r.total_emitted(), 4);
+        assert_eq!(r.anomaly_count(StatKind::MergerCollision), 2);
+        assert_eq!(r.anomaly_count(StatKind::InjectedLoss), 0);
+    }
+}

@@ -1,0 +1,263 @@
+//! Simulation time with femtosecond resolution.
+//!
+//! SFQ cell delays are single-digit picoseconds (the U-SFQ paper measures
+//! 9 ps for its inverter and 12 ps for the balancer flip-flop), so a `u64`
+//! femtosecond counter gives exact arithmetic with ~5 hours of headroom —
+//! ten orders of magnitude more than the longest experiment in the paper.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// Femtoseconds per picosecond.
+const FS_PER_PS: u64 = 1_000;
+/// Femtoseconds per nanosecond.
+const FS_PER_NS: u64 = 1_000_000;
+
+/// An instant (or duration) on the simulation clock, in femtoseconds.
+///
+/// `Time` is used both for absolute event times and for durations such as
+/// wire and cell delays; the arithmetic of the two is identical and the
+/// simulator never needs a signed value.
+///
+/// # Examples
+///
+/// ```
+/// use usfq_sim::Time;
+///
+/// let t = Time::from_ps(9.0) + Time::from_ps(3.0);
+/// assert_eq!(t.as_ps(), 12.0);
+/// assert!(t < Time::from_ns(1.0));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(u64);
+
+impl Time {
+    /// The zero instant — the beginning of every simulation.
+    pub const ZERO: Time = Time(0);
+    /// The maximum representable instant.
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Creates a time from raw femtoseconds.
+    #[inline]
+    pub const fn from_fs(fs: u64) -> Self {
+        Time(fs)
+    }
+
+    /// Creates a time from picoseconds, rounding to the nearest femtosecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ps` is negative or not finite.
+    #[inline]
+    pub fn from_ps(ps: f64) -> Self {
+        assert!(ps.is_finite() && ps >= 0.0, "time must be finite and non-negative, got {ps}");
+        Time((ps * FS_PER_PS as f64).round() as u64)
+    }
+
+    /// Creates a time from nanoseconds, rounding to the nearest femtosecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ns` is negative or not finite.
+    #[inline]
+    pub fn from_ns(ns: f64) -> Self {
+        assert!(ns.is_finite() && ns >= 0.0, "time must be finite and non-negative, got {ns}");
+        Time((ns * FS_PER_NS as f64).round() as u64)
+    }
+
+    /// Raw femtosecond count.
+    #[inline]
+    pub const fn as_fs(self) -> u64 {
+        self.0
+    }
+
+    /// This time expressed in picoseconds.
+    #[inline]
+    pub fn as_ps(self) -> f64 {
+        self.0 as f64 / FS_PER_PS as f64
+    }
+
+    /// This time expressed in nanoseconds.
+    #[inline]
+    pub fn as_ns(self) -> f64 {
+        self.0 as f64 / FS_PER_NS as f64
+    }
+
+    /// This time expressed in seconds.
+    #[inline]
+    pub fn as_secs(self) -> f64 {
+        self.0 as f64 * 1e-15
+    }
+
+    /// Saturating subtraction: returns [`Time::ZERO`] instead of wrapping.
+    #[inline]
+    pub const fn saturating_sub(self, rhs: Time) -> Time {
+        Time(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked addition, `None` on overflow.
+    #[inline]
+    pub const fn checked_add(self, rhs: Time) -> Option<Time> {
+        match self.0.checked_add(rhs.0) {
+            Some(v) => Some(Time(v)),
+            None => None,
+        }
+    }
+
+    /// Absolute difference between two instants.
+    #[inline]
+    pub const fn abs_diff(self, rhs: Time) -> Time {
+        Time(self.0.abs_diff(rhs.0))
+    }
+
+    /// Multiplies a duration by an integer count (e.g. slot index × width).
+    ///
+    /// # Panics
+    ///
+    /// Panics on overflow.
+    #[inline]
+    pub fn scale(self, count: u64) -> Time {
+        Time(self.0.checked_mul(count).expect("time overflow in scale"))
+    }
+}
+
+impl Add for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, rhs: Time) -> Time {
+        Time(self.0.checked_add(rhs.0).expect("time overflow in add"))
+    }
+}
+
+impl AddAssign for Time {
+    #[inline]
+    fn add_assign(&mut self, rhs: Time) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Time {
+    type Output = Time;
+    /// # Panics
+    ///
+    /// Panics if `rhs` is later than `self`; use
+    /// [`Time::saturating_sub`] when underflow is expected.
+    #[inline]
+    fn sub(self, rhs: Time) -> Time {
+        Time(self.0.checked_sub(rhs.0).expect("time underflow in sub"))
+    }
+}
+
+impl SubAssign for Time {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Time) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for Time {
+    type Output = Time;
+    #[inline]
+    fn mul(self, rhs: u64) -> Time {
+        self.scale(rhs)
+    }
+}
+
+impl Div<u64> for Time {
+    type Output = Time;
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    #[inline]
+    fn div(self, rhs: u64) -> Time {
+        Time(self.0 / rhs)
+    }
+}
+
+impl Sum for Time {
+    fn sum<I: Iterator<Item = Time>>(iter: I) -> Time {
+        iter.fold(Time::ZERO, Add::add)
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Time({} ps)", self.as_ps())
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= FS_PER_NS {
+            write!(f, "{:.3} ns", self.as_ns())
+        } else {
+            write!(f, "{:.3} ps", self.as_ps())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ps_roundtrip_is_exact_at_fs_resolution() {
+        let t = Time::from_ps(9.0);
+        assert_eq!(t.as_fs(), 9_000);
+        assert_eq!(t.as_ps(), 9.0);
+    }
+
+    #[test]
+    fn ns_conversion() {
+        assert_eq!(Time::from_ns(1.0), Time::from_ps(1000.0));
+        assert_eq!(Time::from_ns(2.5).as_ns(), 2.5);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Time::from_ps(10.0);
+        let b = Time::from_ps(4.0);
+        assert_eq!(a + b, Time::from_ps(14.0));
+        assert_eq!(a - b, Time::from_ps(6.0));
+        assert_eq!(b.saturating_sub(a), Time::ZERO);
+        assert_eq!(a.abs_diff(b), Time::from_ps(6.0));
+        assert_eq!(b.abs_diff(a), Time::from_ps(6.0));
+        assert_eq!(a * 3, Time::from_ps(30.0));
+        assert_eq!(a / 4, Time::from_ps(2.5));
+    }
+
+    #[test]
+    fn sum_of_times() {
+        let total: Time = (1..=4).map(|i| Time::from_ps(i as f64)).sum();
+        assert_eq!(total, Time::from_ps(10.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = Time::from_ps(1.0) - Time::from_ps(2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_ps_panics() {
+        let _ = Time::from_ps(-1.0);
+    }
+
+    #[test]
+    fn ordering_and_display() {
+        assert!(Time::from_ps(1.0) < Time::from_ps(2.0));
+        assert_eq!(format!("{}", Time::from_ps(9.0)), "9.000 ps");
+        assert_eq!(format!("{}", Time::from_ns(1.5)), "1.500 ns");
+    }
+
+    #[test]
+    fn checked_add_detects_overflow() {
+        assert_eq!(Time::MAX.checked_add(Time::from_fs(1)), None);
+        assert_eq!(
+            Time::from_fs(1).checked_add(Time::from_fs(2)),
+            Some(Time::from_fs(3))
+        );
+    }
+}

@@ -1,0 +1,278 @@
+//! Waveform capture and ASCII rendering.
+//!
+//! The U-SFQ paper illustrates cell behaviour with SPICE waveforms (its
+//! Figs. 7 and 11). In a pulse-level simulation a waveform is simply the
+//! list of pulse instants on a named signal; [`WaveformSet::render_ascii`]
+//! draws them on a shared time axis so the figure harness can print
+//! text-mode versions of those figures.
+
+use crate::time::Time;
+use std::fmt::Write as _;
+
+/// A named pulse train.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Waveform {
+    name: String,
+    pulses: Vec<Time>,
+}
+
+impl Waveform {
+    /// Creates a waveform from a signal name and pulse instants.
+    /// Instants are sorted on construction.
+    pub fn new(name: impl Into<String>, mut pulses: Vec<Time>) -> Self {
+        pulses.sort_unstable();
+        Waveform {
+            name: name.into(),
+            pulses,
+        }
+    }
+
+    /// The signal name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Pulse instants in non-decreasing order.
+    pub fn pulses(&self) -> &[Time] {
+        &self.pulses
+    }
+
+    /// Number of pulses.
+    pub fn len(&self) -> usize {
+        self.pulses.len()
+    }
+
+    /// True if the signal never pulses.
+    pub fn is_empty(&self) -> bool {
+        self.pulses.is_empty()
+    }
+
+    /// Time of the last pulse, if any.
+    pub fn last(&self) -> Option<Time> {
+        self.pulses.last().copied()
+    }
+}
+
+/// A group of waveforms sharing a time axis.
+#[derive(Debug, Clone, Default)]
+pub struct WaveformSet {
+    waves: Vec<Waveform>,
+}
+
+impl WaveformSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a waveform.
+    pub fn push(&mut self, wave: Waveform) {
+        self.waves.push(wave);
+    }
+
+    /// The contained waveforms.
+    pub fn waves(&self) -> &[Waveform] {
+        &self.waves
+    }
+
+    /// Latest pulse across all waveforms.
+    pub fn horizon(&self) -> Time {
+        self.waves
+            .iter()
+            .filter_map(Waveform::last)
+            .max()
+            .unwrap_or(Time::ZERO)
+    }
+
+    /// Renders all waveforms on a shared axis, one row per signal.
+    ///
+    /// Each row is `width` columns; a column holding at least one pulse is
+    /// drawn as `|`, others as `·`. The axis is annotated in picoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn render_ascii(&self, width: usize) -> String {
+        assert!(width > 0, "render width must be positive");
+        let horizon = self.horizon().as_fs().max(1);
+        let name_width = self
+            .waves
+            .iter()
+            .map(|w| w.name().len())
+            .max()
+            .unwrap_or(0)
+            .max(4);
+        let mut out = String::new();
+        for wave in &self.waves {
+            let mut row = vec!['·'; width];
+            for &p in wave.pulses() {
+                let col = ((p.as_fs() as u128 * (width as u128 - 1)) / horizon as u128) as usize;
+                row[col] = '|';
+            }
+            let _ = writeln!(
+                out,
+                "{:>name_width$} {}",
+                wave.name(),
+                row.iter().collect::<String>()
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{:>name_width$} 0{:>rest$}",
+            "t/ps",
+            format!("{:.1}", Time::from_fs(horizon).as_ps()),
+            rest = width - 1
+        );
+        out
+    }
+}
+
+impl WaveformSet {
+    /// Exports the waveforms as a Value Change Dump (VCD) for viewing
+    /// in GTKWave or any other VCD viewer.
+    ///
+    /// Each SFQ pulse is rendered as a 1-femtosecond-wide `1` blip on
+    /// its signal — the conventional way to view pulse logic in
+    /// level-oriented waveform tools. Timescale is 1 fs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set holds more than 94 signals (the single-byte
+    /// VCD identifier range; SFQ debug dumps are far smaller).
+    pub fn to_vcd(&self, module: &str) -> String {
+        assert!(
+            self.waves.len() <= 94,
+            "VCD export supports at most 94 signals"
+        );
+        let mut out = String::new();
+        let _ = writeln!(out, "$timescale 1fs $end");
+        let _ = writeln!(out, "$scope module {module} $end");
+        let ids: Vec<char> = (0..self.waves.len())
+            .map(|i| (b'!' + i as u8) as char)
+            .collect();
+        for (wave, id) in self.waves.iter().zip(&ids) {
+            let _ = writeln!(
+                out,
+                "$var wire 1 {id} {} $end",
+                wave.name().replace([' ', '\n'], "_")
+            );
+        }
+        let _ = writeln!(out, "$upscope $end");
+        let _ = writeln!(out, "$enddefinitions $end");
+        // Initial values.
+        let _ = writeln!(out, "#0");
+        for id in &ids {
+            let _ = writeln!(out, "0{id}");
+        }
+        // Merge all events: (time_fs, signal index, rising?).
+        let mut events: Vec<(u64, usize)> = Vec::new();
+        for (i, wave) in self.waves.iter().enumerate() {
+            for &t in wave.pulses() {
+                events.push((t.as_fs(), i));
+            }
+        }
+        events.sort_unstable();
+        for (t, i) in events {
+            let id = ids[i];
+            let _ = writeln!(out, "#{t}");
+            let _ = writeln!(out, "1{id}");
+            let _ = writeln!(out, "#{}", t + 1);
+            let _ = writeln!(out, "0{id}");
+        }
+        out
+    }
+}
+
+impl FromIterator<Waveform> for WaveformSet {
+    fn from_iter<I: IntoIterator<Item = Waveform>>(iter: I) -> Self {
+        WaveformSet {
+            waves: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waveform_sorts_and_reports() {
+        let w = Waveform::new("a", vec![Time::from_ps(5.0), Time::from_ps(1.0)]);
+        assert_eq!(w.pulses(), &[Time::from_ps(1.0), Time::from_ps(5.0)]);
+        assert_eq!(w.len(), 2);
+        assert!(!w.is_empty());
+        assert_eq!(w.last(), Some(Time::from_ps(5.0)));
+        assert_eq!(w.name(), "a");
+    }
+
+    #[test]
+    fn set_horizon() {
+        let set: WaveformSet = [
+            Waveform::new("a", vec![Time::from_ps(3.0)]),
+            Waveform::new("b", vec![Time::from_ps(9.0)]),
+            Waveform::new("c", vec![]),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(set.horizon(), Time::from_ps(9.0));
+        assert_eq!(set.waves().len(), 3);
+    }
+
+    #[test]
+    fn ascii_render_marks_pulses() {
+        let mut set = WaveformSet::new();
+        set.push(Waveform::new("in", vec![Time::ZERO, Time::from_ps(10.0)]));
+        set.push(Waveform::new("out", vec![Time::from_ps(5.0)]));
+        let art = set.render_ascii(21);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("  in |"));
+        assert!(lines[0].ends_with('|'));
+        // The out pulse at 5 ps of 10 ps total lands mid-row.
+        let out_row = lines[1].trim_start_matches(" out ");
+        assert_eq!(out_row.chars().nth(10), Some('|'));
+        assert!(lines[2].contains("t/ps"));
+    }
+
+    #[test]
+    fn empty_set_renders_axis_only() {
+        let set = WaveformSet::new();
+        let art = set.render_ascii(10);
+        assert!(art.contains("t/ps"));
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn zero_width_panics() {
+        WaveformSet::new().render_ascii(0);
+    }
+
+    #[test]
+    fn vcd_export_structure() {
+        let mut set = WaveformSet::new();
+        set.push(Waveform::new("clk in", vec![Time::from_ps(1.0), Time::from_ps(3.0)]));
+        set.push(Waveform::new("q", vec![Time::from_ps(2.0)]));
+        let vcd = set.to_vcd("balancer");
+        assert!(vcd.starts_with("$timescale 1fs $end"));
+        assert!(vcd.contains("$scope module balancer $end"));
+        assert!(vcd.contains("$var wire 1 ! clk_in $end"));
+        assert!(vcd.contains("$var wire 1 \" q $end"));
+        // Three pulses → three rising and three falling edges plus the
+        // two initial values.
+        assert_eq!(vcd.matches("\n1").count(), 3);
+        // Two initial zeros plus three falling edges.
+        assert_eq!(vcd.matches("\n0").count(), 5);
+        // Events are time-ordered: 1 ps, 2 ps, 3 ps.
+        // 1 ps = 1000 fs.
+        let i1 = vcd.find("#1000\n").unwrap();
+        let i2 = vcd.find("#2000\n").unwrap();
+        let i3 = vcd.find("#3000\n").unwrap();
+        assert!(i1 < i2 && i2 < i3);
+    }
+
+    #[test]
+    fn vcd_empty_set() {
+        let vcd = WaveformSet::new().to_vcd("empty");
+        assert!(vcd.contains("$enddefinitions"));
+    }
+}

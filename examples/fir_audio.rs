@@ -1,0 +1,59 @@
+//! Tone extraction with the U-SFQ FIR accelerator — the paper's §5.4
+//! workload end to end: a 16-tap low-pass filter recovers a 1 kHz tone
+//! from a four-tone mix, and the unary datapath shrugs off pulse-loss
+//! rates that destroy the binary filter.
+//!
+//! ```text
+//! cargo run --release --example fir_audio
+//! ```
+
+use usfq::baseline::datapath::BinaryFir;
+use usfq::core::accel::{FaultModel, UsfqFir};
+use usfq::dsp::{design, metrics, signal};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let fs = 32_000.0;
+    let n = 2048;
+    let bits = 16;
+
+    // The paper's test input: 1 + 7 + 8 + 9 kHz sinusoids.
+    let x = signal::paper_test_signal(fs, n);
+    // A 16-tap windowed-sinc low-pass with 3 kHz cutoff.
+    let h = design::paper_filter(fs);
+    println!("filter: {} taps, {} bits, latency {} per output", h.len(), bits,
+        UsfqFir::new(&h, bits)?.latency());
+
+    let golden = usfq::core::accel::fir_reference(&h, &x);
+    println!(
+        "golden (f64) output SNR at 1 kHz: {:.1} dB\n",
+        metrics::tone_snr(&golden, 1_000.0, fs)
+    );
+
+    println!("{:>10} {:>14} {:>14}", "error rate", "binary SNR", "U-SFQ SNR");
+    for rate in [0.0, 0.05, 0.1, 0.2, 0.3] {
+        let binary = BinaryFir::new(&h, bits)
+            .with_bit_flips(rate, 42)
+            .filter(&x);
+        let unary = UsfqFir::new(&h, bits)?
+            .with_faults(
+                FaultModel {
+                    stream_loss: rate,
+                    rl_loss: 0.0,
+                    rl_delay: rate,
+                },
+                42,
+            )?
+            .filter(&x)?;
+        println!(
+            "{:>9.0}% {:>11.1} dB {:>11.1} dB",
+            rate * 100.0,
+            metrics::tone_snr(&binary, 1_000.0, fs),
+            metrics::tone_snr(&unary, 1_000.0, fs)
+        );
+    }
+    println!(
+        "\nEach U-SFQ pulse carries only 1/2^{bits} of the result, so losing\n\
+         30% of them costs a few dB; a binary bit flip can hit the MSB."
+    );
+    Ok(())
+}

@@ -1,0 +1,99 @@
+//! Export simulation artefacts for external tools: a balancer run as a
+//! VCD waveform (GTKWave) and the 4-lane DPU netlist as Graphviz DOT.
+//!
+//! ```text
+//! cargo run --example waveform_export -- [output_dir]
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+
+use usfq::cells::Balancer;
+use usfq::sim::trace::WaveformSet;
+use usfq::sim::{Circuit, Simulator, Time};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/export"));
+    fs::create_dir_all(&dir)?;
+
+    // --- A balancer run, captured as waveforms -------------------------
+    let mut c = Circuit::new();
+    let a = c.input("A");
+    let b = c.input("B");
+    let bal = c.add(Balancer::new("bal"));
+    c.connect_input(a, bal.input(Balancer::IN_A), Time::ZERO)?;
+    c.connect_input(b, bal.input(Balancer::IN_B), Time::ZERO)?;
+    let pa = c.probe_input(a, "A");
+    let pb = c.probe_input(b, "B");
+    let y1 = c.probe(bal.output(Balancer::OUT_Y1), "Y1");
+    let y2 = c.probe(bal.output(Balancer::OUT_Y2), "Y2");
+
+    let mut sim = Simulator::new(c);
+    for t in [5.0, 100.0, 250.0, 400.0] {
+        sim.schedule_input(a, Time::from_ps(t))?;
+    }
+    for t in [50.0, 250.0, 320.0] {
+        sim.schedule_input(b, Time::from_ps(t))?;
+    }
+    sim.run()?;
+
+    let set: WaveformSet = [pa, pb, y1, y2]
+        .into_iter()
+        .map(|p| sim.probe_waveform(p))
+        .collect();
+
+    let vcd_path = dir.join("balancer.vcd");
+    fs::write(&vcd_path, set.to_vcd("balancer"))?;
+    println!("wrote {} ({} signals)", vcd_path.display(), set.waves().len());
+    println!("\nASCII preview:\n{}", set.render_ascii(72));
+
+    // --- The published DPU netlist as DOT -------------------------------
+    let circuit = usfq_bench_netlist();
+    let dot_path = dir.join("dpu4.dot");
+    fs::write(&dot_path, circuit.to_dot("usfq_dpu4"))?;
+    println!(
+        "wrote {} ({} cells, {} JJs) — render with `dot -Tsvg`",
+        dot_path.display(),
+        circuit.num_components(),
+        circuit.total_jj()
+    );
+    Ok(())
+}
+
+/// Rebuilds the 4-lane DPU of the `figures netlist` artefact without
+/// depending on the bench crate.
+fn usfq_bench_netlist() -> Circuit {
+    use usfq::core::blocks::BipolarMultiplierPorts;
+    use usfq::encoding::Epoch;
+    let epoch = Epoch::with_slot(4, usfq::cells::catalog::t_bff()).unwrap();
+    let mut c = Circuit::new();
+    let in_e = c.input("E");
+    let in_clk = c.input("slot_clk");
+    let mut outs = Vec::new();
+    for i in 0..4 {
+        let ports = BipolarMultiplierPorts::build(&mut c, &format!("mult{i}"), epoch).unwrap();
+        let a = c.input(format!("a{i}"));
+        let b = c.input(format!("b{i}"));
+        c.connect_input(a, ports.in_a, Time::ZERO).unwrap();
+        c.connect_input(b, ports.in_b, Time::ZERO).unwrap();
+        c.connect_input(in_e, ports.in_e, Time::ZERO).unwrap();
+        c.connect_input(in_clk, ports.in_clk, Time::ZERO).unwrap();
+        outs.push(ports.out);
+    }
+    let mut id = 0;
+    while outs.len() > 1 {
+        let mut next = Vec::new();
+        for pair in outs.chunks(2) {
+            let bal = c.add(Balancer::new(format!("bal{id}")));
+            id += 1;
+            c.connect(pair[0], bal.input(Balancer::IN_A), Time::ZERO).unwrap();
+            c.connect(pair[1], bal.input(Balancer::IN_B), Time::ZERO).unwrap();
+            next.push(bal.output(Balancer::OUT_Y1));
+        }
+        outs = next;
+    }
+    c
+}

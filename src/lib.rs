@@ -1,0 +1,61 @@
+//! # usfq — Unary SFQ superconducting accelerator library
+//!
+//! An open-source reproduction of *"Temporal and SFQ Pulse-Streams Encoding
+//! for Area-Efficient Superconducting Accelerators"* (ASPLOS 2022).
+//!
+//! This meta-crate re-exports the whole workspace under stable module names:
+//!
+//! * [`sim`] — deterministic discrete-event, pulse-level SFQ simulator.
+//! * [`cells`] — behavioral RSFQ cell library (mergers, NDROs, balancers, …)
+//!   with per-cell Josephson-junction accounting.
+//! * [`encoding`] — the U-SFQ data representations: race-logic values and
+//!   pulse streams, unipolar and bipolar.
+//! * [`core`] — the paper's contribution: unary multipliers, adders,
+//!   counting networks, memories, and the PE / DPU / FIR accelerators plus
+//!   their analytic area/latency/power models.
+//! * [`baseline`] — binary RSFQ baselines (Table 2 data and fits, functional
+//!   fixed-point datapaths, bit-flip error injection).
+//! * [`dsp`] — signal synthesis, FIR design, DFT/FFT and SNR metrics used by
+//!   the accuracy experiments.
+//!
+//! ## Quick start
+//!
+//! Multiply two numbers with a pulse-level simulation of the unipolar
+//! multiplier:
+//!
+//! ```
+//! use usfq::core::blocks::UnipolarMultiplier;
+//! use usfq::encoding::Epoch;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let epoch = Epoch::from_bits(6)?; // 6-bit resolution, 64 slots
+//! let product = UnipolarMultiplier::new(epoch).multiply(0.5, 0.25)?;
+//! assert!((product.value() - 0.125).abs() < epoch.lsb());
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `examples/` for end-to-end accelerator runs and `crates/bench` for
+//! the harness that regenerates every table and figure of the paper.
+
+pub use usfq_baseline as baseline;
+pub use usfq_cells as cells;
+pub use usfq_core as core;
+pub use usfq_dsp as dsp;
+pub use usfq_encoding as encoding;
+pub use usfq_sim as sim;
+
+/// The names most programs need, in one import:
+/// `use usfq::prelude::*;`.
+pub mod prelude {
+    pub use usfq_core::accel::{
+        DotProductUnit, FaultModel, PeArray, ProcessingElement, StructuralFir, UsfqFir,
+    };
+    pub use usfq_core::blocks::{
+        BalancerAdder, BipolarMultiplier, CountingNetwork, MemoryBank, MergerAdder,
+        PulseNumberMultiplier, RlShiftRegister, UnipolarMultiplier,
+    };
+    pub use usfq_core::CoreError;
+    pub use usfq_encoding::{Epoch, PulseStream, RlValue};
+    pub use usfq_sim::{Circuit, Simulator, Time};
+}

@@ -1,0 +1,53 @@
+//! Smoke test: every table/figure of the paper regenerates without
+//! error and contains its identifying content.
+
+#[test]
+fn every_experiment_renders() {
+    let expectations: &[(&str, &str)] = &[
+        ("table2", "17000"),
+        ("fig4", "bit-parallel"),
+        ("fig5", "coincident"),
+        ("fig7", "t/ps"),
+        ("fig8", "balancer savings"),
+        ("fig11", "one epoch"),
+        ("fig12", "buffer/binary"),
+        ("fig14", "iso-thr PEs"),
+        ("fig16", "smaller"),
+        ("fig18", "kOPs/JJ"),
+        ("fig19", "error rate"),
+        ("fig20", "SDR"),
+        ("fig21", "stream 1 [nW]"),
+        ("table3", "DPU"),
+        ("ablations", "merger loss"),
+        ("netlist", "digraph usfq_dpu4"),
+    ];
+    let experiments = usfq_bench::all_experiments();
+    assert_eq!(experiments.len(), expectations.len());
+    for (id, _title, run) in experiments {
+        let output = run();
+        let (_, needle) = expectations
+            .iter()
+            .find(|(eid, _)| *eid == id)
+            .unwrap_or_else(|| panic!("unexpected experiment {id}"));
+        assert!(
+            output.contains(needle),
+            "{id} output missing `{needle}`:\n{output}"
+        );
+        assert!(output.len() > 100, "{id} output suspiciously short");
+    }
+}
+
+#[test]
+fn json_series_parse_back() {
+    // The numeric sweeps serialize to valid JSON arrays.
+    let series = serde_json_roundtrip(&usfq_bench::experiments::fig18::series());
+    assert!(series > 10);
+    let series = serde_json_roundtrip(&usfq_bench::experiments::fig19::snr_sweep());
+    assert!(series > 3);
+}
+
+fn serde_json_roundtrip<T: serde::Serialize>(value: &[T]) -> usize {
+    let json = serde_json::to_string(value).expect("serializes");
+    let parsed: serde_json::Value = serde_json::from_str(&json).expect("parses back");
+    parsed.as_array().map(|a| a.len()).unwrap_or(0)
+}

@@ -1,0 +1,172 @@
+//! Every quantitative claim the paper states in prose, checked against
+//! this implementation in one place. These are the reproduction's
+//! ground-truth assertions; EXPERIMENTS.md cites them.
+
+use usfq::baseline::{comparison, models, table2};
+use usfq::core::model::{area, latency};
+
+/// Abstract / §4.1: "The proposed U-SFQ building blocks require up to
+/// 200× fewer JJs compared to their SFQ binary counterparts."
+#[test]
+fn up_to_200x_block_savings() {
+    let mult_max = table2::multiplier_jj(16) / area::bipolar_multiplier_jj() as f64;
+    let adder_max = 16_683.0 / area::balancer_adder_jj() as f64;
+    assert!(mult_max.max(adder_max) >= 195.0);
+}
+
+/// §4.1: "the unary multiplier yields 370× savings in area" vs [37].
+#[test]
+fn multiplier_370x_vs_bit_parallel() {
+    let bp = table2::bit_parallel_multiplier();
+    let ratio = bp.jj as f64 / area::bipolar_multiplier_jj() as f64;
+    assert!((350.0..=390.0).contains(&ratio), "{ratio}");
+}
+
+/// §4.1: "the binary architecture is 6× faster than U-SFQ at the
+/// expense of 370× more area for 8 bits."
+#[test]
+fn bp_is_about_6x_faster_at_8_bits() {
+    let bp = table2::bit_parallel_multiplier();
+    let slowdown = latency::multiplier_latency(8).as_ps() / bp.latency_ps;
+    assert!((5.0..=9.0).contains(&slowdown), "{slowdown}");
+}
+
+/// §4.1: "the unary multiplier is faster for less than 8 bits" (vs WP).
+#[test]
+fn unary_multiplier_faster_below_8_bits() {
+    for bits in 2..8 {
+        assert!(
+            latency::multiplier_latency(bits).as_ps() < table2::multiplier_latency_ps(bits),
+            "bits {bits}"
+        );
+    }
+    assert!(latency::multiplier_latency(10).as_ps() > table2::multiplier_latency_ps(10));
+}
+
+/// §4.2: "The balancer yields 11×-200× area savings versus the binary
+/// adder for 4-16 bits."
+#[test]
+fn balancer_savings_range() {
+    let low = 931.0 / area::balancer_adder_jj() as f64;
+    let high = 16_683.0 / area::balancer_adder_jj() as f64;
+    assert!((10.0..=12.5).contains(&low), "{low}");
+    assert!((190.0..=205.0).contains(&high), "{high}");
+}
+
+/// §5.2: "The number of JJs for the U-SFQ PE is 126."
+#[test]
+fn pe_is_126_jjs() {
+    assert_eq!(area::pe_jj(), 126);
+}
+
+/// §5.2: "the U-SFQ yields 98%-99% savings in area when compared with
+/// an 8-bits B-SFQ PE that requires 9K-17k JJs."
+#[test]
+fn single_pe_savings_98_to_99() {
+    for binary_jj in [9_000.0, 17_000.0] {
+        let savings = 1.0 - area::pe_jj() as f64 / binary_jj;
+        assert!(savings > 0.98, "vs {binary_jj}: {savings}");
+    }
+}
+
+/// §5.2 / Fig. 14b: iso-throughput PE-array savings 93%-96% below
+/// 12 bits, shrinking with resolution (paper: down to ~30% at 16 bits;
+/// our fits land at ~8%).
+#[test]
+fn iso_throughput_savings_decline() {
+    let s11 = comparison::iso_throughput_pe(11).savings;
+    assert!((0.93..=0.97).contains(&s11), "11-bit {s11}");
+    let s16 = comparison::iso_throughput_pe(16).savings;
+    assert!(s16 < 0.4, "16-bit {s16}");
+    assert!(s16 > -0.2, "16-bit {s16}");
+}
+
+/// §5.3 / Fig. 16: "The unary implementation yields area savings for L
+/// less than 64"; "a unary DPU for a vector length of 128 yields area
+/// savings for a resolution of more than 12 bits"; beyond 256 taps the
+/// binary MAC wins.
+#[test]
+fn dpu_area_crossovers() {
+    assert!(area::dpu_jj(32) < models::mac_jj(6));
+    // Our fits put the 128-lane crossover between 11 and 13 bits
+    // (paper: "more than 12 bits").
+    assert!(area::dpu_jj(128) > models::mac_jj(11));
+    assert!(area::dpu_jj(128) < models::mac_jj(13));
+    assert!(area::dpu_jj(256) > models::mac_jj(16));
+}
+
+/// §5.4.2: latency/throughput advantages "for less than 9 (12) bits
+/// with 32 (256) taps".
+#[test]
+fn fir_latency_crossovers() {
+    let unary = |bits| latency::fir_latency(bits).as_secs();
+    assert!(unary(8) < models::fir_latency(8, 32).as_secs());
+    assert!(unary(10) > models::fir_latency(10, 32).as_secs());
+    assert!(unary(11) < models::fir_latency(11, 256).as_secs());
+    assert!(unary(13) > models::fir_latency(13, 256).as_secs());
+}
+
+/// §5.4.3: for 256 taps "the unary implementation always requires more
+/// area".
+#[test]
+fn fir_256_taps_never_saves_area() {
+    for bits in 4..=16 {
+        assert!(
+            area::fir_jj(256, bits) > models::fir_jj(bits, 256),
+            "bits {bits}"
+        );
+    }
+}
+
+/// §5.4.4: "The U-SFQ FIR is more efficient for less than 12 bits.
+/// Moreover, the efficiency increases with the number of taps."
+/// (Our fitted baselines put the 32-tap crossover at ~10 bits; at 256
+/// taps it reaches the paper's 11–12.)
+#[test]
+fn fir_efficiency_claims() {
+    let eff_unary = |bits: u32, taps: usize| {
+        1.0 / latency::fir_latency(bits).as_secs() / area::fir_jj(taps, bits) as f64
+    };
+    let eff_binary =
+        |bits: u32, taps: usize| models::fir_efficiency_ops_per_jj(bits, taps);
+    for bits in 4..=9 {
+        assert!(eff_unary(bits, 32) > eff_binary(bits, 32), "bits {bits}");
+    }
+    for bits in 4..=11 {
+        assert!(eff_unary(bits, 256) > eff_binary(bits, 256), "bits {bits}");
+    }
+    assert!(eff_unary(16, 32) < eff_binary(16, 32));
+    let gain_32 = eff_unary(8, 32) / eff_binary(8, 32);
+    let gain_256 = eff_unary(8, 256) / eff_binary(8, 256);
+    assert!(gain_256 > gain_32);
+}
+
+/// §5.4.5 / Fig. 21: the bipolar multiplier's active power is bounded
+/// by ~68 nW and ~135 nW.
+#[test]
+fn multiplier_power_band() {
+    use usfq::core::model::power::bipolar_multiplier_active_w;
+    let mut lo = f64::MAX;
+    let mut hi: f64 = 0.0;
+    for &a in &[-1.0, 0.0, 1.0] {
+        for i in 0..=10 {
+            let b = -1.0 + 0.2 * i as f64;
+            let p = bipolar_multiplier_active_w(8, a, b) * 1e9;
+            lo = lo.min(p);
+            hi = hi.max(p);
+        }
+    }
+    assert!((55.0..=85.0).contains(&lo), "floor {lo}");
+    assert!((120.0..=150.0).contains(&hi), "ceiling {hi}");
+}
+
+/// Table 1 sanity: the cell catalog carries every paper-stated count.
+#[test]
+fn catalog_paper_counts() {
+    use usfq::cells::catalog;
+    assert_eq!(catalog::JJ_MERGER, 5);
+    assert_eq!(catalog::JJ_FIRST_ARRIVAL, 8);
+    assert_eq!(catalog::JJ_BIPOLAR_MULTIPLIER, 46);
+    assert_eq!(catalog::JJ_BALANCER, 84);
+    assert_eq!(catalog::JJ_PE, 126);
+}

@@ -1,0 +1,150 @@
+//! The paper's §5.2 interface claim, validated: a PE returns its MAC
+//! result "in a RL format facilitating the interface among PEs" — so
+//! one PE's output pulse can gate the next PE's multiplier in the
+//! following epoch with no conversion hardware between them.
+
+use usfq::cells::catalog;
+use usfq::cells::{Balancer, Ndro};
+use usfq::core::accel::{ProcessingElement, StreamToRlIntegrator};
+use usfq::encoding::{Epoch, PulseStream, RlValue};
+use usfq::sim::{Circuit, Simulator, Time};
+
+fn epoch() -> Epoch {
+    Epoch::with_slot(5, catalog::t_bff()).unwrap()
+}
+
+/// Two PEs chained in one circuit across two epochs:
+///
+/// * epoch 0 — PE0 computes `(x·w0 + c0)/2`; its integrator emits the
+///   result as an RL pulse in epoch 1;
+/// * epoch 1 — that pulse IS PE1's RL operand, gating PE1's stream
+///   `w1`; PE1's integrator emits the final RL result in epoch 2.
+///
+/// The final value must match the functional PEs composed in Rust.
+#[test]
+fn two_pes_chain_through_rl() {
+    let e = epoch();
+    let dur = e.duration();
+    let (x, w0, c0, w1, c1) = (0.75, 0.5, 0.25, 0.8, 0.0);
+
+    let mut c = Circuit::new();
+    let in_e0 = c.input("E0");
+    let in_x = c.input("x");
+    let in_w0 = c.input("w0");
+    let in_c0 = c.input("c0");
+    let latch0 = c.input("latch0");
+    let in_e1 = c.input("E1");
+    let in_w1 = c.input("w1");
+    let in_c1 = c.input("c1");
+    let latch1 = c.input("latch1");
+
+    // PE0: multiplier NDRO + balancer + integrator.
+    let m0 = c.add(Ndro::new("pe0.mult"));
+    let b0 = c.add(Balancer::new("pe0.add"));
+    let i0 = c.add(StreamToRlIntegrator::new("pe0.integ", e));
+    c.connect_input(in_e0, m0.input(Ndro::IN_S), Time::ZERO).unwrap();
+    c.connect_input(in_x, m0.input(Ndro::IN_R), Time::ZERO).unwrap();
+    c.connect_input(in_w0, m0.input(Ndro::IN_CLK), Time::ZERO).unwrap();
+    c.connect(m0.output(Ndro::OUT_Q), b0.input(Balancer::IN_A), Time::ZERO).unwrap();
+    c.connect_input(in_c0, b0.input(Balancer::IN_B), Time::ZERO).unwrap();
+    c.connect(
+        b0.output(Balancer::OUT_Y1),
+        i0.input(StreamToRlIntegrator::IN),
+        Time::ZERO,
+    )
+    .unwrap();
+    c.connect_input(latch0, i0.input(StreamToRlIntegrator::IN_EPOCH), Time::ZERO).unwrap();
+
+    // PE1: its RL operand is PE0's output — a bare wire, no converter.
+    let m1 = c.add(Ndro::new("pe1.mult"));
+    let b1 = c.add(Balancer::new("pe1.add"));
+    let i1 = c.add(StreamToRlIntegrator::new("pe1.integ", e));
+    c.connect_input(in_e1, m1.input(Ndro::IN_S), Time::ZERO).unwrap();
+    c.connect(
+        i0.output(StreamToRlIntegrator::OUT),
+        m1.input(Ndro::IN_R),
+        Time::ZERO,
+    )
+    .unwrap();
+    c.connect_input(in_w1, m1.input(Ndro::IN_CLK), Time::ZERO).unwrap();
+    c.connect(m1.output(Ndro::OUT_Q), b1.input(Balancer::IN_A), Time::ZERO).unwrap();
+    c.connect_input(in_c1, b1.input(Balancer::IN_B), Time::ZERO).unwrap();
+    c.connect(
+        b1.output(Balancer::OUT_Y1),
+        i1.input(StreamToRlIntegrator::IN),
+        Time::ZERO,
+    )
+    .unwrap();
+    c.connect_input(latch1, i1.input(StreamToRlIntegrator::IN_EPOCH), Time::ZERO).unwrap();
+    let out = c.probe(i1.output(StreamToRlIntegrator::OUT), "out");
+
+    let mut sim = Simulator::new(c);
+    let margin = Time::from_ps(20.0);
+
+    // Epoch 0: drive PE0.
+    sim.schedule_input(in_e0, Time::ZERO).unwrap();
+    sim.schedule_input(
+        in_x,
+        RlValue::from_unipolar(x, e).unwrap().pulse_time_from(Time::ZERO),
+    )
+    .unwrap();
+    sim.schedule_pulses(
+        in_w0,
+        PulseStream::from_unipolar(w0, e).unwrap().schedule_from(Time::ZERO),
+    )
+    .unwrap();
+    let half = e.slot_width() / 2;
+    sim.schedule_pulses(
+        in_c0,
+        PulseStream::from_unipolar(c0, e)
+            .unwrap()
+            .schedule_from(Time::ZERO)
+            .into_iter()
+            .map(|t| t + half),
+    )
+    .unwrap();
+    // PE0's integrator latches at the epoch boundary; its RL pulse
+    // lands inside epoch 1, which starts at `dur + margin`.
+    sim.schedule_input(latch0, dur + margin).unwrap();
+
+    // Epoch 1: drive PE1 (its RL gate arrives from PE0's integrator).
+    let e1_start = dur + margin;
+    sim.schedule_input(in_e1, e1_start).unwrap();
+    sim.schedule_pulses(
+        in_w1,
+        PulseStream::from_unipolar(w1, e)
+            .unwrap()
+            .schedule_from(e1_start),
+    )
+    .unwrap();
+    sim.schedule_pulses(
+        in_c1,
+        PulseStream::from_unipolar(c1, e)
+            .unwrap()
+            .schedule_from(e1_start)
+            .into_iter()
+            .map(|t| t + half),
+    )
+    .unwrap();
+    sim.schedule_input(latch1, e1_start + dur + margin).unwrap();
+    sim.run().unwrap();
+
+    // Decode the final RL pulse against epoch 2's origin.
+    let times = sim.probe_times(out);
+    assert_eq!(times.len(), 1, "exactly one result pulse");
+    let got = RlValue::from_pulse_time(times[0], e1_start + dur + margin, e)
+        .unwrap()
+        .value();
+
+    // Functional composition of the same two PEs.
+    let pe = ProcessingElement::new(e);
+    let stage0 = pe.mac_functional(x, w0, c0).unwrap().value();
+    let want = pe.mac_functional(stage0, w1, c1).unwrap().value();
+    assert!(
+        (got - want).abs() <= 3.0 * e.lsb(),
+        "chained PEs: structural {got}, functional {want}"
+    );
+    // And both track the real arithmetic.
+    let exact = ((x * w0 + c0) / 2.0 * w1 + c1) / 2.0;
+    assert!((got - exact).abs() <= 6.0 * e.lsb(), "{got} vs exact {exact}");
+}

@@ -1,0 +1,117 @@
+//! Integration: the prelude surface, wire-delay jitter, and the
+//! temporal-logic extensions working together across crates.
+
+use usfq::prelude::*;
+
+#[test]
+fn prelude_covers_the_common_path() {
+    // Everything a typical program touches, through one import.
+    let epoch = Epoch::from_bits(6).unwrap();
+    let product = UnipolarMultiplier::new(epoch).multiply(0.5, 0.5).unwrap();
+    assert!((product.value() - 0.25).abs() <= epoch.lsb());
+    let adder_epoch = Epoch::with_slot(6, usfq::cells::catalog::t_bff()).unwrap();
+    let s = PulseStream::from_unipolar(0.5, adder_epoch).unwrap();
+    let sum = BalancerAdder::new(adder_epoch).add(s, s).unwrap();
+    assert!((sum.value() - 0.5).abs() <= adder_epoch.lsb());
+    let _ = RlValue::from_unipolar(0.25, epoch).unwrap();
+    let _: CountingNetwork = CountingNetwork::new(adder_epoch, 4).unwrap();
+    let _ = MemoryBank::from_unipolar(&[0.5], epoch).unwrap();
+    let _ = RlShiftRegister::new(epoch, 2);
+    let _ = MergerAdder::new(epoch, 2).unwrap();
+    let _ = PulseNumberMultiplier::new(epoch);
+    let _ = ProcessingElement::new(adder_epoch);
+    let _ = PeArray::new(adder_epoch, 1, 1).unwrap();
+    let _ = DotProductUnit::new(adder_epoch, 2).unwrap();
+    let _ = UsfqFir::new(&[1.0], 6).unwrap();
+    let _ = StructuralFir::new(&[1.0], 5).unwrap();
+    let _ = FaultModel::none();
+    let _: Time = Time::from_ps(1.0);
+    let _: Circuit = Circuit::new();
+    let _: Result<(), CoreError> = Ok(());
+    let _: Simulator = Simulator::new(Circuit::new());
+}
+
+/// Small wire jitter leaves a sparse unipolar product intact; heavy
+/// jitter shifts the RL gate enough to move the count — the kernel
+/// fault model driving §5.4.1's error (iii).
+#[test]
+fn jitter_perturbs_the_gate_boundary() {
+    use usfq::cells::Ndro;
+
+    let epoch = Epoch::from_bits(6).unwrap();
+    let run = |sigma_ps: f64, seed: u64| {
+        let mut c = Circuit::new();
+        let in_e = c.input("E");
+        let in_b = c.input("B");
+        let in_a = c.input("A");
+        let ndro = c.add(Ndro::new("ndro"));
+        // A long wire run on the gate path is where jitter bites.
+        c.connect_input(in_e, ndro.input(Ndro::IN_S), Time::ZERO).unwrap();
+        c.connect_input(in_b, ndro.input(Ndro::IN_R), Time::from_ps(50.0)).unwrap();
+        c.connect_input(in_a, ndro.input(Ndro::IN_CLK), Time::from_ps(50.0)).unwrap();
+        let q = c.probe(ndro.output(0), "q");
+        let mut sim = Simulator::new(c);
+        if sigma_ps > 0.0 {
+            sim.enable_wire_jitter(Time::from_ps(sigma_ps), seed);
+        }
+        let a = PulseStream::from_unipolar(1.0, epoch).unwrap();
+        let b = RlValue::from_unipolar(0.5, epoch).unwrap();
+        sim.schedule_input(in_e, Time::ZERO).unwrap();
+        sim.schedule_input(in_b, b.pulse_time_from(Time::ZERO)).unwrap();
+        sim.schedule_pulses(in_a, a.schedule_from(Time::ZERO)).unwrap();
+        sim.run().unwrap();
+        sim.probe_count(q) as i64
+    };
+    let clean = run(0.0, 0);
+    assert_eq!(clean, 32); // 1.0 × 0.5 at 6 bits
+    // Moderate jitter: the count moves by at most a few pulses.
+    let mut any_change = false;
+    for seed in 0..8 {
+        let jittered = run(6.0, seed);
+        assert!((jittered - clean).abs() <= 4, "seed {seed}: {jittered}");
+        any_change |= jittered != clean;
+    }
+    assert!(any_change, "6 ps jitter across 8 seeds should move the boundary");
+}
+
+/// FA, LA, and Inhibit cells compose with the RlValue mirrors.
+#[test]
+fn temporal_ops_match_their_cells() {
+    use usfq::cells::{FirstArrival, Inhibit, LastArrival};
+
+    let epoch = Epoch::with_slot(4, Time::from_ps(10.0)).unwrap();
+    let a = RlValue::from_slot(3, epoch).unwrap();
+    let b = RlValue::from_slot(9, epoch).unwrap();
+
+    let run = |cell: &str| {
+        let mut c = Circuit::new();
+        let ia = c.input("a");
+        let ib = c.input("b");
+        let handle = match cell {
+            "fa" => c.add(FirstArrival::new("x")),
+            "la" => c.add(LastArrival::new("x")),
+            _ => c.add(Inhibit::new("x")),
+        };
+        c.connect_input(ia, handle.input(0), Time::ZERO).unwrap();
+        c.connect_input(ib, handle.input(1), Time::ZERO).unwrap();
+        let out = c.probe(handle.output(0), "out");
+        let mut sim = Simulator::new(c);
+        sim.schedule_input(ia, a.pulse_time_from(Time::ZERO)).unwrap();
+        sim.schedule_input(ib, b.pulse_time_from(Time::ZERO)).unwrap();
+        sim.run().unwrap();
+        sim.probe_times(out).to_vec()
+    };
+
+    // FA fires at min(a, b); the cell adds its read delay.
+    let fa = run("fa");
+    let lag = usfq::cells::catalog::t_ff();
+    assert_eq!(fa, vec![a.min(b).pulse_time_from(Time::ZERO) + lag]);
+    // LA fires at max(a, b).
+    let la = run("la");
+    assert_eq!(la, vec![a.max(b).pulse_time_from(Time::ZERO) + lag]);
+    // Inhibit passes a (it beats b), matching RlValue::inhibit.
+    let inh = run("inhibit");
+    assert_eq!(inh.len(), 1);
+    assert_eq!(a.inhibit(b), Some(a));
+    assert_eq!(b.inhibit(a), None);
+}
