@@ -104,11 +104,7 @@ pub fn fir_gain(metric: GainMetric, taps: usize, bits: u32) -> GainCell {
 }
 
 /// Sweeps a Fig. 20 map over `taps × bits`.
-pub fn fir_gain_map(
-    metric: GainMetric,
-    taps: &[usize],
-    bits: &[u32],
-) -> Vec<GainCell> {
+pub fn fir_gain_map(metric: GainMetric, taps: &[usize], bits: &[u32]) -> Vec<GainCell> {
     let mut cells = Vec::with_capacity(taps.len() * bits.len());
     for &b in bits {
         for &t in taps {

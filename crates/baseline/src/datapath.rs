@@ -94,7 +94,10 @@ impl BinaryFir {
     ///
     /// Panics if `x` is outside `[−1, 1]` or not finite.
     pub fn push(&mut self, x: f64) -> f64 {
-        assert!(x.is_finite() && (-1.0..=1.0).contains(&x), "sample {x} out of range");
+        assert!(
+            x.is_finite() && (-1.0..=1.0).contains(&x),
+            "sample {x} out of range"
+        );
         self.history.rotate_right(1);
         self.history[0] = quantize(x, self.scale);
         let acc: i64 = self
@@ -180,7 +183,10 @@ impl BinaryDpu {
     pub fn dot(&mut self, a: &[f64], b: &[f64]) -> f64 {
         assert_eq!(a.len(), b.len(), "length mismatch");
         for &v in a.iter().chain(b) {
-            assert!(v.is_finite() && (-1.0..=1.0).contains(&v), "element {v} out of range");
+            assert!(
+                v.is_finite() && (-1.0..=1.0).contains(&v),
+                "element {v} out of range"
+            );
         }
         let acc: i64 = a
             .iter()

@@ -37,8 +37,7 @@ pub fn bit_parallel_pe() -> (f64, u64) {
 /// the single unit.
 pub fn fir_latency(bits: u32, taps: usize) -> Time {
     Time::from_ps(
-        (table2::multiplier_latency_ps(bits) + table2::adder_latency_ps(bits))
-            * taps as f64,
+        (table2::multiplier_latency_ps(bits) + table2::adder_latency_ps(bits)) * taps as f64,
     )
 }
 
@@ -50,8 +49,7 @@ pub fn fir_throughput_ops(bits: u32, taps: usize) -> f64 {
 /// Binary FIR area: the MAC unit, a `taps`-word × `bits` DFF shift
 /// register, and a `taps`-word × `bits` NDRO coefficient memory.
 pub fn fir_jj(bits: u32, taps: usize) -> u64 {
-    let storage_per_tap =
-        u64::from(bits) * u64::from(catalog::JJ_DFF + catalog::JJ_NDRO);
+    let storage_per_tap = u64::from(bits) * u64::from(catalog::JJ_DFF + catalog::JJ_NDRO);
     mac_jj(bits) + taps as u64 * storage_per_tap
 }
 

@@ -23,17 +23,19 @@ fn bench_dpu(c: &mut Criterion) {
     for &lanes in &[8usize, 32] {
         let epoch = Epoch::with_slot(8, usfq_cells::catalog::t_bff()).unwrap();
         let dpu = DotProductUnit::new(epoch, lanes).unwrap();
-        let a: Vec<f64> = (0..lanes).map(|i| ((i * 7 % 13) as f64 - 6.0) / 6.0).collect();
-        let b: Vec<f64> = (0..lanes).map(|i| ((i * 5 % 11) as f64 - 5.0) / 5.0).collect();
+        let a: Vec<f64> = (0..lanes)
+            .map(|i| ((i * 7 % 13) as f64 - 6.0) / 6.0)
+            .collect();
+        let b: Vec<f64> = (0..lanes)
+            .map(|i| ((i * 5 % 11) as f64 - 5.0) / 5.0)
+            .collect();
         group.bench_with_input(BenchmarkId::new("functional", lanes), &lanes, |bench, _| {
             bench.iter(|| dpu.dot_functional(&a, &b).unwrap())
         });
         if lanes <= 8 {
-            group.bench_with_input(
-                BenchmarkId::new("structural", lanes),
-                &lanes,
-                |bench, _| bench.iter(|| dpu.dot(&a, &b).unwrap()),
-            );
+            group.bench_with_input(BenchmarkId::new("structural", lanes), &lanes, |bench, _| {
+                bench.iter(|| dpu.dot(&a, &b).unwrap())
+            });
         }
     }
     group.finish();

@@ -10,30 +10,35 @@ use usfq_sim::{Circuit, Simulator, Time};
 fn bench_delay_chain(c: &mut Criterion) {
     let mut group = c.benchmark_group("kernel/delay_chain");
     for &stages in &[16usize, 128, 1024] {
-        group.bench_with_input(BenchmarkId::from_parameter(stages), &stages, |b, &stages| {
-            b.iter(|| {
-                let mut circuit = Circuit::new();
-                let input = circuit.input("in");
-                let mut prev = None;
-                for i in 0..stages {
-                    let buf = circuit.add(Buffer::new(format!("b{i}"), Time::from_ps(3.0)));
-                    match prev {
-                        None => circuit
-                            .connect_input(input, buf.input(0), Time::ZERO)
-                            .unwrap(),
-                        Some(p) => circuit.connect(p, buf.input(0), Time::ZERO).unwrap(),
+        group.bench_with_input(
+            BenchmarkId::from_parameter(stages),
+            &stages,
+            |b, &stages| {
+                b.iter(|| {
+                    let mut circuit = Circuit::new();
+                    let input = circuit.input("in");
+                    let mut prev = None;
+                    for i in 0..stages {
+                        let buf = circuit.add(Buffer::new(format!("b{i}"), Time::from_ps(3.0)));
+                        match prev {
+                            None => circuit
+                                .connect_input(input, buf.input(0), Time::ZERO)
+                                .unwrap(),
+                            Some(p) => circuit.connect(p, buf.input(0), Time::ZERO).unwrap(),
+                        }
+                        prev = Some(buf.output(0));
                     }
-                    prev = Some(buf.output(0));
-                }
-                let probe = circuit.probe(prev.unwrap(), "out");
-                let mut sim = Simulator::new(circuit);
-                for k in 0..32u64 {
-                    sim.schedule_input(input, Time::from_ps(20.0 * k as f64)).unwrap();
-                }
-                sim.run().unwrap();
-                assert_eq!(sim.probe_count(probe), 32);
-            });
-        });
+                    let probe = circuit.probe(prev.unwrap(), "out");
+                    let mut sim = Simulator::new(circuit);
+                    for k in 0..32u64 {
+                        sim.schedule_input(input, Time::from_ps(20.0 * k as f64))
+                            .unwrap();
+                    }
+                    sim.run().unwrap();
+                    assert_eq!(sim.probe_count(probe), 32);
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -51,7 +56,9 @@ fn bench_balancer_tree(c: &mut Criterion) {
                     .enumerate()
                     .map(|(i, &input)| {
                         let buf = circuit.add(Buffer::new(format!("in{i}"), Time::ZERO));
-                        circuit.connect_input(input, buf.input(0), Time::ZERO).unwrap();
+                        circuit
+                            .connect_input(input, buf.input(0), Time::ZERO)
+                            .unwrap();
                         buf.output(0)
                     })
                     .collect();
@@ -71,11 +78,8 @@ fn bench_balancer_tree(c: &mut Criterion) {
                 let mut sim = Simulator::new(circuit);
                 for (i, &input) in inputs.iter().enumerate() {
                     for k in 0..16u64 {
-                        sim.schedule_input(
-                            input,
-                            Time::from_ps(24.0 * k as f64 + i as f64),
-                        )
-                        .unwrap();
+                        sim.schedule_input(input, Time::from_ps(24.0 * k as f64 + i as f64))
+                            .unwrap();
                     }
                 }
                 sim.run().unwrap();

@@ -46,14 +46,12 @@ pub fn adder_ablation() -> Vec<AdderAblationPoint> {
 
             let merger = MergerAdder::new(epoch, lanes).unwrap();
             let m = merger.add(&streams).unwrap();
-            let merger_rel_error =
-                (true_sum - m.raw_count) as f64 / true_sum as f64;
+            let merger_rel_error = (true_sum - m.raw_count) as f64 / true_sum as f64;
 
             let net = CountingNetwork::new(epoch, lanes).unwrap();
             let top = net.accumulate(&streams).unwrap();
-            let balancer_rel_error = (top.count() as f64 * lanes as f64 - true_sum as f64)
-                .abs()
-                / true_sum as f64;
+            let balancer_rel_error =
+                (top.count() as f64 * lanes as f64 - true_sum as f64).abs() / true_sum as f64;
 
             out.push(AdderAblationPoint {
                 lanes,
@@ -102,10 +100,13 @@ fn multiply_with_jitter(epoch: Epoch, a: f64, b: f64, sigma_ps: f64) -> u64 {
     let in_b = c.input("B");
     let in_a = c.input("A");
     let ndro = c.add(Ndro::new("ndro"));
-    c.connect_input(in_e, ndro.input(Ndro::IN_S), Time::ZERO).unwrap();
+    c.connect_input(in_e, ndro.input(Ndro::IN_S), Time::ZERO)
+        .unwrap();
     // A real layout has a JTL run on each operand; jitter acts there.
-    c.connect_input(in_b, ndro.input(Ndro::IN_R), Time::from_ps(30.0)).unwrap();
-    c.connect_input(in_a, ndro.input(Ndro::IN_CLK), Time::from_ps(30.0)).unwrap();
+    c.connect_input(in_b, ndro.input(Ndro::IN_R), Time::from_ps(30.0))
+        .unwrap();
+    c.connect_input(in_a, ndro.input(Ndro::IN_CLK), Time::from_ps(30.0))
+        .unwrap();
     let q = c.probe(ndro.output(Ndro::OUT_Q), "q");
     let mut sim = Simulator::new(c);
     if sigma_ps > 0.0 {
@@ -114,8 +115,10 @@ fn multiply_with_jitter(epoch: Epoch, a: f64, b: f64, sigma_ps: f64) -> u64 {
     let stream = PulseStream::from_unipolar(a, epoch).unwrap();
     let gate = RlValue::from_unipolar(b, epoch).unwrap();
     sim.schedule_input(in_e, Time::ZERO).unwrap();
-    sim.schedule_input(in_b, gate.pulse_time_from(Time::ZERO)).unwrap();
-    sim.schedule_pulses(in_a, stream.schedule_from(Time::ZERO)).unwrap();
+    sim.schedule_input(in_b, gate.pulse_time_from(Time::ZERO))
+        .unwrap();
+    sim.schedule_pulses(in_a, stream.schedule_from(Time::ZERO))
+        .unwrap();
     sim.run().unwrap();
     sim.probe_count(q) as u64
 }
@@ -188,12 +191,16 @@ pub fn render() -> String {
 
     out.push_str("\n(2) structural multiplier error vs wire jitter\n");
     for (sigma, err) in jitter_ablation() {
-        out.push_str(&format!("  sigma {sigma:>4.1} ps: mean |error| {err:.2} pulses\n"));
+        out.push_str(&format!(
+            "  sigma {sigma:>4.1} ps: mean |error| {err:.2} pulses\n"
+        ));
     }
 
     out.push_str("\n(3) counting-tree rounding bias vs width (all-odd load)\n");
     for (width, bias) in tree_bias_ablation() {
-        out.push_str(&format!("  width {width:>3}: root - exact = {bias:+.2} pulses\n"));
+        out.push_str(&format!(
+            "  width {width:>3}: root - exact = {bias:+.2} pulses\n"
+        ));
     }
 
     out.push_str("\n(4) PNM uniformity: worst prefix discrepancy [pulses]\n");
@@ -212,21 +219,19 @@ mod tests {
     #[test]
     fn balancer_beats_merger_under_load() {
         let pts = adder_ablation();
-        let heavy = pts
-            .iter()
-            .find(|p| p.lanes == 8 && p.load == 1.0)
-            .unwrap();
-        assert!(heavy.merger_rel_error > 0.2, "merger {}", heavy.merger_rel_error);
+        let heavy = pts.iter().find(|p| p.lanes == 8 && p.load == 1.0).unwrap();
+        assert!(
+            heavy.merger_rel_error > 0.2,
+            "merger {}",
+            heavy.merger_rel_error
+        );
         assert!(
             heavy.balancer_rel_error < 0.1,
             "balancer {}",
             heavy.balancer_rel_error
         );
         // At light load both are accurate.
-        let light = pts
-            .iter()
-            .find(|p| p.lanes == 4 && p.load == 0.25)
-            .unwrap();
+        let light = pts.iter().find(|p| p.lanes == 4 && p.load == 0.25).unwrap();
         assert!(light.merger_rel_error < 0.15);
     }
 

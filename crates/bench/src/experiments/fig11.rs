@@ -20,7 +20,8 @@ pub fn waveforms() -> (WaveformSet, Vec<(f64, f64)>) {
     let mut c = Circuit::new();
     let input = c.input("IN");
     let buf = c.add(IntegratorBuffer::new("buf", e));
-    c.connect_input(input, buf.input(IntegratorBuffer::IN), Time::ZERO).unwrap();
+    c.connect_input(input, buf.input(IntegratorBuffer::IN), Time::ZERO)
+        .unwrap();
     let out = c.probe(buf.output(IntegratorBuffer::OUT), "OUT");
     let p_in = c.probe_input(input, "IN");
 

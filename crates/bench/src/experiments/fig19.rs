@@ -43,9 +43,7 @@ pub fn snr_sweep() -> Vec<SnrPoint> {
     [0.0, 0.01, 0.02, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3]
         .iter()
         .map(|&rate| {
-            let by = BinaryFir::new(&h, BITS)
-                .with_bit_flips(rate, 1)
-                .filter(&x);
+            let by = BinaryFir::new(&h, BITS).with_bit_flips(rate, 1).filter(&x);
             let uy = UsfqFir::new(&h, BITS)
                 .unwrap()
                 .with_faults(
@@ -127,8 +125,7 @@ pub fn snr_sweep_stats(trials: u64) -> Vec<SnrStats> {
             }
             let stat = |v: &[f64]| {
                 let mean = v.iter().sum::<f64>() / v.len() as f64;
-                let var =
-                    v.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / v.len() as f64;
+                let var = v.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / v.len() as f64;
                 (mean, var.sqrt())
             };
             let (bm, bs) = stat(&binary);
@@ -227,10 +224,7 @@ pub fn render() -> String {
 
     out.push_str("\n(b) binary error distribution at 1% (20·log10|err|, counts)\n");
     for (db, count) in binary_error_distribution() {
-        out.push_str(&format!(
-            "{db:>5} dB |{}\n",
-            "#".repeat(count.min(60))
-        ));
+        out.push_str(&format!("{db:>5} dB |{}\n", "#".repeat(count.min(60))));
     }
 
     out.push_str("\n(c) U-SFQ output spectrum, clean vs 50% errors [dB]\n");

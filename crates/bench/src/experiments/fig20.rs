@@ -79,8 +79,11 @@ pub fn render() -> String {
     ));
     out.push('\n');
     for region in [&IR, &SDR] {
-        let eff =
-            usfq_baseline::comparison::fir_gain(GainMetric::Efficiency, region.taps.0, region.bits.0);
+        let eff = usfq_baseline::comparison::fir_gain(
+            GainMetric::Efficiency,
+            region.taps.0,
+            region.bits.0,
+        );
         out.push_str(&format!(
             "{}: taps {}..{}, bits {}..{} — efficiency gain at corner: {:.0}%\n",
             region.name,

@@ -82,7 +82,12 @@ pub fn render() -> String {
         })
         .collect();
     let mut out = render::table(
-        &["RL input", "stream -1 [nW]", "stream 0 [nW]", "stream 1 [nW]"],
+        &[
+            "RL input",
+            "stream -1 [nW]",
+            "stream 0 [nW]",
+            "stream 1 [nW]",
+        ],
         &rows,
     );
     out.push_str("\nsimulation cross-check (stream = 1):\n");
@@ -112,7 +117,10 @@ mod tests {
             .collect();
         let spread = curve.iter().fold(f64::MIN, |m, &v| m.max(v))
             - curve.iter().fold(f64::MAX, |m, &v| m.min(v));
-        assert!(spread < 1.0, "stream-0 curve should be flat, spread {spread}");
+        assert!(
+            spread < 1.0,
+            "stream-0 curve should be flat, spread {spread}"
+        );
     }
 
     /// The event-counted simulation lands in the same power band as the
@@ -123,8 +131,7 @@ mod tests {
         for &stream in &[-1.0, 0.0, 1.0] {
             let curve = simulated_curve(stream);
             for &(rl, sim_nw) in &curve {
-                let model_nw =
-                    power::bipolar_multiplier_active_w(BITS, stream, rl) * 1e9;
+                let model_nw = power::bipolar_multiplier_active_w(BITS, stream, rl) * 1e9;
                 let ratio = sim_nw / model_nw;
                 assert!(
                     (0.5..=2.0).contains(&ratio),

@@ -89,9 +89,15 @@ mod tests {
         assert!(savings.iter().copied().fold(f64::MAX, f64::min) >= 15.0);
         assert!(savings.iter().copied().fold(0.0, f64::max) >= 180.0);
         let p4 = &pts[2]; // 4 bits
-        assert!(p4.unary_latency_ns < p4.binary_latency_ns, "unary faster at 4 bits");
+        assert!(
+            p4.unary_latency_ns < p4.binary_latency_ns,
+            "unary faster at 4 bits"
+        );
         let p12 = pts.iter().find(|p| p.bits == 12).unwrap();
-        assert!(p12.unary_latency_ns > p12.binary_latency_ns, "binary faster at 12 bits");
+        assert!(
+            p12.unary_latency_ns > p12.binary_latency_ns,
+            "binary faster at 12 bits"
+        );
         let s = render();
         assert!(s.contains("vs bit-parallel"));
     }

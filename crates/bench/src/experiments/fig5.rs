@@ -16,12 +16,18 @@ fn run_tree(offsets_ps: [f64; 4]) -> (u64, u64) {
     let m0 = c.add(Merger::new("m0"));
     let m1 = c.add(Merger::new("m1"));
     let root = c.add(Merger::new("root"));
-    c.connect_input(inputs[0], m0.input(Merger::IN_A), Time::ZERO).unwrap();
-    c.connect_input(inputs[1], m0.input(Merger::IN_B), Time::ZERO).unwrap();
-    c.connect_input(inputs[2], m1.input(Merger::IN_A), Time::ZERO).unwrap();
-    c.connect_input(inputs[3], m1.input(Merger::IN_B), Time::ZERO).unwrap();
-    c.connect(m0.output(Merger::OUT), root.input(Merger::IN_A), Time::ZERO).unwrap();
-    c.connect(m1.output(Merger::OUT), root.input(Merger::IN_B), Time::ZERO).unwrap();
+    c.connect_input(inputs[0], m0.input(Merger::IN_A), Time::ZERO)
+        .unwrap();
+    c.connect_input(inputs[1], m0.input(Merger::IN_B), Time::ZERO)
+        .unwrap();
+    c.connect_input(inputs[2], m1.input(Merger::IN_A), Time::ZERO)
+        .unwrap();
+    c.connect_input(inputs[3], m1.input(Merger::IN_B), Time::ZERO)
+        .unwrap();
+    c.connect(m0.output(Merger::OUT), root.input(Merger::IN_A), Time::ZERO)
+        .unwrap();
+    c.connect(m1.output(Merger::OUT), root.input(Merger::IN_B), Time::ZERO)
+        .unwrap();
     let y = c.probe(root.output(Merger::OUT), "y");
     let mut sim = Simulator::new(c);
     for (input, &t) in inputs.iter().zip(&offsets_ps) {

@@ -13,8 +13,10 @@ pub fn waveforms() -> WaveformSet {
     let a = c.input("A");
     let b = c.input("B");
     let bal = c.add(Balancer::new("bal"));
-    c.connect_input(a, bal.input(Balancer::IN_A), Time::ZERO).unwrap();
-    c.connect_input(b, bal.input(Balancer::IN_B), Time::ZERO).unwrap();
+    c.connect_input(a, bal.input(Balancer::IN_A), Time::ZERO)
+        .unwrap();
+    c.connect_input(b, bal.input(Balancer::IN_B), Time::ZERO)
+        .unwrap();
     let y1 = c.probe(bal.output(Balancer::OUT_Y1), "Y1");
     let y2 = c.probe(bal.output(Balancer::OUT_Y2), "Y2");
     let pa = c.probe_input(a, "A");

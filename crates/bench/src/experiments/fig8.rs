@@ -87,7 +87,10 @@ mod tests {
         let s4_raw = 931.0 / first.balancer_jj as f64;
         let s16_raw = 16_683.0 / last.balancer_jj as f64;
         assert!((10.0..=13.0).contains(&s4_raw), "4-bit savings {s4_raw}");
-        assert!((180.0..=210.0).contains(&s16_raw), "16-bit savings {s16_raw}");
+        assert!(
+            (180.0..=210.0).contains(&s16_raw),
+            "16-bit savings {s16_raw}"
+        );
         // Against the fitted dashed line the figure draws.
         let s4 = first.binary_jj / first.balancer_jj as f64;
         let s16 = last.binary_jj / last.balancer_jj as f64;

@@ -1,0 +1,85 @@
+//! Static-analysis artefact: `usfq-lint` run over every shipped
+//! structural netlist, summarized as one row per netlist plus the full
+//! finding list. A shipped netlist with lint *errors* fails the run —
+//! the same gate the CI workflow applies via the `usfq-lint` binary.
+
+use usfq_core::netlists::shipped_netlists;
+use usfq_lint::lint_netlist;
+
+/// One analyzed netlist.
+pub struct LintRow {
+    /// Netlist name from the shipped catalogue.
+    pub netlist: &'static str,
+    /// Number of components in the circuit.
+    pub components: usize,
+    /// Error-severity findings.
+    pub errors: usize,
+    /// Warning-severity findings.
+    pub warnings: usize,
+}
+
+/// Lints the whole catalogue.
+pub fn rows() -> Vec<LintRow> {
+    shipped_netlists()
+        .iter()
+        .map(|nl| {
+            let report = lint_netlist(nl);
+            LintRow {
+                netlist: nl.name,
+                components: nl.circuit.num_components(),
+                errors: report.error_count(),
+                warnings: report.warning_count(),
+            }
+        })
+        .collect()
+}
+
+/// Renders the lint summary and every finding.
+pub fn render() -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "usfq-lint over the shipped structural netlists");
+    let _ = writeln!(
+        out,
+        "{:<24} {:>10} {:>7} {:>9}",
+        "netlist", "components", "errors", "warnings"
+    );
+    let mut reports = Vec::new();
+    for nl in shipped_netlists() {
+        let report = lint_netlist(&nl);
+        let _ = writeln!(
+            out,
+            "{:<24} {:>10} {:>7} {:>9}",
+            nl.name,
+            nl.circuit.num_components(),
+            report.error_count(),
+            report.warning_count()
+        );
+        reports.push(report);
+    }
+    let _ = writeln!(out);
+    for report in &reports {
+        out.push_str(&report.render_text());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_lints_clean() {
+        for row in rows() {
+            assert_eq!(row.errors, 0, "netlist `{}` has lint errors", row.netlist);
+        }
+    }
+
+    #[test]
+    fn render_covers_every_netlist() {
+        let text = render();
+        for nl in shipped_netlists() {
+            assert!(text.contains(nl.name), "missing `{}`", nl.name);
+        }
+    }
+}

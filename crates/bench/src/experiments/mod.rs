@@ -13,6 +13,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig7;
 pub mod fig8;
+pub mod lint;
 pub mod netlist;
 pub mod table2;
 pub mod table3;

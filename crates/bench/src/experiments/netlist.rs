@@ -39,8 +39,10 @@ pub fn build() -> Circuit {
         for pair in lanes.chunks(2) {
             let bal = c.add(Balancer::new(format!("bal{id}")));
             id += 1;
-            c.connect(pair[0], bal.input(Balancer::IN_A), Time::ZERO).unwrap();
-            c.connect(pair[1], bal.input(Balancer::IN_B), Time::ZERO).unwrap();
+            c.connect(pair[0], bal.input(Balancer::IN_A), Time::ZERO)
+                .unwrap();
+            c.connect(pair[1], bal.input(Balancer::IN_B), Time::ZERO)
+                .unwrap();
             next.push(bal.output(Balancer::OUT_Y1));
         }
         lanes = next;
@@ -64,9 +66,7 @@ pub fn render() -> String {
     }
     let rows: Vec<Vec<String>> = kinds
         .iter()
-        .map(|(kind, (count, jj))| {
-            vec![kind.to_string(), count.to_string(), jj.to_string()]
-        })
+        .map(|(kind, (count, jj))| vec![kind.to_string(), count.to_string(), jj.to_string()])
         .collect();
     let mut out = format!(
         "4-lane U-SFQ DPU netlist — {} cells, {} JJs total\n\n",
@@ -87,10 +87,7 @@ mod tests {
     #[test]
     fn netlist_matches_area_model() {
         let circuit = build();
-        assert_eq!(
-            circuit.total_jj(),
-            usfq_core::model::area::dpu_jj(LANES)
-        );
+        assert_eq!(circuit.total_jj(), usfq_core::model::area::dpu_jj(LANES));
     }
 
     #[test]

@@ -25,7 +25,15 @@ pub fn render() -> String {
         })
         .collect();
     let mut out = render::table(
-        &["ref", "kind", "bits", "JJ", "latency/ps", "arch", "technology"],
+        &[
+            "ref",
+            "kind",
+            "bits",
+            "JJ",
+            "latency/ps",
+            "arch",
+            "technology",
+        ],
         &rows,
     );
     out.push('\n');

@@ -35,7 +35,10 @@ mod tests {
     fn structure() {
         let rows = usfq_core::model::power::table3(8);
         for &(name, active, passive) in &rows {
-            assert!(active < passive, "{name}: active {active} passive {passive}");
+            assert!(
+                active < passive,
+                "{name}: active {active} passive {passive}"
+            );
         }
         let dpu_active = rows[2].1;
         assert!(dpu_active > rows[0].1 * 10.0);

@@ -21,6 +21,7 @@
 //! | [`experiments::fig20`] | Fig. 20 — unary gain regions |
 //! | [`experiments::fig21`] | Fig. 21 — bipolar multiplier power |
 //! | [`experiments::table3`] | Table 3 — DPU power |
+//! | [`experiments::lint`] | Static analysis — `usfq-lint` over the shipped netlists |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,19 +36,55 @@ pub type Experiment = (&'static str, &'static str, fn() -> String);
 pub fn all_experiments() -> Vec<Experiment> {
     use experiments::*;
     vec![
-        ("table2", "Table 2: state-of-the-art RSFQ adders/multipliers", table2::render as fn() -> String),
-        ("fig4", "Fig. 4: U-SFQ vs binary multiplier latency & area", fig4::render),
+        (
+            "table2",
+            "Table 2: state-of-the-art RSFQ adders/multipliers",
+            table2::render as fn() -> String,
+        ),
+        (
+            "fig4",
+            "Fig. 4: U-SFQ vs binary multiplier latency & area",
+            fig4::render,
+        ),
         ("fig5", "Fig. 5: merger pulse collisions", fig5::render),
         ("fig7", "Fig. 7: balancer waveforms", fig7::render),
-        ("fig8", "Fig. 8: U-SFQ vs binary adder latency & area", fig8::render),
-        ("fig11", "Fig. 11: integrator buffer waveforms", fig11::render),
+        (
+            "fig8",
+            "Fig. 8: U-SFQ vs binary adder latency & area",
+            fig8::render,
+        ),
+        (
+            "fig11",
+            "Fig. 11: integrator buffer waveforms",
+            fig11::render,
+        ),
         ("fig12", "Fig. 12: shift-register area", fig12::render),
-        ("fig14", "Fig. 14: PE latency & iso-throughput area", fig14::render),
+        (
+            "fig14",
+            "Fig. 14: PE latency & iso-throughput area",
+            fig14::render,
+        ),
         ("fig16", "Fig. 16: dot-product unit area", fig16::render),
-        ("fig18", "Fig. 18: FIR latency/throughput/area/efficiency", fig18::render),
-        ("fig19", "Fig. 19: FIR accuracy under injected errors", fig19::render),
-        ("fig20", "Fig. 20: unary-vs-binary FIR gain regions", fig20::render),
-        ("fig21", "Fig. 21: bipolar multiplier active power", fig21::render),
+        (
+            "fig18",
+            "Fig. 18: FIR latency/throughput/area/efficiency",
+            fig18::render,
+        ),
+        (
+            "fig19",
+            "Fig. 19: FIR accuracy under injected errors",
+            fig19::render,
+        ),
+        (
+            "fig20",
+            "Fig. 20: unary-vs-binary FIR gain regions",
+            fig20::render,
+        ),
+        (
+            "fig21",
+            "Fig. 21: bipolar multiplier active power",
+            fig21::render,
+        ),
         ("table3", "Table 3: DPU power", table3::render),
         (
             "ablations",
@@ -58,6 +95,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             "netlist",
             "Data artefact: 4-lane DPU gate-level netlist (BOM + DOT)",
             netlist::render,
+        ),
+        (
+            "lint",
+            "Static analysis: usfq-lint over the shipped netlists",
+            lint::render,
         ),
     ]
 }

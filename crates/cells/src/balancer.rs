@@ -18,7 +18,7 @@
 //!   output stage of two [`Dff2`]s read through splitters and merged.
 
 use usfq_sim::circuit::{Circuit, NodeRef, SinkRef};
-use usfq_sim::component::{Component, Ctx};
+use usfq_sim::component::{Component, Ctx, Hazard, StaticMeta};
 use usfq_sim::stats::StatKind;
 use usfq_sim::{SimError, Time};
 
@@ -111,6 +111,10 @@ impl Component for Balancer {
         self.last_route = Self::OUT_Y2;
         self.transition_until = [Time::ZERO; 2];
     }
+    fn static_meta(&self) -> StaticMeta {
+        StaticMeta::new("balancer", self.delay)
+            .with_hazard(Hazard::Transition { window: self.t_bff })
+    }
 }
 
 /// Behavioral routing unit of the structural balancer (paper Fig. 6f):
@@ -160,6 +164,14 @@ impl Component for RoutingUnit {
     fn reset(&mut self) {
         self.inner.reset();
     }
+    fn static_meta(&self) -> StaticMeta {
+        let inner = self.inner.static_meta();
+        StaticMeta::custom("routing-unit", inner.min_delay, inner.max_delay).with_hazard(
+            Hazard::Transition {
+                window: catalog::t_bff(),
+            },
+        )
+    }
 }
 
 /// Port handles of a gate-level balancer built by
@@ -206,13 +218,21 @@ impl StructuralBalancer {
         let mrg_y2 = circuit.add(Merger::with_window(format!("{name}.mrg_y2"), Time::ZERO));
 
         // Input fan-out: data to the output stage, copy to the routing unit.
-        circuit.connect(spl_a.output(Splitter::OUT_A), ff_r.input(Dff2::IN_A), Time::ZERO)?;
+        circuit.connect(
+            spl_a.output(Splitter::OUT_A),
+            ff_r.input(Dff2::IN_A),
+            Time::ZERO,
+        )?;
         circuit.connect(
             spl_a.output(Splitter::OUT_B),
             routing.input(RoutingUnit::IN_A),
             Time::ZERO,
         )?;
-        circuit.connect(spl_b.output(Splitter::OUT_A), ff_l.input(Dff2::IN_A), Time::ZERO)?;
+        circuit.connect(
+            spl_b.output(Splitter::OUT_A),
+            ff_l.input(Dff2::IN_A),
+            Time::ZERO,
+        )?;
         circuit.connect(
             spl_b.output(Splitter::OUT_B),
             routing.input(RoutingUnit::IN_B),
@@ -238,17 +258,49 @@ impl StructuralBalancer {
         // appears on each output — the physical layout resolves the race
         // with wire lengths, which these 1 ps skews model.
         let skew = Time::from_ps(1.0);
-        circuit.connect(spl_c1.output(Splitter::OUT_A), ff_r.input(Dff2::IN_C1), Time::ZERO)?;
-        circuit.connect(spl_c1.output(Splitter::OUT_B), ff_l.input(Dff2::IN_C1), skew)?;
-        circuit.connect(spl_c2.output(Splitter::OUT_A), ff_l.input(Dff2::IN_C2), Time::ZERO)?;
-        circuit.connect(spl_c2.output(Splitter::OUT_B), ff_r.input(Dff2::IN_C2), skew)?;
+        circuit.connect(
+            spl_c1.output(Splitter::OUT_A),
+            ff_r.input(Dff2::IN_C1),
+            Time::ZERO,
+        )?;
+        circuit.connect(
+            spl_c1.output(Splitter::OUT_B),
+            ff_l.input(Dff2::IN_C1),
+            skew,
+        )?;
+        circuit.connect(
+            spl_c2.output(Splitter::OUT_A),
+            ff_l.input(Dff2::IN_C2),
+            Time::ZERO,
+        )?;
+        circuit.connect(
+            spl_c2.output(Splitter::OUT_B),
+            ff_r.input(Dff2::IN_C2),
+            skew,
+        )?;
 
         // Output confluence. Collision window zero: the two DFF2s can
         // never answer the same strobe, so merging is loss-free.
-        circuit.connect(ff_r.output(Dff2::OUT_Y1), mrg_y1.input(Merger::IN_A), Time::ZERO)?;
-        circuit.connect(ff_l.output(Dff2::OUT_Y1), mrg_y1.input(Merger::IN_B), Time::ZERO)?;
-        circuit.connect(ff_r.output(Dff2::OUT_Y2), mrg_y2.input(Merger::IN_A), Time::ZERO)?;
-        circuit.connect(ff_l.output(Dff2::OUT_Y2), mrg_y2.input(Merger::IN_B), Time::ZERO)?;
+        circuit.connect(
+            ff_r.output(Dff2::OUT_Y1),
+            mrg_y1.input(Merger::IN_A),
+            Time::ZERO,
+        )?;
+        circuit.connect(
+            ff_l.output(Dff2::OUT_Y1),
+            mrg_y1.input(Merger::IN_B),
+            Time::ZERO,
+        )?;
+        circuit.connect(
+            ff_r.output(Dff2::OUT_Y2),
+            mrg_y2.input(Merger::IN_A),
+            Time::ZERO,
+        )?;
+        circuit.connect(
+            ff_l.output(Dff2::OUT_Y2),
+            mrg_y2.input(Merger::IN_B),
+            Time::ZERO,
+        )?;
 
         Ok(StructuralBalancer {
             in_a: spl_a.input(Splitter::IN),
@@ -275,8 +327,10 @@ mod tests {
         let a = c.input("a");
         let b = c.input("b");
         let bal = c.add(Balancer::new("bal"));
-        c.connect_input(a, bal.input(Balancer::IN_A), Time::ZERO).unwrap();
-        c.connect_input(b, bal.input(Balancer::IN_B), Time::ZERO).unwrap();
+        c.connect_input(a, bal.input(Balancer::IN_A), Time::ZERO)
+            .unwrap();
+        c.connect_input(b, bal.input(Balancer::IN_B), Time::ZERO)
+            .unwrap();
         let y1 = c.probe(bal.output(Balancer::OUT_Y1), "y1");
         let y2 = c.probe(bal.output(Balancer::OUT_Y2), "y2");
         (Simulator::new(c), a, b, y1, y2)
@@ -286,7 +340,8 @@ mod tests {
     fn alternates_between_outputs() {
         let (mut sim, a, _b, y1, y2) = behavioral_fixture();
         for i in 0..6 {
-            sim.schedule_input(a, Time::from_ps(50.0 * i as f64)).unwrap();
+            sim.schedule_input(a, Time::from_ps(50.0 * i as f64))
+                .unwrap();
         }
         sim.run().unwrap();
         assert_eq!(sim.probe_count(y1), 3);
@@ -305,7 +360,8 @@ mod tests {
         assert_eq!(sim.probe_count(y2), 1);
         // Different ports: the Mealy machine's supported case, no bias.
         assert_eq!(
-            sim.activity().anomaly_count(StatKind::BalancerTransitionHit),
+            sim.activity()
+                .anomaly_count(StatKind::BalancerTransitionHit),
             0
         );
     }
@@ -371,7 +427,8 @@ mod tests {
     fn structural_matches_behavioral_alternation() {
         let (mut sim, a, _b, y1, y2) = structural_fixture();
         for i in 0..6 {
-            sim.schedule_input(a, Time::from_ps(60.0 * i as f64)).unwrap();
+            sim.schedule_input(a, Time::from_ps(60.0 * i as f64))
+                .unwrap();
         }
         sim.run().unwrap();
         assert_eq!(sim.probe_count(y1), 3);
@@ -406,5 +463,57 @@ mod tests {
         let mut c = Circuit::new();
         StructuralBalancer::build(&mut c, "sb").unwrap();
         assert_eq!(c.total_jj(), u64::from(catalog::JJ_BALANCER));
+    }
+
+    /// Every cell kind reports static meta consistent with the catalog:
+    /// the declared kind resolves to its own JJ count, and hazard windows
+    /// carry the paper's timing parameters.
+    #[test]
+    fn static_meta_reconciles_with_catalog() {
+        let cells: Vec<Box<dyn Component>> = vec![
+            Box::new(crate::interconnect::Jtl::new("j")),
+            Box::new(Splitter::new("s")),
+            Box::new(Merger::new("m")),
+            Box::new(crate::storage::Dff::new("d")),
+            Box::new(Dff2::new("d2")),
+            Box::new(crate::storage::Ndro::new("n")),
+            Box::new(crate::toggle::Tff::new("t")),
+            Box::new(crate::toggle::Tff2::new("t2")),
+            Box::new(crate::inverter::ClockedInverter::new("i")),
+            Box::new(crate::race::FirstArrival::new("fa")),
+            Box::new(crate::race::LastArrival::new("la")),
+            Box::new(crate::race::Inhibit::new("inh")),
+            Box::new(crate::switch::Demux::new("dm")),
+            Box::new(crate::switch::Mux::new("mx")),
+            Box::new(Balancer::new("b")),
+            Box::new(RoutingUnit::new("r")),
+        ];
+        for cell in &cells {
+            let meta = cell.static_meta();
+            assert_eq!(
+                catalog::jj_for_kind(meta.kind),
+                Some(cell.jj_count()),
+                "kind {} of cell {}",
+                meta.kind,
+                cell.name()
+            );
+            assert!(meta.min_delay <= meta.max_delay);
+        }
+        let bal_meta = Balancer::new("b").static_meta();
+        assert_eq!(
+            bal_meta.hazards,
+            vec![Hazard::Transition {
+                window: catalog::t_bff()
+            }]
+        );
+        let mrg_meta = Merger::new("m").static_meta();
+        assert_eq!(
+            mrg_meta.hazards,
+            vec![Hazard::Collision {
+                window: catalog::t_merger()
+            }]
+        );
+        let ndro_meta = crate::storage::Ndro::new("n").static_meta();
+        assert_eq!(ndro_meta.hazards.len(), 2);
     }
 }

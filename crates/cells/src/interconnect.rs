@@ -1,6 +1,6 @@
 //! Stateless interconnect cells: JTL, splitter, and merger.
 
-use usfq_sim::component::{Component, Ctx};
+use usfq_sim::component::{Component, Ctx, Hazard, StaticMeta};
 use usfq_sim::stats::StatKind;
 use usfq_sim::Time;
 
@@ -56,6 +56,9 @@ impl Component for Jtl {
     fn on_pulse(&mut self, _port: usize, _now: Time, ctx: &mut Ctx) {
         ctx.emit(Self::OUT, self.delay);
     }
+    fn static_meta(&self) -> StaticMeta {
+        StaticMeta::new("jtl", self.delay)
+    }
 }
 
 /// A splitter: every input pulse is reproduced on both outputs
@@ -104,6 +107,9 @@ impl Component for Splitter {
     fn on_pulse(&mut self, _port: usize, _now: Time, ctx: &mut Ctx) {
         ctx.emit(Self::OUT_A, self.delay);
         ctx.emit(Self::OUT_B, self.delay);
+    }
+    fn static_meta(&self) -> StaticMeta {
+        StaticMeta::new("splitter", self.delay)
     }
 }
 
@@ -177,6 +183,11 @@ impl Component for Merger {
     fn reset(&mut self) {
         self.last_accepted = None;
     }
+    fn static_meta(&self) -> StaticMeta {
+        StaticMeta::new("merger", self.delay).with_hazard(Hazard::Collision {
+            window: self.window,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -193,7 +204,8 @@ mod tests {
         let mut c = Circuit::new();
         let input = c.input("in");
         let j = c.add(Jtl::with_delay("j", Time::from_ps(7.0)));
-        c.connect_input(input, j.input(Jtl::IN), Time::ZERO).unwrap();
+        c.connect_input(input, j.input(Jtl::IN), Time::ZERO)
+            .unwrap();
         let p = c.probe(j.output(Jtl::OUT), "out");
         let mut sim = Simulator::new(c);
         sim.schedule_input(input, Time::from_ps(2.0)).unwrap();
@@ -206,23 +218,32 @@ mod tests {
         let mut c = Circuit::new();
         let input = c.input("in");
         let s = c.add(Splitter::new("s"));
-        c.connect_input(input, s.input(Splitter::IN), Time::ZERO).unwrap();
+        c.connect_input(input, s.input(Splitter::IN), Time::ZERO)
+            .unwrap();
         let pa = c.probe(s.output(Splitter::OUT_A), "a");
         let pb = c.probe(s.output(Splitter::OUT_B), "b");
         let mut sim = Simulator::new(c);
-        sim.schedule_pulses(input, pulse_times(&[0.0, 10.0])).unwrap();
+        sim.schedule_pulses(input, pulse_times(&[0.0, 10.0]))
+            .unwrap();
         sim.run().unwrap();
         assert_eq!(sim.probe_count(pa), 2);
         assert_eq!(sim.probe_count(pb), 2);
     }
 
-    fn merger_fixture() -> (Circuit, usfq_sim::InputId, usfq_sim::InputId, usfq_sim::ProbeId) {
+    fn merger_fixture() -> (
+        Circuit,
+        usfq_sim::InputId,
+        usfq_sim::InputId,
+        usfq_sim::ProbeId,
+    ) {
         let mut c = Circuit::new();
         let a = c.input("a");
         let b = c.input("b");
         let m = c.add(Merger::new("m"));
-        c.connect_input(a, m.input(Merger::IN_A), Time::ZERO).unwrap();
-        c.connect_input(b, m.input(Merger::IN_B), Time::ZERO).unwrap();
+        c.connect_input(a, m.input(Merger::IN_A), Time::ZERO)
+            .unwrap();
+        c.connect_input(b, m.input(Merger::IN_B), Time::ZERO)
+            .unwrap();
         let y = c.probe(m.output(Merger::OUT), "y");
         (c, a, b, y)
     }
@@ -235,10 +256,7 @@ mod tests {
         sim.schedule_pulses(b, pulse_times(&[10.0, 30.0])).unwrap();
         sim.run().unwrap();
         assert_eq!(sim.probe_count(y), 4);
-        assert_eq!(
-            sim.activity().anomaly_count(StatKind::MergerCollision),
-            0
-        );
+        assert_eq!(sim.activity().anomaly_count(StatKind::MergerCollision), 0);
     }
 
     #[test]
@@ -249,10 +267,7 @@ mod tests {
         sim.schedule_input(b, Time::from_ps(12.0)).unwrap(); // within 5 ps window
         sim.run().unwrap();
         assert_eq!(sim.probe_count(y), 1);
-        assert_eq!(
-            sim.activity().anomaly_count(StatKind::MergerCollision),
-            1
-        );
+        assert_eq!(sim.activity().anomaly_count(StatKind::MergerCollision), 1);
     }
 
     /// The paper's Fig. 5b: four pulses into a merger tree, three out.
@@ -263,12 +278,18 @@ mod tests {
         let m0 = c.add(Merger::new("m0"));
         let m1 = c.add(Merger::new("m1"));
         let m2 = c.add(Merger::new("m2"));
-        c.connect_input(inputs[0], m0.input(Merger::IN_A), Time::ZERO).unwrap();
-        c.connect_input(inputs[1], m0.input(Merger::IN_B), Time::ZERO).unwrap();
-        c.connect_input(inputs[2], m1.input(Merger::IN_A), Time::ZERO).unwrap();
-        c.connect_input(inputs[3], m1.input(Merger::IN_B), Time::ZERO).unwrap();
-        c.connect(m0.output(Merger::OUT), m2.input(Merger::IN_A), Time::ZERO).unwrap();
-        c.connect(m1.output(Merger::OUT), m2.input(Merger::IN_B), Time::ZERO).unwrap();
+        c.connect_input(inputs[0], m0.input(Merger::IN_A), Time::ZERO)
+            .unwrap();
+        c.connect_input(inputs[1], m0.input(Merger::IN_B), Time::ZERO)
+            .unwrap();
+        c.connect_input(inputs[2], m1.input(Merger::IN_A), Time::ZERO)
+            .unwrap();
+        c.connect_input(inputs[3], m1.input(Merger::IN_B), Time::ZERO)
+            .unwrap();
+        c.connect(m0.output(Merger::OUT), m2.input(Merger::IN_A), Time::ZERO)
+            .unwrap();
+        c.connect(m1.output(Merger::OUT), m2.input(Merger::IN_B), Time::ZERO)
+            .unwrap();
         let y = c.probe(m2.output(Merger::OUT), "y");
         let mut sim = Simulator::new(c);
         // Two pairs, spaced so first-level mergers pass them but the

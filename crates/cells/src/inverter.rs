@@ -1,6 +1,6 @@
 //! The clocked inverter, which complements a pulse stream.
 
-use usfq_sim::component::{Component, Ctx};
+use usfq_sim::component::{Component, Ctx, Hazard, StaticMeta};
 use usfq_sim::Time;
 
 use crate::catalog;
@@ -71,6 +71,13 @@ impl Component for ClockedInverter {
     fn reset(&mut self) {
         self.saw_input = false;
     }
+    fn static_meta(&self) -> StaticMeta {
+        StaticMeta::new("inverter", self.delay).with_hazard(Hazard::Setup {
+            control: Self::IN,
+            sampled: Self::IN_CLK,
+            window: self.delay,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -85,17 +92,21 @@ mod tests {
         let din = c.input("in");
         let clk = c.input("clk");
         let inv = c.add(ClockedInverter::new("inv"));
-        c.connect_input(din, inv.input(ClockedInverter::IN), Time::ZERO).unwrap();
-        c.connect_input(clk, inv.input(ClockedInverter::IN_CLK), Time::ZERO).unwrap();
+        c.connect_input(din, inv.input(ClockedInverter::IN), Time::ZERO)
+            .unwrap();
+        c.connect_input(clk, inv.input(ClockedInverter::IN_CLK), Time::ZERO)
+            .unwrap();
         let q = c.probe(inv.output(ClockedInverter::OUT), "q");
 
         let mut sim = Simulator::new(c);
         let slot = 20.0;
         // Input pulses early in slots 0 and 2; clock at each slot's end.
         sim.schedule_input(din, Time::from_ps(2.0)).unwrap();
-        sim.schedule_input(din, Time::from_ps(2.0 + 2.0 * slot)).unwrap();
+        sim.schedule_input(din, Time::from_ps(2.0 + 2.0 * slot))
+            .unwrap();
         for s in 0..4u32 {
-            sim.schedule_input(clk, Time::from_ps(slot * (s as f64 + 1.0) - 1.0)).unwrap();
+            sim.schedule_input(clk, Time::from_ps(slot * (s as f64 + 1.0) - 1.0))
+                .unwrap();
         }
         sim.run().unwrap();
         let out = sim.probe_times(q).to_vec();
@@ -110,8 +121,16 @@ mod tests {
         let mut inv = ClockedInverter::new("i");
         let mut ctx = Ctx::default();
         for s in 0..8u32 {
-            inv.on_pulse(ClockedInverter::IN, Time::from_ps(10.0 * s as f64), &mut ctx);
-            inv.on_pulse(ClockedInverter::IN_CLK, Time::from_ps(10.0 * s as f64 + 5.0), &mut ctx);
+            inv.on_pulse(
+                ClockedInverter::IN,
+                Time::from_ps(10.0 * s as f64),
+                &mut ctx,
+            );
+            inv.on_pulse(
+                ClockedInverter::IN_CLK,
+                Time::from_ps(10.0 * s as f64 + 5.0),
+                &mut ctx,
+            );
         }
         assert!(ctx.emissions().is_empty());
     }
@@ -121,7 +140,11 @@ mod tests {
         let mut inv = ClockedInverter::new("i");
         let mut ctx = Ctx::default();
         for s in 0..8u32 {
-            inv.on_pulse(ClockedInverter::IN_CLK, Time::from_ps(10.0 * s as f64), &mut ctx);
+            inv.on_pulse(
+                ClockedInverter::IN_CLK,
+                Time::from_ps(10.0 * s as f64),
+                &mut ctx,
+            );
         }
         assert_eq!(ctx.emissions().len(), 8);
     }

@@ -6,7 +6,7 @@
 //! 8 JJs versus >4 kJJ for a binary minimum — the paper's motivating
 //! example for temporal encoding.
 
-use usfq_sim::component::{Component, Ctx};
+use usfq_sim::component::{Component, Ctx, Hazard, StaticMeta};
 use usfq_sim::stats::StatKind;
 use usfq_sim::Time;
 
@@ -71,6 +71,9 @@ impl Component for FirstArrival {
     }
     fn reset(&mut self) {
         self.fired = false;
+    }
+    fn static_meta(&self) -> StaticMeta {
+        StaticMeta::new("fa", self.delay)
     }
 }
 
@@ -142,8 +145,10 @@ impl Component for LastArrival {
         self.seen_b = false;
         self.fired = false;
     }
+    fn static_meta(&self) -> StaticMeta {
+        StaticMeta::new("la", self.delay)
+    }
 }
-
 
 /// Inhibit cell: passes the data pulse only if it arrives *before* the
 /// inhibiting pulse — the conditional of computational temporal logic
@@ -212,6 +217,14 @@ impl Component for Inhibit {
         self.inhibited = false;
         self.fired = false;
     }
+    fn static_meta(&self) -> StaticMeta {
+        // The inhibit decision races: B must settle before A samples it.
+        StaticMeta::new("inhibit", self.delay).with_hazard(Hazard::Setup {
+            control: Self::IN_B,
+            sampled: Self::IN_A,
+            window: self.delay,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -261,10 +274,7 @@ mod tests {
         sim.schedule_input(a, Time::from_ps(60.0)).unwrap();
         sim.run().unwrap();
         assert_eq!(sim.probe_count(out), 2);
-        assert_eq!(
-            sim.activity().anomaly_count(StatKind::IgnoredPulse),
-            0
-        );
+        assert_eq!(sim.activity().anomaly_count(StatKind::IgnoredPulse), 0);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Storage-loop cells: DFF, DFF2, and NDRO.
 
-use usfq_sim::component::{Component, Ctx};
+use usfq_sim::component::{Component, Ctx, Hazard, StaticMeta};
 use usfq_sim::stats::StatKind;
 use usfq_sim::Time;
 
@@ -72,6 +72,13 @@ impl Component for Dff {
     }
     fn reset(&mut self) {
         self.state = false;
+    }
+    fn static_meta(&self) -> StaticMeta {
+        StaticMeta::new("dff", self.delay).with_hazard(Hazard::Setup {
+            control: Self::IN_S,
+            sampled: Self::IN_R,
+            window: self.delay,
+        })
     }
 }
 
@@ -146,6 +153,19 @@ impl Component for Dff2 {
     }
     fn reset(&mut self) {
         self.state = false;
+    }
+    fn static_meta(&self) -> StaticMeta {
+        StaticMeta::new("dff2", self.delay)
+            .with_hazard(Hazard::Setup {
+                control: Self::IN_A,
+                sampled: Self::IN_C1,
+                window: self.delay,
+            })
+            .with_hazard(Hazard::Setup {
+                control: Self::IN_A,
+                sampled: Self::IN_C2,
+                window: self.delay,
+            })
     }
 }
 
@@ -230,6 +250,19 @@ impl Component for Ndro {
     fn reset(&mut self) {
         self.state = false;
     }
+    fn static_meta(&self) -> StaticMeta {
+        StaticMeta::new("ndro", self.delay)
+            .with_hazard(Hazard::Setup {
+                control: Self::IN_S,
+                sampled: Self::IN_CLK,
+                window: self.delay,
+            })
+            .with_hazard(Hazard::Setup {
+                control: Self::IN_R,
+                sampled: Self::IN_CLK,
+                window: self.delay,
+            })
+    }
 }
 
 #[cfg(test)]
@@ -243,8 +276,10 @@ mod tests {
         let d_in = c.input("d");
         let clk = c.input("clk");
         let dff = c.add(Dff::new("dff"));
-        c.connect_input(d_in, dff.input(Dff::IN_S), Time::ZERO).unwrap();
-        c.connect_input(clk, dff.input(Dff::IN_R), Time::ZERO).unwrap();
+        c.connect_input(d_in, dff.input(Dff::IN_S), Time::ZERO)
+            .unwrap();
+        c.connect_input(clk, dff.input(Dff::IN_R), Time::ZERO)
+            .unwrap();
         let q = c.probe(dff.output(Dff::OUT_Q), "q");
         let mut sim = Simulator::new(c);
         // Clock with nothing stored: no output.
@@ -277,9 +312,12 @@ mod tests {
         let c1 = c.input("c1");
         let c2 = c.input("c2");
         let ff = c.add(Dff2::new("ff"));
-        c.connect_input(a, ff.input(Dff2::IN_A), Time::ZERO).unwrap();
-        c.connect_input(c1, ff.input(Dff2::IN_C1), Time::ZERO).unwrap();
-        c.connect_input(c2, ff.input(Dff2::IN_C2), Time::ZERO).unwrap();
+        c.connect_input(a, ff.input(Dff2::IN_A), Time::ZERO)
+            .unwrap();
+        c.connect_input(c1, ff.input(Dff2::IN_C1), Time::ZERO)
+            .unwrap();
+        c.connect_input(c2, ff.input(Dff2::IN_C2), Time::ZERO)
+            .unwrap();
         let y1 = c.probe(ff.output(Dff2::OUT_Y1), "y1");
         let y2 = c.probe(ff.output(Dff2::OUT_Y2), "y2");
         let mut sim = Simulator::new(c);
@@ -302,7 +340,8 @@ mod tests {
         let n = c.add(Ndro::new("n"));
         c.connect_input(s, n.input(Ndro::IN_S), Time::ZERO).unwrap();
         c.connect_input(r, n.input(Ndro::IN_R), Time::ZERO).unwrap();
-        c.connect_input(clk, n.input(Ndro::IN_CLK), Time::ZERO).unwrap();
+        c.connect_input(clk, n.input(Ndro::IN_CLK), Time::ZERO)
+            .unwrap();
         let q = c.probe(n.output(Ndro::OUT_Q), "q");
         let mut sim = Simulator::new(c);
         sim.schedule_input(s, Time::from_ps(0.0)).unwrap();

@@ -2,7 +2,7 @@
 //! [Zheng '99], used by the RL memory cell (paper Fig. 10d) to ping-pong
 //! between its two integrator buffers on alternating epochs.
 
-use usfq_sim::component::{Component, Ctx};
+use usfq_sim::component::{Component, Ctx, Hazard, StaticMeta};
 use usfq_sim::Time;
 
 use crate::catalog;
@@ -64,6 +64,13 @@ impl Component for Demux {
     fn reset(&mut self) {
         self.selected = Self::OUT_A;
     }
+    fn static_meta(&self) -> StaticMeta {
+        StaticMeta::new("demux", self.delay).with_hazard(Hazard::Setup {
+            control: Self::IN_SEL,
+            sampled: Self::IN,
+            window: self.delay,
+        })
+    }
 }
 
 /// A 2:1 multiplexer. In the memory cell the two sources are active on
@@ -108,6 +115,9 @@ impl Component for Mux {
     fn on_pulse(&mut self, _port: usize, _now: Time, ctx: &mut Ctx) {
         ctx.emit(Self::OUT, self.delay);
     }
+    fn static_meta(&self) -> StaticMeta {
+        StaticMeta::new("mux", self.delay)
+    }
 }
 
 #[cfg(test)]
@@ -121,8 +131,10 @@ mod tests {
         let din = c.input("in");
         let sel = c.input("sel");
         let d = c.add(Demux::new("d"));
-        c.connect_input(din, d.input(Demux::IN), Time::ZERO).unwrap();
-        c.connect_input(sel, d.input(Demux::IN_SEL), Time::ZERO).unwrap();
+        c.connect_input(din, d.input(Demux::IN), Time::ZERO)
+            .unwrap();
+        c.connect_input(sel, d.input(Demux::IN_SEL), Time::ZERO)
+            .unwrap();
         let pa = c.probe(d.output(Demux::OUT_A), "a");
         let pb = c.probe(d.output(Demux::OUT_B), "b");
         let mut sim = Simulator::new(c);

@@ -1,7 +1,7 @@
 //! Toggle flip-flops: TFF (divide-by-two) and TFF2 (alternating
 //! demultiplexer), the building blocks of the pulse-number multiplier.
 
-use usfq_sim::component::{Component, Ctx};
+use usfq_sim::component::{Component, Ctx, StaticMeta};
 use usfq_sim::Time;
 
 use crate::catalog;
@@ -52,6 +52,9 @@ impl Component for Tff {
     }
     fn reset(&mut self) {
         self.state = false;
+    }
+    fn static_meta(&self) -> StaticMeta {
+        StaticMeta::new("tff", self.delay)
     }
 }
 
@@ -104,6 +107,9 @@ impl Component for Tff2 {
     fn reset(&mut self) {
         self.next_out = Self::OUT_A;
     }
+    fn static_meta(&self) -> StaticMeta {
+        StaticMeta::new("tff2", self.delay)
+    }
 }
 
 #[cfg(test)]
@@ -116,11 +122,13 @@ mod tests {
         let mut c = Circuit::new();
         let input = c.input("in");
         let t = c.add(Tff::new("t"));
-        c.connect_input(input, t.input(Tff::IN), Time::ZERO).unwrap();
+        c.connect_input(input, t.input(Tff::IN), Time::ZERO)
+            .unwrap();
         let p = c.probe(t.output(Tff::OUT), "out");
         let mut sim = Simulator::new(c);
         for i in 0..10 {
-            sim.schedule_input(input, Time::from_ps(10.0 * i as f64)).unwrap();
+            sim.schedule_input(input, Time::from_ps(10.0 * i as f64))
+                .unwrap();
         }
         sim.run().unwrap();
         assert_eq!(sim.probe_count(p), 5);
@@ -132,12 +140,15 @@ mod tests {
         let input = c.input("in");
         let t0 = c.add(Tff::new("t0"));
         let t1 = c.add(Tff::new("t1"));
-        c.connect_input(input, t0.input(Tff::IN), Time::ZERO).unwrap();
-        c.connect(t0.output(Tff::OUT), t1.input(Tff::IN), Time::ZERO).unwrap();
+        c.connect_input(input, t0.input(Tff::IN), Time::ZERO)
+            .unwrap();
+        c.connect(t0.output(Tff::OUT), t1.input(Tff::IN), Time::ZERO)
+            .unwrap();
         let p = c.probe(t1.output(Tff::OUT), "out");
         let mut sim = Simulator::new(c);
         for i in 0..16 {
-            sim.schedule_input(input, Time::from_ps(10.0 * i as f64)).unwrap();
+            sim.schedule_input(input, Time::from_ps(10.0 * i as f64))
+                .unwrap();
         }
         sim.run().unwrap();
         assert_eq!(sim.probe_count(p), 4);
@@ -148,12 +159,14 @@ mod tests {
         let mut c = Circuit::new();
         let input = c.input("in");
         let t = c.add(Tff2::new("t"));
-        c.connect_input(input, t.input(Tff2::IN), Time::ZERO).unwrap();
+        c.connect_input(input, t.input(Tff2::IN), Time::ZERO)
+            .unwrap();
         let pa = c.probe(t.output(Tff2::OUT_A), "a");
         let pb = c.probe(t.output(Tff2::OUT_B), "b");
         let mut sim = Simulator::new(c);
         for i in 0..7 {
-            sim.schedule_input(input, Time::from_ps(10.0 * i as f64)).unwrap();
+            sim.schedule_input(input, Time::from_ps(10.0 * i as f64))
+                .unwrap();
         }
         sim.run().unwrap();
         assert_eq!(sim.probe_count(pa), 4); // pulses 1,3,5,7
@@ -177,7 +190,7 @@ mod tests {
         let t = Tff2::new("t");
         assert_eq!(t.jj_count(), catalog::JJ_TFF2);
         let mut ctx = Ctx::default();
-        let mut t2 = t.clone();
+        let mut t2 = t;
         t2.on_pulse(Tff2::IN, Time::ZERO, &mut ctx);
         assert_eq!(ctx.emissions()[0].1, Time::from_ps(20.0));
     }

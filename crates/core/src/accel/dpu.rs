@@ -234,7 +234,10 @@ impl DotProductUnit {
     /// match the lane count, or encoding errors for out-of-range
     /// elements.
     pub fn matvec(&self, matrix: &[Vec<f64>], x: &[f64]) -> Result<Vec<f64>, CoreError> {
-        matrix.iter().map(|row| self.dot_functional(row, x)).collect()
+        matrix
+            .iter()
+            .map(|row| self.dot_functional(row, x))
+            .collect()
     }
 
     /// Worst-case quantization error of the unit: each lane contributes
@@ -268,9 +271,7 @@ mod tests {
     fn rejects_length_mismatch() {
         let dpu = DotProductUnit::new(epoch(6), 4).unwrap();
         assert!(dpu.dot_functional(&[0.1, 0.2], &[0.3, 0.4]).is_err());
-        assert!(dpu
-            .dot_functional(&[0.1; 4], &[0.3; 2])
-            .is_err());
+        assert!(dpu.dot_functional(&[0.1; 4], &[0.3; 2]).is_err());
     }
 
     #[test]
@@ -300,9 +301,15 @@ mod tests {
         // Per-stage balancer rounding in the live tree vs the exact
         // pairwise-ceil mirror: allow the tree depth in pulses.
         let pulse = dpu.lanes() as f64 * 2.0 * dpu.epoch().lsb();
-        assert!((mono - func).abs() <= 2.0 * pulse, "mono {mono}, functional {func}");
+        assert!(
+            (mono - func).abs() <= 2.0 * pulse,
+            "mono {mono}, functional {func}"
+        );
         let want: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
-        assert!((mono - want).abs() <= dpu.error_bound(), "mono {mono}, want {want}");
+        assert!(
+            (mono - want).abs() <= dpu.error_bound(),
+            "mono {mono}, want {want}"
+        );
     }
 
     #[test]
@@ -335,9 +342,15 @@ mod tests {
         let direct = dpu.dot_functional(&x, &w).unwrap();
         // The bank clamps the all-ones word, so allow one extra pulse.
         let pulse = 4.0 * 2.0 * e.lsb();
-        assert!((stored - direct).abs() <= 2.0 * pulse, "{stored} vs {direct}");
+        assert!(
+            (stored - direct).abs() <= 2.0 * pulse,
+            "{stored} vs {direct}"
+        );
         let want: f64 = w.iter().zip(&x).map(|(a, b)| a * b).sum();
-        assert!((stored - want).abs() <= dpu.error_bound(), "{stored} vs {want}");
+        assert!(
+            (stored - want).abs() <= dpu.error_bound(),
+            "{stored} vs {want}"
+        );
     }
 
     #[test]
@@ -361,7 +374,10 @@ mod tests {
         let f = dpu.dot_functional(&a, &b).unwrap();
         // One network pulse is worth L·2/N_max in bipolar value.
         let pulse = dpu.lanes() as f64 * 2.0 * dpu.epoch().lsb();
-        assert!((s - f).abs() <= 1.5 * pulse, "structural {s}, functional {f}");
+        assert!(
+            (s - f).abs() <= 1.5 * pulse,
+            "structural {s}, functional {f}"
+        );
     }
 
     proptest! {

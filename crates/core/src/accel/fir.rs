@@ -332,9 +332,7 @@ mod tests {
     #[test]
     fn matches_reference_moving_average() {
         let coeffs = [0.25, 0.25, 0.25, 0.25];
-        let input: Vec<f64> = (0..64)
-            .map(|i| (i as f64 * 0.35).sin() * 0.8)
-            .collect();
+        let input: Vec<f64> = (0..64).map(|i| (i as f64 * 0.35).sin() * 0.8).collect();
         let mut fir = UsfqFir::new(&coeffs, 10).unwrap();
         let got = fir.filter(&input).unwrap();
         let want = fir_reference(&coeffs, &input);

@@ -159,7 +159,10 @@ mod tests {
         // bias (one pulse per stage, scaled to values).
         let tol = 4.0 * 2.0 / 32.0 * 0.8 * 2.0;
         for (i, (a, b)) in s.iter().zip(&f).enumerate() {
-            assert!((a - b).abs() <= tol, "sample {i}: structural {a}, functional {b}");
+            assert!(
+                (a - b).abs() <= tol,
+                "sample {i}: structural {a}, functional {b}"
+            );
         }
     }
 

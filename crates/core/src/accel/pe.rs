@@ -10,7 +10,7 @@ use usfq_cells::balancer::Balancer;
 use usfq_cells::catalog;
 use usfq_cells::storage::Ndro;
 use usfq_encoding::{Epoch, PulseStream, RlValue};
-use usfq_sim::component::{Component, Ctx};
+use usfq_sim::component::{Component, Ctx, StaticMeta};
 use usfq_sim::{Circuit, Simulator, Time};
 
 use crate::blocks::gated_count;
@@ -82,6 +82,12 @@ impl Component for StreamToRlIntegrator {
     fn reset(&mut self) {
         self.count = 0;
     }
+    fn static_meta(&self) -> StaticMeta {
+        // Timer-driven: after the epoch marker the RL output fires
+        // anywhere from immediately (count 0) to a full epoch later
+        // (count N_max), so the static window spans the whole epoch.
+        StaticMeta::custom("integrator", Time::ZERO, self.epoch.duration())
+    }
 }
 
 /// The unipolar U-SFQ processing element.
@@ -149,14 +155,22 @@ impl ProcessingElement {
         c.connect_input(in_e, ndro.input(Ndro::IN_S), Time::ZERO)?;
         c.connect_input(in_rl, ndro.input(Ndro::IN_R), Time::ZERO)?;
         c.connect_input(in_a, ndro.input(Ndro::IN_CLK), Time::ZERO)?;
-        c.connect(ndro.output(Ndro::OUT_Q), bal.input(Balancer::IN_A), Time::ZERO)?;
+        c.connect(
+            ndro.output(Ndro::OUT_Q),
+            bal.input(Balancer::IN_A),
+            Time::ZERO,
+        )?;
         c.connect_input(in_b, bal.input(Balancer::IN_B), Time::ZERO)?;
         c.connect(
             bal.output(Balancer::OUT_Y1),
             integ.input(StreamToRlIntegrator::IN),
             Time::ZERO,
         )?;
-        c.connect_input(in_epoch_end, integ.input(StreamToRlIntegrator::IN_EPOCH), Time::ZERO)?;
+        c.connect_input(
+            in_epoch_end,
+            integ.input(StreamToRlIntegrator::IN_EPOCH),
+            Time::ZERO,
+        )?;
         let out = c.probe(integ.output(StreamToRlIntegrator::OUT), "out");
 
         let mut sim = Simulator::new(c);
@@ -317,7 +331,11 @@ mod tests {
         let pe = ProcessingElement::new(epoch(5));
         // (0.5 · 0.5 + 0.25) / 2 = 0.25.
         let out = pe.mac(0.5, 0.5, 0.25).unwrap();
-        assert!((out.value() - 0.25).abs() <= 2.0 * pe.epoch().lsb(), "{}", out.value());
+        assert!(
+            (out.value() - 0.25).abs() <= 2.0 * pe.epoch().lsb(),
+            "{}",
+            out.value()
+        );
     }
 
     #[test]

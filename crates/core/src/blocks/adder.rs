@@ -64,9 +64,7 @@ impl MergerAdder {
     /// intrinsic delay per input, so the epoch stretches by the input
     /// count (paper Fig. 5c).
     pub fn latency(&self) -> Time {
-        self.epoch
-            .duration()
-            .scale(self.inputs as u64)
+        self.epoch.duration().scale(self.inputs as u64)
     }
 
     /// Sums streams through a simulated merger tree with the inputs
@@ -87,9 +85,7 @@ impl MergerAdder {
             )));
         }
         let mut c = Circuit::new();
-        let inputs: Vec<_> = (0..self.inputs)
-            .map(|i| c.input(format!("a{i}")))
-            .collect();
+        let inputs: Vec<_> = (0..self.inputs).map(|i| c.input(format!("a{i}"))).collect();
 
         // Build a balanced merger tree.
         let mut layer: Vec<usfq_sim::NodeRef> = Vec::new();

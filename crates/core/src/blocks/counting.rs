@@ -75,14 +75,15 @@ impl CountingNetwork {
             )));
         }
         let mut c = Circuit::new();
-        let inputs: Vec<_> = (0..self.width)
-            .map(|i| c.input(format!("a{i}")))
-            .collect();
+        let inputs: Vec<_> = (0..self.width).map(|i| c.input(format!("a{i}"))).collect();
 
         // Seed lanes with pass-through buffers, then reduce pairwise.
         let mut lanes: Vec<NodeRef> = Vec::with_capacity(self.width);
         for (i, input) in inputs.iter().enumerate() {
-            let b = c.add(usfq_sim::component::Buffer::new(format!("in{i}"), Time::ZERO));
+            let b = c.add(usfq_sim::component::Buffer::new(
+                format!("in{i}"),
+                Time::ZERO,
+            ));
             c.connect_input(*input, b.input(0), Time::ZERO)?;
             lanes.push(b.output(0));
         }
@@ -127,10 +128,7 @@ impl CountingNetwork {
     /// # Errors
     ///
     /// Returns [`CoreError::InvalidConfig`] on an input-count mismatch.
-    pub fn accumulate_functional(
-        &self,
-        streams: &[PulseStream],
-    ) -> Result<PulseStream, CoreError> {
+    pub fn accumulate_functional(&self, streams: &[PulseStream]) -> Result<PulseStream, CoreError> {
         if streams.len() != self.width {
             return Err(CoreError::InvalidConfig(format!(
                 "expected {} streams, got {}",
@@ -207,7 +205,11 @@ mod tests {
         let s = net.accumulate(&streams).unwrap();
         let f = net.accumulate_functional(&streams).unwrap();
         // Total 53 over 8 lanes ≈ 7 after per-stage rounding.
-        assert!((f.count() as i64 - 7).abs() <= 1, "functional {}", f.count());
+        assert!(
+            (f.count() as i64 - 7).abs() <= 1,
+            "functional {}",
+            f.count()
+        );
         assert!((s.count() as i64 - f.count() as i64).abs() <= 1);
     }
 

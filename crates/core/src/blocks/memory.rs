@@ -33,9 +33,7 @@ impl MemoryBank {
             .map(|&x| {
                 // A stored word has B bits, so the all-ones word encodes
                 // N_max − 1 (the PNM cannot emit the 2^B-th pulse).
-                epoch
-                    .quantize_unipolar(x)
-                    .map(|w| w.min(epoch.n_max() - 1))
+                epoch.quantize_unipolar(x).map(|w| w.min(epoch.n_max() - 1))
             })
             .collect::<Result<Vec<_>, _>>()?;
         Ok(MemoryBank { epoch, words })
@@ -50,11 +48,7 @@ impl MemoryBank {
     pub fn from_bipolar(coeffs: &[f64], epoch: Epoch) -> Result<Self, CoreError> {
         let words = coeffs
             .iter()
-            .map(|&x| {
-                epoch
-                    .quantize_bipolar(x)
-                    .map(|w| w.min(epoch.n_max() - 1))
-            })
+            .map(|&x| epoch.quantize_bipolar(x).map(|w| w.min(epoch.n_max() - 1)))
             .collect::<Result<Vec<_>, _>>()?;
         Ok(MemoryBank { epoch, words })
     }

@@ -12,8 +12,6 @@ pub use adder::{BalancerAdder, MergerAdder, MergerSum};
 pub use converters::{BinaryToRlConverter, StreamToBinaryCounter};
 pub use counting::CountingNetwork;
 pub use memory::MemoryBank;
-pub use multiplier::{
-    gated_count, BipolarMultiplier, BipolarMultiplierPorts, UnipolarMultiplier,
-};
+pub use multiplier::{gated_count, BipolarMultiplier, BipolarMultiplierPorts, UnipolarMultiplier};
 pub use pnm::{PnmVariant, PulseNumberMultiplier};
 pub use shift::{IntegratorBuffer, MemoryCell, RlShiftRegister, ShiftRegisterKind};

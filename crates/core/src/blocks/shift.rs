@@ -20,7 +20,7 @@ use std::collections::VecDeque;
 
 use usfq_cells::catalog;
 use usfq_encoding::{Epoch, RlValue};
-use usfq_sim::component::{Component, Ctx};
+use usfq_sim::component::{Component, Ctx, StaticMeta};
 use usfq_sim::Time;
 
 /// The four shift-register constructions compared in the paper's Fig. 12.
@@ -53,9 +53,7 @@ impl ShiftRegisterKind {
                 (binary as f64 * 3.2).round() as u64
             }
             ShiftRegisterKind::DffRl => words * (1u64 << bits) * dff,
-            ShiftRegisterKind::IntegratorBuffer => {
-                words * u64::from(catalog::JJ_MEMORY_CELL)
-            }
+            ShiftRegisterKind::IntegratorBuffer => words * u64::from(catalog::JJ_MEMORY_CELL),
         }
     }
 
@@ -152,6 +150,10 @@ impl Component for IntegratorBuffer {
     fn reset(&mut self) {
         self.charging_since = None;
     }
+    fn static_meta(&self) -> StaticMeta {
+        // Charge + discharge reproduce the pulse exactly one epoch later.
+        StaticMeta::custom("integrator", self.epoch.duration(), self.epoch.duration())
+    }
 }
 
 /// A memory cell: two integrator buffers interleaved by a demux/mux pair
@@ -172,23 +174,32 @@ impl MemoryCell {
         circuit: &mut usfq_sim::Circuit,
         name: &str,
         epoch: Epoch,
-    ) -> Result<
-        (
-            usfq_sim::SinkRef,
-            usfq_sim::SinkRef,
-            usfq_sim::NodeRef,
-        ),
-        usfq_sim::SimError,
-    > {
+    ) -> Result<(usfq_sim::SinkRef, usfq_sim::SinkRef, usfq_sim::NodeRef), usfq_sim::SimError> {
         use usfq_cells::switch::{Demux, Mux};
         let demux = circuit.add(Demux::new(format!("{name}.demux")));
         let buf_a = circuit.add(IntegratorBuffer::new(format!("{name}.buf_a"), epoch));
         let buf_b = circuit.add(IntegratorBuffer::new(format!("{name}.buf_b"), epoch));
         let mux = circuit.add(Mux::new(format!("{name}.mux")));
-        circuit.connect(demux.output(Demux::OUT_A), buf_a.input(IntegratorBuffer::IN), Time::ZERO)?;
-        circuit.connect(demux.output(Demux::OUT_B), buf_b.input(IntegratorBuffer::IN), Time::ZERO)?;
-        circuit.connect(buf_a.output(IntegratorBuffer::OUT), mux.input(Mux::IN_A), Time::ZERO)?;
-        circuit.connect(buf_b.output(IntegratorBuffer::OUT), mux.input(Mux::IN_B), Time::ZERO)?;
+        circuit.connect(
+            demux.output(Demux::OUT_A),
+            buf_a.input(IntegratorBuffer::IN),
+            Time::ZERO,
+        )?;
+        circuit.connect(
+            demux.output(Demux::OUT_B),
+            buf_b.input(IntegratorBuffer::IN),
+            Time::ZERO,
+        )?;
+        circuit.connect(
+            buf_a.output(IntegratorBuffer::OUT),
+            mux.input(Mux::IN_A),
+            Time::ZERO,
+        )?;
+        circuit.connect(
+            buf_b.output(IntegratorBuffer::OUT),
+            mux.input(Mux::IN_B),
+            Time::ZERO,
+        )?;
         Ok((
             demux.input(Demux::IN),
             demux.input(Demux::IN_SEL),
@@ -303,11 +314,13 @@ mod tests {
         let mut c = Circuit::new();
         let input = c.input("in");
         let buf = c.add(IntegratorBuffer::new("buf", e));
-        c.connect_input(input, buf.input(IntegratorBuffer::IN), Time::ZERO).unwrap();
+        c.connect_input(input, buf.input(IntegratorBuffer::IN), Time::ZERO)
+            .unwrap();
         let out = c.probe(buf.output(IntegratorBuffer::OUT), "out");
         let mut sim = Simulator::new(c);
         let rl = RlValue::from_slot(5, e).unwrap();
-        sim.schedule_input(input, rl.pulse_time_from(Time::ZERO)).unwrap();
+        sim.schedule_input(input, rl.pulse_time_from(Time::ZERO))
+            .unwrap();
         sim.run().unwrap();
         let times = sim.probe_times(out);
         assert_eq!(times.len(), 1);
@@ -323,7 +336,8 @@ mod tests {
         let mut c = Circuit::new();
         let input = c.input("in");
         let buf = c.add(IntegratorBuffer::new("buf", e));
-        c.connect_input(input, buf.input(IntegratorBuffer::IN), Time::ZERO).unwrap();
+        c.connect_input(input, buf.input(IntegratorBuffer::IN), Time::ZERO)
+            .unwrap();
         let out = c.probe(buf.output(IntegratorBuffer::OUT), "out");
         let mut sim = Simulator::new(c);
         sim.schedule_input(input, Time::from_ps(10.0)).unwrap();
@@ -349,7 +363,8 @@ mod tests {
         // each epoch boundary.
         let v0 = RlValue::from_slot(3, e).unwrap();
         let v1 = RlValue::from_slot(9, e).unwrap();
-        sim.schedule_input(input, v0.pulse_time_from(Time::ZERO)).unwrap();
+        sim.schedule_input(input, v0.pulse_time_from(Time::ZERO))
+            .unwrap();
         sim.schedule_input(input, v1.pulse_time_from(dur)).unwrap();
         sim.schedule_input(sel, dur).unwrap();
         sim.schedule_input(sel, dur.scale(2)).unwrap();
@@ -360,8 +375,16 @@ mod tests {
         let tol = Time::from_ps(15.0);
         let want0 = v0.pulse_time_from(Time::ZERO) + dur;
         let want1 = v1.pulse_time_from(dur) + dur;
-        assert!(times[0].abs_diff(want0) <= tol, "{:?} vs {want0:?}", times[0]);
-        assert!(times[1].abs_diff(want1) <= tol, "{:?} vs {want1:?}", times[1]);
+        assert!(
+            times[0].abs_diff(want0) <= tol,
+            "{:?} vs {want0:?}",
+            times[0]
+        );
+        assert!(
+            times[1].abs_diff(want1) <= tol,
+            "{:?} vs {want1:?}",
+            times[1]
+        );
     }
 
     #[test]

@@ -16,6 +16,9 @@
 //!   the paper's fault-injection model.
 //! * [`model`] — closed-form area / latency / throughput / power models
 //!   calibrated to the paper's anchors, used by the figure harness.
+//! * [`netlists`] — every shipped structural netlist packaged with its
+//!   operating envelope, the input catalogue of the `usfq-lint` static
+//!   analyzer.
 //!
 //! Structural implementations simulate real pulse circuits; each
 //! accelerator also has a *functional* model (bit-exact unary semantics
@@ -41,5 +44,6 @@ pub mod accel;
 pub mod blocks;
 mod error;
 pub mod model;
+pub mod netlists;
 
 pub use error::CoreError;

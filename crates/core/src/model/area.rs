@@ -108,9 +108,7 @@ pub fn fir_output_conversion_jj(format: FirOutputFormat, bits: u32) -> u64 {
         FirOutputFormat::RaceLogic => {
             u64::from(catalog::JJ_INTEGRATOR) + 11 * u64::from(catalog::JJ_JTL)
         }
-        FirOutputFormat::Binary => {
-            u64::from(bits) * u64::from(catalog::JJ_TFF + catalog::JJ_DFF)
-        }
+        FirOutputFormat::Binary => u64::from(bits) * u64::from(catalog::JJ_TFF + catalog::JJ_DFF),
     }
 }
 
@@ -194,10 +192,7 @@ mod tests {
     /// §5.4: RL output conversion costs 50–200 JJ; streams are free.
     #[test]
     fn output_conversion_in_paper_range() {
-        assert_eq!(
-            fir_output_conversion_jj(FirOutputFormat::PulseStream, 8),
-            0
-        );
+        assert_eq!(fir_output_conversion_jj(FirOutputFormat::PulseStream, 8), 0);
         let rl = fir_output_conversion_jj(FirOutputFormat::RaceLogic, 8);
         assert!((50..=200).contains(&rl), "{rl}");
         let b8 = fir_output_conversion_jj(FirOutputFormat::Binary, 8);

@@ -22,9 +22,7 @@ pub fn multiplier_latency(bits: u32) -> Time {
 /// Merger-adder latency: the epoch stretched by the input count to keep
 /// pulses from colliding (paper §4.2-A, Fig. 5c).
 pub fn merger_adder_latency(bits: u32, inputs: usize) -> Time {
-    catalog::t_merger()
-        .scale(n_max(bits))
-        .scale(inputs as u64)
+    catalog::t_merger().scale(n_max(bits)).scale(inputs as u64)
 }
 
 /// Balancer-adder latency: `2^B · t_BFF` (paper §4.2-B).
@@ -53,9 +51,7 @@ pub fn dpu_latency(bits: u32, lanes: usize) -> Time {
 /// FIR latency: `2^B · T_CLK` with `T_CLK = B · t_TFF2` — the PNM
 /// memory bound, independent of tap count (paper §5.4.2).
 pub fn fir_latency(bits: u32) -> Time {
-    catalog::t_tff2()
-        .scale(u64::from(bits))
-        .scale(n_max(bits))
+    catalog::t_tff2().scale(u64::from(bits)).scale(n_max(bits))
 }
 
 /// FIR throughput in complete filter computations per second: the

@@ -140,7 +140,10 @@ mod tests {
         assert!((2e-6..=20e-6).contains(&dpu_a), "dpu active {dpu_a}");
         // Passive: multiplier 0.05 mW, balancer 0.1 mW, DPU 4.8 mW in
         // the paper; ours use the calibrated 1.8 µW/JJ bias.
-        assert!((0.02e-3..=0.2e-3).contains(&mult_p), "mult passive {mult_p}");
+        assert!(
+            (0.02e-3..=0.2e-3).contains(&mult_p),
+            "mult passive {mult_p}"
+        );
         assert!((0.05e-3..=0.3e-3).contains(&bal_p), "bal passive {bal_p}");
         assert!((2e-3..=15e-3).contains(&dpu_p), "dpu passive {dpu_p}");
     }

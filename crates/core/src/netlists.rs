@@ -1,0 +1,598 @@
+//! The shipped structural netlists: every gate-level circuit this crate
+//! knows how to instantiate, packaged with the operating envelope it is
+//! meant to hold so static analyzers (notably `usfq-lint`) can check the
+//! whole catalogue without running a single simulation.
+//!
+//! Each [`BuiltNetlist`] mirrors the circuit the corresponding block or
+//! accelerator builds inline for simulation (`UnipolarMultiplier`,
+//! `DotProductUnit::dot_monolithic`, …); the composed FIR datapath —
+//! PNM coefficient generators feeding per-tap bipolar multipliers and a
+//! balancer counting tree, the paper's Fig. 17 — exists only here as a
+//! single monolithic netlist.
+//!
+//! External inputs that drive several sinks are distributed through
+//! explicit splitter trees ([`distribute`]-built), keeping the published
+//! netlists free of fanout violations — the same discipline a physical
+//! layout imposes.
+
+use usfq_cells::balancer::Balancer;
+use usfq_cells::interconnect::{Merger, Splitter};
+use usfq_cells::storage::Ndro;
+use usfq_cells::toggle::{Tff, Tff2};
+use usfq_encoding::Epoch;
+use usfq_sim::component::Buffer;
+use usfq_sim::{Circuit, InputId, NodeRef, SimError, SinkRef, Time};
+
+use crate::accel::StreamToRlIntegrator;
+use crate::blocks::{BipolarMultiplierPorts, PnmVariant};
+
+/// A structural netlist bundled with the envelope it must satisfy.
+#[derive(Debug)]
+pub struct BuiltNetlist {
+    /// Stable identifier (the `usfq-lint` report heading).
+    pub name: &'static str,
+    /// One-line description of the circuit.
+    pub summary: &'static str,
+    /// The gate-level circuit.
+    pub circuit: Circuit,
+    /// The epoch geometry the circuit operates at.
+    pub epoch: Epoch,
+    /// Latest arrival of any external input pulse: inputs are assumed to
+    /// pulse anywhere in `[0, input_window]`.
+    pub input_window: Time,
+    /// Static-timing budget: every probe must settle within this bound.
+    pub epoch_budget: Time,
+    /// Component-name substrings permitted to appear in feedback loops
+    /// (empty: all shipped netlists are acyclic).
+    pub cycle_allowlist: Vec<String>,
+}
+
+/// Distributes one external input to `sinks` through a binary splitter
+/// tree, so no net drives more than one sink (`N − 1` splitters).
+fn distribute(
+    c: &mut Circuit,
+    src: InputId,
+    sinks: &[SinkRef],
+    prefix: &str,
+) -> Result<(), SimError> {
+    match sinks {
+        [] => Ok(()),
+        [only] => c.connect_input(src, *only, Time::ZERO),
+        _ => {
+            let first = c.add(Splitter::new(format!("{prefix}_spl0")));
+            c.connect_input(src, first.input(Splitter::IN), Time::ZERO)?;
+            let mut taps = vec![first.output(Splitter::OUT_A), first.output(Splitter::OUT_B)];
+            let mut n = 1usize;
+            while taps.len() < sinks.len() {
+                let feed = taps.remove(0);
+                let spl = c.add(Splitter::new(format!("{prefix}_spl{n}")));
+                n += 1;
+                c.connect(feed, spl.input(Splitter::IN), Time::ZERO)?;
+                taps.push(spl.output(Splitter::OUT_A));
+                taps.push(spl.output(Splitter::OUT_B));
+            }
+            for (tap, sink) in taps.into_iter().zip(sinks) {
+                c.connect(tap, *sink, Time::ZERO)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Reduces `lanes` pairwise through a balancer counting tree (forwarding
+/// `Y1` at every stage, paper Fig. 6d) and returns the root node.
+fn balancer_tree(
+    c: &mut Circuit,
+    mut lanes: Vec<NodeRef>,
+    prefix: &str,
+) -> Result<NodeRef, SimError> {
+    let mut id = 0usize;
+    while lanes.len() > 1 {
+        let mut next = Vec::with_capacity(lanes.len() / 2);
+        for pair in lanes.chunks(2) {
+            let bal = c.add(Balancer::new(format!("{prefix}{id}")));
+            id += 1;
+            c.connect(pair[0], bal.input(Balancer::IN_A), Time::ZERO)?;
+            c.connect(pair[1], bal.input(Balancer::IN_B), Time::ZERO)?;
+            next.push(bal.output(Balancer::OUT_Y1));
+        }
+        lanes = next;
+    }
+    Ok(lanes[0])
+}
+
+/// Builds one PNM divider chain (paper Fig. 9) programmed with `word`,
+/// returning the clock sink and the merged stream output. Mirrors
+/// `PulseNumberMultiplier::generate_with_times`.
+fn pnm_chain(
+    c: &mut Circuit,
+    prefix: &str,
+    epoch: Epoch,
+    word: u64,
+    variant: PnmVariant,
+) -> Result<(SinkRef, NodeRef), SimError> {
+    let bits = epoch.bits();
+    let mut clk_sink = None;
+    let mut taps = Vec::new();
+    let mut prev_out: Option<NodeRef> = None;
+    for i in 0..bits {
+        let (tap, next): (NodeRef, NodeRef) = match variant {
+            PnmVariant::Uniform => {
+                let tff = c.add(Tff2::new(format!("{prefix}tff2_{i}")));
+                match prev_out {
+                    None => clk_sink = Some(tff.input(Tff2::IN)),
+                    Some(out) => c.connect(out, tff.input(Tff2::IN), Time::ZERO)?,
+                }
+                (tff.output(Tff2::OUT_A), tff.output(Tff2::OUT_B))
+            }
+            PnmVariant::Legacy => {
+                let tff = c.add(Tff::new(format!("{prefix}tff_{i}")));
+                match prev_out {
+                    None => clk_sink = Some(tff.input(Tff::IN)),
+                    Some(out) => c.connect(out, tff.input(Tff::IN), Time::ZERO)?,
+                }
+                // The single-output TFF feeds both its gate and the next
+                // stage: unlike the inline simulation builder, a shipped
+                // netlist must make that fanout physical.
+                let spl = c.add(Splitter::new(format!("{prefix}spl_{i}")));
+                c.connect(tff.output(Tff::OUT), spl.input(Splitter::IN), Time::ZERO)?;
+                (spl.output(Splitter::OUT_A), spl.output(Splitter::OUT_B))
+            }
+        };
+        let bit = (word >> (bits - 1 - i)) & 1 == 1;
+        let gate = if bit {
+            c.add(Ndro::new_set(format!("{prefix}gate_{i}")))
+        } else {
+            c.add(Ndro::new(format!("{prefix}gate_{i}")))
+        };
+        c.connect(tap, gate.input(Ndro::IN_CLK), Time::ZERO)?;
+        taps.push(gate.output(Ndro::OUT_Q));
+        prev_out = Some(next);
+    }
+    // Zero-window confluence tree: tap pulses never coincide by
+    // construction (see `blocks::pnm`).
+    let mut layer = taps;
+    let mut depth = 0;
+    while layer.len() > 1 {
+        let mut next = Vec::new();
+        for (j, pair) in layer.chunks(2).enumerate() {
+            if pair.len() == 2 {
+                let m = c.add(Merger::with_window(
+                    format!("{prefix}mrg{depth}_{j}"),
+                    Time::ZERO,
+                ));
+                c.connect(pair[0], m.input(Merger::IN_A), Time::ZERO)?;
+                c.connect(pair[1], m.input(Merger::IN_B), Time::ZERO)?;
+                next.push(m.output(Merger::OUT));
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        layer = next;
+        depth += 1;
+    }
+    Ok((clk_sink.expect("chain has at least one stage"), layer[0]))
+}
+
+/// The unipolar multiplier (paper Fig. 3c, left): one NDRO gate.
+fn unipolar_multiplier(epoch: Epoch) -> Result<Circuit, SimError> {
+    let _ = epoch;
+    let mut c = Circuit::new();
+    let in_e = c.input("E");
+    let in_b = c.input("B");
+    let in_a = c.input("A");
+    let ndro = c.add(Ndro::new("ndro"));
+    c.connect_input(in_e, ndro.input(Ndro::IN_S), Time::ZERO)?;
+    c.connect_input(in_b, ndro.input(Ndro::IN_R), Time::ZERO)?;
+    c.connect_input(in_a, ndro.input(Ndro::IN_CLK), Time::ZERO)?;
+    let _ = c.probe(ndro.output(Ndro::OUT_Q), "Q");
+    Ok(c)
+}
+
+/// The bipolar multiplier (paper Fig. 3c, right): two NDROs, a clocked
+/// inverter, and the output merger.
+fn bipolar_multiplier(epoch: Epoch) -> Result<Circuit, SimError> {
+    let mut c = Circuit::new();
+    let in_e = c.input("E");
+    let in_b = c.input("B");
+    let in_a = c.input("A");
+    let in_clk = c.input("slot_clk");
+    let ports = BipolarMultiplierPorts::build(&mut c, "mult", epoch)?;
+    c.connect_input(in_a, ports.in_a, Time::ZERO)?;
+    c.connect_input(in_b, ports.in_b, Time::ZERO)?;
+    c.connect_input(in_e, ports.in_e, Time::ZERO)?;
+    c.connect_input(in_clk, ports.in_clk, Time::ZERO)?;
+    let _ = c.probe(ports.out, "OUT");
+    Ok(c)
+}
+
+/// A 4:1 merger-tree adder (paper §4.2-A, Fig. 5).
+fn merger_adder(epoch: Epoch) -> Result<Circuit, SimError> {
+    let _ = epoch;
+    const INPUTS: usize = 4;
+    let mut c = Circuit::new();
+    let inputs: Vec<_> = (0..INPUTS).map(|i| c.input(format!("a{i}"))).collect();
+    let mut layer = Vec::new();
+    for (j, pair) in inputs.chunks(2).enumerate() {
+        let m = c.add(Merger::new(format!("m0_{j}")));
+        c.connect_input(pair[0], m.input(Merger::IN_A), Time::ZERO)?;
+        c.connect_input(pair[1], m.input(Merger::IN_B), Time::ZERO)?;
+        layer.push(m.output(Merger::OUT));
+    }
+    let mut depth = 1;
+    while layer.len() > 1 {
+        let mut next = Vec::new();
+        for (j, pair) in layer.chunks(2).enumerate() {
+            if pair.len() == 2 {
+                let m = c.add(Merger::new(format!("m{depth}_{j}")));
+                c.connect(pair[0], m.input(Merger::IN_A), Time::ZERO)?;
+                c.connect(pair[1], m.input(Merger::IN_B), Time::ZERO)?;
+                next.push(m.output(Merger::OUT));
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        layer = next;
+        depth += 1;
+    }
+    let _ = c.probe(layer[0], "sum");
+    Ok(c)
+}
+
+/// The single-balancer adder (paper §4.2-B): both halves observable.
+fn balancer_adder(epoch: Epoch) -> Result<Circuit, SimError> {
+    let _ = epoch;
+    let mut c = Circuit::new();
+    let a = c.input("a");
+    let b = c.input("b");
+    let bal = c.add(Balancer::new("bal"));
+    c.connect_input(a, bal.input(Balancer::IN_A), Time::ZERO)?;
+    c.connect_input(b, bal.input(Balancer::IN_B), Time::ZERO)?;
+    let _ = c.probe(bal.output(Balancer::OUT_Y1), "y1");
+    let _ = c.probe(bal.output(Balancer::OUT_Y2), "y2");
+    Ok(c)
+}
+
+/// The 4:1 counting network (paper Fig. 6d): input buffers feeding a
+/// balancer tree.
+fn counting_network(epoch: Epoch) -> Result<Circuit, SimError> {
+    let _ = epoch;
+    const WIDTH: usize = 4;
+    let mut c = Circuit::new();
+    let mut lanes = Vec::with_capacity(WIDTH);
+    for i in 0..WIDTH {
+        let input = c.input(format!("a{i}"));
+        let b = c.add(Buffer::new(format!("in{i}"), Time::ZERO));
+        c.connect_input(input, b.input(0), Time::ZERO)?;
+        lanes.push(b.output(0));
+    }
+    let top = balancer_tree(&mut c, lanes, "bal")?;
+    let _ = c.probe(top, "top");
+    Ok(c)
+}
+
+/// A standalone PNM (paper Fig. 9a or 9b) programmed with `word`.
+fn pnm(epoch: Epoch, variant: PnmVariant, word: u64) -> Result<Circuit, SimError> {
+    let mut c = Circuit::new();
+    let clk = c.input("clk");
+    let (clk_sink, out) = pnm_chain(&mut c, "", epoch, word, variant)?;
+    c.connect_input(clk, clk_sink, Time::ZERO)?;
+    let _ = c.probe(out, "out");
+    Ok(c)
+}
+
+/// The B2RC ripple counter chain (paper §4.4.1): TFF stages with
+/// per-stage readout probes.
+fn b2rc(epoch: Epoch) -> Result<Circuit, SimError> {
+    let mut c = Circuit::new();
+    let clk = c.input("clk");
+    let mut prev = None;
+    for i in 0..epoch.bits() {
+        let tff = c.add(Tff::new(format!("t{i}")));
+        match prev {
+            None => c.connect_input(clk, tff.input(Tff::IN), Time::ZERO)?,
+            Some(out) => c.connect(out, tff.input(Tff::IN), Time::ZERO)?,
+        }
+        let _ = c.probe(tff.output(Tff::OUT), format!("s{i}"));
+        prev = Some(tff.output(Tff::OUT));
+    }
+    Ok(c)
+}
+
+/// The processing element's MAC pipeline (paper §5.2, Fig. 13):
+/// multiplier NDRO → balancer adder → RL integrator.
+fn processing_element(epoch: Epoch) -> Result<Circuit, SimError> {
+    let mut c = Circuit::new();
+    let in_e = c.input("E");
+    let in_rl = c.input("in1");
+    let in_a = c.input("in2");
+    let in_b = c.input("in3");
+    let in_epoch_end = c.input("epoch_end");
+    let ndro = c.add(Ndro::new("mult"));
+    let bal = c.add(Balancer::new("add"));
+    let integ = c.add(StreamToRlIntegrator::new("integ", epoch));
+    c.connect_input(in_e, ndro.input(Ndro::IN_S), Time::ZERO)?;
+    c.connect_input(in_rl, ndro.input(Ndro::IN_R), Time::ZERO)?;
+    c.connect_input(in_a, ndro.input(Ndro::IN_CLK), Time::ZERO)?;
+    c.connect(
+        ndro.output(Ndro::OUT_Q),
+        bal.input(Balancer::IN_A),
+        Time::ZERO,
+    )?;
+    c.connect_input(in_b, bal.input(Balancer::IN_B), Time::ZERO)?;
+    c.connect(
+        bal.output(Balancer::OUT_Y1),
+        integ.input(StreamToRlIntegrator::IN),
+        Time::ZERO,
+    )?;
+    c.connect_input(
+        in_epoch_end,
+        integ.input(StreamToRlIntegrator::IN_EPOCH),
+        Time::ZERO,
+    )?;
+    let _ = c.probe(integ.output(StreamToRlIntegrator::OUT), "out");
+    Ok(c)
+}
+
+/// The monolithic 4-lane DPU (paper §5.3, Fig. 15): shared epoch marker
+/// and slot clock distributed through splitter trees, one bipolar
+/// multiplier per lane, balancer counting tree on top.
+fn dpu_monolithic(epoch: Epoch) -> Result<Circuit, SimError> {
+    const LANES: usize = 4;
+    let mut c = Circuit::new();
+    let in_e = c.input("E");
+    let in_clk = c.input("slot_clk");
+    let mut e_sinks = Vec::with_capacity(LANES);
+    let mut clk_sinks = Vec::with_capacity(LANES);
+    let mut lane_outs = Vec::with_capacity(LANES);
+    for i in 0..LANES {
+        let ports = BipolarMultiplierPorts::build(&mut c, &format!("m{i}"), epoch)?;
+        let sa = c.input(format!("a{i}"));
+        let sb = c.input(format!("b{i}"));
+        c.connect_input(sa, ports.in_a, Time::ZERO)?;
+        c.connect_input(sb, ports.in_b, Time::ZERO)?;
+        e_sinks.push(ports.in_e);
+        clk_sinks.push(ports.in_clk);
+        lane_outs.push(ports.out);
+    }
+    distribute(&mut c, in_e, &e_sinks, "e")?;
+    distribute(&mut c, in_clk, &clk_sinks, "clk")?;
+    let top = balancer_tree(&mut c, lane_outs, "bal")?;
+    let _ = c.probe(top, "top");
+    Ok(c)
+}
+
+/// The composed FIR datapath (paper Fig. 17) as **one** monolithic
+/// netlist: a PNM coefficient generator per tap feeding the stream
+/// operand of a per-tap bipolar multiplier gated by the delayed RL
+/// sample, all products accumulated by a balancer counting tree.
+fn structural_fir(epoch: Epoch) -> Result<Circuit, SimError> {
+    // Representative 4-bit coefficient words, one per tap.
+    const WORDS: [u64; 4] = [3, 9, 6, 12];
+    let mut c = Circuit::new();
+    let pnm_clk = c.input("pnm_clk");
+    let in_e = c.input("E");
+    let in_clk = c.input("slot_clk");
+    let mut pnm_sinks = Vec::new();
+    let mut e_sinks = Vec::new();
+    let mut clk_sinks = Vec::new();
+    let mut lane_outs = Vec::new();
+    for (k, &word) in WORDS.iter().enumerate() {
+        let (clk_sink, coeff) = pnm_chain(
+            &mut c,
+            &format!("tap{k}."),
+            epoch,
+            word,
+            PnmVariant::Uniform,
+        )?;
+        pnm_sinks.push(clk_sink);
+        let ports = BipolarMultiplierPorts::build(&mut c, &format!("mult{k}"), epoch)?;
+        c.connect(coeff, ports.in_a, Time::ZERO)?;
+        let x = c.input(format!("x{k}"));
+        c.connect_input(x, ports.in_b, Time::ZERO)?;
+        e_sinks.push(ports.in_e);
+        clk_sinks.push(ports.in_clk);
+        lane_outs.push(ports.out);
+    }
+    distribute(&mut c, pnm_clk, &pnm_sinks, "pnm")?;
+    distribute(&mut c, in_e, &e_sinks, "e")?;
+    distribute(&mut c, in_clk, &clk_sinks, "clk")?;
+    let top = balancer_tree(&mut c, lane_outs, "acc")?;
+    let _ = c.probe(top, "top");
+    Ok(c)
+}
+
+/// Packages a circuit with the uniform analysis envelope: inputs pulse
+/// anywhere in one epoch (`input_window`), and every probe must settle
+/// within twice that window plus a nanosecond of cell-path slack.
+fn package(
+    name: &'static str,
+    summary: &'static str,
+    epoch: Epoch,
+    circuit: Circuit,
+) -> BuiltNetlist {
+    let input_window = epoch.duration();
+    BuiltNetlist {
+        name,
+        summary,
+        circuit,
+        epoch,
+        input_window,
+        epoch_budget: input_window.scale(2) + Time::from_ns(1.0),
+        cycle_allowlist: Vec::new(),
+    }
+}
+
+/// Every structural netlist the crate ships, in paper order.
+///
+/// # Panics
+///
+/// Never in practice: all builders wire statically valid circuits.
+pub fn shipped_netlists() -> Vec<BuiltNetlist> {
+    let e5 = Epoch::from_bits(5).expect("5-bit epoch");
+    let bff4 = Epoch::with_slot(4, usfq_cells::catalog::t_bff()).expect("4-bit balancer epoch");
+    let tff4 = Epoch::with_slot(4, usfq_cells::catalog::t_tff2()).expect("4-bit TFF2 epoch");
+    // The PNM streams a full epoch of clock ticks: its input window is
+    // `N_max · T_CLK` with `T_CLK = B · t_TFF2` (paper §5.4.2).
+    let pnm_epoch =
+        Epoch::with_slot(4, usfq_cells::catalog::t_tff2().scale(4)).expect("4-bit PNM epoch");
+    let fir_epoch = pnm_epoch;
+    let build = |name, summary, epoch, circuit: Result<Circuit, SimError>| {
+        package(
+            name,
+            summary,
+            epoch,
+            circuit.expect("shipped netlist builds"),
+        )
+    };
+    vec![
+        build(
+            "unipolar-multiplier",
+            "RL-gated unipolar multiplier (Fig. 3c left)",
+            e5,
+            unipolar_multiplier(e5),
+        ),
+        build(
+            "bipolar-multiplier",
+            "two-NDRO bipolar multiplier with clocked inverter (Fig. 3c right)",
+            e5,
+            bipolar_multiplier(e5),
+        ),
+        build(
+            "merger-adder",
+            "4:1 merger-tree adder (Fig. 5)",
+            e5,
+            merger_adder(e5),
+        ),
+        build(
+            "balancer-adder",
+            "2:2 balancer adder (Fig. 6)",
+            bff4,
+            balancer_adder(bff4),
+        ),
+        build(
+            "counting-network",
+            "4:1 balancer counting network (Fig. 6d)",
+            bff4,
+            counting_network(bff4),
+        ),
+        build(
+            "pnm-legacy",
+            "pulse-number multiplier, TFF chain (Fig. 9a)",
+            pnm_epoch,
+            pnm(pnm_epoch, PnmVariant::Legacy, 0b0101),
+        ),
+        build(
+            "pnm-uniform",
+            "pulse-number multiplier, TFF2 chain (Fig. 9b)",
+            pnm_epoch,
+            pnm(pnm_epoch, PnmVariant::Uniform, 0b0101),
+        ),
+        build(
+            "b2rc",
+            "binary-to-RL ripple counter chain (§4.4.1)",
+            tff4,
+            b2rc(tff4),
+        ),
+        build(
+            "processing-element",
+            "PE MAC pipeline: multiplier, balancer, integrator (Fig. 13)",
+            bff4,
+            processing_element(bff4),
+        ),
+        build(
+            "dpu-monolithic",
+            "4-lane monolithic dot-product unit (Fig. 15)",
+            bff4,
+            dpu_monolithic(bff4),
+        ),
+        build(
+            "structural-fir",
+            "4-tap composed FIR datapath: PNMs, multipliers, counting tree (Fig. 17)",
+            fir_epoch,
+            structural_fir(fir_epoch),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_is_complete_and_well_formed() {
+        let netlists = shipped_netlists();
+        assert_eq!(netlists.len(), 11);
+        let names: Vec<_> = netlists.iter().map(|n| n.name).collect();
+        for want in [
+            "unipolar-multiplier",
+            "bipolar-multiplier",
+            "merger-adder",
+            "balancer-adder",
+            "counting-network",
+            "pnm-legacy",
+            "pnm-uniform",
+            "b2rc",
+            "processing-element",
+            "dpu-monolithic",
+            "structural-fir",
+        ] {
+            assert!(names.contains(&want), "missing netlist {want}");
+        }
+        for nl in &netlists {
+            assert!(nl.circuit.num_components() > 0, "{} is empty", nl.name);
+            assert!(nl.circuit.num_probes() > 0, "{} has no probes", nl.name);
+            assert!(nl.epoch_budget > nl.input_window, "{} budget", nl.name);
+            assert!(nl.cycle_allowlist.is_empty());
+        }
+    }
+
+    #[test]
+    fn shipped_netlists_honour_single_fanout() {
+        for nl in shipped_netlists() {
+            nl.circuit
+                .assert_single_fanout()
+                .unwrap_or_else(|e| panic!("{}: {e}", nl.name));
+        }
+    }
+
+    #[test]
+    fn fir_netlist_composes_all_three_stages() {
+        let netlists = shipped_netlists();
+        let fir = netlists
+            .iter()
+            .find(|n| n.name == "structural-fir")
+            .unwrap();
+        let names: Vec<String> = fir
+            .circuit
+            .components()
+            .map(|(_, name, _)| name.to_string())
+            .collect();
+        assert!(names.iter().any(|n| n.contains("tff2")), "PNM stage");
+        assert!(
+            names.iter().any(|n| n.contains("ndro_top")),
+            "multiplier stage"
+        );
+        assert!(names.iter().any(|n| n.starts_with("acc")), "counting tree");
+        assert!(
+            names.iter().any(|n| n.starts_with("pnm_spl")),
+            "clock distribution"
+        );
+    }
+
+    #[test]
+    fn dpu_netlist_distributes_shared_signals() {
+        let netlists = shipped_netlists();
+        let dpu = netlists
+            .iter()
+            .find(|n| n.name == "dpu-monolithic")
+            .unwrap();
+        let splitters = dpu
+            .circuit
+            .components()
+            .filter(|(_, name, _)| name.starts_with("e_spl") || name.starts_with("clk_spl"))
+            .count();
+        // Four sinks per shared input → three splitters per tree.
+        assert_eq!(splitters, 6);
+    }
+}

@@ -38,7 +38,10 @@ impl Window {
 /// Panics unless `0 < fc < fs/2` and `taps >= 2`.
 pub fn lowpass_with(window: Window, taps: usize, fc: f64, fs: f64) -> Vec<f64> {
     assert!(taps >= 2, "need at least 2 taps");
-    assert!(fc > 0.0 && fc < fs / 2.0, "cutoff {fc} must be in (0, fs/2)");
+    assert!(
+        fc > 0.0 && fc < fs / 2.0,
+        "cutoff {fc} must be in (0, fs/2)"
+    );
     let mut h = windowed_sinc_with(window, taps, fc, fs);
     let sum: f64 = h.iter().sum();
     for c in &mut h {
@@ -68,7 +71,10 @@ pub fn lowpass(taps: usize, fc: f64, fs: f64) -> Vec<f64> {
 ///
 /// Panics unless `taps` is odd and `>= 3`, and `0 < fc < fs/2`.
 pub fn highpass(taps: usize, fc: f64, fs: f64) -> Vec<f64> {
-    assert!(taps >= 3 && taps % 2 == 1, "high-pass needs an odd tap count");
+    assert!(
+        taps >= 3 && taps % 2 == 1,
+        "high-pass needs an odd tap count"
+    );
     let mut h = lowpass(taps, fc, fs);
     for c in &mut h {
         *c = -*c;
@@ -84,7 +90,10 @@ pub fn highpass(taps: usize, fc: f64, fs: f64) -> Vec<f64> {
 ///
 /// Panics unless `0 < f_lo < f_hi < fs/2` and `taps >= 2`.
 pub fn bandpass(taps: usize, f_lo: f64, f_hi: f64, fs: f64) -> Vec<f64> {
-    assert!(f_lo > 0.0 && f_lo < f_hi && f_hi < fs / 2.0, "need 0 < f_lo < f_hi < fs/2");
+    assert!(
+        f_lo > 0.0 && f_lo < f_hi && f_hi < fs / 2.0,
+        "need 0 < f_lo < f_hi < fs/2"
+    );
     let lo = lowpass(taps, f_lo, fs);
     let hi = lowpass(taps, f_hi, fs);
     hi.iter().zip(&lo).map(|(h, l)| h - l).collect()
@@ -191,7 +200,12 @@ mod tests {
         let blackman = stop(Window::Blackman);
         assert!(blackman < rect / 5.0, "rect {rect}, blackman {blackman}");
         // All windows normalise to unity DC gain.
-        for w in [Window::Rectangular, Window::Hamming, Window::Hann, Window::Blackman] {
+        for w in [
+            Window::Rectangular,
+            Window::Hamming,
+            Window::Hann,
+            Window::Blackman,
+        ] {
             let h = lowpass_with(w, 21, 3_000.0, fs);
             assert!((h.iter().sum::<f64>() - 1.0).abs() < 1e-12, "{w:?}");
         }

@@ -11,7 +11,10 @@ use std::f64::consts::TAU;
 pub fn multi_tone(tones: &[(f64, f64)], fs: f64, n: usize) -> Vec<f64> {
     assert!(fs > 0.0, "sample rate must be positive");
     for &(f, _) in tones {
-        assert!(f >= 0.0 && f < fs / 2.0, "tone {f} Hz violates Nyquist at fs {fs}");
+        assert!(
+            f >= 0.0 && f < fs / 2.0,
+            "tone {f} Hz violates Nyquist at fs {fs}"
+        );
     }
     (0..n)
         .map(|i| {

@@ -68,7 +68,10 @@ pub fn dft(signal: &[f64]) -> Vec<Complex> {
 /// Panics unless the length is a power of two.
 pub fn fft(signal: &[f64]) -> Vec<Complex> {
     let n = signal.len();
-    assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+    assert!(
+        n.is_power_of_two(),
+        "FFT length must be a power of two, got {n}"
+    );
     let mut buf: Vec<Complex> = signal.iter().map(|&x| Complex::new(x, 0.0)).collect();
     // Bit-reversal permutation.
     let bits = n.trailing_zeros();
@@ -189,7 +192,9 @@ mod tests {
 
     #[test]
     fn parseval_energy_conservation() {
-        let x: Vec<f64> = (0..128).map(|i| ((i * 7 % 13) as f64 - 6.0) / 6.0).collect();
+        let x: Vec<f64> = (0..128)
+            .map(|i| ((i * 7 % 13) as f64 - 6.0) / 6.0)
+            .collect();
         let time_energy: f64 = x.iter().map(|v| v * v).sum();
         let freq_energy: f64 =
             fft(&x).iter().map(|c| c.abs() * c.abs()).sum::<f64>() / x.len() as f64;

@@ -34,7 +34,10 @@ impl fmt::Display for EncodingError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EncodingError::OutOfRange { value, min, max } => {
-                write!(f, "value {value} outside representable range [{min}, {max}]")
+                write!(
+                    f,
+                    "value {value} outside representable range [{min}, {max}]"
+                )
             }
             EncodingError::UnsupportedBits { bits } => {
                 write!(f, "resolution of {bits} bits outside supported 1..=24")
@@ -55,7 +58,12 @@ mod tests {
     #[test]
     fn display() {
         assert_eq!(
-            EncodingError::OutOfRange { value: 1.5, min: 0.0, max: 1.0 }.to_string(),
+            EncodingError::OutOfRange {
+                value: 1.5,
+                min: 0.0,
+                max: 1.0
+            }
+            .to_string(),
             "value 1.5 outside representable range [0, 1]"
         );
         assert_eq!(
@@ -63,7 +71,11 @@ mod tests {
             "resolution of 40 bits outside supported 1..=24"
         );
         assert_eq!(
-            EncodingError::SlotOutOfEpoch { slot: 20, n_max: 16 }.to_string(),
+            EncodingError::SlotOutOfEpoch {
+                slot: 20,
+                n_max: 16
+            }
+            .to_string(),
             "slot 20 outside epoch of 16 slots"
         );
     }

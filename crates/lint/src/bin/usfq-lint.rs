@@ -1,0 +1,73 @@
+//! Lints every shipped U-SFQ structural netlist (or a named subset).
+//!
+//! ```text
+//! usfq-lint [--json] [NETLIST...]
+//! ```
+//!
+//! Exits non-zero if any analyzed netlist has error-severity findings.
+
+use std::io::Write;
+use std::process::ExitCode;
+
+use usfq_core::netlists::shipped_netlists;
+use usfq_lint::lint_netlist;
+
+/// Writes to stdout, exiting quietly if the reader closed the pipe
+/// (`usfq-lint | head` must not panic).
+fn emit(text: &str) {
+    if std::io::stdout().write_all(text.as_bytes()).is_err() {
+        std::process::exit(0);
+    }
+}
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut names: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--help" | "-h" => {
+                let mut usage = String::from("usage: usfq-lint [--json] [NETLIST...]\n");
+                usage.push_str("\nshipped netlists:\n");
+                for nl in shipped_netlists() {
+                    usage.push_str(&format!("  {:<24} {}\n", nl.name, nl.summary));
+                }
+                emit(&usage);
+                return ExitCode::SUCCESS;
+            }
+            other => names.push(other.to_string()),
+        }
+    }
+
+    let catalogue = shipped_netlists();
+    for name in &names {
+        if !catalogue.iter().any(|nl| nl.name == name) {
+            eprintln!("usfq-lint: unknown netlist `{name}` (see --help)");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let mut failed = false;
+    let mut json_parts = Vec::new();
+    for netlist in &catalogue {
+        if !names.is_empty() && !names.iter().any(|n| n == netlist.name) {
+            continue;
+        }
+        let report = lint_netlist(netlist);
+        failed |= report.has_errors();
+        if json {
+            json_parts.push(report.to_json());
+        } else {
+            emit(&report.render_text());
+        }
+    }
+    if json {
+        emit(&format!("[{}]\n", json_parts.join(",")));
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

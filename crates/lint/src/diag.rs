@@ -1,0 +1,325 @@
+//! Diagnostics: stable codes, severities, and report rendering.
+
+use std::fmt;
+
+/// Every check the analyzer performs, with a stable `USFQxxx` code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[non_exhaustive]
+pub enum Code {
+    /// `USFQ001` — an output (or external input) drives more than one
+    /// sink without a splitter tree.
+    FanoutViolation,
+    /// `USFQ002` — a component input port has no driver.
+    UnconnectedInput,
+    /// `USFQ003` — a component is unreachable from every external input.
+    UnreachableComponent,
+    /// `USFQ004` — a probe taps a component that can never fire.
+    DanglingProbe,
+    /// `USFQ005` — a feedback loop not covered by the cycle allowlist.
+    CombinationalCycle,
+    /// `USFQ006` — two merger inputs can arrive within the collision
+    /// window (paper Fig. 5 pulse loss).
+    MergerCollision,
+    /// `USFQ007` — a setup/transition race: a sampled or paired input
+    /// can arrive inside another input's hazard window (§4.2 balancer
+    /// transitions, NDRO/inverter setup).
+    SetupRace,
+    /// `USFQ008` — a probe's worst-case settling time exceeds the epoch
+    /// budget.
+    BudgetExceeded,
+    /// `USFQ009` — a component's JJ count disagrees with the cell
+    /// catalog entry for its kind.
+    JjMismatch,
+    /// `USFQ010` — timing analysis was skipped for components on or
+    /// downstream of an (allowlisted) cycle.
+    TimingSkipped,
+}
+
+impl Code {
+    /// The stable textual code, e.g. `"USFQ006"`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::FanoutViolation => "USFQ001",
+            Code::UnconnectedInput => "USFQ002",
+            Code::UnreachableComponent => "USFQ003",
+            Code::DanglingProbe => "USFQ004",
+            Code::CombinationalCycle => "USFQ005",
+            Code::MergerCollision => "USFQ006",
+            Code::SetupRace => "USFQ007",
+            Code::BudgetExceeded => "USFQ008",
+            Code::JjMismatch => "USFQ009",
+            Code::TimingSkipped => "USFQ010",
+        }
+    }
+
+    /// The severity this code is reported at.
+    pub fn severity(self) -> Severity {
+        match self {
+            Code::FanoutViolation
+            | Code::CombinationalCycle
+            | Code::BudgetExceeded
+            | Code::JjMismatch => Severity::Error,
+            Code::UnconnectedInput
+            | Code::UnreachableComponent
+            | Code::DanglingProbe
+            | Code::MergerCollision
+            | Code::SetupRace => Severity::Warning,
+            Code::TimingSkipped => Severity::Info,
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// How serious a finding is. Ordered: `Info < Warning < Error`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational note; never fails a run.
+    Info,
+    /// Suspicious but possibly intended (e.g. init-time NDRO ports).
+    Warning,
+    /// A defect: the netlist is rejected.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case label used in both renderings.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One finding, anchored to a component (or input/probe) path when one
+/// exists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The check that fired.
+    pub code: Code,
+    /// Severity (always `code.severity()`).
+    pub severity: Severity,
+    /// The offending component/input/probe name, if localized.
+    pub component: Option<String>,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic for `code` at its default severity.
+    pub fn new(code: Code, component: Option<String>, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: code.severity(),
+            component,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}]", self.severity, self.code)?;
+        if let Some(c) = &self.component {
+            write!(f, " `{c}`")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// The outcome of linting one netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintReport {
+    /// Name of the analyzed netlist.
+    pub netlist: String,
+    /// All findings, most severe first.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// Creates a report, sorting findings by descending severity, then
+    /// code, then component path.
+    pub fn new(netlist: impl Into<String>, mut diagnostics: Vec<Diagnostic>) -> Self {
+        diagnostics.sort_by(|a, b| {
+            b.severity
+                .cmp(&a.severity)
+                .then(a.code.cmp(&b.code))
+                .then(a.component.cmp(&b.component))
+                .then(a.message.cmp(&b.message))
+        });
+        LintReport {
+            netlist: netlist.into(),
+            diagnostics,
+        }
+    }
+
+    /// True if any finding is an error.
+    pub fn has_errors(&self) -> bool {
+        self.error_count() > 0
+    }
+
+    /// Number of error-severity findings.
+    pub fn error_count(&self) -> usize {
+        self.count_severity(Severity::Error)
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warning_count(&self) -> usize {
+        self.count_severity(Severity::Warning)
+    }
+
+    fn count_severity(&self, s: Severity) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == s).count()
+    }
+
+    /// Number of findings with the given code.
+    pub fn count(&self, code: Code) -> usize {
+        self.diagnostics.iter().filter(|d| d.code == code).count()
+    }
+
+    /// Whether a code fired at all.
+    pub fn has(&self, code: Code) -> bool {
+        self.count(code) > 0
+    }
+
+    /// Human-readable rendering, one finding per line.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}: {} error(s), {} warning(s), {} finding(s)",
+            self.netlist,
+            self.error_count(),
+            self.warning_count(),
+            self.diagnostics.len()
+        );
+        for d in &self.diagnostics {
+            let _ = writeln!(out, "  {d}");
+        }
+        out
+    }
+
+    /// JSON rendering (hand-rolled: the analyzer carries no serializer
+    /// dependency).
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"netlist\":\"{}\",\"errors\":{},\"warnings\":{},\"diagnostics\":[",
+            escape_json(&self.netlist),
+            self.error_count(),
+            self.warning_count()
+        );
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"code\":\"{}\",\"severity\":\"{}\",\"component\":",
+                d.code, d.severity
+            );
+            match &d.component {
+                Some(c) => {
+                    let _ = write!(out, "\"{}\"", escape_json(c));
+                }
+                None => out.push_str("null"),
+            }
+            let _ = write!(out, ",\"message\":\"{}\"}}", escape_json(&d.message));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_ordered() {
+        assert_eq!(Code::FanoutViolation.as_str(), "USFQ001");
+        assert_eq!(Code::TimingSkipped.as_str(), "USFQ010");
+        assert!(Severity::Info < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+    }
+
+    #[test]
+    fn report_sorts_and_counts() {
+        let report = LintReport::new(
+            "t",
+            vec![
+                Diagnostic::new(Code::TimingSkipped, None, "skipped"),
+                Diagnostic::new(Code::FanoutViolation, Some("m".into()), "fanout"),
+                Diagnostic::new(Code::MergerCollision, Some("m".into()), "collision"),
+            ],
+        );
+        assert_eq!(report.diagnostics[0].code, Code::FanoutViolation);
+        assert!(report.has_errors());
+        assert_eq!(report.error_count(), 1);
+        assert_eq!(report.warning_count(), 1);
+        assert!(report.has(Code::TimingSkipped));
+        assert_eq!(report.count(Code::BudgetExceeded), 0);
+    }
+
+    #[test]
+    fn text_rendering_lists_findings() {
+        let report = LintReport::new(
+            "demo",
+            vec![Diagnostic::new(
+                Code::UnconnectedInput,
+                Some("ndro".into()),
+                "input 1 has no driver",
+            )],
+        );
+        let text = report.render_text();
+        assert!(text.contains("demo: 0 error(s), 1 warning(s)"));
+        assert!(text.contains("warning [USFQ002] `ndro`: input 1 has no driver"));
+    }
+
+    #[test]
+    fn json_rendering_escapes() {
+        let report = LintReport::new(
+            "d\"q",
+            vec![Diagnostic::new(Code::JjMismatch, None, "line\nbreak")],
+        );
+        let json = report.to_json();
+        assert!(json.contains("\"netlist\":\"d\\\"q\""));
+        assert!(json.contains("\"component\":null"));
+        assert!(json.contains("line\\nbreak"));
+        assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+}

@@ -1,0 +1,112 @@
+//! # usfq-lint — static netlist analysis for U-SFQ circuits
+//!
+//! Analyzes any [`usfq_sim::Circuit`] *without simulating it*:
+//!
+//! 1. **Structural checks** — single-fanout legality (`USFQ001`),
+//!    unconnected input ports (`USFQ002`), components unreachable from
+//!    every external input (`USFQ003`), probes on dead logic
+//!    (`USFQ004`), feedback loops outside an explicit allowlist
+//!    (`USFQ005`), and JJ counts that disagree with the cell catalog
+//!    (`USFQ009`).
+//! 2. **Static timing** — propagates conservative `[min, max]`
+//!    pulse-arrival windows from the inputs through wire and cell
+//!    delays, then flags merger collision-window overlaps (`USFQ006`),
+//!    balancer-transition and NDRO/inverter setup races (`USFQ007`),
+//!    and probes whose worst-case settling time blows the epoch budget
+//!    (`USFQ008`).
+//!
+//! Findings carry stable codes and render as text or JSON; see
+//! [`LintReport`]. The `usfq-lint` binary runs the analyzer over every
+//! netlist shipped in [`usfq_core::netlists`].
+//!
+//! ```
+//! use usfq_lint::lint_netlist;
+//!
+//! for netlist in usfq_core::netlists::shipped_netlists() {
+//!     let report = lint_netlist(&netlist);
+//!     assert!(!report.has_errors(), "{}", report.render_text());
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod checks;
+mod diag;
+mod graph;
+mod timing;
+
+pub use diag::{Code, Diagnostic, LintReport, Severity};
+
+use usfq_core::netlists::BuiltNetlist;
+use usfq_sim::{Circuit, Time};
+
+/// The operating envelope a circuit is analyzed under.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintConfig {
+    /// Every external input pulses at most once, somewhere in
+    /// `[0, input_window]`.
+    pub input_window: Time,
+    /// If set, the latest pulse at any probe must not exceed this
+    /// budget (`USFQ008` otherwise).
+    pub epoch_budget: Option<Time>,
+    /// Name substrings marking components allowed to sit on feedback
+    /// loops. A cycle is tolerated (timing merely skipped, `USFQ010`)
+    /// only when every member matches; otherwise it is a `USFQ005`
+    /// error.
+    pub cycle_allowlist: Vec<String>,
+}
+
+impl Default for LintConfig {
+    fn default() -> Self {
+        LintConfig {
+            input_window: Time::ZERO,
+            epoch_budget: None,
+            cycle_allowlist: Vec::new(),
+        }
+    }
+}
+
+/// Runs every check on `circuit` under `config`.
+pub fn lint(circuit: &Circuit, name: &str, config: &LintConfig) -> LintReport {
+    let g = graph::Graph::build(circuit);
+    let mut diags = Vec::new();
+    checks::fanout(circuit, &mut diags);
+    checks::unconnected_inputs(&g, &mut diags);
+    checks::reachability(&g, &mut diags);
+    checks::jj_accounting(&g, &mut diags);
+    let cyclic = checks::cycles(&g, &config.cycle_allowlist, &mut diags);
+    timing::analyze(&g, &cyclic, config, &mut diags);
+    LintReport::new(name, diags)
+}
+
+/// Lints a shipped netlist under its own operating envelope.
+pub fn lint_netlist(netlist: &BuiltNetlist) -> LintReport {
+    lint(
+        &netlist.circuit,
+        netlist.name,
+        &LintConfig {
+            input_window: netlist.input_window,
+            epoch_budget: Some(netlist.epoch_budget),
+            cycle_allowlist: netlist.cycle_allowlist.clone(),
+        },
+    )
+}
+
+/// The static `[min, max]` arrival window of every probe, in probe
+/// order. `None` when the probe's source is on or downstream of a
+/// feedback loop, or can never fire at all.
+///
+/// This is the analyzer's soundness contract: for any single pulse per
+/// input inside `[0, config.input_window]`, every simulated arrival at
+/// a probe falls inside the window reported here. The test suite
+/// property-checks that claim against the event simulator.
+pub fn probe_windows(
+    circuit: &Circuit,
+    config: &LintConfig,
+) -> Vec<(String, Option<(Time, Time)>)> {
+    let g = graph::Graph::build(circuit);
+    let mut scratch = Vec::new();
+    let cyclic = checks::cycles(&g, &config.cycle_allowlist, &mut scratch);
+    timing::analyze(&g, &cyclic, config, &mut scratch).probe_windows
+}

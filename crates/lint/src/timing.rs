@@ -1,0 +1,293 @@
+//! Conservative static timing: propagate `[min, max]` pulse-arrival
+//! windows from the external inputs through wire and cell delays, then
+//! test each component's declared hazards against the windows reaching
+//! its input ports.
+//!
+//! The analysis is *sound* for acyclic pulse logic under the envelope
+//! assumption (every external input pulses at most once, somewhere in
+//! `[0, input_window]`): a simulated pulse can only ever arrive inside
+//! the static window computed here — the soundness test suite checks
+//! exactly that against the event simulator. It is deliberately
+//! *incomplete*: windows overlapping does not prove two pulses really
+//! collide, which is why hazard findings are warnings, not errors.
+
+use usfq_sim::component::Hazard;
+use usfq_sim::{ProbeSource, Time};
+
+use crate::diag::{Code, Diagnostic};
+use crate::graph::{Driver, Graph};
+use crate::LintConfig;
+
+/// A closed arrival interval `[min, max]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Window {
+    pub min: Time,
+    pub max: Time,
+}
+
+impl Window {
+    fn union(self, other: Window) -> Window {
+        Window {
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
+    }
+
+    fn shift(self, delay: Time) -> Window {
+        Window {
+            min: self.min + delay,
+            max: self.max + delay,
+        }
+    }
+
+    /// Can a pulse in `self` land within `margin` of a pulse in `other`?
+    fn within(self, other: Window, margin: Time) -> bool {
+        self.min <= other.max + margin && other.min <= self.max + margin
+    }
+}
+
+/// Everything the timing pass derived, for callers beyond diagnostics.
+pub(crate) struct TimingResult {
+    /// Per probe: `(name, arrival window)`. `None` when the probe's
+    /// source is skipped (cyclic region) or can never fire.
+    pub probe_windows: Vec<(String, Option<(Time, Time)>)>,
+}
+
+/// Runs the pass; `cyclic[c]` marks components on a feedback loop.
+pub(crate) fn analyze(
+    g: &Graph,
+    cyclic: &[bool],
+    cfg: &LintConfig,
+    diags: &mut Vec<Diagnostic>,
+) -> TimingResult {
+    // Timing is skipped on every cyclic component and everything it
+    // feeds: their windows are unbounded.
+    let mut skipped: Vec<bool> = cyclic.to_vec();
+    let mut stack: Vec<usize> = (0..g.len()).filter(|&c| cyclic[c]).collect();
+    while let Some(c) = stack.pop() {
+        for &s in &g.succs[c] {
+            if !skipped[s] {
+                skipped[s] = true;
+                stack.push(s);
+            }
+        }
+    }
+    let n_skipped = skipped.iter().filter(|&&s| s).count();
+    if n_skipped > 0 {
+        diags.push(Diagnostic::new(
+            Code::TimingSkipped,
+            None,
+            format!(
+                "{n_skipped} component(s) sit on or downstream of a feedback \
+                 loop; arrival windows and hazard checks do not cover them"
+            ),
+        ));
+    }
+
+    let input_window = Window {
+        min: Time::ZERO,
+        max: cfg.input_window,
+    };
+
+    // Kahn topological order over the acyclic (non-skipped) region.
+    // Every driver of a non-skipped component is either an external
+    // input or another non-skipped component, so in-degrees close.
+    let mut indegree = vec![0usize; g.len()];
+    for c in 0..g.len() {
+        if skipped[c] {
+            continue;
+        }
+        indegree[c] = g.drivers[c]
+            .iter()
+            .flatten()
+            .filter(|d| matches!(d, Driver::Comp(..)))
+            .count();
+    }
+    let mut order: Vec<usize> = (0..g.len())
+        .filter(|&c| !skipped[c] && indegree[c] == 0)
+        .collect();
+    let mut head = 0;
+    while head < order.len() {
+        let c = order[head];
+        head += 1;
+        for &s in &g.succs[c] {
+            if skipped[s] {
+                continue;
+            }
+            indegree[s] -= 1;
+            if indegree[s] == 0 {
+                order.push(s);
+            }
+        }
+    }
+
+    // Forward propagation. `out_window[c]` is the window in which `c`
+    // can emit a pulse; `None` means it can never fire.
+    let mut out_window: Vec<Option<Window>> = vec![None; g.len()];
+    let mut port_windows: Vec<Vec<Option<Window>>> = g
+        .drivers
+        .iter()
+        .map(|ports| vec![None; ports.len()])
+        .collect();
+    for &c in &order {
+        for (port, drvs) in g.drivers[c].iter().enumerate() {
+            for d in drvs {
+                let arriving = match *d {
+                    Driver::Input(_, delay) => Some(input_window.shift(delay)),
+                    Driver::Comp(src, delay) => out_window[src].map(|w| w.shift(delay)),
+                };
+                if let Some(w) = arriving {
+                    port_windows[c][port] =
+                        Some(port_windows[c][port].map_or(w, |cur| cur.union(w)));
+                }
+            }
+        }
+        let driven = port_windows[c]
+            .iter()
+            .flatten()
+            .copied()
+            .reduce(Window::union);
+        out_window[c] = driven.map(|w| Window {
+            min: w.min + g.meta[c].min_delay,
+            max: w.max + g.meta[c].max_delay,
+        });
+    }
+
+    // Hazard checks on the covered region.
+    for c in 0..g.len() {
+        if skipped[c] {
+            continue;
+        }
+        for hazard in &g.meta[c].hazards {
+            check_hazard(g, c, hazard, &port_windows[c], diags);
+        }
+    }
+
+    // Budget check and probe windows.
+    let mut probe_windows = Vec::with_capacity(g.probes.len());
+    for (name, source) in &g.probes {
+        let window = match source {
+            ProbeSource::Input(_) => Some((Time::ZERO, cfg.input_window)),
+            ProbeSource::Output(comp, _) => {
+                let c = comp.index();
+                if skipped[c] {
+                    None
+                } else {
+                    out_window[c].map(|w| (w.min, w.max))
+                }
+            }
+        };
+        if let (Some(budget), Some((_, max))) = (cfg.epoch_budget, window) {
+            if max > budget {
+                diags.push(Diagnostic::new(
+                    Code::BudgetExceeded,
+                    Some(name.clone()),
+                    format!(
+                        "worst-case arrival at this probe is {:.1} ps, past \
+                         the {:.1} ps epoch budget",
+                        max.as_ps(),
+                        budget.as_ps()
+                    ),
+                ));
+            }
+        }
+        probe_windows.push((name.clone(), window));
+    }
+
+    TimingResult { probe_windows }
+}
+
+fn check_hazard(
+    g: &Graph,
+    c: usize,
+    hazard: &Hazard,
+    ports: &[Option<Window>],
+    diags: &mut Vec<Diagnostic>,
+) {
+    match *hazard {
+        Hazard::Collision { window } => {
+            // A zero-width window models ideal confluence: no possible
+            // collision, nothing to check.
+            if window == Time::ZERO {
+                return;
+            }
+            for_each_overlap(ports, window, |a, b| {
+                diags.push(Diagnostic::new(
+                    Code::MergerCollision,
+                    Some(g.names[c].clone()),
+                    format!(
+                        "pulses on input ports {a} and {b} can arrive within \
+                         the {:.1} ps collision window of this {}; one pulse \
+                         may be silently dropped",
+                        window.as_ps(),
+                        g.meta[c].kind
+                    ),
+                ));
+            });
+        }
+        Hazard::Transition { window } => {
+            for_each_overlap(ports, window, |a, b| {
+                diags.push(Diagnostic::new(
+                    Code::SetupRace,
+                    Some(g.names[c].clone()),
+                    format!(
+                        "pulses on input ports {a} and {b} can land within \
+                         the {:.1} ps internal-transition window of this {}; \
+                         the second pulse may be misrouted",
+                        window.as_ps(),
+                        g.meta[c].kind
+                    ),
+                ));
+            });
+        }
+        Hazard::Setup {
+            control,
+            sampled,
+            window,
+        } => {
+            let (Some(ctrl), Some(smp)) = (
+                ports.get(control).copied().flatten(),
+                ports.get(sampled).copied().flatten(),
+            ) else {
+                return;
+            };
+            // The sampling pulse must not land while the control state
+            // is still settling: [ctrl.min, ctrl.max + window] must not
+            // intersect [smp.min, smp.max].
+            let settling = Window {
+                min: ctrl.min,
+                max: ctrl.max + window,
+            };
+            if settling.within(smp, Time::ZERO) {
+                diags.push(Diagnostic::new(
+                    Code::SetupRace,
+                    Some(g.names[c].clone()),
+                    format!(
+                        "input port {sampled} can sample this {} while port \
+                         {control} is still settling (needs {:.1} ps of \
+                         setup)",
+                        g.meta[c].kind,
+                        window.as_ps()
+                    ),
+                ));
+            }
+        }
+        // `Hazard` is non-exhaustive: unknown future hazards are not
+        // checkable here and must not crash the analyzer.
+        _ => {}
+    }
+}
+
+/// Invokes `hit(a, b)` for every pair of driven ports whose windows can
+/// produce pulses within `margin` of each other.
+fn for_each_overlap(ports: &[Option<Window>], margin: Time, mut hit: impl FnMut(usize, usize)) {
+    for a in 0..ports.len() {
+        let Some(wa) = ports[a] else { continue };
+        for (b, wb) in ports.iter().enumerate().skip(a + 1) {
+            let Some(wb) = *wb else { continue };
+            if wa.within(wb, margin) {
+                hit(a, b);
+            }
+        }
+    }
+}

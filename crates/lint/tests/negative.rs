@@ -1,0 +1,323 @@
+//! Every lint check must fire on a circuit seeded with exactly that
+//! defect — and stay quiet on a clean one.
+
+use usfq_cells::{Balancer, Jtl, Merger, Ndro};
+use usfq_lint::{lint, lint_netlist, probe_windows, Code, LintConfig};
+use usfq_sim::component::{Component, Ctx, StaticMeta};
+use usfq_sim::{Circuit, Time};
+
+fn ps(v: f64) -> Time {
+    Time::from_ps(v)
+}
+
+fn window_config(input_window: Time) -> LintConfig {
+    LintConfig {
+        input_window,
+        ..LintConfig::default()
+    }
+}
+
+#[test]
+fn clean_chain_reports_nothing() {
+    let mut c = Circuit::new();
+    let input = c.input("in");
+    let j = c.add(Jtl::new("j"));
+    c.connect_input(input, j.input(0), Time::ZERO).unwrap();
+    c.probe(j.output(0), "out");
+
+    let report = lint(&c, "clean", &LintConfig::default());
+    assert!(
+        report.diagnostics.is_empty(),
+        "unexpected findings:\n{}",
+        report.render_text()
+    );
+}
+
+#[test]
+fn usfq001_fires_on_unsplit_fanout() {
+    let mut c = Circuit::new();
+    let input = c.input("in");
+    let src = c.add(Jtl::new("src"));
+    let a = c.add(Jtl::new("a"));
+    let b = c.add(Jtl::new("b"));
+    c.connect_input(input, src.input(0), Time::ZERO).unwrap();
+    // Electrical fan-out without a splitter: illegal in physical RSFQ.
+    c.connect(src.output(0), a.input(0), Time::ZERO).unwrap();
+    c.connect(src.output(0), b.input(0), Time::ZERO).unwrap();
+
+    let report = lint(&c, "fanout", &LintConfig::default());
+    assert!(report.has(Code::FanoutViolation));
+    assert!(report.has_errors());
+    let diag = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == Code::FanoutViolation)
+        .unwrap();
+    assert_eq!(diag.component.as_deref(), Some("src"));
+    assert!(diag.message.contains("2 sinks"));
+}
+
+#[test]
+fn usfq002_fires_on_floating_input_port() {
+    let mut c = Circuit::new();
+    let input = c.input("in");
+    let m = c.add(Merger::with_window("m", Time::ZERO));
+    // Only IN_A is wired; IN_B floats.
+    c.connect_input(input, m.input(Merger::IN_A), Time::ZERO)
+        .unwrap();
+    c.probe(m.output(Merger::OUT), "out");
+
+    let report = lint(&c, "floating", &LintConfig::default());
+    assert!(report.has(Code::UnconnectedInput));
+    assert!(!report.has_errors(), "USFQ002 is a warning, not an error");
+}
+
+#[test]
+fn usfq003_and_usfq004_fire_on_dead_logic() {
+    let mut c = Circuit::new();
+    let input = c.input("in");
+    let live = c.add(Jtl::new("live"));
+    c.connect_input(input, live.input(0), Time::ZERO).unwrap();
+    c.probe(live.output(0), "ok");
+    // An island no input reaches, with a probe on it.
+    let dead = c.add(Jtl::new("dead"));
+    c.probe(dead.output(0), "silent");
+
+    let report = lint(&c, "dead", &LintConfig::default());
+    assert!(report.has(Code::UnreachableComponent));
+    assert!(report.has(Code::DanglingProbe));
+    let dangling = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == Code::DanglingProbe)
+        .unwrap();
+    assert_eq!(dangling.component.as_deref(), Some("silent"));
+}
+
+#[test]
+fn usfq005_fires_on_unallowlisted_cycle() {
+    let mut c = Circuit::new();
+    let input = c.input("in");
+    let m = c.add(Merger::with_window("m", Time::ZERO));
+    let j = c.add(Jtl::new("j"));
+    c.connect_input(input, m.input(Merger::IN_A), Time::ZERO)
+        .unwrap();
+    c.connect(m.output(Merger::OUT), j.input(0), Time::ZERO)
+        .unwrap();
+    // Feedback: the JTL re-enters the merger.
+    c.connect(j.output(0), m.input(Merger::IN_B), Time::ZERO)
+        .unwrap();
+    c.probe(j.output(0), "out");
+
+    let report = lint(&c, "cycle", &LintConfig::default());
+    assert!(report.has(Code::CombinationalCycle));
+    assert!(report.has_errors());
+    let diag = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == Code::CombinationalCycle)
+        .unwrap();
+    assert!(diag.message.contains('j') && diag.message.contains('m'));
+}
+
+#[test]
+fn usfq010_allowlisted_cycle_downgrades_to_skipped_timing() {
+    let mut c = Circuit::new();
+    let input = c.input("in");
+    let m = c.add(Merger::with_window("ring_m", Time::ZERO));
+    let j = c.add(Jtl::new("ring_j"));
+    c.connect_input(input, m.input(Merger::IN_A), Time::ZERO)
+        .unwrap();
+    c.connect(m.output(Merger::OUT), j.input(0), Time::ZERO)
+        .unwrap();
+    c.connect(j.output(0), m.input(Merger::IN_B), Time::ZERO)
+        .unwrap();
+    c.probe(j.output(0), "out");
+
+    let config = LintConfig {
+        cycle_allowlist: vec!["ring".to_string()],
+        ..LintConfig::default()
+    };
+    let report = lint(&c, "ring", &config);
+    assert!(!report.has(Code::CombinationalCycle));
+    assert!(report.has(Code::TimingSkipped));
+    assert!(!report.has_errors());
+
+    // The probe sits on the ring: its arrival window is unknowable.
+    let windows = probe_windows(&c, &config);
+    assert_eq!(windows.len(), 1);
+    assert_eq!(windows[0], ("out".to_string(), None));
+}
+
+#[test]
+fn usfq006_fires_on_overlapping_merger_inputs() {
+    let mut c = Circuit::new();
+    let a = c.input("a");
+    let b = c.input("b");
+    let m = c.add(Merger::new("m")); // real t_merger collision window
+    c.connect_input(a, m.input(Merger::IN_A), Time::ZERO)
+        .unwrap();
+    c.connect_input(b, m.input(Merger::IN_B), Time::ZERO)
+        .unwrap();
+    c.probe(m.output(Merger::OUT), "out");
+
+    // Both inputs can pulse anywhere in [0, 100 ps]: windows overlap.
+    let report = lint(&c, "collision", &window_config(ps(100.0)));
+    assert!(report.has(Code::MergerCollision));
+    assert!(!report.has_errors(), "hazards are warnings");
+
+    // An ideal (zero-window) merger cannot collide.
+    let mut c2 = Circuit::new();
+    let a2 = c2.input("a");
+    let b2 = c2.input("b");
+    let m2 = c2.add(Merger::with_window("m", Time::ZERO));
+    c2.connect_input(a2, m2.input(Merger::IN_A), Time::ZERO)
+        .unwrap();
+    c2.connect_input(b2, m2.input(Merger::IN_B), Time::ZERO)
+        .unwrap();
+    c2.probe(m2.output(Merger::OUT), "out");
+    let report2 = lint(&c2, "ideal", &window_config(ps(100.0)));
+    assert!(!report2.has(Code::MergerCollision));
+}
+
+#[test]
+fn usfq007_fires_on_balancer_transition_overlap() {
+    let mut c = Circuit::new();
+    let a = c.input("a");
+    let b = c.input("b");
+    let bal = c.add(Balancer::new("bal"));
+    c.connect_input(a, bal.input(Balancer::IN_A), Time::ZERO)
+        .unwrap();
+    c.connect_input(b, bal.input(Balancer::IN_B), Time::ZERO)
+        .unwrap();
+    c.probe(bal.output(Balancer::OUT_Y1), "y1");
+    c.probe(bal.output(Balancer::OUT_Y2), "y2");
+
+    let report = lint(&c, "transition", &window_config(ps(50.0)));
+    assert!(report.has(Code::SetupRace));
+    assert!(!report.has_errors());
+}
+
+#[test]
+fn usfq007_fires_on_ndro_setup_race_and_respects_separation() {
+    // Racy: set and clock windows overlap.
+    let mut c = Circuit::new();
+    let s = c.input("s");
+    let r = c.input("r");
+    let clk = c.input("clk");
+    let n = c.add(Ndro::new("n"));
+    c.connect_input(s, n.input(Ndro::IN_S), Time::ZERO).unwrap();
+    c.connect_input(r, n.input(Ndro::IN_R), Time::ZERO).unwrap();
+    c.connect_input(clk, n.input(Ndro::IN_CLK), Time::ZERO)
+        .unwrap();
+    c.probe(n.output(Ndro::OUT_Q), "q");
+    let report = lint(&c, "race", &window_config(ps(20.0)));
+    assert!(report.has(Code::SetupRace));
+
+    // Safe: the clock wire delay pushes sampling far past settling.
+    let mut c2 = Circuit::new();
+    let s2 = c2.input("s");
+    let r2 = c2.input("r");
+    let clk2 = c2.input("clk");
+    let n2 = c2.add(Ndro::new("n"));
+    c2.connect_input(s2, n2.input(Ndro::IN_S), Time::ZERO)
+        .unwrap();
+    c2.connect_input(r2, n2.input(Ndro::IN_R), Time::ZERO)
+        .unwrap();
+    c2.connect_input(clk2, n2.input(Ndro::IN_CLK), ps(500.0))
+        .unwrap();
+    c2.probe(n2.output(Ndro::OUT_Q), "q");
+    let report2 = lint(&c2, "separated", &window_config(ps(20.0)));
+    assert!(!report2.has(Code::SetupRace));
+}
+
+#[test]
+fn usfq008_fires_when_arrival_exceeds_budget() {
+    let mut c = Circuit::new();
+    let input = c.input("in");
+    let j = c.add(Jtl::new("j"));
+    c.connect_input(input, j.input(0), Time::ZERO).unwrap();
+    c.probe(j.output(0), "out");
+
+    let config = LintConfig {
+        input_window: ps(10.0),
+        epoch_budget: Some(ps(5.0)),
+        cycle_allowlist: Vec::new(),
+    };
+    let report = lint(&c, "budget", &config);
+    assert!(report.has(Code::BudgetExceeded));
+    assert!(report.has_errors());
+}
+
+/// A cell that claims a catalog kind but carries the wrong JJ count.
+struct MisCountedJtl;
+
+impl Component for MisCountedJtl {
+    fn name(&self) -> &str {
+        "bad_jtl"
+    }
+    fn num_inputs(&self) -> usize {
+        1
+    }
+    fn num_outputs(&self) -> usize {
+        1
+    }
+    fn jj_count(&self) -> u32 {
+        99
+    }
+    fn on_pulse(&mut self, _port: usize, _now: Time, ctx: &mut Ctx) {
+        ctx.emit(0, Time::ZERO);
+    }
+    fn static_meta(&self) -> StaticMeta {
+        StaticMeta::new("jtl", Time::ZERO)
+    }
+}
+
+#[test]
+fn usfq009_fires_on_jj_catalog_mismatch() {
+    let mut c = Circuit::new();
+    let input = c.input("in");
+    let bad = c.add(MisCountedJtl);
+    c.connect_input(input, bad.input(0), Time::ZERO).unwrap();
+    c.probe(bad.output(0), "out");
+
+    let report = lint(&c, "jj", &LintConfig::default());
+    assert!(report.has(Code::JjMismatch));
+    assert!(report.has_errors());
+    let diag = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == Code::JjMismatch)
+        .unwrap();
+    assert!(diag.message.contains("99"));
+}
+
+#[test]
+fn probe_windows_track_wire_and_cell_delays() {
+    let mut c = Circuit::new();
+    let input = c.input("in");
+    let j = c.add(Jtl::new("j")); // catalog t_jtl = 3 ps
+    c.connect_input(input, j.input(0), ps(2.0)).unwrap();
+    c.probe(j.output(0), "out");
+
+    let windows = probe_windows(&c, &window_config(ps(10.0)));
+    assert_eq!(
+        windows,
+        vec![("out".to_string(), Some((ps(5.0), ps(15.0))))]
+    );
+}
+
+#[test]
+fn shipped_netlists_are_error_free() {
+    let catalogue = usfq_core::netlists::shipped_netlists();
+    assert!(!catalogue.is_empty());
+    for netlist in &catalogue {
+        let report = lint_netlist(netlist);
+        assert!(
+            !report.has_errors(),
+            "shipped netlist `{}` has lint errors:\n{}",
+            netlist.name,
+            report.render_text()
+        );
+    }
+}

@@ -1,6 +1,6 @@
 //! Netlist construction: components, wires, external inputs, and probes.
 
-use crate::component::Component;
+use crate::component::{Component, StaticMeta};
 use crate::error::SimError;
 use crate::time::Time;
 
@@ -20,9 +20,23 @@ impl CompId {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct InputId(pub(crate) usize);
 
+impl InputId {
+    /// Position of this input in creation order.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
 /// Identifier of an output probe.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ProbeId(pub(crate) usize);
+
+impl ProbeId {
+    /// Position of this probe in creation order.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
 
 /// A component output port: the *source* end of a wire.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -121,6 +135,28 @@ pub(crate) struct InputSlot {
 #[derive(Debug, Clone)]
 pub(crate) struct ProbeSlot {
     pub(crate) name: String,
+}
+
+/// Where a probe taps the netlist — see [`Circuit::probe_taps`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProbeSource {
+    /// The probe watches a component output port.
+    Output(CompId, usize),
+    /// The probe watches an external input directly.
+    Input(InputId),
+}
+
+/// One over-driven net found by [`Circuit::fanout_overflows`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FanoutOverflow {
+    /// The offending component, or `None` for an external input.
+    pub comp: Option<CompId>,
+    /// The over-driven output port (0 for external inputs).
+    pub port: usize,
+    /// Component or input name, for diagnostics.
+    pub name: String,
+    /// Number of wired sinks the net drives (always > 1).
+    pub sinks: usize,
 }
 
 /// A netlist of SFQ cells.
@@ -231,7 +267,8 @@ impl Circuit {
     /// Panics if `at` references an invalid port — probes are test
     /// instrumentation, so failing fast is preferable to an error path.
     pub fn probe(&mut self, at: NodeRef, name: impl Into<String>) -> ProbeId {
-        self.check_output(at).expect("probe attached to invalid port");
+        self.check_output(at)
+            .expect("probe attached to invalid port");
         let id = ProbeId(self.probes.len());
         self.probes.push(ProbeSlot { name: name.into() });
         self.comps[at.comp.0].outputs[at.port].probes.push(id);
@@ -244,7 +281,10 @@ impl Circuit {
     ///
     /// Panics if `input` belongs to a different circuit.
     pub fn probe_input(&mut self, input: InputId, name: impl Into<String>) -> ProbeId {
-        assert!(input.0 < self.inputs.len(), "probe attached to unknown input");
+        assert!(
+            input.0 < self.inputs.len(),
+            "probe attached to unknown input"
+        );
         let id = ProbeId(self.probes.len());
         self.probes.push(ProbeSlot { name: name.into() });
         self.inputs[input.0].net.probes.push(id);
@@ -300,7 +340,10 @@ impl Circuit {
     /// Total Josephson-junction count over all components — the paper's area
     /// metric.
     pub fn total_jj(&self) -> u64 {
-        self.comps.iter().map(|c| u64::from(c.model.jj_count())).sum()
+        self.comps
+            .iter()
+            .map(|c| u64::from(c.model.jj_count()))
+            .sum()
     }
 
     /// Iterates over `(id, name, jj_count)` of every component — the
@@ -316,11 +359,14 @@ impl Circuit {
     /// `(source component, source port, dest component, dest port, delay)`.
     pub fn wires(&self) -> impl Iterator<Item = (CompId, usize, CompId, usize, Time)> + '_ {
         self.comps.iter().enumerate().flat_map(|(i, slot)| {
-            slot.outputs.iter().enumerate().flat_map(move |(port, net)| {
-                net.wires
-                    .iter()
-                    .map(move |w| (CompId(i), port, w.dest, w.port, w.delay))
-            })
+            slot.outputs
+                .iter()
+                .enumerate()
+                .flat_map(move |(port, net)| {
+                    net.wires
+                        .iter()
+                        .map(move |w| (CompId(i), port, w.dest, w.port, w.delay))
+                })
         })
     }
 
@@ -331,11 +377,7 @@ impl Circuit {
     pub fn to_dot(&self, graph_name: &str) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        let _ = writeln!(
-            out,
-            "digraph {} {{",
-            sanitize(graph_name).replace(' ', "_")
-        );
+        let _ = writeln!(out, "digraph {} {{", sanitize(graph_name).replace(' ', "_"));
         let _ = writeln!(out, "  rankdir=LR;");
         let _ = writeln!(out, "  node [shape=box, fontsize=10];");
         for (id, name, jj) in self.components() {
@@ -354,22 +396,53 @@ impl Circuit {
                 sanitize(&input.name)
             );
             for w in &input.net.wires {
-                let _ = writeln!(out, "  in{i} -> c{};", w.dest.0);
+                if w.delay == Time::ZERO {
+                    let _ = writeln!(out, "  in{i} -> c{};", w.dest.0);
+                } else {
+                    let _ = writeln!(out, "  in{i} -> c{} [label=\"{}\"];", w.dest.0, w.delay);
+                }
             }
         }
         for (from, _port, to, _to_port, delay) in self.wires() {
             if delay == Time::ZERO {
                 let _ = writeln!(out, "  c{} -> c{};", from.0, to.0);
             } else {
-                let _ = writeln!(
-                    out,
-                    "  c{} -> c{} [label=\"{delay}\"];",
-                    from.0, to.0
-                );
+                let _ = writeln!(out, "  c{} -> c{} [label=\"{delay}\"];", from.0, to.0);
             }
         }
         out.push_str("}\n");
         out
+    }
+
+    /// Collects every net (component output or external input) that drives
+    /// more than one wired sink — the shared primitive behind
+    /// [`Circuit::assert_single_fanout`] and the `usfq-lint` fanout check.
+    /// Probes are test instrumentation and don't count as sinks.
+    pub fn fanout_overflows(&self) -> Vec<FanoutOverflow> {
+        let mut found = Vec::new();
+        for (i, slot) in self.comps.iter().enumerate() {
+            for (port, net) in slot.outputs.iter().enumerate() {
+                if net.wires.len() > 1 {
+                    found.push(FanoutOverflow {
+                        comp: Some(CompId(i)),
+                        port,
+                        name: slot.model.name().to_owned(),
+                        sinks: net.wires.len(),
+                    });
+                }
+            }
+        }
+        for input in &self.inputs {
+            if input.net.wires.len() > 1 {
+                found.push(FanoutOverflow {
+                    comp: None,
+                    port: 0,
+                    name: input.name.clone(),
+                    sinks: input.net.wires.len(),
+                });
+            }
+        }
+        found
     }
 
     /// Verifies that every output (and external input) drives at most one
@@ -378,29 +451,87 @@ impl Circuit {
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::UnknownId`] naming the first offending net.
+    /// Returns [`SimError::FanoutViolation`] for the first offending net.
     pub fn assert_single_fanout(&self) -> Result<(), SimError> {
-        for slot in &self.comps {
-            for (port, net) in slot.outputs.iter().enumerate() {
-                if net.wires.len() > 1 {
-                    return Err(SimError::UnknownId(format!(
-                        "output {port} of `{}` drives {} sinks; insert splitters",
-                        slot.model.name(),
-                        net.wires.len()
-                    )));
-                }
-            }
+        match self.fanout_overflows().into_iter().next() {
+            None => Ok(()),
+            Some(over) => Err(SimError::FanoutViolation {
+                component: over.name,
+                port: over.port,
+                sinks: over.sinks,
+            }),
         }
-        for input in &self.inputs {
-            if input.net.wires.len() > 1 {
-                return Err(SimError::UnknownId(format!(
-                    "input `{}` drives {} sinks; insert splitters",
-                    input.name,
-                    input.net.wires.len()
-                )));
-            }
-        }
-        Ok(())
+    }
+
+    /// Input/output port counts of a component, for analyzers that walk
+    /// the netlist without holding the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownId`] for a foreign id.
+    pub fn component_ports(&self, id: CompId) -> Result<(usize, usize), SimError> {
+        self.comps
+            .get(id.0)
+            .map(|s| (s.model.num_inputs(), s.model.num_outputs()))
+            .ok_or_else(|| SimError::UnknownId(format!("component {}", id.0)))
+    }
+
+    /// The component's declared [`StaticMeta`] (kind, delay range,
+    /// hazards).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownId`] for a foreign id.
+    pub fn component_static_meta(&self, id: CompId) -> Result<StaticMeta, SimError> {
+        self.comps
+            .get(id.0)
+            .map(|s| s.model.static_meta())
+            .ok_or_else(|| SimError::UnknownId(format!("component {}", id.0)))
+    }
+
+    /// Iterates over every external input as `(id, name)`.
+    pub fn inputs(&self) -> impl Iterator<Item = (InputId, &str)> + '_ {
+        self.inputs
+            .iter()
+            .enumerate()
+            .map(|(i, slot)| (InputId(i), slot.name.as_str()))
+    }
+
+    /// Iterates over every wire leaving an external input:
+    /// `(input, sink component, sink port, wire delay)`.
+    pub fn input_wires(&self) -> impl Iterator<Item = (InputId, CompId, usize, Time)> + '_ {
+        self.inputs.iter().enumerate().flat_map(|(i, slot)| {
+            slot.net
+                .wires
+                .iter()
+                .map(move |w| (InputId(i), w.dest, w.port, w.delay))
+        })
+    }
+
+    /// Iterates over every probe and the net it taps.
+    pub fn probe_taps(&self) -> impl Iterator<Item = (ProbeId, ProbeSource)> + '_ {
+        let comp_taps = self.comps.iter().enumerate().flat_map(|(i, slot)| {
+            slot.outputs
+                .iter()
+                .enumerate()
+                .flat_map(move |(port, net)| {
+                    net.probes
+                        .iter()
+                        .map(move |&p| (p, ProbeSource::Output(CompId(i), port)))
+                })
+        });
+        let input_taps = self.inputs.iter().enumerate().flat_map(|(i, slot)| {
+            slot.net
+                .probes
+                .iter()
+                .map(move |&p| (p, ProbeSource::Input(InputId(i))))
+        });
+        comp_taps.chain(input_taps)
+    }
+
+    /// Number of attached probes.
+    pub fn num_probes(&self) -> usize {
+        self.probes.len()
     }
 
     fn check_output(&self, node: NodeRef) -> Result<(), SimError> {
@@ -490,11 +621,23 @@ mod tests {
         let err = c
             .connect(b1.output(1), b2.input(0), Time::ZERO)
             .unwrap_err();
-        assert!(matches!(err, SimError::InvalidPort { direction: "output", .. }));
+        assert!(matches!(
+            err,
+            SimError::InvalidPort {
+                direction: "output",
+                ..
+            }
+        ));
         let err = c
             .connect(b1.output(0), b2.input(3), Time::ZERO)
             .unwrap_err();
-        assert!(matches!(err, SimError::InvalidPort { direction: "input", .. }));
+        assert!(matches!(
+            err,
+            SimError::InvalidPort {
+                direction: "input",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -502,7 +645,9 @@ mod tests {
         let mut c = Circuit::new();
         let b1 = c.add(buffer());
         let foreign = InputId(5);
-        let err = c.connect_input(foreign, b1.input(0), Time::ZERO).unwrap_err();
+        let err = c
+            .connect_input(foreign, b1.input(0), Time::ZERO)
+            .unwrap_err();
         assert!(matches!(err, SimError::UnknownId(_)));
         assert!(c.input_name(foreign).is_err());
         assert!(c.component_name(CompId(9)).is_err());
@@ -519,6 +664,18 @@ mod tests {
         c.connect(b1.output(0), b3.input(0), Time::ZERO).unwrap();
         let err = c.assert_single_fanout().unwrap_err();
         assert!(err.to_string().contains("splitters"));
+        assert_eq!(
+            err,
+            SimError::FanoutViolation {
+                component: "b".into(),
+                port: 0,
+                sinks: 2,
+            }
+        );
+        let overflows = c.fanout_overflows();
+        assert_eq!(overflows.len(), 1);
+        assert_eq!(overflows[0].comp, Some(b1.id()));
+        assert_eq!(overflows[0].sinks, 2);
     }
 
     #[test]
@@ -529,7 +686,19 @@ mod tests {
         let b2 = c.add(buffer());
         c.connect_input(input, b1.input(0), Time::ZERO).unwrap();
         c.connect_input(input, b2.input(0), Time::ZERO).unwrap();
-        assert!(c.assert_single_fanout().is_err());
+        let err = c.assert_single_fanout().unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::FanoutViolation {
+                port: 0,
+                sinks: 2,
+                ..
+            }
+        ));
+        let overflows = c.fanout_overflows();
+        assert_eq!(overflows.len(), 1);
+        assert_eq!(overflows[0].comp, None);
+        assert_eq!(overflows[0].name, "x");
     }
 
     #[test]
@@ -539,7 +708,8 @@ mod tests {
         let b1 = c.add(buffer());
         let b2 = c.add(Buffer::with_jj_count("big", Time::ZERO, 9));
         c.connect_input(input, b1.input(0), Time::ZERO).unwrap();
-        c.connect(b1.output(0), b2.input(0), Time::from_ps(4.0)).unwrap();
+        c.connect(b1.output(0), b2.input(0), Time::from_ps(4.0))
+            .unwrap();
         let bom: Vec<_> = c.components().collect();
         assert_eq!(bom.len(), 2);
         assert_eq!(bom[1].1, "big");
@@ -556,13 +726,62 @@ mod tests {
         let b1 = c.add(buffer());
         let b2 = c.add(buffer());
         c.connect_input(input, b1.input(0), Time::ZERO).unwrap();
-        c.connect(b1.output(0), b2.input(0), Time::from_ps(3.0)).unwrap();
+        c.connect(b1.output(0), b2.input(0), Time::from_ps(3.0))
+            .unwrap();
         let dot = c.to_dot("delay line");
         assert!(dot.starts_with("digraph delay_line {"));
         assert!(dot.contains("c0 [label=\"b\\n2 JJ\"];"));
         assert!(dot.contains("in0 [label=\"clk\""));
+        assert!(dot.contains("in0 -> c0;"));
         assert!(dot.contains("c0 -> c1 [label=\"3.000 ps\"];"));
         assert!(dot.trim_end().ends_with('}'));
+    }
+
+    /// Both edge kinds carry a delay label when the wire delay is
+    /// non-zero — external-input edges used to drop theirs.
+    #[test]
+    fn dot_export_labels_input_edge_delays() {
+        let mut c = Circuit::new();
+        let input = c.input("clk");
+        let b1 = c.add(buffer());
+        let b2 = c.add(buffer());
+        c.connect_input(input, b1.input(0), Time::from_ps(2.0))
+            .unwrap();
+        c.connect(b1.output(0), b2.input(0), Time::from_ps(3.0))
+            .unwrap();
+        let dot = c.to_dot("labelled");
+        assert!(
+            dot.contains("in0 -> c0 [label=\"2.000 ps\"];"),
+            "input edge lost its delay label:\n{dot}"
+        );
+        assert!(
+            dot.contains("c0 -> c1 [label=\"3.000 ps\"];"),
+            "component edge lost its delay label:\n{dot}"
+        );
+    }
+
+    #[test]
+    fn introspection_for_analyzers() {
+        let mut c = Circuit::new();
+        let input = c.input("x");
+        let b1 = c.add(buffer());
+        let b2 = c.add(buffer());
+        c.connect_input(input, b1.input(0), Time::from_ps(2.0))
+            .unwrap();
+        c.connect(b1.output(0), b2.input(0), Time::ZERO).unwrap();
+        let p_out = c.probe(b2.output(0), "end");
+        let p_in = c.probe_input(input, "raw");
+        assert_eq!(c.num_probes(), 2);
+        assert_eq!(c.component_ports(b1.id()).unwrap(), (1, 1));
+        assert!(c.component_ports(CompId(9)).is_err());
+        let meta = c.component_static_meta(b1.id()).unwrap();
+        assert_eq!(meta.kind, "buffer");
+        assert!(c.component_static_meta(CompId(9)).is_err());
+        let in_wires: Vec<_> = c.input_wires().collect();
+        assert_eq!(in_wires, vec![(input, b1.id(), 0, Time::from_ps(2.0))]);
+        let taps: Vec<_> = c.probe_taps().collect();
+        assert!(taps.contains(&(p_out, ProbeSource::Output(b2.id(), 0))));
+        assert!(taps.contains(&(p_in, ProbeSource::Input(input))));
     }
 
     #[test]

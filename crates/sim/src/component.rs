@@ -65,6 +65,86 @@ impl Ctx {
     }
 }
 
+/// A timing hazard a cell is statically susceptible to, as declared by
+/// [`Component::static_meta`]. Static analyzers (e.g. `usfq-lint`) use
+/// these to decide which arrival-window overlaps are dangerous.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Hazard {
+    /// Two pulses arriving on different inputs within `window` of each
+    /// other may merge into one (the Fig. 5 merger collision).
+    Collision {
+        /// The collision window.
+        window: Time,
+    },
+    /// A pulse arriving on the *same* input within `window` of a
+    /// previous pulse on either input lands mid-transition and may be
+    /// misrouted (the balancer's t_BFF hazard, paper §4.2).
+    Transition {
+        /// The internal transition window.
+        window: Time,
+    },
+    /// A pulse on the `control` input must settle `window` before a
+    /// pulse on the `sampled` input reads the state (NDRO set/reset vs
+    /// clock, inverter data vs clock, demux select vs data).
+    Setup {
+        /// Input port whose state must settle first.
+        control: usize,
+        /// Input port that samples that state.
+        sampled: usize,
+        /// Required settling window.
+        window: Time,
+    },
+}
+
+/// Static timing facts about a cell: its kind (for catalog lookups),
+/// its propagation-delay range, and the hazards it is susceptible to.
+///
+/// Returned by [`Component::static_meta`] and consumed by static
+/// analyzers; the simulation engine itself never reads it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaticMeta {
+    /// Catalog kind string (`"merger"`, `"balancer"`, …), or a custom
+    /// tag for cells with no catalog entry.
+    pub kind: &'static str,
+    /// Minimum input-to-output propagation delay.
+    pub min_delay: Time,
+    /// Maximum input-to-output propagation delay (equals `min_delay`
+    /// for fixed-latency cells; larger for timer-driven ones).
+    pub max_delay: Time,
+    /// Hazards this cell kind is statically susceptible to.
+    pub hazards: Vec<Hazard>,
+}
+
+impl StaticMeta {
+    /// Meta for a fixed-latency cell with no declared hazards.
+    pub fn new(kind: &'static str, delay: Time) -> Self {
+        StaticMeta {
+            kind,
+            min_delay: delay,
+            max_delay: delay,
+            hazards: Vec::new(),
+        }
+    }
+
+    /// Meta with an explicit `[min, max]` delay range.
+    pub fn custom(kind: &'static str, min_delay: Time, max_delay: Time) -> Self {
+        StaticMeta {
+            kind,
+            min_delay,
+            max_delay,
+            hazards: Vec::new(),
+        }
+    }
+
+    /// Adds a hazard declaration (builder style).
+    #[must_use]
+    pub fn with_hazard(mut self, hazard: Hazard) -> Self {
+        self.hazards.push(hazard);
+        self
+    }
+}
+
 /// A behavioral model of an SFQ cell.
 ///
 /// Implementations are deterministic state machines: the engine delivers
@@ -126,6 +206,15 @@ pub trait Component {
 
     /// Resets internal state to power-on condition (between epochs or runs).
     fn reset(&mut self) {}
+
+    /// Static timing facts for analyzers: cell kind, delay range, and
+    /// hazards. The default — kind `"custom"`, a zero-width delay
+    /// window, no hazards — keeps third-party components working but
+    /// makes static timing treat them as ideal zero-delay cells;
+    /// override it for anything with real latency.
+    fn static_meta(&self) -> StaticMeta {
+        StaticMeta::new("custom", Time::ZERO)
+    }
 }
 
 /// A pure delay element: one input, one output, fixed latency.
@@ -181,6 +270,11 @@ impl Component for Buffer {
     fn on_pulse(&mut self, _port: usize, _now: Time, ctx: &mut Ctx) {
         ctx.emit(0, self.delay);
     }
+    fn static_meta(&self) -> StaticMeta {
+        // The JJ count is caller-chosen, so "buffer" is deliberately
+        // absent from the catalog's kind table.
+        StaticMeta::new("buffer", self.delay)
+    }
 }
 
 #[cfg(test)]
@@ -218,5 +312,51 @@ mod tests {
         let b = Buffer::with_jj_count("jtl4", Time::from_ps(12.0), 8);
         assert_eq!(b.jj_count(), 8);
         assert_eq!(b.switching_jjs(), 2.0);
+    }
+
+    #[test]
+    fn buffer_static_meta() {
+        let b = Buffer::new("b", Time::from_ps(3.0));
+        let meta = b.static_meta();
+        assert_eq!(meta.kind, "buffer");
+        assert_eq!(meta.min_delay, Time::from_ps(3.0));
+        assert_eq!(meta.max_delay, Time::from_ps(3.0));
+        assert!(meta.hazards.is_empty());
+    }
+
+    #[test]
+    fn static_meta_builders() {
+        let meta = StaticMeta::custom("x", Time::from_ps(1.0), Time::from_ps(4.0))
+            .with_hazard(Hazard::Collision {
+                window: Time::from_ps(5.0),
+            })
+            .with_hazard(Hazard::Setup {
+                control: 0,
+                sampled: 2,
+                window: Time::from_ps(5.0),
+            });
+        assert_eq!(meta.min_delay, Time::from_ps(1.0));
+        assert_eq!(meta.max_delay, Time::from_ps(4.0));
+        assert_eq!(meta.hazards.len(), 2);
+
+        struct Bare;
+        impl Component for Bare {
+            fn name(&self) -> &str {
+                "bare"
+            }
+            fn num_inputs(&self) -> usize {
+                1
+            }
+            fn num_outputs(&self) -> usize {
+                0
+            }
+            fn jj_count(&self) -> u32 {
+                0
+            }
+            fn on_pulse(&mut self, _port: usize, _now: Time, _ctx: &mut Ctx) {}
+        }
+        let meta = Bare.static_meta();
+        assert_eq!(meta.kind, "custom");
+        assert_eq!(meta.max_delay, Time::ZERO);
     }
 }

@@ -237,10 +237,7 @@ impl Simulator {
         }
         if !ctx.is_empty() {
             for &(port, delay) in &ctx.emissions {
-                let t_emit = ev
-                    .time
-                    .checked_add(delay)
-                    .ok_or(SimError::TimeOverflow)?;
+                let t_emit = ev.time.checked_add(delay).ok_or(SimError::TimeOverflow)?;
                 self.activity.emitted[comp_id.0] += 1;
                 self.fan_out(NetSource::Output(comp_id.0, port), t_emit)?;
             }
@@ -398,8 +395,10 @@ mod tests {
         let input = c.input("in");
         let b1 = c.add(Buffer::new("b1", Time::from_ps(3.0)));
         let b2 = c.add(Buffer::new("b2", Time::from_ps(4.0)));
-        c.connect_input(input, b1.input(0), Time::from_ps(1.0)).unwrap();
-        c.connect(b1.output(0), b2.input(0), Time::from_ps(2.0)).unwrap();
+        c.connect_input(input, b1.input(0), Time::from_ps(1.0))
+            .unwrap();
+        c.connect(b1.output(0), b2.input(0), Time::from_ps(2.0))
+            .unwrap();
         let probe = c.probe(b2.output(0), "out");
 
         let mut sim = Simulator::new(c);
@@ -419,15 +418,20 @@ mod tests {
         let b1 = c.add(Buffer::new("b1", Time::ZERO));
         let b2 = c.add(Buffer::new("b2", Time::ZERO));
         c.connect_input(input, b1.input(0), Time::ZERO).unwrap();
-        c.connect_input(input, b2.input(0), Time::from_ps(5.0)).unwrap();
+        c.connect_input(input, b2.input(0), Time::from_ps(5.0))
+            .unwrap();
         let p1 = c.probe(b1.output(0), "p1");
         let p2 = c.probe(b2.output(0), "p2");
 
         let mut sim = Simulator::new(c);
-        sim.schedule_pulses(input, [Time::ZERO, Time::from_ps(10.0)]).unwrap();
+        sim.schedule_pulses(input, [Time::ZERO, Time::from_ps(10.0)])
+            .unwrap();
         sim.run().unwrap();
         assert_eq!(sim.probe_count(p1), 2);
-        assert_eq!(sim.probe_times(p2), &[Time::from_ps(5.0), Time::from_ps(15.0)]);
+        assert_eq!(
+            sim.probe_times(p2),
+            &[Time::from_ps(5.0), Time::from_ps(15.0)]
+        );
     }
 
     #[test]
@@ -438,7 +442,8 @@ mod tests {
         c.connect_input(input, b.input(0), Time::ZERO).unwrap();
         let p = c.probe(b.output(0), "p");
         let mut sim = Simulator::new(c);
-        sim.schedule_pulses(input, [Time::from_ps(1.0), Time::from_ps(100.0)]).unwrap();
+        sim.schedule_pulses(input, [Time::from_ps(1.0), Time::from_ps(100.0)])
+            .unwrap();
         sim.run_until(Time::from_ps(50.0)).unwrap();
         assert_eq!(sim.probe_count(p), 1);
         sim.run().unwrap();
@@ -544,7 +549,8 @@ mod tests {
             let mut c = Circuit::new();
             let input = c.input("in");
             let b = c.add(Buffer::new("b", Time::from_ps(100.0)));
-            c.connect_input(input, b.input(0), Time::from_ps(50.0)).unwrap();
+            c.connect_input(input, b.input(0), Time::from_ps(50.0))
+                .unwrap();
             let p = c.probe(b.output(0), "p");
             (Simulator::new(c), input, p)
         };
@@ -552,7 +558,8 @@ mod tests {
             let (mut sim, input, p) = build();
             sim.enable_wire_jitter(Time::from_ps(2.0), seed);
             for k in 0..64u64 {
-                sim.schedule_input(input, Time::from_ps(200.0 * k as f64)).unwrap();
+                sim.schedule_input(input, Time::from_ps(200.0 * k as f64))
+                    .unwrap();
             }
             sim.run().unwrap();
             sim.probe_times(p).to_vec()
@@ -583,7 +590,8 @@ mod tests {
         let mut sim = Simulator::new(c);
         sim.enable_wire_jitter(Time::from_ps(5.0), 3);
         for k in 0..32u64 {
-            sim.schedule_input(input, Time::from_ps(100.0 * k as f64)).unwrap();
+            sim.schedule_input(input, Time::from_ps(100.0 * k as f64))
+                .unwrap();
         }
         sim.run().unwrap();
         for (k, &t) in sim.probe_times(p).iter().enumerate() {

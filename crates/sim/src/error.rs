@@ -22,6 +22,19 @@ pub enum SimError {
     /// A component, input, or probe id referenced a different circuit or was
     /// otherwise unknown.
     UnknownId(String),
+    /// An output drives more than one sink without a splitter tree.
+    ///
+    /// SFQ pulses cannot fan out passively: every output must drive
+    /// exactly one sink, with explicit [`Splitter`] cells providing
+    /// fanout (see `usfq_cells::interconnect`).
+    FanoutViolation {
+        /// Name of the offending component, or the external input name.
+        component: String,
+        /// The output port that over-drives (0 for external inputs).
+        port: usize,
+        /// How many wired sinks the output drives.
+        sinks: usize,
+    },
     /// The event limit was exceeded; the circuit probably oscillates.
     EventLimitExceeded {
         /// The limit that was hit.
@@ -44,6 +57,14 @@ impl fmt::Display for SimError {
                 "invalid {direction} port {port} on component `{component}` (has {available})"
             ),
             SimError::UnknownId(what) => write!(f, "unknown id: {what}"),
+            SimError::FanoutViolation {
+                component,
+                port,
+                sinks,
+            } => write!(
+                f,
+                "output {port} of `{component}` drives {sinks} sinks; insert splitters"
+            ),
             SimError::EventLimitExceeded { limit } => {
                 write!(f, "event limit of {limit} exceeded; circuit may oscillate")
             }
@@ -78,7 +99,19 @@ mod tests {
             SimError::UnknownId("probe 9".into()).to_string(),
             "unknown id: probe 9"
         );
-        assert_eq!(SimError::TimeOverflow.to_string(), "simulation time overflowed");
+        assert_eq!(
+            SimError::TimeOverflow.to_string(),
+            "simulation time overflowed"
+        );
+        let e = SimError::FanoutViolation {
+            component: "spl".into(),
+            port: 1,
+            sinks: 3,
+        };
+        assert_eq!(
+            e.to_string(),
+            "output 1 of `spl` drives 3 sinks; insert splitters"
+        );
     }
 
     #[test]

@@ -60,8 +60,10 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
-pub use circuit::{Circuit, CompId, InputId, NodeRef, ProbeId, SinkRef};
-pub use component::{Component, Ctx};
+pub use circuit::{
+    Circuit, CompId, FanoutOverflow, InputId, NodeRef, ProbeId, ProbeSource, SinkRef,
+};
+pub use component::{Component, Ctx, Hazard, StaticMeta};
 pub use engine::{RunSummary, Simulator};
 pub use error::SimError;
 pub use time::Time;

@@ -99,12 +99,7 @@ impl PowerModel {
     }
 
     /// Active + passive power, watts.
-    pub fn total_power_w(
-        &self,
-        circuit: &Circuit,
-        activity: &ActivityReport,
-        window: Time,
-    ) -> f64 {
+    pub fn total_power_w(&self, circuit: &Circuit, activity: &ActivityReport, window: Time) -> f64 {
         self.active_power_w(circuit, activity, window) + self.passive_power_w(circuit)
     }
 }

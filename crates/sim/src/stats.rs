@@ -78,7 +78,11 @@ impl ActivityReport {
             .collect();
         rows.sort_by_key(|&(_, _, handled, _)| std::cmp::Reverse(handled));
         let mut out = String::new();
-        let _ = writeln!(out, "{:<24} {:>5} {:>10} {:>10}", "component", "JJ", "handled", "emitted");
+        let _ = writeln!(
+            out,
+            "{:<24} {:>5} {:>10} {:>10}",
+            "component", "JJ", "handled", "emitted"
+        );
         for (name, jj, handled, emitted) in rows {
             let _ = writeln!(out, "{name:<24} {jj:>5} {handled:>10} {emitted:>10}");
         }

@@ -51,7 +51,10 @@ impl Time {
     /// Panics if `ps` is negative or not finite.
     #[inline]
     pub fn from_ps(ps: f64) -> Self {
-        assert!(ps.is_finite() && ps >= 0.0, "time must be finite and non-negative, got {ps}");
+        assert!(
+            ps.is_finite() && ps >= 0.0,
+            "time must be finite and non-negative, got {ps}"
+        );
         Time((ps * FS_PER_PS as f64).round() as u64)
     }
 
@@ -62,7 +65,10 @@ impl Time {
     /// Panics if `ns` is negative or not finite.
     #[inline]
     pub fn from_ns(ns: f64) -> Self {
-        assert!(ns.is_finite() && ns >= 0.0, "time must be finite and non-negative, got {ns}");
+        assert!(
+            ns.is_finite() && ns >= 0.0,
+            "time must be finite and non-negative, got {ns}"
+        );
         Time((ns * FS_PER_NS as f64).round() as u64)
     }
 

@@ -250,7 +250,10 @@ mod tests {
     #[test]
     fn vcd_export_structure() {
         let mut set = WaveformSet::new();
-        set.push(Waveform::new("clk in", vec![Time::from_ps(1.0), Time::from_ps(3.0)]));
+        set.push(Waveform::new(
+            "clk in",
+            vec![Time::from_ps(1.0), Time::from_ps(3.0)],
+        ));
         set.push(Waveform::new("q", vec![Time::from_ps(2.0)]));
         let vcd = set.to_vcd("balancer");
         assert!(vcd.starts_with("$timescale 1fs $end"));

@@ -20,8 +20,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let x = signal::paper_test_signal(fs, n);
     // A 16-tap windowed-sinc low-pass with 3 kHz cutoff.
     let h = design::paper_filter(fs);
-    println!("filter: {} taps, {} bits, latency {} per output", h.len(), bits,
-        UsfqFir::new(&h, bits)?.latency());
+    println!(
+        "filter: {} taps, {} bits, latency {} per output",
+        h.len(),
+        bits,
+        UsfqFir::new(&h, bits)?.latency()
+    );
 
     let golden = usfq::core::accel::fir_reference(&h, &x);
     println!(
@@ -29,11 +33,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         metrics::tone_snr(&golden, 1_000.0, fs)
     );
 
-    println!("{:>10} {:>14} {:>14}", "error rate", "binary SNR", "U-SFQ SNR");
+    println!(
+        "{:>10} {:>14} {:>14}",
+        "error rate", "binary SNR", "U-SFQ SNR"
+    );
     for rate in [0.0, 0.05, 0.1, 0.2, 0.3] {
-        let binary = BinaryFir::new(&h, bits)
-            .with_bit_flips(rate, 42)
-            .filter(&x);
+        let binary = BinaryFir::new(&h, bits).with_bit_flips(rate, 42).filter(&x);
         let unary = UsfqFir::new(&h, bits)?
             .with_faults(
                 FaultModel {

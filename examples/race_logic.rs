@@ -53,7 +53,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let d = c.add(Jtl::with_delay(format!("e0_{from}_{to}"), slot().scale(w)));
             c.connect_input(source, d.input(Jtl::IN), Time::ZERO)?;
             // FA inputs 0/1 are interchangeable; use port 0 then 1.
-            c.connect(d.output(Jtl::OUT), fa[to].input(FirstArrival::IN_A), Time::ZERO)?;
+            c.connect(
+                d.output(Jtl::OUT),
+                fa[to].input(FirstArrival::IN_A),
+                Time::ZERO,
+            )?;
         }
         for (n, f) in fa.iter().enumerate() {
             lanes[n] = Some(f.output(FirstArrival::OUT));
@@ -99,7 +103,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("layered DAG shortest path, computed by racing pulses:");
     println!("  pulse reached the sink at {arrival}");
     println!("  shortest-path weight = {weight} (expected 2 + 1 + 1 = 4)");
-    println!("  circuit: {total_jj} JJs ({} FA cells of 8 JJs each)", LAYERS * NODES);
+    println!(
+        "  circuit: {total_jj} JJs ({} FA cells of 8 JJs each)",
+        LAYERS * NODES
+    );
     let _ = frontier;
     assert_eq!(weight, 4);
     Ok(())

@@ -47,7 +47,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let vcd_path = dir.join("balancer.vcd");
     fs::write(&vcd_path, set.to_vcd("balancer"))?;
-    println!("wrote {} ({} signals)", vcd_path.display(), set.waves().len());
+    println!(
+        "wrote {} ({} signals)",
+        vcd_path.display(),
+        set.waves().len()
+    );
     println!("\nASCII preview:\n{}", set.render_ascii(72));
 
     // --- The published DPU netlist as DOT -------------------------------
@@ -89,8 +93,10 @@ fn usfq_bench_netlist() -> Circuit {
         for pair in outs.chunks(2) {
             let bal = c.add(Balancer::new(format!("bal{id}")));
             id += 1;
-            c.connect(pair[0], bal.input(Balancer::IN_A), Time::ZERO).unwrap();
-            c.connect(pair[1], bal.input(Balancer::IN_B), Time::ZERO).unwrap();
+            c.connect(pair[0], bal.input(Balancer::IN_A), Time::ZERO)
+                .unwrap();
+            c.connect(pair[1], bal.input(Balancer::IN_B), Time::ZERO)
+                .unwrap();
             next.push(bal.output(Balancer::OUT_Y1));
         }
         outs = next;

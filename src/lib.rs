@@ -17,6 +17,9 @@
 //!   fixed-point datapaths, bit-flip error injection).
 //! * [`dsp`] — signal synthesis, FIR design, DFT/FFT and SNR metrics used by
 //!   the accuracy experiments.
+//! * [`lint`] — static netlist analyzer: fanout/connectivity/cycle/JJ checks
+//!   plus a conservative timing pass that flags merger-collision and setup
+//!   races before any simulation runs (`usfq-lint` binary).
 //!
 //! ## Quick start
 //!
@@ -43,6 +46,7 @@ pub use usfq_cells as cells;
 pub use usfq_core as core;
 pub use usfq_dsp as dsp;
 pub use usfq_encoding as encoding;
+pub use usfq_lint as lint;
 pub use usfq_sim as sim;
 
 /// The names most programs need, in one import:

@@ -10,10 +10,7 @@ const FS: f64 = 32_000.0;
 const N: usize = 1024;
 
 fn experiment() -> (Vec<f64>, Vec<f64>) {
-    (
-        signal::paper_test_signal(FS, N),
-        design::paper_filter(FS),
-    )
+    (signal::paper_test_signal(FS, N), design::paper_filter(FS))
 }
 
 #[test]
@@ -27,8 +24,14 @@ fn clean_filters_recover_the_tone() {
     let binary = BinaryFir::new(&h, 16).filter(&x);
     let u = metrics::tone_snr(&unary, 1_000.0, FS);
     let b = metrics::tone_snr(&binary, 1_000.0, FS);
-    assert!((u - golden_snr).abs() < 1.5, "unary {u} vs golden {golden_snr}");
-    assert!((b - golden_snr).abs() < 1.5, "binary {b} vs golden {golden_snr}");
+    assert!(
+        (u - golden_snr).abs() < 1.5,
+        "unary {u} vs golden {golden_snr}"
+    );
+    assert!(
+        (b - golden_snr).abs() < 1.5,
+        "binary {b} vs golden {golden_snr}"
+    );
 }
 
 #[test]

@@ -1,0 +1,38 @@
+//! Repo-level gate: every shipped structural netlist must pass
+//! `usfq-lint` with zero error-severity findings — the same contract
+//! the CI workflow enforces through the binary.
+
+use usfq::core::netlists::shipped_netlists;
+use usfq::lint::{lint_netlist, Code};
+
+#[test]
+fn all_shipped_netlists_lint_clean() {
+    let catalogue = shipped_netlists();
+    assert!(
+        catalogue.len() >= 10,
+        "catalogue unexpectedly small: {} netlists",
+        catalogue.len()
+    );
+    for netlist in &catalogue {
+        let report = lint_netlist(netlist);
+        assert!(
+            !report.has_errors(),
+            "netlist `{}` fails lint:\n{}",
+            netlist.name,
+            report.render_text()
+        );
+        // Fanout legality is the load-bearing structural property: it
+        // must hold everywhere, not just be non-fatal.
+        assert!(!report.has(Code::FanoutViolation));
+    }
+}
+
+#[test]
+fn reports_render_both_ways() {
+    for netlist in shipped_netlists() {
+        let report = lint_netlist(&netlist);
+        assert!(report.render_text().starts_with(netlist.name));
+        let json = report.to_json();
+        assert!(json.contains(&format!("\"netlist\":\"{}\"", netlist.name)));
+    }
+}

@@ -127,8 +127,7 @@ fn fir_efficiency_claims() {
     let eff_unary = |bits: u32, taps: usize| {
         1.0 / latency::fir_latency(bits).as_secs() / area::fir_jj(taps, bits) as f64
     };
-    let eff_binary =
-        |bits: u32, taps: usize| models::fir_efficiency_ops_per_jj(bits, taps);
+    let eff_binary = |bits: u32, taps: usize| models::fir_efficiency_ops_per_jj(bits, taps);
     for bits in 4..=9 {
         assert!(eff_unary(bits, 32) > eff_binary(bits, 32), "bits {bits}");
     }

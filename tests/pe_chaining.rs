@@ -42,40 +42,51 @@ fn two_pes_chain_through_rl() {
     let m0 = c.add(Ndro::new("pe0.mult"));
     let b0 = c.add(Balancer::new("pe0.add"));
     let i0 = c.add(StreamToRlIntegrator::new("pe0.integ", e));
-    c.connect_input(in_e0, m0.input(Ndro::IN_S), Time::ZERO).unwrap();
-    c.connect_input(in_x, m0.input(Ndro::IN_R), Time::ZERO).unwrap();
-    c.connect_input(in_w0, m0.input(Ndro::IN_CLK), Time::ZERO).unwrap();
-    c.connect(m0.output(Ndro::OUT_Q), b0.input(Balancer::IN_A), Time::ZERO).unwrap();
-    c.connect_input(in_c0, b0.input(Balancer::IN_B), Time::ZERO).unwrap();
+    c.connect_input(in_e0, m0.input(Ndro::IN_S), Time::ZERO)
+        .unwrap();
+    c.connect_input(in_x, m0.input(Ndro::IN_R), Time::ZERO)
+        .unwrap();
+    c.connect_input(in_w0, m0.input(Ndro::IN_CLK), Time::ZERO)
+        .unwrap();
+    c.connect(m0.output(Ndro::OUT_Q), b0.input(Balancer::IN_A), Time::ZERO)
+        .unwrap();
+    c.connect_input(in_c0, b0.input(Balancer::IN_B), Time::ZERO)
+        .unwrap();
     c.connect(
         b0.output(Balancer::OUT_Y1),
         i0.input(StreamToRlIntegrator::IN),
         Time::ZERO,
     )
     .unwrap();
-    c.connect_input(latch0, i0.input(StreamToRlIntegrator::IN_EPOCH), Time::ZERO).unwrap();
+    c.connect_input(latch0, i0.input(StreamToRlIntegrator::IN_EPOCH), Time::ZERO)
+        .unwrap();
 
     // PE1: its RL operand is PE0's output — a bare wire, no converter.
     let m1 = c.add(Ndro::new("pe1.mult"));
     let b1 = c.add(Balancer::new("pe1.add"));
     let i1 = c.add(StreamToRlIntegrator::new("pe1.integ", e));
-    c.connect_input(in_e1, m1.input(Ndro::IN_S), Time::ZERO).unwrap();
+    c.connect_input(in_e1, m1.input(Ndro::IN_S), Time::ZERO)
+        .unwrap();
     c.connect(
         i0.output(StreamToRlIntegrator::OUT),
         m1.input(Ndro::IN_R),
         Time::ZERO,
     )
     .unwrap();
-    c.connect_input(in_w1, m1.input(Ndro::IN_CLK), Time::ZERO).unwrap();
-    c.connect(m1.output(Ndro::OUT_Q), b1.input(Balancer::IN_A), Time::ZERO).unwrap();
-    c.connect_input(in_c1, b1.input(Balancer::IN_B), Time::ZERO).unwrap();
+    c.connect_input(in_w1, m1.input(Ndro::IN_CLK), Time::ZERO)
+        .unwrap();
+    c.connect(m1.output(Ndro::OUT_Q), b1.input(Balancer::IN_A), Time::ZERO)
+        .unwrap();
+    c.connect_input(in_c1, b1.input(Balancer::IN_B), Time::ZERO)
+        .unwrap();
     c.connect(
         b1.output(Balancer::OUT_Y1),
         i1.input(StreamToRlIntegrator::IN),
         Time::ZERO,
     )
     .unwrap();
-    c.connect_input(latch1, i1.input(StreamToRlIntegrator::IN_EPOCH), Time::ZERO).unwrap();
+    c.connect_input(latch1, i1.input(StreamToRlIntegrator::IN_EPOCH), Time::ZERO)
+        .unwrap();
     let out = c.probe(i1.output(StreamToRlIntegrator::OUT), "out");
 
     let mut sim = Simulator::new(c);
@@ -85,12 +96,16 @@ fn two_pes_chain_through_rl() {
     sim.schedule_input(in_e0, Time::ZERO).unwrap();
     sim.schedule_input(
         in_x,
-        RlValue::from_unipolar(x, e).unwrap().pulse_time_from(Time::ZERO),
+        RlValue::from_unipolar(x, e)
+            .unwrap()
+            .pulse_time_from(Time::ZERO),
     )
     .unwrap();
     sim.schedule_pulses(
         in_w0,
-        PulseStream::from_unipolar(w0, e).unwrap().schedule_from(Time::ZERO),
+        PulseStream::from_unipolar(w0, e)
+            .unwrap()
+            .schedule_from(Time::ZERO),
     )
     .unwrap();
     let half = e.slot_width() / 2;
@@ -146,5 +161,8 @@ fn two_pes_chain_through_rl() {
     );
     // And both track the real arithmetic.
     let exact = ((x * w0 + c0) / 2.0 * w1 + c1) / 2.0;
-    assert!((got - exact).abs() <= 6.0 * e.lsb(), "{got} vs exact {exact}");
+    assert!(
+        (got - exact).abs() <= 6.0 * e.lsb(),
+        "{got} vs exact {exact}"
+    );
 }

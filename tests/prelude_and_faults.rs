@@ -46,9 +46,12 @@ fn jitter_perturbs_the_gate_boundary() {
         let in_a = c.input("A");
         let ndro = c.add(Ndro::new("ndro"));
         // A long wire run on the gate path is where jitter bites.
-        c.connect_input(in_e, ndro.input(Ndro::IN_S), Time::ZERO).unwrap();
-        c.connect_input(in_b, ndro.input(Ndro::IN_R), Time::from_ps(50.0)).unwrap();
-        c.connect_input(in_a, ndro.input(Ndro::IN_CLK), Time::from_ps(50.0)).unwrap();
+        c.connect_input(in_e, ndro.input(Ndro::IN_S), Time::ZERO)
+            .unwrap();
+        c.connect_input(in_b, ndro.input(Ndro::IN_R), Time::from_ps(50.0))
+            .unwrap();
+        c.connect_input(in_a, ndro.input(Ndro::IN_CLK), Time::from_ps(50.0))
+            .unwrap();
         let q = c.probe(ndro.output(0), "q");
         let mut sim = Simulator::new(c);
         if sigma_ps > 0.0 {
@@ -57,21 +60,26 @@ fn jitter_perturbs_the_gate_boundary() {
         let a = PulseStream::from_unipolar(1.0, epoch).unwrap();
         let b = RlValue::from_unipolar(0.5, epoch).unwrap();
         sim.schedule_input(in_e, Time::ZERO).unwrap();
-        sim.schedule_input(in_b, b.pulse_time_from(Time::ZERO)).unwrap();
-        sim.schedule_pulses(in_a, a.schedule_from(Time::ZERO)).unwrap();
+        sim.schedule_input(in_b, b.pulse_time_from(Time::ZERO))
+            .unwrap();
+        sim.schedule_pulses(in_a, a.schedule_from(Time::ZERO))
+            .unwrap();
         sim.run().unwrap();
         sim.probe_count(q) as i64
     };
     let clean = run(0.0, 0);
     assert_eq!(clean, 32); // 1.0 × 0.5 at 6 bits
-    // Moderate jitter: the count moves by at most a few pulses.
+                           // Moderate jitter: the count moves by at most a few pulses.
     let mut any_change = false;
     for seed in 0..8 {
         let jittered = run(6.0, seed);
         assert!((jittered - clean).abs() <= 4, "seed {seed}: {jittered}");
         any_change |= jittered != clean;
     }
-    assert!(any_change, "6 ps jitter across 8 seeds should move the boundary");
+    assert!(
+        any_change,
+        "6 ps jitter across 8 seeds should move the boundary"
+    );
 }
 
 /// FA, LA, and Inhibit cells compose with the RlValue mirrors.
@@ -96,8 +104,10 @@ fn temporal_ops_match_their_cells() {
         c.connect_input(ib, handle.input(1), Time::ZERO).unwrap();
         let out = c.probe(handle.output(0), "out");
         let mut sim = Simulator::new(c);
-        sim.schedule_input(ia, a.pulse_time_from(Time::ZERO)).unwrap();
-        sim.schedule_input(ib, b.pulse_time_from(Time::ZERO)).unwrap();
+        sim.schedule_input(ia, a.pulse_time_from(Time::ZERO))
+            .unwrap();
+        sim.schedule_input(ib, b.pulse_time_from(Time::ZERO))
+            .unwrap();
         sim.run().unwrap();
         sim.probe_times(out).to_vec()
     };

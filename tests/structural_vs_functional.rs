@@ -5,8 +5,7 @@ use proptest::prelude::*;
 use usfq::cells::catalog;
 use usfq::core::accel::{DotProductUnit, ProcessingElement};
 use usfq::core::blocks::{
-    BalancerAdder, BipolarMultiplier, CountingNetwork, PulseNumberMultiplier,
-    UnipolarMultiplier,
+    BalancerAdder, BipolarMultiplier, CountingNetwork, PulseNumberMultiplier, UnipolarMultiplier,
 };
 use usfq::encoding::{Epoch, PulseStream};
 
