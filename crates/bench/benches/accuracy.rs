@@ -3,8 +3,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use usfq_baseline::datapath::BinaryFir;
+use usfq_bench::experiments::fig19;
 use usfq_core::accel::{FaultModel, UsfqFir};
 use usfq_dsp::{design, metrics, signal};
+use usfq_sim::Runner;
 
 fn bench_snr_experiment(c: &mut Criterion) {
     let mut group = c.benchmark_group("accuracy/snr_sweep");
@@ -48,5 +50,29 @@ fn bench_snr_experiment(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_snr_experiment);
+/// The full fig19 Monte-Carlo stats sweep on the parallel runner:
+/// 1 thread (the old sequential loop) vs all available cores. Results
+/// are byte-identical; only wall-clock differs.
+fn bench_snr_sweep_stats(c: &mut Criterion) {
+    let mut group = c.benchmark_group("accuracy/snr_sweep_stats");
+    group.sample_size(10);
+    let trials = 4;
+    let available = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    for &threads in &[1usize, available] {
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| {
+                let runner = Runner::with_threads(threads);
+                b.iter(|| fig19::snr_sweep_stats_on(trials, &runner));
+            },
+        );
+        if available == 1 {
+            break;
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_snr_experiment, bench_snr_sweep_stats);
 criterion_main!(benches);

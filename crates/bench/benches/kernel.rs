@@ -90,5 +90,65 @@ fn bench_balancer_tree(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_delay_chain, bench_balancer_tree);
+/// Trial-loop styles over the same 128-stage delay chain: rebuilding
+/// the circuit and simulator every trial vs cloning a prototype once
+/// and `reset()`ing between trials (the sweep-runner reuse pattern).
+fn bench_sim_reuse(c: &mut Criterion) {
+    let stages = 128usize;
+    let trials = 8u64;
+    let build = || {
+        let mut circuit = Circuit::new();
+        let input = circuit.input("in");
+        let mut prev = None;
+        for i in 0..stages {
+            let buf = circuit.add(Buffer::new(format!("b{i}"), Time::from_ps(3.0)));
+            match prev {
+                None => circuit
+                    .connect_input(input, buf.input(0), Time::ZERO)
+                    .unwrap(),
+                Some(p) => circuit.connect(p, buf.input(0), Time::ZERO).unwrap(),
+            }
+            prev = Some(buf.output(0));
+        }
+        let probe = circuit.probe(prev.unwrap(), "out");
+        (circuit, input, probe)
+    };
+    let run = |sim: &mut Simulator, input, probe| {
+        for k in 0..32u64 {
+            sim.schedule_input(input, Time::from_ps(20.0 * k as f64))
+                .unwrap();
+        }
+        sim.run().unwrap();
+        assert_eq!(sim.probe_count(probe), 32);
+    };
+
+    let mut group = c.benchmark_group("kernel/sim_reuse");
+    group.bench_function("rebuild_per_trial", |b| {
+        b.iter(|| {
+            for _ in 0..trials {
+                let (circuit, input, probe) = build();
+                let mut sim = Simulator::new(circuit);
+                run(&mut sim, input, probe);
+            }
+        });
+    });
+    group.bench_function("clone_and_reset", |b| {
+        let (proto, input, probe) = build();
+        b.iter(|| {
+            let mut sim = Simulator::new(proto.clone());
+            for _ in 0..trials {
+                sim.reset();
+                run(&mut sim, input, probe);
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_delay_chain,
+    bench_balancer_tree,
+    bench_sim_reuse
+);
 criterion_main!(benches);

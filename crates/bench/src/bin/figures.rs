@@ -6,7 +6,12 @@
 //! figures fig18 fig19    # run selected artefacts
 //! figures --list         # list artefact ids
 //! figures --json out/    # also dump JSON series where available
+//! figures --threads 4    # worker count for parallel sweeps
 //! ```
+//!
+//! Sweeps run on `usfq_sim::Runner`, sized by `--threads` (or the
+//! `USFQ_THREADS` environment variable, or all available cores).
+//! Output is byte-identical at any thread count.
 
 use std::env;
 use std::fs;
@@ -30,6 +35,16 @@ fn main() -> ExitCode {
                 Some(dir) => json_dir = Some(PathBuf::from(dir)),
                 None => {
                     eprintln!("--json requires a directory argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--threads" => match iter.next().and_then(|n| n.parse::<usize>().ok()) {
+                // Experiments size their Runner from the environment;
+                // setting the variable here makes the flag reach every
+                // sweep without threading a handle through each one.
+                Some(n) if n > 0 => env::set_var(usfq_sim::runner::THREADS_ENV, n.to_string()),
+                _ => {
+                    eprintln!("--threads requires a positive integer argument");
                     return ExitCode::FAILURE;
                 }
             },
@@ -85,6 +100,7 @@ fn json_series(id: &str) -> Option<String> {
         "fig16" => serde_json::to_string_pretty(&fig16::series()),
         "fig18" => serde_json::to_string_pretty(&fig18::series()),
         "fig19" => serde_json::to_string_pretty(&fig19::snr_sweep()),
+        "fig19stats" => serde_json::to_string_pretty(&fig19::snr_sweep_stats(fig19::STATS_TRIALS)),
         "fig21" => serde_json::to_string_pretty(&fig21::series()),
         _ => return None,
     };

@@ -13,7 +13,7 @@
 use serde::Serialize;
 use usfq_core::blocks::{CountingNetwork, MergerAdder, UnipolarMultiplier};
 use usfq_encoding::{Epoch, PulseStream, RlValue};
-use usfq_sim::{Circuit, Simulator, Time};
+use usfq_sim::{Circuit, InputId, ProbeId, Runner, Simulator, Time};
 
 use crate::render;
 
@@ -67,33 +67,60 @@ pub fn adder_ablation() -> Vec<AdderAblationPoint> {
 /// Ablation 2: structural unipolar-multiplier product error (in pulses)
 /// as wire jitter grows. Returns `(sigma_ps, mean absolute pulse
 /// error over an operand grid)`.
+///
+/// The sigma × operand grid runs on the ambient [`Runner`]: each worker
+/// clones the multiplier testbench once and reuses its simulator across
+/// trials via [`Simulator::reset`]. Every trial re-seeds jitter itself
+/// (seed 11, matching the sequential loop), so results are identical at
+/// any thread count.
 pub fn jitter_ablation() -> Vec<(f64, f64)> {
-    [0.0, 1.0, 2.0, 4.0, 8.0]
+    const SIGMAS: [f64; 5] = [0.0, 1.0, 2.0, 4.0, 8.0];
+    let epoch = Epoch::from_bits(6).unwrap();
+    let grid: Vec<(f64, u64, u64)> = SIGMAS
         .iter()
-        .map(|&sigma_ps| {
-            let epoch = Epoch::from_bits(6).unwrap();
-            let mut total_err = 0.0;
-            let mut cases = 0.0;
-            for a_i in 1..=4u64 {
-                for b_i in 1..=4u64 {
-                    let a = a_i as f64 / 4.0;
-                    let b = b_i as f64 / 4.0;
-                    let got = multiply_with_jitter(epoch, a, b, sigma_ps);
-                    let want = UnipolarMultiplier::new(epoch)
-                        .multiply_functional(a, b)
-                        .unwrap()
-                        .count() as f64;
-                    total_err += (got as f64 - want).abs();
-                    cases += 1.0;
-                }
-            }
-            (sigma_ps, total_err / cases)
+        .flat_map(|&sigma_ps| {
+            (1..=4u64).flat_map(move |a_i| (1..=4u64).map(move |b_i| (sigma_ps, a_i, b_i)))
+        })
+        .collect();
+    let (proto, ports) = multiplier_testbench();
+    let errs = Runner::from_env().map_init(
+        &grid,
+        || Simulator::new(proto.clone()),
+        |sim, _, &(sigma_ps, a_i, b_i)| {
+            let a = a_i as f64 / 4.0;
+            let b = b_i as f64 / 4.0;
+            let got = multiply_with_jitter(sim, ports, epoch, a, b, sigma_ps);
+            let want = UnipolarMultiplier::new(epoch)
+                .multiply_functional(a, b)
+                .unwrap()
+                .count() as f64;
+            (got as f64 - want).abs()
+        },
+    );
+    let cases = grid.len() / SIGMAS.len();
+    SIGMAS
+        .iter()
+        .enumerate()
+        .map(|(i, &sigma_ps)| {
+            let total_err: f64 = errs[i * cases..(i + 1) * cases].iter().sum();
+            (sigma_ps, total_err / cases as f64)
         })
         .collect()
 }
 
-/// One jittered structural multiplication, returning the output count.
-fn multiply_with_jitter(epoch: Epoch, a: f64, b: f64, sigma_ps: f64) -> u64 {
+/// Ports of the multiplier testbench, in build order.
+#[derive(Clone, Copy)]
+struct TestbenchPorts {
+    in_e: InputId,
+    in_b: InputId,
+    in_a: InputId,
+    q: ProbeId,
+}
+
+/// The structural multiplier testbench: one NDRO with a 30 ps JTL run
+/// on each operand (where jitter acts). Built once and cloned per
+/// worker.
+fn multiplier_testbench() -> (Circuit, TestbenchPorts) {
     use usfq_cells::storage::Ndro;
     let mut c = Circuit::new();
     let in_e = c.input("E");
@@ -108,19 +135,42 @@ fn multiply_with_jitter(epoch: Epoch, a: f64, b: f64, sigma_ps: f64) -> u64 {
     c.connect_input(in_a, ndro.input(Ndro::IN_CLK), Time::from_ps(30.0))
         .unwrap();
     let q = c.probe(ndro.output(Ndro::OUT_Q), "q");
-    let mut sim = Simulator::new(c);
+    (
+        c,
+        TestbenchPorts {
+            in_e,
+            in_b,
+            in_a,
+            q,
+        },
+    )
+}
+
+/// One jittered structural multiplication on a reused simulator,
+/// returning the output count.
+fn multiply_with_jitter(
+    sim: &mut Simulator,
+    ports: TestbenchPorts,
+    epoch: Epoch,
+    a: f64,
+    b: f64,
+    sigma_ps: f64,
+) -> u64 {
+    sim.reset();
     if sigma_ps > 0.0 {
         sim.enable_wire_jitter(Time::from_ps(sigma_ps), 11);
+    } else {
+        sim.disable_wire_jitter();
     }
     let stream = PulseStream::from_unipolar(a, epoch).unwrap();
     let gate = RlValue::from_unipolar(b, epoch).unwrap();
-    sim.schedule_input(in_e, Time::ZERO).unwrap();
-    sim.schedule_input(in_b, gate.pulse_time_from(Time::ZERO))
+    sim.schedule_input(ports.in_e, Time::ZERO).unwrap();
+    sim.schedule_input(ports.in_b, gate.pulse_time_from(Time::ZERO))
         .unwrap();
-    sim.schedule_pulses(in_a, stream.schedule_from(Time::ZERO))
+    sim.schedule_pulses(ports.in_a, stream.schedule_from(Time::ZERO))
         .unwrap();
     sim.run().unwrap();
-    sim.probe_count(q) as u64
+    sim.probe_count(ports.q) as u64
 }
 
 /// Ablation 3: counting-tree rounding bias vs width — the root count

@@ -4,6 +4,7 @@
 use serde::Serialize;
 use usfq_baseline::models;
 use usfq_core::model::{area, latency};
+use usfq_sim::Runner;
 
 use crate::render;
 
@@ -32,30 +33,32 @@ pub struct Point {
     pub binary_kops_per_jj: f64,
 }
 
-/// The data series for the figure's two tap counts.
+/// The data series for the figure's two tap counts, computed over the
+/// ambient [`Runner`]; the point order (taps-major, bits ascending) is
+/// independent of thread count.
 pub fn series() -> Vec<Point> {
-    let mut pts = Vec::new();
-    for &taps in &[32usize, 256] {
-        for bits in 4..=16 {
-            let ul = latency::fir_latency(bits).as_secs();
-            let bl = models::fir_latency(bits, taps).as_secs();
-            let ujj = area::fir_jj(taps, bits);
-            let bjj = models::fir_jj(bits, taps);
-            pts.push(Point {
-                bits,
-                taps,
-                unary_latency_us: ul * 1e6,
-                binary_latency_us: bl * 1e6,
-                unary_gops: 1e-9 / ul,
-                binary_gops: 1e-9 / bl,
-                unary_jj: ujj,
-                binary_jj: bjj,
-                unary_kops_per_jj: 1e-3 / ul / ujj as f64,
-                binary_kops_per_jj: 1e-3 / bl / bjj as f64,
-            });
+    let grid: Vec<(usize, u32)> = [32usize, 256]
+        .iter()
+        .flat_map(|&taps| (4..=16).map(move |bits| (taps, bits)))
+        .collect();
+    Runner::from_env().map(&grid, |_, &(taps, bits)| {
+        let ul = latency::fir_latency(bits).as_secs();
+        let bl = models::fir_latency(bits, taps).as_secs();
+        let ujj = area::fir_jj(taps, bits);
+        let bjj = models::fir_jj(bits, taps);
+        Point {
+            bits,
+            taps,
+            unary_latency_us: ul * 1e6,
+            binary_latency_us: bl * 1e6,
+            unary_gops: 1e-9 / ul,
+            binary_gops: 1e-9 / bl,
+            unary_jj: ujj,
+            binary_jj: bjj,
+            unary_kops_per_jj: 1e-3 / ul / ujj as f64,
+            binary_kops_per_jj: 1e-3 / bl / bjj as f64,
         }
-    }
-    pts
+    })
 }
 
 /// Renders the four panels' rows.

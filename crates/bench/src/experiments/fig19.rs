@@ -8,6 +8,7 @@ use serde::Serialize;
 use usfq_baseline::datapath::BinaryFir;
 use usfq_core::accel::{FaultModel, UsfqFir};
 use usfq_dsp::{design, metrics, signal, spectrum};
+use usfq_sim::Runner;
 
 use crate::render;
 
@@ -17,6 +18,11 @@ pub const FS: f64 = 32_000.0;
 pub const N: usize = 2048;
 /// Resolution of both filters.
 pub const BITS: u32 = 16;
+/// Error rates swept by [`snr_sweep_stats`].
+pub const STATS_RATES: [f64; 3] = [0.01, 0.1, 0.3];
+/// Fault seeds per rate in the standalone whisker artefact
+/// (`fig19stats`).
+pub const STATS_TRIALS: u64 = 32;
 
 fn setup() -> (Vec<f64>, Vec<f64>) {
     let x = signal::paper_test_signal(FS, N);
@@ -95,41 +101,67 @@ pub struct SnrStats {
     pub unary_std_db: f64,
 }
 
-/// SNR statistics over `trials` independent seeds per error rate.
+/// One `(rate, seed)` Monte-Carlo trial: binary and U-SFQ (i,iii) SNR.
+/// All randomness derives from `seed`, so trials are independent and
+/// safe to run in any order on any thread.
+fn snr_trial(x: &[f64], h: &[f64], rate: f64, seed: u64) -> (f64, f64) {
+    let by = BinaryFir::new(h, BITS).with_bit_flips(rate, seed).filter(x);
+    let uy = UsfqFir::new(h, BITS)
+        .unwrap()
+        .with_faults(
+            FaultModel {
+                stream_loss: rate,
+                rl_loss: 0.0,
+                rl_delay: rate,
+            },
+            seed,
+        )
+        .unwrap()
+        .filter(x)
+        .unwrap();
+    (
+        metrics::tone_snr(&by, 1_000.0, FS),
+        metrics::tone_snr(&uy, 1_000.0, FS),
+    )
+}
+
+/// SNR statistics over `trials` independent seeds per error rate,
+/// parallelised over the ambient [`Runner`] (`USFQ_THREADS` /
+/// available cores).
 pub fn snr_sweep_stats(trials: u64) -> Vec<SnrStats> {
+    snr_sweep_stats_on(trials, &Runner::from_env())
+}
+
+/// [`snr_sweep_stats`] on an explicit runner. Results are identical —
+/// bit for bit — at any thread count: each `(rate, seed)` trial owns
+/// its randomness and the runner returns trials in grid order.
+pub fn snr_sweep_stats_on(trials: u64, runner: &Runner) -> Vec<SnrStats> {
     let (x, h) = setup();
-    [0.01, 0.1, 0.3]
+    let grid: Vec<(f64, u64)> = STATS_RATES
         .iter()
-        .map(|&rate| {
-            let mut binary = Vec::new();
-            let mut unary = Vec::new();
-            for seed in 0..trials {
-                let by = BinaryFir::new(&h, BITS)
-                    .with_bit_flips(rate, seed)
-                    .filter(&x);
-                binary.push(metrics::tone_snr(&by, 1_000.0, FS));
-                let uy = UsfqFir::new(&h, BITS)
-                    .unwrap()
-                    .with_faults(
-                        FaultModel {
-                            stream_loss: rate,
-                            rl_loss: 0.0,
-                            rl_delay: rate,
-                        },
-                        seed,
-                    )
-                    .unwrap()
-                    .filter(&x)
-                    .unwrap();
-                unary.push(metrics::tone_snr(&uy, 1_000.0, FS));
-            }
-            let stat = |v: &[f64]| {
-                let mean = v.iter().sum::<f64>() / v.len() as f64;
-                let var = v.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / v.len() as f64;
+        .flat_map(|&rate| (0..trials).map(move |seed| (rate, seed)))
+        .collect();
+    let per_trial = runner.map(&grid, |_, &(rate, seed)| snr_trial(&x, &h, rate, seed));
+    let t = trials as usize;
+    STATS_RATES
+        .iter()
+        .enumerate()
+        .map(|(i, &rate)| {
+            let rows = &per_trial[i * t..(i + 1) * t];
+            let stat = |pick: fn(&(f64, f64)) -> f64| {
+                let mean = rows.iter().map(pick).sum::<f64>() / rows.len() as f64;
+                let var = rows
+                    .iter()
+                    .map(|r| {
+                        let s = pick(r);
+                        (s - mean) * (s - mean)
+                    })
+                    .sum::<f64>()
+                    / rows.len() as f64;
                 (mean, var.sqrt())
             };
-            let (bm, bs) = stat(&binary);
-            let (um, us) = stat(&unary);
+            let (bm, bs) = stat(|r| r.0);
+            let (um, us) = stat(|r| r.1);
             SnrStats {
                 rate,
                 binary_mean_db: bm,
@@ -139,6 +171,23 @@ pub fn snr_sweep_stats(trials: u64) -> Vec<SnrStats> {
             }
         })
         .collect()
+}
+
+/// Renders the standalone Fig. 19a whisker artefact: mean ± std SNR
+/// over [`STATS_TRIALS`] fault seeds per error rate.
+pub fn render_stats() -> String {
+    let mut out = format!("Fig. 19a whiskers: SNR over {STATS_TRIALS} fault seeds per rate\n");
+    for s in snr_sweep_stats(STATS_TRIALS) {
+        out.push_str(&format!(
+            "  {:>3.0}%: binary {:>6.1} ± {:>4.1} dB | U-SFQ {:>6.1} ± {:>4.1} dB\n",
+            s.rate * 100.0,
+            s.binary_mean_db,
+            s.binary_std_db,
+            s.unary_mean_db,
+            s.unary_std_db
+        ));
+    }
+    out
 }
 
 /// Panel (b): distribution of per-sample output error (in dB relative
@@ -300,6 +349,36 @@ mod tests {
             low_rate.binary_std_db,
             low_rate.unary_std_db
         );
+    }
+
+    /// The runner contract on real fig19 trials: the parallel sweep is
+    /// bit-identical to the single-thread (sequential) one at any
+    /// thread count.
+    #[test]
+    fn stats_identical_across_thread_counts() {
+        let bits = |s: &[SnrStats]| -> Vec<u64> {
+            s.iter()
+                .flat_map(|p| {
+                    [
+                        p.rate,
+                        p.binary_mean_db,
+                        p.binary_std_db,
+                        p.unary_mean_db,
+                        p.unary_std_db,
+                    ]
+                })
+                .map(f64::to_bits)
+                .collect()
+        };
+        let sequential = snr_sweep_stats_on(3, &Runner::with_threads(1));
+        for threads in [2, 3, 8] {
+            let parallel = snr_sweep_stats_on(3, &Runner::with_threads(threads));
+            assert_eq!(
+                bits(&parallel),
+                bits(&sequential),
+                "diverged at {threads} threads"
+            );
+        }
     }
 
     /// Panel (b): 1 % bit flips produce a wide error distribution with

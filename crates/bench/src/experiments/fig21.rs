@@ -8,6 +8,7 @@ use usfq_core::blocks::BipolarMultiplier;
 use usfq_core::model::power;
 use usfq_encoding::{Epoch, PulseStream, RlValue};
 use usfq_sim::power::PowerModel;
+use usfq_sim::Runner;
 
 use crate::render;
 
@@ -49,15 +50,17 @@ pub fn simulated_curve(stream: f64) -> Vec<(f64, f64)> {
     let epoch = Epoch::from_bits(BITS).unwrap();
     let mult = BipolarMultiplier::new(epoch);
     let model = PowerModel::rsfq();
-    (0..=10)
-        .map(|i| {
-            let rl = -1.0 + i as f64 * 0.2;
-            let a = PulseStream::from_bipolar(stream, epoch).unwrap();
-            let b = RlValue::from_bipolar(rl, epoch).unwrap();
-            let (_, watts) = mult.multiply_with_power(a, b, &model).unwrap();
-            (rl, watts * 1e9)
-        })
-        .collect()
+    let steps: Vec<i32> = (0..=10).collect();
+    // Each point is a full event-driven run of the multiplier circuit;
+    // the runner spreads them across cores with the output staying in
+    // RL order.
+    Runner::from_env().map(&steps, |_, &i| {
+        let rl = -1.0 + f64::from(i) * 0.2;
+        let a = PulseStream::from_bipolar(stream, epoch).unwrap();
+        let b = RlValue::from_bipolar(rl, epoch).unwrap();
+        let (_, watts) = mult.multiply_with_power(a, b, &model).unwrap();
+        (rl, watts * 1e9)
+    })
 }
 
 /// Renders the three curves and the simulation cross-check at stream 1.

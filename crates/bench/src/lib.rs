@@ -76,6 +76,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             fig19::render,
         ),
         (
+            "fig19stats",
+            "Fig. 19a whiskers: SNR mean/std over independent fault seeds",
+            fig19::render_stats,
+        ),
+        (
             "fig20",
             "Fig. 20: unary-vs-binary FIR gain regions",
             fig20::render,

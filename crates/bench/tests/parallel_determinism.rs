@@ -1,0 +1,46 @@
+//! The sweep runner's determinism contract, exercised end to end on
+//! the real Fig. 19 fault sweep: for the same seeds, the parallel
+//! runner's results are identical — bit for bit — to the sequential
+//! loop, at any thread count.
+
+use proptest::prelude::*;
+use usfq_bench::experiments::fig19::{snr_sweep_stats_on, SnrStats};
+use usfq_sim::Runner;
+
+fn bits(stats: &[SnrStats]) -> Vec<u64> {
+    stats
+        .iter()
+        .flat_map(|s| {
+            [
+                s.rate,
+                s.binary_mean_db,
+                s.binary_std_db,
+                s.unary_mean_db,
+                s.unary_std_db,
+            ]
+        })
+        .map(f64::to_bits)
+        .collect()
+}
+
+#[test]
+fn single_thread_runner_is_the_sequential_loop() {
+    // threads == 1 takes the inline path: this is the sequential
+    // baseline every other thread count must reproduce.
+    let a = snr_sweep_stats_on(2, &Runner::with_threads(1));
+    let b = snr_sweep_stats_on(2, &Runner::with_threads(1));
+    assert_eq!(bits(&a), bits(&b));
+}
+
+proptest! {
+    // Each case runs two full Monte-Carlo sweeps; keep the case count
+    // low so the suite stays quick.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn parallel_sweep_matches_sequential(threads in 2usize..9, trials in 1u64..3) {
+        let sequential = snr_sweep_stats_on(trials, &Runner::with_threads(1));
+        let parallel = snr_sweep_stats_on(trials, &Runner::with_threads(threads));
+        prop_assert_eq!(bits(&parallel), bits(&sequential));
+    }
+}

@@ -250,6 +250,7 @@ fn usfq008_fires_when_arrival_exceeds_budget() {
 }
 
 /// A cell that claims a catalog kind but carries the wrong JJ count.
+#[derive(Clone)]
 struct MisCountedJtl;
 
 impl Component for MisCountedJtl {

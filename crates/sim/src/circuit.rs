@@ -120,6 +120,7 @@ pub(crate) struct OutputNet {
     pub(crate) probes: Vec<ProbeId>,
 }
 
+#[derive(Clone)]
 pub(crate) struct CompSlot {
     pub(crate) model: Box<dyn Component>,
     /// One net per output port.
@@ -170,6 +171,13 @@ pub struct FanoutOverflow {
 /// splitter cell. The builder permits electrical fan-out for modelling
 /// convenience, but [`Circuit::assert_single_fanout`] lets structural
 /// netlists verify they are physically realisable.
+///
+/// Circuits are `Clone` (every [`Component`] provides
+/// [`clone_box`](crate::component::CloneComponent::clone_box)): a clone
+/// is a deep copy including each component's *current* state, so clone a
+/// prototype before it ever runs — or after [`crate::Simulator::reset`] —
+/// to get power-on copies for parallel trials.
+#[derive(Clone)]
 pub struct Circuit {
     pub(crate) comps: Vec<CompSlot>,
     pub(crate) inputs: Vec<InputSlot>,
@@ -299,6 +307,21 @@ impl Circuit {
     /// Number of declared external inputs.
     pub fn num_inputs(&self) -> usize {
         self.inputs.len()
+    }
+
+    /// Total number of wired sinks across all nets (component outputs
+    /// plus external inputs) — the netlist's aggregate fan-out. One
+    /// pulse traversal occupies at most this many event-queue slots, so
+    /// [`crate::Simulator::new`] uses it to pre-size the queue.
+    pub fn num_wires(&self) -> usize {
+        let comp_wires: usize = self
+            .comps
+            .iter()
+            .flat_map(|slot| slot.outputs.iter())
+            .map(|net| net.wires.len())
+            .sum();
+        let input_wires: usize = self.inputs.iter().map(|slot| slot.net.wires.len()).sum();
+        comp_wires + input_wires
     }
 
     /// Name of an external input.
@@ -782,6 +805,39 @@ mod tests {
         let taps: Vec<_> = c.probe_taps().collect();
         assert!(taps.contains(&(p_out, ProbeSource::Output(b2.id(), 0))));
         assert!(taps.contains(&(p_in, ProbeSource::Input(input))));
+    }
+
+    #[test]
+    fn num_wires_counts_all_sinks() {
+        let mut c = Circuit::new();
+        let input = c.input("x");
+        let b1 = c.add(buffer());
+        let b2 = c.add(buffer());
+        assert_eq!(c.num_wires(), 0);
+        c.connect_input(input, b1.input(0), Time::ZERO).unwrap();
+        c.connect(b1.output(0), b2.input(0), Time::ZERO).unwrap();
+        c.connect(b1.output(0), b2.input(0), Time::ZERO).unwrap();
+        assert_eq!(c.num_wires(), 3);
+    }
+
+    #[test]
+    fn clone_is_deep_and_independent() {
+        let mut c = Circuit::new();
+        let input = c.input("x");
+        let b1 = c.add(buffer());
+        c.connect_input(input, b1.input(0), Time::from_ps(2.0))
+            .unwrap();
+        c.probe(b1.output(0), "p");
+        let mut copy = c.clone();
+        // Growing the clone leaves the original untouched.
+        let b2 = copy.add(buffer());
+        copy.connect(b1.output(0), b2.input(0), Time::ZERO).unwrap();
+        assert_eq!(c.num_components(), 1);
+        assert_eq!(copy.num_components(), 2);
+        assert_eq!(c.num_wires(), 1);
+        assert_eq!(copy.num_wires(), 2);
+        assert_eq!(copy.input_name(input).unwrap(), "x");
+        assert_eq!(c.total_jj() + 2, copy.total_jj());
     }
 
     #[test]

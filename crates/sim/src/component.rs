@@ -145,11 +145,41 @@ impl StaticMeta {
     }
 }
 
+/// Object-safe cloning for boxed components.
+///
+/// Implemented automatically for every `Component` that is `Clone`, so a
+/// [`Circuit`](crate::Circuit) full of `Box<dyn Component>` slots can
+/// itself be `Clone` — the enabler for per-trial circuit copies in
+/// parallel sweeps (see [`crate::runner`]). A component that cannot
+/// derive `Clone` implements this trait by hand.
+pub trait CloneComponent {
+    /// Boxes a deep copy of `self`, preserving its current state.
+    fn clone_box(&self) -> Box<dyn Component>;
+}
+
+impl<T: Component + Clone + 'static> CloneComponent for T {
+    fn clone_box(&self) -> Box<dyn Component> {
+        Box::new(self.clone())
+    }
+}
+
+impl Clone for Box<dyn Component> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
 /// A behavioral model of an SFQ cell.
 ///
 /// Implementations are deterministic state machines: the engine delivers
 /// pulses (and previously requested timers) in non-decreasing time order and
 /// the component reacts by updating internal state and requesting emissions.
+///
+/// Components must be `Clone` (which provides
+/// [`CloneComponent::clone_box`] for free) plus `Send + Sync`, so whole
+/// circuits can be cloned and shipped to worker threads by the parallel
+/// [`runner`](crate::runner). Cells are plain-data state machines, so
+/// `#[derive(Clone)]` is all a typical implementation needs.
 ///
 /// # Examples
 ///
@@ -159,6 +189,7 @@ impl StaticMeta {
 /// use usfq_sim::component::{Component, Ctx};
 /// use usfq_sim::Time;
 ///
+/// #[derive(Clone)]
 /// struct Echo;
 /// impl Component for Echo {
 ///     fn name(&self) -> &str { "echo" }
@@ -170,7 +201,7 @@ impl StaticMeta {
 ///     }
 /// }
 /// ```
-pub trait Component {
+pub trait Component: CloneComponent + Send + Sync {
     /// Instance name, used in error messages and reports.
     fn name(&self) -> &str;
 
@@ -308,6 +339,19 @@ mod tests {
     }
 
     #[test]
+    fn clone_box_copies_boxed_components() {
+        let boxed: Box<dyn Component> =
+            Box::new(Buffer::with_jj_count("jtl", Time::from_ps(5.0), 6));
+        let copy = boxed.clone();
+        assert_eq!(copy.name(), "jtl");
+        assert_eq!(copy.jj_count(), 6);
+        let mut ctx = Ctx::default();
+        let mut copy = copy;
+        copy.on_pulse(0, Time::ZERO, &mut ctx);
+        assert_eq!(ctx.emissions(), &[(0, Time::from_ps(5.0))]);
+    }
+
+    #[test]
     fn buffer_with_custom_jj() {
         let b = Buffer::with_jj_count("jtl4", Time::from_ps(12.0), 8);
         assert_eq!(b.jj_count(), 8);
@@ -339,6 +383,7 @@ mod tests {
         assert_eq!(meta.max_delay, Time::from_ps(4.0));
         assert_eq!(meta.hazards.len(), 2);
 
+        #[derive(Clone)]
         struct Bare;
         impl Component for Bare {
             fn name(&self) -> &str {

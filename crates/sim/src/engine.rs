@@ -110,12 +110,24 @@ pub struct Simulator {
 
 impl Simulator {
     /// Wraps a finished circuit in a simulator.
+    ///
+    /// The event queue and probe recordings are pre-sized from the
+    /// netlist's aggregate fan-out ([`Circuit::num_wires`]), so the
+    /// first run does not pay reallocation on the hot path, and
+    /// [`Simulator::reset`] keeps those allocations for the next trial.
     pub fn new(circuit: Circuit) -> Self {
-        let probe_data = vec![Vec::new(); circuit.probes.len()];
+        // One traversal of every wire can be in flight at once; a few
+        // epochs of slack covers pipelined stimuli without regrowth.
+        let queue_capacity = circuit.num_wires().saturating_mul(2).max(16);
+        let probe_data = circuit
+            .probes
+            .iter()
+            .map(|_| Vec::with_capacity(16))
+            .collect();
         let activity = ActivityReport::with_components(circuit.comps.len());
         Simulator {
             circuit,
-            queue: BinaryHeap::new(),
+            queue: BinaryHeap::with_capacity(queue_capacity),
             seq: 0,
             now: Time::ZERO,
             probe_data,
@@ -200,15 +212,18 @@ impl Simulator {
             if ev.time > deadline {
                 break;
             }
-            self.queue.pop();
-            self.now = ev.time;
-            events += 1;
-            self.events_processed += 1;
-            if self.events_processed > self.event_limit {
+            // Check *before* consuming the event: at most `event_limit`
+            // dispatches ever happen, and the clock never advances past
+            // the last permitted one.
+            if self.events_processed >= self.event_limit {
                 return Err(SimError::EventLimitExceeded {
                     limit: self.event_limit,
                 });
             }
+            self.queue.pop();
+            self.now = ev.time;
+            events += 1;
+            self.events_processed += 1;
             self.dispatch(ev)?;
         }
         Ok(RunSummary {
@@ -259,18 +274,20 @@ impl Simulator {
     }
 
     fn fan_out(&mut self, source: NetSource, t: Time) -> Result<(), SimError> {
-        fn net(sim: &Simulator, source: NetSource) -> &OutputNet {
-            match source {
-                NetSource::Input(i) => &sim.circuit.inputs[i].net,
-                NetSource::Output(c, p) => &sim.circuit.comps[c].outputs[p],
-            }
-        }
-        for i in 0..net(self, source).probes.len() {
-            let probe = net(self, source).probes[i];
+        // Borrow the net once: `circuit`, `probe_data`, `seq`, `jitter`
+        // and `queue` are disjoint fields, so no per-element re-lookup
+        // is needed to satisfy the borrow checker.
+        let net: &OutputNet = match source {
+            NetSource::Input(i) => &self.circuit.inputs[i].net,
+            NetSource::Output(c, p) => &self.circuit.comps[c].outputs[p],
+        };
+        for &probe in &net.probes {
             self.probe_data[probe.0].push(t);
         }
-        for i in 0..net(self, source).wires.len() {
-            let wire = net(self, source).wires[i];
+        // Allocate sequence numbers for the whole net in one batch.
+        let first_seq = self.seq;
+        self.seq += net.wires.len() as u64;
+        for (seq, &wire) in (first_seq..).zip(net.wires.iter()) {
             let mut arrival = t.checked_add(wire.delay).ok_or(SimError::TimeOverflow)?;
             if let Some(jitter) = &mut self.jitter {
                 let j = jitter.sample_fs();
@@ -283,15 +300,14 @@ impl Simulator {
                     arrival.saturating_sub(Time::from_fs((-j) as u64)).max(t)
                 };
             }
-            let seq = self.next_seq();
-            self.push(Event {
+            self.queue.push(Reverse(Event {
                 time: arrival,
                 seq,
                 kind: EventKind::Deliver {
                     comp: wire.dest,
                     port: wire.port,
                 },
-            });
+            }));
         }
         Ok(())
     }
@@ -359,6 +375,13 @@ impl Simulator {
 
     /// Returns all components to power-on state, clears probes, pending
     /// events, and activity counters. Input wiring is preserved.
+    ///
+    /// Everything is cleared *in place* — queue, probe recordings, and
+    /// activity counters keep their allocations — so resetting between
+    /// trials of a sweep is allocation-free. Wire-delay jitter, if
+    /// enabled, is *not* re-seeded; call
+    /// [`Simulator::enable_wire_jitter`] again for a reproducible
+    /// per-trial jitter stream.
     pub fn reset(&mut self) {
         for slot in &mut self.circuit.comps {
             slot.model.reset();
@@ -369,7 +392,7 @@ impl Simulator {
         for p in &mut self.probe_data {
             p.clear();
         }
-        self.activity = ActivityReport::with_components(self.circuit.comps.len());
+        self.activity.reset();
         self.events_processed = 0;
     }
 }
@@ -451,6 +474,7 @@ mod tests {
     }
 
     /// A pathological cell that echoes with zero delay to itself.
+    #[derive(Clone)]
     struct Oscillator;
     impl Component for Oscillator {
         fn name(&self) -> &str {
@@ -484,8 +508,42 @@ mod tests {
         assert_eq!(err, SimError::EventLimitExceeded { limit: 1000 });
     }
 
+    /// The limit is exact: a workload of exactly `limit` events passes,
+    /// and the `limit + 1`-th dispatch never happens (it used to be
+    /// consumed off the queue and counted before the check fired).
+    #[test]
+    fn event_limit_is_exact() {
+        let build = || {
+            let mut c = Circuit::new();
+            let input = c.input("in");
+            let b = c.add(Buffer::new("b", Time::ZERO));
+            c.connect_input(input, b.input(0), Time::ZERO).unwrap();
+            let p = c.probe(b.output(0), "p");
+            let mut sim = Simulator::new(c);
+            for k in 0..4u64 {
+                sim.schedule_input(input, Time::from_ps(k as f64)).unwrap();
+            }
+            (sim, p)
+        };
+        // Exactly at the limit: fine.
+        let (mut sim, p) = build();
+        sim.set_event_limit(4);
+        let summary = sim.run().unwrap();
+        assert_eq!(summary.events, 4);
+        assert_eq!(sim.probe_count(p), 4);
+        // One below: the 4th event must not be dispatched, and the
+        // clock must not advance onto it.
+        let (mut sim, p) = build();
+        sim.set_event_limit(3);
+        let err = sim.run().unwrap_err();
+        assert_eq!(err, SimError::EventLimitExceeded { limit: 3 });
+        assert_eq!(sim.probe_count(p), 3);
+        assert_eq!(sim.now(), Time::from_ps(2.0));
+    }
+
     #[test]
     fn timer_delivery() {
+        #[derive(Clone)]
         struct TimerCell {
             fired_at: Option<Time>,
         }
@@ -541,6 +599,71 @@ mod tests {
         sim.schedule_input(input, Time::from_ps(4.0)).unwrap();
         sim.run().unwrap();
         assert_eq!(sim.probe_count(p), 1);
+    }
+
+    /// A cloned circuit is a power-on deep copy: it replays the same
+    /// stimulus bit-for-bit, independently of the original.
+    #[test]
+    fn cloned_circuit_replays_identically() {
+        let mut c = Circuit::new();
+        let input = c.input("in");
+        let b1 = c.add(Buffer::new("b1", Time::from_ps(3.0)));
+        let b2 = c.add(Buffer::new("b2", Time::from_ps(4.0)));
+        let b3 = c.add(Buffer::new("b3", Time::from_ps(5.0)));
+        c.connect_input(input, b1.input(0), Time::from_ps(1.0))
+            .unwrap();
+        c.connect(b1.output(0), b2.input(0), Time::ZERO).unwrap();
+        c.connect(b1.output(0), b3.input(0), Time::from_ps(2.0))
+            .unwrap();
+        let probe = c.probe(b3.output(0), "out");
+
+        let run = |circuit: Circuit| {
+            let mut sim = Simulator::new(circuit);
+            sim.enable_wire_jitter(Time::from_ps(1.0), 5);
+            sim.schedule_pulses(input, [Time::ZERO, Time::from_ps(40.0)])
+                .unwrap();
+            sim.run().unwrap();
+            (sim.probe_times(probe).to_vec(), sim.activity().clone())
+        };
+        let (times_a, act_a) = run(c.clone());
+        let (times_b, act_b) = run(c);
+        assert_eq!(times_a, times_b);
+        assert_eq!(act_a.handled, act_b.handled);
+        assert_eq!(act_a.emitted, act_b.emitted);
+    }
+
+    /// Reusing one simulator via `reset` matches building a fresh one —
+    /// the trial-reuse pattern of the parallel runner.
+    #[test]
+    fn reset_reuse_matches_fresh_simulator() {
+        let build = || {
+            let mut c = Circuit::new();
+            let input = c.input("in");
+            let b = c.add(Buffer::new("b", Time::from_ps(2.0)));
+            c.connect_input(input, b.input(0), Time::from_ps(1.0))
+                .unwrap();
+            let p = c.probe(b.output(0), "p");
+            (c, input, p)
+        };
+        let (proto, input, p) = build();
+        let mut reused = Simulator::new(proto.clone());
+        let mut fresh_results = Vec::new();
+        let mut reused_results = Vec::new();
+        for trial in 0..3u64 {
+            let stimulus: Vec<Time> = (0..4)
+                .map(|k| Time::from_ps((10 * k + trial) as f64))
+                .collect();
+            let mut fresh = Simulator::new(proto.clone());
+            fresh.schedule_pulses(input, stimulus.clone()).unwrap();
+            fresh.run().unwrap();
+            fresh_results.push(fresh.probe_times(p).to_vec());
+
+            reused.reset();
+            reused.schedule_pulses(input, stimulus).unwrap();
+            reused.run().unwrap();
+            reused_results.push(reused.probe_times(p).to_vec());
+        }
+        assert_eq!(fresh_results, reused_results);
     }
 
     #[test]

@@ -22,6 +22,9 @@
 //! * [`stats::ActivityReport`] counts pulse arrivals and emissions per
 //!   component; [`power`] converts activity into active/passive power using
 //!   per-cell Josephson-junction accounting.
+//! * [`runner::Runner`] maps seeded trial functions over parameter grids
+//!   across threads with results in input order, so parallel sweeps are
+//!   byte-identical to the sequential loop at any thread count.
 //!
 //! ## Example
 //!
@@ -56,6 +59,7 @@ pub mod component;
 pub mod engine;
 pub mod error;
 pub mod power;
+pub mod runner;
 pub mod stats;
 pub mod time;
 pub mod trace;
@@ -66,4 +70,5 @@ pub use circuit::{
 pub use component::{Component, Ctx, Hazard, StaticMeta};
 pub use engine::{RunSummary, Simulator};
 pub use error::SimError;
+pub use runner::Runner;
 pub use time::Time;

@@ -1,0 +1,305 @@
+//! Deterministic parallel sweep runner.
+//!
+//! Every artefact of the U-SFQ evaluation is a sweep: independent,
+//! seeded trials over a parameter grid (error rates × fault seeds,
+//! taps × bits, jitter sigmas × operand pairs). This module maps a
+//! trial function over such a grid across threads while keeping the
+//! output *bit-for-bit identical* to the sequential loop.
+//!
+//! # Determinism contract
+//!
+//! * **Ordered results.** [`Runner::map`] returns one result per input
+//!   item, in input order, regardless of which thread computed it or
+//!   when it finished.
+//! * **Seed ownership.** All randomness a trial uses must derive from
+//!   its own input item (its seed / parameters) — never from thread
+//!   identity, shared RNG state, or timing. The runner hands each trial
+//!   its index and item and nothing else.
+//! * **Thread-count independence.** Under the two rules above, the
+//!   thread count (including 1) changes wall-clock time only, never a
+//!   result byte.
+//!
+//! Work is distributed by atomic self-scheduling: idle workers steal
+//! the next unclaimed index from a shared counter, so an expensive
+//! trial on one thread never stalls the rest of the grid.
+//!
+//! # Simulator reuse
+//!
+//! [`Runner::map_init`] builds one per-worker state up front — the
+//! intended pattern is cloning a prototype [`Circuit`](crate::Circuit)
+//! into a [`Simulator`](crate::Simulator) once per worker, then calling
+//! [`Simulator::reset`](crate::Simulator::reset) between trials, which
+//! clears in place and keeps every allocation:
+//!
+//! ```
+//! use usfq_sim::component::Buffer;
+//! use usfq_sim::runner::Runner;
+//! use usfq_sim::{Circuit, Simulator, Time};
+//!
+//! let mut proto = Circuit::new();
+//! let input = proto.input("in");
+//! let b = proto.add(Buffer::new("b", Time::from_ps(2.0)));
+//! proto.connect_input(input, b.input(0), Time::ZERO).unwrap();
+//! let probe = proto.probe(b.output(0), "out");
+//!
+//! let seeds: Vec<u64> = (0..32).collect();
+//! let counts = Runner::with_threads(4).map_init(
+//!     &seeds,
+//!     || Simulator::new(proto.clone()),
+//!     |sim, _idx, &seed| {
+//!         sim.reset();
+//!         sim.schedule_input(input, Time::from_ps(seed as f64)).unwrap();
+//!         sim.run().unwrap();
+//!         sim.probe_count(probe)
+//!     },
+//! );
+//! assert_eq!(counts, vec![1; 32]);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Environment variable overriding the default worker count (`0` or
+/// unset means "all available cores").
+pub const THREADS_ENV: &str = "USFQ_THREADS";
+
+/// A fixed-size pool description for deterministic parallel sweeps.
+///
+/// Cheap to construct; holds no threads. Each [`Runner::map`] call
+/// spawns scoped workers and joins them before returning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Runner {
+    threads: usize,
+}
+
+impl Runner {
+    /// A runner with an explicit worker count (clamped to at least 1).
+    pub fn with_threads(threads: usize) -> Self {
+        Runner {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A runner sized from the environment: [`THREADS_ENV`]
+    /// (`USFQ_THREADS`) if set to a positive integer, otherwise the
+    /// machine's available parallelism.
+    pub fn from_env() -> Self {
+        let from_var = std::env::var(THREADS_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0);
+        let threads = from_var.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        });
+        Runner::with_threads(threads)
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Maps `f` over `items` in parallel, returning results in input
+    /// order. `f` receives the item's index and the item itself.
+    ///
+    /// Equivalent to `items.iter().enumerate().map(...).collect()` —
+    /// bit-for-bit — as long as `f` obeys the module's seed-ownership
+    /// rule.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        self.map_init(items, || (), |(), idx, item| f(idx, item))
+    }
+
+    /// Like [`Runner::map`], with per-worker state: `init` runs once on
+    /// each worker thread and the resulting state is threaded through
+    /// every trial that worker claims. Use it to clone a prototype
+    /// circuit into a [`Simulator`](crate::Simulator) once per worker
+    /// and reuse it across trials via
+    /// [`Simulator::reset`](crate::Simulator::reset).
+    ///
+    /// Per-worker state must not leak information between trials that
+    /// affects results (a reused simulator must be `reset`), or
+    /// determinism across thread counts is lost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `init` or `f` panics on any worker (the panic is
+    /// propagated).
+    pub fn map_init<S, T, R, I, F>(&self, items: &[T], init: I, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize, &T) -> R + Sync,
+    {
+        let n = items.len();
+        let workers = self.threads.min(n);
+        if workers <= 1 {
+            let mut state = init();
+            return items
+                .iter()
+                .enumerate()
+                .map(|(idx, item)| f(&mut state, idx, item))
+                .collect();
+        }
+        // Self-scheduling work queue: one atomic cursor, one slot per
+        // result. Slot mutexes are uncontended (each index is claimed
+        // by exactly one worker), so the cost per trial is two atomic
+        // operations — negligible against a simulation trial.
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut state = init();
+                    loop {
+                        let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                        if idx >= n {
+                            break;
+                        }
+                        let result = f(&mut state, idx, &items[idx]);
+                        *slots[idx].lock().expect("result slot poisoned") = Some(result);
+                    }
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every claimed slot is filled")
+            })
+            .collect()
+    }
+
+    /// Maps a seeded trial function over seeds `0..trials`, in seed
+    /// order — the shape of a Monte-Carlo fault sweep.
+    pub fn run_seeded<R, F>(&self, trials: u64, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(u64) -> R + Sync,
+    {
+        let seeds: Vec<u64> = (0..trials).collect();
+        self.map(&seeds, |_, &seed| f(seed))
+    }
+}
+
+impl Default for Runner {
+    fn default() -> Self {
+        Runner::from_env()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// A fig19-style trial: everything derives from the seed alone.
+    fn fault_trial(seed: u64) -> (u64, f64) {
+        let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut acc = 0u64;
+        for _ in 0..64 {
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            acc = acc.wrapping_add(x);
+        }
+        (acc, acc as f64 / u64::MAX as f64)
+    }
+
+    #[test]
+    fn map_is_ordered() {
+        let items: Vec<u64> = (0..100).collect();
+        let got = Runner::with_threads(8).map(&items, |idx, &v| {
+            assert_eq!(idx as u64, v);
+            v * 3
+        });
+        let want: Vec<u64> = items.iter().map(|&v| v * 3).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let r = Runner::with_threads(4);
+        assert_eq!(r.map(&[] as &[u64], |_, &v| v), Vec::<u64>::new());
+        assert_eq!(r.map(&[7u64], |_, &v| v + 1), vec![8]);
+        // More workers than items is fine.
+        assert_eq!(
+            Runner::with_threads(64).map(&[1u64, 2], |_, &v| v),
+            vec![1, 2]
+        );
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let r = Runner::with_threads(0);
+        assert_eq!(r.threads(), 1);
+        assert_eq!(r.map(&[1u64, 2, 3], |_, &v| v), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn map_init_state_is_per_worker() {
+        // Each worker counts its own trials; the total over workers
+        // must cover every item exactly once. (Results stay ordered
+        // even though per-worker claim order is nondeterministic.)
+        let items: Vec<u64> = (0..200).collect();
+        let got = Runner::with_threads(4).map_init(
+            &items,
+            || 0u64,
+            |claimed, _, &v| {
+                *claimed += 1;
+                v
+            },
+        );
+        assert_eq!(got, items);
+    }
+
+    #[test]
+    fn run_seeded_matches_sequential() {
+        let parallel = Runner::with_threads(6).run_seeded(40, fault_trial);
+        let sequential: Vec<_> = (0..40).map(fault_trial).collect();
+        assert_eq!(parallel, sequential);
+    }
+
+    proptest! {
+        /// The satellite determinism property: for fig19-style seeded
+        /// fault sweeps, the parallel runner's results are identical to
+        /// the sequential loop for *any* thread count.
+        #[test]
+        fn parallel_equals_sequential(
+            trials in 0u64..80,
+            threads in 1usize..9,
+        ) {
+            let sequential: Vec<_> = (0..trials).map(fault_trial).collect();
+            let parallel = Runner::with_threads(threads).run_seeded(trials, fault_trial);
+            prop_assert_eq!(parallel, sequential);
+        }
+
+        /// map_init with fresh-per-worker state obeys the same
+        /// contract: reused state must not change results.
+        #[test]
+        fn map_init_equals_sequential(
+            seeds in proptest::collection::vec(0u64..1_000_000, 0..60),
+            threads in 1usize..9,
+        ) {
+            let sequential: Vec<_> = seeds.iter().map(|&s| fault_trial(s)).collect();
+            let parallel = Runner::with_threads(threads).map_init(
+                &seeds,
+                || 0u32,
+                |trials_on_worker, _, &s| {
+                    *trials_on_worker += 1;
+                    fault_trial(s)
+                },
+            );
+            prop_assert_eq!(parallel, sequential);
+        }
+    }
+}

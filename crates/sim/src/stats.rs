@@ -64,6 +64,15 @@ impl ActivityReport {
         *self.anomalies.entry(kind).or_insert(0) += 1;
     }
 
+    /// Zeroes every counter in place, keeping the allocated per-component
+    /// vectors — so a [`crate::Simulator::reset`] between trials costs no
+    /// allocation.
+    pub fn reset(&mut self) {
+        self.handled.fill(0);
+        self.emitted.fill(0);
+        self.anomalies.clear();
+    }
+
     /// Renders a per-component activity summary against the circuit's
     /// bill of materials, hottest components first — the raw material
     /// of a power debug session.
@@ -129,5 +138,9 @@ mod tests {
         assert_eq!(r.total_emitted(), 4);
         assert_eq!(r.anomaly_count(StatKind::MergerCollision), 2);
         assert_eq!(r.anomaly_count(StatKind::InjectedLoss), 0);
+        r.reset();
+        assert_eq!(r.handled, vec![0, 0, 0]);
+        assert_eq!(r.emitted, vec![0, 0, 0]);
+        assert_eq!(r.anomaly_count(StatKind::MergerCollision), 0);
     }
 }

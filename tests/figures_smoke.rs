@@ -15,11 +15,13 @@ fn every_experiment_renders() {
         ("fig16", "smaller"),
         ("fig18", "kOPs/JJ"),
         ("fig19", "error rate"),
+        ("fig19stats", "fault seeds"),
         ("fig20", "SDR"),
         ("fig21", "stream 1 [nW]"),
         ("table3", "DPU"),
         ("ablations", "merger loss"),
         ("netlist", "digraph usfq_dpu4"),
+        ("lint", "usfq-lint over the shipped structural netlists"),
     ];
     let experiments = usfq_bench::all_experiments();
     assert_eq!(experiments.len(), expectations.len());
