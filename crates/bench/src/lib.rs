@@ -22,6 +22,7 @@
 //! | [`experiments::fig21`] | Fig. 21 — bipolar multiplier power |
 //! | [`experiments::table3`] | Table 3 — DPU power |
 //! | [`experiments::lint`] | Static analysis — `usfq-lint` over the shipped netlists |
+//! | [`experiments::differential`] | Differential soundness — sanitizer vs static findings |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -105,6 +106,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             "lint",
             "Static analysis: usfq-lint over the shipped netlists",
             lint::render,
+        ),
+        (
+            "differential",
+            "Differential soundness: sanitizer violations vs static findings",
+            differential::render,
         ),
     ]
 }

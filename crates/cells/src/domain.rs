@@ -1,0 +1,250 @@
+//! Per-port encoding-domain signatures for the cell catalog.
+//!
+//! The U-SFQ paper mixes two pulse encodings in one fabric: **race logic**
+//! (a value is the *arrival time* of a single pulse inside an epoch) and
+//! **pulse streams** (a value is the *count* of pulses inside an epoch).
+//! Some cells are agnostic (a JTL delays whatever passes through), but
+//! others only make sense in one domain — feeding a race-logic wire into
+//! a TFF divides an arrival time by two, which is meaningless.
+//!
+//! This module is the single source of truth for which domain each cell
+//! port carries. `usfq-lint`'s dataflow pass (USFQ011/USFQ016) and the
+//! documentation both derive from [`signature_for`]; keeping the table
+//! next to the cell implementations means a new cell kind cannot silently
+//! bypass the analysis — unknown kinds fall back to fully-[`PortDomain::Any`]
+//! signatures, which the lint reports conservatively (no false errors).
+//!
+//! Signatures are keyed on `(kind, num_inputs)` because two distinct
+//! cells share the `"integrator"` kind string: the 2-input
+//! stream-to-race integrator (counts pulses, emits one race-logic pulse
+//! per epoch) and the 1-input race-logic integrator buffer.
+
+/// The encoding a cell port produces or requires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortDomain {
+    /// Race-logic: the value is the pulse's arrival time within the epoch.
+    /// At most one data pulse per epoch.
+    Race,
+    /// Pulse-stream: the value is the number of pulses within the epoch.
+    Stream,
+    /// Domain-agnostic: the port accepts (or the output inherits no fixed)
+    /// encoding — clocks, resets, selects, and transparent interconnect.
+    Any,
+    /// Output-only: the output carries whatever domain the cell's data
+    /// inputs carry (JTL, splitter, merger, mux). The dataflow pass joins
+    /// the resolved input domains to decide.
+    Follow,
+}
+
+/// The domain signature of one cell kind: one entry per input port and
+/// one per output port, in port-index order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellSignature {
+    /// Required domain per input port (`Any` = no constraint).
+    pub inputs: &'static [PortDomain],
+    /// Produced domain per output port (`Follow` = inherits from inputs).
+    pub outputs: &'static [PortDomain],
+    /// Whether the cell holds state across pulses. Stateful cells fanning
+    /// out into conflicting domains are flagged by USFQ016 because their
+    /// internal state couples the consumers.
+    pub stateful: bool,
+}
+
+use PortDomain::{Any, Follow, Race, Stream};
+
+/// Look up the domain signature for a cell `kind` with `num_inputs`
+/// input ports. Returns `None` for kinds the catalog does not know;
+/// callers should treat those as all-`Any` (conservative).
+pub fn signature_for(kind: &str, num_inputs: usize) -> Option<CellSignature> {
+    let sig = match (kind, num_inputs) {
+        ("jtl" | "buffer", 1) => CellSignature {
+            inputs: &[Any],
+            outputs: &[Follow],
+            stateful: false,
+        },
+        ("splitter", 1) => CellSignature {
+            inputs: &[Any],
+            outputs: &[Follow, Follow],
+            stateful: false,
+        },
+        ("merger" | "mux", 2) => CellSignature {
+            inputs: &[Any, Any],
+            outputs: &[Follow],
+            stateful: false,
+        },
+        // IN, IN_SEL -> OUT_A, OUT_B: the select flip-flop decouples the
+        // outputs from each other, so they do not follow jointly.
+        ("demux", 2) => CellSignature {
+            inputs: &[Any, Any],
+            outputs: &[Any, Any],
+            stateful: true,
+        },
+        // S, R -> Q
+        ("dff", 2) => CellSignature {
+            inputs: &[Any, Any],
+            outputs: &[Any],
+            stateful: true,
+        },
+        // A, C1, C2 -> Y1, Y2
+        ("dff2", 3) => CellSignature {
+            inputs: &[Any, Any, Any],
+            outputs: &[Any, Any],
+            stateful: true,
+        },
+        // S, R, CLK -> Q: set/reset sample a level (either encoding can
+        // drive them, e.g. the bipolar multiplier sets with a race-logic
+        // pulse), but each CLK read emits at most one pulse, so Q is a
+        // counted stream gated by CLK.
+        ("ndro", 3) => CellSignature {
+            inputs: &[Any, Any, Stream],
+            outputs: &[Stream],
+            stateful: true,
+        },
+        // A TFF halves a *count*; applied to a race-logic pulse it would
+        // swallow the value entirely.
+        ("tff", 1) => CellSignature {
+            inputs: &[Stream],
+            outputs: &[Stream],
+            stateful: true,
+        },
+        ("tff2", 1) => CellSignature {
+            inputs: &[Stream],
+            outputs: &[Stream, Stream],
+            stateful: true,
+        },
+        // IN, IN_CLK -> OUT: emits (clk - in) pulses, a count complement.
+        ("inverter", 2) => CellSignature {
+            inputs: &[Stream, Stream],
+            outputs: &[Stream],
+            stateful: true,
+        },
+        // A, B, RST -> OUT: first/last-arrival and inhibit compare
+        // arrival *times*; their output is again an arrival time.
+        ("fa" | "la" | "inhibit", 3) => CellSignature {
+            inputs: &[Race, Race, Any],
+            outputs: &[Race],
+            stateful: true,
+        },
+        ("balancer" | "routing-unit", 2) => CellSignature {
+            inputs: &[Stream, Stream],
+            outputs: &[Stream, Stream],
+            stateful: true,
+        },
+        // Stream-to-race integrator: IN (counted), IN_EPOCH (epoch
+        // marker) -> OUT (one pulse whose delay encodes the count).
+        ("integrator", 2) => CellSignature {
+            inputs: &[Stream, Any],
+            outputs: &[Race],
+            stateful: true,
+        },
+        // Race-logic integrator buffer: regenerates one race pulse.
+        ("integrator", 1) => CellSignature {
+            inputs: &[Race],
+            outputs: &[Race],
+            stateful: true,
+        },
+        _ => return None,
+    };
+    Some(sig)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{
+        Balancer, ClockedInverter, Demux, Dff, Dff2, FirstArrival, Inhibit, Jtl, LastArrival,
+        Merger, Mux, Ndro, RoutingUnit, Splitter, Tff, Tff2,
+    };
+    use usfq_sim::Component;
+
+    /// Every catalog cell's signature must exist and match its actual
+    /// port counts — the table cannot drift from the implementations.
+    #[test]
+    fn signatures_reconcile_with_cells() {
+        let cells: Vec<Box<dyn Component>> = vec![
+            Box::new(Jtl::new("u")),
+            Box::new(Splitter::new("u")),
+            Box::new(Merger::new("u")),
+            Box::new(Dff::new("u")),
+            Box::new(Dff2::new("u")),
+            Box::new(Ndro::new("u")),
+            Box::new(Tff::new("u")),
+            Box::new(Tff2::new("u")),
+            Box::new(ClockedInverter::new("u")),
+            Box::new(FirstArrival::new("u")),
+            Box::new(LastArrival::new("u")),
+            Box::new(Inhibit::new("u")),
+            Box::new(Balancer::new("u")),
+            Box::new(RoutingUnit::new("u")),
+            Box::new(Demux::new("u")),
+            Box::new(Mux::new("u")),
+        ];
+        for cell in &cells {
+            let meta = cell.static_meta();
+            let sig = signature_for(meta.kind, cell.num_inputs())
+                .unwrap_or_else(|| panic!("no signature for kind `{}`", meta.kind));
+            assert_eq!(
+                sig.inputs.len(),
+                cell.num_inputs(),
+                "input arity mismatch for `{}`",
+                meta.kind
+            );
+            assert_eq!(
+                sig.outputs.len(),
+                cell.num_outputs(),
+                "output arity mismatch for `{}`",
+                meta.kind
+            );
+        }
+    }
+
+    #[test]
+    fn follow_only_appears_on_outputs_of_stateless_interconnect() {
+        for (kind, n) in [
+            ("jtl", 1),
+            ("splitter", 1),
+            ("merger", 2),
+            ("mux", 2),
+            ("demux", 2),
+            ("dff", 2),
+            ("dff2", 3),
+            ("ndro", 3),
+            ("tff", 1),
+            ("tff2", 1),
+            ("inverter", 2),
+            ("fa", 3),
+            ("la", 3),
+            ("inhibit", 3),
+            ("balancer", 2),
+            ("routing-unit", 2),
+            ("integrator", 2),
+            ("integrator", 1),
+        ] {
+            let sig = signature_for(kind, n).unwrap();
+            assert!(
+                !sig.inputs.contains(&Follow),
+                "`{kind}` declares Follow on an input"
+            );
+            if sig.outputs.contains(&Follow) {
+                assert!(!sig.stateful, "`{kind}` is stateful but uses Follow");
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_kinds_and_arities_are_none() {
+        assert!(signature_for("flux-capacitor", 2).is_none());
+        assert!(signature_for("jtl", 2).is_none());
+        assert!(signature_for("integrator", 3).is_none());
+    }
+
+    #[test]
+    fn integrator_is_disambiguated_by_arity() {
+        let s2 = signature_for("integrator", 2).unwrap();
+        let s1 = signature_for("integrator", 1).unwrap();
+        assert_eq!(s2.inputs, &[Stream, Any]);
+        assert_eq!(s2.outputs, &[Race]);
+        assert_eq!(s1.inputs, &[Race]);
+        assert_eq!(s1.outputs, &[Race]);
+    }
+}

@@ -49,6 +49,7 @@
 
 pub mod balancer;
 pub mod catalog;
+pub mod domain;
 pub mod interconnect;
 pub mod inverter;
 pub mod race;
@@ -57,6 +58,7 @@ pub mod switch;
 pub mod toggle;
 
 pub use balancer::{Balancer, RoutingUnit, StructuralBalancer};
+pub use domain::{signature_for, CellSignature, PortDomain};
 pub use interconnect::{Jtl, Merger, Splitter};
 pub use inverter::ClockedInverter;
 pub use race::{FirstArrival, Inhibit, LastArrival};

@@ -86,7 +86,11 @@ impl Component for StreamToRlIntegrator {
         // Timer-driven: after the epoch marker the RL output fires
         // anywhere from immediately (count 0) to a full epoch later
         // (count N_max), so the static window spans the whole epoch.
+        // The counter saturates at N_max data pulses — the capacity the
+        // static count analysis (USFQ012) and the runtime sanitizer
+        // both check against.
         StaticMeta::custom("integrator", Time::ZERO, self.epoch.duration())
+            .with_counting_capacity(self.epoch.n_max())
     }
 }
 

@@ -152,7 +152,11 @@ impl Component for IntegratorBuffer {
     }
     fn static_meta(&self) -> StaticMeta {
         // Charge + discharge reproduce the pulse exactly one epoch later.
+        // The buffer holds one sample per epoch: a second data pulse
+        // while charging is dropped, which the count analysis and the
+        // sanitizer model as a capacity of 1.
         StaticMeta::custom("integrator", self.epoch.duration(), self.epoch.duration())
+            .with_counting_capacity(1)
     }
 }
 

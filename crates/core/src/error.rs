@@ -56,7 +56,10 @@ mod tests {
 
     #[test]
     fn display_and_source() {
-        let e = CoreError::from(SimError::TimeOverflow);
+        let e = CoreError::from(SimError::TimeOverflow {
+            component: "jtl".into(),
+            time: usfq_sim::Time::ZERO,
+        });
         assert!(e.to_string().contains("simulation error"));
         assert!(e.source().is_some());
         let e = CoreError::from(EncodingError::UnsupportedBits { bits: 0 });

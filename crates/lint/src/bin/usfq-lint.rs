@@ -1,16 +1,29 @@
 //! Lints every shipped U-SFQ structural netlist (or a named subset).
 //!
 //! ```text
-//! usfq-lint [--json] [NETLIST...]
+//! usfq-lint [--format text|json|sarif] [--deny-warnings] [NETLIST...]
 //! ```
 //!
-//! Exits non-zero if any analyzed netlist has error-severity findings.
+//! Exit codes: `0` — clean (info-only findings allowed); `1` —
+//! error-severity findings (or bad usage); `2` — warning-severity
+//! findings under `--deny-warnings`. `--json` is kept as an alias for
+//! `--format json`.
 
 use std::io::Write;
 use std::process::ExitCode;
 
 use usfq_core::netlists::shipped_netlists;
-use usfq_lint::lint_netlist;
+use usfq_lint::{lint_netlist, to_sarif, Severity};
+
+/// Exit code for warnings rejected by `--deny-warnings`.
+const EXIT_DENIED_WARNINGS: u8 = 2;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
 
 /// Writes to stdout, exiting quietly if the reader closed the pipe
 /// (`usfq-lint | head` must not panic).
@@ -20,19 +33,42 @@ fn emit(text: &str) {
     }
 }
 
+fn usage() -> String {
+    let mut usage = String::from(
+        "usage: usfq-lint [--format text|json|sarif] [--deny-warnings] [NETLIST...]\n",
+    );
+    usage.push_str("\nshipped netlists:\n");
+    for nl in shipped_netlists() {
+        usage.push_str(&format!("  {:<24} {}\n", nl.name, nl.summary));
+    }
+    usage
+}
+
 fn main() -> ExitCode {
-    let mut json = false;
+    let mut format = Format::Text;
+    let mut deny_warnings = false;
     let mut names: Vec<String> = Vec::new();
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--json" => json = true,
+            "--json" => format = Format::Json,
+            "--format" => {
+                format = match args.next().as_deref() {
+                    Some("text") => Format::Text,
+                    Some("json") => Format::Json,
+                    Some("sarif") => Format::Sarif,
+                    other => {
+                        eprintln!(
+                            "usfq-lint: --format expects text, json, or sarif, got {}",
+                            other.map_or_else(|| "nothing".into(), |o| format!("`{o}`"))
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--deny-warnings" => deny_warnings = true,
             "--help" | "-h" => {
-                let mut usage = String::from("usage: usfq-lint [--json] [NETLIST...]\n");
-                usage.push_str("\nshipped netlists:\n");
-                for nl in shipped_netlists() {
-                    usage.push_str(&format!("  {:<24} {}\n", nl.name, nl.summary));
-                }
-                emit(&usage);
+                emit(&usage());
                 return ExitCode::SUCCESS;
             }
             other => names.push(other.to_string()),
@@ -47,27 +83,36 @@ fn main() -> ExitCode {
         }
     }
 
-    let mut failed = false;
-    let mut json_parts = Vec::new();
+    let mut worst: Option<Severity> = None;
+    let mut reports = Vec::new();
     for netlist in &catalogue {
         if !names.is_empty() && !names.iter().any(|n| n == netlist.name) {
             continue;
         }
         let report = lint_netlist(netlist);
-        failed |= report.has_errors();
-        if json {
-            json_parts.push(report.to_json());
-        } else {
-            emit(&report.render_text());
-        }
-    }
-    if json {
-        emit(&format!("[{}]\n", json_parts.join(",")));
+        worst = worst.max(report.worst_severity());
+        reports.push(report);
     }
 
-    if failed {
-        ExitCode::FAILURE
-    } else {
-        ExitCode::SUCCESS
+    match format {
+        Format::Text => {
+            for report in &reports {
+                emit(&report.render_text());
+            }
+        }
+        Format::Json => {
+            let parts: Vec<String> = reports.iter().map(|r| r.to_json()).collect();
+            emit(&format!("[{}]\n", parts.join(",")));
+        }
+        Format::Sarif => {
+            emit(&to_sarif(&reports));
+            emit("\n");
+        }
+    }
+
+    match worst {
+        Some(Severity::Error) => ExitCode::FAILURE,
+        Some(Severity::Warning) if deny_warnings => ExitCode::from(EXIT_DENIED_WARNINGS),
+        _ => ExitCode::SUCCESS,
     }
 }

@@ -33,6 +33,25 @@ pub enum Code {
     /// `USFQ010` — timing analysis was skipped for components on or
     /// downstream of an (allowlisted) cycle.
     TimingSkipped,
+    /// `USFQ011` — a port requiring one encoding domain (race-logic or
+    /// pulse-stream) is driven by a wire resolved to the other.
+    DomainMismatch,
+    /// `USFQ012` — the worst-case pulse count arriving at a counting
+    /// cell's data port exceeds its declared counting capacity.
+    CountOverflow,
+    /// `USFQ013` — a reachable component whose outputs provably never
+    /// carry a pulse (count interval `[0, 0]`).
+    DeadCell,
+    /// `USFQ014` — a reachable component none of whose outputs feed a
+    /// wire or probe: every pulse it produces is silently discarded.
+    UnconsumedOutput,
+    /// `USFQ015` — a race-logic port whose worst-case arrival lands past
+    /// the declared epoch end, so the encoded value is unrepresentable.
+    RacePastEpoch,
+    /// `USFQ016` — a stateful cell's output fans out (through
+    /// passthrough interconnect) into ports requiring conflicting
+    /// domains, coupling consumers that disagree on the encoding.
+    ConflictingFanout,
 }
 
 impl Code {
@@ -49,6 +68,56 @@ impl Code {
             Code::BudgetExceeded => "USFQ008",
             Code::JjMismatch => "USFQ009",
             Code::TimingSkipped => "USFQ010",
+            Code::DomainMismatch => "USFQ011",
+            Code::CountOverflow => "USFQ012",
+            Code::DeadCell => "USFQ013",
+            Code::UnconsumedOutput => "USFQ014",
+            Code::RacePastEpoch => "USFQ015",
+            Code::ConflictingFanout => "USFQ016",
+        }
+    }
+
+    /// Every code, in `USFQ001..=USFQ016` order (SARIF rule inventory).
+    pub fn all() -> &'static [Code] {
+        &[
+            Code::FanoutViolation,
+            Code::UnconnectedInput,
+            Code::UnreachableComponent,
+            Code::DanglingProbe,
+            Code::CombinationalCycle,
+            Code::MergerCollision,
+            Code::SetupRace,
+            Code::BudgetExceeded,
+            Code::JjMismatch,
+            Code::TimingSkipped,
+            Code::DomainMismatch,
+            Code::CountOverflow,
+            Code::DeadCell,
+            Code::UnconsumedOutput,
+            Code::RacePastEpoch,
+            Code::ConflictingFanout,
+        ]
+    }
+
+    /// One-line rule description (SARIF `shortDescription`).
+    pub fn summary(self) -> &'static str {
+        match self {
+            Code::FanoutViolation => "output drives multiple sinks without a splitter",
+            Code::UnconnectedInput => "component input port has no driver",
+            Code::UnreachableComponent => "component unreachable from every external input",
+            Code::DanglingProbe => "probe taps a component that can never fire",
+            Code::CombinationalCycle => "feedback loop outside the cycle allowlist",
+            Code::MergerCollision => "merger inputs can collide within the loss window",
+            Code::SetupRace => "setup/transition hazard window can be violated",
+            Code::BudgetExceeded => "worst-case settling exceeds the epoch budget",
+            Code::JjMismatch => "JJ count disagrees with the cell catalog",
+            Code::TimingSkipped => "timing analysis skipped on a cyclic region",
+            Code::DomainMismatch => "port driven by the wrong encoding domain",
+            Code::CountOverflow => "pulse count can exceed the cell's counting capacity",
+            Code::DeadCell => "reachable component provably never emits a pulse",
+            Code::UnconsumedOutput => "no output of this component is wired or probed",
+            Code::RacePastEpoch => "race-logic arrival can land past the epoch end",
+            Code::ConflictingFanout => "stateful cell fans out into conflicting domains",
         }
     }
 
@@ -59,11 +128,16 @@ impl Code {
             | Code::CombinationalCycle
             | Code::BudgetExceeded
             | Code::JjMismatch => Severity::Error,
+            Code::DomainMismatch | Code::ConflictingFanout => Severity::Error,
             Code::UnconnectedInput
             | Code::UnreachableComponent
             | Code::DanglingProbe
             | Code::MergerCollision
-            | Code::SetupRace => Severity::Warning,
+            | Code::SetupRace
+            | Code::CountOverflow
+            | Code::DeadCell
+            | Code::UnconsumedOutput
+            | Code::RacePastEpoch => Severity::Warning,
             Code::TimingSkipped => Severity::Info,
         }
     }
@@ -109,7 +183,8 @@ impl fmt::Display for Severity {
 pub struct Diagnostic {
     /// The check that fired.
     pub code: Code,
-    /// Severity (always `code.severity()`).
+    /// Severity: `code.severity()` unless the finding was waived, in
+    /// which case it is downgraded to [`Severity::Info`].
     pub severity: Severity,
     /// The offending component/input/probe name, if localized.
     pub component: Option<String>,
@@ -126,6 +201,21 @@ impl Diagnostic {
             component,
             message: message.into(),
         }
+    }
+
+    /// Downgrades the finding to [`Severity::Info`], marking it as
+    /// acknowledged by a netlist waiver. The original code is kept so
+    /// reports stay auditable.
+    pub fn waive(&mut self) {
+        if self.severity > Severity::Info {
+            self.severity = Severity::Info;
+            self.message.push_str(" [waived]");
+        }
+    }
+
+    /// Whether this finding was downgraded by [`Diagnostic::waive`].
+    pub fn is_waived(&self) -> bool {
+        self.severity == Severity::Info && self.code.severity() > Severity::Info
     }
 }
 
@@ -182,6 +272,11 @@ impl LintReport {
 
     fn count_severity(&self, s: Severity) -> usize {
         self.diagnostics.iter().filter(|d| d.severity == s).count()
+    }
+
+    /// The most severe finding in the report, if any.
+    pub fn worst_severity(&self) -> Option<Severity> {
+        self.diagnostics.iter().map(|d| d.severity).max()
     }
 
     /// Number of findings with the given code.
@@ -246,6 +341,70 @@ impl LintReport {
     }
 }
 
+/// Renders a set of reports as a single SARIF 2.1.0 log (one run, one
+/// result per diagnostic), for code-scanning upload and CI annotation.
+/// Hand-rolled like [`LintReport::to_json`]: no serializer dependency.
+pub fn to_sarif(reports: &[LintReport]) -> String {
+    use std::fmt::Write as _;
+
+    fn sarif_level(s: Severity) -> &'static str {
+        match s {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Info => "note",
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(
+        "{\"version\":\"2.1.0\",\
+         \"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\
+         \"runs\":[{\"tool\":{\"driver\":{\"name\":\"usfq-lint\",\
+         \"informationUri\":\"https://example.invalid/usfq-lint\",\
+         \"rules\":[",
+    );
+    for (i, code) in Code::all().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"id\":\"{}\",\"shortDescription\":{{\"text\":\"{}\"}},\
+             \"defaultConfiguration\":{{\"level\":\"{}\"}}}}",
+            code.as_str(),
+            escape_json(code.summary()),
+            sarif_level(code.severity())
+        );
+    }
+    out.push_str("]}},\"results\":[");
+    let mut first = true;
+    for report in reports {
+        for d in &report.diagnostics {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let location = match &d.component {
+                Some(c) => format!("{}::{}", report.netlist, c),
+                None => report.netlist.clone(),
+            };
+            let _ = write!(
+                out,
+                "{{\"ruleId\":\"{}\",\"level\":\"{}\",\
+                 \"message\":{{\"text\":\"{}\"}},\
+                 \"locations\":[{{\"logicalLocations\":[{{\
+                 \"fullyQualifiedName\":\"{}\"}}]}}]}}",
+                d.code,
+                sarif_level(d.severity),
+                escape_json(&d.message),
+                escape_json(&location)
+            );
+        }
+    }
+    out.push_str("]}]}");
+    out
+}
+
 /// Escapes a string for embedding in a JSON string literal.
 fn escape_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
@@ -273,8 +432,64 @@ mod tests {
     fn codes_are_stable_and_ordered() {
         assert_eq!(Code::FanoutViolation.as_str(), "USFQ001");
         assert_eq!(Code::TimingSkipped.as_str(), "USFQ010");
+        assert_eq!(Code::DomainMismatch.as_str(), "USFQ011");
+        assert_eq!(Code::ConflictingFanout.as_str(), "USFQ016");
         assert!(Severity::Info < Severity::Warning);
         assert!(Severity::Warning < Severity::Error);
+        let all = Code::all();
+        assert_eq!(all.len(), 16);
+        for (i, code) in all.iter().enumerate() {
+            assert_eq!(code.as_str(), format!("USFQ{:03}", i + 1));
+            assert!(!code.summary().is_empty());
+        }
+    }
+
+    #[test]
+    fn waive_downgrades_to_info_and_is_detectable() {
+        let mut d = Diagnostic::new(Code::SetupRace, Some("ndro".into()), "race");
+        assert!(!d.is_waived());
+        d.waive();
+        assert_eq!(d.severity, Severity::Info);
+        assert!(d.message.ends_with("[waived]"));
+        assert!(d.is_waived());
+        // Waiving twice does not stack the marker.
+        d.waive();
+        assert_eq!(d.message.matches("[waived]").count(), 1);
+        // A genuine Info finding is not "waived".
+        let info = Diagnostic::new(Code::TimingSkipped, None, "skipped");
+        assert!(!info.is_waived());
+    }
+
+    #[test]
+    fn worst_severity_reflects_top_finding() {
+        let empty = LintReport::new("e", vec![]);
+        assert_eq!(empty.worst_severity(), None);
+        let warn = LintReport::new("w", vec![Diagnostic::new(Code::SetupRace, None, "race")]);
+        assert_eq!(warn.worst_severity(), Some(Severity::Warning));
+    }
+
+    #[test]
+    fn sarif_log_lists_rules_and_results() {
+        let reports = vec![LintReport::new(
+            "demo",
+            vec![Diagnostic::new(
+                Code::DomainMismatch,
+                Some("tff".into()),
+                "stream port driven by race wire",
+            )],
+        )];
+        let sarif = to_sarif(&reports);
+        assert!(sarif.contains("\"version\":\"2.1.0\""));
+        assert!(sarif.contains("\"name\":\"usfq-lint\""));
+        // All sixteen rules are declared even when only one fires.
+        for code in Code::all() {
+            assert!(sarif.contains(&format!("\"id\":\"{}\"", code.as_str())));
+        }
+        assert!(sarif.contains("\"ruleId\":\"USFQ011\""));
+        assert!(sarif.contains("\"level\":\"error\""));
+        assert!(sarif.contains("\"fullyQualifiedName\":\"demo::tff\""));
+        // Balanced braces: cheap structural sanity for the hand-rolled JSON.
+        assert_eq!(sarif.matches('{').count(), sarif.matches('}').count());
     }
 
     #[test]

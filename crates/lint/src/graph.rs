@@ -9,8 +9,8 @@ use usfq_sim::{Circuit, ProbeSource, Time};
 pub(crate) enum Driver {
     /// An external input, with the wire delay.
     Input(usize, Time),
-    /// Another component's output, with the wire delay.
-    Comp(usize, Time),
+    /// Another component's output port, with the wire delay.
+    Comp(usize, usize, Time),
 }
 
 /// The extracted netlist.
@@ -24,6 +24,8 @@ pub(crate) struct Graph {
     pub meta: Vec<StaticMeta>,
     /// `drivers[comp][port]` — everything wired into that input port.
     pub drivers: Vec<Vec<Vec<Driver>>>,
+    /// Number of output ports per component.
+    pub out_ports: Vec<usize>,
     /// `succs[comp]` — components driven by `comp` (may repeat).
     pub succs: Vec<Vec<usize>>,
     /// `input_sinks[input]` — components driven by that input.
@@ -64,9 +66,10 @@ impl Graph {
             .iter()
             .map(|&(n_in, _)| vec![Vec::new(); n_in])
             .collect();
+        let out_ports: Vec<usize> = ports.iter().map(|&(_, n_out)| n_out).collect();
         let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
-        for (src, _src_port, dst, dst_port, delay) in circuit.wires() {
-            drivers[dst.index()][dst_port].push(Driver::Comp(src.index(), delay));
+        for (src, src_port, dst, dst_port, delay) in circuit.wires() {
+            drivers[dst.index()][dst_port].push(Driver::Comp(src.index(), src_port, delay));
             succs[src.index()].push(dst.index());
         }
 
@@ -94,6 +97,7 @@ impl Graph {
             jj,
             meta,
             drivers,
+            out_ports,
             succs,
             input_sinks,
             probes,

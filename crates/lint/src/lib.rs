@@ -14,10 +14,20 @@
 //!    balancer-transition and NDRO/inverter setup races (`USFQ007`),
 //!    and probes whose worst-case settling time blows the epoch budget
 //!    (`USFQ008`).
+//! 3. **Encoding-domain dataflow** — resolves which encoding (race-logic
+//!    arrival time vs pulse-stream count) every wire carries and bounds
+//!    worst-case pulse counts per output, to a fixpoint with widening
+//!    on feedback loops. Flags domain mismatches (`USFQ011`), counter
+//!    overflow (`USFQ012`), provably-dead cells (`USFQ013`), unconsumed
+//!    outputs (`USFQ014`), race-logic arrivals past the epoch end
+//!    (`USFQ015`), and stateful fanout into conflicting domains
+//!    (`USFQ016`).
 //!
-//! Findings carry stable codes and render as text or JSON; see
-//! [`LintReport`]. The `usfq-lint` binary runs the analyzer over every
-//! netlist shipped in [`usfq_core::netlists`].
+//! Findings carry stable codes and render as text, JSON, or SARIF; see
+//! [`LintReport`] and [`to_sarif`]. Netlists can acknowledge expected
+//! findings with waivers, which downgrade matching diagnostics to
+//! `Info` instead of hiding them. The `usfq-lint` binary runs the
+//! analyzer over every netlist shipped in [`usfq_core::netlists`].
 //!
 //! ```
 //! use usfq_lint::lint_netlist;
@@ -33,10 +43,11 @@
 
 mod checks;
 mod diag;
+mod domain;
 mod graph;
 mod timing;
 
-pub use diag::{Code, Diagnostic, LintReport, Severity};
+pub use diag::{to_sarif, Code, Diagnostic, LintReport, Severity};
 
 use usfq_core::netlists::BuiltNetlist;
 use usfq_sim::{Circuit, Time};
@@ -55,6 +66,17 @@ pub struct LintConfig {
     /// only when every member matches; otherwise it is a `USFQ005`
     /// error.
     pub cycle_allowlist: Vec<String>,
+    /// Upper bound on pulses per external input per epoch (the epoch's
+    /// `n_max` for shipped netlists). Seeds the pulse-count dataflow;
+    /// `None` leaves input counts unbounded, silencing `USFQ012`.
+    pub epoch_pulse_capacity: Option<u64>,
+    /// Latest instant a race-logic pulse may arrive and still encode a
+    /// representable value. Enables `USFQ015` when set.
+    pub rl_epoch_end: Option<Time>,
+    /// Waivers: `(code, component-substring)` pairs. A diagnostic whose
+    /// code matches and whose component name contains the substring is
+    /// downgraded to `Info` (still reported, marked `[waived]`).
+    pub waivers: Vec<(String, String)>,
 }
 
 impl Default for LintConfig {
@@ -63,6 +85,9 @@ impl Default for LintConfig {
             input_window: Time::ZERO,
             epoch_budget: None,
             cycle_allowlist: Vec::new(),
+            epoch_pulse_capacity: None,
+            rl_epoch_end: None,
+            waivers: Vec::new(),
         }
     }
 }
@@ -76,7 +101,19 @@ pub fn lint(circuit: &Circuit, name: &str, config: &LintConfig) -> LintReport {
     checks::reachability(&g, &mut diags);
     checks::jj_accounting(&g, &mut diags);
     let cyclic = checks::cycles(&g, &config.cycle_allowlist, &mut diags);
-    timing::analyze(&g, &cyclic, config, &mut diags);
+    let timing = timing::analyze(&g, &cyclic, config, &mut diags);
+    domain::analyze(&g, &timing, config, &mut diags);
+    for d in &mut diags {
+        let waived = config.waivers.iter().any(|(code, substr)| {
+            code == d.code.as_str()
+                && d.component
+                    .as_deref()
+                    .is_some_and(|c| c.contains(substr.as_str()))
+        });
+        if waived {
+            d.waive();
+        }
+    }
     LintReport::new(name, diags)
 }
 
@@ -89,6 +126,13 @@ pub fn lint_netlist(netlist: &BuiltNetlist) -> LintReport {
             input_window: netlist.input_window,
             epoch_budget: Some(netlist.epoch_budget),
             cycle_allowlist: netlist.cycle_allowlist.clone(),
+            epoch_pulse_capacity: Some(netlist.epoch.n_max()),
+            rl_epoch_end: Some(netlist.input_window),
+            waivers: netlist
+                .waivers
+                .iter()
+                .map(|&(code, comp)| (code.to_string(), comp.to_string()))
+                .collect(),
         },
     )
 }

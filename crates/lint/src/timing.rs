@@ -51,6 +51,9 @@ pub(crate) struct TimingResult {
     /// Per probe: `(name, arrival window)`. `None` when the probe's
     /// source is skipped (cyclic region) or can never fire.
     pub probe_windows: Vec<(String, Option<(Time, Time)>)>,
+    /// `port_windows[comp][port]` — arrival window at each input port.
+    /// `None` when undriven or in a skipped (cyclic) region.
+    pub port_windows: Vec<Vec<Option<Window>>>,
 }
 
 /// Runs the pass; `cyclic[c]` marks components on a feedback loop.
@@ -134,7 +137,7 @@ pub(crate) fn analyze(
             for d in drvs {
                 let arriving = match *d {
                     Driver::Input(_, delay) => Some(input_window.shift(delay)),
-                    Driver::Comp(src, delay) => out_window[src].map(|w| w.shift(delay)),
+                    Driver::Comp(src, _, delay) => out_window[src].map(|w| w.shift(delay)),
                 };
                 if let Some(w) = arriving {
                     port_windows[c][port] =
@@ -194,7 +197,10 @@ pub(crate) fn analyze(
         probe_windows.push((name.clone(), window));
     }
 
-    TimingResult { probe_windows }
+    TimingResult {
+        probe_windows,
+        port_windows,
+    }
 }
 
 fn check_hazard(

@@ -114,6 +114,16 @@ pub struct StaticMeta {
     pub max_delay: Time,
     /// Hazards this cell kind is statically susceptible to.
     pub hazards: Vec<Hazard>,
+    /// For counting cells (integrators): the largest number of data
+    /// pulses the cell can absorb per epoch before its count saturates
+    /// or wraps. `None` for non-counting cells.
+    ///
+    /// This is the shared contract between the static analyzer's
+    /// pulse-count intervals (`USFQ012`) and the runtime
+    /// [`sanitizer`](crate::sanitizer)'s per-port overflow check: both
+    /// read exactly this field, so a netlist the lint proves
+    /// overflow-free can never trip the sanitizer's count check.
+    pub counting_capacity: Option<u64>,
 }
 
 impl StaticMeta {
@@ -124,6 +134,7 @@ impl StaticMeta {
             min_delay: delay,
             max_delay: delay,
             hazards: Vec::new(),
+            counting_capacity: None,
         }
     }
 
@@ -134,6 +145,7 @@ impl StaticMeta {
             min_delay,
             max_delay,
             hazards: Vec::new(),
+            counting_capacity: None,
         }
     }
 
@@ -141,6 +153,13 @@ impl StaticMeta {
     #[must_use]
     pub fn with_hazard(mut self, hazard: Hazard) -> Self {
         self.hazards.push(hazard);
+        self
+    }
+
+    /// Declares the cell's per-epoch counting capacity (builder style).
+    #[must_use]
+    pub fn with_counting_capacity(mut self, capacity: u64) -> Self {
+        self.counting_capacity = Some(capacity);
         self
     }
 }
@@ -382,6 +401,9 @@ mod tests {
         assert_eq!(meta.min_delay, Time::from_ps(1.0));
         assert_eq!(meta.max_delay, Time::from_ps(4.0));
         assert_eq!(meta.hazards.len(), 2);
+        assert_eq!(meta.counting_capacity, None);
+        let counting = StaticMeta::new("ctr", Time::ZERO).with_counting_capacity(256);
+        assert_eq!(counting.counting_capacity, Some(256));
 
         #[derive(Clone)]
         struct Bare;

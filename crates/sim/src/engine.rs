@@ -6,6 +6,7 @@ use std::collections::BinaryHeap;
 use crate::circuit::{Circuit, CompId, InputId, OutputNet, ProbeId};
 use crate::component::Ctx;
 use crate::error::SimError;
+use crate::sanitizer::{SanitizerConfig, SanitizerReport, SanitizerState};
 use crate::stats::ActivityReport;
 use crate::time::Time;
 
@@ -106,6 +107,7 @@ pub struct Simulator {
     events_processed: u64,
     ctx: Ctx,
     jitter: Option<JitterModel>,
+    sanitizer: Option<SanitizerState>,
 }
 
 impl Simulator {
@@ -136,6 +138,7 @@ impl Simulator {
             events_processed: 0,
             ctx: Ctx::default(),
             jitter: None,
+            sanitizer: None,
         }
     }
 
@@ -153,6 +156,26 @@ impl Simulator {
     /// Disables wire-delay jitter.
     pub fn disable_wire_jitter(&mut self) {
         self.jitter = None;
+    }
+
+    /// Enables the runtime pulse [`sanitizer`](crate::sanitizer): every
+    /// delivered pulse is checked against the receiving cell's declared
+    /// hazards and counting capacity, recording structured
+    /// [`Violation`](crate::sanitizer::Violation)s. The sanitizer only
+    /// observes — probe recordings are bit-identical with it on or off —
+    /// and costs nothing when disabled (one `Option` check per event).
+    pub fn enable_sanitizer(&mut self, config: SanitizerConfig) {
+        self.sanitizer = Some(SanitizerState::new(&self.circuit, config));
+    }
+
+    /// Disables the runtime sanitizer, discarding recorded violations.
+    pub fn disable_sanitizer(&mut self) {
+        self.sanitizer = None;
+    }
+
+    /// The sanitizer's findings so far, or `None` when it is disabled.
+    pub fn sanitizer_report(&self) -> Option<SanitizerReport<'_>> {
+        self.sanitizer.as_ref().map(SanitizerState::report)
     }
 
     /// Overrides the event safety limit (default
@@ -216,8 +239,13 @@ impl Simulator {
             // dispatches ever happen, and the clock never advances past
             // the last permitted one.
             if self.events_processed >= self.event_limit {
+                let comp = match ev.kind {
+                    EventKind::Deliver { comp, .. } | EventKind::Timer { comp, .. } => comp,
+                };
                 return Err(SimError::EventLimitExceeded {
                     limit: self.event_limit,
+                    component: self.circuit.comps[comp.0].model.name().to_string(),
+                    time: ev.time,
                 });
             }
             self.queue.pop();
@@ -243,6 +271,9 @@ impl Simulator {
             match ev.kind {
                 EventKind::Deliver { port, .. } => {
                     self.activity.handled[comp_id.0] += 1;
+                    if let Some(sanitizer) = &mut self.sanitizer {
+                        sanitizer.observe(comp_id.0, slot.model.name(), port, ev.time);
+                    }
                     slot.model.on_pulse(port, ev.time, &mut ctx);
                 }
                 EventKind::Timer { tag, .. } => {
@@ -251,13 +282,23 @@ impl Simulator {
             }
         }
         if !ctx.is_empty() {
+            let overflow = |circuit: &Circuit| SimError::TimeOverflow {
+                component: circuit.comps[comp_id.0].model.name().to_string(),
+                time: ev.time,
+            };
             for &(port, delay) in &ctx.emissions {
-                let t_emit = ev.time.checked_add(delay).ok_or(SimError::TimeOverflow)?;
+                let t_emit = ev
+                    .time
+                    .checked_add(delay)
+                    .ok_or_else(|| overflow(&self.circuit))?;
                 self.activity.emitted[comp_id.0] += 1;
                 self.fan_out(NetSource::Output(comp_id.0, port), t_emit)?;
             }
             for &(tag, delay) in &ctx.timers {
-                let t = ev.time.checked_add(delay).ok_or(SimError::TimeOverflow)?;
+                let t = ev
+                    .time
+                    .checked_add(delay)
+                    .ok_or_else(|| overflow(&self.circuit))?;
                 let seq = self.next_seq();
                 self.push(Event {
                     time: t,
@@ -287,14 +328,23 @@ impl Simulator {
         // Allocate sequence numbers for the whole net in one batch.
         let first_seq = self.seq;
         self.seq += net.wires.len() as u64;
+        let overflow = |circuit: &Circuit| SimError::TimeOverflow {
+            component: match source {
+                NetSource::Input(i) => circuit.inputs[i].name.clone(),
+                NetSource::Output(c, _) => circuit.comps[c].model.name().to_string(),
+            },
+            time: t,
+        };
         for (seq, &wire) in (first_seq..).zip(net.wires.iter()) {
-            let mut arrival = t.checked_add(wire.delay).ok_or(SimError::TimeOverflow)?;
+            let mut arrival = t
+                .checked_add(wire.delay)
+                .ok_or_else(|| overflow(&self.circuit))?;
             if let Some(jitter) = &mut self.jitter {
                 let j = jitter.sample_fs();
                 arrival = if j >= 0.0 {
                     arrival
                         .checked_add(Time::from_fs(j as u64))
-                        .ok_or(SimError::TimeOverflow)?
+                        .ok_or_else(|| overflow(&self.circuit))?
                 } else {
                     // Never earlier than the emission instant.
                     arrival.saturating_sub(Time::from_fs((-j) as u64)).max(t)
@@ -394,6 +444,9 @@ impl Simulator {
         }
         self.activity.reset();
         self.events_processed = 0;
+        if let Some(sanitizer) = &mut self.sanitizer {
+            sanitizer.reset();
+        }
     }
 }
 
@@ -505,7 +558,17 @@ mod tests {
         sim.set_event_limit(1000);
         sim.schedule_input(input, Time::ZERO).unwrap();
         let err = sim.run().unwrap_err();
-        assert_eq!(err, SimError::EventLimitExceeded { limit: 1000 });
+        assert!(
+            matches!(
+                &err,
+                SimError::EventLimitExceeded {
+                    limit: 1000,
+                    component,
+                    ..
+                } if component == "osc"
+            ),
+            "{err:?}"
+        );
     }
 
     /// The limit is exact: a workload of exactly `limit` events passes,
@@ -536,7 +599,16 @@ mod tests {
         let (mut sim, p) = build();
         sim.set_event_limit(3);
         let err = sim.run().unwrap_err();
-        assert_eq!(err, SimError::EventLimitExceeded { limit: 3 });
+        // The error pinpoints the blocked event: the 4th delivery to `b`
+        // at 3 ps, which was never dispatched.
+        assert_eq!(
+            err,
+            SimError::EventLimitExceeded {
+                limit: 3,
+                component: "b".into(),
+                time: Time::from_ps(3.0),
+            }
+        );
         assert_eq!(sim.probe_count(p), 3);
         assert_eq!(sim.now(), Time::from_ps(2.0));
     }

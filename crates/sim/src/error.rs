@@ -3,6 +3,8 @@
 use std::error::Error;
 use std::fmt;
 
+use crate::time::Time;
+
 /// Errors raised while building a [`crate::Circuit`] or running a
 /// [`crate::Simulator`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -39,9 +41,19 @@ pub enum SimError {
     EventLimitExceeded {
         /// The limit that was hit.
         limit: u64,
+        /// Component the first undispatched event targets — usually a
+        /// member of the oscillating loop.
+        component: String,
+        /// Scheduled time of that undispatched event.
+        time: Time,
     },
     /// The simulation clock overflowed.
-    TimeOverflow,
+    TimeOverflow {
+        /// Component (or external input) whose emission overflowed.
+        component: String,
+        /// Time of the event whose propagation overflowed the clock.
+        time: Time,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -65,10 +77,21 @@ impl fmt::Display for SimError {
                 f,
                 "output {port} of `{component}` drives {sinks} sinks; insert splitters"
             ),
-            SimError::EventLimitExceeded { limit } => {
-                write!(f, "event limit of {limit} exceeded; circuit may oscillate")
-            }
-            SimError::TimeOverflow => write!(f, "simulation time overflowed"),
+            SimError::EventLimitExceeded {
+                limit,
+                component,
+                time,
+            } => write!(
+                f,
+                "event limit of {limit} exceeded at {:.1} ps (next event targets \
+                 `{component}`); circuit may oscillate",
+                time.as_ps()
+            ),
+            SimError::TimeOverflow { component, time } => write!(
+                f,
+                "simulation time overflowed propagating a pulse from `{component}` at {:.1} ps",
+                time.as_ps()
+            ),
         }
     }
 }
@@ -92,16 +115,26 @@ mod tests {
             "invalid input port 3 on component `m0` (has 2)"
         );
         assert_eq!(
-            SimError::EventLimitExceeded { limit: 10 }.to_string(),
-            "event limit of 10 exceeded; circuit may oscillate"
+            SimError::EventLimitExceeded {
+                limit: 10,
+                component: "osc".into(),
+                time: Time::from_ps(42.0),
+            }
+            .to_string(),
+            "event limit of 10 exceeded at 42.0 ps (next event targets `osc`); \
+             circuit may oscillate"
         );
         assert_eq!(
             SimError::UnknownId("probe 9".into()).to_string(),
             "unknown id: probe 9"
         );
         assert_eq!(
-            SimError::TimeOverflow.to_string(),
-            "simulation time overflowed"
+            SimError::TimeOverflow {
+                component: "jtl7".into(),
+                time: Time::from_ps(1.5),
+            }
+            .to_string(),
+            "simulation time overflowed propagating a pulse from `jtl7` at 1.5 ps"
         );
         let e = SimError::FanoutViolation {
             component: "spl".into(),

@@ -25,6 +25,10 @@
 //! * [`runner::Runner`] maps seeded trial functions over parameter grids
 //!   across threads with results in input order, so parallel sweeps are
 //!   byte-identical to the sequential loop at any thread count.
+//! * [`sanitizer`] is an opt-in per-event invariant checker: it asserts
+//!   each cell's declared hazards and counting capacity against every
+//!   delivered pulse, recording structured violations without perturbing
+//!   the run — the dynamic half of the `usfq-lint` soundness contract.
 //!
 //! ## Example
 //!
@@ -60,6 +64,7 @@ pub mod engine;
 pub mod error;
 pub mod power;
 pub mod runner;
+pub mod sanitizer;
 pub mod stats;
 pub mod time;
 pub mod trace;
@@ -71,4 +76,5 @@ pub use component::{Component, Ctx, Hazard, StaticMeta};
 pub use engine::{RunSummary, Simulator};
 pub use error::SimError;
 pub use runner::Runner;
+pub use sanitizer::{SanitizerConfig, SanitizerReport, Violation, ViolationKind};
 pub use time::Time;

@@ -246,6 +246,33 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "trial 2 exploded")]
+    fn panicking_closure_propagates_sequentially() {
+        Runner::with_threads(1).map(&[0u64, 1, 2, 3], |_, &v| {
+            assert!(v != 2, "trial {v} exploded");
+            v
+        });
+    }
+
+    #[test]
+    #[should_panic]
+    fn panicking_closure_propagates_across_workers() {
+        // The panic surfaces when the scoped workers join; it must not
+        // hang the pool or silently drop the trial.
+        let items: Vec<u64> = (0..32).collect();
+        Runner::with_threads(4).map(&items, |_, &v| {
+            assert!(v != 17, "trial {v} exploded");
+            v
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "init exploded")]
+    fn panicking_init_propagates() {
+        Runner::with_threads(1).map_init(&[1u64], || panic!("init exploded"), |(), _, &v| v);
+    }
+
+    #[test]
     fn map_init_state_is_per_worker() {
         // Each worker counts its own trials; the total over workers
         // must cover every item exactly once. (Results stay ordered

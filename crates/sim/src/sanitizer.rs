@@ -1,0 +1,563 @@
+//! Runtime pulse sanitizer: an opt-in per-event invariant checker.
+//!
+//! When enabled on a [`Simulator`](crate::Simulator), every *delivered*
+//! pulse is checked against the receiving cell's declared
+//! [`StaticMeta`](crate::component::StaticMeta) — the same hazard and
+//! counting-capacity declarations the `usfq-lint` static analyzer
+//! consumes. Violations are recorded as structured [`Violation`]s, never
+//! panics, and the simulation itself is *not* perturbed: the sanitizer
+//! only observes, so probe recordings with the sanitizer on are
+//! bit-identical to runs with it off.
+//!
+//! The checks mirror the static pass's abstract domains concretely:
+//!
+//! * [`Hazard::Collision`] — two pulses on any inputs of the cell within
+//!   the collision window (the merger's Fig. 5 pulse-loss mode);
+//! * [`Hazard::Transition`] — a second pulse on the *same* input while
+//!   the cell is still transitioning (the balancer's t_BFF hazard);
+//! * [`Hazard::Setup`] — the sampled input arriving inside the control
+//!   input's settling window (NDRO/inverter/DFF setup);
+//! * [`StaticMeta::counting_capacity`] — more data pulses delivered to
+//!   the cell's port-0 data input than the declared per-run capacity;
+//! * [`SanitizerConfig::epoch_end`] — any pulse delivered after the
+//!   configured epoch end.
+//!
+//! Because both layers read the same declarations, a net the static
+//! analyzer proves clean can only trip the sanitizer if the netlist
+//! violates the static envelope — which is exactly what the differential
+//! soundness harness in `usfq-bench` asserts never happens for the
+//! shipped catalogue.
+
+use crate::circuit::Circuit;
+use crate::component::Hazard;
+use crate::time::Time;
+
+/// Default cap on recorded violations; further ones are counted but not
+/// stored, so a pathological run cannot exhaust memory.
+pub const DEFAULT_VIOLATION_CAP: usize = 256;
+
+/// Operating envelope the sanitizer checks against.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SanitizerConfig {
+    /// If set, any pulse delivered after this instant is an
+    /// [`ViolationKind::AfterEpochEnd`] violation.
+    pub epoch_end: Option<Time>,
+    /// Maximum number of violations stored verbatim; the rest only
+    /// increment [`suppressed`](SanitizerReport::suppressed).
+    pub violation_cap: usize,
+}
+
+impl Default for SanitizerConfig {
+    fn default() -> Self {
+        SanitizerConfig {
+            epoch_end: None,
+            violation_cap: DEFAULT_VIOLATION_CAP,
+        }
+    }
+}
+
+/// What invariant a delivered pulse broke.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ViolationKind {
+    /// Two pulses reached the cell within its collision window.
+    Collision {
+        /// The declared collision window.
+        window: Time,
+        /// Arrival time of the earlier pulse.
+        previous: Time,
+    },
+    /// A pulse landed on an input still inside its transition window.
+    Transition {
+        /// The declared transition window.
+        window: Time,
+        /// Arrival time of the pulse that opened the window.
+        previous: Time,
+    },
+    /// The sampled input arrived while the control input was settling.
+    Setup {
+        /// The control port whose state had not settled.
+        control: usize,
+        /// The declared settling window.
+        window: Time,
+        /// Arrival time of the control pulse.
+        control_time: Time,
+    },
+    /// More data pulses than the cell's declared counting capacity.
+    CountOverflow {
+        /// The declared capacity.
+        capacity: u64,
+        /// The running count including this pulse.
+        count: u64,
+    },
+    /// A pulse was delivered after the configured epoch end.
+    AfterEpochEnd {
+        /// The configured epoch end.
+        epoch_end: Time,
+    },
+}
+
+impl ViolationKind {
+    /// Short stable label, for reports and test assertions.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ViolationKind::Collision { .. } => "collision",
+            ViolationKind::Transition { .. } => "transition",
+            ViolationKind::Setup { .. } => "setup",
+            ViolationKind::CountOverflow { .. } => "count-overflow",
+            ViolationKind::AfterEpochEnd { .. } => "after-epoch-end",
+        }
+    }
+}
+
+/// One recorded invariant violation, localized to a component input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The broken invariant.
+    pub kind: ViolationKind,
+    /// Name of the component that received the offending pulse.
+    pub component: String,
+    /// The input port the pulse arrived on.
+    pub port: usize,
+    /// Arrival time of the offending pulse.
+    pub time: Time,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} at `{}` port {} ({:.1} ps)",
+            self.kind.label(),
+            self.component,
+            self.port,
+            self.time.as_ps()
+        )
+    }
+}
+
+/// Read-only view of everything the sanitizer recorded in a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SanitizerReport<'a> {
+    /// Stored violations, in delivery order.
+    pub violations: &'a [Violation],
+    /// Violations beyond the cap that were counted but not stored.
+    pub suppressed: u64,
+}
+
+/// Per-component snapshot of the declarations the sanitizer enforces.
+#[derive(Debug, Clone)]
+struct CellFacts {
+    hazards: Vec<Hazard>,
+    counting_capacity: Option<u64>,
+}
+
+/// The sanitizer's mutable tracking state, owned by the simulator.
+#[derive(Debug, Clone)]
+pub(crate) struct SanitizerState {
+    config: SanitizerConfig,
+    facts: Vec<CellFacts>,
+    /// `last_arrival[comp][port]` — most recent delivery per input port.
+    last_arrival: Vec<Vec<Option<Time>>>,
+    /// Most recent *accepted* delivery on any port, per component
+    /// (mirrors the merger's collision bookkeeping: a colliding pulse
+    /// does not reopen the window).
+    last_accepted: Vec<Option<Time>>,
+    /// Data pulses delivered to port 0 of counting cells.
+    data_count: Vec<u64>,
+    violations: Vec<Violation>,
+    suppressed: u64,
+}
+
+impl SanitizerState {
+    pub(crate) fn new(circuit: &Circuit, config: SanitizerConfig) -> Self {
+        let mut facts = Vec::with_capacity(circuit.comps.len());
+        let mut last_arrival = Vec::with_capacity(circuit.comps.len());
+        for slot in &circuit.comps {
+            let meta = slot.model.static_meta();
+            last_arrival.push(vec![None; slot.model.num_inputs()]);
+            facts.push(CellFacts {
+                hazards: meta.hazards,
+                counting_capacity: meta.counting_capacity,
+            });
+        }
+        let n = facts.len();
+        SanitizerState {
+            config,
+            facts,
+            last_arrival,
+            last_accepted: vec![None; n],
+            data_count: vec![0; n],
+            violations: Vec::new(),
+            suppressed: 0,
+        }
+    }
+
+    /// Observes one delivered pulse. Never perturbs the simulation.
+    pub(crate) fn observe(&mut self, comp: usize, name: &str, port: usize, now: Time) {
+        if let Some(end) = self.config.epoch_end {
+            if now > end {
+                self.record(
+                    name,
+                    port,
+                    now,
+                    ViolationKind::AfterEpochEnd { epoch_end: end },
+                );
+            }
+        }
+
+        // Hazard checks run against the state *before* this pulse.
+        // Findings are buffered locally (an empty `Vec` never
+        // allocates) so the borrow of the per-cell facts ends before
+        // recording.
+        let mut found: Vec<ViolationKind> = Vec::new();
+        let facts = &self.facts[comp];
+        for hazard in &facts.hazards {
+            match *hazard {
+                Hazard::Collision { window } => {
+                    if window == Time::ZERO {
+                        continue;
+                    }
+                    if let Some(prev) = self.last_accepted[comp] {
+                        if now.saturating_sub(prev) < window {
+                            found.push(ViolationKind::Collision {
+                                window,
+                                previous: prev,
+                            });
+                        }
+                    }
+                }
+                Hazard::Transition { window } => {
+                    if let Some(prev) = self.last_arrival[comp].get(port).copied().flatten() {
+                        if now.saturating_sub(prev) < window {
+                            found.push(ViolationKind::Transition {
+                                window,
+                                previous: prev,
+                            });
+                        }
+                    }
+                }
+                Hazard::Setup {
+                    control,
+                    sampled,
+                    window,
+                } => {
+                    if port != sampled {
+                        continue;
+                    }
+                    if let Some(ctrl) = self.last_arrival[comp].get(control).copied().flatten() {
+                        if now.saturating_sub(ctrl) < window {
+                            found.push(ViolationKind::Setup {
+                                control,
+                                window,
+                                control_time: ctrl,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        let capacity = facts.counting_capacity;
+        // The accepted-arrival window mirrors the merger: a colliding
+        // pulse is swallowed and does not extend the window.
+        let collides = facts.hazards.iter().any(|h| match *h {
+            Hazard::Collision { window } => self.last_accepted[comp]
+                .is_some_and(|prev| window > Time::ZERO && now.saturating_sub(prev) < window),
+            _ => false,
+        });
+        for kind in found {
+            self.record(name, port, now, kind);
+        }
+
+        // Counting capacity applies to the conventional port-0 data
+        // input of counting cells (both integrator models).
+        if port == 0 {
+            if let Some(cap) = capacity {
+                self.data_count[comp] += 1;
+                let count = self.data_count[comp];
+                if count > cap {
+                    self.record(
+                        name,
+                        port,
+                        now,
+                        ViolationKind::CountOverflow {
+                            capacity: cap,
+                            count,
+                        },
+                    );
+                }
+            }
+        }
+
+        if !collides {
+            self.last_accepted[comp] = Some(now);
+        }
+        if let Some(slot) = self.last_arrival[comp].get_mut(port) {
+            *slot = Some(now);
+        }
+    }
+
+    fn record(&mut self, name: &str, port: usize, time: Time, kind: ViolationKind) {
+        if self.violations.len() >= self.config.violation_cap {
+            self.suppressed += 1;
+            return;
+        }
+        self.violations.push(Violation {
+            kind,
+            component: name.to_string(),
+            port,
+            time,
+        });
+    }
+
+    pub(crate) fn report(&self) -> SanitizerReport<'_> {
+        SanitizerReport {
+            violations: &self.violations,
+            suppressed: self.suppressed,
+        }
+    }
+
+    /// Clears per-run tracking (used by `Simulator::reset`).
+    pub(crate) fn reset(&mut self) {
+        for ports in &mut self.last_arrival {
+            for p in ports {
+                *p = None;
+            }
+        }
+        for l in &mut self.last_accepted {
+            *l = None;
+        }
+        for c in &mut self.data_count {
+            *c = 0;
+        }
+        self.violations.clear();
+        self.suppressed = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::{Component, Ctx, StaticMeta};
+    use crate::{Circuit, Simulator};
+
+    /// A probe-only sink declaring an explicit hazard set.
+    #[derive(Clone)]
+    struct Declared {
+        name: String,
+        meta: StaticMeta,
+        inputs: usize,
+    }
+    impl Component for Declared {
+        fn name(&self) -> &str {
+            &self.name
+        }
+        fn num_inputs(&self) -> usize {
+            self.inputs
+        }
+        fn num_outputs(&self) -> usize {
+            1
+        }
+        fn jj_count(&self) -> u32 {
+            2
+        }
+        fn on_pulse(&mut self, _port: usize, _now: Time, ctx: &mut Ctx) {
+            ctx.emit(0, Time::ZERO);
+        }
+        fn static_meta(&self) -> StaticMeta {
+            self.meta.clone()
+        }
+    }
+
+    fn two_input_fixture(meta: StaticMeta) -> (Simulator, crate::InputId, crate::InputId) {
+        let mut c = Circuit::new();
+        let a = c.input("a");
+        let b = c.input("b");
+        let d = c.add(Declared {
+            name: "dut".into(),
+            meta,
+            inputs: 2,
+        });
+        c.connect_input(a, d.input(0), Time::ZERO).unwrap();
+        c.connect_input(b, d.input(1), Time::ZERO).unwrap();
+        c.probe(d.output(0), "out");
+        (Simulator::new(c), a, b)
+    }
+
+    #[test]
+    fn collision_is_detected_and_window_not_extended() {
+        let meta = StaticMeta::new("m", Time::ZERO).with_hazard(Hazard::Collision {
+            window: Time::from_ps(5.0),
+        });
+        let (mut sim, a, b) = two_input_fixture(meta);
+        sim.enable_sanitizer(SanitizerConfig::default());
+        sim.schedule_input(a, Time::from_ps(0.0)).unwrap();
+        sim.schedule_input(b, Time::from_ps(2.0)).unwrap(); // collides
+        sim.schedule_input(a, Time::from_ps(4.0)).unwrap(); // collides with t=0 window
+        sim.schedule_input(b, Time::from_ps(20.0)).unwrap(); // clean
+        sim.run().unwrap();
+        let report = sim.sanitizer_report().unwrap();
+        assert_eq!(report.violations.len(), 2);
+        assert!(matches!(
+            report.violations[0].kind,
+            ViolationKind::Collision { .. }
+        ));
+        assert_eq!(report.violations[0].component, "dut");
+        assert_eq!(report.violations[0].time, Time::from_ps(2.0));
+        assert_eq!(report.suppressed, 0);
+    }
+
+    #[test]
+    fn transition_hazard_is_per_port() {
+        let meta = StaticMeta::new("bal", Time::ZERO).with_hazard(Hazard::Transition {
+            window: Time::from_ps(12.0),
+        });
+        let (mut sim, a, b) = two_input_fixture(meta);
+        sim.enable_sanitizer(SanitizerConfig::default());
+        sim.schedule_input(a, Time::from_ps(0.0)).unwrap();
+        sim.schedule_input(b, Time::from_ps(5.0)).unwrap(); // other port: fine
+        sim.schedule_input(a, Time::from_ps(8.0)).unwrap(); // same port, within 12 ps
+        sim.run().unwrap();
+        let report = sim.sanitizer_report().unwrap();
+        assert_eq!(report.violations.len(), 1);
+        assert!(matches!(
+            report.violations[0].kind,
+            ViolationKind::Transition { .. }
+        ));
+        assert_eq!(report.violations[0].port, 0);
+    }
+
+    #[test]
+    fn setup_hazard_checks_direction() {
+        let meta = StaticMeta::new("ndro", Time::ZERO).with_hazard(Hazard::Setup {
+            control: 0,
+            sampled: 1,
+            window: Time::from_ps(5.0),
+        });
+        // Sampled-then-control is fine; control-then-sampled inside the
+        // window violates.
+        let (mut sim, a, b) = two_input_fixture(meta.clone());
+        sim.enable_sanitizer(SanitizerConfig::default());
+        sim.schedule_input(b, Time::from_ps(0.0)).unwrap();
+        sim.schedule_input(a, Time::from_ps(2.0)).unwrap();
+        sim.run().unwrap();
+        assert!(sim.sanitizer_report().unwrap().violations.is_empty());
+
+        let (mut sim, a, b) = two_input_fixture(meta);
+        sim.enable_sanitizer(SanitizerConfig::default());
+        sim.schedule_input(a, Time::from_ps(0.0)).unwrap();
+        sim.schedule_input(b, Time::from_ps(2.0)).unwrap();
+        sim.run().unwrap();
+        let report = sim.sanitizer_report().unwrap();
+        assert_eq!(report.violations.len(), 1);
+        assert!(matches!(
+            report.violations[0].kind,
+            ViolationKind::Setup { control: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn count_overflow_on_port_zero() {
+        let meta = StaticMeta::new("integrator", Time::ZERO).with_counting_capacity(2);
+        let (mut sim, a, b) = two_input_fixture(meta);
+        sim.enable_sanitizer(SanitizerConfig::default());
+        for k in 0..4u64 {
+            sim.schedule_input(a, Time::from_ps(10.0 * k as f64))
+                .unwrap();
+        }
+        // Port 1 is not the data port: never counted.
+        sim.schedule_input(b, Time::from_ps(100.0)).unwrap();
+        sim.run().unwrap();
+        let report = sim.sanitizer_report().unwrap();
+        assert_eq!(report.violations.len(), 2); // pulses 3 and 4
+        assert!(matches!(
+            report.violations[0].kind,
+            ViolationKind::CountOverflow {
+                capacity: 2,
+                count: 3
+            }
+        ));
+    }
+
+    #[test]
+    fn after_epoch_end_fires() {
+        let meta = StaticMeta::new("jtl", Time::ZERO);
+        let (mut sim, a, _b) = two_input_fixture(meta);
+        sim.enable_sanitizer(SanitizerConfig {
+            epoch_end: Some(Time::from_ps(50.0)),
+            ..SanitizerConfig::default()
+        });
+        sim.schedule_input(a, Time::from_ps(40.0)).unwrap();
+        sim.schedule_input(a, Time::from_ps(60.0)).unwrap();
+        sim.run().unwrap();
+        let report = sim.sanitizer_report().unwrap();
+        assert_eq!(report.violations.len(), 1);
+        assert!(matches!(
+            report.violations[0].kind,
+            ViolationKind::AfterEpochEnd { .. }
+        ));
+        assert_eq!(report.violations[0].time, Time::from_ps(60.0));
+    }
+
+    #[test]
+    fn violation_cap_suppresses_overflow() {
+        let meta = StaticMeta::new("m", Time::ZERO).with_hazard(Hazard::Collision {
+            window: Time::from_ps(100.0),
+        });
+        let (mut sim, a, _b) = two_input_fixture(meta);
+        sim.enable_sanitizer(SanitizerConfig {
+            violation_cap: 2,
+            ..SanitizerConfig::default()
+        });
+        for k in 0..6u64 {
+            sim.schedule_input(a, Time::from_ps(k as f64)).unwrap();
+        }
+        sim.run().unwrap();
+        let report = sim.sanitizer_report().unwrap();
+        assert_eq!(report.violations.len(), 2);
+        assert_eq!(report.suppressed, 3);
+    }
+
+    #[test]
+    fn reset_clears_sanitizer_state() {
+        let meta = StaticMeta::new("m", Time::ZERO).with_hazard(Hazard::Collision {
+            window: Time::from_ps(5.0),
+        });
+        let (mut sim, a, b) = two_input_fixture(meta);
+        sim.enable_sanitizer(SanitizerConfig::default());
+        sim.schedule_input(a, Time::from_ps(0.0)).unwrap();
+        sim.schedule_input(b, Time::from_ps(1.0)).unwrap();
+        sim.run().unwrap();
+        assert_eq!(sim.sanitizer_report().unwrap().violations.len(), 1);
+        sim.reset();
+        assert!(sim.sanitizer_report().unwrap().violations.is_empty());
+        // A pulse right after reset must not collide with the pre-reset
+        // window.
+        sim.schedule_input(a, Time::from_ps(2.0)).unwrap();
+        sim.run().unwrap();
+        assert!(sim.sanitizer_report().unwrap().violations.is_empty());
+    }
+
+    #[test]
+    fn disabled_sanitizer_reports_nothing() {
+        let meta = StaticMeta::new("m", Time::ZERO);
+        let (mut sim, a, _b) = two_input_fixture(meta);
+        sim.schedule_input(a, Time::ZERO).unwrap();
+        sim.run().unwrap();
+        assert!(sim.sanitizer_report().is_none());
+    }
+
+    #[test]
+    fn violation_display_is_readable() {
+        let v = Violation {
+            kind: ViolationKind::Collision {
+                window: Time::from_ps(5.0),
+                previous: Time::from_ps(1.0),
+            },
+            component: "mrg".into(),
+            port: 1,
+            time: Time::from_ps(3.0),
+        };
+        assert_eq!(v.to_string(), "collision at `mrg` port 1 (3.0 ps)");
+    }
+}
