@@ -1,0 +1,133 @@
+//! Scheduler microbenchmarks: raw queue push/pop throughput for the
+//! calendar wheel vs the reference binary heap, plus the same engine
+//! workload end-to-end under both schedulers.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use usfq_bench::kernels::{delay_chain, drive_delay_chain, next_rand};
+use usfq_sim::{CalendarWheel, Sched, Simulator, Time};
+
+/// Seed-derived event schedule mimicking engine traffic: mostly
+/// near-future times (cell + wire delays of a few ps), with an
+/// occasional far-future stimulus pulse.
+fn event_times(n: usize, seed: u64) -> Vec<u64> {
+    let mut rng = seed | 1;
+    let mut now = 0u64;
+    (0..n)
+        .map(|_| {
+            let r = next_rand(&mut rng);
+            // 1-in-16 events jump a full epoch ahead, like a scheduled
+            // input; the rest land within a couple of cell delays.
+            if r % 16 == 0 {
+                now += 1_000_000; // 1 ns
+            } else {
+                now += r % 20_000; // 0..20 ps
+            }
+            now
+        })
+        .collect()
+}
+
+fn bench_queue_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sched/queue_ops");
+    for &n in &[1_000usize, 100_000] {
+        let times = event_times(n, 0xC0FFEE);
+        group.bench_with_input(BenchmarkId::new("wheel", n), &times, |b, times| {
+            let mut wheel: CalendarWheel<u32> = CalendarWheel::for_max_delay(Time::from_ps(20.0));
+            b.iter(|| {
+                wheel.clear();
+                for (seq, &t) in times.iter().enumerate() {
+                    wheel.push(Time::from_fs(t), seq as u64, 0u32);
+                }
+                let mut drained = 0usize;
+                while wheel.pop().is_some() {
+                    drained += 1;
+                }
+                assert_eq!(drained, times.len());
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("heap", n), &times, |b, times| {
+            b.iter(|| {
+                let mut heap: BinaryHeap<Reverse<(u64, u64, u32)>> =
+                    BinaryHeap::with_capacity(times.len());
+                for (seq, &t) in times.iter().enumerate() {
+                    heap.push(Reverse((t, seq as u64, 0u32)));
+                }
+                let mut drained = 0usize;
+                while heap.pop().is_some() {
+                    drained += 1;
+                }
+                assert_eq!(drained, times.len());
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Interleaved push/pop at a bounded pending-set size — the engine's
+/// actual steady-state access pattern (pop one event, push its fanout).
+fn bench_queue_steady_state(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sched/steady_state");
+    let pending = 256usize;
+    let ops = 100_000usize;
+    let times = event_times(ops + pending, 0xBEEF);
+    group.bench_function("wheel", |b| {
+        let mut wheel: CalendarWheel<u32> = CalendarWheel::for_max_delay(Time::from_ps(20.0));
+        b.iter(|| {
+            wheel.clear();
+            let mut seq = 0u64;
+            for &t in &times[..pending] {
+                wheel.push(Time::from_fs(t), seq, 0u32);
+                seq += 1;
+            }
+            for &t in &times[pending..] {
+                let popped = wheel.pop().expect("queue non-empty");
+                wheel.push(Time::from_fs(t.max(popped.0.as_fs())), seq, 0u32);
+                seq += 1;
+            }
+        });
+    });
+    group.bench_function("heap", |b| {
+        b.iter(|| {
+            let mut heap: BinaryHeap<Reverse<(u64, u64, u32)>> =
+                BinaryHeap::with_capacity(pending + 1);
+            let mut seq = 0u64;
+            for &t in &times[..pending] {
+                heap.push(Reverse((t, seq, 0u32)));
+                seq += 1;
+            }
+            for &t in &times[pending..] {
+                let Reverse((pt, _, _)) = heap.pop().expect("queue non-empty");
+                heap.push(Reverse((t.max(pt), seq, 0u32)));
+                seq += 1;
+            }
+        });
+    });
+    group.finish();
+}
+
+/// The 1024-stage delay chain end-to-end under each scheduler — what
+/// the EXPERIMENTS.md before/after table reports.
+fn bench_engine_by_sched(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sched/engine_delay_chain_1024");
+    for sched in [Sched::Heap, Sched::Wheel] {
+        group.bench_function(sched.to_string(), |b| {
+            let (proto, input, probe) = delay_chain(1024);
+            b.iter(|| {
+                let mut sim = Simulator::with_sched(proto.clone(), sched);
+                drive_delay_chain(&mut sim, input, probe, 32);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_queue_ops,
+    bench_queue_steady_state,
+    bench_engine_by_sched
+);
+criterion_main!(benches);

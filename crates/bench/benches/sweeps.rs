@@ -1,0 +1,82 @@
+//! End-to-end sweep kernels: the paper artefacts whose wall-clock the
+//! scheduler work targets — the fig18 analytic series, the fig19
+//! seeded fault sweep, one differential-sanitizer catalogue trial, and
+//! a full structural-FIR epoch under each scheduler.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use usfq_bench::experiments::{fig18, fig19};
+use usfq_bench::kernels::catalogue_trial;
+use usfq_core::netlists::shipped_netlists;
+use usfq_sim::{Runner, Sched};
+
+fn bench_fig18_series(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweeps/fig18");
+    group.bench_function("series", |b| {
+        b.iter(|| {
+            let series = fig18::series();
+            assert!(series.len() > 10);
+            black_box(series);
+        });
+    });
+    group.finish();
+}
+
+fn bench_fig19_stats(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweeps/fig19_stats");
+    group.sample_size(10);
+    group.bench_function("8_seeds_1_thread", |b| {
+        let runner = Runner::with_threads(1);
+        b.iter(|| {
+            let stats = fig19::snr_sweep_stats_on(8, &runner);
+            assert!(!stats.is_empty());
+            black_box(stats);
+        });
+    });
+    group.finish();
+}
+
+/// One seeded sanitizer trial per catalogue netlist — the inner loop
+/// of the differential soundness sweep, under each scheduler.
+fn bench_differential_trial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweeps/differential_trial");
+    group.sample_size(10);
+    let catalogue = shipped_netlists();
+    for sched in [Sched::Heap, Sched::Wheel] {
+        group.bench_function(sched.to_string(), |b| {
+            b.iter(|| {
+                for netlist in &catalogue {
+                    black_box(catalogue_trial(netlist, sched, 1, true));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+/// The biggest shipped structural netlist, one full seeded epoch.
+fn bench_structural_epoch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweeps/structural_epoch");
+    group.sample_size(10);
+    let catalogue = shipped_netlists();
+    let netlist = catalogue
+        .iter()
+        .max_by_key(|n| n.circuit.num_components())
+        .expect("catalogue non-empty");
+    for sched in [Sched::Heap, Sched::Wheel] {
+        group.bench_function(format!("{}/{sched}", netlist.name), |b| {
+            b.iter(|| {
+                black_box(catalogue_trial(netlist, sched, 7, false));
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig18_series,
+    bench_fig19_stats,
+    bench_differential_trial,
+    bench_structural_epoch
+);
+criterion_main!(benches);

@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod kernels;
 pub mod render;
 
 /// An artefact runner: `(id, title, render function)`.

@@ -1,11 +1,15 @@
 //! The sweep runner's determinism contract, exercised end to end on
 //! the real Fig. 19 fault sweep: for the same seeds, the parallel
 //! runner's results are identical — bit for bit — to the sequential
-//! loop, at any thread count.
+//! loop, at any thread count. Engine-backed sweeps additionally run
+//! under both event schedulers: the calendar wheel must be as
+//! thread-count-independent as the reference heap.
 
 use proptest::prelude::*;
 use usfq_bench::experiments::fig19::{snr_sweep_stats_on, SnrStats};
-use usfq_sim::Runner;
+use usfq_bench::kernels::catalogue_trial;
+use usfq_core::netlists::shipped_netlists;
+use usfq_sim::{Runner, Sched};
 
 fn bits(stats: &[SnrStats]) -> Vec<u64> {
     stats
@@ -42,5 +46,26 @@ proptest! {
         let sequential = snr_sweep_stats_on(trials, &Runner::with_threads(1));
         let parallel = snr_sweep_stats_on(trials, &Runner::with_threads(threads));
         prop_assert_eq!(bits(&parallel), bits(&sequential));
+    }
+
+    /// Engine-backed sweep: simulating catalogue netlists across
+    /// threads is byte-identical to the sequential loop, under either
+    /// scheduler.
+    #[test]
+    fn parallel_engine_sweep_matches_sequential(
+        threads in 2usize..9,
+        sched_is_wheel in proptest::bool::ANY,
+    ) {
+        let sched = if sched_is_wheel { Sched::Wheel } else { Sched::Heap };
+        let jobs: Vec<(usize, u64)> =
+            (0..shipped_netlists().len()).map(|n| (n, n as u64)).collect();
+        let run = |runner: &Runner| {
+            runner.map_init(&jobs, shipped_netlists, |catalogue, _, &(n, seed)| {
+                catalogue_trial(&catalogue[n], sched, seed, true)
+            })
+        };
+        let sequential = run(&Runner::with_threads(1));
+        let parallel = run(&Runner::with_threads(threads));
+        prop_assert_eq!(sequential, parallel);
     }
 }

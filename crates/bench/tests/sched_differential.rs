@@ -1,0 +1,104 @@
+//! The `wheel == heap` scheduler differential: for every catalogue
+//! netlist and seeded stimulus, the calendar-wheel scheduler must
+//! reproduce the reference binary heap bit for bit — probe traces,
+//! per-component activity, queue high-water mark, and sanitizer
+//! violations alike.
+//!
+//! The directed sweeps below run in every build; the proptests widen
+//! the seed space wherever the real `proptest` crate is available.
+
+use proptest::prelude::*;
+use usfq_bench::kernels::{catalogue_trial, delay_chain, TrialFingerprint};
+use usfq_core::netlists::shipped_netlists;
+use usfq_sim::{Runner, Sched, Simulator, Time};
+
+/// Every shipped netlist, a handful of seeds, sanitizer on and off:
+/// identical fingerprints under both schedulers.
+#[test]
+fn full_catalogue_fingerprints_match() {
+    let catalogue = shipped_netlists();
+    for netlist in &catalogue {
+        for seed in 0..4u64 {
+            for sanitize in [false, true] {
+                let heap = catalogue_trial(netlist, Sched::Heap, seed, sanitize);
+                let wheel = catalogue_trial(netlist, Sched::Wheel, seed, sanitize);
+                assert_eq!(
+                    heap, wheel,
+                    "`{}` diverged (seed {seed}, sanitize {sanitize})",
+                    netlist.name
+                );
+            }
+        }
+    }
+}
+
+/// The differential also holds when trials fan out over the parallel
+/// runner: a wheel-scheduled parallel sweep equals the heap-scheduled
+/// sequential loop.
+#[test]
+fn parallel_wheel_sweep_equals_sequential_heap_sweep() {
+    let catalogue = shipped_netlists();
+    let jobs: Vec<(usize, u64)> = (0..catalogue.len())
+        .flat_map(|n| (0..3u64).map(move |seed| (n, seed)))
+        .collect();
+
+    let sequential: Vec<TrialFingerprint> = jobs
+        .iter()
+        .map(|&(n, seed)| catalogue_trial(&catalogue[n], Sched::Heap, seed, true))
+        .collect();
+    let parallel =
+        Runner::with_threads(4).map_init(&jobs, shipped_netlists, |catalogue, _, &(n, seed)| {
+            catalogue_trial(&catalogue[n], Sched::Wheel, seed, true)
+        });
+    assert_eq!(sequential, parallel);
+}
+
+/// Simulator reuse (`reset` between trials) keeps the differential:
+/// a reused wheel simulator matches a fresh heap simulator.
+#[test]
+fn reset_reuse_matches_fresh_under_both_schedulers() {
+    let (proto, input, probe) = delay_chain(64);
+    let mut reused = Simulator::with_sched(proto.clone(), Sched::Wheel);
+    for trial in 0..8u64 {
+        reused.reset();
+        let mut fresh = Simulator::with_sched(proto.clone(), Sched::Heap);
+        for sim in [&mut reused, &mut fresh] {
+            for k in 0..16u64 {
+                sim.schedule_input(input, Time::from_ps(7.0 * k as f64 + trial as f64))
+                    .unwrap();
+            }
+            sim.run().unwrap();
+        }
+        assert_eq!(
+            reused.probe_times(probe),
+            fresh.probe_times(probe),
+            "trial {trial} diverged"
+        );
+        assert_eq!(
+            reused.activity().peak_pending,
+            fresh.activity().peak_pending,
+            "trial {trial}: queue high-water marks diverged"
+        );
+    }
+}
+
+proptest! {
+    // Each case simulates two full trials; keep the count moderate.
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random catalogue netlist × random seed × sanitizer flag: the
+    /// full fingerprint (traces, activity, peak_pending, violations)
+    /// is identical under both schedulers.
+    #[test]
+    fn random_trials_fingerprints_match(
+        idx in 0usize..16,
+        seed in 0u64..1_000_000,
+        sanitize in proptest::bool::ANY,
+    ) {
+        let catalogue = shipped_netlists();
+        let netlist = &catalogue[idx % catalogue.len()];
+        let heap = catalogue_trial(netlist, Sched::Heap, seed, sanitize);
+        let wheel = catalogue_trial(netlist, Sched::Wheel, seed, sanitize);
+        prop_assert_eq!(heap, wheel);
+    }
+}

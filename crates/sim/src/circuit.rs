@@ -324,6 +324,30 @@ impl Circuit {
         comp_wires + input_wires
     }
 
+    /// The largest single-hop latency anywhere in the netlist: the
+    /// maximum over every wire delay and every component's declared
+    /// [`StaticMeta::max_delay`]. An event scheduled by a pulse at time
+    /// `t` lands no later than `t + 2 * max_delay()` (cell delay plus
+    /// wire delay), which is what sizes the calendar-wheel bucket width
+    /// in [`crate::sched`]. Zero for an empty circuit.
+    pub fn max_delay(&self) -> Time {
+        let mut max = Time::ZERO;
+        for slot in &self.comps {
+            max = max.max(slot.model.static_meta().max_delay);
+            for net in &slot.outputs {
+                for w in &net.wires {
+                    max = max.max(w.delay);
+                }
+            }
+        }
+        for input in &self.inputs {
+            for w in &input.net.wires {
+                max = max.max(w.delay);
+            }
+        }
+        max
+    }
+
     /// Name of an external input.
     ///
     /// # Errors
@@ -805,6 +829,21 @@ mod tests {
         let taps: Vec<_> = c.probe_taps().collect();
         assert!(taps.contains(&(p_out, ProbeSource::Output(b2.id(), 0))));
         assert!(taps.contains(&(p_in, ProbeSource::Input(input))));
+    }
+
+    #[test]
+    fn max_delay_covers_wires_and_cells() {
+        let mut c = Circuit::new();
+        assert_eq!(c.max_delay(), Time::ZERO);
+        let input = c.input("x");
+        let b1 = c.add(Buffer::new("slowcell", Time::from_ps(9.0)));
+        let b2 = c.add(buffer());
+        c.connect_input(input, b1.input(0), Time::from_ps(2.0))
+            .unwrap();
+        assert_eq!(c.max_delay(), Time::from_ps(9.0));
+        c.connect(b1.output(0), b2.input(0), Time::from_ps(40.0))
+            .unwrap();
+        assert_eq!(c.max_delay(), Time::from_ps(40.0));
     }
 
     #[test]

@@ -3,10 +3,11 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use crate::circuit::{Circuit, CompId, InputId, OutputNet, ProbeId};
+use crate::circuit::{Circuit, CompId, InputId, ProbeId};
 use crate::component::Ctx;
 use crate::error::SimError;
 use crate::sanitizer::{SanitizerConfig, SanitizerReport, SanitizerState};
+use crate::sched::{CalendarWheel, Sched, WheelStats};
 use crate::stats::ActivityReport;
 use crate::time::Time;
 
@@ -33,6 +34,175 @@ enum NetSource {
     Input(usize),
     /// (component index, output port).
     Output(usize, usize),
+}
+
+/// One wire in the dense net table: destination component index,
+/// destination port, propagation delay.
+#[derive(Debug, Clone, Copy)]
+struct FlatWire {
+    dest: u32,
+    port: u32,
+    delay: Time,
+}
+
+/// A net's slices into the flat wire/probe arrays.
+#[derive(Debug, Clone, Copy, Default)]
+struct NetRange {
+    wires_start: u32,
+    wires_end: u32,
+    probes_start: u32,
+    probes_end: u32,
+}
+
+/// Dense, pre-computed fan-out indexing: every net's wires and probes
+/// flattened into two contiguous arrays, addressed by net index
+/// (external inputs first, then component outputs, component-major /
+/// port-minor). Built once in [`Simulator::new`], this removes the
+/// nested `comps[c].outputs[p].wires` pointer chase from the hot
+/// `fan_out` path — one bounds-checked slice per emission instead of
+/// three dependent loads.
+#[derive(Debug, Clone, Default)]
+struct NetTable {
+    nets: Vec<NetRange>,
+    wires: Vec<FlatWire>,
+    probes: Vec<u32>,
+    /// Per-component base net index for its output ports.
+    output_base: Vec<u32>,
+}
+
+impl NetTable {
+    fn build(circuit: &Circuit) -> Self {
+        let mut table = NetTable::default();
+        let flatten = |table: &mut NetTable, net: &crate::circuit::OutputNet| {
+            let wires_start = table.wires.len() as u32;
+            table.wires.extend(net.wires.iter().map(|w| FlatWire {
+                dest: w.dest.index() as u32,
+                port: w.port as u32,
+                delay: w.delay,
+            }));
+            let probes_start = table.probes.len() as u32;
+            table
+                .probes
+                .extend(net.probes.iter().map(|p| p.index() as u32));
+            table.nets.push(NetRange {
+                wires_start,
+                wires_end: table.wires.len() as u32,
+                probes_start,
+                probes_end: table.probes.len() as u32,
+            });
+        };
+        for input in &circuit.inputs {
+            flatten(&mut table, &input.net);
+        }
+        for slot in &circuit.comps {
+            table.output_base.push(table.nets.len() as u32);
+            for net in &slot.outputs {
+                flatten(&mut table, net);
+            }
+        }
+        table
+    }
+
+    #[inline]
+    fn net(&self, source: NetSource) -> NetRange {
+        match source {
+            NetSource::Input(i) => self.nets[i],
+            NetSource::Output(c, p) => self.nets[self.output_base[c] as usize + p],
+        }
+    }
+}
+
+/// The selectable event queue: the calendar wheel by default, with the
+/// reference binary heap kept for differential testing
+/// ([`Sched::Heap`], env `USFQ_SCHED=heap`). Both pop in strictly
+/// ascending `(time, seq)` order, so the choice never changes a result
+/// byte — only the cost of ordering.
+#[derive(Debug)]
+enum QueueImpl {
+    Heap(BinaryHeap<Reverse<Event>>),
+    Wheel(CalendarWheel<EventKind>),
+}
+
+#[derive(Debug)]
+struct Queue {
+    imp: QueueImpl,
+    len: usize,
+    /// High-water mark since the last reset, feeding
+    /// [`ActivityReport::peak_pending`].
+    max_len: usize,
+}
+
+impl Queue {
+    fn new(sched: Sched, capacity: usize, max_delay: Time) -> Self {
+        let imp = match sched {
+            Sched::Heap => QueueImpl::Heap(BinaryHeap::with_capacity(capacity)),
+            Sched::Wheel => QueueImpl::Wheel(CalendarWheel::for_max_delay(max_delay)),
+        };
+        Queue {
+            imp,
+            len: 0,
+            max_len: 0,
+        }
+    }
+
+    fn sched(&self) -> Sched {
+        match self.imp {
+            QueueImpl::Heap(_) => Sched::Heap,
+            QueueImpl::Wheel(_) => Sched::Wheel,
+        }
+    }
+
+    fn wheel_stats(&self) -> Option<WheelStats> {
+        match &self.imp {
+            QueueImpl::Heap(_) => None,
+            QueueImpl::Wheel(w) => Some(w.stats()),
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, ev: Event) {
+        match &mut self.imp {
+            QueueImpl::Heap(h) => h.push(Reverse(ev)),
+            QueueImpl::Wheel(w) => w.push(ev.time, ev.seq, ev.kind),
+        }
+        self.len += 1;
+        if self.len > self.max_len {
+            self.max_len = self.len;
+        }
+    }
+
+    #[inline]
+    fn peek(&mut self) -> Option<Event> {
+        match &mut self.imp {
+            QueueImpl::Heap(h) => h.peek().map(|&Reverse(ev)| ev),
+            QueueImpl::Wheel(w) => w.peek().map(|(time, seq, &kind)| Event { time, seq, kind }),
+        }
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<Event> {
+        let ev = match &mut self.imp {
+            QueueImpl::Heap(h) => h.pop().map(|Reverse(ev)| ev),
+            QueueImpl::Wheel(w) => w.pop().map(|(time, seq, kind)| Event { time, seq, kind }),
+        };
+        if ev.is_some() {
+            self.len -= 1;
+        }
+        ev
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn clear(&mut self) {
+        match &mut self.imp {
+            QueueImpl::Heap(h) => h.clear(),
+            QueueImpl::Wheel(w) => w.clear(),
+        }
+        self.len = 0;
+        self.max_len = 0;
+    }
 }
 
 /// Outcome of a [`Simulator::run`].
@@ -98,7 +268,8 @@ impl JitterModel {
 /// runs of the same stimulus are identical.
 pub struct Simulator {
     circuit: Circuit,
-    queue: BinaryHeap<Reverse<Event>>,
+    nets: NetTable,
+    queue: Queue,
     seq: u64,
     now: Time,
     probe_data: Vec<Vec<Time>>,
@@ -111,13 +282,27 @@ pub struct Simulator {
 }
 
 impl Simulator {
-    /// Wraps a finished circuit in a simulator.
+    /// Wraps a finished circuit in a simulator using the scheduler
+    /// selected by the `USFQ_SCHED` environment variable (the calendar
+    /// wheel by default) — see [`Simulator::with_sched`].
+    pub fn new(circuit: Circuit) -> Self {
+        Simulator::with_sched(circuit, Sched::from_env())
+    }
+
+    /// Wraps a finished circuit in a simulator with an explicit event
+    /// scheduler.
     ///
     /// The event queue and probe recordings are pre-sized from the
     /// netlist's aggregate fan-out ([`Circuit::num_wires`]), so the
     /// first run does not pay reallocation on the hot path, and
     /// [`Simulator::reset`] keeps those allocations for the next trial.
-    pub fn new(circuit: Circuit) -> Self {
+    /// The calendar wheel's bucket width is derived from the circuit's
+    /// maximum cell/wire delay ([`Circuit::max_delay`]).
+    ///
+    /// Scheduler choice never affects results: both schedulers drain
+    /// events in identical `(time, insertion)` order, a contract
+    /// enforced by the `wheel == heap` differential suites.
+    pub fn with_sched(circuit: Circuit, sched: Sched) -> Self {
         // One traversal of every wire can be in flight at once; a few
         // epochs of slack covers pipelined stimuli without regrowth.
         let queue_capacity = circuit.num_wires().saturating_mul(2).max(16);
@@ -127,9 +312,12 @@ impl Simulator {
             .map(|_| Vec::with_capacity(16))
             .collect();
         let activity = ActivityReport::with_components(circuit.comps.len());
+        let nets = NetTable::build(&circuit);
+        let queue = Queue::new(sched, queue_capacity, circuit.max_delay());
         Simulator {
             circuit,
-            queue: BinaryHeap::with_capacity(queue_capacity),
+            nets,
+            queue,
             seq: 0,
             now: Time::ZERO,
             probe_data,
@@ -140,6 +328,17 @@ impl Simulator {
             jitter: None,
             sanitizer: None,
         }
+    }
+
+    /// The scheduler this simulator runs on.
+    pub fn sched(&self) -> Sched {
+        self.queue.sched()
+    }
+
+    /// Calendar-wheel operational counters, or `None` under
+    /// [`Sched::Heap`].
+    pub fn wheel_stats(&self) -> Option<WheelStats> {
+        self.queue.wheel_stats()
     }
 
     /// Enables deterministic Gaussian wire-delay jitter: every wire
@@ -231,7 +430,7 @@ impl Simulator {
     /// Returns [`SimError::EventLimitExceeded`] if the safety valve trips.
     pub fn run_until(&mut self, deadline: Time) -> Result<RunSummary, SimError> {
         let mut events = 0u64;
-        while let Some(Reverse(ev)) = self.queue.peek().copied() {
+        while let Some(ev) = self.queue.peek() {
             if ev.time > deadline {
                 break;
             }
@@ -254,6 +453,7 @@ impl Simulator {
             self.events_processed += 1;
             self.dispatch(ev)?;
         }
+        self.activity.peak_pending = self.activity.peak_pending.max(self.queue.max_len as u64);
         Ok(RunSummary {
             events,
             end_time: self.now,
@@ -315,19 +515,18 @@ impl Simulator {
     }
 
     fn fan_out(&mut self, source: NetSource, t: Time) -> Result<(), SimError> {
-        // Borrow the net once: `circuit`, `probe_data`, `seq`, `jitter`
-        // and `queue` are disjoint fields, so no per-element re-lookup
-        // is needed to satisfy the borrow checker.
-        let net: &OutputNet = match source {
-            NetSource::Input(i) => &self.circuit.inputs[i].net,
-            NetSource::Output(c, p) => &self.circuit.comps[c].outputs[p],
-        };
-        for &probe in &net.probes {
-            self.probe_data[probe.0].push(t);
+        // One lookup in the dense net table yields contiguous wire and
+        // probe slices; `nets`, `probe_data`, `seq`, `jitter`, `queue`
+        // and `circuit` are disjoint fields, so no per-element
+        // re-lookup is needed to satisfy the borrow checker.
+        let net = self.nets.net(source);
+        for &probe in &self.nets.probes[net.probes_start as usize..net.probes_end as usize] {
+            self.probe_data[probe as usize].push(t);
         }
+        let wires = &self.nets.wires[net.wires_start as usize..net.wires_end as usize];
         // Allocate sequence numbers for the whole net in one batch.
         let first_seq = self.seq;
-        self.seq += net.wires.len() as u64;
+        self.seq += wires.len() as u64;
         let overflow = |circuit: &Circuit| SimError::TimeOverflow {
             component: match source {
                 NetSource::Input(i) => circuit.inputs[i].name.clone(),
@@ -335,7 +534,7 @@ impl Simulator {
             },
             time: t,
         };
-        for (seq, &wire) in (first_seq..).zip(net.wires.iter()) {
+        for (seq, wire) in (first_seq..).zip(wires.iter()) {
             let mut arrival = t
                 .checked_add(wire.delay)
                 .ok_or_else(|| overflow(&self.circuit))?;
@@ -350,20 +549,20 @@ impl Simulator {
                     arrival.saturating_sub(Time::from_fs((-j) as u64)).max(t)
                 };
             }
-            self.queue.push(Reverse(Event {
+            self.queue.push(Event {
                 time: arrival,
                 seq,
                 kind: EventKind::Deliver {
-                    comp: wire.dest,
-                    port: wire.port,
+                    comp: CompId(wire.dest as usize),
+                    port: wire.port as usize,
                 },
-            }));
+            });
         }
         Ok(())
     }
 
     fn push(&mut self, ev: Event) {
-        self.queue.push(Reverse(ev));
+        self.queue.push(ev);
     }
 
     fn next_seq(&mut self) -> u64 {
@@ -455,6 +654,7 @@ impl std::fmt::Debug for Simulator {
         f.debug_struct("Simulator")
             .field("circuit", &self.circuit)
             .field("now", &self.now)
+            .field("sched", &self.queue.sched())
             .field("pending_events", &self.queue.len())
             .finish()
     }
@@ -800,5 +1000,76 @@ mod tests {
         let c = Circuit::new();
         let mut sim = Simulator::new(c);
         assert!(sim.schedule_input(InputId(0), Time::ZERO).is_err());
+    }
+
+    /// The scheduler contract in miniature: heap and wheel produce
+    /// byte-identical traces, activity, and queue high-water marks on
+    /// a fanned-out, jittered workload.
+    #[test]
+    fn schedulers_agree_end_to_end() {
+        let mut c = Circuit::new();
+        let input = c.input("in");
+        let b1 = c.add(Buffer::new("b1", Time::from_ps(3.0)));
+        let b2 = c.add(Buffer::new("b2", Time::from_ps(9.0)));
+        let b3 = c.add(Buffer::new("b3", Time::from_ps(20.0)));
+        c.connect_input(input, b1.input(0), Time::from_ps(1.0))
+            .unwrap();
+        c.connect(b1.output(0), b2.input(0), Time::ZERO).unwrap();
+        c.connect(b1.output(0), b3.input(0), Time::from_ps(2.0))
+            .unwrap();
+        c.connect(b2.output(0), b3.input(0), Time::from_ps(0.5))
+            .unwrap();
+        let probe = c.probe(b3.output(0), "out");
+
+        let run = |sched: Sched| {
+            let mut sim = Simulator::with_sched(c.clone(), sched);
+            assert_eq!(sim.sched(), sched);
+            sim.enable_wire_jitter(Time::from_ps(0.5), 11);
+            for k in 0..64u64 {
+                sim.schedule_input(input, Time::from_ps(25.0 * k as f64))
+                    .unwrap();
+            }
+            sim.run().unwrap();
+            (
+                sim.probe_times(probe).to_vec(),
+                sim.activity().clone(),
+                sim.wheel_stats(),
+            )
+        };
+        let (times_h, act_h, stats_h) = run(Sched::Heap);
+        let (times_w, act_w, stats_w) = run(Sched::Wheel);
+        assert_eq!(times_h, times_w);
+        assert_eq!(act_h.handled, act_w.handled);
+        assert_eq!(act_h.emitted, act_w.emitted);
+        assert_eq!(act_h.peak_pending, act_w.peak_pending);
+        assert!(act_w.peak_pending > 0);
+        assert_eq!(stats_h, None, "heap has no wheel counters");
+        let stats_w = stats_w.expect("wheel counters");
+        assert!(stats_w.activations > 0);
+        assert_eq!(stats_w.rebuilds, 0, "no past-time insert in a run");
+    }
+
+    /// Stimuli scheduled across a whole epoch land in the wheel's
+    /// overflow level and migrate back without reordering.
+    #[test]
+    fn wheel_overflow_level_preserves_order() {
+        let mut c = Circuit::new();
+        let input = c.input("in");
+        let b = c.add(Buffer::new("b", Time::from_ps(9.0)));
+        c.connect_input(input, b.input(0), Time::ZERO).unwrap();
+        let p = c.probe(b.output(0), "p");
+        // Bucket width derives from the 9 ps delay, so a 1 µs horizon
+        // is far beyond the wheel window.
+        let mut sim = Simulator::with_sched(c, Sched::Wheel);
+        for k in (0..32u64).rev() {
+            sim.schedule_input(input, Time::from_ns(40.0 * k as f64))
+                .unwrap();
+        }
+        sim.run().unwrap();
+        let times = sim.probe_times(p);
+        assert_eq!(times.len(), 32);
+        assert!(times.windows(2).all(|w| w[0] < w[1]));
+        let stats = sim.wheel_stats().unwrap();
+        assert!(stats.migrations > 0, "{stats:?}");
     }
 }

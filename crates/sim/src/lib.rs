@@ -19,6 +19,10 @@
 //!   fixed delays, plus named external inputs and output probes.
 //! * A [`Simulator`] owns a circuit and an event queue. Ties in time are
 //!   broken by insertion order, making every run reproducible bit-for-bit.
+//!   The queue itself is pluggable ([`sched::Sched`]): a calendar-wheel
+//!   scheduler tuned to picosecond cell delays is the default, with the
+//!   reference binary heap selectable via `USFQ_SCHED=heap` for
+//!   differential testing.
 //! * [`stats::ActivityReport`] counts pulse arrivals and emissions per
 //!   component; [`power`] converts activity into active/passive power using
 //!   per-cell Josephson-junction accounting.
@@ -65,6 +69,7 @@ pub mod error;
 pub mod power;
 pub mod runner;
 pub mod sanitizer;
+pub mod sched;
 pub mod stats;
 pub mod time;
 pub mod trace;
@@ -77,4 +82,5 @@ pub use engine::{RunSummary, Simulator};
 pub use error::SimError;
 pub use runner::Runner;
 pub use sanitizer::{SanitizerConfig, SanitizerReport, Violation, ViolationKind};
+pub use sched::{CalendarWheel, Sched, WheelStats};
 pub use time::Time;

@@ -1,0 +1,725 @@
+//! Event schedulers: the calendar-queue time wheel and its selection.
+//!
+//! The discrete-event kernel spends most of its cycles ordering
+//! events. SFQ workloads make that ordering unusually structured:
+//! timestamps are bounded-range femtosecond integers, per-cell delays
+//! are a handful of picoseconds (t_INV = 9 ps … t_TFF2 = 20 ps), and a
+//! U-SFQ epoch is a densely packed burst of pulses spanning
+//! `2^B · B · 20 ps`. A comparison heap pays `O(log n)` pointer-chasing
+//! per operation for a generality this regime never uses; a bucketed
+//! **calendar queue** (a.k.a. hanging timing wheel) exploits it for
+//! amortised `O(1)` scheduling.
+//!
+//! [`CalendarWheel`] is that queue:
+//!
+//! * **Fixed-width buckets.** Time is divided into `2^k`-femtosecond
+//!   buckets; an event at time `t` lands in bucket `(t >> k) & mask`.
+//!   The bucket width is sized from the circuit's maximum cell/wire
+//!   delay (see [`CalendarWheel::for_max_delay`]) so that a pulse
+//!   emitted "now" almost always lands inside the wheel's window.
+//! * **Lazily sorted active bucket.** Buckets are unsorted on insert.
+//!   When the wheel's cursor reaches a non-empty bucket, that bucket is
+//!   sorted once (descending, so pops are `Vec::pop` from the tail) and
+//!   becomes *active*; inserts that race into the active bucket use a
+//!   binary-search insert to keep it ordered. This turns the classic
+//!   calendar queue's per-pop scan into amortised `O(1)` with one
+//!   `O(b log b)` sort per bucket of size `b`.
+//! * **Overflow level.** Events beyond the wheel's window (one *day*,
+//!   `num_buckets × width`) wait in a min-heap ordered by `(t, seq)`
+//!   and migrate into buckets in due-prefix batches as the window
+//!   advances — the "far future" level of a hierarchical wheel,
+//!   flattened to one level because SFQ stimuli rarely need more. The
+//!   heap (rather than an unsorted vector) bounds the degenerate
+//!   wide-time-range workload at `O(n log n)` instead of `O(n²)`:
+//!   migration pops exactly the due prefix instead of rescanning
+//!   everything once per day.
+//! * **Occupancy bitmap.** One bit per bucket lets the cursor jump
+//!   straight to the next non-empty bucket instead of probing empty
+//!   ones — sparse circuits (few pulses in flight, wide spacing) pay
+//!   a couple of word scans per pop instead of up to
+//!   `num_buckets` probes.
+//! * **Slab reuse.** Buckets and the overflow heap keep their
+//!   allocations across [`CalendarWheel::clear`], so a
+//!   [`Simulator::reset`](crate::Simulator::reset) between sweep trials
+//!   schedules with zero allocation.
+//!
+//! # Determinism contract
+//!
+//! The wheel pops events in strictly ascending `(time, seq)` order —
+//! byte-identical to `BinaryHeap<Reverse<(time, seq)>>` — provided
+//! `seq` values are unique, which the engine guarantees with a
+//! monotonic counter. Same-timestamp events therefore drain in FIFO
+//! insertion order, exactly the arrival-ordered pulse semantics the
+//! rest of the stack (runner determinism, sanitizer identity,
+//! differential soundness) is built on.
+//!
+//! The reference [`BinaryHeap`](std::collections::BinaryHeap) scheduler
+//! is kept selectable — [`Sched::Heap`] via the `USFQ_SCHED`
+//! environment variable — for differential testing and benchmarking.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::Time;
+
+/// Environment variable selecting the event scheduler
+/// (`heap` | `wheel`, case-insensitive). Unset or unrecognised values
+/// fall back to [`Sched::Wheel`].
+pub const SCHED_ENV: &str = "USFQ_SCHED";
+
+/// Number of buckets in a default-configured wheel (must be a power of
+/// two). 256 buckets × a delay-derived width keeps the whole window
+/// (one "day") within an L1-resident footprint while covering dozens
+/// of maximum cell delays.
+pub const DEFAULT_BUCKETS: usize = 256;
+
+/// Which event queue the [`Simulator`](crate::Simulator) uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Sched {
+    /// Reference `BinaryHeap` scheduler: `O(log n)` per operation,
+    /// kept for differential testing and as a fallback.
+    Heap,
+    /// Calendar-queue time wheel: amortised `O(1)` per operation.
+    #[default]
+    Wheel,
+}
+
+impl Sched {
+    /// Reads the scheduler choice from [`SCHED_ENV`] (`USFQ_SCHED`).
+    /// Unset, empty, or unrecognised values select [`Sched::Wheel`].
+    pub fn from_env() -> Sched {
+        std::env::var(SCHED_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or_default()
+    }
+}
+
+impl std::str::FromStr for Sched {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "heap" => Ok(Sched::Heap),
+            "wheel" => Ok(Sched::Wheel),
+            other => Err(format!("unknown scheduler `{other}` (heap|wheel)")),
+        }
+    }
+}
+
+impl std::fmt::Display for Sched {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Sched::Heap => "heap",
+            Sched::Wheel => "wheel",
+        })
+    }
+}
+
+/// Operational counters of a [`CalendarWheel`], for benchmarks and
+/// perf forensics. All counters are cumulative until
+/// [`CalendarWheel::clear`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WheelStats {
+    /// High-water mark of pending events.
+    pub max_pending: usize,
+    /// Batches of overflow events migrated into the wheel window.
+    pub migrations: u64,
+    /// Buckets sorted on first access (one per non-empty bucket the
+    /// cursor visited).
+    pub activations: u64,
+    /// Full rebuilds caused by an out-of-order (past-time) insert —
+    /// zero in any well-formed simulation.
+    pub rebuilds: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry<T> {
+    /// Absolute event time, femtoseconds.
+    t: u64,
+    /// FIFO tie-breaker; unique per entry.
+    seq: u64,
+    payload: T,
+}
+
+impl<T> Entry<T> {
+    #[inline]
+    fn key(&self) -> (u64, u64) {
+        (self.t, self.seq)
+    }
+}
+
+// Overflow-heap ordering: by `(t, seq)` only. `seq` is unique among
+// live entries, so ignoring the payload keeps Eq consistent with Ord.
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+/// A calendar-queue / time-wheel priority queue keyed by
+/// `(Time, seq)`, popping in strictly ascending key order.
+///
+/// See the [module docs](self) for the design. `seq` values must be
+/// unique across live entries; ties in `Time` then drain in `seq`
+/// (insertion) order.
+///
+/// # Examples
+///
+/// ```
+/// use usfq_sim::sched::CalendarWheel;
+/// use usfq_sim::Time;
+///
+/// let mut q = CalendarWheel::new();
+/// q.push(Time::from_ps(9.0), 1, "late");
+/// q.push(Time::from_ps(3.0), 2, "early");
+/// q.push(Time::from_ps(9.0), 0, "late-but-first");
+/// assert_eq!(q.pop(), Some((Time::from_ps(3.0), 2, "early")));
+/// assert_eq!(q.pop(), Some((Time::from_ps(9.0), 0, "late-but-first")));
+/// assert_eq!(q.pop(), Some((Time::from_ps(9.0), 1, "late")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CalendarWheel<T> {
+    /// Bucket width is `1 << shift` femtoseconds.
+    shift: u32,
+    /// `num_buckets - 1`; `num_buckets` is a power of two.
+    mask: usize,
+    buckets: Vec<Vec<Entry<T>>>,
+    /// Start of the wheel window (multiple of the bucket width). All
+    /// bucket-resident entries have `t` in `[horizon, horizon + day)`.
+    horizon: u64,
+    /// Bucket index of `horizon`.
+    cur: usize,
+    /// Bucket of `cur` has been sorted and is being drained from its
+    /// tail.
+    active: bool,
+    /// Entries resident in buckets.
+    wheel_len: usize,
+    /// One bit per bucket: set iff the bucket is non-empty. Lets the
+    /// cursor jump over empty buckets in word-sized strides.
+    occ: Vec<u64>,
+    /// Entries at or beyond `horizon + day`, min-heap by `(t, seq)`.
+    overflow: BinaryHeap<Reverse<Entry<T>>>,
+    len: usize,
+    stats: WheelStats,
+}
+
+impl<T> Default for CalendarWheel<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> CalendarWheel<T> {
+    /// A wheel with a generic 2 ps bucket width — reasonable for
+    /// catalog-delay SFQ circuits when no circuit is available to size
+    /// from. Prefer [`CalendarWheel::for_max_delay`].
+    pub fn new() -> Self {
+        Self::with_params(Time::from_fs(2_048), DEFAULT_BUCKETS)
+    }
+
+    /// A wheel sized for a circuit whose largest cell or wire delay is
+    /// `max_delay`: the bucket width is the power of two nearest
+    /// `max_delay / 4` (clamped to `[0.5 ps, 65.5 ps]`), so one
+    /// maximum-delay hop spans a handful of buckets and the whole
+    /// window covers ≥ 64 such hops — pulses emitted "now" essentially
+    /// never overflow.
+    pub fn for_max_delay(max_delay: Time) -> Self {
+        let width = (max_delay.as_fs() / 4)
+            .next_power_of_two()
+            .clamp(512, 65_536);
+        Self::with_params(Time::from_fs(width), DEFAULT_BUCKETS)
+    }
+
+    /// A wheel with an explicit bucket width and bucket count. Both
+    /// are rounded up to the next power of two (width in femtoseconds,
+    /// count at least 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_width` is [`Time::ZERO`].
+    pub fn with_params(bucket_width: Time, num_buckets: usize) -> Self {
+        assert!(
+            bucket_width > Time::ZERO,
+            "calendar wheel bucket width must be positive"
+        );
+        let width = bucket_width.as_fs().next_power_of_two();
+        let shift = width.trailing_zeros();
+        let n = num_buckets.next_power_of_two().max(2);
+        CalendarWheel {
+            shift,
+            mask: n - 1,
+            buckets: (0..n).map(|_| Vec::new()).collect(),
+            horizon: 0,
+            cur: 0,
+            active: false,
+            wheel_len: 0,
+            occ: vec![0; n.div_ceil(64)],
+            overflow: BinaryHeap::new(),
+            len: 0,
+            stats: WheelStats::default(),
+        }
+    }
+
+    /// Bucket width.
+    pub fn bucket_width(&self) -> Time {
+        Time::from_fs(1 << self.shift)
+    }
+
+    /// Number of buckets.
+    pub fn num_buckets(&self) -> usize {
+        self.mask + 1
+    }
+
+    /// Window covered by the bucket array, femtoseconds.
+    #[inline]
+    fn day(&self) -> u64 {
+        ((self.mask as u64) + 1) << self.shift
+    }
+
+    #[inline]
+    fn bucket_of(&self, t: u64) -> usize {
+        ((t >> self.shift) as usize) & self.mask
+    }
+
+    /// Pending entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Operational counters since the last [`CalendarWheel::clear`].
+    pub fn stats(&self) -> WheelStats {
+        self.stats
+    }
+
+    /// Removes every entry, keeping all bucket and overflow
+    /// allocations (the slab-reuse half of the engine's
+    /// allocation-free reset). Also zeroes [`WheelStats`].
+    pub fn clear(&mut self) {
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.overflow.clear();
+        self.occ.fill(0);
+        self.horizon = 0;
+        self.cur = 0;
+        self.active = false;
+        self.wheel_len = 0;
+        self.len = 0;
+        self.stats = WheelStats::default();
+    }
+
+    #[inline]
+    fn mark_occupied(&mut self, b: usize) {
+        self.occ[b >> 6] |= 1u64 << (b & 63);
+    }
+
+    #[inline]
+    fn mark_empty(&mut self, b: usize) {
+        self.occ[b >> 6] &= !(1u64 << (b & 63));
+    }
+
+    /// Distance (in buckets, 0-based) from `from` to the nearest
+    /// occupied bucket, searching forward with wrap-around. Requires
+    /// at least one occupied bucket.
+    fn steps_to_occupied(&self, from: usize) -> usize {
+        let words = self.occ.len();
+        let n = self.mask + 1;
+        // First word: mask off bits below `from`.
+        let mut w = self.occ[from >> 6] & (!0u64 << (from & 63));
+        let mut word_idx = from >> 6;
+        for probed in 0..=words {
+            if w != 0 {
+                let bit = (word_idx << 6) + w.trailing_zeros() as usize;
+                return (bit + n - from) & self.mask;
+            }
+            debug_assert!(probed < words, "occupancy bitmap empty");
+            word_idx = (word_idx + 1) % words;
+            w = self.occ[word_idx];
+            // On wrapping back into the first word, bits at/after
+            // `from` were already checked; keeping them is harmless
+            // (they'd map to a full-circle distance, never smaller).
+        }
+        unreachable!("occupancy bitmap empty")
+    }
+
+    /// Inserts an entry. `seq` must be unique among live entries; ties
+    /// in `time` pop in ascending `seq` order.
+    pub fn push(&mut self, time: Time, seq: u64, payload: T) {
+        let t = time.as_fs();
+        if t < self.horizon {
+            // A past-time insert (only possible through unusual API
+            // use, e.g. scheduling a stimulus behind an already-drained
+            // deadline). Rebase the whole wheel — rare and O(n).
+            self.rebuild_for(t);
+        }
+        self.insert(Entry { t, seq, payload });
+        self.len += 1;
+        if self.len > self.stats.max_pending {
+            self.stats.max_pending = self.len;
+        }
+    }
+
+    /// Key of the earliest entry without removing it.
+    pub fn peek(&mut self) -> Option<(Time, u64, &T)> {
+        if self.len == 0 {
+            return None;
+        }
+        self.ensure_active();
+        let e = self.buckets[self.cur].last().expect("active bucket filled");
+        Some((Time::from_fs(e.t), e.seq, &e.payload))
+    }
+
+    /// Removes and returns the earliest entry.
+    pub fn pop(&mut self) -> Option<(Time, u64, T)> {
+        if self.len == 0 {
+            return None;
+        }
+        self.ensure_active();
+        let e = self.buckets[self.cur].pop().expect("active bucket filled");
+        self.wheel_len -= 1;
+        self.len -= 1;
+        Some((Time::from_fs(e.t), e.seq, e.payload))
+    }
+
+    /// Routes an entry to its bucket or the overflow level. Does not
+    /// touch `len`/stats (shared by `push` and migration/rebuild).
+    #[inline]
+    fn insert(&mut self, e: Entry<T>) {
+        debug_assert!(e.t >= self.horizon);
+        if e.t - self.horizon < self.day() {
+            let b = self.bucket_of(e.t);
+            let v = &mut self.buckets[b];
+            if self.active && b == self.cur {
+                // Keep the active bucket sorted (descending): find the
+                // first element with a smaller key and insert before
+                // it. New events are at or after `now`, so this lands
+                // near the tail and the memmove is short.
+                let key = (e.t, e.seq);
+                let pos = v.partition_point(|x| (x.t, x.seq) > key);
+                v.insert(pos, e);
+            } else {
+                v.push(e);
+            }
+            self.wheel_len += 1;
+            self.mark_occupied(b);
+        } else {
+            self.overflow.push(Reverse(e));
+        }
+    }
+
+    /// Advances the cursor to the earliest non-empty bucket and sorts
+    /// it if freshly reached. Requires `len > 0`.
+    fn ensure_active(&mut self) {
+        if self.active {
+            if !self.buckets[self.cur].is_empty() {
+                return;
+            }
+            self.mark_empty(self.cur);
+            self.active = false;
+        }
+        if self.wheel_len == 0 {
+            // Everything pending lives in the overflow level: jump the
+            // window straight to its minimum instead of stepping
+            // bucket by bucket.
+            let min = self.overflow.peek().expect("overflow holds the events").0.t;
+            self.horizon = min >> self.shift << self.shift;
+            self.cur = self.bucket_of(self.horizon);
+            self.migrate_due();
+        } else if self.buckets[self.cur].is_empty() {
+            // Jump straight to the next occupied bucket. Every
+            // bucket-resident entry precedes every overflow entry
+            // (`t < horizon + day` vs `t ≥ horizon + day`), so no
+            // overflow entry can become due strictly before it.
+            let steps = self.steps_to_occupied(self.cur);
+            self.cur = (self.cur + steps) & self.mask;
+            self.horizon += (steps as u64) << self.shift;
+            self.migrate_due();
+        }
+        // Sort descending so pops are `Vec::pop` from the tail. Keys
+        // are unique (unique `seq`), so unstable sort is deterministic.
+        // Single-entry buckets — the common case in sparse circuits —
+        // skip the sort call entirely.
+        if self.buckets[self.cur].len() > 1 {
+            self.buckets[self.cur].sort_unstable_by_key(|e| Reverse((e.t, e.seq)));
+        }
+        self.active = true;
+        self.stats.activations += 1;
+    }
+
+    /// Pulls the due prefix of the overflow heap — every entry now
+    /// inside the window — into its bucket. Cheap (one peek) when
+    /// nothing is due.
+    fn migrate_due(&mut self) {
+        let day = self.day();
+        let mut moved = false;
+        while let Some(Reverse(top)) = self.overflow.peek() {
+            if top.t - self.horizon >= day {
+                break;
+            }
+            let Reverse(e) = self.overflow.pop().expect("peeked entry");
+            // The active bucket is never a migration target: due
+            // entries sit a full day ahead of wherever the bucket
+            // was activated.
+            let b = self.bucket_of(e.t);
+            self.buckets[b].push(e);
+            self.wheel_len += 1;
+            self.mark_occupied(b);
+            moved = true;
+        }
+        if moved {
+            self.stats.migrations += 1;
+        }
+    }
+
+    /// Rebase for a past-time insert: collect every entry and re-route
+    /// it against a window starting at `t`'s bucket.
+    fn rebuild_for(&mut self, t: u64) {
+        self.stats.rebuilds += 1;
+        let mut all: Vec<Entry<T>> = Vec::with_capacity(self.len);
+        for b in &mut self.buckets {
+            all.append(b);
+        }
+        all.extend(self.overflow.drain().map(|Reverse(e)| e));
+        self.occ.fill(0);
+        self.active = false;
+        self.wheel_len = 0;
+        self.horizon = t >> self.shift << self.shift;
+        self.cur = self.bucket_of(self.horizon);
+        for e in all {
+            self.insert(e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    fn drain(q: &mut CalendarWheel<u32>) -> Vec<(u64, u64, u32)> {
+        let mut out = Vec::new();
+        while let Some((t, s, p)) = q.pop() {
+            out.push((t.as_fs(), s, p));
+        }
+        out
+    }
+
+    #[test]
+    fn fifo_within_a_timestamp() {
+        let mut q = CalendarWheel::new();
+        for seq in 0..10u64 {
+            q.push(Time::from_ps(5.0), seq, seq as u32);
+        }
+        let popped = drain(&mut q);
+        let seqs: Vec<u64> = popped.iter().map(|&(_, s, _)| s).collect();
+        assert_eq!(seqs, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = CalendarWheel::new();
+        q.push(Time::from_ps(7.0), 0, 70);
+        q.push(Time::from_ps(2.0), 1, 20);
+        let (t, s, &p) = q.peek().unwrap();
+        assert_eq!((t, s, p), (Time::from_ps(2.0), 1, 20));
+        assert_eq!(q.pop(), Some((Time::from_ps(2.0), 1, 20)));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn far_future_goes_through_overflow() {
+        // Window = 256 buckets × 1 ps ≈ 262 ns; schedule well past it.
+        let mut q = CalendarWheel::with_params(Time::from_ps(1.0), 256);
+        q.push(Time::from_ns(900.0), 0, 1);
+        q.push(Time::from_ps(1.5), 1, 2);
+        q.push(Time::from_ns(901.0), 2, 3);
+        assert_eq!(q.pop().unwrap().2, 2);
+        assert_eq!(q.pop().unwrap().2, 1);
+        assert_eq!(q.pop().unwrap().2, 3);
+        assert!(q.stats().migrations > 0, "{:?}", q.stats());
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        let mut q = CalendarWheel::with_params(Time::from_ps(2.0), 8);
+        let mut seq = 0u64;
+        let mut last = None;
+        // Sliding workload: pop one, push two slightly ahead.
+        q.push(Time::ZERO, seq, 0);
+        seq += 1;
+        for round in 0..2_000u64 {
+            let (t, s, _) = q.pop().unwrap();
+            if let Some(prev) = last {
+                assert!((t, s) > prev, "round {round}: {t:?} after {prev:?}");
+            }
+            last = Some((t, s));
+            if q.len() < 64 {
+                for k in 1..=2u64 {
+                    q.push(t + Time::from_ps(3.0 * k as f64), seq, round as u32);
+                    seq += 1;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn past_insert_rebuilds_instead_of_corrupting() {
+        let mut q = CalendarWheel::with_params(Time::from_ps(1.0), 8);
+        q.push(Time::from_ps(100.0), 0, 0);
+        assert_eq!(q.pop().unwrap().0, Time::from_ps(100.0));
+        // The window has advanced to ~100 ps; schedule behind it.
+        q.push(Time::from_ps(3.0), 1, 1);
+        q.push(Time::from_ps(200.0), 2, 2);
+        assert_eq!(q.pop().unwrap().0, Time::from_ps(3.0));
+        assert_eq!(q.pop().unwrap().0, Time::from_ps(200.0));
+        assert!(q.stats().rebuilds >= 1);
+    }
+
+    #[test]
+    fn clear_keeps_capacity_and_restarts() {
+        let mut q = CalendarWheel::with_params(Time::from_ps(1.0), 16);
+        for seq in 0..100u64 {
+            q.push(Time::from_ps(seq as f64 * 7.0), seq, 0);
+        }
+        while q.pop().is_some() {}
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.stats(), WheelStats::default());
+        q.push(Time::from_ps(1.0), 0, 9);
+        assert_eq!(q.pop(), Some((Time::from_ps(1.0), 0, 9)));
+    }
+
+    #[test]
+    fn extreme_times_do_not_wedge_the_wheel() {
+        let mut q = CalendarWheel::with_params(Time::from_ps(1.0), 8);
+        q.push(Time::MAX, 0, 0);
+        q.push(Time::ZERO, 1, 1);
+        q.push(Time::from_fs(u64::MAX - 1), 2, 2);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 0);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn sizing_from_max_delay_clamps() {
+        let tiny = CalendarWheel::<()>::for_max_delay(Time::ZERO);
+        assert_eq!(tiny.bucket_width(), Time::from_fs(512));
+        let typical = CalendarWheel::<()>::for_max_delay(Time::from_ps(20.0));
+        assert_eq!(typical.bucket_width(), Time::from_fs(8_192));
+        let huge = CalendarWheel::<()>::for_max_delay(Time::from_ns(10_000.0));
+        assert_eq!(huge.bucket_width(), Time::from_fs(65_536));
+    }
+
+    #[test]
+    fn sched_parsing() {
+        assert_eq!("heap".parse(), Ok(Sched::Heap));
+        assert_eq!(" Wheel ".parse(), Ok(Sched::Wheel));
+        assert!("quantum".parse::<Sched>().is_err());
+        assert_eq!(Sched::default(), Sched::Wheel);
+        assert_eq!(Sched::Heap.to_string(), "heap");
+        assert_eq!(Sched::Wheel.to_string(), "wheel");
+    }
+
+    /// Reference model: the wheel pops in exactly the order a binary
+    /// heap over `Reverse<(time, seq)>` does, for arbitrary interleaved
+    /// push/pop scripts, bucket widths, and bucket counts.
+    fn run_script(
+        width_fs: u64,
+        buckets: usize,
+        script: &[(u64, bool)],
+    ) -> (Vec<(u64, u64, u64)>, WheelStats) {
+        let mut wheel = CalendarWheel::with_params(Time::from_fs(width_fs), buckets);
+        let mut heap: BinaryHeap<Reverse<(u64, u64, u64)>> = BinaryHeap::new();
+        let mut popped = Vec::new();
+        let mut seq = 0u64;
+        let mut clock = 0u64; // pushes are relative to the last pop, like the engine
+        for &(dt, is_pop) in script {
+            if is_pop {
+                let got = wheel.pop().map(|(t, s, p)| (t.as_fs(), s, p));
+                let want = heap.pop().map(|Reverse(k)| k);
+                assert_eq!(got, want, "pop diverged at seq {seq}");
+                if let Some((t, _, _)) = got {
+                    clock = t;
+                    popped.push(got.unwrap());
+                }
+            } else {
+                let t = clock.saturating_add(dt);
+                wheel.push(Time::from_fs(t), seq, seq);
+                heap.push(Reverse((t, seq, seq)));
+                seq += 1;
+            }
+        }
+        // Drain both completely.
+        loop {
+            let got = wheel.pop().map(|(t, s, p)| (t.as_fs(), s, p));
+            let want = heap.pop().map(|Reverse(k)| k);
+            assert_eq!(got, want, "drain diverged");
+            match got {
+                Some(k) => popped.push(k),
+                None => break,
+            }
+        }
+        (popped, wheel.stats())
+    }
+
+    proptest! {
+        /// The scheduler-equivalence property the engine's determinism
+        /// contract rests on: wheel == heap for any push/pop script.
+        #[test]
+        fn wheel_equals_heap_reference(
+            width_exp in 0u32..16,
+            buckets in 2usize..64,
+            script in proptest::collection::vec(
+                // dt spans same-bucket, same-window, and overflow scales.
+                (0u64..3_000_000, proptest::bool::ANY),
+                0..300,
+            ),
+        ) {
+            run_script(1u64 << width_exp, buckets, &script);
+        }
+
+        /// Monotone non-decreasing pop times, FIFO per timestamp, and
+        /// conservation (everything pushed comes back out exactly once).
+        #[test]
+        fn pops_are_sorted_and_conserving(
+            times in proptest::collection::vec(0u64..500_000u64, 1..200),
+        ) {
+            let mut q = CalendarWheel::with_params(Time::from_fs(1024), 32);
+            for (seq, &t) in times.iter().enumerate() {
+                q.push(Time::from_fs(t), seq as u64, seq);
+            }
+            let mut popped = Vec::new();
+            while let Some((t, s, p)) = q.pop() {
+                popped.push((t.as_fs(), s, p));
+            }
+            prop_assert_eq!(popped.len(), times.len());
+            for w in popped.windows(2) {
+                prop_assert!((w[0].0, w[0].1) < (w[1].0, w[1].1));
+            }
+            let mut seen: Vec<usize> = popped.iter().map(|&(_, _, p)| p).collect();
+            seen.sort_unstable();
+            prop_assert_eq!(seen, (0..times.len()).collect::<Vec<_>>());
+        }
+    }
+}

@@ -34,6 +34,11 @@ pub struct ActivityReport {
     pub emitted: Vec<u64>,
     /// Anomaly tallies across the whole circuit.
     pub anomalies: BTreeMap<StatKind, u64>,
+    /// High-water mark of the event queue across the run — how many
+    /// pulses were in flight at the busiest instant. Scheduler-
+    /// independent (both queue implementations count identically), so
+    /// it doubles as a determinism cross-check in differential tests.
+    pub peak_pending: u64,
 }
 
 impl ActivityReport {
@@ -42,6 +47,7 @@ impl ActivityReport {
             handled: vec![0; n],
             emitted: vec![0; n],
             anomalies: BTreeMap::new(),
+            peak_pending: 0,
         }
     }
 
@@ -71,6 +77,7 @@ impl ActivityReport {
         self.handled.fill(0);
         self.emitted.fill(0);
         self.anomalies.clear();
+        self.peak_pending = 0;
     }
 
     /// Renders a per-component activity summary against the circuit's
@@ -97,6 +104,9 @@ impl ActivityReport {
         }
         for (kind, count) in &self.anomalies {
             let _ = writeln!(out, "anomaly {kind:?}: {count}");
+        }
+        if self.peak_pending > 0 {
+            let _ = writeln!(out, "peak pending events: {}", self.peak_pending);
         }
         out
     }

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Compare a fresh benchmark snapshot against the committed baseline.
+
+CI perf-regression gate for the `benchkernel` snapshots produced by
+scripts/bench_snapshot.sh:
+
+    python3 scripts/bench_compare.py BENCH_kernel.json /tmp/after.json
+
+For every benchmark key present in BOTH files, compares min_ns when
+both snapshots record it (the noise-robust estimator: on a shared
+runner interference only ever adds time, so the fastest sample tracks
+the true cost), falling back to median_ns for older snapshots. A
+kernel more than FAIL_PCT slower than baseline fails the gate; one
+more than WARN_PCT slower prints a warning. Keys present in only one
+file are reported (a renamed kernel should update the baseline in the
+same commit) but do not fail the gate.
+
+Exit status: 0 on pass (warnings allowed), 1 on any hard regression.
+
+Thresholds are deliberately loose (shared CI runners are noisy) and
+overridable via env: USFQ_BENCH_FAIL_PCT / USFQ_BENCH_WARN_PCT.
+"""
+
+import json
+import os
+import sys
+
+
+FAIL_PCT = float(os.environ.get("USFQ_BENCH_FAIL_PCT", "20"))
+WARN_PCT = float(os.environ.get("USFQ_BENCH_WARN_PCT", "10"))
+
+
+def load(path):
+    with open(path) as f:
+        snap = json.load(f)
+    benches = snap.get("benchmarks")
+    if not isinstance(benches, dict) or not benches:
+        sys.exit(f"{path}: no benchmarks section")
+    return snap, benches
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(f"usage: {sys.argv[0]} <baseline.json> <current.json>")
+    base_path, cur_path = sys.argv[1], sys.argv[2]
+    base_snap, base = load(base_path)
+    cur_snap, cur = load(cur_path)
+
+    for label, snap in (("baseline", base_snap), ("current", cur_snap)):
+        print(
+            f"{label}: commit={snap.get('commit', '?')} "
+            f"threads={snap.get('threads', '?')} sched={snap.get('sched', '?')}"
+        )
+    if base_snap.get("threads") != cur_snap.get("threads") or base_snap.get(
+        "sched"
+    ) != cur_snap.get("sched"):
+        print("note: snapshots were taken under different threads/sched settings")
+
+    only_base = sorted(set(base) - set(cur))
+    only_cur = sorted(set(cur) - set(base))
+    for key in only_base:
+        print(f"missing from current (baseline-only): {key}")
+    for key in only_cur:
+        print(f"new benchmark (not in baseline): {key}")
+
+    failures = []
+    warnings = []
+    for key in sorted(set(base) & set(cur)):
+        if "min_ns" in base[key] and "min_ns" in cur[key]:
+            before, after = base[key]["min_ns"], cur[key]["min_ns"]
+        else:
+            before = base[key].get("median_ns")
+            after = cur[key].get("median_ns")
+        if not before or after is None:
+            continue
+        delta_pct = 100.0 * (after - before) / before
+        line = f"{key}: {before} -> {after} ns ({delta_pct:+.1f}%)"
+        if delta_pct > FAIL_PCT:
+            failures.append(line)
+            print(f"FAIL {line}")
+        elif delta_pct > WARN_PCT:
+            warnings.append(line)
+            print(f"WARN {line}")
+        else:
+            print(f"  ok {line}")
+
+    print(
+        f"\n{len(failures)} regression(s) over {FAIL_PCT:.0f}%, "
+        f"{len(warnings)} warning(s) over {WARN_PCT:.0f}%"
+    )
+    if failures:
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

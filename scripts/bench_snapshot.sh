@@ -1,57 +1,25 @@
 #!/usr/bin/env bash
-# Snapshot the kernel microbenchmarks' wall-clock into BENCH_kernel.json.
+# Snapshot the kernel benchmarks' wall-clock into BENCH_kernel.json.
 #
-# Runs the `kernel` Criterion bench with a short measurement budget,
-# then collects every benchmark's mean/median point estimate (in
-# nanoseconds) from target/criterion into one machine-readable file:
-#
-#   { "generated_by": ..., "benchmarks": { "<group>/<bench>": { "mean_ns": ..., "median_ns": ... }, ... } }
-#
-# Intended for CI (the bench-smoke job uploads the file as an
-# artifact) and for before/after comparisons during perf work:
+# Runs the self-timed `benchkernel` binary (no Criterion dependency, so
+# the snapshot is regenerable in offline build environments) and writes
+# one machine-readable file recording, alongside each kernel's
+# median/mean nanoseconds, the provenance needed to compare runs
+# honestly: the git commit, the resolved worker-thread count, and the
+# default event-scheduler variant in force.
 #
 #   ./scripts/bench_snapshot.sh             # writes BENCH_kernel.json
 #   OUT=/tmp/after.json ./scripts/bench_snapshot.sh
+#
+# CI runs this and then gates with:
+#
+#   python3 scripts/bench_compare.py BENCH_kernel.json /tmp/after.json
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 OUT="${OUT:-BENCH_kernel.json}"
 
-# Short sampling: enough for a stable point estimate, quick enough for CI.
-cargo bench -p usfq-bench --bench kernel -- --sample-size 10 --measurement-time 2 --warm-up-time 1
+USFQ_COMMIT="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+export USFQ_COMMIT
 
-python3 - "$OUT" <<'EOF'
-import json, os, sys
-
-out_path = sys.argv[1]
-root = os.path.join("target", "criterion")
-benchmarks = {}
-for dirpath, dirnames, filenames in os.walk(root):
-    # Criterion writes the latest run's statistics to .../new/estimates.json.
-    if os.path.basename(dirpath) != "new" or "estimates.json" not in filenames:
-        continue
-    rel = os.path.relpath(os.path.dirname(dirpath), root)
-    name = rel.replace(os.sep, "/")
-    if not name.startswith("kernel/"):
-        continue
-    with open(os.path.join(dirpath, "estimates.json")) as f:
-        est = json.load(f)
-    benchmarks[name] = {
-        "mean_ns": est["mean"]["point_estimate"],
-        "median_ns": est["median"]["point_estimate"],
-    }
-
-if not benchmarks:
-    sys.exit("no kernel benchmark estimates found under target/criterion")
-
-snapshot = {
-    "generated_by": "scripts/bench_snapshot.sh",
-    "bench": "usfq-bench/benches/kernel.rs",
-    "unit": "nanoseconds",
-    "benchmarks": dict(sorted(benchmarks.items())),
-}
-with open(out_path, "w") as f:
-    json.dump(snapshot, f, indent=2)
-    f.write("\n")
-print(f"wrote {out_path} with {len(benchmarks)} benchmarks")
-EOF
+cargo run --release -p usfq-bench --bin benchkernel -- --out "$OUT"

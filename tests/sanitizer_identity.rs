@@ -7,7 +7,7 @@
 
 use proptest::prelude::*;
 use usfq::core::netlists::shipped_netlists;
-use usfq::sim::{SanitizerConfig, Simulator, Time};
+use usfq::sim::{SanitizerConfig, Sched, Simulator, Time};
 
 /// Deterministic xorshift step (same scheme as the differential
 /// harness, so failures here reproduce under the same seeds there).
@@ -20,12 +20,12 @@ fn next_rand(state: &mut u64) -> u64 {
     x
 }
 
-/// Runs one randomized trial on catalogue netlist `idx` and returns
-/// every probe's pulse-time trace.
-fn trial(idx: usize, seed: u64, sanitize: bool) -> Vec<(String, Vec<Time>)> {
+/// Runs one randomized trial on catalogue netlist `idx` under an
+/// explicit scheduler and returns every probe's pulse-time trace.
+fn trial_on(idx: usize, seed: u64, sanitize: bool, sched: Sched) -> Vec<(String, Vec<Time>)> {
     let catalogue = shipped_netlists();
     let netlist = &catalogue[idx % catalogue.len()];
-    let mut sim = Simulator::new(netlist.circuit.clone());
+    let mut sim = Simulator::with_sched(netlist.circuit.clone(), sched);
     if sanitize {
         sim.enable_sanitizer(SanitizerConfig::default());
     }
@@ -61,17 +61,38 @@ fn trial(idx: usize, seed: u64, sanitize: bool) -> Vec<(String, Vec<Time>)> {
         .collect()
 }
 
+/// Runs one randomized trial under the default scheduler.
+fn trial(idx: usize, seed: u64, sanitize: bool) -> Vec<(String, Vec<Time>)> {
+    trial_on(idx, seed, sanitize, Sched::default())
+}
+
 proptest! {
     /// For any catalogue netlist and any random stimulus, the probe
-    /// traces with the sanitizer enabled equal the traces without it.
+    /// traces with the sanitizer enabled equal the traces without it —
+    /// under both event schedulers.
     #[test]
     fn sanitizer_on_is_bit_identical_to_sanitizer_off(
         idx in 0usize..16,
         seed in 0u64..1_000_000,
     ) {
-        let with = trial(idx, seed, true);
-        let without = trial(idx, seed, false);
-        prop_assert_eq!(with, without);
+        for sched in [Sched::Heap, Sched::Wheel] {
+            let with = trial_on(idx, seed, true, sched);
+            let without = trial_on(idx, seed, false, sched);
+            prop_assert_eq!(with, without, "sanitizer identity broke under {}", sched);
+        }
+    }
+
+    /// The scheduler must be equally invisible: wheel and heap produce
+    /// bit-identical traces for the same stimulus, sanitizer on or off.
+    #[test]
+    fn wheel_is_bit_identical_to_heap(
+        idx in 0usize..16,
+        seed in 0u64..1_000_000,
+        sanitize in proptest::bool::ANY,
+    ) {
+        let wheel = trial_on(idx, seed, sanitize, Sched::Wheel);
+        let heap = trial_on(idx, seed, sanitize, Sched::Heap);
+        prop_assert_eq!(wheel, heap);
     }
 }
 
