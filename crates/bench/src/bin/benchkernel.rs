@@ -20,7 +20,7 @@
 //!   "schema_version": 2,
 //!   "commit": "<git hash or \"unknown\">",   // from $USFQ_COMMIT
 //!   "threads": <resolved USFQ_THREADS>,
-//!   "sched": "wheel" | "heap",               // default scheduler in force
+//!   "sched": "auto" | "wheel" | "heap",      // default scheduler in force
 //!   "unit": "nanoseconds",
 //!   "benchmarks": { "<group>/<name>": { "min_ns": .., "median_ns": .., "mean_ns": .., "samples": .. }, .. }
 //! }
@@ -37,18 +37,14 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use usfq_bench::experiments::{fig18, fig19};
-use usfq_bench::kernels::{catalogue_trial, delay_chain, drive_delay_chain, next_rand};
+use usfq_bench::kernels::{
+    burst_stream, catalogue_trial, delay_chain, drive_burst_stream, drive_delay_chain, next_rand,
+};
 use usfq_core::netlists::shipped_netlists;
 use usfq_sim::{CalendarWheel, Runner, Sched, Simulator, Time};
 
-/// Wall-clock of one closure invocation, in nanoseconds.
-fn time_once(f: &mut dyn FnMut()) -> u64 {
-    let start = Instant::now();
-    f();
-    start.elapsed().as_nanos() as u64
-}
-
-/// One measured kernel: warm up once, then sample `samples` times.
+/// One measured kernel: warm up with one full batch, then sample
+/// `samples` times.
 ///
 /// Each sample runs the closure `iters` times and divides, so
 /// microsecond-scale kernels still produce millisecond-scale samples —
@@ -70,7 +66,13 @@ impl Measurement {
         iters: u64,
         mut f: impl FnMut(),
     ) -> Measurement {
-        time_once(&mut f); // warm-up, untimed
+        // Warm-up: one full untimed batch, so the first timed sample
+        // sees the same warmed caches and allocator state as the rest
+        // (a single warm-up call left `iters > 1` batches cold-started
+        // and skewed their mean upward).
+        for _ in 0..iters {
+            f();
+        }
         let samples = (0..samples)
             .map(|_| {
                 let start = Instant::now();
@@ -185,6 +187,31 @@ fn main() {
             let mut sim = Simulator::new(proto.clone());
             drive_delay_chain(&mut sim, input, probe, 32);
         }));
+    }
+    // Pulse-stream kernels: a coalesced 2^bits train end-to-end
+    // through closed-form cells, plus the pulse-level reference at the
+    // largest size (the tentpole speedup the burst engine exists for).
+    for (name, bits, iters) in [
+        ("kernel/burst_stream/8bits", 8u32, 64u64),
+        ("kernel/burst_stream/12bits", 12, 16),
+    ] {
+        let (proto, input, div, tap) = burst_stream();
+        results.push(Measurement::run_batched(name, 10, iters, move || {
+            let mut sim = Simulator::with_burst(proto.clone(), true);
+            drive_burst_stream(&mut sim, input, div, tap, bits);
+        }));
+    }
+    {
+        let (proto, input, div, tap) = burst_stream();
+        results.push(Measurement::run_batched(
+            "kernel/burst_stream/12bits_pulse",
+            10,
+            1,
+            move || {
+                let mut sim = Simulator::with_burst(proto.clone(), false);
+                drive_burst_stream(&mut sim, input, div, tap, 12);
+            },
+        ));
     }
     {
         let (proto, input, probe) = delay_chain(128);

@@ -15,9 +15,12 @@
 //! pure function of `(kernel, seed)` — never of wall clock, RNG crate
 //! version, or thread count.
 
+use usfq_cells::interconnect::{Jtl, Splitter};
+use usfq_cells::storage::Ndro;
+use usfq_cells::toggle::Tff;
 use usfq_core::netlists::BuiltNetlist;
 use usfq_sim::component::Buffer;
-use usfq_sim::{Circuit, InputId, ProbeId, SanitizerConfig, Sched, Simulator, Time};
+use usfq_sim::{Burst, Circuit, InputId, ProbeId, SanitizerConfig, Sched, Simulator, Time};
 
 /// Deterministic xorshift step (same constants as the differential
 /// harness: workloads own their randomness).
@@ -61,6 +64,62 @@ pub fn drive_delay_chain(sim: &mut Simulator, input: InputId, probe: ProbeId, pu
     assert_eq!(sim.probe_count(probe), pulses as usize);
 }
 
+/// The pulse-stream showcase kernel: a `2^bits`-pulse coalesced train
+/// through a JTL, a splitter whose B output is a probe-only monitor
+/// tap, a TFF divide-by-four chain, and an always-set NDRO gate.
+///
+/// The pipeline is deliberately *linear*: the splitter's B branch ends
+/// at a probe (recorded at fan-out, never queued), so at most one
+/// train is ever in flight and every cell absorbs its whole train in
+/// one closed-form step. The burst engine crosses the chain in `O(1)`
+/// queue operations per cell where the pulse-level engine pays
+/// `O(2^bits)`. (Trains racing on *parallel* branches interleave at
+/// consumption boundaries instead — that regime is covered by the
+/// burst differential suite, not this throughput kernel.)
+pub fn burst_stream() -> (Circuit, InputId, ProbeId, ProbeId) {
+    let mut c = Circuit::new();
+    let input = c.input("stream");
+    let jtl = c.add(Jtl::new("jtl"));
+    let split = c.add(Splitter::new("split"));
+    let t0 = c.add(Tff::new("t0"));
+    let t1 = c.add(Tff::new("t1"));
+    let gate = c.add(Ndro::new_set("gate"));
+    c.connect_input(input, jtl.input(Jtl::IN), Time::ZERO)
+        .unwrap();
+    c.connect(jtl.output(Jtl::OUT), split.input(Splitter::IN), Time::ZERO)
+        .unwrap();
+    c.connect(split.output(Splitter::OUT_A), t0.input(Tff::IN), Time::ZERO)
+        .unwrap();
+    c.connect(t0.output(Tff::OUT), t1.input(Tff::IN), Time::ZERO)
+        .unwrap();
+    c.connect(t1.output(Tff::OUT), gate.input(Ndro::IN_CLK), Time::ZERO)
+        .unwrap();
+    let div = c.probe(gate.output(Ndro::OUT_Q), "div4");
+    let tap = c.probe(split.output(Splitter::OUT_B), "tap");
+    (c, input, div, tap)
+}
+
+/// Drives a `2^bits`-pulse uniform train through a [`burst_stream`]
+/// simulator and asserts both the divided output and the full-rate
+/// monitor tap saw the whole train.
+pub fn drive_burst_stream(
+    sim: &mut Simulator,
+    input: InputId,
+    div: ProbeId,
+    tap: ProbeId,
+    bits: u32,
+) {
+    let pulses = 1u64 << bits;
+    sim.schedule_burst(
+        input,
+        Burst::uniform(Time::ZERO, Time::from_ps(10.0), pulses),
+    )
+    .unwrap();
+    sim.run().unwrap();
+    assert_eq!(sim.probe_count(div), (pulses / 4) as usize);
+    assert_eq!(sim.probe_count(tap), pulses as usize);
+}
+
 /// The randomized catalogue stimulus of the differential sweep: for
 /// each external input, a seed-derived pulse count (up to the epoch's
 /// `n_max`, capped at 8) at seed-derived offsets inside the netlist's
@@ -95,6 +154,8 @@ pub struct TrialFingerprint {
     pub emitted: Vec<u64>,
     /// Event-queue high-water mark.
     pub peak_pending: u64,
+    /// Anomaly tallies (`StatKind` debug name → count), sorted by name.
+    pub anomalies: Vec<(String, u64)>,
     /// Rendered sanitizer violations (empty when the sanitizer is off).
     pub violations: Vec<String>,
 }
@@ -115,7 +176,60 @@ pub fn catalogue_trial(
         sim.schedule_input(input, at).expect("catalogue input");
     }
     sim.run().expect("catalogue netlist simulates");
+    fingerprint_of(&sim, netlist)
+}
 
+/// The coalesced-train counterpart of [`catalogue_stimulus`]: one
+/// seed-derived *uniform* train per external input (count up to the
+/// epoch's `n_max`, capped at 8; start and period inside the input
+/// window), so every input is a closed-form burst rather than loose
+/// pulses.
+pub fn catalogue_burst_stimulus(netlist: &BuiltNetlist, seed: u64) -> Vec<(InputId, Burst)> {
+    let mut rng = seed
+        .wrapping_mul(0xA076_1D64_78BD_642F)
+        .wrapping_add(0xE703_7ED1_A0B4_28DB)
+        | 1;
+    let max_pulses = netlist.epoch.n_max().min(8);
+    let window_fs = netlist.input_window.as_fs().max(1);
+    let mut stimulus = Vec::new();
+    for (input, _) in netlist.circuit.inputs() {
+        let count = next_rand(&mut rng) % (max_pulses + 1);
+        if count == 0 {
+            continue;
+        }
+        let start = Time::from_fs(next_rand(&mut rng) % window_fs);
+        let period = Time::from_fs(1 + next_rand(&mut rng) % (window_fs / count + 1));
+        stimulus.push((input, Burst::uniform(start, period, count)));
+    }
+    stimulus
+}
+
+/// Runs one seeded *uniform-train* trial of a catalogue netlist with
+/// burst coalescing either on (`coalesce = true`, the closed-form
+/// engine) or off (the exact pulse-level reference) and returns its
+/// fingerprint. The burst differential suite asserts the two match on
+/// everything except `peak_pending` (coalescing legitimately changes
+/// the queue high-water mark) and violation *order*.
+pub fn catalogue_burst_trial(
+    netlist: &BuiltNetlist,
+    sched: Sched,
+    seed: u64,
+    sanitize: bool,
+    coalesce: bool,
+) -> TrialFingerprint {
+    let mut sim = Simulator::with_sched(netlist.circuit.clone(), sched);
+    sim.set_burst(coalesce);
+    if sanitize {
+        sim.enable_sanitizer(SanitizerConfig::default());
+    }
+    for (input, burst) in catalogue_burst_stimulus(netlist, seed) {
+        sim.schedule_burst(input, burst).expect("catalogue input");
+    }
+    sim.run().expect("catalogue netlist simulates");
+    fingerprint_of(&sim, netlist)
+}
+
+fn fingerprint_of(sim: &Simulator, netlist: &BuiltNetlist) -> TrialFingerprint {
     let probe_times = (0..netlist.circuit.num_probes())
         .map(|p| {
             let (id, _) = netlist
@@ -132,6 +246,11 @@ pub fn catalogue_trial(
         handled: activity.handled.clone(),
         emitted: activity.emitted.clone(),
         peak_pending: activity.peak_pending,
+        anomalies: activity
+            .anomalies
+            .iter()
+            .map(|(kind, &count)| (format!("{kind:?}"), count))
+            .collect(),
         violations: sim
             .sanitizer_report()
             .map(|r| r.violations.iter().map(|v| v.to_string()).collect())
@@ -172,5 +291,30 @@ mod tests {
         let heap = catalogue_trial(netlist, Sched::Heap, 1, true);
         let wheel = catalogue_trial(netlist, Sched::Wheel, 1, true);
         assert_eq!(heap, wheel);
+    }
+
+    #[test]
+    fn burst_stream_kernel_counts() {
+        let (c, input, div, tap) = burst_stream();
+        let mut sim = Simulator::with_burst(c, true);
+        drive_burst_stream(&mut sim, input, div, tap, 6);
+        let (c, input, div, tap) = burst_stream();
+        let mut slow = Simulator::with_burst(c, false);
+        drive_burst_stream(&mut slow, input, div, tap, 6);
+        assert_eq!(sim.probe_times(div), slow.probe_times(div));
+        assert_eq!(sim.probe_times(tap), slow.probe_times(tap));
+    }
+
+    #[test]
+    fn burst_stimulus_is_a_pure_function_of_the_seed() {
+        let netlist = &shipped_netlists()[0];
+        assert_eq!(
+            catalogue_burst_stimulus(netlist, 5),
+            catalogue_burst_stimulus(netlist, 5)
+        );
+        assert_ne!(
+            catalogue_burst_stimulus(netlist, 5),
+            catalogue_burst_stimulus(netlist, 6)
+        );
     }
 }

@@ -1,0 +1,225 @@
+//! The `burst == pulse` engine differential: for every catalogue
+//! netlist and seeded uniform-train stimulus, the coalesced burst
+//! engine must reproduce the pulse-level reference — probe traces,
+//! per-component activity, anomaly tallies, and sanitizer violations
+//! alike — under both schedulers, sequentially and in parallel.
+//!
+//! Two fingerprint fields are deliberately normalized before the
+//! comparison (see DESIGN.md, "Burst-event coalescing"):
+//!
+//! - `peak_pending`: an atomic burst dispatch occupies one queue slot
+//!   where the pulse-level engine holds `count`, so the high-water mark
+//!   legitimately differs.
+//! - violation *order*: a coalesced train reports its window
+//!   violations in one batch at the head-pulse dispatch; the set is
+//!   identical, the interleaving against other components is not.
+
+use proptest::prelude::*;
+use usfq_bench::kernels::{catalogue_burst_trial, TrialFingerprint};
+use usfq_cells::interconnect::{Jtl, Merger, Splitter};
+use usfq_cells::storage::Ndro;
+use usfq_cells::toggle::Tff;
+use usfq_core::netlists::shipped_netlists;
+use usfq_sim::{Burst, Circuit, InputId, ProbeId, Runner, Sched, Simulator, Time};
+
+/// Strips the two documented divergences so the rest of the
+/// fingerprint can be compared with plain `==`.
+fn normalized(mut fp: TrialFingerprint) -> TrialFingerprint {
+    fp.peak_pending = 0;
+    fp.violations.sort();
+    fp
+}
+
+/// Every shipped netlist, a handful of seeds, both schedulers,
+/// sanitizer on and off: the coalesced engine equals the pulse-level
+/// reference.
+#[test]
+fn full_catalogue_burst_equals_pulse() {
+    let catalogue = shipped_netlists();
+    for netlist in &catalogue {
+        for seed in 0..4u64 {
+            for sched in [Sched::Heap, Sched::Wheel] {
+                for sanitize in [false, true] {
+                    let burst =
+                        normalized(catalogue_burst_trial(netlist, sched, seed, sanitize, true));
+                    let pulse =
+                        normalized(catalogue_burst_trial(netlist, sched, seed, sanitize, false));
+                    assert_eq!(
+                        burst, pulse,
+                        "`{}` diverged (seed {seed}, {sched:?}, sanitize {sanitize})",
+                        netlist.name
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The differential also holds when burst trials fan out over the
+/// parallel runner: a coalesced parallel sweep equals the pulse-level
+/// sequential loop.
+#[test]
+fn parallel_burst_sweep_equals_sequential_pulse_sweep() {
+    let catalogue = shipped_netlists();
+    let jobs: Vec<(usize, u64)> = (0..catalogue.len())
+        .flat_map(|n| (0..3u64).map(move |seed| (n, seed)))
+        .collect();
+
+    let sequential: Vec<TrialFingerprint> = jobs
+        .iter()
+        .map(|&(n, seed)| {
+            normalized(catalogue_burst_trial(
+                &catalogue[n],
+                Sched::Heap,
+                seed,
+                true,
+                false,
+            ))
+        })
+        .collect();
+    let parallel =
+        Runner::with_threads(4).map_init(&jobs, shipped_netlists, |catalogue, _, &(n, seed)| {
+            normalized(catalogue_burst_trial(
+                &catalogue[n],
+                Sched::Wheel,
+                seed,
+                true,
+                true,
+            ))
+        });
+    assert_eq!(sequential, parallel);
+}
+
+/// A randomly shaped chain of closed-form cells: input → stages →
+/// probe. Stage codes: 0 = JTL, 1 = TFF, 2 = splitter (chain continues
+/// on A, B is probed), 3 = merger (on IN_A), 4 = set NDRO clocked on
+/// the chain.
+fn random_chain(stages: &[u8]) -> (Circuit, InputId, Vec<ProbeId>) {
+    let mut c = Circuit::new();
+    let input = c.input("drive");
+    let mut probes = Vec::new();
+    let mut prev = None;
+    for (i, &code) in stages.iter().enumerate() {
+        let delay = Time::from_fs(500 + 700 * i as u64);
+        let (inp, out) = match code % 5 {
+            0 => {
+                let n = c.add(Jtl::new(format!("jtl{i}")));
+                (n.input(Jtl::IN), n.output(Jtl::OUT))
+            }
+            1 => {
+                let n = c.add(Tff::new(format!("tff{i}")));
+                (n.input(Tff::IN), n.output(Tff::OUT))
+            }
+            2 => {
+                let n = c.add(Splitter::new(format!("split{i}")));
+                probes.push(c.probe(n.output(Splitter::OUT_B), format!("tap{i}")));
+                (n.input(Splitter::IN), n.output(Splitter::OUT_A))
+            }
+            3 => {
+                let n = c.add(Merger::new(format!("merge{i}")));
+                (n.input(Merger::IN_A), n.output(Merger::OUT))
+            }
+            _ => {
+                let n = c.add(Ndro::new_set(format!("gate{i}")));
+                (n.input(Ndro::IN_CLK), n.output(Ndro::OUT_Q))
+            }
+        };
+        match prev {
+            None => c.connect_input(input, inp, delay).unwrap(),
+            Some(from) => c.connect(from, inp, delay).unwrap(),
+        }
+        prev = Some(out);
+    }
+    if let Some(out) = prev {
+        probes.push(c.probe(out, "end"));
+    }
+    (c, input, probes)
+}
+
+/// Runs one uniform train through a [`random_chain`] with coalescing
+/// on and off and returns everything the two runs must agree on.
+///
+/// The final `Simulator::now` is deliberately absent: a trailing pulse
+/// that is absorbed without emission (e.g. the odd ninth pulse into a
+/// TFF) advances the pulse-level clock to its arrival, but inside an
+/// atomic burst it is consumed at the head dispatch and no discrete
+/// event ever carries the clock there (see DESIGN.md).
+#[allow(clippy::type_complexity)]
+fn chain_fingerprint(
+    stages: &[u8],
+    train: Burst,
+    coalesce: bool,
+) -> (
+    Vec<Vec<Time>>,
+    Vec<u64>,
+    Vec<u64>,
+    std::collections::BTreeMap<usfq_sim::stats::StatKind, u64>,
+) {
+    let (proto, input, probes) = random_chain(stages);
+    let mut sim = Simulator::with_burst(proto, coalesce);
+    sim.schedule_burst(input, train).unwrap();
+    sim.run().unwrap();
+    let traces: Vec<Vec<Time>> = probes
+        .iter()
+        .map(|&p| sim.probe_times(p).to_vec())
+        .collect();
+    let activity = sim.activity();
+    (
+        traces,
+        activity.handled.clone(),
+        activity.emitted.clone(),
+        activity.anomalies.clone(),
+    )
+}
+
+/// Directed cell-chain sweep (runs in every build, including offline
+/// ones where the proptest below is compiled out): dense, sparse, and
+/// zero-period trains through chains covering every stage kind.
+#[test]
+fn directed_chains_burst_equals_pulse() {
+    let chains: [&[u8]; 6] = [
+        &[0],
+        &[1, 1],
+        &[2, 1, 4],
+        &[3, 0, 2, 1],
+        &[4, 2, 3, 1, 0],
+        &[1, 2, 1, 2, 1, 4, 3],
+    ];
+    let trains = [
+        Burst::uniform(Time::ZERO, Time::from_ps(10.0), 32),
+        Burst::uniform(Time::from_fs(123), Time::from_fs(1), 47),
+        Burst::uniform(Time::from_ps(3.0), Time::ZERO, 5),
+        Burst::uniform(Time::ZERO, Time::from_ps(1000.0), 9),
+    ];
+    for stages in chains {
+        for train in trains {
+            assert_eq!(
+                chain_fingerprint(stages, train, true),
+                chain_fingerprint(stages, train, false),
+                "chain {stages:?} diverged on {train:?}"
+            );
+        }
+    }
+}
+
+proptest! {
+    // Each case simulates two full trials; keep the count moderate.
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Random uniform trains through random cell chains: probe traces,
+    /// activity, and anomaly tallies are identical with coalescing on
+    /// and off.
+    #[test]
+    fn random_trains_through_random_chains_match(
+        stages in proptest::collection::vec(0u8..5, 1..8),
+        count in 1u64..48,
+        start_fs in 0u64..20_000,
+        period_fs in 0u64..40_000,
+    ) {
+        let train = Burst::uniform(Time::from_fs(start_fs), Time::from_fs(period_fs), count);
+        prop_assert_eq!(
+            chain_fingerprint(&stages, train, true),
+            chain_fingerprint(&stages, train, false)
+        );
+    }
+}

@@ -1,8 +1,8 @@
 //! Stateless interconnect cells: JTL, splitter, and merger.
 
-use usfq_sim::component::{Component, Ctx, Hazard, StaticMeta};
+use usfq_sim::component::{BurstStep, Component, Ctx, Hazard, StaticMeta};
 use usfq_sim::stats::StatKind;
-use usfq_sim::Time;
+use usfq_sim::{Burst, Time};
 
 use crate::catalog;
 
@@ -56,6 +56,10 @@ impl Component for Jtl {
     fn on_pulse(&mut self, _port: usize, _now: Time, ctx: &mut Ctx) {
         ctx.emit(Self::OUT, self.delay);
     }
+    fn step_burst(&mut self, _port: usize, burst: &Burst, ctx: &mut Ctx) -> BurstStep {
+        ctx.emit_burst(Self::OUT, burst.delayed(self.delay));
+        BurstStep::Consumed
+    }
     fn static_meta(&self) -> StaticMeta {
         StaticMeta::new("jtl", self.delay)
     }
@@ -107,6 +111,12 @@ impl Component for Splitter {
     fn on_pulse(&mut self, _port: usize, _now: Time, ctx: &mut Ctx) {
         ctx.emit(Self::OUT_A, self.delay);
         ctx.emit(Self::OUT_B, self.delay);
+    }
+    fn step_burst(&mut self, _port: usize, burst: &Burst, ctx: &mut Ctx) -> BurstStep {
+        let out = burst.delayed(self.delay);
+        ctx.emit_burst(Self::OUT_A, out);
+        ctx.emit_burst(Self::OUT_B, out);
+        BurstStep::Consumed
     }
     fn static_meta(&self) -> StaticMeta {
         StaticMeta::new("splitter", self.delay)
@@ -179,6 +189,23 @@ impl Component for Merger {
         }
         self.last_accepted = Some(now);
         ctx.emit(Self::OUT, self.delay);
+    }
+    fn step_burst(&mut self, _port: usize, burst: &Burst, ctx: &mut Ctx) -> BurstStep {
+        // Closed form only when no pulse of the train collides: the
+        // train's internal spacing clears the window and its head is
+        // clear of the previously accepted pulse. Otherwise decline
+        // (without touching state) and let the engine expand.
+        let spaced = burst.count() == 1 || burst.min_gap() >= self.window;
+        let head_clear = self.last_accepted.map_or(true, |last| {
+            burst.first().saturating_sub(last) >= self.window
+        });
+        if self.window == Time::ZERO || (spaced && head_clear) {
+            self.last_accepted = Some(burst.last());
+            ctx.emit_burst(Self::OUT, burst.delayed(self.delay));
+            BurstStep::Consumed
+        } else {
+            BurstStep::PulseByPulse
+        }
     }
     fn reset(&mut self) {
         self.last_accepted = None;

@@ -1,7 +1,7 @@
 //! The clocked inverter, which complements a pulse stream.
 
-use usfq_sim::component::{Component, Ctx, Hazard, StaticMeta};
-use usfq_sim::Time;
+use usfq_sim::component::{BurstStep, Component, Ctx, Hazard, StaticMeta};
+use usfq_sim::{Burst, Time};
 
 use crate::catalog;
 
@@ -67,6 +67,21 @@ impl Component for ClockedInverter {
             }
             _ => unreachable!("inverter has two inputs"),
         }
+    }
+    fn step_burst(&mut self, port: usize, burst: &Burst, ctx: &mut Ctx) -> BurstStep {
+        match port {
+            Self::IN => self.saw_input = true,
+            Self::IN_CLK => {
+                // No data pulses interleave a coalesced clock train, so
+                // at most the first clock is suppressed; the rest all
+                // close empty slots and emit.
+                let skip = u64::from(self.saw_input);
+                ctx.emit_burst(Self::OUT, burst.suffix(skip).delayed(self.delay));
+                self.saw_input = false;
+            }
+            _ => unreachable!("inverter has two inputs"),
+        }
+        BurstStep::Consumed
     }
     fn reset(&mut self) {
         self.saw_input = false;

@@ -1,8 +1,8 @@
 //! Storage-loop cells: DFF, DFF2, and NDRO.
 
-use usfq_sim::component::{Component, Ctx, Hazard, StaticMeta};
+use usfq_sim::component::{BurstStep, Component, Ctx, Hazard, StaticMeta};
 use usfq_sim::stats::StatKind;
-use usfq_sim::Time;
+use usfq_sim::{Burst, Time};
 
 use crate::catalog;
 
@@ -69,6 +69,26 @@ impl Component for Dff {
             }
             _ => unreachable!("DFF has two inputs"),
         }
+    }
+    fn step_burst(&mut self, port: usize, burst: &Burst, ctx: &mut Ctx) -> BurstStep {
+        match port {
+            Self::IN_S => {
+                // Only the first set pulse of an empty loop lands; every
+                // other pulse of the train is ignored.
+                let ignored = burst.count() - u64::from(!self.state);
+                self.state = true;
+                ctx.record_many(StatKind::IgnoredPulse, ignored);
+            }
+            Self::IN_R => {
+                // The first read drains the loop; the rest see a "0".
+                if self.state {
+                    self.state = false;
+                    ctx.emit_burst(Self::OUT_Q, burst.prefix(1).delayed(self.delay));
+                }
+            }
+            _ => unreachable!("DFF has two inputs"),
+        }
+        BurstStep::Consumed
     }
     fn reset(&mut self) {
         self.state = false;
@@ -150,6 +170,28 @@ impl Component for Dff2 {
             }
             _ => unreachable!("DFF2 has three inputs"),
         }
+    }
+    fn step_burst(&mut self, port: usize, burst: &Burst, ctx: &mut Ctx) -> BurstStep {
+        match port {
+            Self::IN_A => {
+                let ignored = burst.count() - u64::from(!self.state);
+                self.state = true;
+                ctx.record_many(StatKind::IgnoredPulse, ignored);
+            }
+            Self::IN_C1 | Self::IN_C2 => {
+                if self.state {
+                    self.state = false;
+                    let out = if port == Self::IN_C1 {
+                        Self::OUT_Y1
+                    } else {
+                        Self::OUT_Y2
+                    };
+                    ctx.emit_burst(out, burst.prefix(1).delayed(self.delay));
+                }
+            }
+            _ => unreachable!("DFF2 has three inputs"),
+        }
+        BurstStep::Consumed
     }
     fn reset(&mut self) {
         self.state = false;
@@ -246,6 +288,21 @@ impl Component for Ndro {
             }
             _ => unreachable!("NDRO has three inputs"),
         }
+    }
+    fn step_burst(&mut self, port: usize, burst: &Burst, ctx: &mut Ctx) -> BurstStep {
+        match port {
+            Self::IN_S => self.state = true,
+            Self::IN_R => self.state = false,
+            Self::IN_CLK => {
+                // Non-destructive read: the whole clock train gates
+                // through (or is absorbed) according to the stored bit.
+                if self.state {
+                    ctx.emit_burst(Self::OUT_Q, burst.delayed(self.delay));
+                }
+            }
+            _ => unreachable!("NDRO has three inputs"),
+        }
+        BurstStep::Consumed
     }
     fn reset(&mut self) {
         self.state = false;

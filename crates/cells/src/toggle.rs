@@ -1,8 +1,8 @@
 //! Toggle flip-flops: TFF (divide-by-two) and TFF2 (alternating
 //! demultiplexer), the building blocks of the pulse-number multiplier.
 
-use usfq_sim::component::{Component, Ctx, StaticMeta};
-use usfq_sim::Time;
+use usfq_sim::component::{BurstStep, Component, Ctx, StaticMeta};
+use usfq_sim::{Burst, Time};
 
 use crate::catalog;
 
@@ -49,6 +49,16 @@ impl Component for Tff {
             ctx.emit(Self::OUT, self.delay);
         }
         self.state = !self.state;
+    }
+    fn step_burst(&mut self, _port: usize, burst: &Burst, ctx: &mut Ctx) -> BurstStep {
+        // Pulse k of the train emits iff the state *before* it is high,
+        // i.e. at even offsets when already toggled, odd otherwise.
+        let off = if self.state { 0 } else { 1 };
+        ctx.emit_burst(Self::OUT, burst.decimate(off, 2).delayed(self.delay));
+        if burst.count() % 2 == 1 {
+            self.state = !self.state;
+        }
+        BurstStep::Consumed
     }
     fn reset(&mut self) {
         self.state = false;
@@ -103,6 +113,17 @@ impl Component for Tff2 {
     fn on_pulse(&mut self, _port: usize, _now: Time, ctx: &mut Ctx) {
         ctx.emit(self.next_out, self.delay);
         self.next_out ^= 1;
+    }
+    fn step_burst(&mut self, _port: usize, burst: &Burst, ctx: &mut Ctx) -> BurstStep {
+        // Even offsets continue on the pending port, odd offsets on the
+        // other; emitting the even train first keeps pulse-index order.
+        let out = burst.delayed(self.delay);
+        ctx.emit_burst(self.next_out, out.decimate(0, 2));
+        ctx.emit_burst(self.next_out ^ 1, out.decimate(1, 2));
+        if burst.count() % 2 == 1 {
+            self.next_out ^= 1;
+        }
+        BurstStep::Consumed
     }
     fn reset(&mut self) {
         self.next_out = Self::OUT_A;

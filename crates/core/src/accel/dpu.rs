@@ -151,12 +151,13 @@ impl DotProductUnit {
             sim.schedule_input(rl_inputs[i], gate.pulse_time_from(Time::ZERO))?;
         }
         let half_slot = self.epoch.slot_width() / 2;
-        for s in 0..self.epoch.n_max() {
-            sim.schedule_input(in_clk, self.epoch.slot_width().scale(s) + half_slot)?;
-        }
+        sim.schedule_burst(
+            in_clk,
+            usfq_sim::Burst::uniform(half_slot, self.epoch.slot_width(), self.epoch.n_max()),
+        )?;
         for (i, &ai) in a.iter().enumerate() {
             let stream = PulseStream::from_bipolar(ai, self.epoch)?;
-            sim.schedule_pulses(stream_inputs[i], stream.schedule_on_grid(Time::ZERO))?;
+            sim.schedule_burst(stream_inputs[i], stream.burst_on_grid(Time::ZERO))?;
         }
         sim.run()?;
         let count = (sim.probe_count(top) as u64).min(self.epoch.n_max());

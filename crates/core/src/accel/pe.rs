@@ -10,8 +10,8 @@ use usfq_cells::balancer::Balancer;
 use usfq_cells::catalog;
 use usfq_cells::storage::Ndro;
 use usfq_encoding::{Epoch, PulseStream, RlValue};
-use usfq_sim::component::{Component, Ctx, StaticMeta};
-use usfq_sim::{Circuit, Simulator, Time};
+use usfq_sim::component::{BurstStep, Component, Ctx, StaticMeta};
+use usfq_sim::{Burst, Circuit, Simulator, Time};
 
 use crate::blocks::gated_count;
 use crate::error::CoreError;
@@ -74,6 +74,19 @@ impl Component for StreamToRlIntegrator {
                 ctx.schedule_timer(TAG_EMIT, self.epoch.slot_width().scale(slots));
             }
             _ => unreachable!("integrator has two inputs"),
+        }
+    }
+    fn step_burst(&mut self, port: usize, burst: &Burst, ctx: &mut Ctx) -> BurstStep {
+        let _ = ctx;
+        match port {
+            Self::IN => {
+                self.count += burst.count();
+                BurstStep::Consumed
+            }
+            // The epoch marker schedules a timer, which the coalesced
+            // path cannot express — expand it (markers are single
+            // pulses anyway).
+            _ => BurstStep::PulseByPulse,
         }
     }
     fn on_timer(&mut self, _tag: u64, _now: Time, ctx: &mut Ctx) {
@@ -180,15 +193,10 @@ impl ProcessingElement {
         let mut sim = Simulator::new(c);
         sim.schedule_input(in_e, Time::ZERO)?;
         sim.schedule_input(in_rl, rl.pulse_time_from(Time::ZERO))?;
-        sim.schedule_pulses(in_a, s2.schedule_from(Time::ZERO))?;
+        sim.schedule_burst(in_a, s2.burst_from(Time::ZERO))?;
         // Offset in3 half a slot to interleave at the balancer.
         let half = self.epoch.slot_width() / 2;
-        let times: Vec<Time> = s3
-            .schedule_from(Time::ZERO)
-            .into_iter()
-            .map(|t| t + half)
-            .collect();
-        sim.schedule_pulses(in_b, times)?;
+        sim.schedule_burst(in_b, s3.burst_from(Time::ZERO).delayed(half))?;
         // Latch slightly after the epoch ends so in-flight pulses land.
         let margin = Time::from_ps(20.0);
         let latch = self.epoch.duration() + margin;

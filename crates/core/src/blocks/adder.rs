@@ -137,12 +137,7 @@ impl MergerAdder {
         let stagger = usfq_cells::catalog::t_merger();
         for (i, (input, stream)) in inputs.iter().zip(streams).enumerate() {
             let offset = stagger.scale(i as u64);
-            let times: Vec<Time> = stream
-                .schedule_from(Time::ZERO)
-                .into_iter()
-                .map(|t| t + offset)
-                .collect();
-            sim.schedule_pulses(*input, times)?;
+            sim.schedule_burst(*input, stream.burst_from(Time::ZERO).delayed(offset))?;
         }
         sim.run()?;
         let collisions = sim.activity().anomaly_count(StatKind::MergerCollision);
@@ -219,15 +214,10 @@ impl BalancerAdder {
         let y2 = c.probe(bal.output(Balancer::OUT_Y2), "y2");
 
         let mut sim = Simulator::new(c);
-        sim.schedule_pulses(in_a, a.schedule_from(Time::ZERO))?;
+        sim.schedule_burst(in_a, a.burst_from(Time::ZERO))?;
         // Offset B by half a pulse spacing so interleaving respects t_BFF.
         let half = self.epoch.slot_width() / 2;
-        let times: Vec<Time> = b
-            .schedule_from(Time::ZERO)
-            .into_iter()
-            .map(|t| t + half)
-            .collect();
-        sim.schedule_pulses(in_b, times)?;
+        sim.schedule_burst(in_b, b.burst_from(Time::ZERO).delayed(half))?;
         sim.run()?;
         // Conservation check is structural: Y1 + Y2 == inputs.
         debug_assert_eq!(

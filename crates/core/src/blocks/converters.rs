@@ -77,9 +77,10 @@ impl BinaryToRlConverter {
         }
         let mut sim = Simulator::new(c);
         let slot = self.epoch.slot_width();
-        for s in 0..self.epoch.n_max() {
-            sim.schedule_input(clk, slot.scale(s))?;
-        }
+        sim.schedule_burst(
+            clk,
+            usfq_sim::Burst::uniform(Time::ZERO, slot, self.epoch.n_max()),
+        )?;
         sim.run()?;
         // Reconstruct when the ripple count first equals `word`: stage
         // i has emitted k pulses after tick 2^(i+1)·k; the count after
@@ -141,7 +142,7 @@ impl StreamToBinaryCounter {
             prev = Some(tff.output(Tff::OUT));
         }
         let mut sim = Simulator::new(c);
-        sim.schedule_pulses(input, stream.schedule_from(Time::ZERO))?;
+        sim.schedule_burst(input, stream.burst_from(Time::ZERO))?;
         sim.run()?;
         // Bit i of the count toggles with stage i's input: the residual
         // state of stage i is bit i. Stage i emitted floor(n / 2^(i+1))

@@ -108,12 +108,7 @@ impl CountingNetwork {
         let stagger = Time::from_ps(1.0);
         for (i, (input, stream)) in inputs.iter().zip(streams).enumerate() {
             let offset = stagger.scale(i as u64);
-            let times: Vec<Time> = stream
-                .schedule_from(Time::ZERO)
-                .into_iter()
-                .map(|t| t + offset)
-                .collect();
-            sim.schedule_pulses(*input, times)?;
+            sim.schedule_burst(*input, stream.burst_from(Time::ZERO).delayed(offset))?;
         }
         sim.run()?;
         Ok(PulseStream::from_count(

@@ -1,6 +1,6 @@
 //! Pulse streams: numbers encoded as uniform pulse rates.
 
-use usfq_sim::Time;
+use usfq_sim::{Burst, Time};
 
 use crate::epoch::Epoch;
 use crate::error::EncodingError;
@@ -128,6 +128,31 @@ impl PulseStream {
             })
             .collect()
     }
+
+    /// The [`PulseStream::schedule_from`] train as one coalesced
+    /// [`Burst`]: pulse `k` at
+    /// `epoch_start + floor((2k+1)·T / 2n)` fs, bit-identical to the
+    /// materialised vector.
+    pub fn burst_from(&self, epoch_start: Time) -> Burst {
+        let n = self.count;
+        if n == 0 {
+            return Burst::uniform(epoch_start, Time::ZERO, 0);
+        }
+        let d = self.epoch.duration().as_fs();
+        Burst::rational(epoch_start, 1, d, 2 * d, 2 * n, n)
+    }
+
+    /// The [`PulseStream::schedule_on_grid`] train as one coalesced
+    /// [`Burst`]: pulse `k` on slot boundary `floor((2k+1)·N_max / 2n)`.
+    pub fn burst_on_grid(&self, epoch_start: Time) -> Burst {
+        let n = self.count;
+        if n == 0 {
+            return Burst::uniform(epoch_start, Time::ZERO, 0);
+        }
+        let n_max = self.epoch.n_max();
+        let slot = self.epoch.slot_width();
+        Burst::rational(epoch_start, slot.as_fs(), n_max, 2 * n_max, 2 * n, n)
+    }
 }
 
 #[cfg(test)]
@@ -220,7 +245,49 @@ mod tests {
         }
     }
 
+    #[test]
+    fn burst_matches_schedule_exactly() {
+        for bits in [1u32, 3, 4, 7] {
+            let e = epoch(bits);
+            for count in [0, 1, 2, 3, e.n_max() / 2, e.n_max()] {
+                if count > e.n_max() {
+                    continue;
+                }
+                let s = PulseStream::from_count(count, e).unwrap();
+                let start = Time::from_ns(2.0);
+                let b = s.burst_from(start);
+                assert_eq!(b.count(), count);
+                assert_eq!(
+                    b.iter_times().collect::<Vec<_>>(),
+                    s.schedule_from(start),
+                    "bits={bits} count={count}"
+                );
+                let g = s.burst_on_grid(start);
+                assert_eq!(
+                    g.iter_times().collect::<Vec<_>>(),
+                    s.schedule_on_grid(start),
+                    "grid bits={bits} count={count}"
+                );
+            }
+        }
+    }
+
     proptest! {
+        #[test]
+        fn burst_equivalence(bits in 1u32..=10, frac in 0.0f64..=1.0) {
+            let e = Epoch::from_bits(bits).unwrap();
+            let s = PulseStream::from_unipolar(frac, e).unwrap();
+            let start = Time::from_ps(123.0);
+            prop_assert_eq!(
+                s.burst_from(start).iter_times().collect::<Vec<_>>(),
+                s.schedule_from(start)
+            );
+            prop_assert_eq!(
+                s.burst_on_grid(start).iter_times().collect::<Vec<_>>(),
+                s.schedule_on_grid(start)
+            );
+        }
+
         #[test]
         fn stream_roundtrip(bits in 1u32..=16, x in 0.0f64..=1.0) {
             let e = Epoch::from_bits(bits).unwrap();

@@ -1,0 +1,440 @@
+//! Coalesced pulse trains: many uniformly spaced pulses as one value.
+//!
+//! A U-SFQ pulse-stream operand of width `b` is up to `2^b` pulses at
+//! (near-)uniform spacing inside one epoch. Simulating such a train
+//! pulse-by-pulse costs the engine `O(2^b)` queue operations per hop;
+//! a [`Burst`] carries the whole train as one closed-form object that
+//! delay elements, splitters, toggles and gating cells can transform
+//! exactly, so the per-hop cost becomes `O(1)` on the closed subgraph
+//! (plus `O(count)` arithmetic only where a probe records the train).
+//!
+//! # Exactness
+//!
+//! The stream injectors place pulse `k` of an `n`-pulse train at
+//!
+//! ```text
+//! t_k = start + floor(((2k + 1) · D) / (2n))      (femtoseconds)
+//! ```
+//!
+//! (and the grid variant multiplies a slot width *after* the floor).
+//! The integer division means consecutive gaps differ by ±1 fs — the
+//! train is *not* exactly uniform — so a naive `(start, period, count)`
+//! triple cannot reproduce the pulse-level times bit-for-bit. `Burst`
+//! therefore stores the generating rational directly:
+//!
+//! ```text
+//! t_k = base + scale · floor((phase + k · num) / den)
+//! ```
+//!
+//! with `phase < den` kept canonical (whole periods are folded into
+//! `base`). Every transformation the cells need is closed under this
+//! form: delaying shifts `base`, taking a suffix advances `phase`,
+//! decimating (a toggle flip-flop keeping every 2nd pulse) scales
+//! `num`, and a perfectly uniform train is the special case `den = 1`.
+//!
+//! All internal arithmetic widens to `u128`; a result that does not fit
+//! the engine's femtosecond `u64` clock panics, mirroring
+//! [`Time`](crate::time::Time)'s own arithmetic. Checked variants are
+//! provided where the engine needs an error instead.
+
+use crate::time::Time;
+
+/// A coalesced train of `count` pulses at
+/// `t_k = base + scale · floor((phase + k·num) / den)` femtoseconds,
+/// `k = 0 .. count`.
+///
+/// Kept canonical: `phase < den` (the constructor and every transform
+/// fold whole quotient steps into `base`). Times are non-decreasing in
+/// `k`; equal adjacent times are permitted (a zero-period train) and
+/// disambiguated by the engine's sequence numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Burst {
+    base: Time,
+    scale: u64,
+    phase: u64,
+    num: u64,
+    den: u64,
+    count: u64,
+}
+
+impl Burst {
+    /// A perfectly uniform train: pulse `k` at `start + k · period`.
+    pub fn uniform(start: Time, period: Time, count: u64) -> Burst {
+        Burst {
+            base: start,
+            scale: period.as_fs(),
+            phase: 0,
+            num: 1,
+            den: 1,
+            count,
+        }
+    }
+
+    /// The general rational train
+    /// `t_k = base + scale · floor((phase + k·num) / den)` fs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den` is zero.
+    pub fn rational(base: Time, scale: u64, phase: u64, num: u64, den: u64, count: u64) -> Burst {
+        assert!(den > 0, "burst denominator must be positive");
+        let mut b = Burst {
+            base,
+            scale,
+            phase,
+            num,
+            den,
+            count,
+        };
+        b.canonicalize();
+        b
+    }
+
+    /// Folds whole quotient steps of `phase` into `base`, restoring
+    /// `phase < den`.
+    fn canonicalize(&mut self) {
+        if self.phase >= self.den {
+            let whole = self.phase / self.den;
+            self.base = Time::from_fs(wide_to_fs(
+                self.base.as_fs() as u128 + self.scale as u128 * whole as u128,
+            ));
+            self.phase %= self.den;
+        }
+    }
+
+    /// Number of pulses in the train.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether the train carries no pulses.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Absolute time of pulse `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= count` or the time overflows the femtosecond
+    /// clock.
+    pub fn time_at(&self, k: u64) -> Time {
+        assert!(k < self.count, "pulse index {k} out of {}", self.count);
+        Time::from_fs(wide_to_fs(self.raw_time_at(k)))
+    }
+
+    /// Absolute time of pulse `k`, or `None` on clock overflow
+    /// (`k >= count` still panics — that is a logic error, not a data
+    /// condition).
+    pub fn checked_time_at(&self, k: u64) -> Option<Time> {
+        assert!(k < self.count, "pulse index {k} out of {}", self.count);
+        u64::try_from(self.raw_time_at(k)).ok().map(Time::from_fs)
+    }
+
+    #[inline]
+    fn raw_time_at(&self, k: u64) -> u128 {
+        let q = (self.phase as u128 + k as u128 * self.num as u128) / self.den as u128;
+        self.base.as_fs() as u128 + self.scale as u128 * q
+    }
+
+    /// Time of the first pulse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the train is empty.
+    pub fn first(&self) -> Time {
+        self.time_at(0)
+    }
+
+    /// Time of the last pulse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the train is empty.
+    pub fn last(&self) -> Time {
+        self.time_at(self.count - 1)
+    }
+
+    /// The same train shifted later by `d` (a wire or cell delay).
+    ///
+    /// # Panics
+    ///
+    /// Panics on clock overflow.
+    pub fn delayed(&self, d: Time) -> Burst {
+        self.checked_delayed(d).expect("burst time overflow")
+    }
+
+    /// [`Burst::delayed`], returning `None` if any shifted pulse would
+    /// overflow the clock.
+    pub fn checked_delayed(&self, d: Time) -> Option<Burst> {
+        let base = self.base.checked_add(d)?;
+        let shifted = Burst { base, ..*self };
+        if shifted.count > 0 {
+            shifted.checked_time_at(shifted.count - 1)?;
+        }
+        Some(shifted)
+    }
+
+    /// The sub-train starting at pulse `k`: pulses `k .. count`,
+    /// re-indexed from zero. `suffix(0)` is the identity;
+    /// `suffix(count)` is an empty train.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > count` or on clock overflow.
+    pub fn suffix(&self, k: u64) -> Burst {
+        assert!(k <= self.count, "suffix {k} out of {}", self.count);
+        let p = self.phase as u128 + k as u128 * self.num as u128;
+        let whole = p / self.den as u128;
+        Burst {
+            base: Time::from_fs(wide_to_fs(
+                self.base.as_fs() as u128 + self.scale as u128 * whole,
+            )),
+            scale: self.scale,
+            phase: (p % self.den as u128) as u64,
+            num: self.num,
+            den: self.den,
+            count: self.count - k,
+        }
+    }
+
+    /// The sub-train of the first `m` pulses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m > count`.
+    pub fn prefix(&self, m: u64) -> Burst {
+        assert!(m <= self.count, "prefix {m} out of {}", self.count);
+        Burst { count: m, ..*self }
+    }
+
+    /// Keeps pulses `offset, offset + stride, offset + 2·stride, …` —
+    /// the closed form of a toggle flip-flop (`stride = 2`) or deeper
+    /// counter stages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride` is zero or on arithmetic overflow.
+    pub fn decimate(&self, offset: u64, stride: u64) -> Burst {
+        assert!(stride > 0, "decimation stride must be positive");
+        if offset >= self.count {
+            return Burst {
+                count: 0,
+                ..self.suffix(self.count)
+            };
+        }
+        let kept = (self.count - offset).div_ceil(stride);
+        let start = self.suffix(offset);
+        let num = start
+            .num
+            .checked_mul(stride)
+            .expect("burst decimation overflow");
+        Burst {
+            num,
+            count: kept,
+            ..start
+        }
+    }
+
+    /// A lower bound on the gap between consecutive pulses
+    /// (`scale · floor(num/den)`; exact for uniform trains). Safe for
+    /// "gaps are at least the hazard window" style reasoning — never an
+    /// overestimate.
+    pub fn min_gap(&self) -> Time {
+        let g = self.scale as u128 * (self.num / self.den) as u128;
+        Time::from_fs(u64::try_from(g).unwrap_or(u64::MAX))
+    }
+
+    /// Number of leading pulses with `t_k <= deadline`.
+    pub fn count_at_or_before(&self, deadline: Time) -> u64 {
+        // Times are non-decreasing in k: binary search the partition.
+        let (mut lo, mut hi) = (0u64, self.count);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.raw_time_at(mid) <= deadline.as_fs() as u128 {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// The pulse times, expanded. Intended for scheduling fallbacks,
+    /// probes, and tests — this is the `O(count)` boundary the burst
+    /// representation exists to avoid on hot paths.
+    pub fn iter_times(&self) -> impl Iterator<Item = Time> + '_ {
+        (0..self.count).map(|k| self.time_at(k))
+    }
+}
+
+#[inline]
+fn wide_to_fs(v: u128) -> u64 {
+    u64::try_from(v).expect("burst time overflow")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Reference model: the naive expansion of the rational form.
+    fn naive_times(base: u64, scale: u64, phase: u64, num: u64, den: u64, count: u64) -> Vec<u64> {
+        (0..count)
+            .map(|k| {
+                let q = (phase as u128 + k as u128 * num as u128) / den as u128;
+                u64::try_from(base as u128 + scale as u128 * q).unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn uniform_times() {
+        let b = Burst::uniform(Time::from_ps(10.0), Time::from_ps(3.0), 4);
+        let times: Vec<Time> = b.iter_times().collect();
+        assert_eq!(
+            times,
+            vec![
+                Time::from_ps(10.0),
+                Time::from_ps(13.0),
+                Time::from_ps(16.0),
+                Time::from_ps(19.0)
+            ]
+        );
+        assert_eq!(b.first(), Time::from_ps(10.0));
+        assert_eq!(b.last(), Time::from_ps(19.0));
+        assert_eq!(b.min_gap(), Time::from_ps(3.0));
+    }
+
+    #[test]
+    fn rational_matches_stream_formula() {
+        // The schedule_from shape: pulse k at floor((2k+1)·D / (2n)).
+        let d: u64 = 1_000_000; // 1 ns epoch
+        let n: u64 = 7;
+        let b = Burst::rational(Time::ZERO, 1, d, 2 * d, 2 * n, n);
+        let want: Vec<u64> = (0..n).map(|k| (2 * k + 1) * d / (2 * n)).collect();
+        let got: Vec<u64> = b.iter_times().map(|t| t.as_fs()).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn suffix_and_prefix_partition_the_train() {
+        let b = Burst::rational(Time::from_fs(5), 3, 17, 29, 10, 20);
+        let all: Vec<Time> = b.iter_times().collect();
+        for k in 0..=20u64 {
+            let head: Vec<Time> = b.prefix(k).iter_times().collect();
+            let tail: Vec<Time> = b.suffix(k).iter_times().collect();
+            assert_eq!(head, all[..k as usize], "prefix {k}");
+            assert_eq!(tail, all[k as usize..], "suffix {k}");
+        }
+    }
+
+    #[test]
+    fn decimate_keeps_every_stride_th() {
+        let b = Burst::rational(Time::ZERO, 1, 999, 2_000, 14, 11);
+        let all: Vec<Time> = b.iter_times().collect();
+        for offset in 0..=11u64 {
+            for stride in 1..=4u64 {
+                let want: Vec<Time> = all
+                    .iter()
+                    .skip(offset as usize)
+                    .step_by(stride as usize)
+                    .copied()
+                    .collect();
+                let got: Vec<Time> = b.decimate(offset, stride).iter_times().collect();
+                assert_eq!(got, want, "offset {offset} stride {stride}");
+            }
+        }
+    }
+
+    #[test]
+    fn delayed_shifts_every_pulse() {
+        let b = Burst::rational(Time::from_ps(1.0), 2, 3, 7, 5, 9);
+        let d = Time::from_ps(4.5);
+        let want: Vec<Time> = b.iter_times().map(|t| t + d).collect();
+        let got: Vec<Time> = b.delayed(d).iter_times().collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn count_at_or_before_is_the_partition_point() {
+        let b = Burst::rational(Time::ZERO, 1, 1, 10, 3, 12);
+        let all: Vec<Time> = b.iter_times().collect();
+        for fs in 0..50u64 {
+            let deadline = Time::from_fs(fs);
+            let naive = all.iter().filter(|&&t| t <= deadline).count() as u64;
+            assert_eq!(b.count_at_or_before(deadline), naive, "deadline {fs}");
+        }
+        assert_eq!(b.count_at_or_before(Time::MAX), 12);
+    }
+
+    #[test]
+    fn min_gap_is_a_lower_bound() {
+        let b = Burst::rational(Time::ZERO, 1, 5, 17, 6, 30);
+        let times: Vec<u64> = b.iter_times().map(|t| t.as_fs()).collect();
+        let actual_min = times.windows(2).map(|w| w[1] - w[0]).min().unwrap();
+        assert!(b.min_gap().as_fs() <= actual_min);
+        // And it's exact for uniform trains.
+        let u = Burst::uniform(Time::ZERO, Time::from_fs(42), 5);
+        assert_eq!(u.min_gap(), Time::from_fs(42));
+    }
+
+    #[test]
+    fn overflow_is_checked() {
+        let b = Burst::uniform(Time::from_fs(u64::MAX - 10), Time::from_fs(7), 5);
+        assert_eq!(b.checked_time_at(0), Some(Time::from_fs(u64::MAX - 10)));
+        assert_eq!(b.checked_time_at(4), None);
+        assert!(b.checked_delayed(Time::from_fs(100)).is_none());
+    }
+
+    #[test]
+    fn zero_period_trains_are_legal() {
+        let b = Burst::uniform(Time::from_ps(2.0), Time::ZERO, 3);
+        let times: Vec<Time> = b.iter_times().collect();
+        assert_eq!(times, vec![Time::from_ps(2.0); 3]);
+        assert_eq!(b.min_gap(), Time::ZERO);
+        assert_eq!(b.count_at_or_before(Time::from_ps(2.0)), 3);
+        assert_eq!(b.count_at_or_before(Time::from_ps(1.0)), 0);
+    }
+
+    proptest! {
+        /// Every transform agrees with the naive expansion for
+        /// arbitrary (bounded) rational parameters.
+        #[test]
+        fn transforms_match_naive_model(
+            base in 0u64..1_000_000_000,
+            scale in 0u64..100_000,
+            phase in 0u64..100_000,
+            num in 0u64..100_000,
+            den in 1u64..100_000,
+            count in 0u64..200,
+            split in 0u64..200,
+            delay in 0u64..1_000_000,
+        ) {
+            let b = Burst::rational(Time::from_fs(base), scale, phase, num, den, count);
+            let want = naive_times(base, scale, phase, num, den, count);
+            let got: Vec<u64> = b.iter_times().map(|t| t.as_fs()).collect();
+            prop_assert_eq!(&got, &want);
+
+            let k = split.min(count);
+            let tail: Vec<u64> = b.suffix(k).iter_times().map(|t| t.as_fs()).collect();
+            prop_assert_eq!(&tail, &want[k as usize..]);
+
+            let shifted: Vec<u64> =
+                b.delayed(Time::from_fs(delay)).iter_times().map(|t| t.as_fs()).collect();
+            let want_shifted: Vec<u64> = want.iter().map(|t| t + delay).collect();
+            prop_assert_eq!(shifted, want_shifted);
+
+            let dec: Vec<u64> = b.decimate(k, 2).iter_times().map(|t| t.as_fs()).collect();
+            let want_dec: Vec<u64> =
+                want.iter().skip(k as usize).step_by(2).copied().collect();
+            prop_assert_eq!(dec, want_dec);
+
+            if count > 0 {
+                let mid = want[(count / 2) as usize];
+                let naive_cnt = want.iter().filter(|&&t| t <= mid).count() as u64;
+                prop_assert_eq!(b.count_at_or_before(Time::from_fs(mid)), naive_cnt);
+            }
+        }
+    }
+}

@@ -1,6 +1,7 @@
 //! The [`Component`] trait implemented by every cell model, and the
 //! context handed to a component while it processes a pulse.
 
+use crate::burst::Burst;
 use crate::stats::StatKind;
 use crate::time::Time;
 
@@ -14,6 +15,8 @@ pub struct Ctx {
     pub(crate) emissions: Vec<(usize, Time)>,
     pub(crate) timers: Vec<(u64, Time)>,
     pub(crate) stats: Vec<StatKind>,
+    pub(crate) burst_emissions: Vec<(usize, Burst)>,
+    pub(crate) stat_counts: Vec<(StatKind, u64)>,
 }
 
 impl Ctx {
@@ -38,6 +41,27 @@ impl Ctx {
         self.stats.push(stat);
     }
 
+    /// Emits a whole coalesced train on output port `port`. Unlike
+    /// [`Ctx::emit`], the burst carries **absolute** pulse times — a
+    /// cell typically builds it with [`Burst::delayed`] from the input
+    /// train it received in [`Component::step_burst`].
+    ///
+    /// Only meaningful inside [`Component::step_burst`]; the engine
+    /// rejects burst emissions from the per-pulse handlers.
+    pub fn emit_burst(&mut self, port: usize, burst: Burst) {
+        if !burst.is_empty() {
+            self.burst_emissions.push((port, burst));
+        }
+    }
+
+    /// Records `n` occurrences of a statistics event at once — the
+    /// closed-form counterpart of calling [`Ctx::record`] `n` times.
+    pub fn record_many(&mut self, stat: StatKind, n: u64) {
+        if n > 0 {
+            self.stat_counts.push((stat, n));
+        }
+    }
+
     /// The emissions requested so far, as `(output port, delay)` pairs.
     /// Mostly useful when unit-testing a component in isolation.
     pub fn emissions(&self) -> &[(usize, Time)] {
@@ -54,15 +78,48 @@ impl Ctx {
         &self.stats
     }
 
+    /// The coalesced emissions requested so far, as
+    /// `(output port, absolute-time burst)` pairs.
+    pub fn burst_emissions(&self) -> &[(usize, Burst)] {
+        &self.burst_emissions
+    }
+
+    /// The batched statistics recorded via [`Ctx::record_many`].
+    pub fn stat_counts(&self) -> &[(StatKind, u64)] {
+        &self.stat_counts
+    }
+
     pub(crate) fn clear(&mut self) {
         self.emissions.clear();
         self.timers.clear();
         self.stats.clear();
+        self.burst_emissions.clear();
+        self.stat_counts.clear();
     }
 
     pub(crate) fn is_empty(&self) -> bool {
-        self.emissions.is_empty() && self.timers.is_empty() && self.stats.is_empty()
+        self.emissions.is_empty()
+            && self.timers.is_empty()
+            && self.stats.is_empty()
+            && self.burst_emissions.is_empty()
+            && self.stat_counts.is_empty()
     }
+}
+
+/// What a cell did with a coalesced train offered to
+/// [`Component::step_burst`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BurstStep {
+    /// The cell absorbed the whole train in closed form: its state now
+    /// reflects all `count` pulses and any resulting output trains were
+    /// emitted via [`Ctx::emit_burst`] /
+    /// [`Ctx::record_many`].
+    Consumed,
+    /// The cell cannot transform this train exactly; the engine falls
+    /// back to delivering it pulse-by-pulse through
+    /// [`Component::on_pulse`]. The cell must **not** have mutated any
+    /// state before returning this.
+    PulseByPulse,
 }
 
 /// A timing hazard a cell is statically susceptible to, as declared by
@@ -247,6 +304,29 @@ pub trait Component: CloneComponent + Send + Sync {
     /// Handles a pulse arriving on `port` at time `now`.
     fn on_pulse(&mut self, port: usize, now: Time, ctx: &mut Ctx);
 
+    /// Offers a whole coalesced train arriving on `port`.
+    ///
+    /// A cell whose reaction to a uniform train has a closed form
+    /// (delay elements, splitters, toggles, gated pass-throughs)
+    /// absorbs it here: update state as if every pulse of `burst` had
+    /// arrived through [`Component::on_pulse`], emit the transformed
+    /// output trains via [`Ctx::emit_burst`] (with absolute times,
+    /// usually `burst.delayed(cell_delay)`), record batched anomalies
+    /// via [`Ctx::record_many`], and return [`BurstStep::Consumed`].
+    ///
+    /// The default declines ([`BurstStep::PulseByPulse`]): the engine
+    /// then expands the train and delivers it through
+    /// [`Component::on_pulse`] one pulse at a time, which is always
+    /// correct. Contract for implementors: when returning
+    /// `PulseByPulse`, no state may have been mutated and nothing may
+    /// have been emitted; when returning `Consumed`, only
+    /// [`Ctx::emit_burst`] / [`Ctx::record_many`] may be used — no
+    /// per-pulse emissions and no timers.
+    fn step_burst(&mut self, port: usize, burst: &Burst, ctx: &mut Ctx) -> BurstStep {
+        let _ = (port, burst, ctx);
+        BurstStep::PulseByPulse
+    }
+
     /// Handles a timer previously scheduled via [`Ctx::schedule_timer`].
     ///
     /// The default implementation ignores timers.
@@ -319,6 +399,11 @@ impl Component for Buffer {
     }
     fn on_pulse(&mut self, _port: usize, _now: Time, ctx: &mut Ctx) {
         ctx.emit(0, self.delay);
+    }
+    fn step_burst(&mut self, _port: usize, burst: &Burst, ctx: &mut Ctx) -> BurstStep {
+        // Stateless delay: the whole train shifts by the fixed latency.
+        ctx.emit_burst(0, burst.delayed(self.delay));
+        BurstStep::Consumed
     }
     fn static_meta(&self) -> StaticMeta {
         // The JJ count is caller-chosen, so "buffer" is deliberately

@@ -3,8 +3,9 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use crate::circuit::{Circuit, CompId, InputId, ProbeId};
-use crate::component::Ctx;
+use crate::burst::Burst;
+use crate::circuit::{Circuit, InputId, ProbeId};
+use crate::component::{BurstStep, Ctx};
 use crate::error::SimError;
 use crate::sanitizer::{SanitizerConfig, SanitizerReport, SanitizerState};
 use crate::sched::{CalendarWheel, Sched, WheelStats};
@@ -15,10 +16,56 @@ use crate::time::Time;
 /// at an oscillating circuit rather than a legitimate workload.
 pub const DEFAULT_EVENT_LIMIT: u64 = 200_000_000;
 
+/// Environment variable toggling the coalesced-burst fast path
+/// (`USFQ_BURST=0|off|false|no` disables it; anything else, or the
+/// variable being unset, leaves it on). See [`Simulator::with_burst`].
+pub const BURST_ENV: &str = "USFQ_BURST";
+
+fn burst_from_env() -> bool {
+    match std::env::var(BURST_ENV) {
+        Ok(v) => !matches!(
+            v.trim().to_ascii_lowercase().as_str(),
+            "0" | "off" | "false" | "no"
+        ),
+        Err(_) => true,
+    }
+}
+
+/// Event payload, kept to 16 bytes (`u32` component/port indices, the
+/// discriminant packed into their padding) so a queued [`Event`] stays
+/// one 32-byte half-cache-line — the queues copy events around
+/// constantly and payload size is directly visible in the engine's
+/// hot-loop throughput.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 enum EventKind {
-    Deliver { comp: CompId, port: usize },
-    Timer { comp: CompId, tag: u64 },
+    Deliver {
+        comp: u32,
+        port: u32,
+    },
+    Timer {
+        comp: u32,
+        tag: u64,
+    },
+    /// A whole coalesced train headed for one input port. The event is
+    /// keyed by the train's *head* pulse; the train itself lives in the
+    /// simulator's burst slab under `slot`, and `(time, seq)` of pulse
+    /// `k` is `(burst.time_at(k), seq + k · stride)` — exactly the keys
+    /// the pulse-level engine would have assigned, so lazily splitting
+    /// the train at consumption boundaries preserves tie order.
+    BurstDeliver {
+        comp: u32,
+        port: u32,
+        slot: u32,
+    },
+}
+
+/// Slab record backing an in-flight [`EventKind::BurstDeliver`]: the
+/// remaining train plus the sequence-number stride between consecutive
+/// pulses (the width of the net the train was fanned out over).
+#[derive(Debug, Clone, Copy)]
+struct BurstRec {
+    burst: Burst,
+    stride: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -127,9 +174,6 @@ enum QueueImpl {
 struct Queue {
     imp: QueueImpl,
     len: usize,
-    /// High-water mark since the last reset, feeding
-    /// [`ActivityReport::peak_pending`].
-    max_len: usize,
 }
 
 impl Queue {
@@ -137,12 +181,11 @@ impl Queue {
         let imp = match sched {
             Sched::Heap => QueueImpl::Heap(BinaryHeap::with_capacity(capacity)),
             Sched::Wheel => QueueImpl::Wheel(CalendarWheel::for_max_delay(max_delay)),
+            // `Simulator::with_sched` resolves `Auto` before the queue
+            // is built.
+            Sched::Auto => unreachable!("Sched::Auto must be resolved before queue construction"),
         };
-        Queue {
-            imp,
-            len: 0,
-            max_len: 0,
-        }
+        Queue { imp, len: 0 }
     }
 
     fn sched(&self) -> Sched {
@@ -166,9 +209,6 @@ impl Queue {
             QueueImpl::Wheel(w) => w.push(ev.time, ev.seq, ev.kind),
         }
         self.len += 1;
-        if self.len > self.max_len {
-            self.max_len = self.len;
-        }
     }
 
     #[inline]
@@ -201,7 +241,6 @@ impl Queue {
             QueueImpl::Wheel(w) => w.clear(),
         }
         self.len = 0;
-        self.max_len = 0;
     }
 }
 
@@ -279,18 +318,102 @@ pub struct Simulator {
     ctx: Ctx,
     jitter: Option<JitterModel>,
     sanitizer: Option<SanitizerState>,
+    /// Slab of in-flight coalesced trains, addressed by
+    /// [`EventKind::BurstDeliver::slot`]; freed slots are recycled.
+    bursts: Vec<BurstRec>,
+    free_bursts: Vec<u32>,
+    /// In-use slab slots (`bursts.len() - free_bursts.len()`). At the
+    /// top of the event loop every live slot has exactly one queued
+    /// [`EventKind::BurstDeliver`], so `live_bursts == 0` proves the
+    /// queue is pure pulses — and pulse dispatch never creates bursts,
+    /// so it stays that way for the rest of the run.
+    live_bursts: u32,
+    /// Pending *pulses* (a burst weighs its pulse count) and the
+    /// high-water mark feeding [`ActivityReport::peak_pending`] — so
+    /// pulse-mode runs report exactly what the old queue-length
+    /// tracking did.
+    pending_weight: u64,
+    peak_weight: u64,
+    /// Whether the coalesced fast path is enabled (see
+    /// [`Simulator::with_burst`]).
+    burst_enabled: bool,
+    /// Conservative over-approximation of "this component sits on a
+    /// feedback cycle": such cells never take the closed-form burst
+    /// path, because events they cause can arrive back between the
+    /// pulses of a train being absorbed. Built lazily by
+    /// [`Simulator::in_cycle`] on the first burst delivery, so
+    /// pulse-only construction never pays for the peel.
+    cycle_mask: Option<Vec<bool>>,
+}
+
+/// Marks components that may lie on a comp-to-comp feedback cycle:
+/// survivors of both an indegree peel (not purely downstream of the
+/// acyclic part) and an outdegree peel (not purely upstream of it).
+/// A conservative over-approximation — false positives only cost the
+/// fast path, never correctness.
+fn cycle_mask(circuit: &Circuit) -> Vec<bool> {
+    let n = circuit.comps.len();
+    // Flat CSR adjacency (forward and reverse), built in two counting
+    // passes: `cycle_mask` runs on every `Simulator` construction, so
+    // it must not allocate per-component edge lists.
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    let mut indeg = vec![0usize; n];
+    let mut outdeg = vec![0usize; n];
+    for (src, _, dst, _, _) in circuit.wires() {
+        edges.push((src.index(), dst.index()));
+        indeg[dst.index()] += 1;
+        outdeg[src.index()] += 1;
+    }
+    let csr = |counts: &[usize], key: fn(&(usize, usize)) -> (usize, usize)| {
+        let mut start = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        start.push(0);
+        for &c in counts {
+            acc += c;
+            start.push(acc);
+        }
+        let mut fill = start.clone();
+        let mut adj = vec![0usize; acc];
+        for e in &edges {
+            let (from, to) = key(e);
+            adj[fill[from]] = to;
+            fill[from] += 1;
+        }
+        (start, adj)
+    };
+    let (succ_start, succ) = csr(&outdeg, |&(s, d)| (s, d));
+    let (pred_start, pred) = csr(&indeg, |&(s, d)| (d, s));
+    let peel = |deg: &mut [usize], start: &[usize], adj: &[usize]| -> Vec<bool> {
+        let mut alive = vec![true; n];
+        let mut stack: Vec<usize> = (0..n).filter(|&i| deg[i] == 0).collect();
+        while let Some(i) = stack.pop() {
+            alive[i] = false;
+            for &j in &adj[start[i]..start[i + 1]] {
+                deg[j] -= 1;
+                if deg[j] == 0 {
+                    stack.push(j);
+                }
+            }
+        }
+        alive
+    };
+    let fwd_alive = peel(&mut indeg, &succ_start, &succ);
+    let bwd_alive = peel(&mut outdeg, &pred_start, &pred);
+    (0..n).map(|i| fwd_alive[i] && bwd_alive[i]).collect()
 }
 
 impl Simulator {
     /// Wraps a finished circuit in a simulator using the scheduler
-    /// selected by the `USFQ_SCHED` environment variable (the calendar
-    /// wheel by default) — see [`Simulator::with_sched`].
+    /// selected by the `USFQ_SCHED` environment variable (automatic
+    /// heap/wheel selection by default) — see [`Simulator::with_sched`].
     pub fn new(circuit: Circuit) -> Self {
         Simulator::with_sched(circuit, Sched::from_env())
     }
 
     /// Wraps a finished circuit in a simulator with an explicit event
-    /// scheduler.
+    /// scheduler. [`Sched::Auto`] is resolved here against the
+    /// netlist's size and delay profile (see [`Sched::resolve`]);
+    /// [`Simulator::sched`] reports the resolved choice.
     ///
     /// The event queue and probe recordings are pre-sized from the
     /// netlist's aggregate fan-out ([`Circuit::num_wires`]), so the
@@ -306,6 +429,8 @@ impl Simulator {
         // One traversal of every wire can be in flight at once; a few
         // epochs of slack covers pipelined stimuli without regrowth.
         let queue_capacity = circuit.num_wires().saturating_mul(2).max(16);
+        let max_delay = circuit.max_delay();
+        let sched = sched.resolve(circuit.num_wires(), max_delay);
         let probe_data = circuit
             .probes
             .iter()
@@ -313,7 +438,7 @@ impl Simulator {
             .collect();
         let activity = ActivityReport::with_components(circuit.comps.len());
         let nets = NetTable::build(&circuit);
-        let queue = Queue::new(sched, queue_capacity, circuit.max_delay());
+        let queue = Queue::new(sched, queue_capacity, max_delay);
         Simulator {
             circuit,
             nets,
@@ -327,7 +452,38 @@ impl Simulator {
             ctx: Ctx::default(),
             jitter: None,
             sanitizer: None,
+            bursts: Vec::new(),
+            free_bursts: Vec::new(),
+            live_bursts: 0,
+            pending_weight: 0,
+            peak_weight: 0,
+            burst_enabled: burst_from_env(),
+            cycle_mask: None,
         }
+    }
+
+    /// Wraps a circuit with the burst fast path explicitly enabled or
+    /// disabled, overriding the `USFQ_BURST` environment variable
+    /// (scheduler still from `USFQ_SCHED`). With bursts off, coalesced
+    /// stimuli ([`Simulator::schedule_burst`]) are expanded to
+    /// pulse-level events up front — the reference behaviour the burst
+    /// differential suites compare against.
+    pub fn with_burst(circuit: Circuit, enabled: bool) -> Self {
+        let mut sim = Simulator::new(circuit);
+        sim.burst_enabled = enabled;
+        sim
+    }
+
+    /// Enables or disables the coalesced-burst fast path. Only affects
+    /// stimuli scheduled afterwards; trains already in flight keep
+    /// their representation.
+    pub fn set_burst(&mut self, enabled: bool) {
+        self.burst_enabled = enabled;
+    }
+
+    /// Whether the coalesced-burst fast path is enabled.
+    pub fn burst_enabled(&self) -> bool {
+        self.burst_enabled
     }
 
     /// The scheduler this simulator runs on.
@@ -413,6 +569,49 @@ impl Simulator {
         Ok(())
     }
 
+    /// Schedules a whole coalesced train on an external input.
+    ///
+    /// With the burst fast path enabled this costs `O(fan-out)` queue
+    /// operations instead of `O(count · fan-out)`; the result is
+    /// byte-identical either way, because each fanned-out train keeps
+    /// exactly the `(time, seq)` keys the pulse-by-pulse loop would
+    /// have assigned. With bursts disabled — or wire jitter active,
+    /// which perturbs every pulse individually — the train is expanded
+    /// to pulse-level events up front.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownId`] if `input` is foreign, and
+    /// [`SimError::TimeOverflow`] if any pulse of the train overflows
+    /// the femtosecond clock.
+    pub fn schedule_burst(&mut self, input: InputId, burst: Burst) -> Result<(), SimError> {
+        if input.0 >= self.circuit.inputs.len() {
+            return Err(SimError::UnknownId(format!("input {}", input.0)));
+        }
+        if burst.is_empty() {
+            return Ok(());
+        }
+        let overflow = |circuit: &Circuit| SimError::TimeOverflow {
+            component: circuit.inputs[input.0].name.clone(),
+            time: burst.checked_time_at(0).unwrap_or(Time::MAX),
+        };
+        if !self.burst_enabled || self.jitter.is_some() || burst.count() == 1 {
+            for k in 0..burst.count() {
+                let t = burst
+                    .checked_time_at(k)
+                    .ok_or_else(|| overflow(&self.circuit))?;
+                self.fan_out(NetSource::Input(input.0), t)?;
+            }
+            return Ok(());
+        }
+        // Validate the whole span up front, so burst scheduling fails
+        // exactly where pulse-level scheduling would.
+        burst
+            .checked_time_at(burst.count() - 1)
+            .ok_or_else(|| overflow(&self.circuit))?;
+        self.fan_out_burst(NetSource::Input(input.0), burst)
+    }
+
     /// Runs until the event queue is empty.
     ///
     /// # Errors
@@ -430,6 +629,17 @@ impl Simulator {
     /// Returns [`SimError::EventLimitExceeded`] if the safety valve trips.
     pub fn run_until(&mut self, deadline: Time) -> Result<RunSummary, SimError> {
         let mut events = 0u64;
+        // Drain coalesced trains first (no-op for pulse-only runs).
+        // Pulse-level dispatch never *creates* a burst (only
+        // `schedule_burst` and a closed-form burst step do, and the
+        // latter is reachable solely from `run_mixed`), so once the
+        // slab drains the pulse-only loop below is safe for the rest of
+        // the run. Keeping the mixed loop out of line leaves this
+        // function with a single loop — it compiles to the exact
+        // pre-burst hot path, with no per-event discriminant test.
+        if self.live_bursts != 0 {
+            events = self.run_mixed(deadline)?;
+        }
         while let Some(ev) = self.queue.peek() {
             if ev.time > deadline {
                 break;
@@ -438,52 +648,355 @@ impl Simulator {
             // dispatches ever happen, and the clock never advances past
             // the last permitted one.
             if self.events_processed >= self.event_limit {
-                let comp = match ev.kind {
-                    EventKind::Deliver { comp, .. } | EventKind::Timer { comp, .. } => comp,
-                };
-                return Err(SimError::EventLimitExceeded {
-                    limit: self.event_limit,
-                    component: self.circuit.comps[comp.0].model.name().to_string(),
-                    time: ev.time,
-                });
+                return Err(self.event_limit_error(ev));
             }
             self.queue.pop();
+            self.pending_weight -= 1;
             self.now = ev.time;
             events += 1;
             self.events_processed += 1;
             self.dispatch(ev)?;
         }
-        self.activity.peak_pending = self.activity.peak_pending.max(self.queue.max_len as u64);
+        self.activity.peak_pending = self.activity.peak_pending.max(self.peak_weight);
         Ok(RunSummary {
             events,
             end_time: self.now,
         })
     }
 
+    /// Mixed-mode event loop: identical to the pulse-only loop in
+    /// [`Simulator::run_until`] plus one discriminant test per event,
+    /// and only entered while at least one coalesced train is in
+    /// flight. Returns the number of pulses processed (coalesced
+    /// pulses each count once, exactly as if delivered individually).
+    #[inline(never)]
+    fn run_mixed(&mut self, deadline: Time) -> Result<u64, SimError> {
+        let mut events = 0u64;
+        while self.live_bursts != 0 {
+            let Some(ev) = self.queue.peek() else { break };
+            if ev.time > deadline {
+                break;
+            }
+            if self.events_processed >= self.event_limit {
+                return Err(self.event_limit_error(ev));
+            }
+            self.queue.pop();
+            if let EventKind::BurstDeliver { comp, port, slot } = ev.kind {
+                events += self.deliver_burst(ev, comp, port, slot, deadline)?;
+                continue;
+            }
+            self.pending_weight -= 1;
+            self.now = ev.time;
+            events += 1;
+            self.events_processed += 1;
+            self.dispatch_outlined(ev)?;
+        }
+        Ok(events)
+    }
+
+    /// Whether component `ci` may sit on a feedback cycle, building
+    /// the mask on first use. The topology is fixed after
+    /// construction, so the memoised answer stays valid for the
+    /// simulator's lifetime (clones carry it along).
+    fn in_cycle(&mut self, ci: usize) -> bool {
+        self.cycle_mask
+            .get_or_insert_with(|| cycle_mask(&self.circuit))[ci]
+    }
+
+    #[cold]
+    #[inline(never)]
+    fn event_limit_error(&self, ev: Event) -> SimError {
+        let comp = match ev.kind {
+            EventKind::Deliver { comp, .. }
+            | EventKind::Timer { comp, .. }
+            | EventKind::BurstDeliver { comp, .. } => comp,
+        };
+        SimError::EventLimitExceeded {
+            limit: self.event_limit,
+            component: self.circuit.comps[comp as usize].model.name().to_string(),
+            time: ev.time,
+        }
+    }
+
+    /// Processes a popped [`EventKind::BurstDeliver`]: dispatches the
+    /// longest leading prefix that is provably safe to absorb in one
+    /// closed-form step, and lazily re-queues the remainder under its
+    /// next pulse's original `(time, seq)` key.
+    ///
+    /// The prefix is bounded by (a) the run deadline, (b) the event
+    /// limit budget, and (c) the next pending event's key — no other
+    /// event may interleave the absorbed pulses, so for an acyclic
+    /// receiver the closed-form step is exactly equivalent to `m`
+    /// individual deliveries. If the receiver sits on a feedback cycle,
+    /// wire jitter is active, the sanitizer cannot prove the prefix
+    /// violation-free, or the cell itself declines
+    /// ([`BurstStep::PulseByPulse`]), only the head pulse is delivered
+    /// through the ordinary exact path.
+    ///
+    /// Kept out of line so the pulse-level dispatch loop in
+    /// [`Simulator::run_until`] stays as tight as it was before bursts
+    /// existed; one call per *train* amortises to nothing.
+    #[cold]
+    #[inline(never)]
+    fn deliver_burst(
+        &mut self,
+        ev: Event,
+        comp: u32,
+        port: u32,
+        slot: u32,
+        deadline: Time,
+    ) -> Result<u64, SimError> {
+        let BurstRec { burst, stride } = self.bursts[slot as usize];
+        // The popped queue entry carried the whole train's weight.
+        self.pending_weight -= burst.count();
+        let mut m = burst.count_at_or_before(deadline);
+        // The caller checked `events_processed < event_limit`, so the
+        // budget is at least one.
+        m = m.min(self.event_limit - self.events_processed);
+        if let Some(next) = self.queue.peek() {
+            // Largest prefix strictly before the next event's key.
+            let (mut lo, mut hi) = (0u64, m);
+            while lo < hi {
+                let mid = lo + (hi - lo) / 2;
+                let key = (burst.time_at(mid), ev.seq + mid * stride);
+                if key < (next.time, next.seq) {
+                    lo = mid + 1;
+                } else {
+                    hi = mid;
+                }
+            }
+            m = lo;
+        }
+        // The head pulse carries the popped event's own key, which was
+        // the queue minimum — it is always dispatchable.
+        debug_assert!(m >= 1, "burst head must be consumable");
+        let prefix = burst.prefix(m);
+        let ci = comp as usize;
+        let mut atomic = m > 0 && self.jitter.is_none() && !self.in_cycle(ci);
+        if atomic {
+            if let Some(s) = &self.sanitizer {
+                atomic = s.can_coalesce(ci, port as usize, &prefix);
+            }
+        }
+        let mut consumed = 1;
+        let mut handled_atomically = false;
+        if atomic {
+            let mut ctx = std::mem::take(&mut self.ctx);
+            ctx.clear();
+            let step = self.circuit.comps[ci]
+                .model
+                .step_burst(port as usize, &prefix, &mut ctx);
+            if step == BurstStep::Consumed {
+                debug_assert!(
+                    ctx.emissions.is_empty() && ctx.timers.is_empty() && ctx.stats.is_empty(),
+                    "step_burst must only use emit_burst/record_many"
+                );
+                self.now = prefix.last();
+                self.events_processed += m;
+                self.activity.handled[ci] += m;
+                if let Some(s) = &mut self.sanitizer {
+                    s.commit_coalesced(ci, port as usize, &prefix);
+                }
+                self.emit_bursts(ci, &ctx.burst_emissions)?;
+                for &(stat, n) in &ctx.stat_counts {
+                    self.activity.record_anomaly_n(stat, n);
+                }
+                consumed = m;
+                handled_atomically = true;
+            }
+            self.ctx = ctx;
+        }
+        if !handled_atomically {
+            // Exact fallback: the head pulse alone, through the same
+            // path a pulse-level event would take.
+            self.now = ev.time;
+            self.events_processed += 1;
+            self.dispatch_outlined(Event {
+                time: ev.time,
+                seq: ev.seq,
+                kind: EventKind::Deliver { comp, port },
+            })?;
+        }
+        if consumed < burst.count() {
+            let rest = burst.suffix(consumed);
+            let weight = rest.count();
+            self.bursts[slot as usize].burst = rest;
+            self.push_weighted(
+                Event {
+                    time: rest.first(),
+                    seq: ev.seq + consumed * stride,
+                    kind: EventKind::BurstDeliver { comp, port, slot },
+                },
+                weight,
+            );
+        } else {
+            self.free_bursts.push(slot);
+            self.live_bursts -= 1;
+        }
+        Ok(consumed)
+    }
+
+    /// Fans a set of trains emitted by one closed-form step out to
+    /// their nets, with a *padded round-robin* sequence allocation:
+    /// pulse `k` of emission `e` (net width `w_e`, offset
+    /// `o_e = Σ w_{<e}`, `W = Σ w_e`) gets seqs
+    /// `base + k·W + o_e .. base + k·W + o_e + w_e`. That reproduces the
+    /// pulse-index-major order of the pulse-level engine (which fans
+    /// out all of pulse `k`'s emissions before pulse `k+1`'s), so
+    /// equal-time ties between pulses of *different* emitted trains
+    /// still resolve identically downstream.
+    fn emit_bursts(&mut self, comp: usize, emissions: &[(usize, Burst)]) -> Result<(), SimError> {
+        if emissions.is_empty() {
+            return Ok(());
+        }
+        let mut total_width = 0u64;
+        let mut max_count = 0u64;
+        for &(port, ref b) in emissions {
+            let net = self.nets.net(NetSource::Output(comp, port));
+            total_width += (net.wires_end - net.wires_start) as u64;
+            max_count = max_count.max(b.count());
+        }
+        let base = self.seq;
+        self.seq += max_count * total_width;
+        let mut offset = 0u64;
+        for &(port, ref b) in emissions {
+            self.activity.emitted[comp] += b.count();
+            let net = self.nets.net(NetSource::Output(comp, port));
+            let width = (net.wires_end - net.wires_start) as u64;
+            self.push_burst_net(
+                NetSource::Output(comp, port),
+                *b,
+                base + offset,
+                total_width,
+            )?;
+            offset += width;
+        }
+        Ok(())
+    }
+
+    /// Fans one train out over a net: probes record every pulse time,
+    /// and each wire gets the delayed train as a single queue event
+    /// (or a plain pulse event for single-pulse trains). Wire `j`'s
+    /// head pulse takes seq `seq0 + j` and pulse `k` takes
+    /// `seq0 + j + k · stride` — the exact keys `count` pulse-level
+    /// `fan_out` calls would have assigned.
+    fn push_burst_net(
+        &mut self,
+        source: NetSource,
+        b: Burst,
+        seq0: u64,
+        stride: u64,
+    ) -> Result<(), SimError> {
+        debug_assert!(self.jitter.is_none(), "bursts never travel jittered wires");
+        let net = self.nets.net(source);
+        for p in net.probes_start..net.probes_end {
+            let probe = self.nets.probes[p as usize] as usize;
+            self.probe_data[probe].extend(b.iter_times());
+        }
+        for j in 0..(net.wires_end - net.wires_start) {
+            let wire = self.nets.wires[(net.wires_start + j) as usize];
+            let bd = b
+                .checked_delayed(wire.delay)
+                .ok_or_else(|| SimError::TimeOverflow {
+                    component: match source {
+                        NetSource::Input(i) => self.circuit.inputs[i].name.clone(),
+                        NetSource::Output(c, _) => self.circuit.comps[c].model.name().to_string(),
+                    },
+                    time: b.first(),
+                })?;
+            let kind = if bd.count() == 1 {
+                EventKind::Deliver {
+                    comp: wire.dest,
+                    port: wire.port,
+                }
+            } else {
+                let slot = self.alloc_burst(bd, stride);
+                EventKind::BurstDeliver {
+                    comp: wire.dest,
+                    port: wire.port,
+                    slot,
+                }
+            };
+            self.push_weighted(
+                Event {
+                    time: bd.first(),
+                    seq: seq0 + u64::from(j),
+                    kind,
+                },
+                bd.count(),
+            );
+        }
+        Ok(())
+    }
+
+    /// Fans a scheduled train out from a source net, allocating the
+    /// same `count · width` block of sequence numbers the equivalent
+    /// `schedule_pulses` loop would have consumed.
+    fn fan_out_burst(&mut self, source: NetSource, burst: Burst) -> Result<(), SimError> {
+        let net = self.nets.net(source);
+        let width = (net.wires_end - net.wires_start) as u64;
+        let seq0 = self.seq;
+        self.seq += burst.count() * width;
+        self.push_burst_net(source, burst, seq0, width)
+    }
+
+    fn alloc_burst(&mut self, burst: Burst, stride: u64) -> u32 {
+        self.live_bursts += 1;
+        if let Some(slot) = self.free_bursts.pop() {
+            self.bursts[slot as usize] = BurstRec { burst, stride };
+            slot
+        } else {
+            self.bursts.push(BurstRec { burst, stride });
+            (self.bursts.len() - 1) as u32
+        }
+    }
+
+    #[inline]
+    fn push_weighted(&mut self, ev: Event, weight: u64) {
+        self.queue.push(ev);
+        self.pending_weight += weight;
+        if self.pending_weight > self.peak_weight {
+            self.peak_weight = self.pending_weight;
+        }
+    }
+
+    /// [`Simulator::dispatch`] for the burst-path callers. The hot
+    /// pulse loop in [`Simulator::run_until`] must stay `dispatch`'s
+    /// only direct call site so the inliner folds it into the loop;
+    /// the (per-train, amortised) burst paths go through this
+    /// out-of-line trampoline instead.
+    #[inline(never)]
+    fn dispatch_outlined(&mut self, ev: Event) -> Result<(), SimError> {
+        self.dispatch(ev)
+    }
+
     fn dispatch(&mut self, ev: Event) -> Result<(), SimError> {
         let comp_id = match ev.kind {
             EventKind::Deliver { comp, .. } | EventKind::Timer { comp, .. } => comp,
+            EventKind::BurstDeliver { .. } => unreachable!("bursts go through deliver_burst"),
         };
+        let ci = comp_id as usize;
         let mut ctx = std::mem::take(&mut self.ctx);
         ctx.clear();
         {
-            let slot = &mut self.circuit.comps[comp_id.0];
+            let slot = &mut self.circuit.comps[ci];
             match ev.kind {
                 EventKind::Deliver { port, .. } => {
-                    self.activity.handled[comp_id.0] += 1;
+                    self.activity.handled[ci] += 1;
                     if let Some(sanitizer) = &mut self.sanitizer {
-                        sanitizer.observe(comp_id.0, slot.model.name(), port, ev.time);
+                        sanitizer.observe(ci, slot.model.name(), port as usize, ev.time);
                     }
-                    slot.model.on_pulse(port, ev.time, &mut ctx);
+                    slot.model.on_pulse(port as usize, ev.time, &mut ctx);
                 }
                 EventKind::Timer { tag, .. } => {
                     slot.model.on_timer(tag, ev.time, &mut ctx);
                 }
+                EventKind::BurstDeliver { .. } => unreachable!("bursts go through deliver_burst"),
             }
         }
         if !ctx.is_empty() {
             let overflow = |circuit: &Circuit| SimError::TimeOverflow {
-                component: circuit.comps[comp_id.0].model.name().to_string(),
+                component: circuit.comps[ci].model.name().to_string(),
                 time: ev.time,
             };
             for &(port, delay) in &ctx.emissions {
@@ -491,8 +1004,8 @@ impl Simulator {
                     .time
                     .checked_add(delay)
                     .ok_or_else(|| overflow(&self.circuit))?;
-                self.activity.emitted[comp_id.0] += 1;
-                self.fan_out(NetSource::Output(comp_id.0, port), t_emit)?;
+                self.activity.emitted[ci] += 1;
+                self.fan_out(NetSource::Output(ci, port), t_emit)?;
             }
             for &(tag, delay) in &ctx.timers {
                 let t = ev
@@ -509,6 +1022,13 @@ impl Simulator {
             for &stat in &ctx.stats {
                 self.activity.record_anomaly(stat);
             }
+            for &(stat, n) in &ctx.stat_counts {
+                self.activity.record_anomaly_n(stat, n);
+            }
+            debug_assert!(
+                ctx.burst_emissions.is_empty(),
+                "emit_burst is only valid inside step_burst"
+            );
         }
         self.ctx = ctx;
         Ok(())
@@ -553,16 +1073,23 @@ impl Simulator {
                 time: arrival,
                 seq,
                 kind: EventKind::Deliver {
-                    comp: CompId(wire.dest as usize),
-                    port: wire.port as usize,
+                    comp: wire.dest,
+                    port: wire.port,
                 },
             });
+        }
+        // Pending-pulse accounting hoisted out of the wire loop: the
+        // count only grows here, so one post-loop comparison sees the
+        // same peak as a per-push check would.
+        self.pending_weight += wires.len() as u64;
+        if self.pending_weight > self.peak_weight {
+            self.peak_weight = self.pending_weight;
         }
         Ok(())
     }
 
     fn push(&mut self, ev: Event) {
-        self.queue.push(ev);
+        self.push_weighted(ev, 1);
     }
 
     fn next_seq(&mut self) -> u64 {
@@ -643,6 +1170,11 @@ impl Simulator {
         }
         self.activity.reset();
         self.events_processed = 0;
+        self.bursts.clear();
+        self.free_bursts.clear();
+        self.live_bursts = 0;
+        self.pending_weight = 0;
+        self.peak_weight = 0;
         if let Some(sanitizer) = &mut self.sanitizer {
             sanitizer.reset();
         }
@@ -1071,5 +1603,142 @@ mod tests {
         assert!(times.windows(2).all(|w| w[0] < w[1]));
         let stats = sim.wheel_stats().unwrap();
         assert!(stats.migrations > 0, "{stats:?}");
+    }
+
+    fn chain_fixture() -> (Circuit, InputId, crate::ProbeId) {
+        let mut c = Circuit::new();
+        let input = c.input("in");
+        let b1 = c.add(Buffer::new("b1", Time::from_ps(3.0)));
+        let b2 = c.add(Buffer::new("b2", Time::from_ps(4.0)));
+        c.connect_input(input, b1.input(0), Time::from_ps(1.0))
+            .unwrap();
+        c.connect(b1.output(0), b2.input(0), Time::from_ps(2.0))
+            .unwrap();
+        let p = c.probe(b2.output(0), "out");
+        (c, input, p)
+    }
+
+    /// A coalesced train through a buffer chain is byte-identical to
+    /// the expanded pulse-level run: probe times, activity counters,
+    /// event count, and end time.
+    #[test]
+    fn burst_matches_pulse_level_on_chain() {
+        let burst = Burst::uniform(Time::from_ps(5.0), Time::from_ps(10.0), 16);
+
+        let (c, input, p) = chain_fixture();
+        let mut fast = Simulator::with_burst(c, true);
+        fast.schedule_burst(input, burst).unwrap();
+        let sum_fast = fast.run().unwrap();
+
+        let (c, input, p2) = chain_fixture();
+        let mut slow = Simulator::with_burst(c, false);
+        slow.schedule_burst(input, burst).unwrap();
+        let sum_slow = slow.run().unwrap();
+
+        assert_eq!(fast.probe_times(p), slow.probe_times(p2));
+        assert_eq!(sum_fast.events, sum_slow.events);
+        assert_eq!(sum_fast.end_time, sum_slow.end_time);
+        assert_eq!(fast.activity().handled, slow.activity().handled);
+        assert_eq!(fast.activity().emitted, slow.activity().emitted);
+    }
+
+    /// With bursts disabled, `schedule_burst` expands to exactly the
+    /// `schedule_pulses` loop — sequence allocation included, which a
+    /// zero-period (all-ties) train makes observable.
+    #[test]
+    fn schedule_burst_disabled_expands_to_pulses() {
+        let t = Time::from_ps(7.0);
+        let (c, input, p) = chain_fixture();
+        let mut a = Simulator::with_burst(c, false);
+        a.schedule_burst(input, Burst::uniform(t, Time::ZERO, 4))
+            .unwrap();
+        a.run().unwrap();
+
+        let (c, input, p2) = chain_fixture();
+        let mut b = Simulator::with_burst(c, false);
+        b.schedule_pulses(input, [t, t, t, t]).unwrap();
+        b.run().unwrap();
+
+        assert_eq!(a.probe_times(p), b.probe_times(p2));
+        assert_eq!(a.activity().handled, b.activity().handled);
+        assert_eq!(a.activity().peak_pending, b.activity().peak_pending);
+    }
+
+    /// The event limit stays exact under coalescing: a burst is split
+    /// so that at most `limit` pulses are ever dispatched, and the
+    /// overflow error carries the same component and time as the
+    /// pulse-level engine would report.
+    #[test]
+    fn burst_event_limit_is_exact() {
+        let mut c = Circuit::new();
+        let input = c.input("in");
+        let b = c.add(Buffer::new("b", Time::ZERO));
+        c.connect_input(input, b.input(0), Time::ZERO).unwrap();
+        let p = c.probe(b.output(0), "p");
+        let mut sim = Simulator::with_burst(c, true);
+        sim.set_event_limit(5);
+        sim.schedule_burst(input, Burst::uniform(Time::ZERO, Time::from_ps(10.0), 10))
+            .unwrap();
+        let err = sim.run().unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                SimError::EventLimitExceeded {
+                    limit: 5,
+                    component,
+                    time,
+                } if component == "b" && *time == Time::from_ps(50.0)
+            ),
+            "{err:?}"
+        );
+        assert_eq!(sim.probe_count(p), 5);
+    }
+
+    /// A component on a feedback cycle never absorbs a burst atomically:
+    /// the head-pulse fallback keeps it exactly equivalent to the
+    /// pulse-level run.
+    #[test]
+    fn burst_on_cycle_falls_back_to_head_pulses() {
+        let build = || {
+            let mut c = Circuit::new();
+            let input = c.input("in");
+            let o = c.add(Oscillator);
+            c.connect_input(input, o.input(0), Time::ZERO).unwrap();
+            c.connect(o.output(0), o.input(0), Time::from_ps(100.0))
+                .unwrap();
+            let p = c.probe(o.output(0), "p");
+            (c, input, p)
+        };
+        let burst = Burst::uniform(Time::ZERO, Time::from_ps(3.0), 8);
+        let deadline = Time::from_ps(500.0);
+
+        let (c, input, p) = build();
+        let mut fast = Simulator::with_burst(c, true);
+        fast.schedule_burst(input, burst).unwrap();
+        fast.run_until(deadline).unwrap();
+
+        let (c, input, p2) = build();
+        let mut slow = Simulator::with_burst(c, false);
+        slow.schedule_burst(input, burst).unwrap();
+        slow.run_until(deadline).unwrap();
+
+        assert_eq!(fast.probe_times(p), slow.probe_times(p2));
+        assert_eq!(fast.activity().handled, slow.activity().handled);
+    }
+
+    /// Deadline splitting: only the prefix at or before the deadline is
+    /// consumed, and the remainder resumes exactly on the next run.
+    #[test]
+    fn burst_respects_run_until_deadline() {
+        let (c, input, p) = chain_fixture();
+        let mut sim = Simulator::with_burst(c, true);
+        sim.schedule_burst(input, Burst::uniform(Time::ZERO, Time::from_ps(10.0), 10))
+            .unwrap();
+        sim.run_until(Time::from_ps(45.0)).unwrap();
+        // Chain latency is 10 ps; the last b2 arrival at or before the
+        // deadline is 36 ps, so four pulses have reached the probe.
+        assert_eq!(sim.probe_count(p), 4);
+        sim.run().unwrap();
+        assert_eq!(sim.probe_count(p), 10);
     }
 }

@@ -62,6 +62,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod burst;
 pub mod circuit;
 pub mod component;
 pub mod engine;
@@ -74,10 +75,11 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use burst::Burst;
 pub use circuit::{
     Circuit, CompId, FanoutOverflow, InputId, NodeRef, ProbeId, ProbeSource, SinkRef,
 };
-pub use component::{Component, Ctx, Hazard, StaticMeta};
+pub use component::{BurstStep, Component, Ctx, Hazard, StaticMeta};
 pub use engine::{RunSummary, Simulator};
 pub use error::SimError;
 pub use runner::Runner;

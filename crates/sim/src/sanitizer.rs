@@ -28,6 +28,7 @@
 //! soundness harness in `usfq-bench` asserts never happens for the
 //! shipped catalogue.
 
+use crate::burst::Burst;
 use crate::circuit::Circuit;
 use crate::component::Hazard;
 use crate::time::Time;
@@ -294,6 +295,101 @@ impl SanitizerState {
         }
         if let Some(slot) = self.last_arrival[comp].get_mut(port) {
             *slot = Some(now);
+        }
+    }
+
+    /// Pure pre-check for a coalesced train arriving on `(comp, port)`:
+    /// `true` iff absorbing the *whole* train provably produces zero
+    /// violations and leaves exactly the state the per-pulse
+    /// [`SanitizerState::observe`] calls would leave (so the engine may
+    /// skip them and call [`SanitizerState::commit_coalesced`] once).
+    ///
+    /// Conservative by design: any *possible* violation returns
+    /// `false`, and the engine falls back to pulse-by-pulse delivery —
+    /// where `observe` reproduces the exact violation stream. This is
+    /// how `--sanitize` keeps its observe-only guarantee in burst mode:
+    /// the checks reason about the train's closed form
+    /// ([`Burst::min_gap`] is a lower bound, never an overestimate)
+    /// instead of forcing expansion.
+    pub(crate) fn can_coalesce(&self, comp: usize, port: usize, burst: &Burst) -> bool {
+        if burst.is_empty() {
+            return true;
+        }
+        let head = burst.first();
+        if let Some(end) = self.config.epoch_end {
+            if burst.last() > end {
+                return false;
+            }
+        }
+        let gap = burst.min_gap();
+        let multi = burst.count() > 1;
+        let facts = &self.facts[comp];
+        for hazard in &facts.hazards {
+            match *hazard {
+                Hazard::Collision { window } => {
+                    if window == Time::ZERO {
+                        continue;
+                    }
+                    if multi && gap < window {
+                        return false;
+                    }
+                    if let Some(prev) = self.last_accepted[comp] {
+                        if head.saturating_sub(prev) < window {
+                            return false;
+                        }
+                    }
+                }
+                Hazard::Transition { window } => {
+                    if multi && gap < window {
+                        return false;
+                    }
+                    if let Some(prev) = self.last_arrival[comp].get(port).copied().flatten() {
+                        if head.saturating_sub(prev) < window {
+                            return false;
+                        }
+                    }
+                }
+                Hazard::Setup {
+                    control,
+                    sampled,
+                    window,
+                } => {
+                    if port != sampled {
+                        continue;
+                    }
+                    if let Some(ctrl) = self.last_arrival[comp].get(control).copied().flatten() {
+                        if head.saturating_sub(ctrl) < window {
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+        if port == 0 {
+            if let Some(cap) = facts.counting_capacity {
+                if self.data_count[comp] + burst.count() > cap {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Applies the state updates of absorbing a train that
+    /// [`SanitizerState::can_coalesce`] approved: every pulse was
+    /// accepted, so the tracked windows end at the train's last pulse
+    /// and the data count advances by the full pulse count.
+    pub(crate) fn commit_coalesced(&mut self, comp: usize, port: usize, burst: &Burst) {
+        if burst.is_empty() {
+            return;
+        }
+        let last = burst.last();
+        if port == 0 && self.facts[comp].counting_capacity.is_some() {
+            self.data_count[comp] += burst.count();
+        }
+        self.last_accepted[comp] = Some(last);
+        if let Some(slot) = self.last_arrival[comp].get_mut(port) {
+            *slot = Some(last);
         }
     }
 

@@ -63,9 +63,23 @@ use std::collections::BinaryHeap;
 use crate::time::Time;
 
 /// Environment variable selecting the event scheduler
-/// (`heap` | `wheel`, case-insensitive). Unset or unrecognised values
-/// fall back to [`Sched::Wheel`].
+/// (`heap` | `wheel` | `auto`, case-insensitive). Unset or
+/// unrecognised values fall back to [`Sched::Auto`].
 pub const SCHED_ENV: &str = "USFQ_SCHED";
+
+/// [`Sched::Auto`] picks the wheel only for netlists with at least
+/// this many wires. The wheel's amortised-`O(1)` ordering wins when
+/// many events are in flight per bucket window (long delay chains,
+/// wide fan-out: the 1025-wire `delay_chain/1024` kernel runs ~1.3×
+/// faster on the wheel, and the 129-wire `delay_chain/128` kernel
+/// ~1.3× as well), but on sparse queues its cursor scanning and bucket
+/// bookkeeping cost more than heap sift operations — the catalogue
+/// netlists (tens of wires, a handful of pending events) ran ~1.1–1.25×
+/// slower on the wheel, and raw sparse queue microbenchmarks up to
+/// 1.8×. The threshold sits between the two measured regimes: the
+/// largest catalogue netlist is ~100 wires, the smallest wheel-winning
+/// kernel ~130.
+pub const AUTO_WHEEL_MIN_WIRES: usize = 128;
 
 /// Number of buckets in a default-configured wheel (must be a power of
 /// two). 256 buckets × a delay-derived width keeps the whole window
@@ -80,18 +94,47 @@ pub enum Sched {
     /// kept for differential testing and as a fallback.
     Heap,
     /// Calendar-queue time wheel: amortised `O(1)` per operation.
-    #[default]
     Wheel,
+    /// Pick heap or wheel per circuit from its size and delay profile
+    /// (see [`Sched::resolve`]). The default: dense workloads get the
+    /// wheel's amortised `O(1)`, sparse ones avoid its fixed cursor
+    /// and bucket overheads.
+    #[default]
+    Auto,
 }
 
 impl Sched {
     /// Reads the scheduler choice from [`SCHED_ENV`] (`USFQ_SCHED`).
-    /// Unset, empty, or unrecognised values select [`Sched::Wheel`].
+    /// Unset, empty, or unrecognised values select [`Sched::Auto`].
     pub fn from_env() -> Sched {
         std::env::var(SCHED_ENV)
             .ok()
             .and_then(|v| v.trim().parse().ok())
             .unwrap_or_default()
+    }
+
+    /// Resolves [`Sched::Auto`] for a circuit with `num_wires` total
+    /// fan-out wires and `max_delay` largest single-hop latency;
+    /// explicit choices pass through unchanged.
+    ///
+    /// `num_wires` bounds how many events can be in flight at once —
+    /// the event-density proxy — and `max_delay` sizes the wheel's
+    /// bucket window. Dense netlists (≥ [`AUTO_WHEEL_MIN_WIRES`] wires)
+    /// with a real delay profile get the wheel; everything else gets
+    /// the heap, whose per-op cost is lower when only a handful of
+    /// events are pending. Either resolution is behaviour-preserving:
+    /// both queues drain in identical `(time, seq)` order.
+    pub fn resolve(self, num_wires: usize, max_delay: Time) -> Sched {
+        match self {
+            Sched::Auto => {
+                if num_wires >= AUTO_WHEEL_MIN_WIRES && max_delay > Time::ZERO {
+                    Sched::Wheel
+                } else {
+                    Sched::Heap
+                }
+            }
+            explicit => explicit,
+        }
     }
 }
 
@@ -102,7 +145,8 @@ impl std::str::FromStr for Sched {
         match s.trim().to_ascii_lowercase().as_str() {
             "heap" => Ok(Sched::Heap),
             "wheel" => Ok(Sched::Wheel),
-            other => Err(format!("unknown scheduler `{other}` (heap|wheel)")),
+            "auto" => Ok(Sched::Auto),
+            other => Err(format!("unknown scheduler `{other}` (heap|wheel|auto)")),
         }
     }
 }
@@ -112,6 +156,7 @@ impl std::fmt::Display for Sched {
         f.write_str(match self {
             Sched::Heap => "heap",
             Sched::Wheel => "wheel",
+            Sched::Auto => "auto",
         })
     }
 }
@@ -362,6 +407,11 @@ impl<T> CalendarWheel<T> {
 
     /// Inserts an entry. `seq` must be unique among live entries; ties
     /// in `time` pop in ascending `seq` order.
+    ///
+    /// `push`/`peek`/`pop`/`ensure_active` carry `#[inline]` so they
+    /// keep folding into the engine's event loop now that the burst
+    /// paths give each of them more than one call site.
+    #[inline]
     pub fn push(&mut self, time: Time, seq: u64, payload: T) {
         let t = time.as_fs();
         if t < self.horizon {
@@ -378,6 +428,7 @@ impl<T> CalendarWheel<T> {
     }
 
     /// Key of the earliest entry without removing it.
+    #[inline]
     pub fn peek(&mut self) -> Option<(Time, u64, &T)> {
         if self.len == 0 {
             return None;
@@ -388,6 +439,7 @@ impl<T> CalendarWheel<T> {
     }
 
     /// Removes and returns the earliest entry.
+    #[inline]
     pub fn pop(&mut self) -> Option<(Time, u64, T)> {
         if self.len == 0 {
             return None;
@@ -427,6 +479,7 @@ impl<T> CalendarWheel<T> {
 
     /// Advances the cursor to the earliest non-empty bucket and sorts
     /// it if freshly reached. Requires `len > 0`.
+    #[inline]
     fn ensure_active(&mut self) {
         if self.active {
             if !self.buckets[self.cur].is_empty() {
@@ -635,10 +688,31 @@ mod tests {
     fn sched_parsing() {
         assert_eq!("heap".parse(), Ok(Sched::Heap));
         assert_eq!(" Wheel ".parse(), Ok(Sched::Wheel));
+        assert_eq!("AUTO".parse(), Ok(Sched::Auto));
         assert!("quantum".parse::<Sched>().is_err());
-        assert_eq!(Sched::default(), Sched::Wheel);
+        assert_eq!(Sched::default(), Sched::Auto);
         assert_eq!(Sched::Heap.to_string(), "heap");
         assert_eq!(Sched::Wheel.to_string(), "wheel");
+        assert_eq!(Sched::Auto.to_string(), "auto");
+    }
+
+    #[test]
+    fn auto_resolution_picks_by_density() {
+        let d = Time::from_ps(10.0);
+        // Sparse netlists (catalogue scale) resolve to the heap…
+        assert_eq!(Sched::Auto.resolve(10, d), Sched::Heap);
+        assert_eq!(
+            Sched::Auto.resolve(AUTO_WHEEL_MIN_WIRES - 1, d),
+            Sched::Heap
+        );
+        // …dense ones (long chains, wide fan-out) to the wheel…
+        assert_eq!(Sched::Auto.resolve(AUTO_WHEEL_MIN_WIRES, d), Sched::Wheel);
+        assert_eq!(Sched::Auto.resolve(100_000, d), Sched::Wheel);
+        // …a degenerate zero-delay profile stays on the heap…
+        assert_eq!(Sched::Auto.resolve(100_000, Time::ZERO), Sched::Heap);
+        // …and explicit choices always pass through.
+        assert_eq!(Sched::Heap.resolve(100_000, d), Sched::Heap);
+        assert_eq!(Sched::Wheel.resolve(1, Time::ZERO), Sched::Wheel);
     }
 
     /// Reference model: the wheel pops in exactly the order a binary

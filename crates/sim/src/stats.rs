@@ -70,6 +70,15 @@ impl ActivityReport {
         *self.anomalies.entry(kind).or_insert(0) += 1;
     }
 
+    /// Batched form of [`ActivityReport::record_anomaly`], used when a
+    /// coalesced burst accounts for `n` identical anomalies at once so
+    /// the tallies stay identical to pulse-level simulation.
+    pub(crate) fn record_anomaly_n(&mut self, kind: StatKind, n: u64) {
+        if n > 0 {
+            *self.anomalies.entry(kind).or_insert(0) += n;
+        }
+    }
+
     /// Zeroes every counter in place, keeping the allocated per-component
     /// vectors — so a [`crate::Simulator::reset`] between trials costs no
     /// allocation.

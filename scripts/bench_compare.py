@@ -11,9 +11,13 @@ both snapshots record it (the noise-robust estimator: on a shared
 runner interference only ever adds time, so the fastest sample tracks
 the true cost), falling back to median_ns for older snapshots. A
 kernel more than FAIL_PCT slower than baseline fails the gate; one
-more than WARN_PCT slower prints a warning. Keys present in only one
-file are reported (a renamed kernel should update the baseline in the
-same commit) but do not fail the gate.
+more than WARN_PCT slower prints a warning.
+
+Key-set drift is asymmetric: NEW keys in the current snapshot are fine
+(a fresh kernel lands before the baseline is regenerated), but keys
+that exist in the baseline and vanish from the current run fail the
+gate — silently dropping a kernel is how regressions hide. A renamed
+or retired kernel must update BENCH_kernel.json in the same commit.
 
 Exit status: 0 on pass (warnings allowed), 1 on any hard regression.
 
@@ -59,11 +63,11 @@ def main():
     only_base = sorted(set(base) - set(cur))
     only_cur = sorted(set(cur) - set(base))
     for key in only_base:
-        print(f"missing from current (baseline-only): {key}")
+        print(f"FAIL missing from current (baseline-only): {key}")
     for key in only_cur:
-        print(f"new benchmark (not in baseline): {key}")
+        print(f"  ok new benchmark (not in baseline): {key}")
 
-    failures = []
+    failures = [f"missing: {key}" for key in only_base]
     warnings = []
     for key in sorted(set(base) & set(cur)):
         if "min_ns" in base[key] and "min_ns" in cur[key]:
@@ -85,8 +89,8 @@ def main():
             print(f"  ok {line}")
 
     print(
-        f"\n{len(failures)} regression(s) over {FAIL_PCT:.0f}%, "
-        f"{len(warnings)} warning(s) over {WARN_PCT:.0f}%"
+        f"\n{len(failures)} hard failure(s) (regression over {FAIL_PCT:.0f}% "
+        f"or missing baseline key), {len(warnings)} warning(s) over {WARN_PCT:.0f}%"
     )
     if failures:
         sys.exit(1)
