@@ -1,0 +1,35 @@
+//! Scratch review test: reconvergent fan-out with an exact equal-time
+//! tie at a port-order-sensitive cell (DFF set vs read).
+
+use usfq_cells::storage::Dff;
+use usfq_sim::component::Buffer;
+use usfq_sim::{Burst, Circuit, Simulator, Time};
+
+fn run(coalesce: bool) -> (Vec<Time>, std::collections::BTreeMap<usfq_sim::stats::StatKind, u64>) {
+    let mut c = Circuit::new();
+    let input = c.input("in");
+    let a = c.add(Buffer::new("a", Time::from_ps(1.0)));
+    let b = c.add(Buffer::new("b", Time::from_ps(1.0)));
+    let d = c.add(Dff::new("dff"));
+    c.connect_input(input, a.input(0), Time::ZERO).unwrap();
+    // Direct "set" path: A -> DFF.IN_S, wire 3 ps.
+    c.connect(a.output(0), d.input(Dff::IN_S), Time::from_ps(3.0))
+        .unwrap();
+    // Long "read" path: A -> B (1 ps wire) -> DFF.IN_R (4 ps wire).
+    c.connect(a.output(0), b.input(0), Time::from_ps(1.0)).unwrap();
+    c.connect(b.output(0), d.input(Dff::IN_R), Time::from_ps(4.0))
+        .unwrap();
+    let p = c.probe(d.output(Dff::OUT_Q), "q");
+    let mut sim = Simulator::with_burst(c, coalesce);
+    sim.schedule_burst(input, Burst::uniform(Time::ZERO, Time::from_ps(3.0), 4))
+        .unwrap();
+    sim.run().unwrap();
+    (sim.probe_times(p).to_vec(), sim.activity().anomalies.clone())
+}
+
+#[test]
+fn reconvergent_tie_burst_equals_pulse() {
+    let fast = run(true);
+    let slow = run(false);
+    assert_eq!(fast, slow, "burst vs pulse diverged");
+}
