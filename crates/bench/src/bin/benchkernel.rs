@@ -12,19 +12,26 @@
 //! ./scripts/bench_snapshot.sh
 //! ```
 //!
-//! Snapshot schema (`schema_version` 2):
+//! Snapshot schema (`schema_version` 3):
 //!
 //! ```text
 //! {
 //!   "generated_by": "usfq-bench/benchkernel",
-//!   "schema_version": 2,
+//!   "schema_version": 3,
 //!   "commit": "<git hash or \"unknown\">",   // from $USFQ_COMMIT
 //!   "threads": <resolved USFQ_THREADS>,
 //!   "sched": "auto" | "wheel" | "heap",      // default scheduler in force
+//!   "shards": <resolved USFQ_SHARDS>,        // default shard count in force
 //!   "unit": "nanoseconds",
 //!   "benchmarks": { "<group>/<name>": { "min_ns": .., "median_ns": .., "mean_ns": .., "samples": .. }, .. }
 //! }
 //! ```
+//!
+//! The `kernel/shard/*` entries pin their shard count in the key
+//! itself (`/seq`, `/2shards`, …), so they are comparable across
+//! snapshots regardless of the ambient `USFQ_SHARDS`; the top-level
+//! `shards` field records the ambient default so the compare gate can
+//! refuse unlike-for-unlike comparisons of everything else.
 //!
 //! Keys are stable identifiers the `scripts/bench_compare.py` gate
 //! matches between baseline and fresh snapshots; renaming one is a
@@ -38,10 +45,11 @@ use std::time::Instant;
 
 use usfq_bench::experiments::{fig18, fig19};
 use usfq_bench::kernels::{
-    burst_stream, catalogue_trial, delay_chain, drive_burst_stream, drive_delay_chain, next_rand,
+    burst_stream, catalogue_trial, delay_chain, drive_burst_stream, drive_delay_chain, fabric,
+    fabric_stimulus, next_rand,
 };
 use usfq_core::netlists::shipped_netlists;
-use usfq_sim::{CalendarWheel, Runner, Sched, Simulator, Time};
+use usfq_sim::{CalendarWheel, Runner, Sched, ShardedSimulator, Simulator, Time, SHARDS_ENV};
 
 /// One measured kernel: warm up with one full batch, then sample
 /// `samples` times.
@@ -134,6 +142,11 @@ fn main() {
     let commit = std::env::var("USFQ_COMMIT").unwrap_or_else(|_| "unknown".to_string());
     let threads = Runner::from_env().threads();
     let default_sched = Sched::from_env();
+    let default_shards = std::env::var(SHARDS_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1);
 
     let mut results: Vec<Measurement> = Vec::new();
 
@@ -228,6 +241,53 @@ fn main() {
         ));
     }
 
+    // The shard scaling group: one ~10⁵-cell fabric, sequential and at
+    // 2/4/8 shards. Keys pin the shard count, so these stay comparable
+    // under any ambient USFQ_SHARDS. `/seq` goes through
+    // `ShardedSimulator::new(_, 1)` deliberately — it measures exactly
+    // the `USFQ_SHARDS=1` default path the no-regression criterion
+    // gates on.
+    {
+        let fab = fabric(64, 1_563, 0xFAB);
+        let stimulus = fabric_stimulus(&fab, 12, 1);
+        let expect = fab.probes[0];
+        for (name, shards) in [
+            ("kernel/shard/fabric_100k/seq", 1usize),
+            ("kernel/shard/fabric_100k/2shards", 2),
+            ("kernel/shard/fabric_100k/4shards", 4),
+            ("kernel/shard/fabric_100k/8shards", 8),
+        ] {
+            let proto = fab.circuit.clone();
+            let stimulus = stimulus.clone();
+            results.push(Measurement::run(name, 3, move || {
+                let mut sim = ShardedSimulator::new(proto.clone(), shards);
+                for &(input, train) in &stimulus {
+                    sim.schedule_burst(input, train).unwrap();
+                }
+                sim.run().unwrap();
+                assert!(sim.probe_count(expect) >= 12);
+            }));
+        }
+        // Per-shard event counts: the load-balance proxy recorded in
+        // EXPERIMENTS.md (sum/max bounds the achievable speedup on a
+        // machine with enough cores).
+        for shards in [2usize, 4, 8] {
+            let mut sim = ShardedSimulator::new(fab.circuit.clone(), shards);
+            for &(input, train) in &stimulus {
+                sim.schedule_burst(input, train).unwrap();
+            }
+            sim.run().unwrap();
+            let events = sim.shard_events();
+            let total: u64 = events.iter().sum();
+            let max = events.iter().copied().max().unwrap_or(1).max(1);
+            println!(
+                "shard/fabric_100k {shards} shards: events/shard {events:?}, \
+                 balance bound {:.2}x",
+                total as f64 / max as f64
+            );
+        }
+    }
+
     // End-to-end sweep kernels (fig18 series, fig19 fault sweep, one
     // differential sanitizer pass, the biggest structural netlist).
     results.push(Measurement::run_batched(
@@ -278,10 +338,11 @@ fn main() {
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"generated_by\": \"usfq-bench/benchkernel\",");
-    let _ = writeln!(json, "  \"schema_version\": 2,");
+    let _ = writeln!(json, "  \"schema_version\": 3,");
     let _ = writeln!(json, "  \"commit\": \"{commit}\",");
     let _ = writeln!(json, "  \"threads\": {threads},");
     let _ = writeln!(json, "  \"sched\": \"{default_sched}\",");
+    let _ = writeln!(json, "  \"shards\": {default_shards},");
     let _ = writeln!(json, "  \"unit\": \"nanoseconds\",");
     let _ = writeln!(json, "  \"benchmarks\": {{");
     results.sort_by(|a, b| a.key().cmp(b.key()));

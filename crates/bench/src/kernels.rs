@@ -120,6 +120,116 @@ pub fn drive_burst_stream(
     assert_eq!(sim.probe_count(tap), pulses as usize);
 }
 
+/// A parametric fabric-scale netlist (10⁴–10⁶ cells) for the shard
+/// scaling benchmarks: `width` buffer chains of `depth` stages, where
+/// chain `c` forwards a copy of its stream into chain `c + 1` through
+/// one crosslink wire per chain (fan-out at the source buffer, fan-in
+/// at the destination buffer — the engine's multi-driver nets stand in
+/// for explicit splitter/merger cells so every delay in the fabric is
+/// chosen here, not by the cell catalogue).
+///
+/// Two properties make this the shard workload:
+///
+/// * **Chain-major component order.** All of chain `c`'s buffers are
+///   contiguous, so the shard partitioner's linear cut assigns whole
+///   chains to shards and every cut wire is a crosslink.
+/// * **Parity-disjoint delays.** In-chain wire and buffer delays are
+///   even femtosecond counts and stimulus trains use even starts and
+///   periods, while every crosslink delay is odd — a pulse that
+///   crossed one shard boundary can never collide to the femtosecond
+///   with a chain-local pulse, keeping the workload clear of the
+///   shard tie divergence class (DESIGN.md). Crosslink depths descend
+///   as `c` grows (wrapping every 8 chains), so a forwarded copy
+///   almost never re-crosses and the event count stays linear in
+///   `width × depth` instead of exploding combinatorially.
+pub struct Fabric {
+    /// The generated netlist.
+    pub circuit: Circuit,
+    /// One external input per chain, in chain order.
+    pub inputs: Vec<InputId>,
+    /// One probe on each chain's final buffer, in chain order.
+    pub probes: Vec<ProbeId>,
+}
+
+/// Builds a [`Fabric`] of `width` chains × `depth` buffers with
+/// seed-derived delays. `width × depth` is the exact cell count.
+pub fn fabric(width: usize, depth: usize, seed: u64) -> Fabric {
+    assert!(width >= 1 && depth >= 2, "fabric needs at least 1×2 cells");
+    let mut rng = seed
+        .wrapping_mul(0xD130_2B97_9AF0_16AD)
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        | 1;
+    // Crosslink junction depth per chain: descending within each
+    // 8-chain cycle so forwarded copies land past the next chain's
+    // junction (see type docs).
+    let cycle = 8usize;
+    let stride = (depth / (cycle + 1)).max(1);
+    let junction = |c: usize| (stride * (cycle - (c % cycle))).min(depth - 2);
+
+    let mut circuit = Circuit::new();
+    let mut inputs = Vec::with_capacity(width);
+    let mut probes = Vec::with_capacity(width);
+    // (source chain, source buffer output, destination depth) of each
+    // pending crosslink; wired once the destination chain exists.
+    let mut pending_links = Vec::new();
+    let mut chain_inputs: Vec<Vec<usfq_sim::SinkRef>> = Vec::new();
+
+    for c in 0..width {
+        let input = circuit.input(format!("drive{c}"));
+        inputs.push(input);
+        let mut stage_inputs = Vec::with_capacity(depth);
+        let mut prev = None;
+        for d in 0..depth {
+            let delay = Time::from_fs(1_000 + 2 * (next_rand(&mut rng) % 1_500));
+            let buf = circuit.add(Buffer::new(format!("f{c}_{d}"), delay));
+            stage_inputs.push(buf.input(0));
+            let wire = Time::from_fs(200 + 2 * (next_rand(&mut rng) % 900));
+            match prev {
+                None => circuit.connect_input(input, buf.input(0), wire).unwrap(),
+                Some(p) => circuit.connect(p, buf.input(0), wire).unwrap(),
+            }
+            if c + 1 < width && d == junction(c) {
+                pending_links.push((c, buf.output(0), d + 1));
+            }
+            prev = Some(buf.output(0));
+        }
+        probes.push(circuit.probe(prev.unwrap(), format!("end{c}")));
+        chain_inputs.push(stage_inputs);
+    }
+    for (c, from, dst_depth) in pending_links {
+        // Odd delay around 17 ps, unique per junction: the minimum
+        // over these is the conservative lookahead window.
+        let delay = Time::from_fs(17_001 + 2 * (next_rand(&mut rng) % 1_000));
+        circuit
+            .connect(from, chain_inputs[c + 1][dst_depth], delay)
+            .unwrap();
+    }
+    Fabric {
+        circuit,
+        inputs,
+        probes,
+    }
+}
+
+/// Seed-derived uniform-train stimulus for a [`Fabric`]: one train per
+/// chain input, with even-femtosecond starts and periods so stimulus
+/// parity stays disjoint from crosslink parity.
+pub fn fabric_stimulus(fabric: &Fabric, count: u64, seed: u64) -> Vec<(InputId, Burst)> {
+    let mut rng = seed
+        .wrapping_mul(0xA24B_AED4_963E_E407)
+        .wrapping_add(0x5851_F42D_4C95_7F2D)
+        | 1;
+    fabric
+        .inputs
+        .iter()
+        .map(|&input| {
+            let start = Time::from_fs(2 * (next_rand(&mut rng) % 5_000));
+            let period = Time::from_fs(2_000 + 2 * (next_rand(&mut rng) % 2_000));
+            (input, Burst::uniform(start, period, count))
+        })
+        .collect()
+}
+
 /// The randomized catalogue stimulus of the differential sweep: for
 /// each external input, a seed-derived pulse count (up to the epoch's
 /// `n_max`, capped at 8) at seed-derived offsets inside the netlist's
@@ -303,6 +413,64 @@ mod tests {
         drive_burst_stream(&mut slow, input, div, tap, 6);
         assert_eq!(sim.probe_times(div), slow.probe_times(div));
         assert_eq!(sim.probe_times(tap), slow.probe_times(tap));
+    }
+
+    #[test]
+    fn fabric_shape_and_determinism() {
+        let f = fabric(4, 24, 7);
+        assert_eq!(f.circuit.num_components(), 4 * 24);
+        assert_eq!(f.inputs.len(), 4);
+        assert_eq!(f.probes.len(), 4);
+        // Chain wires + input wires + one crosslink per non-final
+        // chain.
+        assert_eq!(f.circuit.num_wires(), 4 * 24 + (4 - 1));
+        let again = fabric(4, 24, 7);
+        assert_eq!(f.circuit.num_wires(), again.circuit.num_wires());
+        assert_eq!(fabric_stimulus(&f, 8, 3), fabric_stimulus(&again, 8, 3));
+        assert_ne!(fabric_stimulus(&f, 8, 3), fabric_stimulus(&f, 8, 4));
+    }
+
+    #[test]
+    fn small_fabric_shards_match_sequential() {
+        use usfq_sim::ShardedSimulator;
+        let stimulus = {
+            let f = fabric(6, 30, 11);
+            fabric_stimulus(&f, 8, 1)
+        };
+        let run_seq = || {
+            let f = fabric(6, 30, 11);
+            let mut sim = Simulator::new(f.circuit);
+            for &(input, train) in &stimulus {
+                sim.schedule_burst(input, train).unwrap();
+            }
+            let summary = sim.run().unwrap();
+            let traces: Vec<Vec<Time>> = f
+                .probes
+                .iter()
+                .map(|&p| sim.probe_times(p).to_vec())
+                .collect();
+            (summary, traces, sim.activity().clone())
+        };
+        let (seq_summary, seq_traces, seq_activity) = run_seq();
+        for shards in [2, 3] {
+            let f = fabric(6, 30, 11);
+            let mut sim = ShardedSimulator::new(f.circuit, shards);
+            for &(input, train) in &stimulus {
+                sim.schedule_burst(input, train).unwrap();
+            }
+            let summary = sim.run().unwrap();
+            assert_eq!(summary, seq_summary, "{shards} shards");
+            let traces: Vec<Vec<Time>> = f
+                .probes
+                .iter()
+                .map(|&p| sim.probe_times(p).to_vec())
+                .collect();
+            assert_eq!(traces, seq_traces, "{shards} shards");
+            let a = sim.activity();
+            assert_eq!(a.handled, seq_activity.handled, "{shards} shards");
+            assert_eq!(a.emitted, seq_activity.emitted, "{shards} shards");
+            assert_eq!(a.anomalies, seq_activity.anomalies, "{shards} shards");
+        }
     }
 
     #[test]

@@ -1,120 +1,6 @@
-//! Netlist view: a plain adjacency structure extracted from a
-//! [`Circuit`] through its introspection API, shared by every check.
+//! Netlist view: re-exported from [`usfq_sim::graph`], where the
+//! extraction now lives so both the lint checks and the simulator's
+//! shard partitioner share one adjacency structure (and the sim crate
+//! does not depend on lint).
 
-use usfq_sim::component::StaticMeta;
-use usfq_sim::{Circuit, ProbeSource, Time};
-
-/// What drives a component input port.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) enum Driver {
-    /// An external input, with the wire delay.
-    Input(usize, Time),
-    /// Another component's output port, with the wire delay.
-    Comp(usize, usize, Time),
-}
-
-/// The extracted netlist.
-#[derive(Debug)]
-pub(crate) struct Graph {
-    /// Component names, indexed by component id.
-    pub names: Vec<String>,
-    /// Component JJ counts.
-    pub jj: Vec<u32>,
-    /// Component static metadata (kind, delay range, hazards).
-    pub meta: Vec<StaticMeta>,
-    /// `drivers[comp][port]` — everything wired into that input port.
-    pub drivers: Vec<Vec<Vec<Driver>>>,
-    /// Number of output ports per component.
-    pub out_ports: Vec<usize>,
-    /// `succs[comp]` — components driven by `comp` (may repeat).
-    pub succs: Vec<Vec<usize>>,
-    /// `input_sinks[input]` — components driven by that input.
-    pub input_sinks: Vec<Vec<usize>>,
-    /// Probes: `(name, source)`.
-    pub probes: Vec<(String, ProbeSource)>,
-}
-
-impl Graph {
-    /// Number of components.
-    pub fn len(&self) -> usize {
-        self.names.len()
-    }
-
-    /// Extracts the view from a circuit.
-    pub fn build(circuit: &Circuit) -> Graph {
-        let n = circuit.num_components();
-        let mut names = Vec::with_capacity(n);
-        let mut jj = Vec::with_capacity(n);
-        let mut meta = Vec::with_capacity(n);
-        let mut ports = Vec::with_capacity(n);
-        for (id, name, count) in circuit.components() {
-            names.push(name.to_string());
-            jj.push(count);
-            meta.push(
-                circuit
-                    .component_static_meta(id)
-                    .expect("component id from the circuit's own iterator"),
-            );
-            ports.push(
-                circuit
-                    .component_ports(id)
-                    .expect("component id from the circuit's own iterator"),
-            );
-        }
-
-        let mut drivers: Vec<Vec<Vec<Driver>>> = ports
-            .iter()
-            .map(|&(n_in, _)| vec![Vec::new(); n_in])
-            .collect();
-        let out_ports: Vec<usize> = ports.iter().map(|&(_, n_out)| n_out).collect();
-        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
-        for (src, src_port, dst, dst_port, delay) in circuit.wires() {
-            drivers[dst.index()][dst_port].push(Driver::Comp(src.index(), src_port, delay));
-            succs[src.index()].push(dst.index());
-        }
-
-        let mut input_sinks: Vec<Vec<usize>> = vec![Vec::new(); circuit.num_inputs()];
-        for (input, comp, port, delay) in circuit.input_wires() {
-            drivers[comp.index()][port].push(Driver::Input(input.index(), delay));
-            input_sinks[input.index()].push(comp.index());
-        }
-
-        let probes = circuit
-            .probe_taps()
-            .map(|(id, source)| {
-                (
-                    circuit
-                        .probe_name(id)
-                        .expect("probe id from the circuit's own iterator")
-                        .to_string(),
-                    source,
-                )
-            })
-            .collect();
-
-        Graph {
-            names,
-            jj,
-            meta,
-            drivers,
-            out_ports,
-            succs,
-            input_sinks,
-            probes,
-        }
-    }
-
-    /// Components reachable from any external input.
-    pub fn reachable_from_inputs(&self) -> Vec<bool> {
-        let mut seen = vec![false; self.len()];
-        let mut stack: Vec<usize> = self.input_sinks.iter().flatten().copied().collect();
-        while let Some(c) = stack.pop() {
-            if seen[c] {
-                continue;
-            }
-            seen[c] = true;
-            stack.extend(self.succs[c].iter().copied());
-        }
-        seen
-    }
-}
+pub(crate) use usfq_sim::graph::{CircuitGraph as Graph, Driver};

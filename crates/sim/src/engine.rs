@@ -231,6 +231,30 @@ impl Queue {
         ev
     }
 
+    /// Pops the earliest event only if it is due at `deadline`. One
+    /// fused call instead of the peek-compare-pop sequence, so the
+    /// wheel walks its cursor once per event instead of twice.
+    #[inline]
+    fn pop_due(&mut self, deadline: Time) -> Option<Event> {
+        let ev = match &mut self.imp {
+            QueueImpl::Heap(h) => match h.peek() {
+                Some(&Reverse(ev)) if ev.time <= deadline => {
+                    h.pop();
+                    Some(ev)
+                }
+                _ => None,
+            },
+            QueueImpl::Wheel(w) => {
+                w.pop_due(deadline)
+                    .map(|(time, seq, kind)| Event { time, seq, kind })
+            }
+        };
+        if ev.is_some() {
+            self.len -= 1;
+        }
+        ev
+    }
+
     fn len(&self) -> usize {
         self.len
     }
@@ -539,6 +563,27 @@ impl Simulator {
         self.event_limit = limit;
     }
 
+    /// Time of the earliest pending event, or `None` when the queue is
+    /// empty — the shard coordinator's window input. `&mut` because the
+    /// calendar wheel may rotate to find its head.
+    pub(crate) fn next_event_time(&mut self) -> Option<Time> {
+        self.queue.peek().map(|ev| ev.time)
+    }
+
+    /// Events processed over the simulator's lifetime (cleared by
+    /// [`Simulator::reset`]).
+    pub(crate) fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Partitions `circuit` into at most `shards` conservative-PDES
+    /// shards — see [`ShardedSimulator`](crate::shard::ShardedSimulator).
+    /// `shards <= 1` (and any circuit the partitioner cannot split)
+    /// yields the plain sequential engine behind the same front-end.
+    pub fn with_shards(circuit: Circuit, shards: usize) -> crate::shard::ShardedSimulator {
+        crate::shard::ShardedSimulator::new(circuit, shards)
+    }
+
     /// Schedules a pulse on an external input at absolute time `t`.
     ///
     /// # Errors
@@ -640,22 +685,29 @@ impl Simulator {
         if self.live_bursts != 0 {
             events = self.run_mixed(deadline)?;
         }
-        while let Some(ev) = self.queue.peek() {
-            if ev.time > deadline {
+        // The limit check gates the *loop*, not each event: a due
+        // event is only ever consumed while `events_processed` is
+        // strictly below the limit, so at most `event_limit`
+        // dispatches happen and the clock never advances past the
+        // last permitted one — identical to checking before each pop.
+        while self.events_processed < self.event_limit {
+            let Some(ev) = self.queue.pop_due(deadline) else {
                 break;
-            }
-            // Check *before* consuming the event: at most `event_limit`
-            // dispatches ever happen, and the clock never advances past
-            // the last permitted one.
-            if self.events_processed >= self.event_limit {
-                return Err(self.event_limit_error(ev));
-            }
-            self.queue.pop();
+            };
             self.pending_weight -= 1;
             self.now = ev.time;
             events += 1;
             self.events_processed += 1;
             self.dispatch(ev)?;
+        }
+        if self.events_processed >= self.event_limit {
+            // Out of budget: if a due event is still pending, that is
+            // exactly the event the pre-check used to trip on.
+            if let Some(ev) = self.queue.peek() {
+                if ev.time <= deadline {
+                    return Err(self.event_limit_error(ev));
+                }
+            }
         }
         self.activity.peak_pending = self.activity.peak_pending.max(self.peak_weight);
         Ok(RunSummary {

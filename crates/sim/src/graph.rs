@@ -1,0 +1,176 @@
+//! Netlist view: a plain adjacency structure extracted from a
+//! [`Circuit`] through its public introspection API.
+//!
+//! This is the shared substrate for every consumer that needs to walk
+//! the netlist as a graph without holding component models: the
+//! `usfq-lint` static checks and the [`shard`](crate::shard)
+//! partitioner both build on it, so the extraction logic exists in
+//! exactly one place. Nothing here touches simulation state — the view
+//! is a snapshot of the topology at extraction time.
+
+use crate::circuit::{Circuit, ProbeSource};
+use crate::component::StaticMeta;
+use crate::time::Time;
+
+/// What drives a component input port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Driver {
+    /// An external input, with the wire delay.
+    Input(usize, Time),
+    /// Another component's output port, with the wire delay.
+    Comp(usize, usize, Time),
+}
+
+/// The extracted netlist.
+#[derive(Debug)]
+pub struct CircuitGraph {
+    /// Component names, indexed by component id.
+    pub names: Vec<String>,
+    /// Component JJ counts.
+    pub jj: Vec<u32>,
+    /// Component static metadata (kind, delay range, hazards).
+    pub meta: Vec<StaticMeta>,
+    /// `drivers[comp][port]` — everything wired into that input port.
+    pub drivers: Vec<Vec<Vec<Driver>>>,
+    /// Number of output ports per component.
+    pub out_ports: Vec<usize>,
+    /// `succs[comp]` — components driven by `comp` (may repeat).
+    pub succs: Vec<Vec<usize>>,
+    /// `input_sinks[input]` — components driven by that input.
+    pub input_sinks: Vec<Vec<usize>>,
+    /// Probes: `(name, source)`.
+    pub probes: Vec<(String, ProbeSource)>,
+}
+
+impl CircuitGraph {
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the extracted view has no components.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Extracts the view from a circuit.
+    pub fn build(circuit: &Circuit) -> CircuitGraph {
+        let n = circuit.num_components();
+        let mut names = Vec::with_capacity(n);
+        let mut jj = Vec::with_capacity(n);
+        let mut meta = Vec::with_capacity(n);
+        let mut ports = Vec::with_capacity(n);
+        for (id, name, count) in circuit.components() {
+            names.push(name.to_string());
+            jj.push(count);
+            meta.push(
+                circuit
+                    .component_static_meta(id)
+                    .expect("component id from the circuit's own iterator"),
+            );
+            ports.push(
+                circuit
+                    .component_ports(id)
+                    .expect("component id from the circuit's own iterator"),
+            );
+        }
+
+        let mut drivers: Vec<Vec<Vec<Driver>>> = ports
+            .iter()
+            .map(|&(n_in, _)| vec![Vec::new(); n_in])
+            .collect();
+        let out_ports: Vec<usize> = ports.iter().map(|&(_, n_out)| n_out).collect();
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (src, src_port, dst, dst_port, delay) in circuit.wires() {
+            drivers[dst.index()][dst_port].push(Driver::Comp(src.index(), src_port, delay));
+            succs[src.index()].push(dst.index());
+        }
+
+        let mut input_sinks: Vec<Vec<usize>> = vec![Vec::new(); circuit.num_inputs()];
+        for (input, comp, port, delay) in circuit.input_wires() {
+            drivers[comp.index()][port].push(Driver::Input(input.index(), delay));
+            input_sinks[input.index()].push(comp.index());
+        }
+
+        let probes = circuit
+            .probe_taps()
+            .map(|(id, source)| {
+                (
+                    circuit
+                        .probe_name(id)
+                        .expect("probe id from the circuit's own iterator")
+                        .to_string(),
+                    source,
+                )
+            })
+            .collect();
+
+        CircuitGraph {
+            names,
+            jj,
+            meta,
+            drivers,
+            out_ports,
+            succs,
+            input_sinks,
+            probes,
+        }
+    }
+
+    /// Components reachable from any external input.
+    pub fn reachable_from_inputs(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.len()];
+        let mut stack: Vec<usize> = self.input_sinks.iter().flatten().copied().collect();
+        while let Some(c) = stack.pop() {
+            if seen[c] {
+                continue;
+            }
+            seen[c] = true;
+            stack.extend(self.succs[c].iter().copied());
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::Buffer;
+
+    #[test]
+    fn extraction_matches_topology() {
+        let mut c = Circuit::new();
+        let input = c.input("x");
+        let b1 = c.add(Buffer::new("b1", Time::from_ps(1.0)));
+        let b2 = c.add(Buffer::new("b2", Time::from_ps(1.0)));
+        c.connect_input(input, b1.input(0), Time::from_ps(2.0))
+            .unwrap();
+        c.connect(b1.output(0), b2.input(0), Time::from_ps(3.0))
+            .unwrap();
+        c.probe(b2.output(0), "end");
+        let g = CircuitGraph::build(&c);
+        assert_eq!(g.len(), 2);
+        assert!(!g.is_empty());
+        assert_eq!(g.names, vec!["b1", "b2"]);
+        assert_eq!(
+            g.drivers[1][0],
+            vec![Driver::Comp(0, 0, Time::from_ps(3.0))]
+        );
+        assert_eq!(g.drivers[0][0], vec![Driver::Input(0, Time::from_ps(2.0))]);
+        assert_eq!(g.input_sinks[0], vec![0]);
+        assert_eq!(g.succs[0], vec![1]);
+        assert_eq!(g.probes.len(), 1);
+        assert_eq!(g.reachable_from_inputs(), vec![true, true]);
+    }
+
+    #[test]
+    fn unreachable_components_are_flagged() {
+        let mut c = Circuit::new();
+        let input = c.input("x");
+        let b1 = c.add(Buffer::new("fed", Time::from_ps(1.0)));
+        let _orphan = c.add(Buffer::new("orphan", Time::from_ps(1.0)));
+        c.connect_input(input, b1.input(0), Time::ZERO).unwrap();
+        let g = CircuitGraph::build(&c);
+        assert_eq!(g.reachable_from_inputs(), vec![true, false]);
+    }
+}

@@ -67,10 +67,12 @@ pub mod circuit;
 pub mod component;
 pub mod engine;
 pub mod error;
+pub mod graph;
 pub mod power;
 pub mod runner;
 pub mod sanitizer;
 pub mod sched;
+pub mod shard;
 pub mod stats;
 pub mod time;
 pub mod trace;
@@ -82,7 +84,9 @@ pub use circuit::{
 pub use component::{BurstStep, Component, Ctx, Hazard, StaticMeta};
 pub use engine::{RunSummary, Simulator};
 pub use error::SimError;
+pub use graph::CircuitGraph;
 pub use runner::Runner;
 pub use sanitizer::{SanitizerConfig, SanitizerReport, Violation, ViolationKind};
 pub use sched::{CalendarWheel, Sched, WheelStats};
+pub use shard::{ShardedSimulator, SHARDS_ENV};
 pub use time::Time;

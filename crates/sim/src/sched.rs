@@ -33,6 +33,17 @@
 //!   wide-time-range workload at `O(n log n)` instead of `O(n²)`:
 //!   migration pops exactly the due prefix instead of rescanning
 //!   everything once per day.
+//! * **Direct-serve credit.** An overflow-resident entry already pays
+//!   one heap pop to migrate into its bucket, so at low density the
+//!   bucket trip only *adds* cost over serving the heap directly.
+//!   When a whole-window jump migrates a sparse batch (under a
+//!   quarter event per bucket), the wheel serves subsequent
+//!   wheel-empty pops straight from the overflow heap — sound because
+//!   an empty bucket array means the heap top *is* the global
+//!   minimum. The credit is sized to a quarter of the backlog,
+//!   clamped to `[64, 4096]`, so a long sparse drain runs at heap
+//!   parity while returning density re-engages the buckets within a
+//!   bounded number of events.
 //! * **Occupancy bitmap.** One bit per bucket lets the cursor jump
 //!   straight to the next non-empty bucket instead of probing empty
 //!   ones — sparse circuits (few pulses in flight, wide spacing) pay
@@ -86,6 +97,16 @@ pub const AUTO_WHEEL_MIN_WIRES: usize = 128;
 /// (one "day") within an L1-resident footprint while covering dozens
 /// of maximum cell delays.
 pub const DEFAULT_BUCKETS: usize = 256;
+
+/// Minimum direct-serve credit granted after a sparse whole-window
+/// jump (see [`MAX_DIRECT_CREDIT`]).
+const MIN_DIRECT_CREDIT: usize = 64;
+
+/// Upper bound on the direct-serve credit. A workload whose density
+/// *returns* re-engages the bucket array after at most this many
+/// heap-served pops instead of degenerating into a permanent binary
+/// heap.
+const MAX_DIRECT_CREDIT: usize = 4_096;
 
 /// Which event queue the [`Simulator`](crate::Simulator) uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -176,6 +197,11 @@ pub struct WheelStats {
     /// Full rebuilds caused by an out-of-order (past-time) insert —
     /// zero in any well-formed simulation.
     pub rebuilds: u64,
+    /// Pops served straight from the overflow heap while the bucket
+    /// array was empty and the workload sparse (see the module docs'
+    /// direct-serve credit). High values mean the wheel is running in
+    /// heap mode because event spacing exceeds its window.
+    pub direct_serves: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -255,8 +281,23 @@ pub struct CalendarWheel<T> {
     /// One bit per bucket: set iff the bucket is non-empty. Lets the
     /// cursor jump over empty buckets in word-sized strides.
     occ: Vec<u64>,
-    /// Entries at or beyond `horizon + day`, min-heap by `(t, seq)`.
+    /// Bucket-eligibility ceiling: entries with `t < bucket_max` route
+    /// to buckets, the rest to the overflow heap. Frozen between
+    /// whole-window jumps (where it resets to `horizon + day`), so
+    /// overflow migration happens in day-sized batches at jumps
+    /// instead of continuously as the cursor advances — that keeps
+    /// `bucket-resident t < bucket_max ≤ overflow t` a hard invariant
+    /// and lets a sparse drain actually empty the bucket array and
+    /// reach the direct-serve path.
+    bucket_max: u64,
+    /// Entries at or beyond `bucket_max`, min-heap by `(t, seq)`.
     overflow: BinaryHeap<Reverse<Entry<T>>>,
+    /// Remaining wheel-empty pops allowed to bypass the bucket array
+    /// and serve the overflow heap directly (granted after a tiny
+    /// migration batch; see [`TINY_MIGRATION`]). Sound because with
+    /// `wheel_len == 0` every live entry is in the overflow heap, so
+    /// its top *is* the global minimum.
+    direct_credit: u32,
     len: usize,
     stats: WheelStats,
 }
@@ -303,9 +344,11 @@ impl<T> CalendarWheel<T> {
         let width = bucket_width.as_fs().next_power_of_two();
         let shift = width.trailing_zeros();
         let n = num_buckets.next_power_of_two().max(2);
+        let day = (n as u64) << shift;
         CalendarWheel {
             shift,
             mask: n - 1,
+            bucket_max: day,
             buckets: (0..n).map(|_| Vec::new()).collect(),
             horizon: 0,
             cur: 0,
@@ -313,6 +356,7 @@ impl<T> CalendarWheel<T> {
             wheel_len: 0,
             occ: vec![0; n.div_ceil(64)],
             overflow: BinaryHeap::new(),
+            direct_credit: 0,
             len: 0,
             stats: WheelStats::default(),
         }
@@ -364,9 +408,11 @@ impl<T> CalendarWheel<T> {
         self.overflow.clear();
         self.occ.fill(0);
         self.horizon = 0;
+        self.bucket_max = self.day();
         self.cur = 0;
         self.active = false;
         self.wheel_len = 0;
+        self.direct_credit = 0;
         self.len = 0;
         self.stats = WheelStats::default();
     }
@@ -427,11 +473,23 @@ impl<T> CalendarWheel<T> {
         }
     }
 
+    /// Whether the next peek/pop may be served straight from the
+    /// overflow heap: the bucket array is empty (so the heap top is
+    /// the global minimum) and a direct-serve credit is outstanding.
+    #[inline]
+    fn direct_mode(&self) -> bool {
+        self.wheel_len == 0 && self.direct_credit > 0
+    }
+
     /// Key of the earliest entry without removing it.
     #[inline]
     pub fn peek(&mut self) -> Option<(Time, u64, &T)> {
         if self.len == 0 {
             return None;
+        }
+        if self.direct_mode() {
+            let e = &self.overflow.peek().expect("overflow holds the events").0;
+            return Some((Time::from_fs(e.t), e.seq, &e.payload));
         }
         self.ensure_active();
         let e = self.buckets[self.cur].last().expect("active bucket filled");
@@ -444,6 +502,9 @@ impl<T> CalendarWheel<T> {
         if self.len == 0 {
             return None;
         }
+        if self.direct_mode() {
+            return Some(self.pop_direct());
+        }
         self.ensure_active();
         let e = self.buckets[self.cur].pop().expect("active bucket filled");
         self.wheel_len -= 1;
@@ -451,12 +512,54 @@ impl<T> CalendarWheel<T> {
         Some((Time::from_fs(e.t), e.seq, e.payload))
     }
 
+    /// Removes and returns the earliest entry *if* its time is at or
+    /// before `deadline`. Fuses the engine's peek-compare-pop sequence
+    /// into one call, saving a second cursor walk per event on the
+    /// hot pulse path.
+    #[inline]
+    pub fn pop_due(&mut self, deadline: Time) -> Option<(Time, u64, T)> {
+        if self.len == 0 {
+            return None;
+        }
+        let d = deadline.as_fs();
+        if self.direct_mode() {
+            if self.overflow.peek().expect("overflow holds the events").0.t > d {
+                return None;
+            }
+            return Some(self.pop_direct());
+        }
+        self.ensure_active();
+        if self.buckets[self.cur]
+            .last()
+            .expect("active bucket filled")
+            .t
+            > d
+        {
+            return None;
+        }
+        let e = self.buckets[self.cur].pop().expect("active bucket filled");
+        self.wheel_len -= 1;
+        self.len -= 1;
+        Some((Time::from_fs(e.t), e.seq, e.payload))
+    }
+
+    /// Serves one entry straight from the overflow heap. Caller must
+    /// hold `direct_mode()`.
+    #[inline]
+    fn pop_direct(&mut self) -> (Time, u64, T) {
+        let Reverse(e) = self.overflow.pop().expect("overflow holds the events");
+        self.direct_credit -= 1;
+        self.len -= 1;
+        self.stats.direct_serves += 1;
+        (Time::from_fs(e.t), e.seq, e.payload)
+    }
+
     /// Routes an entry to its bucket or the overflow level. Does not
     /// touch `len`/stats (shared by `push` and migration/rebuild).
     #[inline]
     fn insert(&mut self, e: Entry<T>) {
         debug_assert!(e.t >= self.horizon);
-        if e.t - self.horizon < self.day() {
+        if e.t < self.bucket_max {
             let b = self.bucket_of(e.t);
             let v = &mut self.buckets[b];
             if self.active && b == self.cur {
@@ -495,16 +598,45 @@ impl<T> CalendarWheel<T> {
             let min = self.overflow.peek().expect("overflow holds the events").0.t;
             self.horizon = min >> self.shift << self.shift;
             self.cur = self.bucket_of(self.horizon);
+            self.bucket_max = self.horizon.saturating_add(self.day());
             self.migrate_due();
+            if self.wheel_len == 0 {
+                // Saturation corner: `horizon + day` clamped at
+                // `u64::MAX` and the minimum sits exactly on the
+                // clamp, so the strict `< bucket_max` migration test
+                // excluded it. Move the minimum by hand; later
+                // entries keep draining through here one jump at a
+                // time.
+                let Reverse(e) = self.overflow.pop().expect("overflow holds the events");
+                let b = self.bucket_of(e.t);
+                self.buckets[b].push(e);
+                self.wheel_len += 1;
+                self.mark_occupied(b);
+            }
+            // A sparse migration batch (density below a quarter event
+            // per bucket) means most of the wheel machinery is wasted:
+            // an overflow-resident entry already pays one heap pop to
+            // migrate, so routing it through a bucket only *adds*
+            // cost. Grant a bounded run of direct overflow serves
+            // (taken in `peek`/`pop`/`pop_due` once these migrated
+            // entries drain), sized to a quarter of the backlog so a
+            // large sparse drain re-checks density only a handful of
+            // times, and clamped so returning density re-engages the
+            // buckets within [`MAX_DIRECT_CREDIT`] events.
+            if self.wheel_len < (self.mask + 1) / 4 {
+                self.direct_credit =
+                    (self.overflow.len() / 4).clamp(MIN_DIRECT_CREDIT, MAX_DIRECT_CREDIT) as u32;
+            }
         } else if self.buckets[self.cur].is_empty() {
             // Jump straight to the next occupied bucket. Every
             // bucket-resident entry precedes every overflow entry
-            // (`t < horizon + day` vs `t ≥ horizon + day`), so no
-            // overflow entry can become due strictly before it.
+            // (`t < bucket_max` vs `t ≥ bucket_max`), so no overflow
+            // entry can become due strictly before it — and since
+            // `bucket_max` is frozen until the array empties, nothing
+            // needs to migrate here.
             let steps = self.steps_to_occupied(self.cur);
             self.cur = (self.cur + steps) & self.mask;
             self.horizon += (steps as u64) << self.shift;
-            self.migrate_due();
         }
         // Sort descending so pops are `Vec::pop` from the tail. Keys
         // are unique (unique `seq`), so unstable sort is deterministic.
@@ -518,13 +650,13 @@ impl<T> CalendarWheel<T> {
     }
 
     /// Pulls the due prefix of the overflow heap — every entry now
-    /// inside the window — into its bucket. Cheap (one peek) when
-    /// nothing is due.
+    /// below `bucket_max` — into its bucket. Cheap (one peek) when
+    /// nothing is due. Only called from the whole-window jump, right
+    /// after `bucket_max` is re-based to `horizon + day`.
     fn migrate_due(&mut self) {
-        let day = self.day();
         let mut moved = false;
         while let Some(Reverse(top)) = self.overflow.peek() {
-            if top.t - self.horizon >= day {
+            if top.t >= self.bucket_max {
                 break;
             }
             let Reverse(e) = self.overflow.pop().expect("peeked entry");
@@ -554,8 +686,10 @@ impl<T> CalendarWheel<T> {
         self.occ.fill(0);
         self.active = false;
         self.wheel_len = 0;
+        self.direct_credit = 0;
         self.horizon = t >> self.shift << self.shift;
         self.cur = self.bucket_of(self.horizon);
+        self.bucket_max = self.horizon.saturating_add(self.day());
         for e in all {
             self.insert(e);
         }
@@ -672,6 +806,88 @@ mod tests {
         assert_eq!(q.pop().unwrap().1, 2);
         assert_eq!(q.pop().unwrap().1, 0);
         assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn sparse_drain_takes_the_direct_serve_path() {
+        // Window = 1 ps × 8 buckets = 8 ps; events 100 ps apart, so
+        // every whole-window jump migrates exactly one entry and the
+        // wheel should fall back to serving the overflow heap.
+        let mut q = CalendarWheel::with_params(Time::from_ps(1.0), 8);
+        for i in 0..200u64 {
+            q.push(Time::from_fs(i * 100_000), i, i as u32);
+        }
+        let out = drain(&mut q);
+        assert_eq!(out.len(), 200);
+        assert!(out.windows(2).all(|w| w[0] < w[1]), "pops stay sorted");
+        assert!(
+            q.stats().direct_serves > 100,
+            "sparse drain should be overflow-served: {:?}",
+            q.stats()
+        );
+    }
+
+    #[test]
+    fn density_returning_reengages_the_buckets() {
+        let mut q = CalendarWheel::with_params(Time::from_ps(1.0), 8);
+        // Sparse prefix drives the wheel into direct-serve mode...
+        for i in 0..40u64 {
+            q.push(Time::from_fs(i * 100_000), i, 0);
+        }
+        for _ in 0..20 {
+            q.pop().unwrap();
+        }
+        assert!(q.stats().direct_serves > 0, "{:?}", q.stats());
+        // ...then a dense burst beyond the already-popped region must
+        // still drain in order, through the bucket array again.
+        let base = 100 * 100_000;
+        for i in 0..500u64 {
+            q.push(Time::from_fs(base + i * 100), 1_000 + i, 1);
+        }
+        let out = drain(&mut q);
+        assert_eq!(out.len(), 20 + 500);
+        assert!(
+            out.windows(2).all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1)),
+            "pops stay sorted across the mode switch"
+        );
+        let after_burst = q.stats();
+        // The credit is bounded: the dense tail cannot all have been
+        // heap-served.
+        assert!(after_burst.direct_serves < (20 + 500), "{after_burst:?}");
+    }
+
+    #[test]
+    fn pop_due_matches_peek_then_pop() {
+        let mut fused = CalendarWheel::with_params(Time::from_ps(1.0), 8);
+        let mut split = CalendarWheel::with_params(Time::from_ps(1.0), 8);
+        let mut rng = 0x5EEDu64;
+        let mut t = 0u64;
+        for seq in 0..600u64 {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            t += rng % 30_000;
+            fused.push(Time::from_fs(t), seq, seq as u32);
+            split.push(Time::from_fs(t), seq, seq as u32);
+        }
+        // Sweep a deadline forward; at each step both queues must
+        // yield the identical due prefix and then identically refuse.
+        let mut deadline = 0u64;
+        while !fused.is_empty() {
+            deadline += 50_000;
+            let d = Time::from_fs(deadline);
+            loop {
+                let due = matches!(split.peek(), Some((pt, _, _)) if pt <= d);
+                let reference = if due { split.pop() } else { None };
+                let got = fused.pop_due(d);
+                assert_eq!(got, reference, "deadline {deadline}");
+                if got.is_none() {
+                    break;
+                }
+            }
+        }
+        assert!(split.is_empty());
+        assert_eq!(fused.pop_due(Time::MAX), None);
     }
 
     #[test]

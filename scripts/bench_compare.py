@@ -19,7 +19,16 @@ that exist in the baseline and vanish from the current run fail the
 gate — silently dropping a kernel is how regressions hide. A renamed
 or retired kernel must update BENCH_kernel.json in the same commit.
 
-Exit status: 0 on pass (warnings allowed), 1 on any hard regression.
+Provenance must be like-for-like: the threads, sched, and shards
+settings recorded in each snapshot must agree, or every per-key delta
+is comparing different machines' worth of work and the gate is
+meaningless. A mismatch is a hard failure, not a note. (The
+`kernel/shard/*` keys pin their shard count in the key itself and are
+immune to the `shards` default; the top-level field gates everything
+else, which runs under the default `USFQ_SHARDS`.)
+
+Exit status: 0 on pass (warnings allowed), 1 on any hard regression
+or provenance mismatch.
 
 Thresholds are deliberately loose (shared CI runners are noisy) and
 overridable via env: USFQ_BENCH_FAIL_PCT / USFQ_BENCH_WARN_PCT.
@@ -53,12 +62,18 @@ def main():
     for label, snap in (("baseline", base_snap), ("current", cur_snap)):
         print(
             f"{label}: commit={snap.get('commit', '?')} "
-            f"threads={snap.get('threads', '?')} sched={snap.get('sched', '?')}"
+            f"threads={snap.get('threads', '?')} sched={snap.get('sched', '?')} "
+            f"shards={snap.get('shards', 1)}"
         )
-    if base_snap.get("threads") != cur_snap.get("threads") or base_snap.get(
-        "sched"
-    ) != cur_snap.get("sched"):
-        print("note: snapshots were taken under different threads/sched settings")
+    provenance_failures = []
+    for field, default in (("threads", None), ("sched", None), ("shards", 1)):
+        before, after = base_snap.get(field, default), cur_snap.get(field, default)
+        if before != after:
+            provenance_failures.append(
+                f"provenance mismatch: {field}={before} (baseline) vs {after} (current)"
+            )
+    for line in provenance_failures:
+        print(f"FAIL {line}")
 
     only_base = sorted(set(base) - set(cur))
     only_cur = sorted(set(cur) - set(base))
@@ -67,7 +82,7 @@ def main():
     for key in only_cur:
         print(f"  ok new benchmark (not in baseline): {key}")
 
-    failures = [f"missing: {key}" for key in only_base]
+    failures = provenance_failures + [f"missing: {key}" for key in only_base]
     warnings = []
     for key in sorted(set(base) & set(cur)):
         if "min_ns" in base[key] and "min_ns" in cur[key]:
@@ -89,8 +104,9 @@ def main():
             print(f"  ok {line}")
 
     print(
-        f"\n{len(failures)} hard failure(s) (regression over {FAIL_PCT:.0f}% "
-        f"or missing baseline key), {len(warnings)} warning(s) over {WARN_PCT:.0f}%"
+        f"\n{len(failures)} hard failure(s) (regression over {FAIL_PCT:.0f}%, "
+        f"missing baseline key, or provenance mismatch), "
+        f"{len(warnings)} warning(s) over {WARN_PCT:.0f}%"
     )
     if failures:
         sys.exit(1)

@@ -5,8 +5,12 @@
 # the snapshot is regenerable in offline build environments) and writes
 # one machine-readable file recording, alongside each kernel's
 # median/mean nanoseconds, the provenance needed to compare runs
-# honestly: the git commit, the resolved worker-thread count, and the
-# default event-scheduler variant in force.
+# honestly: the git commit, the resolved worker-thread count, the
+# default event-scheduler variant, and the default shard count
+# (USFQ_SHARDS) in force. bench_compare.py hard-fails on any
+# provenance mismatch so snapshots are only ever compared
+# like-for-like; the kernel/shard/* entries pin their shard count in
+# the key itself and sweep 1/2/4/8 shards regardless of the default.
 #
 #   ./scripts/bench_snapshot.sh             # writes BENCH_kernel.json
 #   OUT=/tmp/after.json ./scripts/bench_snapshot.sh
