@@ -10,10 +10,10 @@ fn bench_pe(c: &mut Criterion) {
     let epoch = Epoch::with_slot(6, usfq_cells::catalog::t_bff()).unwrap();
     let pe = ProcessingElement::new(epoch);
     group.bench_function("structural", |b| {
-        b.iter(|| pe.mac(0.5, 0.75, 0.25).unwrap())
+        b.iter(|| pe.mac(0.5, 0.75, 0.25).unwrap());
     });
     group.bench_function("functional", |b| {
-        b.iter(|| pe.mac_functional(0.5, 0.75, 0.25).unwrap())
+        b.iter(|| pe.mac_functional(0.5, 0.75, 0.25).unwrap());
     });
     group.finish();
 }
@@ -30,11 +30,11 @@ fn bench_dpu(c: &mut Criterion) {
             .map(|i| ((i * 5 % 11) as f64 - 5.0) / 5.0)
             .collect();
         group.bench_with_input(BenchmarkId::new("functional", lanes), &lanes, |bench, _| {
-            bench.iter(|| dpu.dot_functional(&a, &b).unwrap())
+            bench.iter(|| dpu.dot_functional(&a, &b).unwrap());
         });
         if lanes <= 8 {
             group.bench_with_input(BenchmarkId::new("structural", lanes), &lanes, |bench, _| {
-                bench.iter(|| dpu.dot(&a, &b).unwrap())
+                bench.iter(|| dpu.dot(&a, &b).unwrap());
             });
         }
     }
@@ -48,7 +48,7 @@ fn bench_monolithic_dpu(c: &mut Criterion) {
     let a = [0.5, -0.25, 0.75, -1.0];
     let b = [0.25, 0.5, -0.5, 0.125];
     group.bench_function("one_circuit_4x5b", |bench| {
-        bench.iter(|| dpu.dot_monolithic(&a, &b).unwrap())
+        bench.iter(|| dpu.dot_monolithic(&a, &b).unwrap());
     });
     group.finish();
 }
@@ -63,7 +63,7 @@ fn bench_structural_fir(c: &mut Criterion) {
         bench.iter(|| {
             let mut fir = StructuralFir::new(&coeffs, 5).unwrap();
             fir.filter(&input).unwrap()
-        })
+        });
     });
     group.finish();
 }
@@ -80,7 +80,7 @@ fn bench_fir(c: &mut Criterion) {
                 bench.iter(|| {
                     let mut fir = UsfqFir::new(&coeffs, bits).unwrap();
                     fir.filter(&input).unwrap()
-                })
+                });
             },
         );
         group.bench_with_input(
@@ -90,7 +90,7 @@ fn bench_fir(c: &mut Criterion) {
                 bench.iter(|| {
                     let mut fir = usfq_baseline::datapath::BinaryFir::new(&coeffs, bits);
                     fir.filter(&input)
-                })
+                });
             },
         );
     }

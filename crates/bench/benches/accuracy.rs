@@ -32,7 +32,7 @@ fn bench_snr_experiment(c: &mut Criterion) {
                         .unwrap();
                     let y = fir.filter(&x).unwrap();
                     metrics::tone_snr(&y, 1_000.0, fs)
-                })
+                });
             },
         );
         group.bench_with_input(
@@ -43,7 +43,7 @@ fn bench_snr_experiment(c: &mut Criterion) {
                     let mut fir = BinaryFir::new(&h, 12).with_bit_flips(rate, 1);
                     let y = fir.filter(&x);
                     metrics::tone_snr(&y, 1_000.0, fs)
-                })
+                });
             },
         );
     }

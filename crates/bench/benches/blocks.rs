@@ -11,10 +11,10 @@ fn bench_multiplier(c: &mut Criterion) {
         let epoch = Epoch::from_bits(bits).unwrap();
         let mult = UnipolarMultiplier::new(epoch);
         group.bench_with_input(BenchmarkId::new("structural", bits), &bits, |b, _| {
-            b.iter(|| mult.multiply(0.75, 0.5).unwrap())
+            b.iter(|| mult.multiply(0.75, 0.5).unwrap());
         });
         group.bench_with_input(BenchmarkId::new("functional", bits), &bits, |b, _| {
-            b.iter(|| mult.multiply_functional(0.75, 0.5).unwrap())
+            b.iter(|| mult.multiply_functional(0.75, 0.5).unwrap());
         });
     }
     group.finish();
@@ -26,10 +26,10 @@ fn bench_bipolar(c: &mut Criterion) {
         let epoch = Epoch::from_bits(bits).unwrap();
         let mult = BipolarMultiplier::new(epoch);
         group.bench_with_input(BenchmarkId::new("structural", bits), &bits, |b, _| {
-            b.iter(|| mult.multiply(-0.5, 0.75).unwrap())
+            b.iter(|| mult.multiply(-0.5, 0.75).unwrap());
         });
         group.bench_with_input(BenchmarkId::new("functional", bits), &bits, |b, _| {
-            b.iter(|| mult.multiply_functional(-0.5, 0.75).unwrap())
+            b.iter(|| mult.multiply_functional(-0.5, 0.75).unwrap());
         });
     }
     group.finish();
@@ -42,10 +42,10 @@ fn bench_adders(c: &mut Criterion) {
     let b = PulseStream::from_unipolar(0.5, epoch).unwrap();
     let adder = BalancerAdder::new(epoch);
     group.bench_function("balancer_structural", |bench| {
-        bench.iter(|| adder.add(a, b).unwrap())
+        bench.iter(|| adder.add(a, b).unwrap());
     });
     group.bench_function("balancer_functional", |bench| {
-        bench.iter(|| adder.add_functional(a, b).unwrap())
+        bench.iter(|| adder.add_functional(a, b).unwrap());
     });
     for &width in &[8usize, 32] {
         let net = CountingNetwork::new(epoch, width).unwrap();

@@ -49,6 +49,7 @@ use usfq_bench::kernels::{
     fabric_stimulus, next_rand,
 };
 use usfq_core::netlists::shipped_netlists;
+use usfq_lint::{fix_to_fixpoint, slack_report, FixOptions, LintConfig};
 use usfq_sim::{CalendarWheel, Runner, Sched, ShardedSimulator, Simulator, Time, SHARDS_ENV};
 
 /// One measured kernel: warm up with one full batch, then sample
@@ -285,6 +286,50 @@ fn main() {
                  balance bound {:.2}x",
                 total as f64 / max as f64
             );
+        }
+    }
+
+    // The timing-closure group: full slack/critical-path analysis and
+    // one lint→repair→re-lint round over the same ~10⁵-cell fabric the
+    // shard group measures. These pin the closure engine's fabric-scale
+    // promise — slack plus one fix iteration inside the CI budget. The
+    // fabric's engine-level fan-out nets (its crosslinks) are exactly
+    // the defect class `--fix` discharges with splitter trees, so the
+    // repair round does representative work, not a no-op.
+    {
+        let fab = fabric(64, 1_563, 0xFAB);
+        let cfg = LintConfig {
+            input_window: Time::from_ps(10.0),
+            epoch_budget: Some(Time::from_ns(8.0)),
+            ..LintConfig::default()
+        };
+        let n_probes = fab.probes.len();
+        {
+            let proto = fab.circuit.clone();
+            let cfg = cfg.clone();
+            results.push(Measurement::run(
+                "kernel/lint/fabric_100k/slack",
+                3,
+                move || {
+                    let report = slack_report(&proto, &cfg);
+                    assert_eq!(report.endpoints.len(), n_probes);
+                    assert!(report.worst_slack_fs.is_some());
+                },
+            ));
+        }
+        {
+            let opts = FixOptions {
+                max_iterations: 1,
+                allow_budget_extension: false,
+            };
+            results.push(Measurement::run(
+                "kernel/lint/fabric_100k/fix1",
+                3,
+                move || {
+                    let (_, outcome) = fix_to_fixpoint(&fab.circuit, "fabric-100k", &cfg, &opts);
+                    assert!(!outcome.applied.is_empty());
+                },
+            ));
         }
     }
 

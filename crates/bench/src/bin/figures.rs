@@ -31,13 +31,14 @@ fn main() -> ExitCode {
                 }
                 return ExitCode::SUCCESS;
             }
-            "--json" => match iter.next() {
-                Some(dir) => json_dir = Some(PathBuf::from(dir)),
-                None => {
+            "--json" => {
+                if let Some(dir) = iter.next() {
+                    json_dir = Some(PathBuf::from(dir));
+                } else {
                     eprintln!("--json requires a directory argument");
                     return ExitCode::FAILURE;
                 }
-            },
+            }
             "--threads" => match iter.next().and_then(|n| n.parse::<usize>().ok()) {
                 // Experiments size their Runner from the environment;
                 // setting the variable here makes the flag reach every
@@ -77,7 +78,7 @@ fn main() -> ExitCode {
         if let Some(dir) = &json_dir {
             if let Some(json) = json_series(id) {
                 if let Err(e) = fs::create_dir_all(dir)
-                    .and_then(|_| fs::write(dir.join(format!("{id}.json")), json))
+                    .and_then(|()| fs::write(dir.join(format!("{id}.json")), json))
                 {
                     eprintln!("failed to write {id}.json: {e}");
                     return ExitCode::FAILURE;

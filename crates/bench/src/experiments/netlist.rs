@@ -66,7 +66,7 @@ pub fn render() -> String {
     }
     let rows: Vec<Vec<String>> = kinds
         .iter()
-        .map(|(kind, (count, jj))| vec![kind.to_string(), count.to_string(), jj.to_string()])
+        .map(|(kind, (count, jj))| vec![(*kind).to_string(), count.to_string(), jj.to_string()])
         .collect();
     let mut out = format!(
         "4-lane U-SFQ DPU netlist — {} cells, {} JJs total\n\n",

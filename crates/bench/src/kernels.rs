@@ -363,7 +363,12 @@ fn fingerprint_of(sim: &Simulator, netlist: &BuiltNetlist) -> TrialFingerprint {
             .collect(),
         violations: sim
             .sanitizer_report()
-            .map(|r| r.violations.iter().map(|v| v.to_string()).collect())
+            .map(|r| {
+                r.violations
+                    .iter()
+                    .map(std::string::ToString::to_string)
+                    .collect()
+            })
             .unwrap_or_default(),
     }
 }

@@ -21,7 +21,7 @@ pub fn table(header: &[&str], rows: &[Vec<String>]) -> String {
     };
     line(
         &mut out,
-        &header.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        &header.iter().map(|s| (*s).to_string()).collect::<Vec<_>>(),
     );
     let total: usize = widths.iter().sum::<usize>() + 2 * cols;
     let _ = writeln!(out, "{}", "-".repeat(total));

@@ -65,7 +65,12 @@ fn sequential_fingerprint(
     let summary = sim.run().unwrap();
     let mut violations: Vec<String> = sim
         .sanitizer_report()
-        .map(|r| r.violations.iter().map(|v| v.to_string()).collect())
+        .map(|r| {
+            r.violations
+                .iter()
+                .map(std::string::ToString::to_string)
+                .collect()
+        })
         .unwrap_or_default();
     violations.sort();
     let activity = sim.activity();

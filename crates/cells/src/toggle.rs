@@ -53,7 +53,7 @@ impl Component for Tff {
     fn step_burst(&mut self, _port: usize, burst: &Burst, ctx: &mut Ctx) -> BurstStep {
         // Pulse k of the train emits iff the state *before* it is high,
         // i.e. at even offsets when already toggled, odd otherwise.
-        let off = if self.state { 0 } else { 1 };
+        let off = u64::from(!self.state);
         ctx.emit_burst(Self::OUT, burst.decimate(off, 2).delayed(self.delay));
         if burst.count() % 2 == 1 {
             self.state = !self.state;

@@ -45,5 +45,6 @@ pub mod blocks;
 mod error;
 pub mod model;
 pub mod netlists;
+pub mod repair;
 
 pub use error::CoreError;

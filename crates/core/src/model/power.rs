@@ -106,7 +106,7 @@ mod tests {
         let mut max: f64 = 0.0;
         for &a in &[-1.0, 0.0, 1.0] {
             for i in 0..=20 {
-                let b = -1.0 + 0.1 * i as f64;
+                let b = -1.0 + 0.1 * f64::from(i);
                 let p = bipolar_multiplier_active_w(8, a, b);
                 min = min.min(p);
                 max = max.max(p);

@@ -1,19 +1,35 @@
-//! Lints every shipped U-SFQ structural netlist (or a named subset).
+//! Lints every shipped U-SFQ structural netlist (or a named subset),
+//! optionally repairing findings to a timing-closed fixpoint.
 //!
 //! ```text
-//! usfq-lint [--format text|json|sarif] [--deny-warnings] [NETLIST...]
+//! usfq-lint [--format text|json|sarif] [--deny-warnings]
+//!           [--fix [--fix-iters N] [--strict-budget] [--keep-waivers]]
+//!           [NETLIST...]
 //! ```
 //!
 //! Exit codes: `0` — clean (info-only findings allowed); `1` —
-//! error-severity findings (or bad usage); `2` — warning-severity
-//! findings under `--deny-warnings`. `--json` is kept as an alias for
-//! `--format json`.
+//! error-severity findings, a non-converging `--fix` run, or bad
+//! usage; `2` — warning-severity findings under `--deny-warnings`.
+//! `--json` is kept as an alias for `--format json`.
+//!
+//! `--fix` repairs each netlist in memory (JTL path-balancing chains,
+//! splitter trees) and re-lints to a fixpoint. Timing waivers
+//! (`USFQ006`–`USFQ008`) are stripped first so acknowledged hazards are
+//! actually repaired — keep them with `--keep-waivers`. When only the
+//! epoch envelope stands between the repaired netlist and a clean
+//! report, the envelope is extended and reported; `--strict-budget`
+//! turns that into a failure instead. Netlists repair in parallel
+//! (`USFQ_THREADS` controls the worker count).
 
 use std::io::Write;
 use std::process::ExitCode;
 
 use usfq_core::netlists::shipped_netlists;
-use usfq_lint::{lint_netlist, to_sarif, Severity};
+use usfq_lint::{
+    fix_to_fixpoint, lint_config_for, lint_netlist, to_sarif, FixOptions, FixOutcome, LintReport,
+    Severity,
+};
+use usfq_sim::Runner;
 
 /// Exit code for warnings rejected by `--deny-warnings`.
 const EXIT_DENIED_WARNINGS: u8 = 2;
@@ -35,7 +51,9 @@ fn emit(text: &str) {
 
 fn usage() -> String {
     let mut usage = String::from(
-        "usage: usfq-lint [--format text|json|sarif] [--deny-warnings] [NETLIST...]\n",
+        "usage: usfq-lint [--format text|json|sarif] [--deny-warnings]\n\
+         \x20                [--fix [--fix-iters N] [--strict-budget] [--keep-waivers]]\n\
+         \x20                [NETLIST...]\n",
     );
     usage.push_str("\nshipped netlists:\n");
     for nl in shipped_netlists() {
@@ -44,9 +62,74 @@ fn usage() -> String {
     usage
 }
 
+fn render_fix_text(name: &str, outcome: &FixOutcome) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let verdict = if outcome.converged {
+        "converged"
+    } else {
+        "DID NOT CONVERGE"
+    };
+    let _ = write!(
+        out,
+        "{name}: {verdict} after {} iteration(s), {} fix(es), +{} JJ",
+        outcome.iterations,
+        outcome.applied.len(),
+        outcome.added_jj
+    );
+    if let Some(budget) = outcome.extended_budget {
+        let _ = write!(out, ", epoch budget extended to {:.1} ps", budget.as_ps());
+    }
+    if let Some(end) = outcome.extended_epoch_end {
+        let _ = write!(out, ", rl epoch end extended to {:.1} ps", end.as_ps());
+    }
+    out.push('\n');
+    for fix in &outcome.applied {
+        let _ = writeln!(out, "  applied: {}", fix.to_directive());
+    }
+    for d in &outcome.irreducible {
+        let _ = writeln!(out, "  irreducible: {d}");
+    }
+    out
+}
+
+fn render_fix_json(name: &str, outcome: &FixOutcome) -> String {
+    use std::fmt::Write as _;
+    // Directives and netlist names contain no characters needing JSON
+    // escapes beyond what the report renderer already guarantees.
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"netlist\":\"{name}\",\"converged\":{},\"iterations\":{},\
+         \"added_jj\":{},\"extended_budget_ps\":",
+        outcome.converged, outcome.iterations, outcome.added_jj
+    );
+    match outcome.extended_budget {
+        Some(b) => {
+            let _ = write!(out, "{:.3}", b.as_ps());
+        }
+        None => out.push_str("null"),
+    }
+    out.push_str(",\"applied\":[");
+    for (i, fix) in outcome.applied.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\"", fix.to_directive());
+    }
+    out.push_str("],\"report\":");
+    out.push_str(&outcome.report.to_json());
+    out.push('}');
+    out
+}
+
 fn main() -> ExitCode {
     let mut format = Format::Text;
     let mut deny_warnings = false;
+    let mut fix = false;
+    let mut strict_budget = false;
+    let mut keep_waivers = false;
+    let mut fix_iters: Option<usize> = None;
     let mut names: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -67,12 +150,28 @@ fn main() -> ExitCode {
                 };
             }
             "--deny-warnings" => deny_warnings = true,
+            "--fix" => fix = true,
+            "--strict-budget" => strict_budget = true,
+            "--keep-waivers" => keep_waivers = true,
+            "--fix-iters" => {
+                fix_iters = match args.next().as_deref().map(str::parse) {
+                    Some(Ok(n)) if n > 0 => Some(n),
+                    _ => {
+                        eprintln!("usfq-lint: --fix-iters expects a positive integer");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
             "--help" | "-h" => {
                 emit(&usage());
                 return ExitCode::SUCCESS;
             }
             other => names.push(other.to_string()),
         }
+    }
+    if (strict_budget || keep_waivers || fix_iters.is_some()) && !fix {
+        eprintln!("usfq-lint: --strict-budget/--keep-waivers/--fix-iters require --fix");
+        return ExitCode::FAILURE;
     }
 
     let catalogue = shipped_netlists();
@@ -82,13 +181,58 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    let selected: Vec<_> = catalogue
+        .into_iter()
+        .filter(|nl| names.is_empty() || names.iter().any(|n| n == nl.name))
+        .collect();
+
+    if fix {
+        let opts = FixOptions {
+            max_iterations: fix_iters.unwrap_or(FixOptions::default().max_iterations),
+            allow_budget_extension: !strict_budget,
+        };
+        // Netlists repair independently; Runner keeps outcomes in
+        // catalogue order so output and exit codes are deterministic.
+        let outcomes: Vec<(String, FixOutcome)> = Runner::from_env().map(&selected, |_, nl| {
+            let cfg = if keep_waivers {
+                lint_config_for(nl)
+            } else {
+                lint_config_for(nl).without_timing_waivers()
+            };
+            let (_, outcome) = fix_to_fixpoint(&nl.circuit, nl.name, &cfg, &opts);
+            (nl.name.to_string(), outcome)
+        });
+
+        match format {
+            Format::Text => {
+                for (name, outcome) in &outcomes {
+                    emit(&render_fix_text(name, outcome));
+                }
+            }
+            Format::Json => {
+                let parts: Vec<String> = outcomes
+                    .iter()
+                    .map(|(name, o)| render_fix_json(name, o))
+                    .collect();
+                emit(&format!("[{}]\n", parts.join(",")));
+            }
+            Format::Sarif => {
+                let reports: Vec<LintReport> =
+                    outcomes.iter().map(|(_, o)| o.report.clone()).collect();
+                emit(&to_sarif(&reports));
+                emit("\n");
+            }
+        }
+        return if outcomes.iter().all(|(_, o)| o.converged) {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
 
     let mut worst: Option<Severity> = None;
     let mut reports = Vec::new();
-    for netlist in &catalogue {
-        if !names.is_empty() && !names.iter().any(|n| n == netlist.name) {
-            continue;
-        }
+    for netlist in &selected {
         let report = lint_netlist(netlist);
         worst = worst.max(report.worst_severity());
         reports.push(report);
@@ -101,7 +245,7 @@ fn main() -> ExitCode {
             }
         }
         Format::Json => {
-            let parts: Vec<String> = reports.iter().map(|r| r.to_json()).collect();
+            let parts: Vec<String> = reports.iter().map(usfq_lint::LintReport::to_json).collect();
             emit(&format!("[{}]\n", parts.join(",")));
         }
         Format::Sarif => {

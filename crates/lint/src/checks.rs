@@ -2,29 +2,44 @@
 //! cycle detection, and JJ accounting.
 
 use usfq_cells::catalog::jj_for_kind;
+use usfq_sim::graph::CircuitGraph as Graph;
 use usfq_sim::{Circuit, ProbeSource};
 
 use crate::diag::{Code, Diagnostic};
-use crate::graph::Graph;
+use crate::fix::{Fix, FixSource};
 
 /// USFQ001 — every output net (component output or external input) must
 /// drive at most one sink; physical fan-out needs explicit splitters.
 pub(crate) fn fanout(circuit: &Circuit, diags: &mut Vec<Diagnostic>) {
     for overflow in circuit.fanout_overflows() {
-        let what = if overflow.comp.is_some() {
-            format!("output {} of the component", overflow.port)
+        let (what, source) = if overflow.comp.is_some() {
+            (
+                format!("output {} of the component", overflow.port),
+                FixSource::Output {
+                    component: overflow.name.clone(),
+                    port: overflow.port,
+                },
+            )
         } else {
-            "the external input".to_string()
+            (
+                "the external input".to_string(),
+                FixSource::Input {
+                    name: overflow.name.clone(),
+                },
+            )
         };
-        diags.push(Diagnostic::new(
-            Code::FanoutViolation,
-            Some(overflow.name.clone()),
-            format!(
-                "{what} drives {} sinks; a physical SFQ output drives exactly \
-                 one — insert a splitter tree",
-                overflow.sinks
-            ),
-        ));
+        diags.push(
+            Diagnostic::new(
+                Code::FanoutViolation,
+                Some(overflow.name.clone()),
+                format!(
+                    "{what} drives {} sinks; a physical SFQ output drives exactly \
+                     one — insert a splitter tree",
+                    overflow.sinks
+                ),
+            )
+            .with_fix(Fix::SplitterTree { source }),
+        );
     }
 }
 

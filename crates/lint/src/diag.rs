@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use crate::fix::Fix;
+
 /// Every check the analyzer performs, with a stable `USFQxxx` code.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[non_exhaustive]
@@ -52,6 +54,15 @@ pub enum Code {
     /// passthrough interconnect) into ports requiring conflicting
     /// domains, coupling consumers that disagree on the encoding.
     ConflictingFanout,
+    /// `USFQ017` — informational critical-path report: one of the K
+    /// worst-slack probe endpoints, with its slack against the epoch
+    /// budget and the argmax-arrival path back to an external input.
+    CriticalPath,
+    /// `USFQ018` — a suggested repair needs more padding than the
+    /// repaired component has downstream slack, so applying it forces
+    /// the epoch budget to stretch (timing closure at an area *and*
+    /// latency cost).
+    SlackDeficit,
 }
 
 impl Code {
@@ -74,10 +85,12 @@ impl Code {
             Code::UnconsumedOutput => "USFQ014",
             Code::RacePastEpoch => "USFQ015",
             Code::ConflictingFanout => "USFQ016",
+            Code::CriticalPath => "USFQ017",
+            Code::SlackDeficit => "USFQ018",
         }
     }
 
-    /// Every code, in `USFQ001..=USFQ016` order (SARIF rule inventory).
+    /// Every code, in `USFQ001..=USFQ018` order (SARIF rule inventory).
     pub fn all() -> &'static [Code] {
         &[
             Code::FanoutViolation,
@@ -96,6 +109,8 @@ impl Code {
             Code::UnconsumedOutput,
             Code::RacePastEpoch,
             Code::ConflictingFanout,
+            Code::CriticalPath,
+            Code::SlackDeficit,
         ]
     }
 
@@ -118,6 +133,8 @@ impl Code {
             Code::UnconsumedOutput => "no output of this component is wired or probed",
             Code::RacePastEpoch => "race-logic arrival can land past the epoch end",
             Code::ConflictingFanout => "stateful cell fans out into conflicting domains",
+            Code::CriticalPath => "worst-slack critical path to this probe endpoint",
+            Code::SlackDeficit => "suggested repair exceeds the downstream slack",
         }
     }
 
@@ -137,8 +154,9 @@ impl Code {
             | Code::CountOverflow
             | Code::DeadCell
             | Code::UnconsumedOutput
-            | Code::RacePastEpoch => Severity::Warning,
-            Code::TimingSkipped => Severity::Info,
+            | Code::RacePastEpoch
+            | Code::SlackDeficit => Severity::Warning,
+            Code::TimingSkipped | Code::CriticalPath => Severity::Info,
         }
     }
 }
@@ -190,6 +208,10 @@ pub struct Diagnostic {
     pub component: Option<String>,
     /// Human-readable explanation.
     pub message: String,
+    /// A machine-applicable repair, when the finding has a mechanical
+    /// remedy. Serialized into SARIF `fixes` and applied by
+    /// `usfq-lint --fix`.
+    pub fix: Option<Fix>,
 }
 
 impl Diagnostic {
@@ -200,7 +222,14 @@ impl Diagnostic {
             severity: code.severity(),
             component,
             message: message.into(),
+            fix: None,
         }
+    }
+
+    /// Attaches a machine-applicable repair.
+    pub fn with_fix(mut self, fix: Fix) -> Self {
+        self.fix = Some(fix);
+        self
     }
 
     /// Downgrades the finding to [`Severity::Info`], marking it as
@@ -225,7 +254,11 @@ impl fmt::Display for Diagnostic {
         if let Some(c) = &self.component {
             write!(f, " `{c}`")?;
         }
-        write!(f, ": {}", self.message)
+        write!(f, ": {}", self.message)?;
+        if let Some(fix) = &self.fix {
+            write!(f, " [fix: {}]", fix.to_directive())?;
+        }
+        Ok(())
     }
 }
 
@@ -334,7 +367,14 @@ impl LintReport {
                 }
                 None => out.push_str("null"),
             }
-            let _ = write!(out, ",\"message\":\"{}\"}}", escape_json(&d.message));
+            let _ = write!(out, ",\"message\":\"{}\",\"fix\":", escape_json(&d.message));
+            match &d.fix {
+                Some(fix) => {
+                    let _ = write!(out, "\"{}\"", escape_json(&fix.to_directive()));
+                }
+                None => out.push_str("null"),
+            }
+            out.push('}');
         }
         out.push_str("]}");
         out
@@ -393,12 +433,32 @@ pub fn to_sarif(reports: &[LintReport]) -> String {
                 "{{\"ruleId\":\"{}\",\"level\":\"{}\",\
                  \"message\":{{\"text\":\"{}\"}},\
                  \"locations\":[{{\"logicalLocations\":[{{\
-                 \"fullyQualifiedName\":\"{}\"}}]}}]}}",
+                 \"fullyQualifiedName\":\"{}\"}}]}}]",
                 d.code,
                 sarif_level(d.severity),
                 escape_json(&d.message),
                 escape_json(&location)
             );
+            // Machine-applicable repairs ride along as SARIF fixes: the
+            // netlist is not a text artifact, so the "replacement" is an
+            // insertion of the repair directive at a synthetic location
+            // in a `usfq-netlist:` URI. `fixes_from_sarif` reverses this.
+            if let Some(fix) = &d.fix {
+                let _ = write!(
+                    out,
+                    ",\"fixes\":[{{\"description\":{{\"text\":\"{}\"}},\
+                     \"artifactChanges\":[{{\
+                     \"artifactLocation\":{{\"uri\":\"usfq-netlist:{}\"}},\
+                     \"replacements\":[{{\
+                     \"deletedRegion\":{{\"startLine\":1,\"startColumn\":1,\
+                     \"endLine\":1,\"endColumn\":1}},\
+                     \"insertedContent\":{{\"text\":\"{}\"}}}}]}}]}}]",
+                    escape_json(&fix.describe()),
+                    escape_json(&report.netlist),
+                    escape_json(&fix.to_directive())
+                );
+            }
+            out.push('}');
         }
     }
     out.push_str("]}]}");
@@ -434,10 +494,12 @@ mod tests {
         assert_eq!(Code::TimingSkipped.as_str(), "USFQ010");
         assert_eq!(Code::DomainMismatch.as_str(), "USFQ011");
         assert_eq!(Code::ConflictingFanout.as_str(), "USFQ016");
+        assert_eq!(Code::CriticalPath.as_str(), "USFQ017");
+        assert_eq!(Code::SlackDeficit.as_str(), "USFQ018");
         assert!(Severity::Info < Severity::Warning);
         assert!(Severity::Warning < Severity::Error);
         let all = Code::all();
-        assert_eq!(all.len(), 16);
+        assert_eq!(all.len(), 18);
         for (i, code) in all.iter().enumerate() {
             assert_eq!(code.as_str(), format!("USFQ{:03}", i + 1));
             assert!(!code.summary().is_empty());
@@ -481,7 +543,7 @@ mod tests {
         let sarif = to_sarif(&reports);
         assert!(sarif.contains("\"version\":\"2.1.0\""));
         assert!(sarif.contains("\"name\":\"usfq-lint\""));
-        // All sixteen rules are declared even when only one fires.
+        // All eighteen rules are declared even when only one fires.
         for code in Code::all() {
             assert!(sarif.contains(&format!("\"id\":\"{}\"", code.as_str())));
         }
@@ -535,6 +597,29 @@ mod tests {
         assert!(json.contains("\"netlist\":\"d\\\"q\""));
         assert!(json.contains("\"component\":null"));
         assert!(json.contains("line\\nbreak"));
+        assert!(json.contains("\"fix\":null"));
         assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+
+    #[test]
+    fn fixes_render_in_every_format() {
+        let fix = crate::Fix::InsertJtls {
+            component: "acc".into(),
+            port: 1,
+            count: 2,
+        };
+        let report = LintReport::new(
+            "demo",
+            vec![Diagnostic::new(Code::SetupRace, Some("acc".into()), "race").with_fix(fix)],
+        );
+        let text = report.render_text();
+        assert!(text.contains("[fix: insert-jtls at=acc#1 count=2]"));
+        let json = report.to_json();
+        assert!(json.contains("\"fix\":\"insert-jtls at=acc#1 count=2\""));
+        let sarif = to_sarif(std::slice::from_ref(&report));
+        assert!(sarif.contains("\"fixes\":["));
+        assert!(sarif.contains("\"uri\":\"usfq-netlist:demo\""));
+        assert!(sarif.contains("insert-jtls at=acc#1 count=2"));
+        assert_eq!(sarif.matches('{').count(), sarif.matches('}').count());
     }
 }

@@ -33,9 +33,10 @@
 //!   domains.
 
 use usfq_cells::domain::{signature_for, CellSignature, PortDomain};
+use usfq_sim::graph::{CircuitGraph as Graph, Driver};
+use usfq_sim::Time;
 
 use crate::diag::{Code, Diagnostic};
-use crate::graph::{Driver, Graph};
 use crate::timing::TimingResult;
 use crate::LintConfig;
 
@@ -167,6 +168,29 @@ pub(crate) fn analyze(
     check_conflicting_fanout(g, &sigs, diags);
 }
 
+/// The latest worst-case arrival over every race-logic-required port:
+/// the minimal `rl_epoch_end` this netlist can meet. `None` when no
+/// covered port requires the race-logic domain. The `--fix` engine uses
+/// this to extend the epoch end during timing closure, mirroring how
+/// the budget itself is extended.
+pub(crate) fn required_race_epoch_end(g: &Graph, timing: &TimingResult) -> Option<Time> {
+    let sigs: Vec<Option<CellSignature>> = (0..g.len())
+        .map(|c| signature_for(g.meta[c].kind, g.drivers[c].len()))
+        .collect();
+    let mut latest = None;
+    for (c, sig) in sigs.iter().enumerate() {
+        for port in 0..g.drivers[c].len() {
+            if required_domain(sig.as_ref(), port) != Some(PortDomain::Race) {
+                continue;
+            }
+            if let Some(window) = timing.port_windows[c][port] {
+                latest = Some(latest.map_or(window.max, |l: Time| l.max(window.max)));
+            }
+        }
+    }
+    latest
+}
+
 /// The concrete domain an input port requires, if any.
 fn required_domain(sig: Option<&CellSignature>, port: usize) -> Option<PortDomain> {
     match sig.and_then(|s| s.inputs.get(port)) {
@@ -280,7 +304,7 @@ fn transfer(kind: &str, ports: &[Count], n_out: usize) -> Vec<Count> {
     }
     let p = |i: usize| ports.get(i).copied().unwrap_or(Count::ZERO);
     match (kind, ports.len()) {
-        ("jtl" | "buffer", 1) | ("splitter", 1) => vec![p(0); n_out],
+        ("jtl" | "buffer" | "splitter", 1) => vec![p(0); n_out],
         ("merger" | "mux", 2) => vec![total; n_out],
         ("demux", 2) => vec![p(0); n_out],
         ("dff", 2) => vec![p(1)],

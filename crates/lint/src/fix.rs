@@ -1,0 +1,609 @@
+//! Machine-applicable repairs and the `--fix` fixpoint engine.
+//!
+//! Every timing or structural finding that has a mechanical remedy
+//! carries a [`Fix`]: a structured description of a netlist edit
+//! (`insert n path-balancing JTLs on the wires into this port`,
+//! `rebuild this net as a splitter tree`). Fixes render as a one-line
+//! *directive* with a stable grammar, travel through SARIF as
+//! `fixes[].artifactChanges[].replacements[].insertedContent`, and are
+//! applied to an in-memory [`Circuit`] by the mutation primitives in
+//! [`usfq_core::repair`].
+//!
+//! [`fix_to_fixpoint`] drives repair to closure: lint, apply every
+//! actionable fix, re-extract, re-lint, repeat until no fix remains or
+//! the iteration bound trips. Repairs only ever move arrival windows
+//! *later* (padding) or reduce fan-out (splitting), so the loop is
+//! monotone; each hazard pair needs at most one padding round, and the
+//! bound guards pathological multiway interactions.
+//!
+//! Delay balancing lengthens the critical path, so a repaired netlist
+//! can honestly need a longer epoch than the envelope it was authored
+//! for. With [`FixOptions::allow_budget_extension`] (the default), once
+//! every fixable finding is resolved and only budget/epoch-end findings
+//! remain, the engine recomputes the minimal envelope the repaired
+//! netlist needs, re-lints under it, and reports the extension — that
+//! is the timing-closure contract, the paper's area/delay trade made
+//! explicit. `--strict-budget` disables it, leaving those findings in
+//! the irreducible core.
+
+use usfq_core::repair::{insert_jtl_chain, split_fanout, NetSource};
+use usfq_sim::{Circuit, SimError, Time, WireId};
+
+use crate::diag::{Code, Diagnostic, LintReport, Severity};
+use crate::{lint, LintConfig};
+
+/// The net a [`Fix::SplitterTree`] repair rebuilds.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum FixSource {
+    /// An external input's net, by input name.
+    Input {
+        /// The external input name.
+        name: String,
+    },
+    /// One component output port's net.
+    Output {
+        /// The driving component name.
+        component: String,
+        /// The driving output port.
+        port: usize,
+    },
+}
+
+/// One machine-applicable repair. Serialized as a single-line directive
+/// (see [`Fix::to_directive`]); component and input names containing
+/// whitespace are not representable in the grammar.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Fix {
+    /// Splice `count` catalog JTLs into every wire feeding input
+    /// `port` of `component`, delaying its arrival window by
+    /// `count × t_jtl` to clear a hazard window.
+    InsertJtls {
+        /// The component whose input port is padded.
+        component: String,
+        /// The padded input port.
+        port: usize,
+        /// Number of JTL stages per wire.
+        count: u32,
+    },
+    /// Rebuild an over-driven net as a binary splitter tree so every
+    /// physical output drives exactly one sink.
+    SplitterTree {
+        /// The over-driven net.
+        source: FixSource,
+    },
+}
+
+impl Fix {
+    /// The canonical one-line directive, e.g.
+    /// `insert-jtls at=acc#1 count=3` or `splitter-tree src=in:clk`.
+    pub fn to_directive(&self) -> String {
+        match self {
+            Fix::InsertJtls {
+                component,
+                port,
+                count,
+            } => format!("insert-jtls at={component}#{port} count={count}"),
+            Fix::SplitterTree {
+                source: FixSource::Input { name },
+            } => format!("splitter-tree src=in:{name}"),
+            Fix::SplitterTree {
+                source: FixSource::Output { component, port },
+            } => format!("splitter-tree src=out:{component}#{port}"),
+        }
+    }
+
+    /// Parses a directive produced by [`Fix::to_directive`]. Key order
+    /// is fixed; `None` on any deviation from the grammar.
+    pub fn parse_directive(s: &str) -> Option<Fix> {
+        let mut tokens = s.split_whitespace();
+        match tokens.next()? {
+            "insert-jtls" => {
+                let at = tokens.next()?.strip_prefix("at=")?;
+                let (component, port) = at.rsplit_once('#')?;
+                let port = port.parse().ok()?;
+                let count = tokens.next()?.strip_prefix("count=")?.parse().ok()?;
+                if tokens.next().is_some() || component.is_empty() {
+                    return None;
+                }
+                Some(Fix::InsertJtls {
+                    component: component.to_string(),
+                    port,
+                    count,
+                })
+            }
+            "splitter-tree" => {
+                let src = tokens.next()?.strip_prefix("src=")?;
+                if tokens.next().is_some() {
+                    return None;
+                }
+                let source = if let Some(name) = src.strip_prefix("in:") {
+                    if name.is_empty() {
+                        return None;
+                    }
+                    FixSource::Input {
+                        name: name.to_string(),
+                    }
+                } else {
+                    let (component, port) = src.strip_prefix("out:")?.rsplit_once('#')?;
+                    if component.is_empty() {
+                        return None;
+                    }
+                    FixSource::Output {
+                        component: component.to_string(),
+                        port: port.parse().ok()?,
+                    }
+                };
+                Some(Fix::SplitterTree { source })
+            }
+            _ => None,
+        }
+    }
+
+    /// Human-readable description (SARIF fix `description.text`).
+    pub fn describe(&self) -> String {
+        match self {
+            Fix::InsertJtls {
+                component,
+                port,
+                count,
+            } => format!(
+                "insert {count} path-balancing JTL stage(s) on every wire \
+                 into input port {port} of `{component}`"
+            ),
+            Fix::SplitterTree {
+                source: FixSource::Input { name },
+            } => format!("rebuild the net of external input `{name}` as a splitter tree"),
+            Fix::SplitterTree {
+                source: FixSource::Output { component, port },
+            } => format!(
+                "rebuild the net of output {port} of `{component}` as a \
+                 splitter tree"
+            ),
+        }
+    }
+
+    /// Applies the repair to `circuit`. Inserted cells are named
+    /// `fx<n>_...` where `n` is the component count at insertion time,
+    /// so repeated applications stay deterministic and collision-free.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnknownId`] when the named component or input does
+    /// not exist in `circuit`.
+    pub fn apply(&self, circuit: &mut Circuit) -> Result<(), SimError> {
+        match self {
+            Fix::InsertJtls {
+                component,
+                port,
+                count,
+            } => {
+                let comp = circuit
+                    .find_component(component)
+                    .ok_or_else(|| SimError::UnknownId(format!("component `{component}`")))?;
+                let mut wires = circuit.wires_into(comp, *port);
+                // Splicing removes one wire from its source net and
+                // appends the replacement at the end, so handles with a
+                // smaller position stay valid: process descending.
+                wires.sort_by_key(|w| match *w {
+                    WireId::FromInput { nth, .. } | WireId::FromComp { nth, .. } => {
+                        std::cmp::Reverse(nth)
+                    }
+                });
+                for wire in wires {
+                    let prefix = format!("fx{}", circuit.num_components());
+                    insert_jtl_chain(circuit, wire, *count, &prefix)?;
+                }
+                Ok(())
+            }
+            Fix::SplitterTree { source } => {
+                let src = match source {
+                    FixSource::Input { name } => NetSource::Input(
+                        circuit
+                            .find_input(name)
+                            .ok_or_else(|| SimError::UnknownId(format!("input `{name}`")))?,
+                    ),
+                    FixSource::Output { component, port } => NetSource::Output(
+                        circuit.find_component(component).ok_or_else(|| {
+                            SimError::UnknownId(format!("component `{component}`"))
+                        })?,
+                        *port,
+                    ),
+                };
+                let prefix = format!("fx{}", circuit.num_components());
+                split_fanout(circuit, src, &prefix)?;
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Extracts every fix directive from a SARIF log produced by
+/// [`crate::to_sarif`], in document order. The scan is textual — it
+/// looks for the `insertedContent` text of each SARIF `fix` — so it
+/// round-trips the analyzer's own output without a JSON parser
+/// dependency; malformed entries are skipped.
+pub fn fixes_from_sarif(sarif: &str) -> Vec<Fix> {
+    const NEEDLE: &str = "\"insertedContent\":{\"text\":\"";
+    let mut fixes = Vec::new();
+    let mut rest = sarif;
+    while let Some(pos) = rest.find(NEEDLE) {
+        rest = &rest[pos + NEEDLE.len()..];
+        let mut text = String::new();
+        let mut chars = rest.char_indices();
+        let mut consumed = rest.len();
+        while let Some((i, ch)) = chars.next() {
+            match ch {
+                '"' => {
+                    consumed = i;
+                    break;
+                }
+                '\\' => match chars.next() {
+                    Some((_, 'n')) => text.push('\n'),
+                    Some((_, 'r')) => text.push('\r'),
+                    Some((_, 't')) => text.push('\t'),
+                    Some((_, c)) => text.push(c),
+                    None => break,
+                },
+                c => text.push(c),
+            }
+        }
+        if let Some(fix) = Fix::parse_directive(&text) {
+            fixes.push(fix);
+        }
+        rest = &rest[consumed..];
+    }
+    fixes
+}
+
+/// Knobs for [`fix_to_fixpoint`].
+#[derive(Debug, Clone)]
+pub struct FixOptions {
+    /// Upper bound on lint→apply→re-lint rounds.
+    pub max_iterations: usize,
+    /// Once fixable findings are exhausted, extend the epoch budget
+    /// (and race-logic epoch end) to what the repaired netlist needs
+    /// instead of leaving `USFQ008`/`USFQ015` in the irreducible core.
+    pub allow_budget_extension: bool,
+}
+
+impl Default for FixOptions {
+    fn default() -> Self {
+        FixOptions {
+            max_iterations: 32,
+            allow_budget_extension: true,
+        }
+    }
+}
+
+/// What [`fix_to_fixpoint`] did and where it landed.
+#[derive(Debug, Clone)]
+pub struct FixOutcome {
+    /// Repair rounds executed (0 when the netlist was already clean).
+    pub iterations: usize,
+    /// True when the final report carries no finding above `Info`.
+    pub converged: bool,
+    /// Every fix applied, in application order.
+    pub applied: Vec<Fix>,
+    /// Josephson junctions added by the repairs (the area cost).
+    pub added_jj: u64,
+    /// The extended epoch budget, when budget extension fired.
+    pub extended_budget: Option<Time>,
+    /// The extended race-logic epoch end, when extension fired.
+    pub extended_epoch_end: Option<Time>,
+    /// The final lint report of the repaired netlist (under the
+    /// possibly-extended envelope).
+    pub report: LintReport,
+    /// Findings above `Info` that no repair can discharge — empty iff
+    /// `converged`.
+    pub irreducible: Vec<Diagnostic>,
+}
+
+/// The fixes worth applying from one report: attached to findings still
+/// above `Info` (waived findings keep their fix for display but are
+/// acknowledged, so they are not acted on), deduplicated — port
+/// paddings merge to the maximum requested count, splitter rebuilds to
+/// one per net — in report order.
+pub fn actionable_fixes(report: &LintReport) -> Vec<Fix> {
+    let mut out: Vec<Fix> = Vec::new();
+    for d in &report.diagnostics {
+        if d.severity <= Severity::Info {
+            continue;
+        }
+        let Some(fix) = &d.fix else { continue };
+        match fix {
+            Fix::InsertJtls {
+                component,
+                port,
+                count,
+            } => {
+                let mut merged = false;
+                for existing in &mut out {
+                    if let Fix::InsertJtls {
+                        component: ec,
+                        port: ep,
+                        count: ecount,
+                    } = existing
+                    {
+                        if ec == component && ep == port {
+                            *ecount = (*ecount).max(*count);
+                            merged = true;
+                            break;
+                        }
+                    }
+                }
+                if !merged {
+                    out.push(fix.clone());
+                }
+            }
+            Fix::SplitterTree { .. } => {
+                if !out.contains(fix) {
+                    out.push(fix.clone());
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Codes a budget extension can legitimately discharge: they assert the
+/// *envelope* is too tight, not that the netlist is structurally wrong.
+fn budget_extendable(code: Code) -> bool {
+    matches!(
+        code,
+        Code::BudgetExceeded | Code::RacePastEpoch | Code::SlackDeficit
+    )
+}
+
+/// Repairs `circuit` to a lint fixpoint under `config`.
+///
+/// Returns the repaired circuit and the outcome. The input circuit is
+/// not modified. Application is infallible by construction — every fix
+/// names a component from a fresh lint of the very circuit it is
+/// applied to.
+pub fn fix_to_fixpoint(
+    circuit: &Circuit,
+    name: &str,
+    config: &LintConfig,
+    opts: &FixOptions,
+) -> (Circuit, FixOutcome) {
+    let mut fixed = circuit.clone();
+    let base_jj = fixed.total_jj();
+    let mut cfg = config.clone();
+    let mut applied = Vec::new();
+    let mut iterations = 0;
+    let mut report = lint(&fixed, name, &cfg);
+
+    loop {
+        let fixes = actionable_fixes(&report);
+        if fixes.is_empty() || iterations >= opts.max_iterations {
+            break;
+        }
+        iterations += 1;
+        for fix in &fixes {
+            fix.apply(&mut fixed)
+                .expect("fix from a fresh lint of this circuit must apply");
+        }
+        applied.extend(fixes);
+        report = lint(&fixed, name, &cfg);
+    }
+
+    // Timing closure: delay balancing can honestly outgrow the authored
+    // envelope. When that is all that remains, extend it and re-lint.
+    let mut extended_budget = None;
+    let mut extended_epoch_end = None;
+    if opts.allow_budget_extension {
+        let remaining: Vec<&Diagnostic> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity > Severity::Info)
+            .collect();
+        let only_envelope =
+            !remaining.is_empty() && remaining.iter().all(|d| budget_extendable(d.code));
+        if only_envelope {
+            let (g, timing) = crate::timing_parts(&fixed, &cfg);
+            if remaining.iter().any(|d| d.code == Code::BudgetExceeded)
+                || remaining.iter().any(|d| d.code == Code::SlackDeficit)
+            {
+                if let Some(needed) = timing.max_probe_arrival() {
+                    if cfg.epoch_budget.map_or(true, |b| needed > b) {
+                        cfg.epoch_budget = Some(needed);
+                        extended_budget = Some(needed);
+                    }
+                }
+            }
+            if remaining.iter().any(|d| d.code == Code::RacePastEpoch) {
+                if let Some(needed) = crate::domain::required_race_epoch_end(&g, &timing) {
+                    if cfg.rl_epoch_end.is_some_and(|e| needed > e) {
+                        cfg.rl_epoch_end = Some(needed);
+                        extended_epoch_end = Some(needed);
+                    }
+                }
+            }
+            if extended_budget.is_some() || extended_epoch_end.is_some() {
+                report = lint(&fixed, name, &cfg);
+            }
+        }
+    }
+
+    let irreducible: Vec<Diagnostic> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity > Severity::Info)
+        .cloned()
+        .collect();
+    let outcome = FixOutcome {
+        iterations,
+        converged: irreducible.is_empty(),
+        applied,
+        added_jj: fixed.total_jj() - base_jj,
+        extended_budget,
+        extended_epoch_end,
+        report,
+        irreducible,
+    };
+    (fixed, outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usfq_cells::interconnect::Merger;
+    use usfq_sim::component::Buffer;
+
+    #[test]
+    fn directives_round_trip() {
+        let fixes = [
+            Fix::InsertJtls {
+                component: "acc".into(),
+                port: 1,
+                count: 3,
+            },
+            Fix::SplitterTree {
+                source: FixSource::Input { name: "clk".into() },
+            },
+            Fix::SplitterTree {
+                source: FixSource::Output {
+                    component: "bal#2".into(),
+                    port: 0,
+                },
+            },
+        ];
+        for fix in &fixes {
+            let directive = fix.to_directive();
+            assert_eq!(
+                Fix::parse_directive(&directive).as_ref(),
+                Some(fix),
+                "{directive}"
+            );
+            assert!(!fix.describe().is_empty());
+        }
+    }
+
+    #[test]
+    fn malformed_directives_are_rejected() {
+        for bad in [
+            "",
+            "insert-jtls",
+            "insert-jtls at=acc count=3",
+            "insert-jtls at=acc#x count=3",
+            "insert-jtls at=#1 count=3",
+            "insert-jtls at=acc#1 count=3 extra=1",
+            "splitter-tree src=mid:x",
+            "splitter-tree src=out:acc",
+            "remove-component at=acc#1",
+        ] {
+            assert_eq!(Fix::parse_directive(bad), None, "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn actionable_fixes_dedupe_and_skip_waived() {
+        let mk = |count| {
+            Diagnostic::new(Code::SetupRace, Some("m".into()), "race").with_fix(Fix::InsertJtls {
+                component: "m".into(),
+                port: 1,
+                count,
+            })
+        };
+        let mut waived = mk(9);
+        waived.waive();
+        let report = LintReport::new("t", vec![mk(2), mk(5), waived]);
+        assert_eq!(
+            actionable_fixes(&report),
+            vec![Fix::InsertJtls {
+                component: "m".into(),
+                port: 1,
+                count: 5,
+            }]
+        );
+    }
+
+    /// Two inputs into a merger: both windows are `[0, W]`, a certain
+    /// collision finding. One padding round must clear it.
+    #[test]
+    fn fixpoint_clears_a_merger_collision() {
+        let mut c = Circuit::new();
+        let a = c.input("a");
+        let b = c.input("b");
+        let m = c.add(Merger::new("m"));
+        c.connect_input(a, m.input(Merger::IN_A), Time::ZERO)
+            .unwrap();
+        c.connect_input(b, m.input(Merger::IN_B), Time::ZERO)
+            .unwrap();
+        c.probe(m.output(Merger::OUT), "out");
+        let cfg = LintConfig {
+            input_window: Time::from_ps(20.0),
+            ..LintConfig::default()
+        };
+        let before = lint(&c, "collide", &cfg);
+        assert!(before.has(Code::MergerCollision));
+        assert!(before
+            .diagnostics
+            .iter()
+            .any(|d| matches!(d.fix, Some(Fix::InsertJtls { .. }))));
+
+        let (fixed, outcome) = fix_to_fixpoint(&c, "collide", &cfg, &FixOptions::default());
+        assert!(outcome.converged, "{:?}", outcome.irreducible);
+        assert_eq!(outcome.iterations, 1);
+        assert!(!outcome.report.has(Code::MergerCollision));
+        assert!(outcome.added_jj > 0);
+        assert!(fixed.num_components() > c.num_components());
+        // The input circuit is untouched.
+        assert_eq!(c.num_components(), 1);
+    }
+
+    #[test]
+    fn fixpoint_splits_an_overdriven_net() {
+        let mut c = Circuit::new();
+        let x = c.input("x");
+        for i in 0..3 {
+            let b = c.add(Buffer::new(format!("b{i}"), Time::from_ps(1.0)));
+            c.connect_input(x, b.input(0), Time::ZERO).unwrap();
+            c.probe(b.output(0), format!("p{i}"));
+        }
+        let cfg = LintConfig::default();
+        let before = lint(&c, "fanout", &cfg);
+        assert!(before.has(Code::FanoutViolation));
+
+        let (fixed, outcome) = fix_to_fixpoint(&c, "fanout", &cfg, &FixOptions::default());
+        assert!(outcome.converged, "{:?}", outcome.irreducible);
+        assert!(!outcome.report.has(Code::FanoutViolation));
+        assert!(outcome
+            .applied
+            .iter()
+            .any(|f| matches!(f, Fix::SplitterTree { .. })));
+        assert!(fixed.fanout_overflows().is_empty());
+    }
+
+    #[test]
+    fn sarif_round_trips_fixes() {
+        let report = LintReport::new(
+            "demo",
+            vec![
+                Diagnostic::new(Code::SetupRace, Some("acc".into()), "race").with_fix(
+                    Fix::InsertJtls {
+                        component: "acc".into(),
+                        port: 1,
+                        count: 4,
+                    },
+                ),
+                Diagnostic::new(Code::FanoutViolation, Some("clk".into()), "fanout").with_fix(
+                    Fix::SplitterTree {
+                        source: FixSource::Input { name: "clk".into() },
+                    },
+                ),
+            ],
+        );
+        let sarif = crate::to_sarif(std::slice::from_ref(&report));
+        let fixes = fixes_from_sarif(&sarif);
+        assert_eq!(fixes.len(), 2);
+        assert!(fixes.contains(&Fix::InsertJtls {
+            component: "acc".into(),
+            port: 1,
+            count: 4,
+        }));
+        assert!(fixes.contains(&Fix::SplitterTree {
+            source: FixSource::Input { name: "clk".into() },
+        }));
+    }
+}

@@ -22,6 +22,14 @@
 //!    outputs (`USFQ014`), race-logic arrivals past the epoch end
 //!    (`USFQ015`), and stateful fanout into conflicting domains
 //!    (`USFQ016`).
+//! 4. **Slack / timing closure** — a backward required-time pass from
+//!    every probe endpoint against the epoch budget, reporting the
+//!    worst-slack critical paths (`USFQ017`) and repairs whose padding
+//!    bill exceeds the available slack (`USFQ018`). See [`slack_report`]
+//!    and the [`fix`](crate::Fix) machinery: findings with a mechanical
+//!    remedy carry a machine-applicable [`Fix`], and
+//!    [`fix_to_fixpoint`] repairs a circuit to a clean lint fixpoint
+//!    (`usfq-lint --fix`).
 //!
 //! Findings carry stable codes and render as text, JSON, or SARIF; see
 //! [`LintReport`] and [`to_sarif`]. Netlists can acknowledge expected
@@ -44,10 +52,17 @@
 mod checks;
 mod diag;
 mod domain;
-mod graph;
+mod fix;
+mod slack;
 mod timing;
 
 pub use diag::{to_sarif, Code, Diagnostic, LintReport, Severity};
+pub use fix::{
+    actionable_fixes, fix_to_fixpoint, fixes_from_sarif, Fix, FixOptions, FixOutcome, FixSource,
+};
+pub use slack::{EndpointSlack, SlackReport};
+#[doc(inline)]
+pub use usfq_sim::graph::{CircuitGraph, Driver};
 
 use usfq_core::netlists::BuiltNetlist;
 use usfq_sim::{Circuit, Time};
@@ -92,9 +107,35 @@ impl Default for LintConfig {
     }
 }
 
+impl LintConfig {
+    /// This envelope with every *timing* waiver (`USFQ006`–`USFQ008`)
+    /// removed: the configuration `usfq-lint --fix` repairs under, so
+    /// acknowledged hazards become actionable findings again while
+    /// structural waivers (e.g. intentionally-floating config pins)
+    /// stay acknowledged.
+    pub fn without_timing_waivers(&self) -> LintConfig {
+        let mut cfg = self.clone();
+        cfg.waivers
+            .retain(|(code, _)| !matches!(code.as_str(), "USFQ006" | "USFQ007" | "USFQ008"));
+        cfg
+    }
+}
+
+/// Whether a `(code, component-substring)` waiver list acknowledges a
+/// finding of `code` on `component`.
+pub(crate) fn waiver_matches(
+    waivers: &[(String, String)],
+    code: Code,
+    component: Option<&str>,
+) -> bool {
+    waivers.iter().any(|(c, substr)| {
+        c == code.as_str() && component.is_some_and(|name| name.contains(substr.as_str()))
+    })
+}
+
 /// Runs every check on `circuit` under `config`.
 pub fn lint(circuit: &Circuit, name: &str, config: &LintConfig) -> LintReport {
-    let g = graph::Graph::build(circuit);
+    let g = CircuitGraph::build(circuit);
     let mut diags = Vec::new();
     checks::fanout(circuit, &mut diags);
     checks::unconnected_inputs(&g, &mut diags);
@@ -102,39 +143,36 @@ pub fn lint(circuit: &Circuit, name: &str, config: &LintConfig) -> LintReport {
     checks::jj_accounting(&g, &mut diags);
     let cyclic = checks::cycles(&g, &config.cycle_allowlist, &mut diags);
     let timing = timing::analyze(&g, &cyclic, config, &mut diags);
+    slack::analyze(&g, &timing, config, &mut diags);
     domain::analyze(&g, &timing, config, &mut diags);
     for d in &mut diags {
-        let waived = config.waivers.iter().any(|(code, substr)| {
-            code == d.code.as_str()
-                && d.component
-                    .as_deref()
-                    .is_some_and(|c| c.contains(substr.as_str()))
-        });
-        if waived {
+        if waiver_matches(&config.waivers, d.code, d.component.as_deref()) {
             d.waive();
         }
     }
     LintReport::new(name, diags)
 }
 
+/// The [`LintConfig`] a shipped netlist is analyzed under: its own
+/// operating envelope plus its acknowledged waivers.
+pub fn lint_config_for(netlist: &BuiltNetlist) -> LintConfig {
+    LintConfig {
+        input_window: netlist.input_window,
+        epoch_budget: Some(netlist.epoch_budget),
+        cycle_allowlist: netlist.cycle_allowlist.clone(),
+        epoch_pulse_capacity: Some(netlist.epoch.n_max()),
+        rl_epoch_end: Some(netlist.input_window),
+        waivers: netlist
+            .waivers
+            .iter()
+            .map(|&(code, comp)| (code.to_string(), comp.to_string()))
+            .collect(),
+    }
+}
+
 /// Lints a shipped netlist under its own operating envelope.
 pub fn lint_netlist(netlist: &BuiltNetlist) -> LintReport {
-    lint(
-        &netlist.circuit,
-        netlist.name,
-        &LintConfig {
-            input_window: netlist.input_window,
-            epoch_budget: Some(netlist.epoch_budget),
-            cycle_allowlist: netlist.cycle_allowlist.clone(),
-            epoch_pulse_capacity: Some(netlist.epoch.n_max()),
-            rl_epoch_end: Some(netlist.input_window),
-            waivers: netlist
-                .waivers
-                .iter()
-                .map(|&(code, comp)| (code.to_string(), comp.to_string()))
-                .collect(),
-        },
-    )
+    lint(&netlist.circuit, netlist.name, &lint_config_for(netlist))
 }
 
 /// The static `[min, max]` arrival window of every probe, in probe
@@ -149,8 +187,29 @@ pub fn probe_windows(
     circuit: &Circuit,
     config: &LintConfig,
 ) -> Vec<(String, Option<(Time, Time)>)> {
-    let g = graph::Graph::build(circuit);
+    timing_parts(circuit, config).1.probe_windows
+}
+
+/// Runs only the slack/critical-path layer: per-endpoint arrival,
+/// required time (the epoch budget), signed slack, and the
+/// argmax-arrival critical path. Empty when `config.epoch_budget` is
+/// `None` — slack is meaningless without a required time.
+pub fn slack_report(circuit: &Circuit, config: &LintConfig) -> SlackReport {
+    let (g, timing) = timing_parts(circuit, config);
+    let mut scratch = Vec::new();
+    slack::analyze(&g, &timing, config, &mut scratch)
+}
+
+/// Graph extraction + cycle detection + forward timing, diagnostics
+/// discarded: the shared front half of [`probe_windows`],
+/// [`slack_report`], and the `--fix` budget-extension step.
+pub(crate) fn timing_parts(
+    circuit: &Circuit,
+    config: &LintConfig,
+) -> (CircuitGraph, timing::TimingResult) {
+    let g = CircuitGraph::build(circuit);
     let mut scratch = Vec::new();
     let cyclic = checks::cycles(&g, &config.cycle_allowlist, &mut scratch);
-    timing::analyze(&g, &cyclic, config, &mut scratch).probe_windows
+    let timing = timing::analyze(&g, &cyclic, config, &mut scratch);
+    (g, timing)
 }

@@ -11,11 +11,13 @@
 //! *incomplete*: windows overlapping does not prove two pulses really
 //! collide, which is why hazard findings are warnings, not errors.
 
+use usfq_cells::catalog::t_jtl;
 use usfq_sim::component::Hazard;
+use usfq_sim::graph::{CircuitGraph as Graph, Driver};
 use usfq_sim::{ProbeSource, Time};
 
 use crate::diag::{Code, Diagnostic};
-use crate::graph::{Driver, Graph};
+use crate::fix::Fix;
 use crate::LintConfig;
 
 /// A closed arrival interval `[min, max]`.
@@ -26,7 +28,7 @@ pub(crate) struct Window {
 }
 
 impl Window {
-    fn union(self, other: Window) -> Window {
+    pub(crate) fn union(self, other: Window) -> Window {
         Window {
             min: self.min.min(other.min),
             max: self.max.max(other.max),
@@ -54,6 +56,27 @@ pub(crate) struct TimingResult {
     /// `port_windows[comp][port]` — arrival window at each input port.
     /// `None` when undriven or in a skipped (cyclic) region.
     pub port_windows: Vec<Vec<Option<Window>>>,
+    /// `out_windows[comp]` — the window in which the component can emit
+    /// a pulse. `None` when it can never fire or timing is skipped.
+    pub out_windows: Vec<Option<Window>>,
+    /// Components on or downstream of a feedback loop (windows
+    /// unbounded, hazards unchecked).
+    pub skipped: Vec<bool>,
+    /// Topological order of the covered (non-skipped) region — the
+    /// slack pass walks it backwards for required-time propagation.
+    pub order: Vec<usize>,
+}
+
+impl TimingResult {
+    /// The latest worst-case arrival over every covered probe: the
+    /// minimal epoch budget this netlist can meet. `None` when no probe
+    /// has a bounded window.
+    pub fn max_probe_arrival(&self) -> Option<Time> {
+        self.probe_windows
+            .iter()
+            .filter_map(|(_, w)| w.map(|(_, max)| max))
+            .max()
+    }
 }
 
 /// Runs the pass; `cyclic[c]` marks components on a feedback loop.
@@ -92,37 +115,10 @@ pub(crate) fn analyze(
         max: cfg.input_window,
     };
 
-    // Kahn topological order over the acyclic (non-skipped) region.
-    // Every driver of a non-skipped component is either an external
-    // input or another non-skipped component, so in-degrees close.
-    let mut indegree = vec![0usize; g.len()];
-    for c in 0..g.len() {
-        if skipped[c] {
-            continue;
-        }
-        indegree[c] = g.drivers[c]
-            .iter()
-            .flatten()
-            .filter(|d| matches!(d, Driver::Comp(..)))
-            .count();
-    }
-    let mut order: Vec<usize> = (0..g.len())
-        .filter(|&c| !skipped[c] && indegree[c] == 0)
-        .collect();
-    let mut head = 0;
-    while head < order.len() {
-        let c = order[head];
-        head += 1;
-        for &s in &g.succs[c] {
-            if skipped[s] {
-                continue;
-            }
-            indegree[s] -= 1;
-            if indegree[s] == 0 {
-                order.push(s);
-            }
-        }
-    }
+    // Topological order over the acyclic (non-skipped) region. Every
+    // driver of a non-skipped component is either an external input or
+    // another non-skipped component, so in-degrees close.
+    let order = g.topo_order(&skipped);
 
     // Forward propagation. `out_window[c]` is the window in which `c`
     // can emit a pulse; `None` means it can never fire.
@@ -200,7 +196,33 @@ pub(crate) fn analyze(
     TimingResult {
         probe_windows,
         port_windows,
+        out_windows: out_window,
+        skipped,
+        order,
     }
+}
+
+/// The padding repair that delays `port` of component `c` by at least
+/// `pad`: a JTL chain on every wire into the port, rounded up to whole
+/// catalog stages. `None` when no padding is needed.
+fn pad_fix(g: &Graph, c: usize, port: usize, pad: Time) -> Option<Fix> {
+    if pad == Time::ZERO {
+        return None;
+    }
+    let stage = t_jtl().as_fs();
+    let count = pad.as_fs().div_ceil(stage);
+    Some(Fix::InsertJtls {
+        component: g.names[c].clone(),
+        port,
+        count: u32::try_from(count).unwrap_or(u32::MAX),
+    })
+}
+
+/// Minimal delay that moves window `later` entirely past `earlier`'s
+/// hazard margin: afterwards `later.min > earlier.max + margin`, so the
+/// pair can no longer land within `margin` of each other.
+fn separation_pad(earlier: Window, later: Window, margin: Time) -> Time {
+    (earlier.max + margin + Time::from_fs(1)).saturating_sub(later.min)
 }
 
 fn check_hazard(
@@ -218,7 +240,7 @@ fn check_hazard(
                 return;
             }
             for_each_overlap(ports, window, |a, b| {
-                diags.push(Diagnostic::new(
+                let mut d = Diagnostic::new(
                     Code::MergerCollision,
                     Some(g.names[c].clone()),
                     format!(
@@ -228,12 +250,16 @@ fn check_hazard(
                         window.as_ps(),
                         g.meta[c].kind
                     ),
-                ));
+                );
+                if let Some(fix) = overlap_fix(g, c, a, b, ports, window) {
+                    d = d.with_fix(fix);
+                }
+                diags.push(d);
             });
         }
         Hazard::Transition { window } => {
             for_each_overlap(ports, window, |a, b| {
-                diags.push(Diagnostic::new(
+                let mut d = Diagnostic::new(
                     Code::SetupRace,
                     Some(g.names[c].clone()),
                     format!(
@@ -243,7 +269,11 @@ fn check_hazard(
                         window.as_ps(),
                         g.meta[c].kind
                     ),
-                ));
+                );
+                if let Some(fix) = overlap_fix(g, c, a, b, ports, window) {
+                    d = d.with_fix(fix);
+                }
+                diags.push(d);
             });
         }
         Hazard::Setup {
@@ -265,7 +295,7 @@ fn check_hazard(
                 max: ctrl.max + window,
             };
             if settling.within(smp, Time::ZERO) {
-                diags.push(Diagnostic::new(
+                let mut d = Diagnostic::new(
                     Code::SetupRace,
                     Some(g.names[c].clone()),
                     format!(
@@ -275,12 +305,41 @@ fn check_hazard(
                         g.meta[c].kind,
                         window.as_ps()
                     ),
-                ));
+                );
+                // Only delaying the sampled side helps: the control
+                // state must be fully settled before the sample lands.
+                let pad = separation_pad(ctrl, smp, window);
+                if let Some(fix) = pad_fix(g, c, sampled, pad) {
+                    d = d.with_fix(fix);
+                }
+                diags.push(d);
             }
         }
         // `Hazard` is non-exhaustive: unknown future hazards are not
         // checkable here and must not crash the analyzer.
         _ => {}
+    }
+}
+
+/// The cheaper of the two paddings that separate overlapping port
+/// windows `a` and `b` by more than `margin`: delay whichever port
+/// needs the smaller shift (ties go to the higher-numbered port, so
+/// clock- or read-like late ports are preferred deterministically).
+fn overlap_fix(
+    g: &Graph,
+    c: usize,
+    a: usize,
+    b: usize,
+    ports: &[Option<Window>],
+    margin: Time,
+) -> Option<Fix> {
+    let (wa, wb) = (ports[a]?, ports[b]?);
+    let pad_a = separation_pad(wb, wa, margin);
+    let pad_b = separation_pad(wa, wb, margin);
+    if pad_a < pad_b {
+        pad_fix(g, c, a, pad_a)
+    } else {
+        pad_fix(g, c, b, pad_b)
     }
 }
 

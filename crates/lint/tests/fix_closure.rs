@@ -1,0 +1,319 @@
+//! The `--fix` timing-closure contract, pinned end to end:
+//!
+//! 1. Every shipped netlist, with its *timing* waivers stripped (so
+//!    acknowledged hazards become actionable again), repairs to a clean
+//!    `USFQ001`–`USFQ016` fixpoint within the iteration bound — at most
+//!    with an honestly-reported epoch extension.
+//! 2. Fix directives round-trip through SARIF: extracting them from the
+//!    analyzer's own SARIF output and re-applying yields a circuit
+//!    byte-identical (DOT rendering) to applying the in-memory fixes.
+//! 3. Repairing never *introduces* findings: every code above Info in
+//!    the repaired netlist's report already fired before the repair.
+//! 4. A repaired netlist actually simulates: single-pulse-per-input
+//!    stimulus inside the static envelope runs without sanitizer
+//!    violations (the dynamic half of the soundness contract).
+
+use usfq_lint::{
+    actionable_fixes, fix_to_fixpoint, fixes_from_sarif, lint, lint_config_for, to_sarif, Code,
+    FixOptions, LintConfig, Severity,
+};
+use usfq_sim::{Circuit, SanitizerConfig, Simulator, Time};
+
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+/// `USFQ017`/`USFQ018` are the closure layer's own outputs; the
+/// fixpoint promise covers the pre-existing check families.
+fn original_codes(report: &usfq_lint::LintReport) -> Vec<Code> {
+    report
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity > Severity::Info)
+        .filter(|d| !matches!(d.code, Code::CriticalPath | Code::SlackDeficit))
+        .map(|d| d.code)
+        .collect()
+}
+
+#[test]
+fn catalogue_repairs_to_a_clean_fixpoint_without_timing_waivers() {
+    for netlist in usfq_core::netlists::shipped_netlists() {
+        let cfg = lint_config_for(&netlist).without_timing_waivers();
+        let (fixed, outcome) =
+            fix_to_fixpoint(&netlist.circuit, netlist.name, &cfg, &FixOptions::default());
+        assert!(
+            outcome.converged,
+            "`{}` did not converge after {} iteration(s); irreducible:\n{}",
+            netlist.name,
+            outcome.iterations,
+            outcome
+                .irreducible
+                .iter()
+                .map(|d| format!("  {d}\n"))
+                .collect::<String>()
+        );
+        assert!(original_codes(&outcome.report).is_empty());
+        // Repairs are additive: components only ever get added.
+        assert!(fixed.num_components() >= netlist.circuit.num_components());
+        // Area accounting matches the applied repairs.
+        if outcome.applied.is_empty() {
+            assert_eq!(outcome.added_jj, 0, "`{}`", netlist.name);
+            assert_eq!(outcome.iterations, 0, "`{}`", netlist.name);
+        } else {
+            assert!(outcome.added_jj > 0, "`{}`", netlist.name);
+        }
+    }
+}
+
+#[test]
+fn strict_budget_reports_an_irreducible_core_when_extension_is_needed() {
+    let opts = FixOptions {
+        allow_budget_extension: false,
+        ..FixOptions::default()
+    };
+    let mut any_extension = false;
+    for netlist in usfq_core::netlists::shipped_netlists() {
+        let cfg = lint_config_for(&netlist).without_timing_waivers();
+        let (_, strict) = fix_to_fixpoint(&netlist.circuit, netlist.name, &cfg, &opts);
+        let (_, relaxed) =
+            fix_to_fixpoint(&netlist.circuit, netlist.name, &cfg, &FixOptions::default());
+        assert!(relaxed.converged, "`{}`", netlist.name);
+        if relaxed.extended_budget.is_some() {
+            any_extension = true;
+            // The same netlist under --strict-budget must surface the
+            // envelope findings instead of silently extending.
+            assert!(!strict.converged, "`{}`", netlist.name);
+            assert!(
+                strict.irreducible.iter().all(|d| matches!(
+                    d.code,
+                    Code::BudgetExceeded | Code::RacePastEpoch | Code::SlackDeficit
+                )),
+                "`{}`: non-envelope findings in the strict core:\n{}",
+                netlist.name,
+                strict
+                    .irreducible
+                    .iter()
+                    .map(|d| format!("  {d}\n"))
+                    .collect::<String>()
+            );
+        }
+    }
+    // The deep netlists (dpu-monolithic, structural-fir) genuinely need
+    // an extension; if none does, this test is vacuous and wrong.
+    assert!(
+        any_extension,
+        "no catalogue netlist exercised the extension path"
+    );
+}
+
+#[test]
+fn sarif_fixes_reapply_to_byte_identical_netlists() {
+    for netlist in usfq_core::netlists::shipped_netlists() {
+        let cfg = lint_config_for(&netlist).without_timing_waivers();
+        let report = lint(&netlist.circuit, netlist.name, &cfg);
+        let fixes = actionable_fixes(&report);
+        if fixes.is_empty() {
+            continue;
+        }
+
+        let mut direct = netlist.circuit.clone();
+        for fix in &fixes {
+            fix.apply(&mut direct).unwrap();
+        }
+
+        // Round-trip through SARIF. The log carries one fix per finding
+        // (pre-dedup), so re-extract and dedupe through the same path a
+        // external tool would: parse, then apply the deduped set.
+        let sarif = to_sarif(std::slice::from_ref(&report));
+        let parsed = fixes_from_sarif(&sarif);
+        for fix in &fixes {
+            assert!(
+                parsed.contains(fix),
+                "`{}`: fix `{}` lost in SARIF",
+                netlist.name,
+                fix.to_directive()
+            );
+        }
+        let mut via_sarif = netlist.circuit.clone();
+        for fix in &fixes {
+            let round_tripped = parsed.iter().find(|p| *p == fix).unwrap();
+            round_tripped.apply(&mut via_sarif).unwrap();
+        }
+        assert_eq!(
+            direct.to_dot(netlist.name),
+            via_sarif.to_dot(netlist.name),
+            "`{}`: SARIF round-trip diverged",
+            netlist.name
+        );
+    }
+}
+
+#[test]
+fn repairing_never_introduces_new_finding_codes() {
+    for netlist in usfq_core::netlists::shipped_netlists() {
+        let cfg = lint_config_for(&netlist).without_timing_waivers();
+        let before = lint(&netlist.circuit, netlist.name, &cfg);
+        let before_codes = original_codes(&before);
+        let (_, outcome) =
+            fix_to_fixpoint(&netlist.circuit, netlist.name, &cfg, &FixOptions::default());
+        for code in original_codes(&outcome.report) {
+            assert!(
+                before_codes.contains(&code),
+                "`{}`: repair introduced {}",
+                netlist.name,
+                code.as_str()
+            );
+        }
+    }
+}
+
+/// The repaired netlist must actually work: drive every input with one
+/// pulse inside the static envelope (the assumption the analyzer is
+/// sound under) and let the sanitizer check every delivered pulse.
+#[test]
+fn repaired_netlists_simulate_without_sanitizer_violations() {
+    for netlist in usfq_core::netlists::shipped_netlists() {
+        let cfg = lint_config_for(&netlist).without_timing_waivers();
+        let (fixed, outcome) =
+            fix_to_fixpoint(&netlist.circuit, netlist.name, &cfg, &FixOptions::default());
+        assert!(outcome.converged, "`{}`", netlist.name);
+        let window = cfg.input_window.as_fs();
+        let mut seed = 0xF1C5_0000 ^ netlist.name.len() as u64;
+        for trial in 0..4u64 {
+            let mut sim = Simulator::new(fixed.clone());
+            sim.enable_sanitizer(SanitizerConfig::default());
+            let inputs: Vec<_> = fixed.inputs().map(|(id, _)| id).collect();
+            for input in inputs {
+                let t = if window == 0 || trial == 0 {
+                    Time::ZERO
+                } else {
+                    Time::from_fs(xorshift(&mut seed) % (window + 1))
+                };
+                sim.schedule_input(input, t).unwrap();
+            }
+            sim.run().unwrap();
+            let report = sim.sanitizer_report().expect("sanitizer was enabled");
+            assert!(
+                report.violations.is_empty(),
+                "`{}` trial {trial}: {} sanitizer violation(s), first: {:?}",
+                netlist.name,
+                report.violations.len(),
+                report.violations.first()
+            );
+        }
+    }
+}
+
+/// Random pseudo-fabrics: layered circuits with deliberate fan-out and
+/// hazard defects must also converge within the default bound. This is
+/// the deterministic twin of the proptest below.
+fn random_fabric(seed: u64, layers: usize, width: usize) -> Circuit {
+    use usfq_cells::interconnect::{Jtl, Merger};
+    let mut c = Circuit::new();
+    let mut state = seed | 1;
+    let mut all: Vec<(usfq_sim::NodeRef, usfq_sim::CompId)> = Vec::new();
+    let mut prev: Vec<usfq_sim::NodeRef> = Vec::new();
+    for w in 0..width {
+        let input = c.input(format!("in{w}"));
+        let j = c.add(Jtl::new(format!("l0_j{w}")));
+        c.connect_input(
+            input,
+            j.input(0),
+            Time::from_fs(xorshift(&mut state) % 5_000),
+        )
+        .unwrap();
+        all.push((j.output(0), j.id()));
+        prev.push(j.output(0));
+    }
+    for l in 1..layers {
+        let mut next = Vec::new();
+        for w in 0..width {
+            let pick = |state: &mut u64| (xorshift(state) % prev.len() as u64) as usize;
+            if xorshift(&mut state) % 3 == 0 {
+                // A merger fed by two (possibly colliding) sources.
+                let m = c.add(Merger::new(format!("l{l}_m{w}")));
+                let (a, b) = (pick(&mut state), pick(&mut state));
+                let d1 = Time::from_fs(xorshift(&mut state) % 5_000);
+                let d2 = Time::from_fs(xorshift(&mut state) % 5_000);
+                c.connect(prev[a], m.input(0), d1).unwrap();
+                c.connect(prev[b], m.input(1), d2).unwrap();
+                all.push((m.output(0), m.id()));
+                next.push(m.output(0));
+            } else {
+                let j = c.add(Jtl::new(format!("l{l}_j{w}")));
+                let p = pick(&mut state);
+                let d = Time::from_fs(xorshift(&mut state) % 5_000);
+                c.connect(prev[p], j.input(0), d).unwrap();
+                all.push((j.output(0), j.id()));
+                next.push(j.output(0));
+            }
+        }
+        prev = next;
+    }
+    // Probe every output nothing consumes, so the generator seeds only
+    // defects the repair engine can actually discharge (fan-out and
+    // hazards), not USFQ014 dead-end cells.
+    for (i, (node, comp)) in all.iter().enumerate() {
+        if c.net_fanout(*comp, 0).unwrap() == 0 {
+            c.probe(*node, format!("p{i}"));
+        }
+    }
+    c
+}
+
+fn assert_fabric_converges(seed: u64, layers: usize, width: usize) {
+    let c = random_fabric(seed, layers, width);
+    let cfg = LintConfig {
+        input_window: Time::from_ps(25.0),
+        epoch_budget: Some(Time::from_ns(1.0)),
+        ..LintConfig::default()
+    };
+    let name = format!("fabric-{seed:x}");
+    let (_, outcome) = fix_to_fixpoint(&c, &name, &cfg, &FixOptions::default());
+    assert!(
+        outcome.converged,
+        "{name} ({layers}x{width}) did not converge in {} iteration(s):\n{}",
+        outcome.iterations,
+        outcome
+            .irreducible
+            .iter()
+            .map(|d| format!("  {d}\n"))
+            .collect::<String>()
+    );
+    assert!(outcome.iterations <= FixOptions::default().max_iterations);
+}
+
+#[test]
+fn random_fabrics_converge_within_the_iteration_bound() {
+    for seed in [0xFAB0, 0xFAB1, 0xFAB2, 0xFAB3] {
+        assert_fabric_converges(seed, 6, 8);
+    }
+}
+
+// Property form of the same claim. Note: the offline build stubs out
+// proptest (the macro expands to nothing), so the deterministic test
+// above carries the coverage there; under the real dependency this
+// explores the seed/shape space.
+#[cfg(test)]
+mod props {
+    // Unused when the proptest macro is stubbed out offline.
+    #[allow(unused_imports)]
+    use super::*;
+    #[allow(unused_imports)]
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        fn arbitrary_fabrics_repair_to_closure(
+            seed in any::<u64>(),
+            layers in 2usize..7,
+            width in 2usize..9,
+        ) {
+            assert_fabric_converges(seed, layers, width);
+        }
+    }
+}

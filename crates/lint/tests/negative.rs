@@ -254,7 +254,7 @@ fn usfq008_fires_when_arrival_exceeds_budget() {
 struct MisCountedJtl;
 
 impl Component for MisCountedJtl {
-    fn name(&self) -> &str {
+    fn name(&self) -> &'static str {
         "bad_jtl"
     }
     fn num_inputs(&self) -> usize {
@@ -316,7 +316,7 @@ struct CountingSink {
 }
 
 impl Component for CountingSink {
-    fn name(&self) -> &str {
+    fn name(&self) -> &'static str {
         "ctr"
     }
     fn num_inputs(&self) -> usize {

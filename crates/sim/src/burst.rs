@@ -313,7 +313,10 @@ mod tests {
         let n: u64 = 7;
         let b = Burst::rational(Time::ZERO, 1, d, 2 * d, 2 * n, n);
         let want: Vec<u64> = (0..n).map(|k| (2 * k + 1) * d / (2 * n)).collect();
-        let got: Vec<u64> = b.iter_times().map(|t| t.as_fs()).collect();
+        let got: Vec<u64> = b
+            .iter_times()
+            .map(super::super::time::Time::as_fs)
+            .collect();
         assert_eq!(got, want);
     }
 
@@ -371,7 +374,10 @@ mod tests {
     #[test]
     fn min_gap_is_a_lower_bound() {
         let b = Burst::rational(Time::ZERO, 1, 5, 17, 6, 30);
-        let times: Vec<u64> = b.iter_times().map(|t| t.as_fs()).collect();
+        let times: Vec<u64> = b
+            .iter_times()
+            .map(super::super::time::Time::as_fs)
+            .collect();
         let actual_min = times.windows(2).map(|w| w[1] - w[0]).min().unwrap();
         assert!(b.min_gap().as_fs() <= actual_min);
         // And it's exact for uniform trains.
@@ -401,6 +407,7 @@ mod tests {
         /// Every transform agrees with the naive expansion for
         /// arbitrary (bounded) rational parameters.
         #[test]
+        #[cfg_attr(miri, ignore = "hundreds of proptest cases are too slow under miri")]
         fn transforms_match_naive_model(
             base in 0u64..1_000_000_000,
             scale in 0u64..100_000,

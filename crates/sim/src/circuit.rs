@@ -98,6 +98,11 @@ impl SinkRef {
     pub fn comp(self) -> CompId {
         self.comp
     }
+
+    /// The input port index on that component.
+    pub fn port(self) -> usize {
+        self.port
+    }
 }
 
 impl NodeRef {
@@ -105,6 +110,38 @@ impl NodeRef {
     pub fn comp(self) -> CompId {
         self.comp
     }
+
+    /// The output port index on that component.
+    pub fn port(self) -> usize {
+        self.port
+    }
+}
+
+/// One wire, identified by its source net and its position within that
+/// net's wire list — the handle [`Circuit::disconnect`] operates on.
+///
+/// Positions are creation-order indices into the net. Disconnecting a
+/// wire shifts the positions of every later wire on the same net down
+/// by one, so when removing several wires from one net, remove them in
+/// descending `nth` order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WireId {
+    /// The `nth` wire leaving an external input.
+    FromInput {
+        /// The source input.
+        input: InputId,
+        /// Position within the input net's wire list.
+        nth: usize,
+    },
+    /// The `nth` wire leaving a component output port.
+    FromComp {
+        /// The source component.
+        comp: CompId,
+        /// The source output port.
+        port: usize,
+        /// Position within the output net's wire list.
+        nth: usize,
+    },
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -581,6 +618,152 @@ impl Circuit {
         self.probes.len()
     }
 
+    /// A validated reference to a component output port, for callers
+    /// that hold a [`CompId`] rather than the original [`CompHandle`]
+    /// (analyzers and repair passes re-wiring an existing netlist).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownId`] / [`SimError::InvalidPort`] when
+    /// the component or port does not exist.
+    pub fn output_ref(&self, comp: CompId, port: usize) -> Result<NodeRef, SimError> {
+        let node = NodeRef { comp, port };
+        self.check_output(node)?;
+        Ok(node)
+    }
+
+    /// A validated reference to a component input port; the sink-side
+    /// counterpart of [`Circuit::output_ref`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownId`] / [`SimError::InvalidPort`] when
+    /// the component or port does not exist.
+    pub fn input_ref(&self, comp: CompId, port: usize) -> Result<SinkRef, SimError> {
+        let sink = SinkRef { comp, port };
+        self.check_input(sink)?;
+        Ok(sink)
+    }
+
+    /// The first component whose name equals `name`, if any. Names are
+    /// not required to be unique; repair directives that address
+    /// components by name assume the netlist builder kept them unique
+    /// (every shipped and generated netlist does).
+    pub fn find_component(&self, name: &str) -> Option<CompId> {
+        self.comps
+            .iter()
+            .position(|slot| slot.model.name() == name)
+            .map(CompId)
+    }
+
+    /// The first external input whose name equals `name`, if any.
+    pub fn find_input(&self, name: &str) -> Option<InputId> {
+        self.inputs
+            .iter()
+            .position(|slot| slot.name == name)
+            .map(InputId)
+    }
+
+    /// Number of wired sinks on a component output net.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownId`] / [`SimError::InvalidPort`] when
+    /// the component or port does not exist.
+    pub fn net_fanout(&self, comp: CompId, port: usize) -> Result<usize, SimError> {
+        self.check_output(NodeRef { comp, port })?;
+        Ok(self.comps[comp.0].outputs[port].wires.len())
+    }
+
+    /// Number of wired sinks on an external input's net.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownId`] for a foreign id.
+    pub fn input_fanout(&self, input: InputId) -> Result<usize, SimError> {
+        self.inputs
+            .get(input.0)
+            .map(|slot| slot.net.wires.len())
+            .ok_or_else(|| SimError::UnknownId(format!("input {}", input.0)))
+    }
+
+    /// Every wire feeding input port `port` of `comp`, from any source
+    /// net, as removable [`WireId`] handles (in source scan order).
+    pub fn wires_into(&self, comp: CompId, port: usize) -> Vec<WireId> {
+        let mut found = Vec::new();
+        for (src, slot) in self.comps.iter().enumerate() {
+            for (src_port, net) in slot.outputs.iter().enumerate() {
+                for (nth, w) in net.wires.iter().enumerate() {
+                    if w.dest == comp && w.port == port {
+                        found.push(WireId::FromComp {
+                            comp: CompId(src),
+                            port: src_port,
+                            nth,
+                        });
+                    }
+                }
+            }
+        }
+        for (i, slot) in self.inputs.iter().enumerate() {
+            for (nth, w) in slot.net.wires.iter().enumerate() {
+                if w.dest == comp && w.port == port {
+                    found.push(WireId::FromInput {
+                        input: InputId(i),
+                        nth,
+                    });
+                }
+            }
+        }
+        found
+    }
+
+    /// The sink and delay of a wire, without removing it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownId`] when the source net or the `nth`
+    /// position does not exist.
+    pub fn wire_sink(&self, id: WireId) -> Result<(CompId, usize, Time), SimError> {
+        let w = match id {
+            WireId::FromInput { input, nth } => self
+                .inputs
+                .get(input.0)
+                .and_then(|slot| slot.net.wires.get(nth))
+                .ok_or_else(|| SimError::UnknownId(format!("wire {id:?}")))?,
+            WireId::FromComp { comp, port, nth } => self
+                .comps
+                .get(comp.0)
+                .and_then(|slot| slot.outputs.get(port))
+                .and_then(|net| net.wires.get(nth))
+                .ok_or_else(|| SimError::UnknownId(format!("wire {id:?}")))?,
+        };
+        Ok((w.dest, w.port, w.delay))
+    }
+
+    /// Removes a wire, returning the `(sink component, sink port,
+    /// delay)` it carried — the primitive repair passes splice against
+    /// (disconnect, insert path-balancing cells, reconnect).
+    ///
+    /// Later wires on the same net shift down one position; remove in
+    /// descending `nth` order when clearing a whole net. Components,
+    /// inputs, and probes are never removed, so all existing ids stay
+    /// valid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownId`] when the source net or the `nth`
+    /// position does not exist.
+    pub fn disconnect(&mut self, id: WireId) -> Result<(CompId, usize, Time), SimError> {
+        self.wire_sink(id)?;
+        let w = match id {
+            WireId::FromInput { input, nth } => self.inputs[input.0].net.wires.remove(nth),
+            WireId::FromComp { comp, port, nth } => {
+                self.comps[comp.0].outputs[port].wires.remove(nth)
+            }
+        };
+        Ok((w.dest, w.port, w.delay))
+    }
+
     fn check_output(&self, node: NodeRef) -> Result<(), SimError> {
         let slot = self
             .comps
@@ -885,5 +1068,88 @@ mod tests {
         let mut c = Circuit::new();
         let b1 = c.add(buffer());
         let _ = c.probe(b1.output(2), "bad");
+    }
+
+    #[test]
+    fn find_by_name_and_validated_refs() {
+        let mut c = Circuit::new();
+        let input = c.input("clk");
+        let b1 = c.add(Buffer::new("stage0", Time::from_ps(1.0)));
+        assert_eq!(c.find_component("stage0"), Some(b1.id()));
+        assert_eq!(c.find_component("missing"), None);
+        assert_eq!(c.find_input("clk"), Some(input));
+        assert_eq!(c.find_input("rst"), None);
+        let out = c.output_ref(b1.id(), 0).unwrap();
+        assert_eq!(out, b1.output(0));
+        assert_eq!(out.port(), 0);
+        let sink = c.input_ref(b1.id(), 0).unwrap();
+        assert_eq!(sink, b1.input(0));
+        assert_eq!(sink.port(), 0);
+        assert!(c.output_ref(b1.id(), 3).is_err());
+        assert!(c.input_ref(CompId(9), 0).is_err());
+    }
+
+    #[test]
+    fn disconnect_removes_exactly_one_wire() {
+        let mut c = Circuit::new();
+        let input = c.input("x");
+        let b1 = c.add(buffer());
+        let b2 = c.add(buffer());
+        c.connect_input(input, b1.input(0), Time::from_ps(2.0))
+            .unwrap();
+        c.connect(b1.output(0), b2.input(0), Time::from_ps(3.0))
+            .unwrap();
+        c.connect(b1.output(0), b2.input(0), Time::from_ps(4.0))
+            .unwrap();
+        assert_eq!(c.net_fanout(b1.id(), 0).unwrap(), 2);
+        assert_eq!(c.input_fanout(input).unwrap(), 1);
+
+        let id = WireId::FromComp {
+            comp: b1.id(),
+            port: 0,
+            nth: 0,
+        };
+        assert_eq!(c.wire_sink(id).unwrap(), (b2.id(), 0, Time::from_ps(3.0)));
+        let (dst, port, delay) = c.disconnect(id).unwrap();
+        assert_eq!((dst, port, delay), (b2.id(), 0, Time::from_ps(3.0)));
+        // The second wire shifted into position 0 and survives.
+        assert_eq!(c.net_fanout(b1.id(), 0).unwrap(), 1);
+        assert_eq!(c.wire_sink(id).unwrap(), (b2.id(), 0, Time::from_ps(4.0)));
+        // Input wires disconnect through the same handle type.
+        let in_id = WireId::FromInput { input, nth: 0 };
+        assert_eq!(
+            c.disconnect(in_id).unwrap(),
+            (b1.id(), 0, Time::from_ps(2.0))
+        );
+        assert_eq!(c.input_fanout(input).unwrap(), 0);
+        // Stale handles error instead of panicking.
+        assert!(c.disconnect(in_id).is_err());
+        assert!(c
+            .wire_sink(WireId::FromComp {
+                comp: b1.id(),
+                port: 0,
+                nth: 5,
+            })
+            .is_err());
+    }
+
+    #[test]
+    fn wires_into_finds_every_driver() {
+        let mut c = Circuit::new();
+        let input = c.input("x");
+        let b1 = c.add(buffer());
+        let b2 = c.add(buffer());
+        c.connect_input(input, b2.input(0), Time::ZERO).unwrap();
+        c.connect(b1.output(0), b2.input(0), Time::from_ps(1.0))
+            .unwrap();
+        let into = c.wires_into(b2.id(), 0);
+        assert_eq!(into.len(), 2);
+        assert!(into.contains(&WireId::FromInput { input, nth: 0 }));
+        assert!(into.contains(&WireId::FromComp {
+            comp: b1.id(),
+            port: 0,
+            nth: 0,
+        }));
+        assert!(c.wires_into(b1.id(), 0).is_empty());
     }
 }

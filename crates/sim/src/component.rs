@@ -493,7 +493,7 @@ mod tests {
         #[derive(Clone)]
         struct Bare;
         impl Component for Bare {
-            fn name(&self) -> &str {
+            fn name(&self) -> &'static str {
                 "bare"
             }
             fn num_inputs(&self) -> usize {

@@ -1240,7 +1240,7 @@ impl std::fmt::Debug for Simulator {
             .field("now", &self.now)
             .field("sched", &self.queue.sched())
             .field("pending_events", &self.queue.len())
-            .finish()
+            .finish_non_exhaustive()
     }
 }
 
@@ -1314,7 +1314,7 @@ mod tests {
     #[derive(Clone)]
     struct Oscillator;
     impl Component for Oscillator {
-        fn name(&self) -> &str {
+        fn name(&self) -> &'static str {
             "osc"
         }
         fn num_inputs(&self) -> usize {
@@ -1404,7 +1404,7 @@ mod tests {
             fired_at: Option<Time>,
         }
         impl Component for TimerCell {
-            fn name(&self) -> &str {
+            fn name(&self) -> &'static str {
                 "t"
             }
             fn num_inputs(&self) -> usize {

@@ -38,6 +38,9 @@ pub struct CircuitGraph {
     pub succs: Vec<Vec<usize>>,
     /// `input_sinks[input]` — components driven by that input.
     pub input_sinks: Vec<Vec<usize>>,
+    /// External input names, indexed by input id (path endpoints for
+    /// timing/slack reports).
+    pub input_names: Vec<String>,
     /// Probes: `(name, source)`.
     pub probes: Vec<(String, ProbeSource)>,
 }
@@ -91,6 +94,7 @@ impl CircuitGraph {
             drivers[comp.index()][port].push(Driver::Input(input.index(), delay));
             input_sinks[input.index()].push(comp.index());
         }
+        let input_names = circuit.inputs().map(|(_, name)| name.to_string()).collect();
 
         let probes = circuit
             .probe_taps()
@@ -113,8 +117,47 @@ impl CircuitGraph {
             out_ports,
             succs,
             input_sinks,
+            input_names,
             probes,
         }
+    }
+
+    /// Kahn topological order over the components not marked in `skip`
+    /// (callers typically skip cyclic regions). Every driver of an
+    /// unskipped component must itself be unskipped or an external
+    /// input, or that component never closes its in-degree and is
+    /// silently absent from the order — exactly the behaviour the
+    /// timing and slack passes want for nodes downstream of a cycle.
+    pub fn topo_order(&self, skip: &[bool]) -> Vec<usize> {
+        let mut indegree = vec![0usize; self.len()];
+        for c in 0..self.len() {
+            if skip[c] {
+                continue;
+            }
+            indegree[c] = self.drivers[c]
+                .iter()
+                .flatten()
+                .filter(|d| matches!(d, Driver::Comp(..)))
+                .count();
+        }
+        let mut order: Vec<usize> = (0..self.len())
+            .filter(|&c| !skip[c] && indegree[c] == 0)
+            .collect();
+        let mut head = 0;
+        while head < order.len() {
+            let c = order[head];
+            head += 1;
+            for &s in &self.succs[c] {
+                if skip[s] {
+                    continue;
+                }
+                indegree[s] -= 1;
+                if indegree[s] == 0 {
+                    order.push(s);
+                }
+            }
+        }
+        order
     }
 
     /// Components reachable from any external input.
@@ -158,9 +201,13 @@ mod tests {
         );
         assert_eq!(g.drivers[0][0], vec![Driver::Input(0, Time::from_ps(2.0))]);
         assert_eq!(g.input_sinks[0], vec![0]);
+        assert_eq!(g.input_names, vec!["x"]);
         assert_eq!(g.succs[0], vec![1]);
         assert_eq!(g.probes.len(), 1);
         assert_eq!(g.reachable_from_inputs(), vec![true, true]);
+        assert_eq!(g.topo_order(&[false, false]), vec![0, 1]);
+        // Skipping a node drops it (and anything only it feeds).
+        assert_eq!(g.topo_order(&[true, false]), Vec::<usize>::new());
     }
 
     #[test]

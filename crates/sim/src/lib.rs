@@ -79,7 +79,7 @@ pub mod trace;
 
 pub use burst::Burst;
 pub use circuit::{
-    Circuit, CompId, FanoutOverflow, InputId, NodeRef, ProbeId, ProbeSource, SinkRef,
+    Circuit, CompId, FanoutOverflow, InputId, NodeRef, ProbeId, ProbeSource, SinkRef, WireId,
 };
 pub use component::{BurstStep, Component, Ctx, Hazard, StaticMeta};
 pub use engine::{RunSummary, Simulator};

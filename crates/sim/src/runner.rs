@@ -89,9 +89,7 @@ impl Runner {
             .and_then(|v| v.trim().parse::<usize>().ok())
             .filter(|&n| n > 0);
         let threads = from_var.unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(1)
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
         });
         Runner::with_threads(threads)
     }
@@ -255,7 +253,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
+    #[should_panic(expected = "scoped thread panicked")]
     fn panicking_closure_propagates_across_workers() {
         // The panic surfaces when the scoped workers join; it must not
         // hang the pool or silently drop the trial.
@@ -301,6 +299,7 @@ mod tests {
         /// fault sweeps, the parallel runner's results are identical to
         /// the sequential loop for *any* thread count.
         #[test]
+        #[cfg_attr(miri, ignore = "hundreds of proptest cases are too slow under miri")]
         fn parallel_equals_sequential(
             trials in 0u64..80,
             threads in 1usize..9,

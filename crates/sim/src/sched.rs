@@ -747,6 +747,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "2000 push/pop rounds are too slow under miri")]
     fn interleaved_push_pop_stays_ordered() {
         let mut q = CalendarWheel::with_params(Time::from_ps(2.0), 8);
         let mut seq = 0u64;
@@ -977,6 +978,7 @@ mod tests {
         /// The scheduler-equivalence property the engine's determinism
         /// contract rests on: wheel == heap for any push/pop script.
         #[test]
+        #[cfg_attr(miri, ignore = "hundreds of proptest cases are too slow under miri")]
         fn wheel_equals_heap_reference(
             width_exp in 0u32..16,
             buckets in 2usize..64,

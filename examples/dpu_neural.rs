@@ -68,8 +68,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("16-lane U-SFQ DPU, {bits}-bit epochs");
     println!(
-        "accuracy: unary {}/{trials}, f64 {}/{trials}, decision agreement {}/{trials}",
-        correct_unary, correct_f64, agreements
+        "accuracy: unary {correct_unary}/{trials}, f64 {correct_f64}/{trials}, decision agreement {agreements}/{trials}"
     );
     println!(
         "\nhardware: {} JJs, {} per dot product ({:.1} Gdot/s)",

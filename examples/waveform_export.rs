@@ -15,8 +15,7 @@ use usfq::sim::{Circuit, Simulator, Time};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dir = std::env::args()
         .nth(1)
-        .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from("target/export"));
+        .map_or_else(|| PathBuf::from("target/export"), PathBuf::from);
     fs::create_dir_all(&dir)?;
 
     // --- A balancer run, captured as waveforms -------------------------

@@ -52,5 +52,5 @@ fn json_series_parse_back() {
 fn serde_json_roundtrip<T: serde::Serialize>(value: &[T]) -> usize {
     let json = serde_json::to_string(value).expect("serializes");
     let parsed: serde_json::Value = serde_json::from_str(&json).expect("parses back");
-    parsed.as_array().map(|a| a.len()).unwrap_or(0)
+    parsed.as_array().map_or(0, std::vec::Vec::len)
 }
