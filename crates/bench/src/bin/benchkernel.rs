@@ -333,6 +333,45 @@ fn main() {
         }
     }
 
+    // The temporal-NoC group: build, plan, simulate, and decode one
+    // routed traffic scenario per (topology, pattern) pair the `noc`
+    // figure sweeps. Each kernel covers the full stack — topology
+    // builder, TDM planner, pulse-level simulation, in-window decode —
+    // and asserts loss-free delivery, so a timing regression here
+    // localises to the NoC path rather than the engine groups above.
+    // Keys pin the reference config (1 shard, heap, pulse scheduling);
+    // the shard/sched/burst cube is covered by the differential tests,
+    // not the snapshot.
+    for (name, topology, pattern) in [
+        (
+            "kernel/noc/mesh4x4/uniform",
+            usfq_noc::Topology::Mesh { k: 4 },
+            usfq_noc::Pattern::Uniform,
+        ),
+        (
+            "kernel/noc/torus4x4/hotspot",
+            usfq_noc::Topology::Torus { k: 4 },
+            usfq_noc::Pattern::Hotspot,
+        ),
+        (
+            "kernel/noc/bigswitch8/permutation",
+            usfq_noc::Topology::BigSwitch { n: 8 },
+            usfq_noc::Pattern::Permutation,
+        ),
+    ] {
+        results.push(Measurement::run(name, 3, move || {
+            let result = usfq_noc::run_scenario(
+                topology,
+                pattern,
+                2,
+                2022,
+                usfq_noc::SimConfig::reference(),
+            );
+            assert_eq!(result.lost_pulses, 0, "{name}: routed traffic lost pulses");
+            assert_eq!(result.delivered_flows, result.flows);
+        }));
+    }
+
     // End-to-end sweep kernels (fig18 series, fig19 fault sweep, one
     // differential sanitizer pass, the biggest structural netlist).
     results.push(Measurement::run_batched(

@@ -103,6 +103,7 @@ fn json_series(id: &str) -> Option<String> {
         "fig19" => serde_json::to_string_pretty(&fig19::snr_sweep()),
         "fig19stats" => serde_json::to_string_pretty(&fig19::snr_sweep_stats(fig19::STATS_TRIALS)),
         "fig21" => serde_json::to_string_pretty(&fig21::series()),
+        "noc" => serde_json::to_string_pretty(&noc::series()),
         _ => return None,
     };
     value.ok()

@@ -16,5 +16,6 @@ pub mod fig7;
 pub mod fig8;
 pub mod lint;
 pub mod netlist;
+pub mod noc;
 pub mod table2;
 pub mod table3;

@@ -109,6 +109,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             lint::render,
         ),
         (
+            "noc",
+            "Temporal NoC: latency/throughput/area across topologies x traffic",
+            noc::render,
+        ),
+        (
             "differential",
             "Differential soundness: sanitizer violations vs static findings",
             differential::render,

@@ -350,8 +350,12 @@ fn bursts_straddling_a_shard_boundary_match_sequential() {
 }
 
 proptest! {
-    // Each case simulates two full trials; keep the count moderate.
-    #![proptest_config(ProptestConfig::with_cases(96))]
+    // Each case simulates two full trials; keep the default moderate.
+    // The nightly workflow raises PROPTEST_CASES for a deeper sweep.
+    #![proptest_config(ProptestConfig::with_cases(
+        std::env::var("PROPTEST_CASES").ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(96)))]
 
     /// Random uniform trains through random cell chains: probe traces,
     /// activity, and anomaly tallies are identical with coalescing on

@@ -83,8 +83,12 @@ fn reset_reuse_matches_fresh_under_both_schedulers() {
 }
 
 proptest! {
-    // Each case simulates two full trials; keep the count moderate.
-    #![proptest_config(ProptestConfig::with_cases(64))]
+    // Each case simulates two full trials; keep the default moderate.
+    // The nightly workflow raises PROPTEST_CASES for a deeper sweep.
+    #![proptest_config(ProptestConfig::with_cases(
+        std::env::var("PROPTEST_CASES").ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64)))]
 
     /// Random catalogue netlist × random seed × sanitizer flag: the
     /// full fingerprint (traces, activity, peak_pending, violations)

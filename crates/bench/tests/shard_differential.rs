@@ -245,8 +245,12 @@ fn runner_sweep_of_sharded_sims_is_deterministic() {
 
 proptest! {
     // Each case simulates one sequential and two sharded trials over a
-    // generated fabric; keep the count moderate.
-    #![proptest_config(ProptestConfig::with_cases(48))]
+    // generated fabric; keep the default moderate. The nightly
+    // workflow raises PROPTEST_CASES for a deeper sweep.
+    #![proptest_config(ProptestConfig::with_cases(
+        std::env::var("PROPTEST_CASES").ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(48)))]
 
     /// Random fabric shapes, seeds, and shard counts: partitioned runs
     /// reproduce the sequential fingerprint.

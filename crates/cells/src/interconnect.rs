@@ -1,8 +1,9 @@
 //! Stateless interconnect cells: JTL, splitter, and merger.
 
+use usfq_sim::circuit::{NodeRef, SinkRef};
 use usfq_sim::component::{BurstStep, Component, Ctx, Hazard, StaticMeta};
 use usfq_sim::stats::StatKind;
-use usfq_sim::{Burst, Time};
+use usfq_sim::{Burst, Circuit, SimError, Time};
 
 use crate::catalog;
 
@@ -213,6 +214,79 @@ impl Component for Merger {
     fn static_meta(&self) -> StaticMeta {
         StaticMeta::new("merger", self.delay).with_hazard(Hazard::Collision {
             window: self.window,
+        })
+    }
+}
+
+/// An *n*:1 merger built as a balanced binary tree of [`Merger`] cells
+/// with their **physical** collision windows intact — the temporal
+/// router's output arbiter. Pulses on any input reach the single
+/// output; simultaneous arrivals within a merger's window are lost and
+/// tallied as [`StatKind::MergerCollision`], which is exactly the
+/// failure mode temporal (TDM) arbitration exists to avoid.
+///
+/// A single-input tree degenerates to a [`Jtl`] passthrough so the
+/// `inputs`/`output` contract holds for every `n >= 1`.
+#[derive(Debug)]
+pub struct MergerTree {
+    /// The `n` input sinks, in order.
+    pub inputs: Vec<SinkRef>,
+    /// The arbitrated output node.
+    pub output: NodeRef,
+    /// Number of merger cells instantiated (`n - 1` when the leaf
+    /// layer is even, otherwise one odd input rides a JTL passthrough).
+    pub mergers: usize,
+}
+
+impl MergerTree {
+    /// Instantiates a tree over `n` inputs into `circuit`. Mergers are
+    /// named `{name}_m{i}`; odd leftovers pass through `{name}_j{i}`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates wiring errors from the circuit builder (none occur
+    /// for a well-formed build).
+    pub fn build(circuit: &mut Circuit, name: &str, n: usize) -> Result<Self, SimError> {
+        assert!(n >= 1, "MergerTree needs at least one input");
+        let mut inputs = Vec::with_capacity(n);
+        let mut nodes: Vec<NodeRef> = Vec::with_capacity(n.div_ceil(2));
+        let mut m_idx = 0usize;
+        // Leaf layer: pair external inputs into mergers; an odd
+        // leftover enters through a JTL so it is a node like the rest.
+        let mut i = 0;
+        while i + 1 < n {
+            let m = circuit.add(Merger::new(format!("{name}_m{m_idx}")));
+            m_idx += 1;
+            inputs.push(m.input(Merger::IN_A));
+            inputs.push(m.input(Merger::IN_B));
+            nodes.push(m.output(Merger::OUT));
+            i += 2;
+        }
+        if i < n {
+            let j = circuit.add(Jtl::new(format!("{name}_j0")));
+            inputs.push(j.input(Jtl::IN));
+            nodes.push(j.output(Jtl::OUT));
+        }
+        // Reduce pairwise; an odd node is carried up unchanged.
+        while nodes.len() > 1 {
+            let mut next = Vec::with_capacity(nodes.len().div_ceil(2));
+            for pair in nodes.chunks(2) {
+                if let [a, b] = *pair {
+                    let m = circuit.add(Merger::new(format!("{name}_m{m_idx}")));
+                    m_idx += 1;
+                    circuit.connect(a, m.input(Merger::IN_A), Time::ZERO)?;
+                    circuit.connect(b, m.input(Merger::IN_B), Time::ZERO)?;
+                    next.push(m.output(Merger::OUT));
+                } else {
+                    next.push(pair[0]);
+                }
+            }
+            nodes = next;
+        }
+        Ok(MergerTree {
+            inputs,
+            output: nodes[0],
+            mergers: m_idx,
         })
     }
 }

@@ -12,6 +12,7 @@
 //! | FA / LA | race-logic first/last-arrival primitives | [`race`] |
 //! | balancer (+ routing unit, structural builder) | the paper's §4.2 collision-free 2:2 pulse balancer | [`balancer`] |
 //! | mux / demux | interleaving switches for the RL memory cell | [`switch`] |
+//! | demux / merger trees | structural 1:n and n:1 trees — the temporal-router crossbar and arbiter | [`switch`], [`interconnect`] |
 //!
 //! Every cell carries its Josephson-junction cost from [`catalog`], which
 //! reconciles primitive counts from the public RSFQ cell libraries with
@@ -59,9 +60,9 @@ pub mod toggle;
 
 pub use balancer::{Balancer, RoutingUnit, StructuralBalancer};
 pub use domain::{signature_for, CellSignature, PortDomain};
-pub use interconnect::{Jtl, Merger, Splitter};
+pub use interconnect::{Jtl, Merger, MergerTree, Splitter};
 pub use inverter::ClockedInverter;
 pub use race::{FirstArrival, Inhibit, LastArrival};
 pub use storage::{Dff, Dff2, Ndro};
-pub use switch::{Demux, Mux};
+pub use switch::{Demux, DemuxTree, Mux};
 pub use toggle::{Tff, Tff2};

@@ -2,10 +2,12 @@
 //! [Zheng '99], used by the RL memory cell (paper Fig. 10d) to ping-pong
 //! between its two integrator buffers on alternating epochs.
 
+use usfq_sim::circuit::{NodeRef, SinkRef};
 use usfq_sim::component::{Component, Ctx, Hazard, StaticMeta};
-use usfq_sim::Time;
+use usfq_sim::{Circuit, SimError, Time};
 
 use crate::catalog;
+use crate::interconnect::Jtl;
 
 /// A 1:2 demultiplexer: routes `IN` pulses to the currently selected
 /// output; each `SEL` pulse toggles the selection.
@@ -70,6 +72,107 @@ impl Component for Demux {
             sampled: Self::IN,
             window: self.delay,
         })
+    }
+}
+
+/// A 1:*n* demultiplexer built as a balanced binary tree of [`Demux`]
+/// cells, the temporal-router crossbar primitive: `IN` pulses reach
+/// exactly one of `n` leaves, chosen by the states of the internal
+/// demuxes.
+///
+/// Unlike a full 2^k tree, the tree is sized to exactly `n` leaves
+/// (`n - 1` demuxes), so no output ever dangles — every leaf is a real
+/// destination and the netlist stays clean under the unconsumed-output
+/// lint. Each internal demux exposes its `SEL` sink in `selects`
+/// (creation order); [`DemuxTree::paths`] records, per leaf, which
+/// `(select, state)` settings steer `IN` there, with `false` meaning
+/// the power-on [`Demux::OUT_A`] side.
+///
+/// A single-leaf tree degenerates to a [`Jtl`] passthrough so the
+/// `input`/`leaves` contract holds for every `n >= 1`.
+#[derive(Debug)]
+pub struct DemuxTree {
+    /// Drive data pulses into this sink.
+    pub input: SinkRef,
+    /// The `n` leaf outputs, in order.
+    pub leaves: Vec<NodeRef>,
+    /// `SEL` sinks of the internal demuxes, in creation order.
+    pub selects: Vec<SinkRef>,
+    /// Per leaf: the `(select index, state)` settings along its path.
+    /// `state == false` selects [`Demux::OUT_A`].
+    pub paths: Vec<Vec<(usize, bool)>>,
+}
+
+impl DemuxTree {
+    /// Instantiates a tree with `n` leaves into `circuit`. Demuxes are
+    /// named `{name}_d{i}`; the degenerate single-leaf passthrough is
+    /// `{name}_j0`.
+    ///
+    /// # Errors
+    ///
+    /// `n == 0` is rejected as [`SimError::InvalidPort`]-free misuse:
+    /// the builder returns the circuit's wiring error if any connect
+    /// fails (none occur for a well-formed build).
+    pub fn build(circuit: &mut Circuit, name: &str, n: usize) -> Result<Self, SimError> {
+        assert!(n >= 1, "DemuxTree needs at least one leaf");
+        if n == 1 {
+            let j = circuit.add(Jtl::new(format!("{name}_j0")));
+            return Ok(DemuxTree {
+                input: j.input(Jtl::IN),
+                leaves: vec![j.output(Jtl::OUT)],
+                selects: Vec::new(),
+                paths: vec![Vec::new()],
+            });
+        }
+        let mut selects = Vec::new();
+        let mut leaves = Vec::new();
+        let mut paths = Vec::new();
+        let input = Self::subtree(
+            circuit,
+            name,
+            n,
+            &mut Vec::new(),
+            &mut selects,
+            &mut leaves,
+            &mut paths,
+        )?;
+        Ok(DemuxTree {
+            input,
+            leaves,
+            selects,
+            paths,
+        })
+    }
+
+    /// Builds the subtree for `n >= 2` leaves and returns its root data
+    /// sink; `n == 1` subtrees are handled by the caller wiring the
+    /// parent demux output straight through.
+    fn subtree(
+        circuit: &mut Circuit,
+        name: &str,
+        n: usize,
+        prefix: &mut Vec<(usize, bool)>,
+        selects: &mut Vec<SinkRef>,
+        leaves: &mut Vec<NodeRef>,
+        paths: &mut Vec<Vec<(usize, bool)>>,
+    ) -> Result<SinkRef, SimError> {
+        debug_assert!(n >= 2);
+        let idx = selects.len();
+        let d = circuit.add(Demux::new(format!("{name}_d{idx}")));
+        selects.push(d.input(Demux::IN_SEL));
+        let left = n.div_ceil(2);
+        for (state, out, count) in [(false, Demux::OUT_A, left), (true, Demux::OUT_B, n - left)] {
+            prefix.push((idx, state));
+            if count == 1 {
+                leaves.push(d.output(out));
+                paths.push(prefix.clone());
+            } else {
+                let child = Self::subtree(circuit, name, count, prefix, selects, leaves, paths)?;
+                circuit.connect(d.output(out), child, Time::ZERO)?;
+            }
+            prefix.pop();
+        }
+        Ok(d.input(Demux::IN))
     }
 }
 

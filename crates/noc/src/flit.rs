@@ -1,0 +1,87 @@
+//! Flit format: one flit is a unary **pulse-stream train** — the
+//! payload value is the pulse *count*, scheduled inside a sub-slot by
+//! [`usfq_encoding::PulseStream::schedule_from`]. Routing is carried
+//! out-of-band by the TDM schedule (demux states), so a flit needs no
+//! header pulses at all: the *when* of the train is the address.
+
+use usfq_encoding::{Epoch, PulseStream};
+use usfq_sim::Time;
+
+/// Geometry of a flit and of the TDM rounds that carry it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlitGeometry {
+    /// The counting epoch of the payload train: a flit carries
+    /// `1..=epoch.n_max()` pulses spread over `epoch.duration()`.
+    pub epoch: Epoch,
+    /// Quiet time between a round's control pulses (demux SEL toggles)
+    /// and the first data sub-slot, covering control-path flight plus
+    /// every demux's setup window.
+    pub control_settle: Time,
+    /// Guard time appended to each sub-slot so in-flight pulses drain
+    /// before the next sub-slot (and before the next round's control).
+    pub guard: Time,
+}
+
+impl FlitGeometry {
+    /// A geometry carrying `bits`-bit payloads on a 20 ps slot grid,
+    /// with settle/guard margins sized for the shipped routers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Epoch`] construction failure for out-of-range
+    /// `bits`.
+    pub fn with_bits(bits: u32) -> Result<Self, usfq_encoding::EncodingError> {
+        Ok(FlitGeometry {
+            epoch: Epoch::with_slot(bits, Time::from_ps(20.0))?,
+            control_settle: Time::from_ps(60.0),
+            guard: Time::from_ps(60.0),
+        })
+    }
+
+    /// Time span of the payload train itself.
+    pub fn payload_span(&self) -> Time {
+        self.epoch.duration()
+    }
+
+    /// Encodes `count` pulses as a flit train anchored at `at`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `count` exceeds the epoch's `n_max`.
+    pub fn encode(
+        &self,
+        count: u64,
+        at: Time,
+    ) -> Result<(PulseStream, Vec<Time>), usfq_encoding::EncodingError> {
+        let stream = PulseStream::from_count(count, self.epoch)?;
+        let times = stream.schedule_from(at);
+        Ok((stream, times))
+    }
+
+    /// Decodes a flit: the number of probe arrivals inside
+    /// `[window_start, window_end)`.
+    pub fn decode(times: &[Time], window: (Time, Time)) -> u64 {
+        times
+            .iter()
+            .filter(|&&t| t >= window.0 && t < window.1)
+            .count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let g = FlitGeometry::with_bits(4).unwrap();
+        let at = Time::from_ps(100.0);
+        let (stream, times) = g.encode(9, at).unwrap();
+        assert_eq!(stream.count(), 9);
+        assert_eq!(times.len(), 9);
+        assert!(times.iter().all(|&t| t >= at && t < at + g.payload_span()));
+        let end = at + g.payload_span();
+        assert_eq!(FlitGeometry::decode(&times, (at, end)), 9);
+        assert_eq!(FlitGeometry::decode(&times, (end, end + end)), 0);
+    }
+}

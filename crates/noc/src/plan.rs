@@ -1,0 +1,181 @@
+//! TDM planner — the *temporal arbiter*. Instead of per-flit header
+//! decoding, the planner partitions flows into **rounds** (sets whose
+//! crossbar settings agree, so one static switch configuration serves
+//! them all) and **sub-slots** within a round (flows sharing any path
+//! resource — inject port or router output — are serialized). The
+//! result is a pulse-exact stimulus: SEL toggle pulses at each round
+//! boundary, flit trains at sub-slot starts, and per-flow delivery
+//! windows the decoder counts against.
+//!
+//! Sub-slots are sized so a worst-case route drains completely before
+//! the next sub-slot begins; rounds end with a guard so the next
+//! round's control pulses meet quiet demuxes. By construction the
+//! fabric therefore delivers every scheduled flit loss-free — the
+//! property the proptests pin against the pulse-level simulator.
+
+use std::collections::HashMap;
+
+use usfq_encoding::PulseStream;
+use usfq_sim::{InputId, ProbeId, Time};
+
+use crate::topology::NocFabric;
+use crate::traffic::Flow;
+
+/// Where and when one flow's flit is expected to arrive.
+#[derive(Debug, Clone)]
+pub struct FlowDelivery {
+    /// Index into the planned flow list.
+    pub flow: usize,
+    /// Eject probe of the destination endpoint.
+    pub probe: ProbeId,
+    /// When the flit train's sub-slot (and first possible pulse) starts.
+    pub injected_at: Time,
+    /// Half-open arrival window at the probe; disjoint from every
+    /// other delivery window on the same probe.
+    pub window: (Time, Time),
+    /// Pulse count the decoder must find in the window.
+    pub expected: u64,
+    /// Round and sub-slot the flow was assigned.
+    pub round: usize,
+    /// Sub-slot within the round.
+    pub subslot: usize,
+}
+
+/// A complete TDM schedule for one traffic pattern on one fabric.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    /// SEL toggle pulses per control input (only inputs that toggle).
+    pub control: Vec<(InputId, Vec<Time>)>,
+    /// Flit trains: `(inject input, train, sub-slot start)`.
+    pub payload: Vec<(InputId, PulseStream, Time)>,
+    /// Expected arrivals, one per flow.
+    pub deliveries: Vec<FlowDelivery>,
+    /// Number of rounds used.
+    pub rounds: usize,
+    /// Total sub-slots across all rounds.
+    pub total_subslots: usize,
+    /// Length of one sub-slot (worst-case flight + payload + guard).
+    pub subslot_len: Time,
+    /// End of the last round: every pulse has drained by here.
+    pub makespan: Time,
+}
+
+/// Plans `flows` onto `fabric`. Greedy first-fit: each round admits
+/// every remaining flow whose switch settings don't conflict with the
+/// round's accumulated configuration, then packs admitted flows into
+/// the earliest sub-slot whose resources are free.
+pub fn plan(fabric: &NocFabric, flows: &[Flow]) -> Schedule {
+    let routes: Vec<_> = flows.iter().map(|f| fabric.route(f.src, f.dst)).collect();
+    let subslot_len = fabric.flight_bound(fabric.max_routers)
+        + fabric.geometry.payload_span()
+        + fabric.geometry.guard;
+
+    // Phase 1: partition into rounds and sub-slots.
+    struct Assigned {
+        round: usize,
+        subslot: usize,
+    }
+    // One TDM round: the agreed switch settings, plus the path
+    // resources each sub-slot has already claimed.
+    struct RoundPlan {
+        settings: HashMap<usize, bool>,
+        subslots: Vec<Vec<usize>>,
+    }
+    let mut assignment: Vec<Option<Assigned>> = flows.iter().map(|_| None).collect();
+    let mut round_plans: Vec<RoundPlan> = Vec::new();
+    let mut unassigned = flows.len();
+    while unassigned > 0 {
+        let round = round_plans.len();
+        let mut settings: HashMap<usize, bool> = HashMap::new();
+        let mut subslots: Vec<Vec<usize>> = Vec::new();
+        let mut admitted = 0usize;
+        for (idx, route) in routes.iter().enumerate() {
+            if assignment[idx].is_some() {
+                continue;
+            }
+            let compatible = route
+                .settings
+                .iter()
+                .all(|&(sel, st)| settings.get(&sel).map_or(true, |&have| have == st));
+            if !compatible {
+                continue;
+            }
+            for &(sel, st) in &route.settings {
+                settings.insert(sel, st);
+            }
+            let subslot = subslots
+                .iter()
+                .position(|used| route.resources.iter().all(|r| !used.contains(r)))
+                .unwrap_or_else(|| {
+                    subslots.push(Vec::new());
+                    subslots.len() - 1
+                });
+            subslots[subslot].extend(route.resources.iter().copied());
+            assignment[idx] = Some(Assigned { round, subslot });
+            admitted += 1;
+        }
+        assert!(admitted > 0, "an empty round admits any flow");
+        unassigned -= admitted;
+        round_plans.push(RoundPlan { settings, subslots });
+    }
+
+    // Phase 2: lay the rounds out on the timeline and emit pulses.
+    let mut switch_state = vec![false; fabric.selects.len()];
+    let mut control: HashMap<usize, Vec<Time>> = HashMap::new();
+    let mut round_starts = Vec::with_capacity(round_plans.len());
+    let mut t = Time::ZERO;
+    let mut total_subslots = 0usize;
+    for RoundPlan { settings, subslots } in &round_plans {
+        round_starts.push(t);
+        // Toggle exactly the switches whose required state differs;
+        // untouched switches keep their state into the next round.
+        let mut toggles: Vec<usize> = settings
+            .iter()
+            .filter(|&(&sel, &st)| switch_state[sel] != st)
+            .map(|(&sel, _)| sel)
+            .collect();
+        toggles.sort_unstable();
+        for sel in toggles {
+            switch_state[sel] = !switch_state[sel];
+            control.entry(sel).or_default().push(t);
+        }
+        total_subslots += subslots.len();
+        t += fabric.geometry.control_settle + subslot_len * subslots.len() as u64;
+    }
+
+    let mut payload = Vec::with_capacity(flows.len());
+    let mut deliveries = Vec::with_capacity(flows.len());
+    for (idx, flow) in flows.iter().enumerate() {
+        let a = assignment[idx].as_ref().expect("every flow is assigned");
+        let start =
+            round_starts[a.round] + fabric.geometry.control_settle + subslot_len * a.subslot as u64;
+        let stream = PulseStream::from_count(flow.payload, fabric.geometry.epoch)
+            .expect("payload fits the flit epoch");
+        payload.push((fabric.inject[flow.src], stream, start));
+        deliveries.push(FlowDelivery {
+            flow: idx,
+            probe: fabric.eject[flow.dst],
+            injected_at: start,
+            window: (start, start + subslot_len),
+            expected: flow.payload,
+            round: a.round,
+            subslot: a.subslot,
+        });
+    }
+
+    let mut control: Vec<(InputId, Vec<Time>)> = control
+        .into_iter()
+        .map(|(sel, times)| (fabric.selects[sel], times))
+        .collect();
+    control.sort_by_key(|(input, _)| input.index());
+
+    Schedule {
+        control,
+        payload,
+        deliveries,
+        rounds: round_plans.len(),
+        total_subslots,
+        subslot_len,
+        makespan: t,
+    }
+}

@@ -1,0 +1,525 @@
+//! Topology builder: instantiates a fabric of temporal routers —
+//! mesh, torus, or one-big-switch — as a single [`Circuit`], and
+//! computes XY (dimension-order) routes over it.
+//!
+//! Links between routers carry a positive wire delay, so a sharded
+//! simulation can contract each router (whose internal wires are
+//! zero-delay) into one atomic unit and use the link delay as
+//! conservative lookahead. Components are added router-major, which
+//! gives the shard partitioner contiguous router blocks.
+
+use usfq_cells::catalog;
+use usfq_lint::LintConfig;
+use usfq_sim::{Circuit, InputId, ProbeId, Time};
+
+use crate::flit::FlitGeometry;
+use crate::router::{InPort, RouteTable, RouterSpec};
+
+/// Inter-router link delay: long enough to dominate shard lookahead,
+/// short against the flit sub-slot.
+pub const LINK_DELAY: Time = Time::from_fs(10_000);
+
+/// A fabric shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Topology {
+    /// `k × k` mesh, XY dimension-order routing, no wraparound.
+    Mesh {
+        /// Side length (`k >= 2`).
+        k: usize,
+    },
+    /// `k × k` torus: mesh plus wraparound rings, shortest-way XY.
+    Torus {
+        /// Side length (`k >= 2`).
+        k: usize,
+    },
+    /// A single `n`-port crossbar router ("one big switch").
+    BigSwitch {
+        /// Port count (`n >= 2`).
+        n: usize,
+    },
+}
+
+impl Topology {
+    /// Number of endpoints (inject/eject pairs).
+    pub fn nodes(&self) -> usize {
+        match *self {
+            Topology::Mesh { k } | Topology::Torus { k } => k * k,
+            Topology::BigSwitch { n } => n,
+        }
+    }
+
+    /// Stable artefact label, e.g. `mesh4x4`.
+    pub fn label(&self) -> String {
+        match *self {
+            Topology::Mesh { k } => format!("mesh{k}x{k}"),
+            Topology::Torus { k } => format!("torus{k}x{k}"),
+            Topology::BigSwitch { n } => format!("bigswitch{n}"),
+        }
+    }
+
+    /// Builds the fabric circuit for this topology.
+    pub fn build(&self, geometry: FlitGeometry) -> NocFabric {
+        match *self {
+            Topology::Mesh { k } => build_grid(*self, k, false, geometry),
+            Topology::Torus { k } => build_grid(*self, k, true, geometry),
+            Topology::BigSwitch { n } => build_big_switch(*self, n, geometry),
+        }
+    }
+}
+
+/// Per-router route metadata kept by the fabric.
+#[derive(Debug)]
+struct RouterMeta {
+    in_labels: Vec<String>,
+    out_labels: Vec<String>,
+    /// `route[i][o]`: global `(select, state)` settings, `None` when
+    /// the turn is disallowed.
+    route: RouteTable,
+    /// First global output-resource id of this router's outputs.
+    out_base: usize,
+}
+
+impl RouterMeta {
+    fn in_port(&self, label: &str) -> usize {
+        self.in_labels
+            .iter()
+            .position(|l| l == label)
+            .expect("router input port exists")
+    }
+    fn out_port(&self, label: &str) -> usize {
+        self.out_labels
+            .iter()
+            .position(|l| l == label)
+            .expect("router output port exists")
+    }
+}
+
+/// A route through the fabric: the switch settings it needs and the
+/// exclusive resources it occupies while a flit is in flight.
+#[derive(Debug, Clone)]
+pub struct Route {
+    /// Global `(select index, state)` settings for every demux on the
+    /// path. Settings for distinct hops never conflict: each demux
+    /// appears at most once.
+    pub settings: Vec<(usize, bool)>,
+    /// Exclusive resource ids (inject port + every router output port
+    /// traversed). Two flows sharing any resource must use different
+    /// sub-slots.
+    pub resources: Vec<usize>,
+    /// Router traversals (1 for a big switch, Manhattan distance + 1
+    /// on a grid).
+    pub routers: usize,
+}
+
+/// A built fabric: the circuit plus everything needed to steer,
+/// stimulate, and observe it.
+#[derive(Debug)]
+pub struct NocFabric {
+    /// The assembled netlist.
+    pub circuit: Circuit,
+    /// Shape this fabric was built from.
+    pub topology: Topology,
+    /// Flit geometry the fabric was sized for.
+    pub geometry: FlitGeometry,
+    /// Per endpoint: the external inject input.
+    pub inject: Vec<InputId>,
+    /// Per endpoint: the eject probe.
+    pub eject: Vec<ProbeId>,
+    /// All demux control inputs, router-major.
+    pub selects: Vec<InputId>,
+    routers: Vec<RouterMeta>,
+    /// Worst-case router traversals of any route.
+    pub max_routers: usize,
+    /// Conservative one-router flight bound (buffer + crossbar +
+    /// arbiter + driver + outgoing link).
+    pub hop_bound: Time,
+    total_out_resources: usize,
+}
+
+impl NocFabric {
+    /// The XY route from endpoint `src` to endpoint `dst` (which may
+    /// equal `src`: inject → eject through the local router).
+    pub fn route(&self, src: usize, dst: usize) -> Route {
+        let mut resources = vec![self.total_out_resources + src];
+        let (k, wrap) = match self.topology {
+            Topology::Mesh { k } => (k, false),
+            Topology::Torus { k } => (k, true),
+            Topology::BigSwitch { .. } => {
+                // Single router: src's input port straight to dst's
+                // eject port.
+                let meta = &self.routers[0];
+                let i = meta.in_port(&format!("i{src}"));
+                let o = meta.out_port(&format!("e{dst}"));
+                let settings = meta.route[i][o]
+                    .clone()
+                    .expect("big switch allows every turn");
+                resources.push(meta.out_base + o);
+                return Route {
+                    settings,
+                    resources,
+                    routers: 1,
+                };
+            }
+        };
+        let mut settings = Vec::new();
+        let mut routers = 0usize;
+        let mut node = src;
+        let mut in_label = "inj";
+        loop {
+            routers += 1;
+            let out_label = grid_step(k, node, dst, wrap);
+            let meta = &self.routers[node];
+            let i = meta.in_port(in_label);
+            let o = meta.out_port(&out_label);
+            settings.extend(
+                meta.route[i][o]
+                    .as_ref()
+                    .expect("XY route only takes allowed turns")
+                    .iter()
+                    .copied(),
+            );
+            resources.push(meta.out_base + o);
+            if out_label == "ej" {
+                break;
+            }
+            let (x, y) = (node % k, node / k);
+            let (nx, ny, next_in) = match out_label.as_str() {
+                "e" => ((x + 1) % k, y, "w"),
+                "w" => ((x + k - 1) % k, y, "e"),
+                "s" => (x, (y + 1) % k, "n"),
+                "n" => (x, (y + k - 1) % k, "s"),
+                other => unreachable!("unexpected grid output {other}"),
+            };
+            node = ny * k + nx;
+            in_label = next_in;
+        }
+        Route {
+            settings,
+            resources,
+            routers,
+        }
+    }
+
+    /// Conservative flight-time bound for a route of `routers`
+    /// traversals.
+    pub fn flight_bound(&self, routers: usize) -> Time {
+        self.hop_bound * routers as u64
+    }
+
+    /// The lint envelope this fabric is analyzed under: inputs pulse
+    /// within `[0, horizon]`, arrivals must settle within the horizon
+    /// plus one worst-case flight, and the fabric's two *declared*
+    /// hazard classes are waived — merger-collision windows on the
+    /// arbiter trees (`USFQ006`) and SEL/data setup races on the
+    /// crossbar demuxes (`USFQ007`). Both are exactly what the TDM
+    /// schedule avoids dynamically; static timing cannot see the
+    /// schedule, so the acknowledgment lives here, in the open.
+    /// Torus wrap rings are cyclic by construction, so its router
+    /// cells are cycle-allowlisted (timing is then skipped with an
+    /// `USFQ010` info note rather than erroring).
+    pub fn lint_config(&self, horizon: Time) -> LintConfig {
+        let cycle_allowlist = match self.topology {
+            Topology::Torus { .. } => vec!["n".to_string()],
+            Topology::Mesh { .. } | Topology::BigSwitch { .. } => Vec::new(),
+        };
+        LintConfig {
+            input_window: horizon,
+            epoch_budget: Some(horizon + self.flight_bound(self.max_routers) + self.hop_bound),
+            cycle_allowlist,
+            epoch_pulse_capacity: Some(self.geometry.epoch.n_max()),
+            rl_epoch_end: None,
+            waivers: vec![
+                ("USFQ006".to_string(), "_a_m".to_string()),
+                ("USFQ007".to_string(), "_x_d".to_string()),
+            ],
+        }
+    }
+}
+
+/// The XY (dimension-order) next output at `node` toward `dst`;
+/// `wrap` enables shortest-way wraparound (torus).
+fn grid_step(k: usize, node: usize, dst: usize, wrap: bool) -> String {
+    let (x, y) = (node % k, node / k);
+    let (dx, dy) = (dst % k, dst / k);
+    let dir = |from: usize, to: usize, pos: &'static str, neg: &'static str| -> Option<String> {
+        if from == to {
+            return None;
+        }
+        if wrap {
+            let fwd = (to + k - from) % k;
+            let back = (from + k - to) % k;
+            Some(if fwd <= back { pos } else { neg }.to_string())
+        } else {
+            Some(if to > from { pos } else { neg }.to_string())
+        }
+    };
+    dir(x, dx, "e", "w")
+        .or_else(|| dir(y, dy, "s", "n"))
+        .unwrap_or_else(|| "ej".to_string())
+}
+
+/// Grid turn model: which outputs an input may route to, XY
+/// dimension-order (X channels may turn into Y, never the reverse).
+fn grid_allowed(in_label: &str, out_labels: &[String]) -> Vec<usize> {
+    let permitted: &[&str] = match in_label {
+        "inj" => &["ej", "e", "w", "n", "s"],
+        // Eastbound / westbound traffic may continue, turn to Y, or eject.
+        "w" => &["ej", "e", "n", "s"],
+        "e" => &["ej", "w", "n", "s"],
+        // Y-channel traffic only continues or ejects.
+        "n" => &["ej", "s"],
+        "s" => &["ej", "n"],
+        other => unreachable!("unexpected grid input {other}"),
+    };
+    out_labels
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| permitted.contains(&l.as_str()))
+        .map(|(o, _)| o)
+        .collect()
+}
+
+fn build_grid(topology: Topology, k: usize, wrap: bool, geometry: FlitGeometry) -> NocFabric {
+    assert!(k >= 2, "grid needs k >= 2");
+    let nodes = k * k;
+    let mut circuit = Circuit::new();
+    let mut routers = Vec::with_capacity(nodes);
+    let mut built = Vec::with_capacity(nodes);
+    let mut selects = Vec::new();
+    let mut inject = Vec::with_capacity(nodes);
+    let mut out_base = 0usize;
+    let mut max_demux_fan = 1usize;
+    let mut max_merge_fan = 1usize;
+
+    for id in 0..nodes {
+        let (x, y) = (id % k, id / k);
+        let has = |d: &str| -> bool {
+            wrap || match d {
+                "e" => x + 1 < k,
+                "w" => x > 0,
+                "s" => y + 1 < k,
+                "n" => y > 0,
+                _ => unreachable!(),
+            }
+        };
+        let mut out_labels = vec!["ej".to_string()];
+        for d in ["e", "w", "n", "s"] {
+            if has(d) {
+                out_labels.push(d.to_string());
+            }
+        }
+        let mut inputs = vec![InPort {
+            label: "inj".into(),
+            allowed: grid_allowed("inj", &out_labels),
+        }];
+        for d in ["w", "e", "n", "s"] {
+            // An input from direction d exists iff the link toward d
+            // exists (the neighbour mirrors it).
+            if has(d) {
+                inputs.push(InPort {
+                    label: d.to_string(),
+                    allowed: grid_allowed(d, &out_labels),
+                });
+            }
+        }
+        for p in &inputs {
+            max_demux_fan = max_demux_fan.max(p.allowed.len());
+        }
+        for o in 0..out_labels.len() {
+            let fan = inputs.iter().filter(|p| p.allowed.contains(&o)).count();
+            max_merge_fan = max_merge_fan.max(fan);
+        }
+        let spec = RouterSpec {
+            name: format!("n{id}"),
+            inputs: inputs.clone(),
+            outputs: out_labels.clone(),
+        };
+        let b = spec.build(&mut circuit).expect("grid router builds");
+        let select_base = selects.len();
+        selects.extend(b.selects.iter().copied());
+        let route = b
+            .route
+            .iter()
+            .map(|per_out| {
+                per_out
+                    .iter()
+                    .map(|opt| {
+                        opt.as_ref()
+                            .map(|path| path.iter().map(|&(s, st)| (select_base + s, st)).collect())
+                    })
+                    .collect()
+            })
+            .collect();
+        routers.push(RouterMeta {
+            in_labels: inputs.into_iter().map(|p| p.label).collect(),
+            out_labels: out_labels.clone(),
+            route,
+            out_base,
+        });
+        out_base += out_labels.len();
+
+        let inj = circuit.input(format!("inj{id}"));
+        circuit
+            .connect_input(inj, b.ins[0], Time::ZERO)
+            .expect("inject wiring");
+        inject.push(inj);
+        built.push(b);
+    }
+
+    // Inter-router links and eject probes.
+    let mut eject = Vec::with_capacity(nodes);
+    for id in 0..nodes {
+        let (x, y) = (id % k, id / k);
+        for (d, nx, ny, remote_in) in [
+            ("e", (x + 1) % k, y, "w"),
+            ("w", (x + k - 1) % k, y, "e"),
+            ("s", x, (y + 1) % k, "n"),
+            ("n", x, (y + k - 1) % k, "s"),
+        ] {
+            if let Some(o) = routers[id].out_labels.iter().position(|l| l == d) {
+                let neighbour = ny * k + nx;
+                let i = routers[neighbour].in_port(remote_in);
+                circuit
+                    .connect(built[id].outs[o], built[neighbour].ins[i], LINK_DELAY)
+                    .expect("link wiring");
+            }
+        }
+        let probe = circuit.probe(built[id].outs[0], format!("ej{id}"));
+        eject.push(probe);
+    }
+
+    let max_routers = if wrap {
+        2 * (k / 2) + 1
+    } else {
+        2 * (k - 1) + 1
+    };
+    NocFabric {
+        circuit,
+        topology,
+        geometry,
+        inject,
+        eject,
+        selects,
+        routers,
+        max_routers,
+        hop_bound: hop_bound(max_demux_fan, max_merge_fan),
+        total_out_resources: out_base,
+    }
+}
+
+fn build_big_switch(topology: Topology, n: usize, geometry: FlitGeometry) -> NocFabric {
+    assert!(n >= 2, "big switch needs n >= 2");
+    let mut circuit = Circuit::new();
+    let out_labels: Vec<String> = (0..n).map(|j| format!("e{j}")).collect();
+    let inputs: Vec<InPort> = (0..n)
+        .map(|j| InPort {
+            label: format!("i{j}"),
+            allowed: (0..n).collect(),
+        })
+        .collect();
+    let spec = RouterSpec {
+        name: "n0".into(),
+        inputs: inputs.clone(),
+        outputs: out_labels.clone(),
+    };
+    let b = spec.build(&mut circuit).expect("big switch builds");
+    let mut inject = Vec::with_capacity(n);
+    let mut eject = Vec::with_capacity(n);
+    for j in 0..n {
+        let inj = circuit.input(format!("inj{j}"));
+        circuit
+            .connect_input(inj, b.ins[j], Time::ZERO)
+            .expect("inject wiring");
+        inject.push(inj);
+        eject.push(circuit.probe(b.outs[j], format!("ej{j}")));
+    }
+    let meta = RouterMeta {
+        in_labels: inputs.iter().map(|p| p.label.clone()).collect(),
+        out_labels,
+        route: b.route,
+        out_base: 0,
+    };
+    NocFabric {
+        circuit,
+        topology,
+        geometry,
+        inject,
+        eject,
+        selects: b.selects,
+        routers: vec![meta],
+        max_routers: 1,
+        hop_bound: hop_bound(n, n),
+        total_out_resources: n,
+    }
+}
+
+/// Conservative per-router flight bound: two buffer JTLs, the deepest
+/// crossbar path, the deepest arbiter path, the output driver, the
+/// outgoing link, plus slack for the degenerate-passthrough JTLs the
+/// trees insert.
+fn hop_bound(max_demux_fan: usize, max_merge_fan: usize) -> Time {
+    let demux_depth = tree_depth(max_demux_fan);
+    let merge_depth = tree_depth(max_merge_fan);
+    catalog::t_jtl() * 4
+        + catalog::t_ff() * demux_depth as u64
+        + catalog::t_merger() * merge_depth as u64
+        + LINK_DELAY
+        + Time::from_ps(5.0)
+}
+
+fn tree_depth(n: usize) -> usize {
+    let mut depth = 0;
+    let mut span = 1;
+    while span < n {
+        span *= 2;
+        depth += 1;
+    }
+    depth.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geometry() -> FlitGeometry {
+        FlitGeometry::with_bits(4).unwrap()
+    }
+
+    #[test]
+    fn mesh_routes_are_xy() {
+        let f = Topology::Mesh { k: 3 }.build(geometry());
+        // 0 (0,0) → 8 (2,2): e, e, s, s, eject — 5 router traversals.
+        let r = f.route(0, 8);
+        assert_eq!(r.routers, 5);
+        // inject resource + one output resource per traversal.
+        assert_eq!(r.resources.len(), 6);
+        // Self-route stays inside the local router.
+        assert_eq!(f.route(4, 4).routers, 1);
+    }
+
+    #[test]
+    fn torus_wraps_the_short_way() {
+        let f = Topology::Torus { k: 4 }.build(geometry());
+        // 0 (0,0) → 3 (3,0): westward wrap is 1 hop against 3 east.
+        let r = f.route(0, 3);
+        assert_eq!(r.routers, 2);
+    }
+
+    #[test]
+    fn big_switch_is_single_hop() {
+        let f = Topology::BigSwitch { n: 5 }.build(geometry());
+        for dst in 0..5 {
+            assert_eq!(f.route(2, dst).routers, 1);
+        }
+    }
+
+    #[test]
+    fn routes_share_resources_only_when_paths_overlap() {
+        let f = Topology::Mesh { k: 3 }.build(geometry());
+        let a = f.route(0, 2); // e, e, eject along row 0
+        let b = f.route(3, 5); // e, e, eject along row 1
+        assert!(a.resources.iter().all(|r| !b.resources.contains(r)));
+        let c = f.route(1, 2); // shares row-0 links with `a`
+        assert!(a.resources.iter().any(|r| c.resources.contains(r)));
+    }
+}

@@ -1,0 +1,160 @@
+//! Seeded traffic-pattern generators. All randomness is a local
+//! xorshift64* so patterns are reproducible from `(pattern, nodes,
+//! seed)` alone, with no RNG dependency.
+
+/// One flow: a flit of `payload` pulses from `src` to `dst`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Flow {
+    /// Source endpoint.
+    pub src: usize,
+    /// Destination endpoint.
+    pub dst: usize,
+    /// Pulse count carried by the flit (`1..=n_max`).
+    pub payload: u64,
+}
+
+/// A traffic pattern shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pattern {
+    /// Every endpoint sends to a uniformly random other endpoint.
+    Uniform,
+    /// A seeded random permutation: every endpoint sends to exactly
+    /// one endpoint and receives from exactly one.
+    Permutation,
+    /// Half the endpoints aim at one hot endpoint, the rest uniform.
+    Hotspot,
+}
+
+impl Pattern {
+    /// Stable artefact label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Pattern::Uniform => "uniform",
+            Pattern::Permutation => "permutation",
+            Pattern::Hotspot => "hotspot",
+        }
+    }
+
+    /// All patterns, in artefact order.
+    pub fn all() -> [Pattern; 3] {
+        [Pattern::Uniform, Pattern::Permutation, Pattern::Hotspot]
+    }
+}
+
+/// xorshift64*: the same generator family the bench kernels use.
+fn next_rand(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// Generates `flows_per_node` flows per endpoint under `pattern`.
+/// Payloads are `1..=n_max` pulses. `Permutation` always yields
+/// exactly one flow per endpoint regardless of `flows_per_node`.
+pub fn generate(
+    pattern: Pattern,
+    nodes: usize,
+    flows_per_node: usize,
+    n_max: u64,
+    seed: u64,
+) -> Vec<Flow> {
+    assert!(nodes >= 2, "traffic needs at least two endpoints");
+    let mut state = seed | 1;
+    let payload = |state: &mut u64| 1 + next_rand(state) % n_max;
+    match pattern {
+        Pattern::Uniform => {
+            let mut flows = Vec::with_capacity(nodes * flows_per_node);
+            for src in 0..nodes {
+                for _ in 0..flows_per_node {
+                    let mut dst = next_rand(&mut state) as usize % nodes;
+                    while dst == src {
+                        dst = next_rand(&mut state) as usize % nodes;
+                    }
+                    flows.push(Flow {
+                        src,
+                        dst,
+                        payload: payload(&mut state),
+                    });
+                }
+            }
+            flows
+        }
+        Pattern::Permutation => {
+            // Seeded Fisher–Yates; fixed points are legal (a node may
+            // talk to itself through its local router).
+            let mut dsts: Vec<usize> = (0..nodes).collect();
+            for i in (1..nodes).rev() {
+                let j = next_rand(&mut state) as usize % (i + 1);
+                dsts.swap(i, j);
+            }
+            (0..nodes)
+                .map(|src| Flow {
+                    src,
+                    dst: dsts[src],
+                    payload: payload(&mut state),
+                })
+                .collect()
+        }
+        Pattern::Hotspot => {
+            let hot = next_rand(&mut state) as usize % nodes;
+            let mut flows = Vec::with_capacity(nodes * flows_per_node);
+            for src in 0..nodes {
+                for f in 0..flows_per_node {
+                    let dst = if f % 2 == 0 && src != hot {
+                        hot
+                    } else {
+                        let mut d = next_rand(&mut state) as usize % nodes;
+                        while d == src {
+                            d = next_rand(&mut state) as usize % nodes;
+                        }
+                        d
+                    };
+                    flows.push(Flow {
+                        src,
+                        dst,
+                        payload: payload(&mut state),
+                    });
+                }
+            }
+            flows
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permutation_is_a_bijection() {
+        let flows = generate(Pattern::Permutation, 16, 3, 15, 42);
+        assert_eq!(flows.len(), 16);
+        let mut seen = [false; 16];
+        for f in &flows {
+            assert!(!seen[f.dst]);
+            seen[f.dst] = true;
+            assert!((1..=15).contains(&f.payload));
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        for p in Pattern::all() {
+            assert_eq!(generate(p, 9, 2, 15, 7), generate(p, 9, 2, 15, 7));
+        }
+    }
+
+    #[test]
+    fn hotspot_concentrates_traffic() {
+        let flows = generate(Pattern::Hotspot, 16, 2, 15, 9);
+        let mut by_dst = [0usize; 16];
+        for f in &flows {
+            by_dst[f.dst] += 1;
+        }
+        let max = by_dst.iter().max().copied().unwrap();
+        assert!(max >= 15, "hot endpoint should draw ~half the flows");
+    }
+}

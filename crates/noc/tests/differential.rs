@@ -1,0 +1,131 @@
+//! Routed-traffic engine differential — the acceptance contract: NoC
+//! simulation under `{2 shards, wheel, burst}` is byte-identical to
+//! `{1 shard, heap, pulse}`, across every topology × pattern pair,
+//! with and without the sanitizer. `peak_pending` and violation
+//! *order* (the two documented divergences) are excluded from the
+//! fingerprint by construction ([`usfq_noc::NocOutcome`]).
+//!
+//! `env_config_matches_reference` is the test the CI matrix steers:
+//! it reads `USFQ_SCHED` / `USFQ_BURST` / `USFQ_SHARDS` from the
+//! environment, so each matrix leg genuinely exercises a different
+//! engine configuration against the same fixed reference.
+
+use usfq_noc::{plan, simulate, simulate_env, FlitGeometry, Pattern, SimConfig, Topology};
+use usfq_sim::Sched;
+
+fn scenarios() -> Vec<(Topology, Pattern, u64)> {
+    let mut v = Vec::new();
+    for topology in [
+        Topology::Mesh { k: 3 },
+        Topology::Torus { k: 3 },
+        Topology::BigSwitch { n: 6 },
+    ] {
+        for (i, pattern) in Pattern::all().into_iter().enumerate() {
+            v.push((topology, pattern, 40 + i as u64));
+        }
+    }
+    v
+}
+
+/// The acceptance corner: `{2 shards, wheel, burst}` equals
+/// `{1 shard, heap, pulse}` byte-for-byte.
+#[test]
+fn sharded_wheel_burst_equals_sequential_heap_pulse() {
+    for (topology, pattern, seed) in scenarios() {
+        for sanitize in [false, true] {
+            let geometry = FlitGeometry::with_bits(4).unwrap();
+            let fabric = topology.build(geometry);
+            let flows =
+                usfq_noc::generate(pattern, topology.nodes(), 2, geometry.epoch.n_max(), seed);
+            let schedule = plan(&fabric, &flows);
+            let reference = simulate(
+                &fabric,
+                &schedule,
+                SimConfig {
+                    sanitize,
+                    ..SimConfig::reference()
+                },
+            )
+            .unwrap();
+            let subject = simulate(
+                &fabric,
+                &schedule,
+                SimConfig {
+                    sanitize,
+                    ..SimConfig::subject()
+                },
+            )
+            .unwrap();
+            assert_eq!(
+                reference,
+                subject,
+                "{} × {} (seed {seed}, sanitize {sanitize}) diverged",
+                topology.label(),
+                pattern.label()
+            );
+        }
+    }
+}
+
+/// Every corner of the small configuration cube agrees with the
+/// reference — the cube the CI matrix walks via the env test below.
+#[test]
+fn full_config_cube_agrees_on_routed_traffic() {
+    let topology = Topology::Mesh { k: 3 };
+    let geometry = FlitGeometry::with_bits(4).unwrap();
+    let fabric = topology.build(geometry);
+    let flows = usfq_noc::generate(
+        Pattern::Hotspot,
+        topology.nodes(),
+        2,
+        geometry.epoch.n_max(),
+        7,
+    );
+    let schedule = plan(&fabric, &flows);
+    let reference = simulate(&fabric, &schedule, SimConfig::reference()).unwrap();
+    for shards in [1, 2, 4] {
+        for sched in [Sched::Heap, Sched::Wheel] {
+            for burst in [false, true] {
+                let outcome = simulate(
+                    &fabric,
+                    &schedule,
+                    SimConfig {
+                        shards,
+                        sched,
+                        burst,
+                        sanitize: false,
+                    },
+                )
+                .unwrap();
+                assert_eq!(
+                    reference, outcome,
+                    "{shards} shards, {sched:?}, burst {burst} diverged"
+                );
+            }
+        }
+    }
+}
+
+/// The env-driven run (whatever `USFQ_SHARDS`/`USFQ_SCHED`/
+/// `USFQ_BURST` say — defaults included) matches the fixed reference.
+#[test]
+fn env_config_matches_reference() {
+    for (topology, pattern, seed) in scenarios() {
+        let geometry = FlitGeometry::with_bits(4).unwrap();
+        let fabric = topology.build(geometry);
+        let flows = usfq_noc::generate(pattern, topology.nodes(), 2, geometry.epoch.n_max(), seed);
+        let schedule = plan(&fabric, &flows);
+        let reference = simulate(&fabric, &schedule, SimConfig::reference()).unwrap();
+        let env_run = simulate_env(&fabric, &schedule).unwrap();
+        assert_eq!(
+            reference,
+            env_run,
+            "{} × {} (seed {seed}) diverged under env config {:?}/{:?}/{:?}",
+            topology.label(),
+            pattern.label(),
+            std::env::var(usfq_sim::shard::SHARDS_ENV).ok(),
+            std::env::var(usfq_sim::sched::SCHED_ENV).ok(),
+            std::env::var(usfq_sim::BURST_ENV).ok(),
+        );
+    }
+}

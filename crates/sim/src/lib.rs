@@ -82,7 +82,7 @@ pub use circuit::{
     Circuit, CompId, FanoutOverflow, InputId, NodeRef, ProbeId, ProbeSource, SinkRef, WireId,
 };
 pub use component::{BurstStep, Component, Ctx, Hazard, StaticMeta};
-pub use engine::{RunSummary, Simulator};
+pub use engine::{RunSummary, Simulator, BURST_ENV};
 pub use error::SimError;
 pub use graph::CircuitGraph;
 pub use runner::Runner;

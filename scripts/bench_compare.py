@@ -32,6 +32,11 @@ or provenance mismatch.
 
 Thresholds are deliberately loose (shared CI runners are noisy) and
 overridable via env: USFQ_BENCH_FAIL_PCT / USFQ_BENCH_WARN_PCT.
+
+When $GITHUB_STEP_SUMMARY is set (it is, in any GitHub Actions step),
+the same comparison is also appended there as a markdown table — one
+row per kernel with its pass/warn/fail verdict — so the gate's outcome
+is readable from the run's Summary tab without opening the log.
 """
 
 import json
@@ -50,6 +55,37 @@ def load(path):
     if not isinstance(benches, dict) or not benches:
         sys.exit(f"{path}: no benchmarks section")
     return snap, benches
+
+
+def write_step_summary(rows, failures, warnings):
+    """Append the comparison as a markdown table to $GITHUB_STEP_SUMMARY.
+
+    `rows` is a list of (status, key, before, after, delta_pct) tuples;
+    before/after/delta_pct may be None for key-set or provenance rows.
+    A no-op outside GitHub Actions.
+    """
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return
+    icons = {"ok": "✅ pass", "warn": "⚠️ warn", "fail": "❌ fail", "new": "🆕 new"}
+    lines = [
+        "## Kernel benchmark gate",
+        "",
+        f"**{len(failures)} hard failure(s), {len(warnings)} warning(s)** "
+        f"(fail > {FAIL_PCT:.0f}%, warn > {WARN_PCT:.0f}%)",
+        "",
+        "| Kernel | Baseline (ns) | Current (ns) | Δ | Verdict |",
+        "|---|---:|---:|---:|---|",
+    ]
+    for status, key, before, after, delta_pct in rows:
+        before_s = str(before) if before is not None else "—"
+        after_s = str(after) if after is not None else "—"
+        delta_s = f"{delta_pct:+.1f}%" if delta_pct is not None else "—"
+        lines.append(
+            f"| `{key}` | {before_s} | {after_s} | {delta_s} | {icons[status]} |"
+        )
+    with open(path, "a") as f:
+        f.write("\n".join(lines) + "\n")
 
 
 def main():
@@ -75,12 +111,15 @@ def main():
     for line in provenance_failures:
         print(f"FAIL {line}")
 
+    rows = [("fail", line, None, None, None) for line in provenance_failures]
     only_base = sorted(set(base) - set(cur))
     only_cur = sorted(set(cur) - set(base))
     for key in only_base:
         print(f"FAIL missing from current (baseline-only): {key}")
+        rows.append(("fail", f"{key} (missing from current)", None, None, None))
     for key in only_cur:
         print(f"  ok new benchmark (not in baseline): {key}")
+        rows.append(("new", key, None, None, None))
 
     failures = provenance_failures + [f"missing: {key}" for key in only_base]
     warnings = []
@@ -96,18 +135,23 @@ def main():
         line = f"{key}: {before} -> {after} ns ({delta_pct:+.1f}%)"
         if delta_pct > FAIL_PCT:
             failures.append(line)
+            status = "fail"
             print(f"FAIL {line}")
         elif delta_pct > WARN_PCT:
             warnings.append(line)
+            status = "warn"
             print(f"WARN {line}")
         else:
+            status = "ok"
             print(f"  ok {line}")
+        rows.append((status, key, before, after, delta_pct))
 
     print(
         f"\n{len(failures)} hard failure(s) (regression over {FAIL_PCT:.0f}%, "
         f"missing baseline key, or provenance mismatch), "
         f"{len(warnings)} warning(s) over {WARN_PCT:.0f}%"
     )
+    write_step_summary(rows, failures, warnings)
     if failures:
         sys.exit(1)
 

@@ -23,6 +23,21 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 OUT="${OUT:-BENCH_kernel.json}"
 
+# The committed baseline must only be regenerated from a clean tree: a
+# snapshot stamps the current commit hash as its provenance, and a
+# hash that doesn't describe the code that was actually measured makes
+# every later comparison a lie. Scratch outputs (OUT=/tmp/...) are
+# exempt, and USFQ_ALLOW_DIRTY=1 bypasses the guard for local
+# experiments that won't be committed.
+if [ "$OUT" = "BENCH_kernel.json" ] && [ "${USFQ_ALLOW_DIRTY:-0}" != "1" ] \
+    && [ -n "$(git status --porcelain 2>/dev/null)" ]; then
+    echo "error: refusing to overwrite BENCH_kernel.json from a dirty working tree" >&2
+    echo "       (the snapshot records 'commit: $(git rev-parse --short HEAD)', which" >&2
+    echo "       would not describe the measured code). Commit first, write elsewhere" >&2
+    echo "       with OUT=/tmp/bench.json, or set USFQ_ALLOW_DIRTY=1 to override." >&2
+    exit 1
+fi
+
 USFQ_COMMIT="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
 export USFQ_COMMIT
 

@@ -20,6 +20,9 @@
 //! * [`lint`] — static netlist analyzer: fanout/connectivity/cycle/JJ checks
 //!   plus a conservative timing pass that flags merger-collision and setup
 //!   races before any simulation runs (`usfq-lint` binary).
+//! * [`noc`] — temporal network-on-chip: TDM routers assembled from the cell
+//!   library, mesh/torus/big-switch topology builders, traffic generators,
+//!   and a planner that schedules pulse-stream flits loss-free.
 //!
 //! ## Quick start
 //!
@@ -47,6 +50,7 @@ pub use usfq_core as core;
 pub use usfq_dsp as dsp;
 pub use usfq_encoding as encoding;
 pub use usfq_lint as lint;
+pub use usfq_noc as noc;
 pub use usfq_sim as sim;
 
 /// The names most programs need, in one import:

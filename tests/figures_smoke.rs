@@ -22,6 +22,7 @@ fn every_experiment_renders() {
         ("ablations", "merger loss"),
         ("netlist", "digraph usfq_dpu4"),
         ("lint", "usfq-lint over the shipped structural netlists"),
+        ("noc", "temporal NoC: latency / throughput / JJ-area"),
         ("differential", "sanitizer violations vs static findings"),
     ];
     let experiments = usfq_bench::all_experiments();
