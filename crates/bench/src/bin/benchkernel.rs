@@ -12,20 +12,31 @@
 //! ./scripts/bench_snapshot.sh
 //! ```
 //!
-//! Snapshot schema (`schema_version` 3):
+//! Snapshot schema (`schema_version` 4):
 //!
 //! ```text
 //! {
 //!   "generated_by": "usfq-bench/benchkernel",
-//!   "schema_version": 3,
+//!   "schema_version": 4,
 //!   "commit": "<git hash or \"unknown\">",   // from $USFQ_COMMIT
 //!   "threads": <resolved USFQ_THREADS>,
 //!   "sched": "auto" | "wheel" | "heap",      // default scheduler in force
 //!   "shards": <resolved USFQ_SHARDS>,        // default shard count in force
 //!   "unit": "nanoseconds",
+//!   "coalesce": { "<group>/<name>": { "hits": .., "pulses": .., "lazy_splits": ..,
+//!                                     "chases": .., "bail_jitter": .., "bail_feedback": ..,
+//!                                     "bail_sanitizer": .., "bail_cell": .. }, .. },
 //!   "benchmarks": { "<group>/<name>": { "min_ns": .., "median_ns": .., "mean_ns": .., "samples": .. }, .. }
 //! }
 //! ```
+//!
+//! The `coalesce` block is *provenance*, not a gated metric: one
+//! instrumented (untimed) run per coalescing kernel, recording how the
+//! burst engine actually handled the workload — closed-form hits,
+//! lazy suffix splits, chase steps, and per-reason fall-backs — so a
+//! timing shift in the gate can be attributed to a coalescing-behavior
+//! change without re-running anything. Every key in `coalesce` also
+//! appears in `benchmarks`.
 //!
 //! The `kernel/shard/*` entries pin their shard count in the key
 //! itself (`/seq`, `/2shards`, …), so they are comparable across
@@ -45,12 +56,22 @@ use std::time::Instant;
 
 use usfq_bench::experiments::{fig18, fig19};
 use usfq_bench::kernels::{
-    burst_stream, catalogue_trial, delay_chain, drive_burst_stream, drive_delay_chain, fabric,
-    fabric_stimulus, next_rand,
+    burst_stream, catalogue_trial, counting_feedback, delay_chain, drive_burst_stream,
+    drive_burst_stream_jittered, drive_counting_feedback, drive_delay_chain, fabric,
+    fabric_stimulus, next_rand, BURST_STREAM_JITTER_SIGMA_PS, JITTER_SEED,
 };
 use usfq_core::netlists::shipped_netlists;
 use usfq_lint::{fix_to_fixpoint, slack_report, FixOptions, LintConfig};
-use usfq_sim::{CalendarWheel, Runner, Sched, ShardedSimulator, Simulator, Time, SHARDS_ENV};
+use usfq_sim::{
+    CalendarWheel, CoalesceStats, Runner, Sched, ShardedSimulator, Simulator, Time, SHARDS_ENV,
+};
+
+/// One sample policy for every kernel: the gate compares `min_ns`
+/// across runs, and a min over fewer samples is a noisier estimator —
+/// the old 10-vs-3 split made the heavyweight kernels *more* flaky
+/// than the cheap ones, exactly backwards. Heavy kernels pay ~5 s
+/// more wall clock each; the gate's stability is worth it.
+const SAMPLES: usize = 10;
 
 /// One measured kernel: warm up with one full batch, then sample
 /// `samples` times.
@@ -153,28 +174,37 @@ fn main() {
 
     // Raw queue ops: push 100k seed-derived events, drain them all.
     let times = event_times(100_000, 0xC0FFEE);
-    results.push(Measurement::run("sched/queue_ops/wheel/100000", 10, || {
-        let mut wheel: CalendarWheel<u32> = CalendarWheel::for_max_delay(Time::from_ps(20.0));
-        for (seq, &t) in times.iter().enumerate() {
-            wheel.push(Time::from_fs(t), seq as u64, 0u32);
-        }
-        let mut drained = 0usize;
-        while wheel.pop().is_some() {
-            drained += 1;
-        }
-        assert_eq!(drained, times.len());
-    }));
-    results.push(Measurement::run("sched/queue_ops/heap/100000", 10, || {
-        let mut heap: BinaryHeap<Reverse<(u64, u64, u32)>> = BinaryHeap::with_capacity(times.len());
-        for (seq, &t) in times.iter().enumerate() {
-            heap.push(Reverse((t, seq as u64, 0u32)));
-        }
-        let mut drained = 0usize;
-        while heap.pop().is_some() {
-            drained += 1;
-        }
-        assert_eq!(drained, times.len());
-    }));
+    results.push(Measurement::run(
+        "sched/queue_ops/wheel/100000",
+        SAMPLES,
+        || {
+            let mut wheel: CalendarWheel<u32> = CalendarWheel::for_max_delay(Time::from_ps(20.0));
+            for (seq, &t) in times.iter().enumerate() {
+                wheel.push(Time::from_fs(t), seq as u64, 0u32);
+            }
+            let mut drained = 0usize;
+            while wheel.pop().is_some() {
+                drained += 1;
+            }
+            assert_eq!(drained, times.len());
+        },
+    ));
+    results.push(Measurement::run(
+        "sched/queue_ops/heap/100000",
+        SAMPLES,
+        || {
+            let mut heap: BinaryHeap<Reverse<(u64, u64, u32)>> =
+                BinaryHeap::with_capacity(times.len());
+            for (seq, &t) in times.iter().enumerate() {
+                heap.push(Reverse((t, seq as u64, 0u32)));
+            }
+            let mut drained = 0usize;
+            while heap.pop().is_some() {
+                drained += 1;
+            }
+            assert_eq!(drained, times.len());
+        },
+    ));
 
     // Engine end-to-end, per scheduler, on the canonical delay chain.
     let (proto, input, probe) = delay_chain(1024);
@@ -183,7 +213,7 @@ fn main() {
         ("sched/engine_delay_chain_1024/wheel", Sched::Wheel),
     ] {
         let proto = proto.clone();
-        results.push(Measurement::run(name, 10, move || {
+        results.push(Measurement::run(name, SAMPLES, move || {
             let mut sim = Simulator::with_sched(proto.clone(), sched);
             drive_delay_chain(&mut sim, input, probe, 32);
         }));
@@ -197,7 +227,7 @@ fn main() {
     ] {
         let iters = if stages < 512 { 8 } else { 1 };
         let (proto, input, probe) = delay_chain(stages);
-        results.push(Measurement::run_batched(name, 10, iters, move || {
+        results.push(Measurement::run_batched(name, SAMPLES, iters, move || {
             let mut sim = Simulator::new(proto.clone());
             drive_delay_chain(&mut sim, input, probe, 32);
         }));
@@ -210,7 +240,7 @@ fn main() {
         ("kernel/burst_stream/12bits", 12, 16),
     ] {
         let (proto, input, div, tap) = burst_stream();
-        results.push(Measurement::run_batched(name, 10, iters, move || {
+        results.push(Measurement::run_batched(name, SAMPLES, iters, move || {
             let mut sim = Simulator::with_burst(proto.clone(), true);
             drive_burst_stream(&mut sim, input, div, tap, bits);
         }));
@@ -219,7 +249,7 @@ fn main() {
         let (proto, input, div, tap) = burst_stream();
         results.push(Measurement::run_batched(
             "kernel/burst_stream/12bits_pulse",
-            10,
+            SAMPLES,
             1,
             move || {
                 let mut sim = Simulator::with_burst(proto.clone(), false);
@@ -227,11 +257,90 @@ fn main() {
             },
         ));
     }
+    // The jittered twins: the same chain under deterministic 2 ps
+    // wire-delay jitter. The coalesced run rides the envelope algebra
+    // (trains stay symbolic, draws materialize lazily per trail);
+    // the pulse run materializes every draw — the speedup between the
+    // two is the jitter-envelope tentpole's headline number.
+    let jitter_sigma = Time::from_ps(BURST_STREAM_JITTER_SIGMA_PS);
+    {
+        let (proto, input, div, tap) = burst_stream();
+        results.push(Measurement::run_batched(
+            "kernel/burst_stream/12bits_jitter",
+            SAMPLES,
+            16,
+            move || {
+                let mut sim = Simulator::with_burst(proto.clone(), true);
+                sim.enable_wire_jitter(jitter_sigma, JITTER_SEED);
+                drive_burst_stream_jittered(&mut sim, input, div, tap, 12);
+            },
+        ));
+        let (proto, input, div, tap) = burst_stream();
+        results.push(Measurement::run_batched(
+            "kernel/burst_stream/12bits_jitter_pulse",
+            SAMPLES,
+            1,
+            move || {
+                let mut sim = Simulator::with_burst(proto.clone(), false);
+                sim.enable_wire_jitter(jitter_sigma, JITTER_SEED);
+                drive_burst_stream_jittered(&mut sim, input, div, tap, 12);
+            },
+        ));
+    }
+    // The counting-feedback kernel: a TFF halver closed by a 50 ns
+    // merger feedback loop. Coalesced, the cycle lookahead consumes
+    // each halved generation atomically (O(log N) queue ops); the
+    // pulse twin pays every hop of every generation.
+    {
+        let (proto, input, probe) = counting_feedback();
+        results.push(Measurement::run_batched(
+            "kernel/burst_stream/counting_feedback",
+            SAMPLES,
+            16,
+            move || {
+                let mut sim = Simulator::with_burst(proto.clone(), true);
+                drive_counting_feedback(&mut sim, input, probe, 12);
+            },
+        ));
+        let (proto, input, probe) = counting_feedback();
+        results.push(Measurement::run_batched(
+            "kernel/burst_stream/counting_feedback_pulse",
+            SAMPLES,
+            1,
+            move || {
+                let mut sim = Simulator::with_burst(proto.clone(), false);
+                drive_counting_feedback(&mut sim, input, probe, 12);
+            },
+        ));
+    }
+    // Coalescing provenance: one untimed instrumented run per
+    // coalescing kernel (see the module docs).
+    let mut coalesce: Vec<(&'static str, CoalesceStats)> = Vec::new();
+    {
+        let (proto, input, div, tap) = burst_stream();
+        let mut sim = Simulator::with_burst(proto, true);
+        drive_burst_stream(&mut sim, input, div, tap, 12);
+        coalesce.push(("kernel/burst_stream/12bits", sim.activity().coalesce));
+
+        let (proto, input, div, tap) = burst_stream();
+        let mut sim = Simulator::with_burst(proto, true);
+        sim.enable_wire_jitter(jitter_sigma, JITTER_SEED);
+        drive_burst_stream_jittered(&mut sim, input, div, tap, 12);
+        coalesce.push(("kernel/burst_stream/12bits_jitter", sim.activity().coalesce));
+
+        let (proto, input, probe) = counting_feedback();
+        let mut sim = Simulator::with_burst(proto, true);
+        drive_counting_feedback(&mut sim, input, probe, 12);
+        coalesce.push((
+            "kernel/burst_stream/counting_feedback",
+            sim.activity().coalesce,
+        ));
+    }
     {
         let (proto, input, probe) = delay_chain(128);
         results.push(Measurement::run(
             "kernel/sim_reuse/clone_and_reset",
-            10,
+            SAMPLES,
             move || {
                 let mut sim = Simulator::new(proto.clone());
                 for _ in 0..8 {
@@ -260,7 +369,7 @@ fn main() {
         ] {
             let proto = fab.circuit.clone();
             let stimulus = stimulus.clone();
-            results.push(Measurement::run(name, 3, move || {
+            results.push(Measurement::run(name, SAMPLES, move || {
                 let mut sim = ShardedSimulator::new(proto.clone(), shards);
                 for &(input, train) in &stimulus {
                     sim.schedule_burst(input, train).unwrap();
@@ -309,7 +418,7 @@ fn main() {
             let cfg = cfg.clone();
             results.push(Measurement::run(
                 "kernel/lint/fabric_100k/slack",
-                3,
+                SAMPLES,
                 move || {
                     let report = slack_report(&proto, &cfg);
                     assert_eq!(report.endpoints.len(), n_probes);
@@ -324,7 +433,7 @@ fn main() {
             };
             results.push(Measurement::run(
                 "kernel/lint/fabric_100k/fix1",
-                3,
+                SAMPLES,
                 move || {
                     let (_, outcome) = fix_to_fixpoint(&fab.circuit, "fabric-100k", &cfg, &opts);
                     assert!(!outcome.applied.is_empty());
@@ -359,7 +468,7 @@ fn main() {
             usfq_noc::Pattern::Permutation,
         ),
     ] {
-        results.push(Measurement::run(name, 3, move || {
+        results.push(Measurement::run(name, SAMPLES, move || {
             let result = usfq_noc::run_scenario(
                 topology,
                 pattern,
@@ -376,7 +485,7 @@ fn main() {
     // differential sanitizer pass, the biggest structural netlist).
     results.push(Measurement::run_batched(
         "sweeps/fig18_series",
-        10,
+        SAMPLES,
         128,
         || {
             assert!(fig18::series().len() > 10);
@@ -386,7 +495,7 @@ fn main() {
         let runner = Runner::with_threads(1);
         results.push(Measurement::run(
             "sweeps/fig19_stats/8_seeds_1_thread",
-            5,
+            SAMPLES,
             move || {
                 assert!(!fig19::snr_sweep_stats_on(8, &runner).is_empty());
             },
@@ -398,7 +507,7 @@ fn main() {
         ("sweeps/differential_trial/wheel", Sched::Wheel),
     ] {
         let catalogue = &catalogue;
-        results.push(Measurement::run_batched(name, 10, 8, move || {
+        results.push(Measurement::run_batched(name, SAMPLES, 8, move || {
             for netlist in catalogue {
                 catalogue_trial(netlist, sched, 1, true);
             }
@@ -412,7 +521,7 @@ fn main() {
         ("sweeps/structural_epoch/heap", Sched::Heap),
         ("sweeps/structural_epoch/wheel", Sched::Wheel),
     ] {
-        results.push(Measurement::run_batched(name, 10, 16, || {
+        results.push(Measurement::run_batched(name, SAMPLES, 16, || {
             catalogue_trial(biggest, sched, 7, false);
         }));
     }
@@ -422,12 +531,32 @@ fn main() {
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"generated_by\": \"usfq-bench/benchkernel\",");
-    let _ = writeln!(json, "  \"schema_version\": 3,");
+    let _ = writeln!(json, "  \"schema_version\": 4,");
     let _ = writeln!(json, "  \"commit\": \"{commit}\",");
     let _ = writeln!(json, "  \"threads\": {threads},");
     let _ = writeln!(json, "  \"sched\": \"{default_sched}\",");
     let _ = writeln!(json, "  \"shards\": {default_shards},");
     let _ = writeln!(json, "  \"unit\": \"nanoseconds\",");
+    let _ = writeln!(json, "  \"coalesce\": {{");
+    coalesce.sort_by(|a, b| a.0.cmp(b.0));
+    for (i, (key, c)) in coalesce.iter().enumerate() {
+        let comma = if i + 1 == coalesce.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    \"{key}\": {{ \"hits\": {}, \"pulses\": {}, \"lazy_splits\": {}, \
+             \"chases\": {}, \"bail_jitter\": {}, \"bail_feedback\": {}, \
+             \"bail_sanitizer\": {}, \"bail_cell\": {} }}{comma}",
+            c.hits,
+            c.pulses,
+            c.lazy_splits,
+            c.chases,
+            c.bail_jitter,
+            c.bail_feedback,
+            c.bail_sanitizer,
+            c.bail_cell
+        );
+    }
+    let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"benchmarks\": {{");
     results.sort_by(|a, b| a.key().cmp(b.key()));
     for (i, m) in results.iter().enumerate() {

@@ -12,6 +12,12 @@
 //! Sweeps run on `usfq_sim::Runner`, sized by `--threads` (or the
 //! `USFQ_THREADS` environment variable, or all available cores).
 //! Output is byte-identical at any thread count.
+//!
+//! `USFQ_WIRE_JITTER=<sigma_fs>[:<seed>]` regenerates every artefact
+//! with deterministic wire-delay jitter enabled in each simulator the
+//! accelerator blocks construct (the paper's §5.4.1 "delay variations"
+//! error source at circuit level); experiments that sweep jitter
+//! themselves (`ablations`) pin their own sigma and are unaffected.
 
 use std::env;
 use std::fs;
@@ -104,6 +110,7 @@ fn json_series(id: &str) -> Option<String> {
         "fig19stats" => serde_json::to_string_pretty(&fig19::snr_sweep_stats(fig19::STATS_TRIALS)),
         "fig21" => serde_json::to_string_pretty(&fig21::series()),
         "noc" => serde_json::to_string_pretty(&noc::series()),
+        "coalesce" => serde_json::to_string_pretty(&coalesce::series()),
         _ => return None,
     };
     value.ok()

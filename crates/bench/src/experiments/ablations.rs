@@ -167,7 +167,11 @@ fn multiply_with_jitter(
     sim.schedule_input(ports.in_e, Time::ZERO).unwrap();
     sim.schedule_input(ports.in_b, gate.pulse_time_from(Time::ZERO))
         .unwrap();
-    sim.schedule_pulses(ports.in_a, stream.schedule_from(Time::ZERO))
+    // The operand stream rides the coalesced-burst path (bit-identical
+    // to the materialised `schedule_from` vector): under jitter the
+    // envelope algebra keeps the train symbolic across the JTL run, so
+    // the sigma sweep no longer pays one event per operand pulse.
+    sim.schedule_burst(ports.in_a, stream.burst_from(Time::ZERO))
         .unwrap();
     sim.run().unwrap();
     sim.probe_count(ports.q) as u64

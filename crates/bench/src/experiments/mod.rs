@@ -1,6 +1,7 @@
 //! One module per table/figure of the paper's evaluation.
 
 pub mod ablations;
+pub mod coalesce;
 pub mod differential;
 pub mod fig11;
 pub mod fig12;

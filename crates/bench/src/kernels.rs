@@ -15,12 +15,34 @@
 //! pure function of `(kernel, seed)` — never of wall clock, RNG crate
 //! version, or thread count.
 
-use usfq_cells::interconnect::{Jtl, Splitter};
+use usfq_cells::interconnect::{Jtl, Merger, Splitter};
 use usfq_cells::storage::Ndro;
 use usfq_cells::toggle::Tff;
 use usfq_core::netlists::BuiltNetlist;
 use usfq_sim::component::Buffer;
-use usfq_sim::{Burst, Circuit, InputId, ProbeId, SanitizerConfig, Sched, Simulator, Time};
+use usfq_sim::{
+    Burst, Circuit, InputId, ProbeId, SanitizerConfig, Sched, ShardedSimulator, Simulator, Time,
+};
+
+/// Environment variable the differential suites and the CI engine
+/// matrix read to switch on deterministic wire-delay jitter: an
+/// integer jitter std-dev in **femtoseconds**. Unset, empty, `0`, or
+/// unparsable all mean "off".
+pub const JITTER_ENV: &str = "USFQ_JITTER";
+
+/// Fixed base seed for jittered kernels and differential trials, so a
+/// jittered workload stays a pure function of `(kernel, seed, sigma)`
+/// — never of wall clock or ambient RNG state.
+pub const JITTER_SEED: u64 = 0x0005_EED5_EED5_EED5;
+
+/// Parses [`JITTER_ENV`] into a jitter std-dev, if one is in force.
+pub fn jitter_sigma_from_env() -> Option<Time> {
+    std::env::var(JITTER_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .filter(|&fs| fs > 0)
+        .map(Time::from_fs)
+}
 
 /// Deterministic xorshift step (same constants as the differential
 /// harness: workloads own their randomness).
@@ -118,6 +140,96 @@ pub fn drive_burst_stream(
     sim.run().unwrap();
     assert_eq!(sim.probe_count(div), (pulses / 4) as usize);
     assert_eq!(sim.probe_count(tap), pulses as usize);
+}
+
+/// Jitter std-dev of the jittered pulse-stream kernel: 2 ps, the
+/// paper-scale figure the ablation sweep centres on.
+pub const BURST_STREAM_JITTER_SIGMA_PS: f64 = 2.0;
+
+/// The jittered twin of [`drive_burst_stream`]: the same `2^bits`
+/// train at a 40 ps period, so even after five hops of envelope
+/// accumulation (each wire widens the train by the ±√6·σ jitter
+/// bound, ≈4.9 ps at σ = 2 ps) the worst-case envelope span stays
+/// below every cell's minimum pulse gap and the whole chain coalesces
+/// instead of falling back per-cell. The caller enables jitter
+/// (`sim.enable_wire_jitter(..)`) before driving; pulse-level and
+/// coalesced runs of the same simulator configuration are
+/// byte-identical because jitter draws are keyed by
+/// `(seed, wire, emission time)`, not by event order.
+pub fn drive_burst_stream_jittered(
+    sim: &mut Simulator,
+    input: InputId,
+    div: ProbeId,
+    tap: ProbeId,
+    bits: u32,
+) {
+    let pulses = 1u64 << bits;
+    sim.schedule_burst(
+        input,
+        Burst::uniform(Time::ZERO, Time::from_ps(40.0), pulses),
+    )
+    .unwrap();
+    sim.run().unwrap();
+    assert_eq!(sim.probe_count(div), (pulses / 4) as usize);
+    assert_eq!(sim.probe_count(tap), pulses as usize);
+}
+
+/// The counting-feedback kernel: a TFF halver inside a merger-closed
+/// feedback loop — the smallest counting-network shape whose cycle
+/// used to force the burst engine to peel every train back to pulses.
+///
+/// ```text
+/// input ──► Merger.IN_A ──► TFF ──► Splitter ──► OUT_B ──► probe
+///                ▲                      │
+///                └──── 50 ns wire ◄──── OUT_A
+/// ```
+///
+/// A `2^bits` train at a 10 ps period spans just under 41 ns, and the
+/// only cycle through the netlist is the 50 ns feedback wire — so the
+/// engine's per-component cycle lookahead proves each generation can
+/// be consumed *atomically*: the whole train passes Merger → TFF →
+/// Splitter in closed form, its halved successor returns 50 ns later,
+/// and the run takes `O(log N)` queue operations where the pulse
+/// engine pays `O(N)` per hop. Generation counts halve `N, N/2, …, 1`
+/// (the TFF emits every second pulse and absorbs the final singleton),
+/// so the probe records exactly `N − 1` pulses.
+pub fn counting_feedback() -> (Circuit, InputId, ProbeId) {
+    let mut c = Circuit::new();
+    let input = c.input("count");
+    // Ideal confluence buffer: zero collision window, so the merger
+    // stays a pure count-based cell and the loop's semantics are
+    // exactly the counting-network abstraction.
+    let merge = c.add(Merger::with_window("confluence", Time::ZERO));
+    let tff = c.add(Tff::new("halver"));
+    let split = c.add(Splitter::new("loop"));
+    c.connect_input(input, merge.input(Merger::IN_A), Time::ZERO)
+        .unwrap();
+    c.connect(merge.output(Merger::OUT), tff.input(Tff::IN), Time::ZERO)
+        .unwrap();
+    c.connect(tff.output(Tff::OUT), split.input(Splitter::IN), Time::ZERO)
+        .unwrap();
+    c.connect(
+        split.output(Splitter::OUT_A),
+        merge.input(Merger::IN_B),
+        Time::from_ns(50.0),
+    )
+    .unwrap();
+    let probe = c.probe(split.output(Splitter::OUT_B), "count_down");
+    (c, input, probe)
+}
+
+/// Drives a `2^bits` train through a [`counting_feedback`] simulator
+/// and asserts the probe saw the full count-down (`2^bits − 1`
+/// pulses).
+pub fn drive_counting_feedback(sim: &mut Simulator, input: InputId, probe: ProbeId, bits: u32) {
+    let pulses = 1u64 << bits;
+    sim.schedule_burst(
+        input,
+        Burst::uniform(Time::ZERO, Time::from_ps(10.0), pulses),
+    )
+    .unwrap();
+    sim.run().unwrap();
+    assert_eq!(sim.probe_count(probe), (pulses - 1) as usize);
 }
 
 /// A parametric fabric-scale netlist (10⁴–10⁶ cells) for the shard
@@ -339,6 +451,59 @@ pub fn catalogue_burst_trial(
     fingerprint_of(&sim, netlist)
 }
 
+/// The jittered counterpart of [`catalogue_burst_trial`]: the same
+/// seed-derived uniform-train stimulus with deterministic bounded
+/// wire-delay jitter of std-dev `sigma` enabled, optionally sharded.
+///
+/// Jitter draws are keyed `(seed, wire, emission time)`, so the
+/// burst/pulse differential holds at any **fixed** shard count; shard
+/// partitioning renumbers wires, so different shard counts are
+/// different — each internally consistent — jittered universes and
+/// their fingerprints are *not* comparable to each other.
+pub fn catalogue_burst_trial_jittered(
+    netlist: &BuiltNetlist,
+    sched: Sched,
+    seed: u64,
+    sanitize: bool,
+    coalesce: bool,
+    sigma: Time,
+    shards: usize,
+) -> TrialFingerprint {
+    let mut sim = ShardedSimulator::with_sched(netlist.circuit.clone(), shards, sched);
+    sim.set_burst(coalesce);
+    sim.enable_wire_jitter(sigma, JITTER_SEED ^ seed);
+    if sanitize {
+        sim.enable_sanitizer(SanitizerConfig::default());
+    }
+    for (input, burst) in catalogue_burst_stimulus(netlist, seed) {
+        sim.schedule_burst(input, burst).expect("catalogue input");
+    }
+    sim.run().expect("catalogue netlist simulates");
+    let probe_times = (0..netlist.circuit.num_probes())
+        .map(|p| {
+            let (id, _) = netlist
+                .circuit
+                .probe_taps()
+                .find(|(id, _)| id.index() == p)
+                .expect("probe exists");
+            sim.probe_times(id).to_vec()
+        })
+        .collect();
+    let activity = sim.activity();
+    TrialFingerprint {
+        probe_times,
+        handled: activity.handled.clone(),
+        emitted: activity.emitted.clone(),
+        peak_pending: activity.peak_pending,
+        anomalies: activity
+            .anomalies
+            .iter()
+            .map(|(kind, &count)| (format!("{kind:?}"), count))
+            .collect(),
+        violations: sim.sanitizer_violations(),
+    }
+}
+
 fn fingerprint_of(sim: &Simulator, netlist: &BuiltNetlist) -> TrialFingerprint {
     let probe_times = (0..netlist.circuit.num_probes())
         .map(|p| {
@@ -418,6 +583,51 @@ mod tests {
         drive_burst_stream(&mut slow, input, div, tap, 6);
         assert_eq!(sim.probe_times(div), slow.probe_times(div));
         assert_eq!(sim.probe_times(tap), slow.probe_times(tap));
+    }
+
+    #[test]
+    fn jittered_burst_stream_coalesces_and_matches_pulse() {
+        let sigma = Time::from_ps(BURST_STREAM_JITTER_SIGMA_PS);
+        let (c, input, div, tap) = burst_stream();
+        let mut sim = Simulator::with_burst(c, true);
+        sim.enable_wire_jitter(sigma, JITTER_SEED);
+        drive_burst_stream_jittered(&mut sim, input, div, tap, 6);
+        let (c, input, div, tap) = burst_stream();
+        let mut slow = Simulator::with_burst(c, false);
+        slow.enable_wire_jitter(sigma, JITTER_SEED);
+        drive_burst_stream_jittered(&mut slow, input, div, tap, 6);
+        assert_eq!(sim.probe_times(div), slow.probe_times(div));
+        assert_eq!(sim.probe_times(tap), slow.probe_times(tap));
+        // The 40 ps period clears every envelope, so the coalesced run
+        // really stays coalesced rather than silently falling back.
+        let coalesce = sim.activity().coalesce;
+        assert!(coalesce.hits > 0, "{coalesce:?}");
+        assert_eq!(coalesce.bail_jitter, 0, "{coalesce:?}");
+    }
+
+    #[test]
+    fn counting_feedback_burst_equals_pulse_in_log_steps() {
+        let (c, input, probe) = counting_feedback();
+        let mut sim = Simulator::with_burst(c, true);
+        drive_counting_feedback(&mut sim, input, probe, 8);
+        let (c, input, probe) = counting_feedback();
+        let mut slow = Simulator::with_burst(c, false);
+        drive_counting_feedback(&mut slow, input, probe, 8);
+        assert_eq!(sim.probe_times(probe), slow.probe_times(probe));
+        // The cycle lookahead must consume each halved generation
+        // atomically: a handful of coalesce hits, no feedback bails.
+        let coalesce = sim.activity().coalesce;
+        assert!(coalesce.hits > 0, "{coalesce:?}");
+        assert_eq!(coalesce.bail_feedback, 0, "{coalesce:?}");
+    }
+
+    #[test]
+    fn jittered_catalogue_trial_is_deterministic() {
+        let netlist = &shipped_netlists()[0];
+        let sigma = Time::from_ps(2.0);
+        let a = catalogue_burst_trial_jittered(netlist, Sched::Wheel, 1, true, true, sigma, 1);
+        let b = catalogue_burst_trial_jittered(netlist, Sched::Wheel, 1, true, true, sigma, 1);
+        assert_eq!(a, b);
     }
 
     #[test]

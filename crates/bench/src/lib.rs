@@ -118,5 +118,10 @@ pub fn all_experiments() -> Vec<Experiment> {
             "Differential soundness: sanitizer violations vs static findings",
             differential::render,
         ),
+        (
+            "coalesce",
+            "Engine telemetry: burst coalescing hits and fall-backs per kernel",
+            coalesce::render,
+        ),
     ]
 }

@@ -15,7 +15,10 @@
 //!   identical, the interleaving against other components is not.
 
 use proptest::prelude::*;
-use usfq_bench::kernels::{catalogue_burst_trial, TrialFingerprint};
+use usfq_bench::kernels::{
+    catalogue_burst_trial, catalogue_burst_trial_jittered, jitter_sigma_from_env, TrialFingerprint,
+    JITTER_SEED,
+};
 use usfq_cells::interconnect::{Jtl, Merger, Splitter};
 use usfq_cells::storage::{Dff, Ndro};
 use usfq_cells::toggle::Tff;
@@ -53,6 +56,47 @@ fn full_catalogue_burst_equals_pulse() {
                         "`{}` diverged (seed {seed}, {sched:?}, sanitize {sanitize})",
                         netlist.name
                     );
+                }
+            }
+        }
+    }
+}
+
+/// The jittered full-catalogue cube: with deterministic bounded
+/// wire-delay jitter enabled, the coalesced engine still equals the
+/// pulse-level reference — across both schedulers, sanitizer on/off,
+/// and at 1 and 2 shards. Jitter draws are keyed
+/// `(seed, wire, emission time)`, so burst/pulse identity holds at
+/// any *fixed* shard count (each shard count is its own jittered
+/// universe; the two are not compared against each other).
+///
+/// The jitter std-dev comes from `USFQ_JITTER` (integer femtoseconds;
+/// the CI engine matrix sets it), defaulting to 2 ps — wide enough
+/// that some envelopes clear their windows and coalesce while others
+/// exceed them and fall back per-cell, so both sides of the
+/// acceptance boundary are exercised on every run.
+#[test]
+fn jittered_catalogue_burst_equals_pulse_across_shards() {
+    let sigma = jitter_sigma_from_env().unwrap_or_else(|| Time::from_ps(2.0));
+    let catalogue = shipped_netlists();
+    for netlist in &catalogue {
+        for seed in 0..2u64 {
+            for sched in [Sched::Heap, Sched::Wheel] {
+                for sanitize in [false, true] {
+                    for shards in [1usize, 2] {
+                        let burst = normalized(catalogue_burst_trial_jittered(
+                            netlist, sched, seed, sanitize, true, sigma, shards,
+                        ));
+                        let pulse = normalized(catalogue_burst_trial_jittered(
+                            netlist, sched, seed, sanitize, false, sigma, shards,
+                        ));
+                        assert_eq!(
+                            burst, pulse,
+                            "`{}` diverged under jitter (seed {seed}, {sched:?}, \
+                             sanitize {sanitize}, {shards} shards, sigma {sigma:?})",
+                            netlist.name
+                        );
+                    }
                 }
             }
         }
@@ -174,6 +218,77 @@ fn chain_fingerprint(
         activity.emitted.clone(),
         activity.anomalies.clone(),
     )
+}
+
+/// [`chain_fingerprint`] with deterministic wire jitter of std-dev
+/// `sigma_fs` enabled (0 = off), for the envelope-boundary sweeps.
+#[allow(clippy::type_complexity)]
+fn jittered_chain_fingerprint(
+    stages: &[u8],
+    train: Burst,
+    sigma_fs: u64,
+    coalesce: bool,
+) -> (
+    Vec<Vec<Time>>,
+    Vec<u64>,
+    Vec<u64>,
+    std::collections::BTreeMap<usfq_sim::stats::StatKind, u64>,
+) {
+    let (proto, input, probes) = random_chain(stages);
+    let mut sim = Simulator::with_burst(proto, coalesce);
+    if sigma_fs > 0 {
+        sim.enable_wire_jitter(Time::from_fs(sigma_fs), JITTER_SEED);
+    }
+    sim.schedule_burst(input, train).unwrap();
+    sim.run().unwrap();
+    let traces: Vec<Vec<Time>> = probes
+        .iter()
+        .map(|&p| sim.probe_times(p).to_vec())
+        .collect();
+    let activity = sim.activity();
+    (
+        traces,
+        activity.handled.clone(),
+        activity.emitted.clone(),
+        activity.anomalies.clone(),
+    )
+}
+
+/// The per-cell fallback boundary, pinned from both sides on the
+/// pulse-stream showcase chain (five zero-delay hops, so the envelope
+/// span after hop `k` is exactly `k` jitter bounds wide, and the
+/// tightest acceptance check is hop 3 against the 40 ps train
+/// period): at σ = 5 ps every hop's worst-case envelope clears its
+/// window and the whole chain coalesces, while at σ = 6 ps hop 3
+/// exceeds the window and *only that wire* expands to exact pulses —
+/// upstream hops keep their closed forms. Both sides stay
+/// byte-identical to the pulse-level reference.
+#[test]
+fn envelope_exceeding_a_window_falls_back_per_cell_not_per_run() {
+    use usfq_bench::kernels::{burst_stream, drive_burst_stream_jittered};
+    let run = |sigma_ps: f64, coalesce: bool| {
+        let (c, input, div, tap) = burst_stream();
+        let mut sim = Simulator::with_burst(c, coalesce);
+        sim.enable_wire_jitter(Time::from_ps(sigma_ps), JITTER_SEED);
+        drive_burst_stream_jittered(&mut sim, input, div, tap, 6);
+        (
+            sim.probe_times(div).to_vec(),
+            sim.probe_times(tap).to_vec(),
+            sim.activity().coalesce,
+        )
+    };
+    for sigma_ps in [5.0, 6.0] {
+        let (div_b, tap_b, stats) = run(sigma_ps, true);
+        let (div_p, tap_p, _) = run(sigma_ps, false);
+        assert_eq!(div_b, div_p, "sigma {sigma_ps} ps");
+        assert_eq!(tap_b, tap_p, "sigma {sigma_ps} ps");
+        assert!(stats.hits > 0, "sigma {sigma_ps} ps: {stats:?}");
+        if sigma_ps < 5.5 {
+            assert_eq!(stats.bail_jitter, 0, "sigma {sigma_ps} ps: {stats:?}");
+        } else {
+            assert!(stats.bail_jitter > 0, "sigma {sigma_ps} ps: {stats:?}");
+        }
+    }
 }
 
 /// Directed cell-chain sweep (runs in every build, including offline
@@ -371,6 +486,27 @@ proptest! {
         prop_assert_eq!(
             chain_fingerprint(&stages, train, true),
             chain_fingerprint(&stages, train, false)
+        );
+    }
+
+    /// Random envelope widths against random windows: the jitter
+    /// std-dev ranges from a fraction of the train period to several
+    /// times it, so envelopes land on every side of the per-wire
+    /// acceptance boundary (`min_gap >= env_span`) — fully coalesced,
+    /// fully expanded, and mixed per-cell fallback chains all reduce
+    /// to the same pulse-level reference.
+    #[test]
+    fn jittered_random_trains_through_random_chains_match(
+        stages in proptest::collection::vec(0u8..5, 1..8),
+        count in 1u64..32,
+        start_fs in 0u64..20_000,
+        period_fs in 0u64..40_000,
+        sigma_fs in 0u64..20_000,
+    ) {
+        let train = Burst::uniform(Time::from_fs(start_fs), Time::from_fs(period_fs), count);
+        prop_assert_eq!(
+            jittered_chain_fingerprint(&stages, train, sigma_fs, true),
+            jittered_chain_fingerprint(&stages, train, sigma_fs, false)
         );
     }
 }

@@ -18,9 +18,9 @@
 //!   output stage of two [`Dff2`]s read through splitters and merged.
 
 use usfq_sim::circuit::{Circuit, NodeRef, SinkRef};
-use usfq_sim::component::{Component, Ctx, Hazard, StaticMeta};
+use usfq_sim::component::{BurstStep, Component, Ctx, Hazard, StaticMeta};
 use usfq_sim::stats::StatKind;
-use usfq_sim::{SimError, Time};
+use usfq_sim::{Burst, SimError, Time};
 
 use crate::catalog;
 use crate::interconnect::{Merger, Splitter};
@@ -105,6 +105,30 @@ impl Component for Balancer {
             self.next_out ^= 1;
             self.transition_until[port] = now + self.t_bff;
         }
+    }
+    fn step_burst(&mut self, port: usize, burst: &Burst, ctx: &mut Ctx) -> BurstStep {
+        // Closed form for a clean same-port train: the steady state of
+        // the Fig. 6c Mealy machine is plain alternation, so `k` pulses
+        // split `⌈k/2⌉`/`⌊k/2⌋` across the outputs as decimated trains.
+        // Valid only when no pulse can land inside the routing
+        // transition window — a check that reads *exact* arrival times,
+        // so envelope (jittered) trains and trains that could hit the
+        // window expand to pulse level instead.
+        let spaced = burst.count() == 1 || burst.min_gap() >= self.t_bff;
+        if !burst.is_exact() || !spaced || burst.first() < self.transition_until[port] {
+            return BurstStep::PulseByPulse;
+        }
+        // Pulse-index order across the two outputs is preserved by the
+        // engine's padded round-robin seq allocation (even train first,
+        // exactly like `Tff2`).
+        let out = burst.delayed(self.delay);
+        ctx.emit_burst(self.next_out, out.decimate(0, 2));
+        ctx.emit_burst(self.next_out ^ 1, out.decimate(1, 2));
+        let count = burst.count();
+        self.last_route = self.next_out ^ usize::try_from((count - 1) & 1).expect("bit");
+        self.next_out ^= usize::try_from(count & 1).expect("bit");
+        self.transition_until[port] = burst.last() + self.t_bff;
+        BurstStep::Consumed
     }
     fn reset(&mut self) {
         self.next_out = Self::OUT_Y1;

@@ -192,6 +192,20 @@ impl Component for Merger {
         ctx.emit(Self::OUT, self.delay);
     }
     fn step_burst(&mut self, _port: usize, burst: &Burst, ctx: &mut Ctx) -> BurstStep {
+        if self.window == Time::ZERO {
+            // Collisions are impossible, so behaviour is purely
+            // count-based and even envelope (jittered) trains pass
+            // through unchanged.
+            self.last_accepted = Some(burst.last());
+            ctx.emit_burst(Self::OUT, burst.delayed(self.delay));
+            return BurstStep::Consumed;
+        }
+        // A real collision window reads *exact* arrival times: an
+        // envelope train must materialize so each pulse is judged at
+        // its actual jittered arrival.
+        if !burst.is_exact() {
+            return BurstStep::PulseByPulse;
+        }
         // Closed form only when no pulse of the train collides: the
         // train's internal spacing clears the window and its head is
         // clear of the previously accepted pulse. Otherwise decline
@@ -200,7 +214,7 @@ impl Component for Merger {
         let head_clear = self.last_accepted.map_or(true, |last| {
             burst.first().saturating_sub(last) >= self.window
         });
-        if self.window == Time::ZERO || (spaced && head_clear) {
+        if spaced && head_clear {
             self.last_accepted = Some(burst.last());
             ctx.emit_burst(Self::OUT, burst.delayed(self.delay));
             BurstStep::Consumed

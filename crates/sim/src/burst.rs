@@ -47,6 +47,29 @@ use crate::time::Time;
 /// fold whole quotient steps into `base`). Times are non-decreasing in
 /// `k`; equal adjacent times are permitted (a zero-period train) and
 /// disambiguated by the engine's sequence numbers.
+///
+/// # Jitter envelopes
+///
+/// Under bounded wire-delay jitter the rational form carries an
+/// *envelope*: pulse `k` is guaranteed to lie in
+/// `[t_k − env_lo, t_k + env_hi]`, where `t_k` is the nominal rational
+/// time. The envelope widens by the wire's jitter bound at every
+/// jittered hop ([`Burst::widened`]) and rides unchanged through the
+/// index transforms (`delayed`/`suffix`/`prefix`/`decimate`), which act
+/// on the nominal form only. Exact jittered times are materialized
+/// lazily by the engine; cells and the sanitizer reason about the
+/// worst case ([`Burst::earliest_first`], [`Burst::latest_last`],
+/// [`Burst::env_span`]).
+///
+/// # Source provenance
+///
+/// `src_off`/`src_stride` record how this train's indices map back to
+/// the train a cell's `step_burst` received: pulse `i` here derives
+/// from input pulse `src_off + i · src_stride`. The engine normalizes
+/// the map to the identity before each `step_burst` call and reads it
+/// off emitted trains to relocate per-pulse jitter draws — which is
+/// why `step_burst` emissions must be built from the input train via
+/// the transform methods rather than constructed from scratch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Burst {
     base: Time,
@@ -55,6 +78,10 @@ pub struct Burst {
     num: u64,
     den: u64,
     count: u64,
+    env_lo: u64,
+    env_hi: u64,
+    src_off: u64,
+    src_stride: u64,
 }
 
 impl Burst {
@@ -67,6 +94,10 @@ impl Burst {
             num: 1,
             den: 1,
             count,
+            env_lo: 0,
+            env_hi: 0,
+            src_off: 0,
+            src_stride: 1,
         }
     }
 
@@ -85,6 +116,10 @@ impl Burst {
             num,
             den,
             count,
+            env_lo: 0,
+            env_hi: 0,
+            src_off: 0,
+            src_stride: 1,
         };
         b.canonicalize();
         b
@@ -195,6 +230,16 @@ impl Burst {
             num: self.num,
             den: self.den,
             count: self.count - k,
+            env_lo: self.env_lo,
+            env_hi: self.env_hi,
+            src_off: self
+                .src_off
+                .checked_add(
+                    k.checked_mul(self.src_stride)
+                        .expect("burst source-map overflow"),
+                )
+                .expect("burst source-map overflow"),
+            src_stride: self.src_stride,
         }
     }
 
@@ -229,10 +274,95 @@ impl Burst {
             .num
             .checked_mul(stride)
             .expect("burst decimation overflow");
+        let src_stride = start
+            .src_stride
+            .checked_mul(stride)
+            .expect("burst source-map overflow");
         Burst {
             num,
             count: kept,
+            src_stride,
             ..start
+        }
+    }
+
+    /// Lower envelope bound: pulse `k` arrives no earlier than
+    /// `time_at(k) − env_lo()` femtoseconds.
+    pub fn env_lo(&self) -> u64 {
+        self.env_lo
+    }
+
+    /// Upper envelope bound: pulse `k` arrives no later than
+    /// `time_at(k) + env_hi()` femtoseconds.
+    pub fn env_hi(&self) -> u64 {
+        self.env_hi
+    }
+
+    /// Total envelope width `env_lo + env_hi` in femtoseconds. Zero for
+    /// exact (jitter-free) trains.
+    pub fn env_span(&self) -> Time {
+        Time::from_fs(self.env_lo.saturating_add(self.env_hi))
+    }
+
+    /// Whether the train carries no jitter envelope (all times exact).
+    pub fn is_exact(&self) -> bool {
+        self.env_lo == 0 && self.env_hi == 0
+    }
+
+    /// Widens the envelope by `lo`/`hi` femtoseconds — one jittered
+    /// wire hop with a bounded per-pulse perturbation in `[-lo, +hi]`.
+    pub fn widened(&self, lo: u64, hi: u64) -> Burst {
+        Burst {
+            env_lo: self.env_lo.saturating_add(lo),
+            env_hi: self.env_hi.saturating_add(hi),
+            ..*self
+        }
+    }
+
+    /// Worst-case earliest arrival of the first pulse
+    /// (`first() − env_lo`, saturating at zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the train is empty.
+    pub fn earliest_first(&self) -> Time {
+        Time::from_fs(self.first().as_fs().saturating_sub(self.env_lo))
+    }
+
+    /// Worst-case latest arrival of the last pulse
+    /// (`last() + env_hi`, saturating at the clock maximum).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the train is empty.
+    pub fn latest_last(&self) -> Time {
+        Time::from_fs(self.last().as_fs().saturating_add(self.env_hi))
+    }
+
+    /// Number of leading pulses whose *worst-case latest* arrival
+    /// (`t_k + env_hi`) is `<= deadline`. Conservative under jitter;
+    /// identical to [`Burst::count_at_or_before`] for exact trains.
+    pub fn count_latest_at_or_before(&self, deadline: Time) -> u64 {
+        match deadline.as_fs().checked_sub(self.env_hi) {
+            Some(d) => self.count_at_or_before(Time::from_fs(d)),
+            None => 0,
+        }
+    }
+
+    /// The source-index map `(offset, stride)`: pulse `i` of this train
+    /// derives from pulse `offset + i · stride` of the train the map is
+    /// relative to (the engine normalizes it to `(0, 1)` before each
+    /// `step_burst` call).
+    pub fn src_map(&self) -> (u64, u64) {
+        (self.src_off, self.src_stride)
+    }
+
+    /// The same train with its source-index map reset to the identity.
+    pub fn with_src_identity(&self) -> Burst {
+        Burst {
+            src_off: 0,
+            src_stride: 1,
+            ..*self
         }
     }
 
@@ -264,7 +394,64 @@ impl Burst {
     /// probes, and tests — this is the `O(count)` boundary the burst
     /// representation exists to avoid on hot paths.
     pub fn iter_times(&self) -> impl Iterator<Item = Time> + '_ {
-        (0..self.count).map(|k| self.time_at(k))
+        let mut s = self.stepper(0, 1);
+        (0..self.count).map(move |_| Time::from_fs(s.next_fs()))
+    }
+
+    /// Division-free sequential reader of the nominal times at a fixed
+    /// index stride: the `n`-th [`BurstStepper::next_fs`] call returns
+    /// `time_at(k0 + n·stride).as_fs()`. The rational floor advances by
+    /// a precomputed quotient/remainder pair — one add and one compare
+    /// per pulse — so expanding a train (probes, jitter trails, exact
+    /// fallbacks) skips the per-pulse wide division of [`Burst::time_at`].
+    ///
+    /// Reads are exact for every in-range index (times are
+    /// non-decreasing, so no intermediate value can overflow before an
+    /// out-of-range one would); the stepper itself performs no bounds
+    /// checks, callers read at most `count` times.
+    pub fn stepper(&self, k0: u64, stride: u64) -> BurstStepper {
+        let p = self.phase as u128 + k0 as u128 * self.num as u128;
+        let sn = stride as u128 * self.num as u128;
+        let dq = sn / self.den as u128;
+        BurstStepper {
+            t: wide_to_fs(self.base.as_fs() as u128 + self.scale as u128 * (p / self.den as u128)),
+            // Saturating: only ever read when a further in-range index
+            // exists, in which case `t + dt` fits by monotonicity.
+            dt: u64::try_from(self.scale as u128 * dq).unwrap_or(u64::MAX),
+            scale: self.scale,
+            r: (p % self.den as u128) as u64,
+            dr: (sn % self.den as u128) as u64,
+            den: self.den,
+        }
+    }
+}
+
+/// See [`Burst::stepper`].
+#[derive(Debug, Clone)]
+pub struct BurstStepper {
+    t: u64,
+    dt: u64,
+    scale: u64,
+    r: u64,
+    dr: u64,
+    den: u64,
+}
+
+impl BurstStepper {
+    /// The current pulse's nominal time (femtoseconds), advancing the
+    /// stepper to the next index. The advance past the final in-range
+    /// index may wrap; that value is never returned to a caller
+    /// respecting the train's `count`.
+    #[inline]
+    pub fn next_fs(&mut self) -> u64 {
+        let cur = self.t;
+        self.r += self.dr;
+        if self.r >= self.den {
+            self.r -= self.den;
+            self.t = self.t.wrapping_add(self.scale);
+        }
+        self.t = self.t.wrapping_add(self.dt);
+        cur
     }
 }
 
@@ -403,6 +590,61 @@ mod tests {
         assert_eq!(b.count_at_or_before(Time::from_ps(1.0)), 0);
     }
 
+    #[test]
+    fn envelopes_ride_through_transforms() {
+        let b = Burst::uniform(Time::from_ps(10.0), Time::from_ps(5.0), 8).widened(300, 700);
+        assert_eq!((b.env_lo(), b.env_hi()), (300, 700));
+        assert!(!b.is_exact());
+        assert_eq!(b.env_span(), Time::from_fs(1_000));
+        assert_eq!(b.earliest_first(), Time::from_fs(10_000 - 300));
+        assert_eq!(b.latest_last(), Time::from_fs(45_000 + 700));
+        for t in [
+            b.delayed(Time::from_ps(2.0)),
+            b.suffix(3),
+            b.prefix(4),
+            b.decimate(1, 2),
+        ] {
+            assert_eq!((t.env_lo(), t.env_hi()), (300, 700), "{t:?}");
+        }
+        // Widening accumulates per hop.
+        let w = b.widened(100, 200);
+        assert_eq!((w.env_lo(), w.env_hi()), (400, 900));
+        // Conservative prefix counting backs off by env_hi.
+        assert_eq!(b.count_at_or_before(Time::from_ps(20.0)), 3);
+        assert_eq!(b.count_latest_at_or_before(Time::from_ps(20.0)), 2);
+        let exact = Burst::uniform(Time::from_ps(10.0), Time::from_ps(5.0), 8);
+        for fs in (0..60_000u64).step_by(1_250) {
+            let d = Time::from_fs(fs);
+            assert_eq!(
+                exact.count_latest_at_or_before(d),
+                exact.count_at_or_before(d)
+            );
+        }
+    }
+
+    #[test]
+    fn source_maps_compose_like_the_index_transforms() {
+        let b = Burst::rational(Time::ZERO, 7, 3, 11, 4, 40);
+        assert_eq!(b.src_map(), (0, 1));
+        // suffix(k): i -> k + i
+        assert_eq!(b.suffix(5).src_map(), (5, 1));
+        // decimate(o, s): i -> o + i·s
+        assert_eq!(b.decimate(3, 2).src_map(), (3, 2));
+        // Composition: suffix then decimate then suffix.
+        let c = b.suffix(4).decimate(1, 3).suffix(2);
+        // i -> 4 + (1 + (2 + i)·3) = 11 + 3i
+        assert_eq!(c.src_map(), (11, 3));
+        let all: Vec<Time> = b.iter_times().collect();
+        let (off, stride) = c.src_map();
+        for (i, t) in c.iter_times().enumerate() {
+            assert_eq!(t, all[(off + i as u64 * stride) as usize]);
+        }
+        // prefix/delayed leave the map alone; the identity reset clears it.
+        assert_eq!(c.prefix(2).src_map(), (11, 3));
+        assert_eq!(c.delayed(Time::from_ps(1.0)).src_map(), (11, 3));
+        assert_eq!(c.with_src_identity().src_map(), (0, 1));
+    }
+
     proptest! {
         /// Every transform agrees with the naive expansion for
         /// arbitrary (bounded) rational parameters.
@@ -441,6 +683,15 @@ mod tests {
                 let mid = want[(count / 2) as usize];
                 let naive_cnt = want.iter().filter(|&&t| t <= mid).count() as u64;
                 prop_assert_eq!(b.count_at_or_before(Time::from_fs(mid)), naive_cnt);
+
+                // Strided stepper reads match `time_at` exactly.
+                let (k0, stride) = (split.min(count - 1), 1 + split % 3);
+                let mut s = b.stepper(k0, stride);
+                let mut k = k0;
+                while k < count {
+                    prop_assert_eq!(s.next_fs(), b.time_at(k).as_fs());
+                    k += stride;
+                }
             }
         }
     }

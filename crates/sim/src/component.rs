@@ -322,6 +322,28 @@ pub trait Component: CloneComponent + Send + Sync {
     /// have been emitted; when returning `Consumed`, only
     /// [`Ctx::emit_burst`] / [`Ctx::record_many`] may be used — no
     /// per-pulse emissions and no timers.
+    ///
+    /// # Jitter envelopes
+    ///
+    /// A train may carry a jitter envelope
+    /// ([`Burst::env_span`] `> 0`): each pulse's actual arrival lies
+    /// within `[t_k − env_lo, t_k + env_hi]` of its nominal time, and
+    /// the engine materializes the exact arrivals lazily. A cell may
+    /// only consume an envelope train if its behaviour is
+    /// *index-derived*: state updates depend on pulse **count/order**
+    /// alone (never on the exact times), and every emission is some
+    /// index transform of the input (`delayed`/`suffix`/`prefix`/
+    /// `decimate`) — i.e. each output pulse is "this input pulse plus
+    /// a fixed delay". The engine then reconstructs exact output times
+    /// from the input's materialization, so byte-identity with the
+    /// pulse engine is preserved. Cells whose state transitions read
+    /// exact arrival times (collision windows, transition windows)
+    /// must decline envelope trains (`!burst.is_exact()`) and let the
+    /// per-pulse path judge the materialized times. Emitted bursts
+    /// must also preserve the input's source-index map
+    /// ([`Burst::src_map`]) — the built-in transforms do this
+    /// automatically; hand-built emissions must derive from `burst`,
+    /// not from a fresh [`Burst::uniform`].
     fn step_burst(&mut self, port: usize, burst: &Burst, ctx: &mut Ctx) -> BurstStep {
         let _ = (port, burst, ctx);
         BurstStep::PulseByPulse

@@ -31,6 +31,42 @@ fn burst_from_env() -> bool {
     }
 }
 
+/// Environment variable enabling wire-delay jitter in every simulator
+/// at construction: `USFQ_WIRE_JITTER=<sigma_fs>[:<seed>]` turns on
+/// the same deterministic triangular model as
+/// [`Simulator::enable_wire_jitter`], with the standard deviation in
+/// femtoseconds and an optional draw seed (default
+/// [`WIRE_JITTER_DEFAULT_SEED`]). Unset, empty, unparsable, or `0`
+/// leaves jitter off. Explicit `enable_wire_jitter` /
+/// `disable_wire_jitter` calls override the ambient setting, so
+/// experiments that sweep sigma themselves are unaffected.
+///
+/// This is how the figure artefacts run "with jitter enabled" without
+/// per-experiment plumbing: the simulators they build deep inside the
+/// accelerator blocks all pass through [`Simulator::with_sched`].
+pub const WIRE_JITTER_ENV: &str = "USFQ_WIRE_JITTER";
+
+/// Jitter seed used by [`WIRE_JITTER_ENV`] when the value carries no
+/// explicit `:<seed>` suffix.
+pub const WIRE_JITTER_DEFAULT_SEED: u64 = 0x5EED;
+
+/// Parses a [`WIRE_JITTER_ENV`] value. Kept separate from the env read
+/// so the grammar is unit-testable without touching process state.
+fn parse_wire_jitter(raw: &str) -> Option<JitterModel> {
+    let (sigma, seed) = match raw.split_once(':') {
+        Some((s, seed)) => (s, seed.trim().parse().ok()?),
+        None => (raw, WIRE_JITTER_DEFAULT_SEED),
+    };
+    let sigma_fs: u64 = sigma.trim().parse().ok()?;
+    (sigma_fs > 0).then(|| JitterModel::new(Time::from_fs(sigma_fs), seed))
+}
+
+fn jitter_from_env() -> Option<JitterModel> {
+    std::env::var(WIRE_JITTER_ENV)
+        .ok()
+        .and_then(|raw| parse_wire_jitter(&raw))
+}
+
 /// Event payload, kept to 16 bytes (`u32` component/port indices, the
 /// discriminant packed into their padding) so a queued [`Event`] stays
 /// one 32-byte half-cache-line — the queues copy events around
@@ -59,13 +95,47 @@ enum EventKind {
     },
 }
 
+/// One jittered hop in a coalesced train's provenance trail: the wire
+/// crossed (flat net-table index), its nominal delay, the nominal
+/// train as it was emitted onto that wire, and the affine map from the
+/// slab train's current index space into that emission's index space
+/// (slab pulse `i` crossed this hop as emission pulse
+/// `off + i · stride`).
+///
+/// The trail is the lazy-materialization recipe for exact jittered
+/// arrival times: fold the hops in order, keying each draw by the
+/// pulse's *actual* emission time onto the wire (nominal emission plus
+/// the jitter accumulated over the earlier hops) — exactly the key the
+/// pulse-level engine uses in `fan_out`, so both engines see identical
+/// perturbations. The fold is sound because every envelope-accepting
+/// cell emits at `actual input arrival + fixed delay` (the
+/// `step_burst` contract), which makes actual emission = nominal
+/// emission + accumulated input jitter.
+#[derive(Debug, Clone)]
+struct TrailHop {
+    wire: u32,
+    delay: Time,
+    burst: Burst,
+    off: u64,
+    stride: u64,
+}
+
+/// Deepest provenance trail a coalesced train may accumulate before a
+/// further jittered hop expands it to pulse level. Each hop costs one
+/// draw per materialized pulse; past this depth the closed form no
+/// longer pays for itself (and the envelope, which widens linearly per
+/// hop, has almost certainly outgrown the train's spacing anyway).
+const MAX_TRAIL_HOPS: usize = 32;
+
 /// Slab record backing an in-flight [`EventKind::BurstDeliver`]: the
-/// remaining train plus the sequence-number stride between consecutive
-/// pulses (the width of the net the train was fanned out over).
-#[derive(Debug, Clone, Copy)]
+/// remaining train, the sequence-number stride between consecutive
+/// pulses (the width of the net the train was fanned out over), and
+/// the jittered hops crossed so far (empty for exact trains).
+#[derive(Debug, Clone)]
 struct BurstRec {
     burst: Burst,
     stride: u64,
+    trail: Vec<TrailHop>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -74,6 +144,14 @@ struct Event {
     seq: u64,
     kind: EventKind,
 }
+
+// The queues copy events around constantly; payload growth is directly
+// visible in hot-loop throughput. Burst payloads live in the slab
+// precisely so this stays one 32-byte half-cache-line.
+const _: () = assert!(
+    std::mem::size_of::<Event>() == 32,
+    "Event must stay 32 bytes"
+);
 
 #[derive(Debug, Clone, Copy)]
 enum NetSource {
@@ -277,46 +355,158 @@ pub struct RunSummary {
     pub end_time: Time,
 }
 
-/// Deterministic wire-delay jitter: every wire traversal is perturbed
-/// by a zero-mean Gaussian of the given standard deviation, from a
-/// seeded xorshift generator. Models the delay variations the U-SFQ
-/// paper lists among its §5.4.1 error sources (pulses arriving
-/// "outside the expected time-slot").
-#[derive(Debug, Clone)]
+/// Hard bound on the jitter deviate, in standard deviations: the
+/// triangular distribution below has support `(−√6·σ, +√6·σ)`. The
+/// envelope algebra leans on this being an *absolute* bound, never a
+/// tail probability.
+const JITTER_BOUND_SIGMAS: f64 = 2.449_489_742_783_178; // √6
+
+/// Deterministic bounded wire-delay jitter: every wire traversal is
+/// perturbed by a zero-mean triangular deviate of the given standard
+/// deviation (sum of two uniforms — bell-shaped, with the hard
+/// `±√6·σ` support bound the burst envelope algebra requires). Models
+/// the delay variations the U-SFQ paper lists among its §5.4.1 error
+/// sources (pulses arriving "outside the expected time-slot").
+///
+/// The draw is a *pure function* of `(seed, wire, emission time)` —
+/// no generator state — so the coalesced engine can materialize the
+/// draw for any pulse of a train lazily, in any order, and obtain
+/// exactly the perturbation the pulse-level engine applies to the
+/// same wire crossing. Byte-identity between the two engines under
+/// jitter rests on this keying.
+#[derive(Debug, Clone, Copy)]
 struct JitterModel {
-    sigma_fs: f64,
-    state: u64,
+    seed: u64,
+    /// `ceil(√6 · sigma)`: per-hop envelope half-width in fs.
+    bound_fs: u64,
 }
 
 impl JitterModel {
     fn new(sigma: Time, seed: u64) -> Self {
         JitterModel {
-            sigma_fs: sigma.as_fs() as f64,
-            // xorshift must not start at zero.
-            state: seed | 1,
+            seed,
+            bound_fs: (sigma.as_fs() as f64 * JITTER_BOUND_SIGMAS).ceil() as u64,
         }
     }
 
-    fn next_u64(&mut self) -> u64 {
-        // xorshift64* — deterministic, dependency-free.
-        let mut x = self.state;
-        x ^= x >> 12;
-        x ^= x << 25;
+    /// The integer arrival perturbation for a pulse emitted at `t_fs`
+    /// crossing `wire` (its flat net-table index) with nominal
+    /// propagation `delay_fs`. Negative jitter is clamped to the wire
+    /// delay so the pulse never arrives before its emission instant.
+    /// Shared by the pulse path (`fan_out`) and the lazy burst
+    /// materialization so both apply bit-identical arithmetic.
+    ///
+    /// The draw is integer throughout: a splitmix64 finalizer over the
+    /// keyed state (uncorrelated draws across wires and times,
+    /// identical for identical keys), whose two 32-bit lanes summed as
+    /// `u1 + u2 − (2³² − 1)` form a triangular deviate in
+    /// `(−2³², 2³²)` with std `2³²/√6`; scaling by `bound_fs / 2³²`
+    /// (floor rounding — a ½ fs mean offset, far below σ) gives std σ
+    /// and *hard* support `±bound_fs` — the absolute bound the
+    /// envelope algebra leans on. Keeping the arithmetic off the FPU
+    /// matters: this is evaluated once per pulse per hop, and an f64
+    /// round-trip costs more than the rest of the draw combined on the
+    /// virtualized CPUs CI runs on.
+    #[inline]
+    fn delta_fs(&self, wire: u32, t_fs: u64, delay_fs: u64) -> i64 {
+        let mut x = self
+            .seed
+            .wrapping_add(t_fs.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add((u64::from(wire) + 1).wrapping_mul(0x632B_E59B_D9B4_E019));
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
         x ^= x >> 27;
-        self.state = x;
-        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        let t = ((x >> 32) as i64 + (x & 0xFFFF_FFFF) as i64) - 0xFFFF_FFFF;
+        let d = ((i128::from(t) * i128::from(self.bound_fs)) >> 32) as i64;
+        // The clamp is ≤ 0, so one branchless `max` covers both signs.
+        d.max(-(delay_fs.min(i64::MAX as u64) as i64))
     }
+}
 
-    fn uniform(&mut self) -> f64 {
-        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+/// Exact arrival time of slab-train pulse `i`: its nominal rational
+/// time plus the fold of the per-hop jitter draws along the trail (see
+/// [`TrailHop`]). `O(trail length)` per pulse, paid only where an
+/// exact time is observable: event keys, probe recordings, `now`,
+/// sanitizer commits, and lazy splits.
+fn jittered_time_at(jitter: &JitterModel, trail: &[TrailHop], burst: &Burst, i: u64) -> Time {
+    let acc = trail_offset_fs(jitter, trail, i);
+    let t = burst.time_at(i).as_fs() as i128 + acc;
+    Time::from_fs(u64::try_from(t).expect("jittered burst time overflow"))
+}
+
+/// Fills `accs[i]` with the accumulated signed jitter (femtoseconds)
+/// for pulse `i` of `b` — the value `trail_offset_fs` computes for
+/// `i`'s source index — in hop-major order: one pass per hop over the
+/// whole train. Identical draws and identical overflow panics, but two
+/// structural wins over the per-pulse fold: each hop's nominal
+/// emission time advances by a division-free [`BurstStepper`] instead
+/// of a wide division per pulse, and consecutive pulses' draw
+/// evaluations are independent within a pass, so they overlap in the
+/// pipeline instead of serializing behind each pulse's hop chain. This
+/// is the `O(count·hops)` inner loop of probe recording and per-wire
+/// exact expansion.
+fn fold_trail_accs(jitter: &JitterModel, trail: &[TrailHop], b: &Burst, accs: &mut Vec<i64>) {
+    let n = usize::try_from(b.count()).expect("burst count fits usize");
+    accs.clear();
+    accs.resize(n, 0);
+    let (off, step) = b.src_map();
+    for h in trail {
+        let mut s = h.burst.stepper(h.off + off * h.stride, step * h.stride);
+        let delay_fs = h.delay.as_fs();
+        for a in accs.iter_mut() {
+            let emit = s
+                .next_fs()
+                .checked_add_signed(*a)
+                .expect("jittered burst time overflow");
+            *a += jitter.delta_fs(h.wire, emit, delay_fs);
+        }
     }
+}
 
-    /// Signed jitter in femtoseconds (Box–Muller).
-    fn sample_fs(&mut self) -> f64 {
-        let u1 = self.uniform().max(f64::MIN_POSITIVE);
-        let u2 = self.uniform();
-        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
-        z * self.sigma_fs
+/// The accumulated signed jitter (femtoseconds) for trail index `i`
+/// over `trail`'s hops. Each hop's draw is keyed by the pulse's actual
+/// emission time onto that hop's wire.
+fn trail_offset_fs(jitter: &JitterModel, trail: &[TrailHop], i: u64) -> i128 {
+    let mut acc: i128 = 0;
+    for hop in trail {
+        let k = hop.off + i * hop.stride;
+        let emit = hop.burst.time_at(k).as_fs() as i128 + acc;
+        // Clamping keeps every arrival at or after its emission, so the
+        // running actual time can never go negative.
+        let emit = u64::try_from(emit).expect("jittered burst time overflow");
+        acc += i128::from(jitter.delta_fs(hop.wire, emit, hop.delay.as_fs()));
+    }
+    acc
+}
+
+/// The exact (fully materialized) arrival of pulse `k` of emission `b`
+/// after crossing jittered wire `flat` with the given `delay`: the
+/// exact emission time (nominal + trail fold at `b`'s source index)
+/// plus the wire delay plus this wire's own jitter draw. `None` on
+/// femtosecond-clock overflow, mirroring the pulse engine's
+/// `TimeOverflow` behaviour on the same pulse.
+fn exact_arrival(
+    jm: &JitterModel,
+    parent_trail: &[TrailHop],
+    b: &Burst,
+    k: u64,
+    flat: u32,
+    delay: Time,
+) -> Option<Time> {
+    let (off, step) = b.src_map();
+    let acc = trail_offset_fs(jm, parent_trail, off + k * step);
+    let emit_fs = u64::try_from(i128::from(b.time_at(k).as_fs()) + acc)
+        .expect("jittered burst time overflow");
+    let nominal = Time::from_fs(emit_fs).checked_add(delay)?;
+    let d = jm.delta_fs(flat, emit_fs, delay.as_fs());
+    if d >= 0 {
+        nominal.checked_add(Time::from_fs(d.unsigned_abs()))
+    } else {
+        // `delta_fs` clamps the negative side at the wire delay, so
+        // this cannot pass the emission instant.
+        Some(Time::from_fs(nominal.as_fs() - d.unsigned_abs()))
     }
 }
 
@@ -346,6 +536,10 @@ pub struct Simulator {
     /// [`EventKind::BurstDeliver::slot`]; freed slots are recycled.
     bursts: Vec<BurstRec>,
     free_bursts: Vec<u32>,
+    /// Reusable buffer for [`fold_trail_accs`] (per-pulse accumulated
+    /// jitter while materializing a jittered train); kept on the
+    /// simulator so steady-state materialization allocates nothing.
+    trail_accs: Vec<i64>,
     /// In-use slab slots (`bursts.len() - free_bursts.len()`). At the
     /// top of the event loop every live slot has exactly one queued
     /// [`EventKind::BurstDeliver`], so `live_bursts == 0` proves the
@@ -361,75 +555,218 @@ pub struct Simulator {
     /// Whether the coalesced fast path is enabled (see
     /// [`Simulator::with_burst`]).
     burst_enabled: bool,
-    /// Conservative over-approximation of "this component sits on a
-    /// feedback cycle": such cells never take the closed-form burst
-    /// path, because events they cause can arrive back between the
-    /// pulses of a train being absorbed. Built lazily by
-    /// [`Simulator::in_cycle`] on the first burst delivery, so
-    /// pulse-only construction never pays for the peel.
-    cycle_mask: Option<Vec<bool>>,
+    /// Per-component feedback lookahead: a lower bound on the wire
+    /// delay around any comp-to-comp cycle through the component
+    /// ([`Time::MAX`] for components on no cycle). While a train's
+    /// pulses all lie within `head + lookahead`, nothing the component
+    /// emits can travel around a cycle and arrive back between them,
+    /// so the closed-form burst step stays exact. [`Time::ZERO`] (a
+    /// zero-delay cycle) disables coalescing for that component. Built
+    /// lazily by [`Simulator::cycle_la`] on the first burst delivery,
+    /// so pulse-only construction never pays for the analysis.
+    cycle_la: Option<Vec<Time>>,
 }
 
-/// Marks components that may lie on a comp-to-comp feedback cycle:
-/// survivors of both an indegree peel (not purely downstream of the
-/// acyclic part) and an outdegree peel (not purely upstream of it).
-/// A conservative over-approximation — false positives only cost the
-/// fast path, never correctness.
-fn cycle_mask(circuit: &Circuit) -> Vec<bool> {
+/// SCCs above this size fall back from the exact all-pairs shortest
+/// cycle (`O(size³)`) to the min-intra-SCC-edge lower bound.
+const EXACT_CYCLE_SCC_LIMIT: usize = 64;
+
+/// Computes each component's feedback lookahead: the minimum total
+/// *wire* delay around any directed comp-to-comp cycle through it
+/// (cell delays only add, so wire delay alone is a sound lower bound),
+/// or [`Time::MAX`] for components on no cycle.
+///
+/// Strongly connected components are found with an iterative Tarjan
+/// pass (netlists reach 10⁵ cells; recursion would overflow). Inside
+/// an SCC of at most [`EXACT_CYCLE_SCC_LIMIT`] nodes the exact
+/// shortest cycle through each node is computed by min-plus
+/// Floyd–Warshall; larger SCCs conservatively use the minimum
+/// intra-SCC edge delay (every cycle contains at least one edge).
+/// Conservatism only costs the fast path, never correctness.
+fn cycle_lookahead(circuit: &Circuit) -> Vec<Time> {
     let n = circuit.comps.len();
-    // Flat CSR adjacency (forward and reverse), built in two counting
-    // passes: `cycle_mask` runs on every `Simulator` construction, so
-    // it must not allocate per-component edge lists.
-    let mut edges: Vec<(usize, usize)> = Vec::new();
-    let mut indeg = vec![0usize; n];
+    // Flat CSR adjacency with per-edge delays, built in two counting
+    // passes — this runs once per simulator on first burst delivery
+    // and must not allocate per-component edge lists.
+    let mut edges: Vec<(usize, usize, u64)> = Vec::new();
     let mut outdeg = vec![0usize; n];
-    for (src, _, dst, _, _) in circuit.wires() {
-        edges.push((src.index(), dst.index()));
-        indeg[dst.index()] += 1;
+    for (src, _, dst, _, delay) in circuit.wires() {
+        edges.push((src.index(), dst.index(), delay.as_fs()));
         outdeg[src.index()] += 1;
     }
-    let csr = |counts: &[usize], key: fn(&(usize, usize)) -> (usize, usize)| {
-        let mut start = Vec::with_capacity(n + 1);
-        let mut acc = 0usize;
-        start.push(0);
-        for &c in counts {
-            acc += c;
-            start.push(acc);
+    let mut succ_start = Vec::with_capacity(n + 1);
+    let mut acc = 0usize;
+    succ_start.push(0);
+    for &c in &outdeg {
+        acc += c;
+        succ_start.push(acc);
+    }
+    let mut fill = succ_start.clone();
+    let mut succ = vec![(0usize, 0u64); acc];
+    for &(s, d, w) in &edges {
+        succ[fill[s]] = (d, w);
+        fill[s] += 1;
+    }
+
+    // Iterative Tarjan: scc_of[v] = component id, ids assigned in
+    // reverse topological order (unused beyond grouping here).
+    const UNVISITED: u32 = u32::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut scc_of = vec![UNVISITED; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut call: Vec<(usize, usize)> = Vec::new(); // (node, next edge offset)
+    let mut next_index = 0u32;
+    let mut next_scc = 0u32;
+    for root in 0..n {
+        if index[root] != UNVISITED {
+            continue;
         }
-        let mut fill = start.clone();
-        let mut adj = vec![0usize; acc];
-        for e in &edges {
-            let (from, to) = key(e);
-            adj[fill[from]] = to;
-            fill[from] += 1;
-        }
-        (start, adj)
-    };
-    let (succ_start, succ) = csr(&outdeg, |&(s, d)| (s, d));
-    let (pred_start, pred) = csr(&indeg, |&(s, d)| (d, s));
-    let peel = |deg: &mut [usize], start: &[usize], adj: &[usize]| -> Vec<bool> {
-        let mut alive = vec![true; n];
-        let mut stack: Vec<usize> = (0..n).filter(|&i| deg[i] == 0).collect();
-        while let Some(i) = stack.pop() {
-            alive[i] = false;
-            for &j in &adj[start[i]..start[i + 1]] {
-                deg[j] -= 1;
-                if deg[j] == 0 {
-                    stack.push(j);
+        call.push((root, succ_start[root]));
+        index[root] = next_index;
+        lowlink[root] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root] = true;
+        while let Some(&mut (v, ref mut edge)) = call.last_mut() {
+            if *edge < succ_start[v + 1] {
+                let (w, _) = succ[*edge];
+                *edge += 1;
+                if index[w] == UNVISITED {
+                    index[w] = next_index;
+                    lowlink[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    call.push((w, succ_start[w]));
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            } else {
+                call.pop();
+                if let Some(&(parent, _)) = call.last() {
+                    lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                }
+                if lowlink[v] == index[v] {
+                    while let Some(w) = stack.pop() {
+                        on_stack[w] = false;
+                        scc_of[w] = next_scc;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    next_scc += 1;
                 }
             }
         }
-        alive
-    };
-    let fwd_alive = peel(&mut indeg, &succ_start, &succ);
-    let bwd_alive = peel(&mut outdeg, &pred_start, &pred);
-    (0..n).map(|i| fwd_alive[i] && bwd_alive[i]).collect()
+    }
+
+    // Group members per SCC, then bound each component's shortest
+    // cycle. Single-node SCCs cycle only via self-loop edges.
+    let mut scc_size = vec![0u32; next_scc as usize];
+    for v in 0..n {
+        scc_size[scc_of[v] as usize] += 1;
+    }
+    let mut members_start = Vec::with_capacity(next_scc as usize + 1);
+    let mut acc = 0usize;
+    members_start.push(0);
+    for &c in &scc_size {
+        acc += c as usize;
+        members_start.push(acc);
+    }
+    let mut fill = members_start.clone();
+    let mut members = vec![0usize; n];
+    for (v, &s) in scc_of.iter().enumerate() {
+        members[fill[s as usize]] = v;
+        fill[s as usize] += 1;
+    }
+
+    let mut la = vec![Time::MAX; n];
+    for s in 0..next_scc as usize {
+        let group = &members[members_start[s]..members_start[s + 1]];
+        if group.len() == 1 {
+            let v = group[0];
+            // Only a self-loop makes a single-node SCC cyclic.
+            let self_loop = succ[succ_start[v]..succ_start[v + 1]]
+                .iter()
+                .filter(|&&(w, _)| w == v)
+                .map(|&(_, d)| d)
+                .min();
+            if let Some(d) = self_loop {
+                la[v] = Time::from_fs(d);
+            }
+            continue;
+        }
+        if group.len() <= EXACT_CYCLE_SCC_LIMIT {
+            // Exact per-node shortest cycle by min-plus Floyd–Warshall
+            // over the SCC's internal edges (self-loops included).
+            let k_n = group.len();
+            let mut pos = std::collections::HashMap::with_capacity(k_n);
+            for (i, &v) in group.iter().enumerate() {
+                pos.insert(v, i);
+            }
+            const INF: u64 = u64::MAX;
+            let mut dist = vec![INF; k_n * k_n];
+            for (i, &v) in group.iter().enumerate() {
+                for &(w, d) in &succ[succ_start[v]..succ_start[v + 1]] {
+                    if let Some(&j) = pos.get(&w) {
+                        let cell = &mut dist[i * k_n + j];
+                        *cell = (*cell).min(d);
+                    }
+                }
+            }
+            for mid in 0..k_n {
+                for i in 0..k_n {
+                    let dim = dist[i * k_n + mid];
+                    if dim == INF {
+                        continue;
+                    }
+                    for j in 0..k_n {
+                        let dmj = dist[mid * k_n + j];
+                        if dmj == INF {
+                            continue;
+                        }
+                        let cand = dim.saturating_add(dmj);
+                        let cell = &mut dist[i * k_n + j];
+                        if cand < *cell {
+                            *cell = cand;
+                        }
+                    }
+                }
+            }
+            for (i, &v) in group.iter().enumerate() {
+                let d = dist[i * k_n + i];
+                la[v] = if d == INF {
+                    Time::MAX
+                } else {
+                    Time::from_fs(d)
+                };
+            }
+        } else {
+            // Lower bound: the lightest edge inside the SCC.
+            let mut min_edge = u64::MAX;
+            for &v in group {
+                for &(w, d) in &succ[succ_start[v]..succ_start[v + 1]] {
+                    if scc_of[w] as usize == s {
+                        min_edge = min_edge.min(d);
+                    }
+                }
+            }
+            for &v in group {
+                la[v] = Time::from_fs(min_edge);
+            }
+        }
+    }
+    la
 }
 
 impl Simulator {
     /// Wraps a finished circuit in a simulator using the scheduler
     /// selected by the `USFQ_SCHED` environment variable (automatic
     /// heap/wheel selection by default) — see [`Simulator::with_sched`].
+    /// Ambient wire-delay jitter is picked up from [`WIRE_JITTER_ENV`]
+    /// if set.
     pub fn new(circuit: Circuit) -> Self {
         Simulator::with_sched(circuit, Sched::from_env())
     }
@@ -474,15 +811,16 @@ impl Simulator {
             event_limit: DEFAULT_EVENT_LIMIT,
             events_processed: 0,
             ctx: Ctx::default(),
-            jitter: None,
+            jitter: jitter_from_env(),
             sanitizer: None,
             bursts: Vec::new(),
             free_bursts: Vec::new(),
+            trail_accs: Vec::new(),
             live_bursts: 0,
             pending_weight: 0,
             peak_weight: 0,
             burst_enabled: burst_from_env(),
-            cycle_mask: None,
+            cycle_la: None,
         }
     }
 
@@ -521,9 +859,13 @@ impl Simulator {
         self.queue.wheel_stats()
     }
 
-    /// Enables deterministic Gaussian wire-delay jitter: every wire
-    /// traversal is perturbed by `N(0, sigma)`, clamped so pulses never
-    /// travel back in time. Same seed → same run.
+    /// Enables deterministic bounded wire-delay jitter: every wire
+    /// traversal is perturbed by a zero-mean triangular deviate with
+    /// standard deviation `sigma` and hard support `±√6·sigma`, clamped
+    /// so pulses never travel back in time. Draws are pure functions of
+    /// `(seed, wire, emission time)`, so the same seed gives the same
+    /// run *and* the coalesced burst engine reproduces the pulse
+    /// engine's perturbations exactly when it lazily materializes them.
     ///
     /// This is the fault model behind the paper's "delay variations
     /// cause the RL pulses to arrive outside the expected time-slot"
@@ -620,9 +962,12 @@ impl Simulator {
     /// operations instead of `O(count · fan-out)`; the result is
     /// byte-identical either way, because each fanned-out train keeps
     /// exactly the `(time, seq)` keys the pulse-by-pulse loop would
-    /// have assigned. With bursts disabled — or wire jitter active,
-    /// which perturbs every pulse individually — the train is expanded
-    /// to pulse-level events up front.
+    /// have assigned. With bursts disabled the train is expanded to
+    /// pulse-level events up front. Wire jitter no longer forces
+    /// expansion: jittered trains travel as bounded envelopes
+    /// ([`Burst::widened`]) and materialize their exact per-pulse
+    /// perturbations lazily through the provenance trail (see
+    /// [`TrailHop`]), staying byte-identical to the pulse engine.
     ///
     /// # Errors
     ///
@@ -640,7 +985,7 @@ impl Simulator {
             component: circuit.inputs[input.0].name.clone(),
             time: burst.checked_time_at(0).unwrap_or(Time::MAX),
         };
-        if !self.burst_enabled || self.jitter.is_some() || burst.count() == 1 {
+        if !self.burst_enabled || burst.count() == 1 {
             for k in 0..burst.count() {
                 let t = burst
                     .checked_time_at(k)
@@ -746,13 +1091,13 @@ impl Simulator {
         Ok(events)
     }
 
-    /// Whether component `ci` may sit on a feedback cycle, building
-    /// the mask on first use. The topology is fixed after
-    /// construction, so the memoised answer stays valid for the
-    /// simulator's lifetime (clones carry it along).
-    fn in_cycle(&mut self, ci: usize) -> bool {
-        self.cycle_mask
-            .get_or_insert_with(|| cycle_mask(&self.circuit))[ci]
+    /// The feedback lookahead of component `ci` ([`Time::MAX`] when it
+    /// sits on no cycle), building the table on first use. The topology
+    /// is fixed after construction, so the memoised answer stays valid
+    /// for the simulator's lifetime (clones carry it along).
+    fn cycle_la(&mut self, ci: usize) -> Time {
+        self.cycle_la
+            .get_or_insert_with(|| cycle_lookahead(&self.circuit))[ci]
     }
 
     #[cold]
@@ -776,14 +1121,24 @@ impl Simulator {
     /// next pulse's original `(time, seq)` key.
     ///
     /// The prefix is bounded by (a) the run deadline, (b) the event
-    /// limit budget, and (c) the next pending event's key — no other
-    /// event may interleave the absorbed pulses, so for an acyclic
-    /// receiver the closed-form step is exactly equivalent to `m`
-    /// individual deliveries. If the receiver sits on a feedback cycle,
-    /// wire jitter is active, the sanitizer cannot prove the prefix
-    /// violation-free, or the cell itself declines
-    /// ([`BurstStep::PulseByPulse`]), only the head pulse is delivered
-    /// through the ordinary exact path.
+    /// limit budget, (c) the next pending event's key, and (d) the
+    /// receiver's feedback lookahead — no other event may interleave
+    /// the absorbed pulses, so the closed-form step is exactly
+    /// equivalent to `m` individual deliveries. Jittered trains use
+    /// their worst-case envelope bounds for (a) and (c), so an
+    /// absorbed prefix is safe for *every* materialization of the
+    /// envelope. If the sanitizer cannot prove the prefix
+    /// violation-free, the cell declines ([`BurstStep::PulseByPulse`]),
+    /// the envelope alone exceeds the bound, or a jittered train meets
+    /// a feedback cycle (whose lookahead is only sound for nominal
+    /// delays), only the head pulse is delivered through the ordinary
+    /// exact path.
+    ///
+    /// When the consumed train's single emission lands on a
+    /// single-wire net and its head would be the very next event
+    /// anyway, the emitted train is *chased*: delivered in the next
+    /// loop iteration without a queue round-trip, so a feedback-free
+    /// pipeline evaluates a whole epoch symbolically in one call.
     ///
     /// Kept out of line so the pulse-level dispatch loop in
     /// [`Simulator::run_until`] stays as tight as it was before bursts
@@ -798,94 +1153,194 @@ impl Simulator {
         slot: u32,
         deadline: Time,
     ) -> Result<u64, SimError> {
-        let BurstRec { burst, stride } = self.bursts[slot as usize];
-        // The popped queue entry carried the whole train's weight.
-        self.pending_weight -= burst.count();
-        let mut m = burst.count_at_or_before(deadline);
-        // The caller checked `events_processed < event_limit`, so the
-        // budget is at least one.
-        m = m.min(self.event_limit - self.events_processed);
-        if let Some(next) = self.queue.peek() {
-            // Largest prefix strictly before the next event's key.
-            let (mut lo, mut hi) = (0u64, m);
-            while lo < hi {
-                let mid = lo + (hi - lo) / 2;
-                let key = (burst.time_at(mid), ev.seq + mid * stride);
-                if key < (next.time, next.seq) {
-                    lo = mid + 1;
-                } else {
-                    hi = mid;
+        let mut ev = ev;
+        let (mut comp, mut port, mut slot) = (comp, port, slot);
+        let mut total = 0u64;
+        loop {
+            let rec = &mut self.bursts[slot as usize];
+            let burst = rec.burst;
+            let stride = rec.stride;
+            let trail = std::mem::take(&mut rec.trail);
+            // The popped queue entry carried the whole train's weight.
+            self.pending_weight -= burst.count();
+            let ci = comp as usize;
+            // Cap the prefix at the feedback lookahead: pulses later
+            // than `ev.time + la` could race something this very step
+            // emits around a cycle. The bound is inclusive — feedback
+            // emissions draw sequence numbers *after* the train's
+            // pre-allocated keys, so an arrival at exactly that
+            // instant still sorts behind every absorbed pulse. The
+            // nominal lookahead is unsound once jitter can shrink a
+            // cycle's wire delays, so jittered runs bail to the head
+            // pulse on cyclic receivers.
+            let la = self.cycle_la(ci);
+            let cyclic_jitter_bail = la != Time::MAX && self.jitter.is_some();
+            let la = if cyclic_jitter_bail { Time::ZERO } else { la };
+            let dl = deadline.min(ev.time.checked_add(la).unwrap_or(Time::MAX));
+            let mut m = burst.count_latest_at_or_before(dl);
+            // The caller checked `events_processed < event_limit`, so
+            // the budget is at least one.
+            m = m.min(self.event_limit - self.events_processed);
+            if let Some(next) = self.queue.peek() {
+                // Largest prefix whose worst-case keys sort strictly
+                // before the next event's key.
+                let (mut lo, mut hi) = (0u64, m);
+                while lo < hi {
+                    let mid = lo + (hi - lo) / 2;
+                    let t =
+                        Time::from_fs(burst.time_at(mid).as_fs().saturating_add(burst.env_hi()));
+                    if (t, ev.seq + mid * stride) < (next.time, next.seq) {
+                        lo = mid + 1;
+                    } else {
+                        hi = mid;
+                    }
                 }
+                m = lo;
             }
-            m = lo;
-        }
-        // The head pulse carries the popped event's own key, which was
-        // the queue minimum — it is always dispatchable.
-        debug_assert!(m >= 1, "burst head must be consumable");
-        let prefix = burst.prefix(m);
-        let ci = comp as usize;
-        let mut atomic = m > 0 && self.jitter.is_none() && !self.in_cycle(ci);
-        if atomic {
-            if let Some(s) = &self.sanitizer {
-                atomic = s.can_coalesce(ci, port as usize, &prefix);
-            }
-        }
-        let mut consumed = 1;
-        let mut handled_atomically = false;
-        if atomic {
-            let mut ctx = std::mem::take(&mut self.ctx);
-            ctx.clear();
-            let step = self.circuit.comps[ci]
-                .model
-                .step_burst(port as usize, &prefix, &mut ctx);
-            if step == BurstStep::Consumed {
-                debug_assert!(
-                    ctx.emissions.is_empty() && ctx.timers.is_empty() && ctx.stats.is_empty(),
-                    "step_burst must only use emit_burst/record_many"
-                );
-                self.now = prefix.last();
-                self.events_processed += m;
-                self.activity.handled[ci] += m;
-                if let Some(s) = &mut self.sanitizer {
-                    s.commit_coalesced(ci, port as usize, &prefix);
-                }
-                self.emit_bursts(ci, &ctx.burst_emissions)?;
-                for &(stat, n) in &ctx.stat_counts {
-                    self.activity.record_anomaly_n(stat, n);
-                }
-                consumed = m;
-                handled_atomically = true;
-            }
-            self.ctx = ctx;
-        }
-        if !handled_atomically {
-            // Exact fallback: the head pulse alone, through the same
-            // path a pulse-level event would take.
-            self.now = ev.time;
-            self.events_processed += 1;
-            self.dispatch_outlined(Event {
-                time: ev.time,
-                seq: ev.seq,
-                kind: EventKind::Deliver { comp, port },
-            })?;
-        }
-        if consumed < burst.count() {
-            let rest = burst.suffix(consumed);
-            let weight = rest.count();
-            self.bursts[slot as usize].burst = rest;
-            self.push_weighted(
-                Event {
-                    time: rest.first(),
-                    seq: ev.seq + consumed * stride,
-                    kind: EventKind::BurstDeliver { comp, port, slot },
-                },
-                weight,
+            // For exact trains the head pulse carries the popped
+            // event's own key — the queue minimum — so it is always
+            // consumable. A jitter envelope can push the head's
+            // *worst-case* key past the bound even though its exact
+            // arrival was due; that falls back to the exact head path.
+            debug_assert!(
+                m >= 1 || !burst.is_exact(),
+                "exact burst head must be consumable"
             );
-        } else {
-            self.free_bursts.push(slot);
-            self.live_bursts -= 1;
+            let mut atomic = m > 0 && !cyclic_jitter_bail;
+            if atomic {
+                if let Some(s) = &self.sanitizer {
+                    if !s.can_coalesce(ci, port as usize, &burst.prefix(m)) {
+                        atomic = false;
+                        self.activity.coalesce.bail_sanitizer += 1;
+                    }
+                }
+            }
+            let mut consumed = 1;
+            let mut handled_atomically = false;
+            let mut deferred = None;
+            if atomic {
+                let prefix = burst.prefix(m);
+                let mut ctx = std::mem::take(&mut self.ctx);
+                ctx.clear();
+                let step =
+                    self.circuit.comps[ci]
+                        .model
+                        .step_burst(port as usize, &prefix, &mut ctx);
+                if step == BurstStep::Consumed {
+                    debug_assert!(
+                        ctx.emissions.is_empty() && ctx.timers.is_empty() && ctx.stats.is_empty(),
+                        "step_burst must only use emit_burst/record_many"
+                    );
+                    // The exact arrival of the last absorbed pulse:
+                    // nominal for exact trains, the trail fold for
+                    // jittered ones.
+                    let exact_last = if trail.is_empty() {
+                        prefix.last()
+                    } else {
+                        let jm = self.jitter.expect("trailed bursts only exist under jitter");
+                        jittered_time_at(&jm, &trail, &burst, m - 1)
+                    };
+                    self.now = exact_last;
+                    self.events_processed += m;
+                    self.activity.handled[ci] += m;
+                    if let Some(s) = &mut self.sanitizer {
+                        s.commit_coalesced(ci, port as usize, &prefix, exact_last);
+                    }
+                    deferred = self.emit_bursts(ci, &ctx.burst_emissions, &trail)?;
+                    for &(stat, n) in &ctx.stat_counts {
+                        self.activity.record_anomaly_n(stat, n);
+                    }
+                    self.activity.coalesce.hits += 1;
+                    self.activity.coalesce.pulses += m;
+                    consumed = m;
+                    handled_atomically = true;
+                } else {
+                    self.activity.coalesce.bail_cell += 1;
+                }
+                self.ctx = ctx;
+            } else if cyclic_jitter_bail {
+                self.activity.coalesce.bail_feedback += 1;
+            } else if m == 0 {
+                self.activity.coalesce.bail_jitter += 1;
+            }
+            if !handled_atomically {
+                // Exact fallback: the head pulse alone, through the
+                // same path a pulse-level event would take. `ev.time`
+                // is the head's exact (already materialized) arrival.
+                self.now = ev.time;
+                self.events_processed += 1;
+                self.dispatch_outlined(Event {
+                    time: ev.time,
+                    seq: ev.seq,
+                    kind: EventKind::Deliver { comp, port },
+                })?;
+            }
+            total += consumed;
+            if consumed < burst.count() {
+                let rest = burst.suffix(consumed).with_src_identity();
+                // Shift the trail's index maps into the suffix's index
+                // space so hop emission indices stay aligned.
+                let mut trail = trail;
+                for hop in &mut trail {
+                    hop.off += consumed * hop.stride;
+                }
+                let time = if trail.is_empty() {
+                    rest.first()
+                } else {
+                    let jm = self.jitter.expect("trailed bursts only exist under jitter");
+                    jittered_time_at(&jm, &trail, &rest, 0)
+                };
+                let weight = rest.count();
+                let rec = &mut self.bursts[slot as usize];
+                rec.burst = rest;
+                rec.trail = trail;
+                self.push_weighted(
+                    Event {
+                        time,
+                        seq: ev.seq + consumed * stride,
+                        kind: EventKind::BurstDeliver { comp, port, slot },
+                    },
+                    weight,
+                );
+                self.activity.coalesce.lazy_splits += 1;
+            } else {
+                self.free_bursts.push(slot);
+                self.live_bursts -= 1;
+            }
+            // Chase: when the whole train was absorbed and its single
+            // emission would be the very next event anyway, deliver it
+            // here instead of a queue round-trip.
+            let Some(dev) = deferred else {
+                return Ok(total);
+            };
+            let EventKind::BurstDeliver {
+                comp: dc,
+                port: dp,
+                slot: ds,
+            } = dev.kind
+            else {
+                unreachable!("only coalesced trains are deferred")
+            };
+            let chase = consumed == burst.count()
+                && dev.time <= deadline
+                && self
+                    .queue
+                    .peek()
+                    .map_or(true, |next| (dev.time, dev.seq) < (next.time, next.seq));
+            if !chase {
+                // Weight was already accounted when the event was
+                // deferred, so this bypasses `push_weighted`.
+                self.queue.push(dev);
+                return Ok(total);
+            }
+            if self.events_processed >= self.event_limit {
+                self.queue.push(dev);
+                return Err(self.event_limit_error(dev));
+            }
+            self.activity.coalesce.chases += 1;
+            ev = dev;
+            (comp, port, slot) = (dc, dp, ds);
         }
-        Ok(consumed)
     }
 
     /// Fans a set of trains emitted by one closed-form step out to
@@ -897,9 +1352,20 @@ impl Simulator {
     /// out all of pulse `k`'s emissions before pulse `k+1`'s), so
     /// equal-time ties between pulses of *different* emitted trains
     /// still resolve identically downstream.
-    fn emit_bursts(&mut self, comp: usize, emissions: &[(usize, Burst)]) -> Result<(), SimError> {
+    ///
+    /// When the step produced exactly one train on a single-wire net,
+    /// the queue event is *deferred* — returned to
+    /// [`Simulator::deliver_burst`] with its weight already accounted,
+    /// so the chase loop can consume it without a queue round-trip
+    /// when it would have been the next event anyway.
+    fn emit_bursts(
+        &mut self,
+        comp: usize,
+        emissions: &[(usize, Burst)],
+        parent_trail: &[TrailHop],
+    ) -> Result<Option<Event>, SimError> {
         if emissions.is_empty() {
-            return Ok(());
+            return Ok(None);
         }
         let mut total_width = 0u64;
         let mut max_count = 0u64;
@@ -908,77 +1374,226 @@ impl Simulator {
             total_width += (net.wires_end - net.wires_start) as u64;
             max_count = max_count.max(b.count());
         }
+        let defer_single = emissions.len() == 1 && total_width == 1;
         let base = self.seq;
         self.seq += max_count * total_width;
         let mut offset = 0u64;
+        let mut deferred = None;
         for &(port, ref b) in emissions {
             self.activity.emitted[comp] += b.count();
             let net = self.nets.net(NetSource::Output(comp, port));
             let width = (net.wires_end - net.wires_start) as u64;
-            self.push_burst_net(
+            deferred = self.push_burst_net(
                 NetSource::Output(comp, port),
                 *b,
                 base + offset,
                 total_width,
+                parent_trail,
+                defer_single,
             )?;
             offset += width;
         }
-        Ok(())
+        Ok(deferred)
     }
 
-    /// Fans one train out over a net: probes record every pulse time,
-    /// and each wire gets the delayed train as a single queue event
-    /// (or a plain pulse event for single-pulse trains). Wire `j`'s
-    /// head pulse takes seq `seq0 + j` and pulse `k` takes
+    /// Fans one train out over a net: probes record every pulse's
+    /// exact time, and each wire gets the delayed train as a single
+    /// queue event (or a plain pulse event for single-pulse trains).
+    /// Wire `j`'s head pulse takes seq `seq0 + j` and pulse `k` takes
     /// `seq0 + j + k · stride` — the exact keys `count` pulse-level
     /// `fan_out` calls would have assigned.
+    ///
+    /// Under wire jitter each hop widens the train's envelope by the
+    /// jitter bound and appends itself to the provenance trail; the
+    /// queue key is the head pulse's exact (materialized) arrival
+    /// while the body stays symbolic. A wire whose widened envelope
+    /// could reorder pulses (`env_span > min_gap`) — or a trail at
+    /// its depth cap — expands to exact pulse events instead, per
+    /// wire, not per run.
     fn push_burst_net(
         &mut self,
         source: NetSource,
         b: Burst,
         seq0: u64,
         stride: u64,
-    ) -> Result<(), SimError> {
-        debug_assert!(self.jitter.is_none(), "bursts never travel jittered wires");
+        parent_trail: &[TrailHop],
+        defer_single: bool,
+    ) -> Result<Option<Event>, SimError> {
+        let jitter = self.jitter;
         let net = self.nets.net(source);
         for p in net.probes_start..net.probes_end {
             let probe = self.nets.probes[p as usize] as usize;
-            self.probe_data[probe].extend(b.iter_times());
+            if parent_trail.is_empty() {
+                self.probe_data[probe].extend(b.iter_times());
+            } else {
+                // Jittered emission: the exact emission time is the
+                // nominal time plus the trail fold at the pulse's
+                // source index — identical to what the pulse engine
+                // would have recorded. The fold runs hop-major into
+                // the reusable accumulator buffer (see
+                // `fold_trail_accs`).
+                let jm = jitter.expect("trailed bursts only exist under jitter");
+                let mut accs = std::mem::take(&mut self.trail_accs);
+                fold_trail_accs(&jm, parent_trail, &b, &mut accs);
+                let mut own = b.stepper(0, 1);
+                let data = &mut self.probe_data[probe];
+                data.reserve(accs.len());
+                for &a in &accs {
+                    let t = own
+                        .next_fs()
+                        .checked_add_signed(a)
+                        .expect("jittered burst time overflow");
+                    data.push(Time::from_fs(t));
+                }
+                self.trail_accs = accs;
+            }
         }
+        let overflow = |circuit: &Circuit| SimError::TimeOverflow {
+            component: match source {
+                NetSource::Input(i) => circuit.inputs[i].name.clone(),
+                NetSource::Output(c, _) => circuit.comps[c].model.name().to_string(),
+            },
+            time: b.first(),
+        };
+        let mut deferred = None;
         for j in 0..(net.wires_end - net.wires_start) {
-            let wire = self.nets.wires[(net.wires_start + j) as usize];
+            let flat = net.wires_start + j;
+            let wire = self.nets.wires[flat as usize];
             let bd = b
                 .checked_delayed(wire.delay)
-                .ok_or_else(|| SimError::TimeOverflow {
-                    component: match source {
-                        NetSource::Input(i) => self.circuit.inputs[i].name.clone(),
-                        NetSource::Output(c, _) => self.circuit.comps[c].model.name().to_string(),
-                    },
-                    time: b.first(),
-                })?;
-            let kind = if bd.count() == 1 {
-                EventKind::Deliver {
-                    comp: wire.dest,
-                    port: wire.port,
-                }
-            } else {
-                let slot = self.alloc_burst(bd, stride);
-                EventKind::BurstDeliver {
-                    comp: wire.dest,
-                    port: wire.port,
-                    slot,
-                }
-            };
-            self.push_weighted(
-                Event {
+                .ok_or_else(|| overflow(&self.circuit))?;
+            let Some(jm) = jitter else {
+                // Exact path: unchanged from the jitter-free engine.
+                let kind = if bd.count() == 1 {
+                    EventKind::Deliver {
+                        comp: wire.dest,
+                        port: wire.port,
+                    }
+                } else {
+                    let slot = self.alloc_burst(bd.with_src_identity(), stride, Vec::new());
+                    EventKind::BurstDeliver {
+                        comp: wire.dest,
+                        port: wire.port,
+                        slot,
+                    }
+                };
+                let ev = Event {
                     time: bd.first(),
                     seq: seq0 + u64::from(j),
                     kind,
+                };
+                if defer_single && matches!(ev.kind, EventKind::BurstDeliver { .. }) {
+                    self.defer_weight(bd.count());
+                    deferred = Some(ev);
+                } else {
+                    self.push_weighted(ev, bd.count());
+                }
+                continue;
+            };
+            if bd.count() == 1 {
+                // Single pulse: materialize the exact arrival directly.
+                let arrival = exact_arrival(&jm, parent_trail, &b, 0, flat, wire.delay)
+                    .ok_or_else(|| overflow(&self.circuit))?;
+                self.push_weighted(
+                    Event {
+                        time: arrival,
+                        seq: seq0 + u64::from(j),
+                        kind: EventKind::Deliver {
+                            comp: wire.dest,
+                            port: wire.port,
+                        },
+                    },
+                    1,
+                );
+                continue;
+            }
+            // Jittered hop: widen the envelope by the jitter bound
+            // (negative side clamped at the wire delay — a pulse never
+            // arrives before it was emitted).
+            let bdw = bd.widened(jm.bound_fs.min(wire.delay.as_fs()), jm.bound_fs);
+            let span_ok = bdw.min_gap() >= bdw.env_span();
+            let depth_ok = parent_trail.len() < MAX_TRAIL_HOPS;
+            if !span_ok || !depth_ok {
+                // The envelope could reorder pulses on this wire (or
+                // the trail hit its depth cap): expand to exact pulse
+                // events — per wire; the net's other wires and the
+                // upstream train stay coalesced.
+                self.activity.coalesce.bail_jitter += 1;
+                let mut accs = std::mem::take(&mut self.trail_accs);
+                fold_trail_accs(&jm, parent_trail, &b, &mut accs);
+                let mut own = b.stepper(0, 1);
+                for k in 0..bd.count() {
+                    // Same arithmetic as `exact_arrival`, with the
+                    // trail fold materialized hop-major up front.
+                    let emit_fs = own
+                        .next_fs()
+                        .checked_add_signed(accs[k as usize])
+                        .expect("jittered burst time overflow");
+                    let nominal = Time::from_fs(emit_fs)
+                        .checked_add(wire.delay)
+                        .ok_or_else(|| overflow(&self.circuit))?;
+                    let d = jm.delta_fs(flat, emit_fs, wire.delay.as_fs());
+                    let arrival = if d >= 0 {
+                        nominal
+                            .checked_add(Time::from_fs(d.unsigned_abs()))
+                            .ok_or_else(|| overflow(&self.circuit))?
+                    } else {
+                        Time::from_fs(nominal.as_fs() - d.unsigned_abs())
+                    };
+                    self.push_weighted(
+                        Event {
+                            time: arrival,
+                            seq: seq0 + u64::from(j) + k * stride,
+                            kind: EventKind::Deliver {
+                                comp: wire.dest,
+                                port: wire.port,
+                            },
+                        },
+                        1,
+                    );
+                }
+                self.trail_accs = accs;
+                continue;
+            }
+            // Accept the hop: compose the child trail. Child pulse `i`
+            // derives from slab index `off + i·step` of the parent, so
+            // earlier hops compose with this emission's source map and
+            // the new hop indexes the emission burst directly.
+            let (off, step) = b.src_map();
+            let mut trail = Vec::with_capacity(parent_trail.len() + 1);
+            for h in parent_trail {
+                trail.push(TrailHop {
+                    off: h.off + off * h.stride,
+                    stride: h.stride * step,
+                    ..h.clone()
+                });
+            }
+            trail.push(TrailHop {
+                wire: flat,
+                delay: wire.delay,
+                burst: b.with_src_identity(),
+                off: 0,
+                stride: 1,
+            });
+            let head = jittered_time_at(&jm, &trail, &bdw, 0);
+            let slot = self.alloc_burst(bdw.with_src_identity(), stride, trail);
+            let ev = Event {
+                time: head,
+                seq: seq0 + u64::from(j),
+                kind: EventKind::BurstDeliver {
+                    comp: wire.dest,
+                    port: wire.port,
+                    slot,
                 },
-                bd.count(),
-            );
+            };
+            if defer_single {
+                self.defer_weight(bdw.count());
+                deferred = Some(ev);
+            } else {
+                self.push_weighted(ev, bdw.count());
+            }
         }
-        Ok(())
+        Ok(deferred)
     }
 
     /// Fans a scheduled train out from a source net, allocating the
@@ -989,16 +1604,25 @@ impl Simulator {
         let width = (net.wires_end - net.wires_start) as u64;
         let seq0 = self.seq;
         self.seq += burst.count() * width;
-        self.push_burst_net(source, burst, seq0, width)
+        self.push_burst_net(source, burst, seq0, width, &[], false)?;
+        Ok(())
     }
 
-    fn alloc_burst(&mut self, burst: Burst, stride: u64) -> u32 {
+    fn alloc_burst(&mut self, burst: Burst, stride: u64, trail: Vec<TrailHop>) -> u32 {
         self.live_bursts += 1;
         if let Some(slot) = self.free_bursts.pop() {
-            self.bursts[slot as usize] = BurstRec { burst, stride };
+            self.bursts[slot as usize] = BurstRec {
+                burst,
+                stride,
+                trail,
+            };
             slot
         } else {
-            self.bursts.push(BurstRec { burst, stride });
+            self.bursts.push(BurstRec {
+                burst,
+                stride,
+                trail,
+            });
             (self.bursts.len() - 1) as u32
         }
     }
@@ -1006,6 +1630,16 @@ impl Simulator {
     #[inline]
     fn push_weighted(&mut self, ev: Event, weight: u64) {
         self.queue.push(ev);
+        self.pending_weight += weight;
+        if self.pending_weight > self.peak_weight {
+            self.peak_weight = self.pending_weight;
+        }
+    }
+
+    /// Accounts a deferred (chase-candidate) event's weight without
+    /// pushing it: the chase loop subtracts the same weight when it
+    /// consumes the event, exactly as if it had crossed the queue.
+    fn defer_weight(&mut self, weight: u64) {
         self.pending_weight += weight;
         if self.pending_weight > self.peak_weight {
             self.peak_weight = self.pending_weight;
@@ -1106,19 +1740,24 @@ impl Simulator {
             },
             time: t,
         };
-        for (seq, wire) in (first_seq..).zip(wires.iter()) {
+        let jitter = self.jitter;
+        let wires_start = net.wires_start;
+        for (idx, wire) in wires.iter().enumerate() {
+            let seq = first_seq + idx as u64;
             let mut arrival = t
                 .checked_add(wire.delay)
                 .ok_or_else(|| overflow(&self.circuit))?;
-            if let Some(jitter) = &mut self.jitter {
-                let j = jitter.sample_fs();
-                arrival = if j >= 0.0 {
+            if let Some(jm) = &jitter {
+                let flat = wires_start + idx as u32;
+                let d = jm.delta_fs(flat, t.as_fs(), wire.delay.as_fs());
+                arrival = if d >= 0 {
                     arrival
-                        .checked_add(Time::from_fs(j as u64))
+                        .checked_add(Time::from_fs(d.unsigned_abs()))
                         .ok_or_else(|| overflow(&self.circuit))?
                 } else {
-                    // Never earlier than the emission instant.
-                    arrival.saturating_sub(Time::from_fs((-j) as u64)).max(t)
+                    // `delta_fs` clamps the negative side at the wire
+                    // delay — never earlier than the emission instant.
+                    Time::from_fs(arrival.as_fs() - d.unsigned_abs())
                 };
             }
             self.queue.push(Event {
@@ -1577,6 +2216,22 @@ mod tests {
             assert!(t >= Time::from_ps(100.0 * k as f64), "pulse {k} at {t}");
         }
         sim.disable_wire_jitter();
+    }
+
+    /// The `USFQ_WIRE_JITTER` grammar: `<sigma_fs>[:<seed>]`, with the
+    /// bound derived exactly as `enable_wire_jitter` derives it.
+    #[test]
+    fn wire_jitter_env_grammar() {
+        let jm = parse_wire_jitter("2000").expect("bare sigma parses");
+        assert_eq!(jm.bound_fs, 4899); // ceil(2000·√6)
+        assert_eq!(jm.seed, WIRE_JITTER_DEFAULT_SEED);
+        let jm = parse_wire_jitter(" 500 : 7 ").expect("sigma:seed parses");
+        assert_eq!(jm.bound_fs, 1225); // ceil(500·√6)
+        assert_eq!(jm.seed, 7);
+        assert!(parse_wire_jitter("0").is_none(), "0 means off");
+        assert!(parse_wire_jitter("").is_none());
+        assert!(parse_wire_jitter("2ps").is_none(), "units are rejected");
+        assert!(parse_wire_jitter("2000:").is_none(), "dangling seed");
     }
 
     #[test]

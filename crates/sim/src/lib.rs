@@ -77,16 +77,17 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
-pub use burst::Burst;
+pub use burst::{Burst, BurstStepper};
 pub use circuit::{
     Circuit, CompId, FanoutOverflow, InputId, NodeRef, ProbeId, ProbeSource, SinkRef, WireId,
 };
 pub use component::{BurstStep, Component, Ctx, Hazard, StaticMeta};
-pub use engine::{RunSummary, Simulator, BURST_ENV};
+pub use engine::{RunSummary, Simulator, BURST_ENV, WIRE_JITTER_DEFAULT_SEED, WIRE_JITTER_ENV};
 pub use error::SimError;
 pub use graph::CircuitGraph;
 pub use runner::Runner;
 pub use sanitizer::{SanitizerConfig, SanitizerReport, Violation, ViolationKind};
 pub use sched::{CalendarWheel, Sched, WheelStats};
 pub use shard::{ShardedSimulator, SHARDS_ENV};
+pub use stats::{ActivityReport, CoalesceStats, StatKind};
 pub use time::Time;

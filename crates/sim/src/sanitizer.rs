@@ -311,17 +311,27 @@ impl SanitizerState {
     /// the checks reason about the train's closed form
     /// ([`Burst::min_gap`] is a lower bound, never an overestimate)
     /// instead of forcing expansion.
+    ///
+    /// Jitter envelopes are handled by worst-casing every comparison:
+    /// the head may arrive up to `env_lo` early
+    /// ([`Burst::earliest_first`]), the tail up to `env_hi` late
+    /// ([`Burst::latest_last`]), and two consecutive pulses may close
+    /// to `min_gap − env_span` of each other. If the worst case clears
+    /// a window, so does every materialization of the envelope, and
+    /// absorbing the train is provably violation-free; otherwise the
+    /// engine falls back and the per-pulse `observe` calls judge the
+    /// exact materialized times.
     pub(crate) fn can_coalesce(&self, comp: usize, port: usize, burst: &Burst) -> bool {
         if burst.is_empty() {
             return true;
         }
-        let head = burst.first();
+        let head = burst.earliest_first();
         if let Some(end) = self.config.epoch_end {
-            if burst.last() > end {
+            if burst.latest_last() > end {
                 return false;
             }
         }
-        let gap = burst.min_gap();
+        let gap = burst.min_gap().saturating_sub(burst.env_span());
         let multi = burst.count() > 1;
         let facts = &self.facts[comp];
         for hazard in &facts.hazards {
@@ -379,17 +389,27 @@ impl SanitizerState {
     /// [`SanitizerState::can_coalesce`] approved: every pulse was
     /// accepted, so the tracked windows end at the train's last pulse
     /// and the data count advances by the full pulse count.
-    pub(crate) fn commit_coalesced(&mut self, comp: usize, port: usize, burst: &Burst) {
+    ///
+    /// `exact_last` is the last pulse's *actual* arrival — equal to
+    /// `burst.last()` for exact trains, and the engine's materialized
+    /// (jittered) time for envelope trains — so the windows tracked
+    /// here match what the per-pulse `observe` calls would have left.
+    pub(crate) fn commit_coalesced(
+        &mut self,
+        comp: usize,
+        port: usize,
+        burst: &Burst,
+        exact_last: Time,
+    ) {
         if burst.is_empty() {
             return;
         }
-        let last = burst.last();
         if port == 0 && self.facts[comp].counting_capacity.is_some() {
             self.data_count[comp] += burst.count();
         }
-        self.last_accepted[comp] = Some(last);
+        self.last_accepted[comp] = Some(exact_last);
         if let Some(slot) = self.last_arrival[comp].get_mut(port) {
-            *slot = Some(last);
+            *slot = Some(exact_last);
         }
     }
 

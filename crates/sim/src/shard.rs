@@ -648,6 +648,23 @@ impl ShardedSimulator {
         }
     }
 
+    /// Enables deterministic bounded wire-delay jitter in every shard
+    /// (see [`Simulator::enable_wire_jitter`]). Jitter draws are keyed
+    /// by each engine's *local* flat wire index, so a sharded jittered
+    /// run is deterministic and burst/pulse byte-identical **at a
+    /// fixed shard count**, but does not reproduce the sequential
+    /// engine's draw stream — partitioning renumbers the wires.
+    pub fn enable_wire_jitter(&mut self, sigma: Time, seed: u64) {
+        match &mut self.inner {
+            Inner::Single(sim) => sim.enable_wire_jitter(sigma, seed),
+            Inner::Multi(m) => {
+                for w in &mut m.workers {
+                    w.enable_wire_jitter(sigma, seed);
+                }
+            }
+        }
+    }
+
     /// Overrides the event safety valve. For a sharded run the limit is
     /// enforced *per shard* (each shard aborts when it alone exceeds
     /// the limit), a documented approximation of the sequential global
@@ -916,6 +933,7 @@ impl Multi {
                 *merged.anomalies.entry(kind).or_insert(0) += count;
             }
             merged.peak_pending = merged.peak_pending.max(local.peak_pending);
+            merged.coalesce.merge(&local.coalesce);
         }
         self.merged = merged;
     }

@@ -21,6 +21,58 @@ pub enum StatKind {
     IgnoredPulse,
 }
 
+/// Observability counters for the coalesced-burst fast path: how often
+/// trains were absorbed in closed form, and — when they were not — why.
+///
+/// Purely diagnostic: never part of a differential fingerprint (the
+/// two engines *should* differ here), but surfaced in `figures --json`
+/// and the benchkernel provenance block so a regression in coalesce
+/// coverage shows up in CI before it shows up as wall-clock.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoalesceStats {
+    /// Closed-form `step_burst` absorptions that consumed a prefix.
+    pub hits: u64,
+    /// Pulses absorbed by those closed-form steps.
+    pub pulses: u64,
+    /// Trains re-queued with a remainder after a partial absorb.
+    pub lazy_splits: u64,
+    /// Emitted trains delivered by the chase loop without a queue
+    /// round-trip (the whole-epoch symbolic fast path).
+    pub chases: u64,
+    /// Bail-outs because a jitter envelope could not be kept symbolic
+    /// (per-wire expansion, head-only prefixes, depth-capped trails).
+    pub bail_jitter: u64,
+    /// Bail-outs because the receiver sits on a feedback cycle whose
+    /// lookahead could not cover the train (or jitter made the nominal
+    /// lookahead unsound).
+    pub bail_feedback: u64,
+    /// Bail-outs because the sanitizer could not prove the prefix
+    /// violation-free.
+    pub bail_sanitizer: u64,
+    /// Bail-outs because the cell itself declined
+    /// (`BurstStep::PulseByPulse`).
+    pub bail_cell: u64,
+}
+
+impl CoalesceStats {
+    /// Sums another shard's (or run's) counters into this one.
+    pub fn merge(&mut self, other: &CoalesceStats) {
+        self.hits += other.hits;
+        self.pulses += other.pulses;
+        self.lazy_splits += other.lazy_splits;
+        self.chases += other.chases;
+        self.bail_jitter += other.bail_jitter;
+        self.bail_feedback += other.bail_feedback;
+        self.bail_sanitizer += other.bail_sanitizer;
+        self.bail_cell += other.bail_cell;
+    }
+
+    /// Total bail-outs across all reasons.
+    pub fn bails(&self) -> u64 {
+        self.bail_jitter + self.bail_feedback + self.bail_sanitizer + self.bail_cell
+    }
+}
+
 /// Per-component pulse counters plus global anomaly tallies.
 ///
 /// Activity is the basis of the active-power model: active energy is
@@ -39,6 +91,10 @@ pub struct ActivityReport {
     /// independent (both queue implementations count identically), so
     /// it doubles as a determinism cross-check in differential tests.
     pub peak_pending: u64,
+    /// Burst-coalescing observability counters (see [`CoalesceStats`]).
+    /// Excluded from differential fingerprints: the pulse engine
+    /// legitimately records zeros where the burst engine records hits.
+    pub coalesce: CoalesceStats,
 }
 
 impl ActivityReport {
@@ -48,6 +104,7 @@ impl ActivityReport {
             emitted: vec![0; n],
             anomalies: BTreeMap::new(),
             peak_pending: 0,
+            coalesce: CoalesceStats::default(),
         }
     }
 
@@ -87,6 +144,7 @@ impl ActivityReport {
         self.emitted.fill(0);
         self.anomalies.clear();
         self.peak_pending = 0;
+        self.coalesce = CoalesceStats::default();
     }
 
     /// Renders a per-component activity summary against the circuit's
@@ -116,6 +174,21 @@ impl ActivityReport {
         }
         if self.peak_pending > 0 {
             let _ = writeln!(out, "peak pending events: {}", self.peak_pending);
+        }
+        let c = &self.coalesce;
+        if c.hits > 0 || c.bails() > 0 {
+            let _ = writeln!(
+                out,
+                "coalesce: {} hits ({} pulses), {} lazy splits, {} chases; bails: {} jitter, {} feedback, {} sanitizer, {} cell",
+                c.hits,
+                c.pulses,
+                c.lazy_splits,
+                c.chases,
+                c.bail_jitter,
+                c.bail_feedback,
+                c.bail_sanitizer,
+                c.bail_cell
+            );
         }
         out
     }

@@ -11,7 +11,11 @@ both snapshots record it (the noise-robust estimator: on a shared
 runner interference only ever adds time, so the fastest sample tracks
 the true cost), falling back to median_ns for older snapshots. A
 kernel more than FAIL_PCT slower than baseline fails the gate; one
-more than WARN_PCT slower prints a warning.
+more than WARN_PCT slower prints a warning. The medians are reported
+alongside — in the log and the step-summary table — purely as
+context: a min that moved while the median held still is usually
+runner noise, a min and median that moved together is a real shift.
+The gate itself only ever fires on min_ns.
 
 Key-set drift is asymmetric: NEW keys in the current snapshot are fine
 (a fresh kernel lands before the baseline is regenerated), but keys
@@ -60,9 +64,11 @@ def load(path):
 def write_step_summary(rows, failures, warnings):
     """Append the comparison as a markdown table to $GITHUB_STEP_SUMMARY.
 
-    `rows` is a list of (status, key, before, after, delta_pct) tuples;
-    before/after/delta_pct may be None for key-set or provenance rows.
-    A no-op outside GitHub Actions.
+    `rows` is a list of (status, key, before, after, delta_pct,
+    med_before, med_after) tuples; the numeric fields may be None for
+    key-set or provenance rows. The median columns are context only —
+    the verdict column reflects the min-based gate. A no-op outside
+    GitHub Actions.
     """
     path = os.environ.get("GITHUB_STEP_SUMMARY")
     if not path:
@@ -72,17 +78,22 @@ def write_step_summary(rows, failures, warnings):
         "## Kernel benchmark gate",
         "",
         f"**{len(failures)} hard failure(s), {len(warnings)} warning(s)** "
-        f"(fail > {FAIL_PCT:.0f}%, warn > {WARN_PCT:.0f}%)",
+        f"(fail > {FAIL_PCT:.0f}%, warn > {WARN_PCT:.0f}%; gated on min, "
+        "medians shown for context)",
         "",
-        "| Kernel | Baseline (ns) | Current (ns) | Δ | Verdict |",
-        "|---|---:|---:|---:|---|",
+        "| Kernel | Min before (ns) | Min after (ns) | Δ min | "
+        "Median before (ns) | Median after (ns) | Verdict |",
+        "|---|---:|---:|---:|---:|---:|---|",
     ]
-    for status, key, before, after, delta_pct in rows:
+    for status, key, before, after, delta_pct, med_before, med_after in rows:
         before_s = str(before) if before is not None else "—"
         after_s = str(after) if after is not None else "—"
         delta_s = f"{delta_pct:+.1f}%" if delta_pct is not None else "—"
+        med_before_s = str(med_before) if med_before is not None else "—"
+        med_after_s = str(med_after) if med_after is not None else "—"
         lines.append(
-            f"| `{key}` | {before_s} | {after_s} | {delta_s} | {icons[status]} |"
+            f"| `{key}` | {before_s} | {after_s} | {delta_s} "
+            f"| {med_before_s} | {med_after_s} | {icons[status]} |"
         )
     with open(path, "a") as f:
         f.write("\n".join(lines) + "\n")
@@ -111,15 +122,17 @@ def main():
     for line in provenance_failures:
         print(f"FAIL {line}")
 
-    rows = [("fail", line, None, None, None) for line in provenance_failures]
+    rows = [("fail", line, None, None, None, None, None) for line in provenance_failures]
     only_base = sorted(set(base) - set(cur))
     only_cur = sorted(set(cur) - set(base))
     for key in only_base:
         print(f"FAIL missing from current (baseline-only): {key}")
-        rows.append(("fail", f"{key} (missing from current)", None, None, None))
+        rows.append(
+            ("fail", f"{key} (missing from current)", None, None, None, None, None)
+        )
     for key in only_cur:
         print(f"  ok new benchmark (not in baseline): {key}")
-        rows.append(("new", key, None, None, None))
+        rows.append(("new", key, None, None, None, None, None))
 
     failures = provenance_failures + [f"missing: {key}" for key in only_base]
     warnings = []
@@ -131,20 +144,26 @@ def main():
             after = cur[key].get("median_ns")
         if not before or after is None:
             continue
+        med_before = base[key].get("median_ns")
+        med_after = cur[key].get("median_ns")
         delta_pct = 100.0 * (after - before) / before
+        med_s = ""
+        if med_before and med_after is not None:
+            med_delta = 100.0 * (med_after - med_before) / med_before
+            med_s = f" [median {med_before} -> {med_after} ({med_delta:+.1f}%)]"
         line = f"{key}: {before} -> {after} ns ({delta_pct:+.1f}%)"
         if delta_pct > FAIL_PCT:
             failures.append(line)
             status = "fail"
-            print(f"FAIL {line}")
+            print(f"FAIL {line}{med_s}")
         elif delta_pct > WARN_PCT:
             warnings.append(line)
             status = "warn"
-            print(f"WARN {line}")
+            print(f"WARN {line}{med_s}")
         else:
             status = "ok"
-            print(f"  ok {line}")
-        rows.append((status, key, before, after, delta_pct))
+            print(f"  ok {line}{med_s}")
+        rows.append((status, key, before, after, delta_pct, med_before, med_after))
 
     print(
         f"\n{len(failures)} hard failure(s) (regression over {FAIL_PCT:.0f}%, "

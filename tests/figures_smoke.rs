@@ -24,6 +24,7 @@ fn every_experiment_renders() {
         ("lint", "usfq-lint over the shipped structural netlists"),
         ("noc", "temporal NoC: latency / throughput / JJ-area"),
         ("differential", "sanitizer violations vs static findings"),
+        ("coalesce", "closed-form hits"),
     ];
     let experiments = usfq_bench::all_experiments();
     assert_eq!(experiments.len(), expectations.len());
